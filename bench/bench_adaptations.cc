@@ -1,0 +1,151 @@
+// A/B ablations for the four scale-adaptations this reproduction applies on
+// top of the paper's recipe (documented in DESIGN.md §2). Each row shows the
+// adapted configuration against the paper-literal one on a representative
+// benchmark, demonstrating why the adaptation was needed at this data/compute
+// scale.
+//
+//   1. Long-term forecasting: reversible instance normalization on/off.
+//   2. Classification: head dropout 0.7 vs none (paper-layout heads).
+//   3. Anomaly detection: bottlenecked (p=50 -> d=4) vs full-capacity mixer.
+//   4. Imputation: masked-position loss vs full-reconstruction loss.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/anomaly_gen.h"
+#include "datagen/classification_gen.h"
+#include "datagen/long_term.h"
+#include "datagen/series_builder.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::Fmt;
+using bench::MixerConfig;
+
+double LongTermMse(bool instance_norm, const Tensor& series) {
+  ForecastExperimentConfig config;
+  config.lookback = 96;
+  config.horizon = 96;
+  config.train_stride = 2;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(4, 30, 4e-3f);
+  Rng rng(1);
+  MsdMixerConfig mc =
+      MixerConfig(TaskType::kForecast, series.dim(0), 96, 96, 24);
+  mc.use_instance_norm = instance_norm;
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.max_lag = 24;
+  MsdMixerTaskModel model(&mixer, 0.5f, ro);
+  return RunForecastExperiment(model, series, config).mse;
+}
+
+double ClassificationAcc(float head_dropout, const ClassificationData& data,
+                         const ClassificationSubset& subset) {
+  ClassificationExperimentConfig config;
+  config.trainer = BenchTrainer(20, 0, 2e-3f);
+  config.trainer.batch_size = 16;
+  config.trainer.weight_decay = 1e-3f;
+  Rng rng(2);
+  MsdMixerConfig mc =
+      MixerConfig(TaskType::kClassification, subset.channels, subset.length,
+                  1, subset.length / 4, subset.classes);
+  mc.model_dim = 8;
+  mc.head_dropout = head_dropout;
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.max_lag = 16;
+  MsdMixerTaskModel model(&mixer, 0.05f, ro);
+  return RunClassificationExperiment(model, data, config);
+}
+
+double AnomalyF1(bool bottleneck, const AnomalyData& data) {
+  AnomalyExperimentConfig config;
+  config.window = kAnomalyWindow;
+  config.trainer = BenchTrainer(8, 20);
+  Rng rng(3);
+  MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction,
+                                  data.train.dim(0), kAnomalyWindow, 1, 25);
+  if (bottleneck) {
+    mc.patch_sizes = {50, 25, 10};
+    mc.model_dim = 4;
+  }
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.max_lag = 24;
+  MsdMixerTaskModel model(&mixer, bottleneck ? 0.1f : 0.5f, ro);
+  return RunAnomalyExperiment(model, data.train, data.test, data.labels,
+                              config)
+      .scores.f1;
+}
+
+double ImputationMse(bool masked_loss, const Tensor& series) {
+  ImputationExperimentConfig config;
+  config.window = 96;
+  config.missing_ratio = 0.25;
+  config.masked_loss = masked_loss;
+  config.train_stride = 4;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(4, 22);
+  Rng rng(4);
+  MsdMixerConfig mc =
+      MixerConfig(TaskType::kReconstruction, series.dim(0), 96, 1, 24);
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.include_autocorrelation = false;
+  MsdMixerTaskModel model(&mixer, 0.5f, ro);
+  return RunImputationExperiment(model, series, config).mse;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf(
+      "== Adaptation ablations: the scale-adaptations of DESIGN.md §2, "
+      "A/B ==\n\n");
+  bench::TablePrinter table(
+      {"Adaptation", "Benchmark", "Adapted", "Paper-literal"},
+      {26, 22, 12, 13});
+  table.PrintHeader();
+
+  {
+    Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 1));
+    const double with_norm = LongTermMse(true, series);
+    const double without = LongTermMse(false, series);
+    table.PrintRow({"instance norm (forecast)", "ETTh1/96 MSE",
+                    Fmt(with_norm), Fmt(without)});
+    std::fflush(stdout);
+  }
+  {
+    ClassificationSubset subset{"AWR", 9, 144, 10, 200, 200, 2.2};
+    ClassificationData data = GenerateClassificationData(subset, 9);
+    const double with_dropout = ClassificationAcc(0.7f, data, subset);
+    const double without = ClassificationAcc(0.0f, data, subset);
+    table.PrintRow({"head dropout (classif.)", "AWR accuracy",
+                    Fmt(with_dropout), Fmt(without)});
+    std::fflush(stdout);
+  }
+  {
+    AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kSmd, 3);
+    const double bottleneck = AnomalyF1(true, data);
+    const double full = AnomalyF1(false, data);
+    table.PrintRow({"bottleneck (anomaly)", "SMD F1", Fmt(bottleneck),
+                    Fmt(full)});
+    std::fflush(stdout);
+  }
+  {
+    Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttM1, 2));
+    const double masked = ImputationMse(true, series);
+    const double full = ImputationMse(false, series);
+    table.PrintRow({"masked loss (imputation)", "ETTm1/25% MSE", Fmt(masked),
+                    Fmt(full)});
+  }
+  table.PrintRule();
+  std::printf(
+      "\nEach adaptation should improve (or be required by) its task at this\n"
+      "scale; see DESIGN.md §2 for the rationale behind each.\n");
+  return 0;
+}

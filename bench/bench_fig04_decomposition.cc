@@ -1,0 +1,164 @@
+// Reproduces paper Fig. 4 (decomposition case study): trains MSD-Mixer on an
+// ETTh1-like forecasting task with and without the Residual Loss
+// (MSD-Mixer vs MSD-Mixer-L), then decomposes a test window and reports,
+// per layer, the component's scale and dominant period, plus the residual's
+// magnitude and autocorrelation statistics. ASCII sparklines stand in for
+// the paper's line plots.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/long_term.h"
+#include "datagen/series_builder.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::MixerConfig;
+
+std::string Sparkline(const Tensor& series, int64_t channel, int64_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  const int64_t length = series.dim(-1);
+  const float* row = series.data() + channel * length;
+  float lo = row[0];
+  float hi = row[0];
+  for (int64_t t = 0; t < length; ++t) {
+    lo = std::min(lo, row[t]);
+    hi = std::max(hi, row[t]);
+  }
+  const float span = std::max(hi - lo, 1e-6f);
+  std::string out;
+  for (int64_t i = 0; i < width; ++i) {
+    const int64_t t = i * length / width;
+    const int level =
+        std::min(7, static_cast<int>((row[t] - lo) / span * 8.0f));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+float StdDev(const Tensor& t) {
+  const float mean = MeanAll(t).item();
+  return std::sqrt(MeanAll(Square(AddScalar(t, -mean))).item());
+}
+
+// Dominant ACF lag (the lag in [2, L/2] with the largest coefficient).
+int64_t DominantLag(const Tensor& window, int64_t channel) {
+  Tensor row = Slice(window, 0, channel, 1);
+  Tensor acf = AutocorrelationMatrix(row);
+  int64_t best_lag = 1;
+  float best = -2.0f;
+  for (int64_t lag = 2; lag < window.dim(1) / 2; ++lag) {
+    const float a = acf.at({0, lag - 1});
+    if (a > best) {
+      best = a;
+      best_lag = lag;
+    }
+  }
+  return best_lag;
+}
+
+struct TrainedDecomposition {
+  std::vector<Tensor> components;  // each [C, L]
+  Tensor residual;                 // [C, L]
+};
+
+TrainedDecomposition TrainAndDecompose(float lambda, const Tensor& series) {
+  ForecastExperimentConfig config;
+  config.lookback = 96;
+  config.horizon = 96;
+  config.train_stride = 2;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(5, 40);
+
+  Rng rng(77);
+  MsdMixerConfig mc =
+      MixerConfig(TaskType::kForecast, series.dim(0), 96, 96, /*period=*/24);
+  // The paper's case study uses patch sizes {24, 12, 6, 2, 1} on ETTh1.
+  mc.patch_sizes = {24, 12, 6, 2, 1};
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.max_lag = 48;
+  MsdMixerTaskModel model(&mixer, lambda, ro);
+  RunForecastExperiment(model, series, config);
+
+  // Decompose the first test window.
+  SeriesSplits splits = SplitSeries(series, config.split);
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  Tensor window = Slice(scaler.Transform(splits.test), 1, 0, 96);
+  NoGradGuard guard;
+  mixer.SetTraining(false);
+  MsdMixerOutput out = mixer.Run(Variable(window.Reshape({1, window.dim(0), 96})),
+                                 /*collect_components=*/true);
+  TrainedDecomposition result;
+  for (const Variable& s : out.components) {
+    result.components.push_back(
+        s.value().Reshape({window.dim(0), 96}));
+  }
+  result.residual = out.residual.value().Reshape({window.dim(0), 96});
+  return result;
+}
+
+void Report(const char* title, const TrainedDecomposition& dec,
+            const Tensor& window) {
+  const std::vector<int64_t> patch_sizes = {24, 12, 6, 2, 1};
+  std::printf("%s\n", title);
+  std::printf("  input   std %.3f  dominant ACF lag %2lld  |%s|\n",
+              StdDev(window), static_cast<long long>(DominantLag(window, 0)),
+              Sparkline(window, 0, 64).c_str());
+  for (size_t i = 0; i < dec.components.size(); ++i) {
+    std::printf("  S%zu(p=%2lld) std %.3f  dominant ACF lag %2lld  |%s|\n",
+                i + 1, static_cast<long long>(patch_sizes[i]),
+                StdDev(dec.components[i]),
+                static_cast<long long>(DominantLag(dec.components[i], 0)),
+                Sparkline(dec.components[i], 0, 64).c_str());
+  }
+  Tensor acf = AutocorrelationMatrix(dec.residual);
+  const double band_fraction = WhiteNoiseBandFraction(acf, 96, 2.0);
+  std::printf(
+      "  residual std %.3f  |ACF| within +-2/sqrt(L) band: %.0f%%  |%s|\n\n",
+      StdDev(dec.residual), 100.0 * band_fraction,
+      Sparkline(dec.residual, 0, 64).c_str());
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf(
+      "== Fig. 4 analogue: decomposition case study (ETTh1-like, L=96, "
+      "patch sizes {24,12,6,2,1}) ==\n\n");
+  Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 4));
+
+  TrainedDecomposition with_loss = TrainAndDecompose(0.5f, series);
+  TrainedDecomposition without_loss = TrainAndDecompose(0.0f, series);
+
+  SeriesSplits splits = SplitSeries(series, {0.7, 0.1});
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  Tensor window = Slice(scaler.Transform(splits.test), 1, 0, 96);
+
+  Report("MSD-Mixer (with Residual Loss):", with_loss, window);
+  Report("MSD-Mixer-L (without Residual Loss):", without_loss, window);
+
+  const float with_std = StdDev(with_loss.residual);
+  const float without_std = StdDev(without_loss.residual);
+  std::printf(
+      "Residual scale: with loss %.3f vs without %.3f (ratio %.2fx)\n",
+      with_std, without_std, without_std / std::max(with_std, 1e-6f));
+  std::printf(
+      "\nPaper shape check (Fig. 4): without the Residual Loss most of the\n"
+      "input's information stays in the residual (large, structured\n"
+      "residual; components carry little); with it, components absorb the\n"
+      "multi-scale patterns and the residual shrinks toward in-band white\n"
+      "noise. Expected here: smaller residual std and higher in-band ACF\n"
+      "fraction for the model trained with the Residual Loss.\n");
+  return 0;
+}

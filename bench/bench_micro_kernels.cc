@@ -1,0 +1,147 @@
+// google-benchmark microbenchmarks for the substrate kernels that dominate
+// MSD-Mixer training: matmul, permute, patching, the residual-loss ACF, and
+// a full forward/backward step.
+#include <benchmark/benchmark.h>
+
+#include "core/msd_mixer.h"
+#include "core/patching.h"
+#include "core/residual_loss.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+void BM_MatMul2D(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({n, n}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({n, n}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMul(benchmark::State& state) {
+  Rng rng(1);
+  // The mixer's typical inner shape: [B, C, L', p] x [p, h].
+  Tensor a = Tensor::RandNormal({32, 7, 4, 24}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({24, 32}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_BatchedMatMul);
+
+void BM_BiasAddSuffixBroadcast(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 4, 32}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({32}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, bias));
+  }
+}
+BENCHMARK(BM_BiasAddSuffixBroadcast);
+
+void BM_PermuteLastTwo(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 24, 32}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Transpose(a, -1, -2));
+  }
+}
+BENCHMARK(BM_PermuteLastTwo);
+
+void BM_PermuteGeneric(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 24, 32}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Permute(a, {0, 3, 2, 1}));
+  }
+}
+BENCHMARK(BM_PermuteGeneric);
+
+void BM_PatchUnpatch(benchmark::State& state) {
+  Rng rng(1);
+  Variable x(Tensor::RandNormal({32, 7, 96}, 0, 1, rng));
+  for (auto _ : state) {
+    Variable p = Patch(x, state.range(0));
+    benchmark::DoNotOptimize(Unpatch(p, 96));
+  }
+}
+BENCHMARK(BM_PatchUnpatch)->Arg(24)->Arg(5)->Arg(1);
+
+void BM_ResidualLossForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    Variable z(Tensor::RandNormal({16, 7, 96}, 0, 1, rng), true);
+    ResidualLossOptions options;
+    options.max_lag = state.range(0);
+    ResidualLoss(z, options).Backward();
+    benchmark::DoNotOptimize(z.grad());
+  }
+}
+BENCHMARK(BM_ResidualLossForwardBackward)->Arg(24)->Arg(95);
+
+void BM_AutocorrelationMatrix(benchmark::State& state) {
+  Rng rng(1);
+  Tensor series = Tensor::RandNormal({7, 96}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AutocorrelationMatrix(series));
+  }
+}
+BENCHMARK(BM_AutocorrelationMatrix);
+
+void BM_MixerTrainStep(benchmark::State& state) {
+  Rng rng(1);
+  MsdMixerConfig config;
+  config.input_length = 96;
+  config.channels = 7;
+  config.patch_sizes = {24, 12, 6, 2, 1};
+  config.model_dim = 16;
+  config.hidden_dim = 32;
+  config.drop_path = 0.0f;
+  config.task = TaskType::kForecast;
+  config.horizon = 96;
+  MsdMixer mixer(config, rng);
+  Tensor x = Tensor::RandNormal({32, 7, 96}, 0, 1, rng);
+  Tensor y = Tensor::RandNormal({32, 7, 96}, 0, 1, rng);
+  for (auto _ : state) {
+    for (Variable& p : mixer.Parameters()) p.ZeroGrad();
+    MsdMixerOutput out = mixer.Run(Variable(x));
+    Variable loss = Add(MeanAll(Square(Sub(out.prediction, Variable(y)))),
+                        MulScalar(ResidualLoss(out.residual,
+                                               {2.0f, true, 24}),
+                                  0.5f));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_MixerTrainStep);
+
+void BM_MixerInference(benchmark::State& state) {
+  Rng rng(1);
+  MsdMixerConfig config;
+  config.input_length = 96;
+  config.channels = 7;
+  config.patch_sizes = {24, 12, 6, 2, 1};
+  config.model_dim = 16;
+  config.hidden_dim = 32;
+  config.task = TaskType::kForecast;
+  config.horizon = 96;
+  MsdMixer mixer(config, rng);
+  mixer.SetTraining(false);
+  Tensor x = Tensor::RandNormal({32, 7, 96}, 0, 1, rng);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mixer.Run(Variable(x)).prediction.value());
+  }
+}
+BENCHMARK(BM_MixerInference);
+
+}  // namespace
+}  // namespace msd
+
+BENCHMARK_MAIN();

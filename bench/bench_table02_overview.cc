@@ -1,0 +1,271 @@
+// Reproduces paper Table II (overall win counts across the five tasks) on a
+// representative subset: one quick benchmark per task, counting in how many
+// the MSD-Mixer places first against the reimplemented baselines. The
+// full-scale counts come from running the per-table benches
+// (bench_table04/06/07/09/11); this binary is the at-a-glance summary.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/dlinear.h"
+#include "baselines/dtw.h"
+#include "baselines/lightts.h"
+#include "baselines/mlp_autoencoder.h"
+#include "baselines/mlp_classifier.h"
+#include "baselines/nbeats.h"
+#include "bench_util.h"
+#include "datagen/anomaly_gen.h"
+#include "datagen/classification_gen.h"
+#include "datagen/long_term.h"
+#include "datagen/m4like.h"
+#include "datagen/series_builder.h"
+#include "metrics/metrics.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::MixerConfig;
+
+struct TaskOutcome {
+  std::string task;
+  std::string winner;
+  std::string detail;
+  bool mixer_first;
+};
+
+TaskOutcome LongTermTask() {
+  Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 1));
+  ForecastExperimentConfig config;
+  config.lookback = 96;
+  config.horizon = 96;
+  config.train_stride = 2;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(4, 35, 4e-3f);
+
+  std::map<std::string, double> mse;
+  {
+    Rng rng(1);
+    MsdMixerConfig mc =
+        MixerConfig(TaskType::kForecast, series.dim(0), 96, 96, 24);
+    mc.use_instance_norm = true;
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 24;
+    MsdMixerTaskModel model(&mixer, 0.5f, ro);
+    mse["MSD-Mixer"] = RunForecastExperiment(model, series, config).mse;
+  }
+  {
+    Rng rng(2);
+    DLinear dlinear(96, 96, rng);
+    ModuleTaskModel model(&dlinear);
+    mse["DLinear"] = RunForecastExperiment(model, series, config).mse;
+  }
+  {
+    Rng rng(3);
+    NBeats nbeats(96, 96, rng);
+    ModuleTaskModel model(&nbeats);
+    mse["N-BEATS"] = RunForecastExperiment(model, series, config).mse;
+  }
+  std::string best;
+  double best_value = 1e30;
+  for (const auto& [name, value] : mse) {
+    if (value < best_value) {
+      best_value = value;
+      best = name;
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "ETTh1/96 MSE: mixer %.3f dlinear %.3f",
+                mse["MSD-Mixer"], mse["DLinear"]);
+  return {"Long-term forecasting", best, detail, best == "MSD-Mixer"};
+}
+
+TaskOutcome ShortTermTask() {
+  M4SubsetSpec spec{"Quarterly", 8, 4, 48, 32};
+  auto data = GenerateM4Like(spec, 5);
+  ShortTermExperimentConfig config;
+  config.lookback_multiple = 3;
+  config.trainer = BenchTrainer(30, 0, 5e-3f);
+  const int64_t lookback = ShortTermLookback(spec, config);
+
+  std::map<std::string, double> owa;
+  {
+    Rng rng(4);
+    MsdMixerConfig mc = MixerConfig(TaskType::kForecast, 1, lookback, 8, 4);
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 8;
+    MsdMixerTaskModel model(&mixer, 0.5f, ro);
+    owa["MSD-Mixer"] = RunShortTermExperiment(model, data, spec, config).owa;
+  }
+  {
+    Rng rng(5);
+    NBeats nbeats(lookback, 8, rng);
+    ModuleTaskModel model(&nbeats);
+    owa["N-BEATS"] = RunShortTermExperiment(model, data, spec, config).owa;
+  }
+  owa["Naive2"] = 1.0;
+  std::string best;
+  double best_value = 1e30;
+  for (const auto& [name, value] : owa) {
+    if (value < best_value) {
+      best_value = value;
+      best = name;
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "Quarterly OWA: mixer %.3f nbeats %.3f",
+                owa["MSD-Mixer"], owa["N-BEATS"]);
+  return {"Short-term forecasting", best, detail, best == "MSD-Mixer"};
+}
+
+TaskOutcome ImputationTask() {
+  Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttM1, 2));
+  ImputationExperimentConfig config;
+  config.window = 96;
+  config.missing_ratio = 0.25;
+  config.train_stride = 4;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(5, 30);
+
+  std::map<std::string, double> mse;
+  {
+    Rng rng(6);
+    MsdMixerConfig mc =
+        MixerConfig(TaskType::kReconstruction, series.dim(0), 96, 1, 24);
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.include_autocorrelation = false;
+    MsdMixerTaskModel model(&mixer, 0.5f, ro);
+    mse["MSD-Mixer"] = RunImputationExperiment(model, series, config).mse;
+  }
+  {
+    Rng rng(7);
+    MlpAutoencoder ae(series.dim(0), 96, rng, 32);
+    ModuleTaskModel model(&ae);
+    mse["MLP-AE"] = RunImputationExperiment(model, series, config).mse;
+  }
+  const std::string best =
+      mse["MSD-Mixer"] <= mse["MLP-AE"] ? "MSD-Mixer" : "MLP-AE";
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "ETTm1/25%% MSE: mixer %.3f ae %.3f",
+                mse["MSD-Mixer"], mse["MLP-AE"]);
+  return {"Imputation", best, detail, best == "MSD-Mixer"};
+}
+
+TaskOutcome AnomalyTask() {
+  AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kSmd, 3);
+  AnomalyExperimentConfig config;
+  config.window = kAnomalyWindow;
+  config.trainer = BenchTrainer(6, 20);
+  std::map<std::string, double> f1;
+  {
+    Rng rng(8);
+    MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction,
+                                    data.train.dim(0), kAnomalyWindow, 1, 25);
+    mc.patch_sizes = {50, 25, 10};
+    mc.model_dim = 4;
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 24;
+    MsdMixerTaskModel model(&mixer, 0.1f, ro);
+    f1["MSD-Mixer"] =
+        RunAnomalyExperiment(model, data.train, data.test, data.labels, config)
+            .scores.f1;
+  }
+  {
+    Rng rng(9);
+    MlpAutoencoder ae(data.train.dim(0), kAnomalyWindow, rng, 24);
+    ModuleTaskModel model(&ae);
+    f1["MLP-AE"] =
+        RunAnomalyExperiment(model, data.train, data.test, data.labels, config)
+            .scores.f1;
+  }
+  const std::string best =
+      f1["MSD-Mixer"] >= f1["MLP-AE"] ? "MSD-Mixer" : "MLP-AE";
+  char detail[128];
+  std::snprintf(detail, sizeof(detail), "SMD F1: mixer %.3f ae %.3f",
+                f1["MSD-Mixer"], f1["MLP-AE"]);
+  return {"Anomaly detection", best, detail, best == "MSD-Mixer"};
+}
+
+TaskOutcome ClassificationTask() {
+  ClassificationSubset subset{"CT", 3, 182, 10, 300, 300, 1.8};
+  ClassificationData data = GenerateClassificationData(subset, 9);
+  ClassificationExperimentConfig config;
+  config.trainer = BenchTrainer(25, 0, 2e-3f);
+  config.trainer.batch_size = 16;
+  config.trainer.weight_decay = 1e-3f;
+  std::map<std::string, double> acc;
+  {
+    Rng rng(10);
+    MsdMixerConfig mc =
+        MixerConfig(TaskType::kClassification, subset.channels, subset.length,
+                    1, subset.length / 4, subset.classes);
+    mc.model_dim = 8;
+    mc.head_dropout = 0.7f;
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 16;
+    MsdMixerTaskModel model(&mixer, 0.05f, ro);
+    acc["MSD-Mixer"] = RunClassificationExperiment(model, data, config);
+  }
+  {
+    DtwKnnClassifier knn(0.1);
+    knn.Fit(data.train_x, data.train_y);
+    acc["DTW-1NN"] = Accuracy(knn.PredictBatch(data.test_x), data.test_y);
+  }
+  {
+    Rng rng(11);
+    MlpClassifier mlp(subset.channels, subset.length, subset.classes, rng);
+    ModuleTaskModel model(&mlp);
+    acc["Flat-MLP"] = RunClassificationExperiment(model, data, config);
+  }
+  std::string best;
+  double best_value = -1.0;
+  for (const auto& [name, value] : acc) {
+    if (value > best_value) {
+      best_value = value;
+      best = name;
+    }
+  }
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "CT acc: mixer %.3f dtw %.3f mlp %.3f", acc["MSD-Mixer"],
+                acc["DTW-1NN"], acc["Flat-MLP"]);
+  return {"Classification", best, detail, best == "MSD-Mixer"};
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf(
+      "== Table II analogue: overall comparison (one representative\n"
+      "   benchmark per task; the per-table benches give the full counts) "
+      "==\n\n");
+  bench::TablePrinter table({"Task", "Winner", "Detail"}, {24, 11, 44});
+  table.PrintHeader();
+  std::vector<TaskOutcome> outcomes;
+  outcomes.push_back(LongTermTask());
+  std::fflush(stdout);
+  outcomes.push_back(ShortTermTask());
+  outcomes.push_back(ImputationTask());
+  outcomes.push_back(AnomalyTask());
+  outcomes.push_back(ClassificationTask());
+  int mixer_firsts = 0;
+  for (const auto& o : outcomes) {
+    table.PrintRow({o.task, o.winner, o.detail});
+    if (o.mixer_first) ++mixer_firsts;
+  }
+  table.PrintRule();
+  std::printf(
+      "\nMSD-Mixer first on %d/5 representative tasks.\n"
+      "Paper shape check (Table II): MSD-Mixer led 118 of 142 benchmarks\n"
+      "across the five tasks, with every other method far behind.\n",
+      mixer_firsts);
+  return 0;
+}

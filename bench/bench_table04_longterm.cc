@@ -1,0 +1,210 @@
+// Reproduces paper Table IV (long-term forecasting) and prints the dataset
+// statistics of Table III.
+//
+// Protocol: lookback 96, four horizons per dataset, per-channel standardized
+// MSE/MAE on the chronological test split. Horizons are {24, 48, 96, 192}
+// (the paper's {96, 192, 336, 720} scaled to the synthetic series lengths);
+// the comparison of interest — which model family wins where, and that the
+// margin collapses on the random-walk Exchange data — is preserved.
+// Baselines: DLinear, LightTS-like, N-BEATS-like, seasonal naive (see
+// DESIGN.md for the substitution map; Transformer/CNN baselines are out of
+// CPU scope and reported as n/a).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/dlinear.h"
+#include "baselines/lightts.h"
+#include "baselines/nbeats.h"
+#include "baselines/patchtst.h"
+#include "bench_util.h"
+#include "datagen/long_term.h"
+#include "datagen/series_builder.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::Fmt;
+using bench::MarkBest;
+using bench::MixerConfig;
+using bench::TablePrinter;
+
+struct RunResult {
+  std::string model;
+  RegressionScores scores;
+};
+
+ForecastExperimentConfig MakeExperiment(int64_t horizon, int64_t length) {
+  ForecastExperimentConfig config;
+  config.lookback = 96;
+  config.horizon = horizon;
+  config.train_stride = length >= 4000 ? 4 : 2;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(/*epochs=*/4, /*max_batches=*/30, 4e-3f);
+  return config;
+}
+
+std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
+                                    int64_t horizon) {
+  const int64_t channels = series.dim(0);
+  const ForecastExperimentConfig config =
+      MakeExperiment(horizon, series.dim(1));
+  std::vector<RunResult> results;
+
+  {
+    Rng rng(100 + horizon);
+    MsdMixerConfig mc =
+        MixerConfig(TaskType::kForecast, channels, 96, horizon, period);
+    mc.use_instance_norm = true;
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 24;
+    MsdMixerTaskModel model(&mixer, /*lambda=*/0.5f, ro);
+    results.push_back(
+        {"MSD-Mixer", RunForecastExperiment(model, series, config)});
+  }
+  {
+    Rng rng(150 + horizon);
+    PatchTstConfig pc;
+    pc.input_length = 96;
+    pc.horizon = horizon;
+    PatchTst patchtst(pc, rng);
+    ModuleTaskModel model(&patchtst);
+    results.push_back(
+        {"PatchTST", RunForecastExperiment(model, series, config)});
+  }
+  {
+    Rng rng(200 + horizon);
+    DLinear dlinear(96, horizon, rng);
+    ModuleTaskModel model(&dlinear);
+    results.push_back(
+        {"DLinear", RunForecastExperiment(model, series, config)});
+  }
+  {
+    Rng rng(300 + horizon);
+    LightTs lightts(96, horizon, rng);
+    ModuleTaskModel model(&lightts);
+    results.push_back(
+        {"LightTS", RunForecastExperiment(model, series, config)});
+  }
+  {
+    Rng rng(400 + horizon);
+    NBeats nbeats(96, horizon, rng, /*num_blocks=*/3, /*hidden=*/64);
+    ModuleTaskModel model(&nbeats);
+    results.push_back({"N-BEATS", RunForecastExperiment(model, series, config)});
+  }
+  {
+    // Training-free seasonal naive at the dominant period.
+    SeriesSplits splits = SplitSeries(series, config.split);
+    StandardScaler scaler;
+    scaler.Fit(splits.train);
+    ForecastWindowDataset test(scaler.Transform(splits.test), 96, horizon,
+                               config.eval_stride);
+    results.push_back(
+        {"S-Naive", bench::EvaluateNaiveOnDataset(test, period)});
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf("== Table III analogue: long-term forecasting datasets ==\n");
+  bench::TablePrinter stats({"Dataset", "Dim", "Timesteps", "Period",
+                             "Paper dim/steps"},
+                            {8, 4, 9, 6, 16});
+  stats.PrintHeader();
+  struct PaperStat {
+    const char* dims;
+  };
+  const std::map<std::string, std::string> paper_stats = {
+      {"ETTm1", "7 / 69680"},   {"ETTm2", "7 / 69680"},
+      {"ETTh1", "7 / 17420"},   {"ETTh2", "7 / 17420"},
+      {"ECL", "321 / 26304"},   {"Traffic", "862 / 17544"},
+      {"Weather", "21 / 52696"}, {"Exchange", "8 / 7588"}};
+  std::map<LongTermDataset, Tensor> all_series;
+  for (LongTermDataset ds : AllLongTermDatasets()) {
+    const SeriesConfig config = LongTermConfig(ds, /*seed=*/1);
+    Tensor series = GenerateSeries(config);
+    all_series.emplace(ds, series);
+    const std::string name = LongTermDatasetName(ds);
+    stats.PrintRow({name, std::to_string(series.dim(0)),
+                    std::to_string(series.dim(1)),
+                    std::to_string(LongTermDominantPeriod(ds)),
+                    paper_stats.at(name)});
+  }
+  stats.PrintRule();
+
+  std::printf(
+      "\n== Table IV analogue: long-term forecasting (lookback 96) ==\n"
+      "Metric: test MSE / MAE on standardized data; '*' marks the row "
+      "winner.\n\n");
+
+  const std::vector<int64_t> horizons = {24, 48, 96, 192};
+  const std::vector<std::string> models = {"MSD-Mixer", "PatchTST", "DLinear",
+                                           "LightTS", "N-BEATS", "S-Naive"};
+  bench::TablePrinter table(
+      {"Dataset", "H", "MSD-Mixer", "PatchTST", "DLinear", "LightTS",
+       "N-BEATS", "S-Naive"},
+      {8, 4, 14, 14, 14, 14, 14, 14});
+  table.PrintHeader();
+
+  std::map<std::string, int> first_counts;
+  int total_benchmarks = 0;
+  for (LongTermDataset ds : AllLongTermDatasets()) {
+    const Tensor& series = all_series.at(ds);
+    const int64_t period = LongTermDominantPeriod(ds);
+    for (int64_t horizon : horizons) {
+      const auto results = RunAllModels(series, period, horizon);
+      // Two benchmarks per row (MSE and MAE), as in the paper's counting.
+      for (int metric = 0; metric < 2; ++metric) {
+        double best = 1e30;
+        std::string best_model;
+        for (const auto& r : results) {
+          const double v = metric == 0 ? r.scores.mse : r.scores.mae;
+          if (v < best) {
+            best = v;
+            best_model = r.model;
+          }
+        }
+        first_counts[best_model]++;
+        ++total_benchmarks;
+      }
+      std::vector<double> mses;
+      std::vector<double> maes;
+      for (const auto& r : results) {
+        mses.push_back(r.scores.mse);
+        maes.push_back(r.scores.mae);
+      }
+      const auto mse_cells = bench::MarkBest(mses);
+      const auto mae_cells = bench::MarkBest(maes);
+      std::vector<std::string> row = {LongTermDatasetName(ds),
+                                      std::to_string(horizon)};
+      for (size_t m = 0; m < results.size(); ++m) {
+        row.push_back(mse_cells[m] + "/" + mae_cells[m]);
+      }
+      table.PrintRow(row);
+      std::fflush(stdout);
+    }
+    table.PrintRule();
+  }
+
+  std::printf("\n1st-place counts over %d benchmarks (MSE+MAE cells):\n",
+              total_benchmarks);
+  for (const auto& model : models) {
+    std::printf("  %-10s %d\n", model.c_str(), first_counts[model]);
+  }
+  std::printf(
+      "\nPaper shape check (Table IV): MSD-Mixer led 49/64 benchmarks with\n"
+      "PatchTST second; linear baselines were competitive on Exchange\n"
+      "(random walk), where no model beats naive by much. Expected here:\n"
+      "MSD-Mixer leads overall; on Exchange the margin collapses.\n"
+      "PatchTST here is a scaled-down reimplementation; the remaining\n"
+      "baselines (TimesNet, Scaleformer, ETSformer, NST, FEDformer) are\n"
+      "n/a in this CPU-only reproduction.\n");
+  return 0;
+}

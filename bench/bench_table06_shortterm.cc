@@ -1,0 +1,211 @@
+// Reproduces paper Table VI (short-term forecasting on M4-like data) and
+// prints the dataset statistics of Table V.
+//
+// Protocol: six frequency subsets, per-subset horizon and seasonal period m,
+// SMAPE / MASE / OWA where OWA is normalized by the Naive2 reference
+// computed on the same series (Eq. 8). The paper's weighted average row is
+// reproduced by weighting each subset by its series count.
+// Models: MSD-Mixer, N-BEATS-like, DLinear, LightTS-like, plus the Naive2
+// reference itself (OWA = 1 by construction).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/dlinear.h"
+#include "baselines/lightts.h"
+#include "baselines/nbeats.h"
+#include "baselines/nhits.h"
+#include "bench_util.h"
+#include "datagen/m4like.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::Fmt;
+using bench::MixerConfig;
+
+struct SubsetResult {
+  std::string model;
+  M4Scores scores;
+};
+
+std::vector<SubsetResult> RunSubset(const M4SubsetSpec& spec,
+                                    const std::vector<UnivariateSeries>& data) {
+  ShortTermExperimentConfig config;
+  config.lookback_multiple = 3;
+  config.trainer = BenchTrainer(/*epochs=*/40, /*max_batches=*/0, 5e-3f);
+  const int64_t lookback = ShortTermLookback(spec, config);
+
+  std::vector<SubsetResult> results;
+  {
+    Rng rng(10);
+    // Period-derived patch ladder; the lookback is 2H so patch sizes span
+    // the subset's seasonal structure.
+    MsdMixerConfig mc = MixerConfig(TaskType::kForecast, 1, lookback,
+                                    spec.horizon,
+                                    spec.period > 1 ? spec.period : lookback / 4);
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = std::min<int64_t>(lookback - 1, 16);
+    MsdMixerTaskModel model(&mixer, 0.5f, ro);
+    results.push_back(
+        {"MSD-Mixer", RunShortTermExperiment(model, data, spec, config)});
+  }
+  {
+    Rng rng(20);
+    NBeats nbeats(lookback, spec.horizon, rng, 3, 64);
+    ModuleTaskModel model(&nbeats);
+    results.push_back(
+        {"N-BEATS", RunShortTermExperiment(model, data, spec, config)});
+  }
+  {
+    Rng rng(25);
+    std::vector<int64_t> pools;
+    for (int64_t k : {4, 2, 1}) {
+      if (k <= lookback) pools.push_back(k);
+    }
+    NHits nhits(lookback, spec.horizon, rng, pools, 64);
+    ModuleTaskModel model(&nhits);
+    results.push_back(
+        {"N-HiTS", RunShortTermExperiment(model, data, spec, config)});
+  }
+  {
+    Rng rng(30);
+    DLinear dlinear(lookback, spec.horizon, rng,
+                    std::min<int64_t>(25, lookback));
+    ModuleTaskModel model(&dlinear);
+    results.push_back(
+        {"DLinear", RunShortTermExperiment(model, data, spec, config)});
+  }
+  {
+    Rng rng(40);
+    LightTs lightts(lookback, spec.horizon, rng);
+    ModuleTaskModel model(&lightts);
+    results.push_back(
+        {"LightTS", RunShortTermExperiment(model, data, spec, config)});
+  }
+  {
+    // Naive2 reference scored through the same pipeline.
+    std::vector<std::vector<float>> forecasts;
+    std::vector<std::vector<float>> actuals;
+    std::vector<std::vector<float>> histories;
+    for (const UnivariateSeries& s : data) {
+      forecasts.push_back(Naive2Forecast(s.history, spec.horizon, spec.period));
+      actuals.push_back(s.future);
+      histories.push_back(s.history);
+    }
+    results.push_back(
+        {"Naive2", EvaluateM4(forecasts, actuals, histories, spec.period)});
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  const auto subsets = DefaultM4Subsets();
+
+  std::printf("== Table V analogue: M4-like short-term datasets ==\n");
+  bench::TablePrinter stats(
+      {"Subset", "Horizon", "Period m", "History", "Series", "Paper series"},
+      {9, 7, 8, 7, 6, 12});
+  stats.PrintHeader();
+  const std::map<std::string, std::string> paper_counts = {
+      {"Yearly", "23000"}, {"Quarterly", "24000"}, {"Monthly", "48000"},
+      {"Weekly", "359"},   {"Daily", "4227"},      {"Hourly", "414"}};
+  for (const auto& spec : subsets) {
+    stats.PrintRow({spec.name, std::to_string(spec.horizon),
+                    std::to_string(spec.period),
+                    std::to_string(spec.history_length),
+                    std::to_string(spec.num_series),
+                    paper_counts.at(spec.name)});
+  }
+  stats.PrintRule();
+
+  std::printf(
+      "\n== Table VI analogue: short-term forecasting "
+      "(SMAPE / MASE / OWA) ==\n\n");
+  const std::vector<std::string> models = {"MSD-Mixer", "N-BEATS", "N-HiTS",
+                                           "DLinear", "LightTS", "Naive2"};
+  bench::TablePrinter table({"Subset", "Metric", "MSD-Mixer", "N-BEATS",
+                             "N-HiTS", "DLinear", "LightTS", "Naive2"},
+                            {9, 6, 10, 10, 10, 10, 10, 10});
+  table.PrintHeader();
+
+  // Weighted averages across subsets (weights = series counts), as in the
+  // competition's overall score.
+  std::map<std::string, double> smape_acc;
+  std::map<std::string, double> mase_acc;
+  std::map<std::string, double> owa_acc;
+  int64_t total_series = 0;
+  std::map<std::string, int> first_counts;
+  int total_benchmarks = 0;
+
+  for (const auto& spec : subsets) {
+    const auto data = GenerateM4Like(spec, /*seed=*/5);
+    const auto results = RunSubset(spec, data);
+    for (int metric = 0; metric < 3; ++metric) {
+      std::vector<double> values;
+      for (const auto& r : results) {
+        values.push_back(metric == 0 ? r.scores.smape
+                                     : metric == 1 ? r.scores.mase
+                                                   : r.scores.owa);
+      }
+      const char* metric_name = metric == 0 ? "SMAPE" : metric == 1 ? "MASE" : "OWA";
+      const auto cells = bench::MarkBest(values, 3);
+      std::vector<std::string> row = {metric == 0 ? spec.name : "", metric_name};
+      row.insert(row.end(), cells.begin(), cells.end());
+      table.PrintRow(row);
+      double best = 1e30;
+      std::string best_model;
+      for (size_t m = 0; m < results.size(); ++m) {
+        if (values[m] < best) {
+          best = values[m];
+          best_model = results[m].model;
+        }
+      }
+      first_counts[best_model]++;
+      ++total_benchmarks;
+    }
+    table.PrintRule();
+    std::fflush(stdout);
+    for (const auto& r : results) {
+      smape_acc[r.model] += r.scores.smape * spec.num_series;
+      mase_acc[r.model] += r.scores.mase * spec.num_series;
+      owa_acc[r.model] += r.scores.owa * spec.num_series;
+    }
+    total_series += spec.num_series;
+  }
+
+  std::vector<double> avg_smape;
+  std::vector<double> avg_mase;
+  std::vector<double> avg_owa;
+  for (const auto& m : models) {
+    avg_smape.push_back(smape_acc[m] / total_series);
+    avg_mase.push_back(mase_acc[m] / total_series);
+    avg_owa.push_back(owa_acc[m] / total_series);
+  }
+  auto print_avg = [&](const char* name, const std::vector<double>& values) {
+    std::vector<std::string> row = {"Wgt.Avg", name};
+    const auto cells = bench::MarkBest(values, 3);
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.PrintRow(row);
+  };
+  print_avg("SMAPE", avg_smape);
+  print_avg("MASE", avg_mase);
+  print_avg("OWA", avg_owa);
+  table.PrintRule();
+
+  std::printf("\n1st-place counts over %d benchmarks:\n", total_benchmarks);
+  for (const auto& m : models) std::printf("  %-10s %d\n", m.c_str(), first_counts[m]);
+  std::printf(
+      "\nPaper shape check (Table VI): MSD-Mixer first on every benchmark\n"
+      "(15/15), N-BEATS/N-HiTS the strongest baselines, with avg OWA 0.838\n"
+      "(MSD-Mixer) vs 0.855 (N-BEATS). Expected here: MSD-Mixer and N-BEATS\n"
+      "lead with OWA < 1 (better than Naive2) on seasonal subsets.\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Reproduces paper Table VII (imputation): six datasets x four missing
+// ratios {12.5%, 25%, 37.5%, 50%}, MSE/MAE at the masked positions.
+//
+// Models: MSD-Mixer in reconstruction mode with magnitude-only Residual
+// Loss (the paper drops the ACF term for imputation, §IV-D), an MLP
+// autoencoder, and training-free per-channel linear interpolation.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/mlp_autoencoder.h"
+#include "bench_util.h"
+#include "datagen/long_term.h"
+#include "datagen/series_builder.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::MixerConfig;
+
+// Per-channel linear interpolation between observed neighbors (edge values
+// extended); the classical training-free imputer.
+Tensor InterpolateMissing(const Tensor& masked, const Tensor& observed_mask) {
+  Tensor out = masked.Clone();
+  const int64_t channels = out.dim(0);
+  const int64_t length = out.dim(1);
+  for (int64_t c = 0; c < channels; ++c) {
+    float* row = out.data() + c * length;
+    const float* mask = observed_mask.data() + c * length;
+    int64_t prev = -1;
+    for (int64_t t = 0; t <= length; ++t) {
+      const bool observed = t < length && mask[t] == 1.0f;
+      if (!observed && t < length) continue;
+      // Fill the gap (prev, t).
+      const int64_t gap_begin = prev + 1;
+      const int64_t gap_end = t < length ? t : length;
+      if (gap_begin < gap_end) {
+        const float left = prev >= 0 ? row[prev] : (t < length ? row[t] : 0.0f);
+        const float right = t < length ? row[t] : left;
+        const int64_t span = gap_end - gap_begin + 1;
+        for (int64_t g = gap_begin; g < gap_end; ++g) {
+          const float alpha =
+              static_cast<float>(g - gap_begin + 1) / static_cast<float>(span);
+          row[g] = left + alpha * (right - left);
+        }
+      }
+      prev = t;
+    }
+  }
+  return out;
+}
+
+RegressionScores EvaluateInterpolation(const ImputationWindowDataset& test) {
+  double sse = 0.0;
+  double sae = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < test.Size(); ++i) {
+    Sample s = test.Get(i);
+    Tensor observed = test.MaskFor(i);
+    Tensor pred = InterpolateMissing(s.input, observed);
+    const float* p = pred.data();
+    const float* t = s.target.data();
+    const float* m = observed.data();
+    for (int64_t j = 0; j < pred.numel(); ++j) {
+      if (m[j] == 1.0f) continue;
+      const double d = static_cast<double>(p[j]) - t[j];
+      sse += d * d;
+      sae += std::fabs(d);
+      ++count;
+    }
+  }
+  return {sse / count, sae / count};
+}
+
+struct RunResult {
+  std::string model;
+  RegressionScores scores;
+};
+
+std::vector<RunResult> RunAllModels(const Tensor& series, double ratio) {
+  const int64_t channels = series.dim(0);
+  ImputationExperimentConfig config;
+  config.window = 96;
+  config.missing_ratio = ratio;
+  config.train_stride = series.dim(1) >= 4000 ? 4 : 2;
+  config.eval_stride = 8;
+  config.trainer = BenchTrainer(/*epochs=*/4, /*max_batches=*/22);
+
+  std::vector<RunResult> results;
+  {
+    Rng rng(static_cast<uint64_t>(ratio * 1000) + 1);
+    MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction, channels, 96,
+                                    /*horizon=*/1, /*period=*/24);
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.include_autocorrelation = false;  // paper §IV-D
+    MsdMixerTaskModel model(&mixer, 0.5f, ro);
+    results.push_back(
+        {"MSD-Mixer", RunImputationExperiment(model, series, config)});
+  }
+  {
+    Rng rng(static_cast<uint64_t>(ratio * 1000) + 2);
+    MlpAutoencoder ae(channels, 96, rng, /*bottleneck=*/32);
+    ModuleTaskModel model(&ae);
+    results.push_back(
+        {"MLP-AE", RunImputationExperiment(model, series, config)});
+  }
+  {
+    // Training-free interpolation on the scaled test split.
+    SeriesSplits splits = SplitSeries(series, config.split);
+    StandardScaler scaler;
+    scaler.Fit(splits.train);
+    ImputationWindowDataset test(scaler.Transform(splits.test), 96, ratio,
+                                 config.mask_seed ^ 0x1234567ULL,
+                                 config.eval_stride);
+    results.push_back({"Interp", EvaluateInterpolation(test)});
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf(
+      "== Table VII analogue: imputation (MSE / MAE at masked points) ==\n\n");
+  const std::vector<LongTermDataset> datasets = {
+      LongTermDataset::kEttM1, LongTermDataset::kEttM2,
+      LongTermDataset::kEttH1, LongTermDataset::kEttH2,
+      LongTermDataset::kEcl,   LongTermDataset::kWeather};
+  const std::vector<double> ratios = {0.125, 0.25, 0.375, 0.5};
+  const std::vector<std::string> models = {"MSD-Mixer", "MLP-AE", "Interp"};
+
+  bench::TablePrinter table(
+      {"Dataset", "Miss%", "MSD-Mixer", "MLP-AE", "Interp"},
+      {8, 6, 15, 15, 15});
+  table.PrintHeader();
+
+  std::map<std::string, int> first_counts;
+  int total = 0;
+  for (LongTermDataset ds : datasets) {
+    Tensor series = GenerateSeries(LongTermConfig(ds, /*seed=*/2));
+    for (double ratio : ratios) {
+      const auto results = RunAllModels(series, ratio);
+      std::vector<double> mses;
+      std::vector<double> maes;
+      for (const auto& r : results) {
+        mses.push_back(r.scores.mse);
+        maes.push_back(r.scores.mae);
+      }
+      for (int metric = 0; metric < 2; ++metric) {
+        const auto& vals = metric == 0 ? mses : maes;
+        double best = 1e30;
+        std::string best_model;
+        for (size_t m = 0; m < results.size(); ++m) {
+          if (vals[m] < best) {
+            best = vals[m];
+            best_model = results[m].model;
+          }
+        }
+        first_counts[best_model]++;
+        ++total;
+      }
+      const auto mse_cells = bench::MarkBest(mses);
+      const auto mae_cells = bench::MarkBest(maes);
+      std::vector<std::string> row = {LongTermDatasetName(ds),
+                                      bench::Fmt(ratio * 100, 1)};
+      for (size_t m = 0; m < results.size(); ++m) {
+        row.push_back(mse_cells[m] + "/" + mae_cells[m]);
+      }
+      table.PrintRow(row);
+      std::fflush(stdout);
+    }
+    table.PrintRule();
+  }
+
+  std::printf("\n1st-place counts over %d benchmarks (MSE+MAE cells):\n",
+              total);
+  for (const auto& m : models) {
+    std::printf("  %-10s %d\n", m.c_str(), first_counts[m]);
+  }
+  std::printf(
+      "\nPaper shape check (Table VII): MSD-Mixer led 45/48 benchmarks and\n"
+      "stayed stable as the missing ratio grew, while baselines degraded\n"
+      "quickly. Expected here: MSD-Mixer leads; the interpolation floor\n"
+      "worsens sharply at high missing ratios.\n");
+  return 0;
+}

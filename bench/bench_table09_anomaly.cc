@@ -1,0 +1,181 @@
+// Reproduces paper Table IX (anomaly detection) and prints the dataset
+// statistics of Table VIII.
+//
+// Protocol: train a reconstruction model on the anomaly-free training span,
+// score each test time step by reconstruction error, threshold at the
+// dataset's anomaly ratio, and report point-adjusted precision/recall/F1.
+// Models: MSD-Mixer (reconstruction), MLP autoencoder, and a training-free
+// moving-average reconstructor.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/dlinear.h"
+#include "baselines/mlp_autoencoder.h"
+#include "bench_util.h"
+#include "datagen/anomaly_gen.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::MixerConfig;
+
+// Training-free baseline: "reconstruct" each window by its centered moving
+// average; the anomaly score is then the high-frequency energy.
+class MovingAverageReconstructor : public Module {
+ public:
+  explicit MovingAverageReconstructor(int64_t kernel) : kernel_(kernel) {}
+  Variable Forward(const Variable& input) override {
+    return MovingAverage(input, kernel_);
+  }
+
+ private:
+  int64_t kernel_;
+};
+
+struct RunResult {
+  std::string model;
+  AnomalyEvalResult result;
+};
+
+std::vector<RunResult> RunAllModels(const AnomalyData& data) {
+  const int64_t channels = data.train.dim(0);
+  AnomalyExperimentConfig config;
+  config.window = kAnomalyWindow;
+  config.trainer = BenchTrainer(/*epochs=*/12, /*max_batches=*/20);
+
+  std::vector<RunResult> results;
+  {
+    Rng rng(1);
+    // Bottlenecked configuration: large patches compressed into a narrow
+    // representation (p=50 -> d=4), so the model cannot reconstruct
+    // arbitrary inputs and anomalies surface as reconstruction error.
+    MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction, channels,
+                                    kAnomalyWindow, 1, /*period=*/25);
+    mc.patch_sizes = {50, 25, 10};
+    mc.model_dim = 4;
+    MsdMixer mixer(mc, rng);
+    ResidualLossOptions ro;
+    ro.max_lag = 24;
+    MsdMixerTaskModel model(&mixer, 0.1f, ro);
+    results.push_back({"MSD-Mixer",
+                       RunAnomalyExperiment(model, data.train, data.test,
+                                            data.labels, config)});
+  }
+  {
+    Rng rng(2);
+    MlpAutoencoder ae(channels, kAnomalyWindow, rng, /*bottleneck=*/24);
+    ModuleTaskModel model(&ae);
+    results.push_back({"MLP-AE",
+                       RunAnomalyExperiment(model, data.train, data.test,
+                                            data.labels, config)});
+  }
+  {
+    MovingAverageReconstructor ma(9);
+    ModuleTaskModel model(&ma);
+    AnomalyExperimentConfig free_config = config;
+    free_config.trainer.epochs = 1;
+    free_config.trainer.max_batches_per_epoch = 1;  // nothing to learn
+    results.push_back({"MovAvg",
+                       RunAnomalyExperiment(model, data.train, data.test,
+                                            data.labels, free_config)});
+  }
+  return results;
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf("== Table VIII analogue: anomaly detection datasets ==\n");
+  bench::TablePrinter stats(
+      {"Dataset", "Dim", "Window", "Train", "Test", "Anom%", "Paper dim"},
+      {8, 4, 6, 6, 6, 6, 9});
+  stats.PrintHeader();
+  const std::map<std::string, std::string> paper_dims = {
+      {"SMD", "38"}, {"MSL", "55"}, {"SMAP", "25"}, {"SWaT", "51"},
+      {"PSM", "25"}};
+  std::map<AnomalyDataset, AnomalyData> all_data;
+  for (AnomalyDataset ds : AllAnomalyDatasets()) {
+    AnomalyData data = GenerateAnomalyDataset(ds, /*seed=*/3);
+    int64_t anomalous = 0;
+    for (int v : data.labels) anomalous += v;
+    const double rate =
+        100.0 * static_cast<double>(anomalous) / data.labels.size();
+    const std::string name = AnomalyDatasetName(ds);
+    stats.PrintRow({name, std::to_string(data.train.dim(0)),
+                    std::to_string(kAnomalyWindow),
+                    std::to_string(data.train.dim(1)),
+                    std::to_string(data.test.dim(1)), bench::Fmt(rate, 1),
+                    paper_dims.at(name)});
+    all_data.emplace(ds, std::move(data));
+  }
+  stats.PrintRule();
+
+  std::printf(
+      "\n== Table IX analogue: anomaly detection "
+      "(point-adjusted P / R / F1) ==\n\n");
+  const std::vector<std::string> models = {"MSD-Mixer", "MLP-AE", "MovAvg"};
+  bench::TablePrinter table({"Dataset", "Metric", "MSD-Mixer", "MLP-AE",
+                             "MovAvg"},
+                            {8, 9, 10, 10, 10});
+  table.PrintHeader();
+
+  std::map<std::string, double> f1_acc;
+  std::map<std::string, int> first_counts;
+  for (AnomalyDataset ds : AllAnomalyDatasets()) {
+    const auto results = RunAllModels(all_data.at(ds));
+    auto row_for = [&](const char* metric,
+                       auto getter) -> std::vector<std::string> {
+      std::vector<double> values;
+      for (const auto& r : results) values.push_back(getter(r.result.scores));
+      std::vector<std::string> row = {
+          std::string(metric) == "Precision" ? AnomalyDatasetName(ds) : "",
+          metric};
+      const auto cells =
+          bench::MarkBest(values, 3, /*lower_is_better=*/false);
+      row.insert(row.end(), cells.begin(), cells.end());
+      return row;
+    };
+    table.PrintRow(row_for("Precision", [](const DetectionScores& s) {
+      return s.precision;
+    }));
+    table.PrintRow(
+        row_for("Recall", [](const DetectionScores& s) { return s.recall; }));
+    table.PrintRow(
+        row_for("F1", [](const DetectionScores& s) { return s.f1; }));
+    table.PrintRule();
+    std::fflush(stdout);
+    double best = -1.0;
+    std::string best_model;
+    for (const auto& r : results) {
+      f1_acc[r.model] += r.result.scores.f1;
+      if (r.result.scores.f1 > best) {
+        best = r.result.scores.f1;
+        best_model = r.model;
+      }
+    }
+    first_counts[best_model]++;
+  }
+
+  std::printf("\nAverage F1 across datasets:\n");
+  for (const auto& m : models) {
+    std::printf("  %-10s %.3f\n", m.c_str(), f1_acc[m] / 5.0);
+  }
+  std::printf("F1 1st-place counts:\n");
+  for (const auto& m : models) {
+    std::printf("  %-10s %d\n", m.c_str(), first_counts[m]);
+  }
+  std::printf(
+      "\nPaper shape check (Table IX): MSD-Mixer best F1 on 4/5 datasets and\n"
+      "the best average F1 (93.0 vs 86.3 for TimesNet). On this synthetic\n"
+      "substrate the three reconstructors land within a few F1 points of\n"
+      "each other (see EXPERIMENTS.md): point-adjusted scoring with\n"
+      "threshold-at-ratio makes simple reconstructors strong, and the\n"
+      "mixer needs the bottlenecked configuration to avoid reconstructing\n"
+      "anomalies (DESIGN.md). The paper's margin does not reproduce here.\n");
+  return 0;
+}

@@ -1,0 +1,253 @@
+// Reproduces paper Table XII (ablation study): MSD-Mixer vs its variants on
+// one representative benchmark per task.
+//
+//   MSD-Mixer    full model
+//   MSD-Mixer-I  inverted (ascending) patch-size order
+//   MSD-Mixer-N  pooling + interpolation instead of patching
+//   MSD-Mixer-U  uniform sqrt(L) patch sizes in every layer
+//   MSD-Mixer-L  trained without the Residual Loss (lambda = 0)
+//
+// Representative benchmarks: ETTh1/H96 (long-term), M4 Quarterly
+// (short-term), ETTm1 @ 25% (imputation), SMD (anomaly), CT (classification).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/anomaly_gen.h"
+#include "datagen/classification_gen.h"
+#include "datagen/long_term.h"
+#include "datagen/m4like.h"
+#include "datagen/series_builder.h"
+
+namespace msd {
+namespace {
+
+using bench::BenchTrainer;
+using bench::MixerConfig;
+
+enum class Variant { kFull, kInverted, kNoPatch, kUniform, kNoResidualLoss };
+
+const std::vector<std::pair<Variant, std::string>> kVariants = {
+    {Variant::kFull, "MSD-Mixer"},    {Variant::kInverted, "-I"},
+    {Variant::kNoPatch, "-N"},        {Variant::kUniform, "-U"},
+    {Variant::kNoResidualLoss, "-L"},
+};
+
+// Applies a variant to a base config; returns the residual-loss weight.
+float ApplyVariant(Variant variant, MsdMixerConfig* config) {
+  switch (variant) {
+    case Variant::kFull:
+      return 0.5f;
+    case Variant::kInverted:
+      std::sort(config->patch_sizes.begin(), config->patch_sizes.end());
+      return 0.5f;
+    case Variant::kNoPatch:
+      config->patching_mode = PatchingMode::kPoolingInterpolation;
+      return 0.5f;
+    case Variant::kUniform:
+      config->patch_sizes = MsdMixerConfig::UniformPatchSizes(
+          config->input_length,
+          static_cast<int64_t>(config->patch_sizes.size()));
+      return 0.5f;
+    case Variant::kNoResidualLoss:
+      return 0.0f;
+  }
+  MSD_FATAL("unknown variant");
+}
+
+}  // namespace
+}  // namespace msd
+
+int main() {
+  using namespace msd;
+  std::printf(
+      "== Table XII analogue: MSD-Mixer ablations "
+      "(one representative benchmark per task) ==\n\n");
+
+  bench::TablePrinter table({"Task", "Metric", "MSD-Mixer", "-I", "-N", "-U",
+                             "-L"},
+                            {22, 7, 9, 9, 9, 9, 9});
+  table.PrintHeader();
+
+  // ---- Long-term forecasting: ETTh1, horizon 96 -----------------------------
+  {
+    Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 1));
+    ForecastExperimentConfig config;
+    config.lookback = 96;
+    config.horizon = 96;
+    config.train_stride = 2;
+    config.eval_stride = 8;
+    config.trainer = BenchTrainer(4, 35, 4e-3f);
+    std::vector<double> mses;
+    std::vector<double> maes;
+    for (const auto& [variant, name] : kVariants) {
+      Rng rng(11);
+      MsdMixerConfig mc = MixerConfig(TaskType::kForecast, series.dim(0), 96,
+                                      96, /*period=*/24);
+      mc.use_instance_norm = true;
+      const float lambda = ApplyVariant(variant, &mc);
+      MsdMixer mixer(mc, rng);
+      ResidualLossOptions ro;
+      ro.max_lag = 24;
+      MsdMixerTaskModel model(&mixer, lambda, ro);
+      RegressionScores s = RunForecastExperiment(model, series, config);
+      mses.push_back(s.mse);
+      maes.push_back(s.mae);
+      std::fflush(stdout);
+    }
+    auto mse_row = bench::MarkBest(mses);
+    auto mae_row = bench::MarkBest(maes);
+    std::vector<std::string> row = {"Long-term (ETTh1/96)", "MSE"};
+    row.insert(row.end(), mse_row.begin(), mse_row.end());
+    table.PrintRow(row);
+    row = {"", "MAE"};
+    row.insert(row.end(), mae_row.begin(), mae_row.end());
+    table.PrintRow(row);
+    table.PrintRule();
+    std::fflush(stdout);
+  }
+
+  // ---- Short-term forecasting: Quarterly ------------------------------------
+  {
+    M4SubsetSpec spec{"Quarterly", 8, 4, 48, 48};
+    auto data = GenerateM4Like(spec, 5);
+    ShortTermExperimentConfig config;
+    config.lookback_multiple = 3;
+    config.trainer = BenchTrainer(30, 0, 5e-3f);
+    const int64_t lookback = ShortTermLookback(spec, config);
+    std::vector<double> smapes;
+    std::vector<double> owas;
+    for (const auto& [variant, name] : kVariants) {
+      Rng rng(12);
+      MsdMixerConfig mc =
+          MixerConfig(TaskType::kForecast, 1, lookback, spec.horizon, 4);
+      const float lambda = ApplyVariant(variant, &mc);
+      MsdMixer mixer(mc, rng);
+      ResidualLossOptions ro;
+      ro.max_lag = 8;
+      MsdMixerTaskModel model(&mixer, lambda, ro);
+      M4Scores s = RunShortTermExperiment(model, data, spec, config);
+      smapes.push_back(s.smape);
+      owas.push_back(s.owa);
+    }
+    auto smape_row = bench::MarkBest(smapes);
+    auto owa_row = bench::MarkBest(owas);
+    std::vector<std::string> row = {"Short-term (Quarterly)", "SMAPE"};
+    row.insert(row.end(), smape_row.begin(), smape_row.end());
+    table.PrintRow(row);
+    row = {"", "OWA"};
+    row.insert(row.end(), owa_row.begin(), owa_row.end());
+    table.PrintRow(row);
+    table.PrintRule();
+    std::fflush(stdout);
+  }
+
+  // ---- Imputation: ETTm1 @ 25% ------------------------------------------------
+  {
+    Tensor series = GenerateSeries(LongTermConfig(LongTermDataset::kEttM1, 2));
+    ImputationExperimentConfig config;
+    config.window = 96;
+    config.missing_ratio = 0.25;
+    config.train_stride = 4;
+    config.eval_stride = 8;
+    config.trainer = BenchTrainer(5, 30);
+    std::vector<double> mses;
+    std::vector<double> maes;
+    for (const auto& [variant, name] : kVariants) {
+      Rng rng(13);
+      MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction,
+                                      series.dim(0), 96, 1, 24);
+      const float lambda = ApplyVariant(variant, &mc);
+      MsdMixer mixer(mc, rng);
+      ResidualLossOptions ro;
+      ro.include_autocorrelation = false;
+      MsdMixerTaskModel model(&mixer, lambda, ro);
+      RegressionScores s = RunImputationExperiment(model, series, config);
+      mses.push_back(s.mse);
+      maes.push_back(s.mae);
+    }
+    auto mse_row = bench::MarkBest(mses);
+    auto mae_row = bench::MarkBest(maes);
+    std::vector<std::string> row = {"Imputation (ETTm1/25%)", "MSE"};
+    row.insert(row.end(), mse_row.begin(), mse_row.end());
+    table.PrintRow(row);
+    row = {"", "MAE"};
+    row.insert(row.end(), mae_row.begin(), mae_row.end());
+    table.PrintRow(row);
+    table.PrintRule();
+    std::fflush(stdout);
+  }
+
+  // ---- Anomaly detection: SMD ---------------------------------------------------
+  {
+    AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kSmd, 3);
+    AnomalyExperimentConfig config;
+    config.window = kAnomalyWindow;
+    config.trainer = BenchTrainer(6, 20);
+    std::vector<double> f1s;
+    for (const auto& [variant, name] : kVariants) {
+      Rng rng(14);
+      MsdMixerConfig mc = MixerConfig(TaskType::kReconstruction,
+                                      data.train.dim(0), kAnomalyWindow, 1,
+                                      25);
+      mc.patch_sizes = {50, 25, 10};
+      mc.model_dim = 4;
+      const float lambda = ApplyVariant(variant, &mc) > 0.0f ? 0.1f : 0.0f;
+      MsdMixer mixer(mc, rng);
+      ResidualLossOptions ro;
+      ro.max_lag = 24;
+      MsdMixerTaskModel model(&mixer, lambda, ro);
+      AnomalyEvalResult r = RunAnomalyExperiment(model, data.train, data.test,
+                                                 data.labels, config);
+      f1s.push_back(r.scores.f1);
+    }
+    auto f1_row = bench::MarkBest(f1s, 3, /*lower_is_better=*/false);
+    std::vector<std::string> row = {"Anomaly (SMD)", "F1"};
+    row.insert(row.end(), f1_row.begin(), f1_row.end());
+    table.PrintRow(row);
+    table.PrintRule();
+    std::fflush(stdout);
+  }
+
+  // ---- Classification: CT ----------------------------------------------------------
+  {
+    ClassificationSubset subset{"CT", 3, 182, 10, 300, 300, 1.8};
+    ClassificationData data = GenerateClassificationData(subset, 9);
+    ClassificationExperimentConfig config;
+    config.trainer = BenchTrainer(25, 0, 2e-3f);
+    config.trainer.batch_size = 16;
+    config.trainer.weight_decay = 1e-3f;
+    std::vector<double> accs;
+    for (const auto& [variant, name] : kVariants) {
+      Rng rng(15);
+      MsdMixerConfig mc = MixerConfig(TaskType::kClassification,
+                                      subset.channels, subset.length, 1,
+                                      subset.length / 4, subset.classes);
+      mc.model_dim = 8;
+      mc.head_dropout = 0.7f;
+      const float lambda_base = ApplyVariant(variant, &mc);
+      const float lambda = lambda_base > 0.0f ? 0.05f : 0.0f;
+      MsdMixer mixer(mc, rng);
+      ResidualLossOptions ro;
+      ro.max_lag = 16;
+      MsdMixerTaskModel model(&mixer, lambda, ro);
+      accs.push_back(RunClassificationExperiment(model, data, config));
+    }
+    auto acc_row = bench::MarkBest(accs, 3, /*lower_is_better=*/false);
+    std::vector<std::string> row = {"Classification (CT)", "ACC"};
+    row.insert(row.end(), acc_row.begin(), acc_row.end());
+    table.PrintRow(row);
+    table.PrintRule();
+  }
+
+  std::printf(
+      "\nPaper shape check (Table XII): -I is nearly identical to the full\n"
+      "model (layer order does not matter); -N and -U degrade every task\n"
+      "(-N most on classification, -U most on long-term MSE 0.345 -> 0.422);\n"
+      "-L consistently hurts, most visibly anomaly F1 (0.930 -> 0.897) and\n"
+      "classification accuracy (0.807 -> 0.768).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Scenario: unsupervised anomaly detection on server-machine telemetry (the
+// SMD-like workload of the paper's anomaly experiments). Trains MSD-Mixer as
+// a reconstruction model on normal-only data, scores the monitored stream,
+// and prints the detected incident windows against ground truth.
+#include <cstdio>
+#include <vector>
+
+#include "core/msd_mixer.h"
+#include "datagen/anomaly_gen.h"
+#include "tasks/experiments.h"
+
+int main() {
+  using namespace msd;
+  std::printf("Server-metric anomaly monitoring demo (SMD-like workload)\n");
+  AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kSmd, 21);
+  std::printf("Metrics: %lld channels; %lld normal steps for training, "
+              "%lld monitored steps\n\n",
+              (long long)data.train.dim(0), (long long)data.train.dim(1),
+              (long long)data.test.dim(1));
+
+  Rng rng(5);
+  MsdMixerConfig mc;
+  mc.input_length = kAnomalyWindow;
+  mc.channels = data.train.dim(0);
+  // Bottlenecked decomposition (p=50 -> d=4): the model can only
+  // reconstruct patterns it has learned, so anomalies stand out.
+  mc.patch_sizes = {50, 25, 10};
+  mc.model_dim = 4;
+  mc.hidden_dim = 32;
+  mc.task = TaskType::kReconstruction;
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.max_lag = 24;
+  MsdMixerTaskModel model(&mixer, 0.1f, ro);
+
+  AnomalyExperimentConfig config;
+  config.window = kAnomalyWindow;
+  config.trainer.epochs = 4;
+  config.trainer.batch_size = 16;
+  config.trainer.lr = 3e-3f;
+  config.trainer.max_batches_per_epoch = 25;
+  std::printf("Training reconstruction model on normal data...\n");
+  AnomalyEvalResult result = RunAnomalyExperiment(model, data.train, data.test,
+                                                  data.labels, config);
+
+  std::printf("Detection threshold: %.4f\n", result.threshold);
+  std::printf("Point-adjusted precision %.3f  recall %.3f  F1 %.3f\n\n",
+              result.scores.precision, result.scores.recall,
+              result.scores.f1);
+
+  // Re-score to list incidents: contiguous runs of above-threshold steps.
+  StandardScaler scaler;
+  scaler.Fit(data.train);
+  std::vector<float> scores = ReconstructionScores(
+      model, scaler.Transform(data.test), kAnomalyWindow);
+  // Report sustained incidents (>= 5 consecutive above-threshold steps);
+  // isolated single-step exceedances are left to the point-adjusted metric.
+  constexpr size_t kMinIncident = 5;
+  std::printf("Detected incidents (>=%zu steps, vs ground truth overlap):\n",
+              kMinIncident);
+  size_t i = 0;
+  int shown = 0;
+  while (i < scores.size() && shown < 12) {
+    if (scores[i] > result.threshold) {
+      size_t j = i;
+      while (j < scores.size() && scores[j] > result.threshold) ++j;
+      if (j - i >= kMinIncident) {
+        int64_t truth = 0;
+        for (size_t k = i; k < j; ++k) truth += data.labels[k];
+        std::printf("  [%5zu, %5zu)  %4zu steps  %s\n", i, j, j - i,
+                    truth > 0 ? "matches labeled anomaly" : "false alarm");
+        ++shown;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (shown == 0) std::printf("  (none)\n");
+  return 0;
+}

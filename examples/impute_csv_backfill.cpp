@@ -1,0 +1,142 @@
+// Scenario: backfilling gaps in a sensor log stored as CSV. Demonstrates the
+// full I/O path a downstream user would take: read a CSV with missing cells,
+// train an MSD-Mixer imputer on the observed data, fill the gaps, and write
+// the completed log back out. Also shows checkpoint save/load.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/msd_mixer.h"
+#include "data/csv.h"
+#include "data/scaler.h"
+#include "datagen/series_builder.h"
+#include "nn/serialize.h"
+#include "tasks/experiments.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+constexpr int64_t kWindow = 96;
+}
+
+int main() {
+  using namespace msd;
+  std::printf("CSV sensor backfill demo\n");
+
+  // --- 1. Fabricate a sensor log with gaps and write it as CSV (stands in
+  //        for the user's real file).
+  SeriesConfig gen;
+  gen.length = 1500;
+  gen.seed = 17;
+  gen.channel_mix = 0.3;
+  for (int c = 0; c < 4; ++c) {
+    ChannelSpec spec;
+    spec.seasonals = {{24.0, 1.0, 0.4 * c, 2}};
+    spec.ar_coeff = 0.6;
+    spec.noise_sigma = 0.2;
+    gen.channels.push_back(spec);
+  }
+  Tensor truth = GenerateSeries(gen);
+  Tensor logged = truth.Clone();
+  Rng gap_rng(3);
+  int64_t missing = 0;
+  for (int64_t i = 0; i < logged.numel(); ++i) {
+    if (gap_rng.Bernoulli(0.15)) {
+      logged.data()[i] = std::numeric_limits<float>::quiet_NaN();
+      ++missing;
+    }
+  }
+  const std::string in_path = "/tmp/sensor_log.csv";
+  const std::string out_path = "/tmp/sensor_log_filled.csv";
+  Status wrote =
+      WriteCsvSeries(logged, {"temp", "pressure", "flow", "vibration"}, in_path);
+  MSD_CHECK(wrote.ok()) << wrote.ToString();
+  std::printf("Wrote %s: 4 channels x 1500 steps, %lld missing cells\n",
+              in_path.c_str(), (long long)missing);
+
+  // --- 2. Read it back; missing cells arrive as NaN.
+  auto loaded = ReadCsvSeries(in_path);
+  MSD_CHECK(loaded.ok()) << loaded.status().ToString();
+  Tensor series = loaded.value().values;
+
+  // Replace NaNs with zeros (the imputation convention) and remember where
+  // they were.
+  Tensor observed = Tensor::Ones(series.shape());
+  for (int64_t i = 0; i < series.numel(); ++i) {
+    if (std::isnan(series.data()[i])) {
+      series.data()[i] = 0.0f;
+      observed.data()[i] = 0.0f;
+    }
+  }
+
+  // --- 3. Train an imputer on randomly re-masked windows of the log.
+  StandardScaler scaler;
+  scaler.Fit(series);  // NaNs already zeroed; adequate for a demo
+  Tensor scaled = scaler.Transform(series);
+
+  Rng rng(5);
+  MsdMixerConfig mc;
+  mc.input_length = kWindow;
+  mc.channels = 4;
+  mc.patch_sizes = {24, 12, 6, 2, 1};
+  mc.model_dim = 16;
+  mc.hidden_dim = 32;
+  mc.task = TaskType::kReconstruction;
+  MsdMixer mixer(mc, rng);
+  ResidualLossOptions ro;
+  ro.include_autocorrelation = false;
+  MsdMixerTaskModel model(&mixer, 0.5f, ro);
+
+  ImputationWindowDataset train(scaled, kWindow, /*missing_ratio=*/0.15,
+                                /*seed=*/21, /*stride=*/4);
+  TrainerConfig trainer;
+  trainer.epochs = 4;
+  trainer.batch_size = 32;
+  trainer.lr = 3e-3f;
+  trainer.max_batches_per_epoch = 25;
+  std::printf("Training imputer...\n");
+  Train(model, train, trainer, ImputationTaskLoss);
+
+  // --- 4. Checkpoint round trip (what a production pipeline would persist).
+  const std::string ckpt = "/tmp/imputer.ckpt";
+  MSD_CHECK(SaveCheckpoint(mixer, ckpt).ok());
+  Rng rng2(999);
+  MsdMixer restored(mc, rng2);
+  MSD_CHECK(LoadCheckpoint(restored, ckpt).ok());
+  std::printf("Checkpoint saved and restored (%s)\n", ckpt.c_str());
+
+  // --- 5. Fill the gaps window by window with the restored model.
+  NoGradGuard guard;
+  restored.SetTraining(false);
+  Tensor filled = series.Clone();
+  const int64_t total = series.dim(1);
+  double sse = 0.0;
+  int64_t filled_count = 0;
+  for (int64_t start = 0; start + kWindow <= total; start += kWindow) {
+    Tensor window = Slice(scaled, 1, start, kWindow);
+    Tensor recon = restored.Run(Variable(window.Reshape({1, 4, kWindow})))
+                       .prediction.value()
+                       .Reshape({4, kWindow});
+    Tensor recon_raw = scaler.InverseTransform(recon);
+    for (int64_t c = 0; c < 4; ++c) {
+      for (int64_t t = 0; t < kWindow; ++t) {
+        if (observed.at({c, start + t}) == 0.0f) {
+          const float value = recon_raw.at({c, t});
+          filled.set({c, start + t}, value);
+          const double err = value - truth.at({c, start + t});
+          sse += err * err;
+          ++filled_count;
+        }
+      }
+    }
+  }
+  std::printf("Backfilled %lld cells; RMSE vs ground truth: %.3f "
+              "(series std: %.3f)\n",
+              (long long)filled_count,
+              std::sqrt(sse / std::max<int64_t>(1, filled_count)),
+              std::sqrt(MeanAll(Square(Sub(truth, MeanAll(truth)))).item()));
+
+  Status out = WriteCsvSeries(filled, loaded.value().channel_names, out_path);
+  MSD_CHECK(out.ok()) << out.ToString();
+  std::printf("Wrote completed log to %s\n", out_path.c_str());
+  return 0;
+}

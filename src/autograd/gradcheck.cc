@@ -1,0 +1,55 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+std::string GradCheckResult::ToString() const {
+  if (ok) return "gradcheck OK";
+  std::ostringstream out;
+  out << "gradcheck FAILED at element " << worst_index << ": analytic "
+      << analytic << " vs numeric " << numeric;
+  return out.str();
+}
+
+GradCheckResult CheckGradient(
+    const std::function<Variable(const Variable&)>& f, const Tensor& x0,
+    const GradCheckOptions& options) {
+  Variable x(x0.Clone(), /*requires_grad=*/true);
+  Variable y = f(x);
+  MSD_CHECK_EQ(y.numel(), 1) << "gradcheck requires a scalar-valued function";
+  y.Backward();
+  MSD_CHECK(x.has_grad()) << "function does not depend on its input";
+  const Tensor analytic = x.grad().Clone();
+
+  GradCheckResult result;
+  Tensor probe = x0.Clone();
+  Variable xp(probe, /*requires_grad=*/false);
+  float worst_error = -1.0f;
+  for (int64_t i = 0; i < probe.numel(); ++i) {
+    const float saved = probe.data()[i];
+    probe.data()[i] = saved + options.epsilon;
+    const float up = f(xp).item();
+    probe.data()[i] = saved - options.epsilon;
+    const float down = f(xp).item();
+    probe.data()[i] = saved;
+    const float numeric = (up - down) / (2.0f * options.epsilon);
+    const float a = analytic.data()[i];
+    const float error = std::fabs(a - numeric);
+    const float bound = options.absolute_tolerance +
+                        options.relative_tolerance * std::fabs(numeric);
+    if (error > bound && error > worst_error) {
+      worst_error = error;
+      result.ok = false;
+      result.worst_index = i;
+      result.analytic = a;
+      result.numeric = numeric;
+    }
+  }
+  return result;
+}
+
+}  // namespace msd

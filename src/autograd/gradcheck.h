@@ -1,0 +1,38 @@
+// Numerical gradient verification, exposed as a library so downstream users
+// can validate custom ops and composite models the same way the test suite
+// validates the built-in ones.
+#ifndef MSDMIXER_AUTOGRAD_GRADCHECK_H_
+#define MSDMIXER_AUTOGRAD_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "autograd/variable.h"
+
+namespace msd {
+
+struct GradCheckOptions {
+  float epsilon = 1e-2f;  // central-difference step
+  float absolute_tolerance = 2e-3f;
+  float relative_tolerance = 3e-2f;
+};
+
+struct GradCheckResult {
+  bool ok = true;
+  // Worst offending element, for diagnostics.
+  int64_t worst_index = -1;
+  float analytic = 0.0f;
+  float numeric = 0.0f;
+  std::string ToString() const;
+};
+
+// Compares the analytic gradient of scalar-valued `f` at `x0` against
+// central finite differences, elementwise. `f` must be a pure function of
+// its input (same value for the same input).
+GradCheckResult CheckGradient(
+    const std::function<Variable(const Variable&)>& f, const Tensor& x0,
+    const GradCheckOptions& options = {});
+
+}  // namespace msd
+
+#endif  // MSDMIXER_AUTOGRAD_GRADCHECK_H_

@@ -1,0 +1,330 @@
+#include "autograd/ops.h"
+
+#include <utility>
+
+#include "tensor/conv.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+namespace {
+
+using NodePtr = std::shared_ptr<AutogradNode>;
+
+// Creates the result node; records parents + backward closure only when
+// recording is enabled and some parent participates in gradients.
+Variable MakeOp(Tensor value, std::vector<NodePtr> parents,
+                std::function<void(AutogradNode&)> backward) {
+  auto node = std::make_shared<AutogradNode>();
+  node->value = std::move(value);
+  bool any_requires = false;
+  for (const NodePtr& p : parents) any_requires |= p->requires_grad;
+  if (NoGradGuard::GradEnabled() && any_requires) {
+    node->requires_grad = true;
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward);
+  }
+  return Variable(std::move(node));
+}
+
+template <typename F>
+Variable UnaryFromGrad(const Variable& a, Tensor value, F local_grad) {
+  // local_grad: () -> Tensor, the elementwise dvalue/da (computed lazily so
+  // inference pays nothing).
+  NodePtr na = a.node();
+  return MakeOp(std::move(value), {na},
+                [na, local_grad](AutogradNode& self) {
+                  AccumulateGrad(*na, Mul(self.grad, local_grad()));
+                });
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  return MakeOp(Add(a.value(), b.value()), {na, nb},
+                [na, nb](AutogradNode& self) {
+                  AccumulateGrad(*na, self.grad);
+                  AccumulateGrad(*nb, self.grad);
+                });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  return MakeOp(Sub(a.value(), b.value()), {na, nb},
+                [na, nb](AutogradNode& self) {
+                  AccumulateGrad(*na, self.grad);
+                  AccumulateGrad(*nb, Neg(self.grad));
+                });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  return MakeOp(Mul(a.value(), b.value()), {na, nb},
+                [na, nb](AutogradNode& self) {
+                  AccumulateGrad(*na, Mul(self.grad, nb->value));
+                  AccumulateGrad(*nb, Mul(self.grad, na->value));
+                });
+}
+
+Variable Div(const Variable& a, const Variable& b) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  return MakeOp(Div(a.value(), b.value()), {na, nb},
+                [na, nb](AutogradNode& self) {
+                  AccumulateGrad(*na, Div(self.grad, nb->value));
+                  // d/db (a/b) = -a / b^2
+                  AccumulateGrad(
+                      *nb, Neg(Div(Mul(self.grad, na->value),
+                                   Square(nb->value))));
+                });
+}
+
+Variable AddScalar(const Variable& a, float s) {
+  NodePtr na = a.node();
+  return MakeOp(AddScalar(a.value(), s), {na}, [na](AutogradNode& self) {
+    AccumulateGrad(*na, self.grad);
+  });
+}
+
+Variable MulScalar(const Variable& a, float s) {
+  NodePtr na = a.node();
+  return MakeOp(MulScalar(a.value(), s), {na}, [na, s](AutogradNode& self) {
+    AccumulateGrad(*na, MulScalar(self.grad, s));
+  });
+}
+
+Variable Neg(const Variable& a) { return MulScalar(a, -1.0f); }
+
+Variable Exp(const Variable& a) {
+  Tensor y = Exp(a.value());
+  return UnaryFromGrad(a, y, [y]() { return y; });
+}
+
+Variable Log(const Variable& a) {
+  Tensor x = a.value();
+  return UnaryFromGrad(a, Log(x), [x]() {
+    return Div(Tensor::Ones(x.shape()), x);
+  });
+}
+
+Variable Sqrt(const Variable& a) {
+  Tensor y = Sqrt(a.value());
+  return UnaryFromGrad(a, y, [y]() {
+    return Div(Tensor::Full(y.shape(), 0.5f), y);
+  });
+}
+
+Variable Square(const Variable& a) {
+  Tensor x = a.value();
+  return UnaryFromGrad(a, Square(x), [x]() { return MulScalar(x, 2.0f); });
+}
+
+Variable Abs(const Variable& a) {
+  Tensor x = a.value();
+  return UnaryFromGrad(a, Abs(x), [x]() { return Sign(x); });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor x = a.value();
+  return UnaryFromGrad(a, Relu(x), [x]() {
+    return Greater(x, Tensor::Zeros({}));
+  });
+}
+
+Variable Gelu(const Variable& a) {
+  Tensor x = a.value();
+  return UnaryFromGrad(a, Gelu(x), [x]() { return GeluGrad(x); });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor y = Sigmoid(a.value());
+  return UnaryFromGrad(a, y, [y]() {
+    return Mul(y, Sub(Tensor::Ones(y.shape()), y));
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor y = Tanh(a.value());
+  return UnaryFromGrad(a, y, [y]() {
+    return Sub(Tensor::Ones(y.shape()), Square(y));
+  });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  return MakeOp(
+      MatMul(a.value(), b.value()), {na, nb}, [na, nb](AutogradNode& self) {
+        // dA = G B^T ; dB = A^T G (AccumulateGrad reduces broadcast batches).
+        AccumulateGrad(*na, MatMul(self.grad, Transpose(nb->value, -1, -2)));
+        AccumulateGrad(*nb, MatMul(Transpose(na->value, -1, -2), self.grad));
+      });
+}
+
+Variable Conv2d(const Variable& input, const Variable& kernel, int64_t stride,
+                int64_t padding) {
+  NodePtr ni = input.node();
+  NodePtr nk = kernel.node();
+  const Conv2dSpec spec{stride, padding};
+  const int64_t height = input.dim(2);
+  const int64_t width = input.dim(3);
+  const int64_t kh = kernel.dim(2);
+  const int64_t kw = kernel.dim(3);
+  return MakeOp(Conv2d(input.value(), kernel.value(), spec), {ni, nk},
+                [ni, nk, spec, height, width, kh, kw](AutogradNode& self) {
+                  AccumulateGrad(*ni, Conv2dInputGrad(self.grad, nk->value,
+                                                      height, width, spec));
+                  AccumulateGrad(*nk, Conv2dKernelGrad(ni->value, self.grad,
+                                                       kh, kw, spec));
+                });
+}
+
+Variable Sum(const Variable& a, std::vector<int64_t> dims, bool keepdim) {
+  NodePtr na = a.node();
+  const Shape in_shape = a.shape();
+  Shape keep_shape = in_shape;
+  for (int64_t d : dims) {
+    keep_shape[static_cast<size_t>(NormalizeDim(d, a.rank()))] = 1;
+  }
+  return MakeOp(Sum(a.value(), dims, keepdim), {na},
+                [na, in_shape, keep_shape](AutogradNode& self) {
+                  Tensor g = self.grad.Reshape(keep_shape);
+                  AccumulateGrad(*na, ExpandTo(g, in_shape));
+                });
+}
+
+Variable Mean(const Variable& a, std::vector<int64_t> dims, bool keepdim) {
+  int64_t count = 1;
+  for (int64_t d : dims) count *= a.dim(NormalizeDim(d, a.rank()));
+  MSD_CHECK_GT(count, 0);
+  return MulScalar(Sum(a, std::move(dims), keepdim),
+                   1.0f / static_cast<float>(count));
+}
+
+Variable SumAll(const Variable& a) {
+  NodePtr na = a.node();
+  const Shape in_shape = a.shape();
+  return MakeOp(SumAll(a.value()), {na},
+                [na, in_shape](AutogradNode& self) {
+                  AccumulateGrad(*na,
+                                 Tensor::Full(in_shape, self.grad.item()));
+                });
+}
+
+Variable MeanAll(const Variable& a) {
+  MSD_CHECK_GT(a.numel(), 0);
+  return MulScalar(SumAll(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Variable Reshape(const Variable& a, Shape new_shape) {
+  NodePtr na = a.node();
+  const Shape in_shape = a.shape();
+  return MakeOp(a.value().Reshape(std::move(new_shape)), {na},
+                [na, in_shape](AutogradNode& self) {
+                  AccumulateGrad(*na, self.grad.Reshape(in_shape));
+                });
+}
+
+Variable Permute(const Variable& a, std::vector<int64_t> perm) {
+  NodePtr na = a.node();
+  const int64_t rank = a.rank();
+  std::vector<int64_t> inverse(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) {
+    inverse[static_cast<size_t>(NormalizeDim(perm[static_cast<size_t>(i)], rank))] = i;
+  }
+  return MakeOp(Permute(a.value(), perm), {na},
+                [na, inverse](AutogradNode& self) {
+                  AccumulateGrad(*na, Permute(self.grad, inverse));
+                });
+}
+
+Variable Transpose(const Variable& a, int64_t dim0, int64_t dim1) {
+  const int64_t rank = a.rank();
+  std::vector<int64_t> perm(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) perm[static_cast<size_t>(i)] = i;
+  std::swap(perm[static_cast<size_t>(NormalizeDim(dim0, rank))],
+            perm[static_cast<size_t>(NormalizeDim(dim1, rank))]);
+  return Permute(a, perm);
+}
+
+Variable Slice(const Variable& a, int64_t dim, int64_t start, int64_t length) {
+  NodePtr na = a.node();
+  const int64_t norm_dim = NormalizeDim(dim, a.rank());
+  const int64_t in_dim = a.dim(norm_dim);
+  return MakeOp(Slice(a.value(), dim, start, length), {na},
+                [na, norm_dim, start, length, in_dim](AutogradNode& self) {
+                  AccumulateGrad(*na, Pad(self.grad, norm_dim, start,
+                                          in_dim - start - length, 0.0f));
+                });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t dim) {
+  MSD_CHECK(!parts.empty());
+  std::vector<NodePtr> nodes;
+  std::vector<Tensor> tensors;
+  nodes.reserve(parts.size());
+  tensors.reserve(parts.size());
+  for (const Variable& p : parts) {
+    nodes.push_back(p.node());
+    tensors.push_back(p.value());
+  }
+  const int64_t norm_dim = NormalizeDim(dim, parts[0].rank());
+  std::vector<int64_t> sizes;
+  sizes.reserve(parts.size());
+  for (const Variable& p : parts) sizes.push_back(p.dim(norm_dim));
+  return MakeOp(Concat(tensors, dim), nodes,
+                [nodes, sizes, norm_dim](AutogradNode& self) {
+                  int64_t offset = 0;
+                  for (size_t i = 0; i < nodes.size(); ++i) {
+                    AccumulateGrad(*nodes[i], Slice(self.grad, norm_dim,
+                                                    offset, sizes[i]));
+                    offset += sizes[i];
+                  }
+                });
+}
+
+Variable Pad(const Variable& a, int64_t dim, int64_t before, int64_t after,
+             float value) {
+  NodePtr na = a.node();
+  const int64_t norm_dim = NormalizeDim(dim, a.rank());
+  const int64_t in_dim = a.dim(norm_dim);
+  return MakeOp(Pad(a.value(), dim, before, after, value), {na},
+                [na, norm_dim, before, in_dim](AutogradNode& self) {
+                  AccumulateGrad(*na,
+                                 Slice(self.grad, norm_dim, before, in_dim));
+                });
+}
+
+Variable Softmax(const Variable& a, int64_t dim) {
+  NodePtr na = a.node();
+  const int64_t norm_dim = NormalizeDim(dim, a.rank());
+  Tensor y = Softmax(a.value(), norm_dim);
+  return MakeOp(y, {na}, [na, y, norm_dim](AutogradNode& self) {
+    // dx = y * (g - sum(g * y, dim))
+    Tensor gy = Mul(self.grad, y);
+    Tensor s = Sum(gy, {norm_dim}, /*keepdim=*/true);
+    AccumulateGrad(*na, Mul(y, Sub(self.grad, s)));
+  });
+}
+
+Variable LogSoftmax(const Variable& a, int64_t dim) {
+  NodePtr na = a.node();
+  const int64_t norm_dim = NormalizeDim(dim, a.rank());
+  // Stable forward: x - max - log(sum(exp(x - max))).
+  Tensor x = a.value();
+  Tensor mx = MaxReduce(x, norm_dim, /*keepdim=*/true);
+  Tensor shifted = Sub(x, mx);
+  Tensor logz = Log(Sum(Exp(shifted), {norm_dim}, /*keepdim=*/true));
+  Tensor y = Sub(shifted, logz);
+  return MakeOp(y, {na}, [na, y, norm_dim](AutogradNode& self) {
+    // dx = g - softmax(x) * sum(g, dim)
+    Tensor s = Sum(self.grad, {norm_dim}, /*keepdim=*/true);
+    AccumulateGrad(*na, Sub(self.grad, Mul(Exp(y), s)));
+  });
+}
+
+}  // namespace msd

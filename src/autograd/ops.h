@@ -1,0 +1,69 @@
+// Differentiable operations on Variables. Each op computes its value with the
+// tensor kernels and, when gradients are enabled and some input requires
+// them, records a backward closure on the tape.
+//
+// These overload the tensor-level functions of the same names; overload
+// resolution picks the Variable versions for Variable arguments.
+#ifndef MSDMIXER_AUTOGRAD_OPS_H_
+#define MSDMIXER_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace msd {
+
+// ---- Elementwise binary (broadcasting) -----------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+Variable Div(const Variable& a, const Variable& b);
+
+// ---- Scalar ----------------------------------------------------------------
+Variable AddScalar(const Variable& a, float s);
+Variable MulScalar(const Variable& a, float s);
+
+// ---- Elementwise unary -------------------------------------------------------
+Variable Neg(const Variable& a);
+Variable Exp(const Variable& a);
+Variable Log(const Variable& a);
+Variable Sqrt(const Variable& a);
+Variable Square(const Variable& a);
+Variable Abs(const Variable& a);
+Variable Relu(const Variable& a);
+Variable Gelu(const Variable& a);
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+
+// ---- Linear algebra ------------------------------------------------------------
+// Batched matrix product with broadcastable batch dims (see tensor MatMul).
+Variable MatMul(const Variable& a, const Variable& b);
+
+// 2D convolution: input [B, C, H, W] (*) kernel [O, C, kh, kw]; stride and
+// symmetric zero padding per tensor/conv.h.
+Variable Conv2d(const Variable& input, const Variable& kernel,
+                int64_t stride = 1, int64_t padding = 0);
+
+// ---- Reductions -------------------------------------------------------------------
+Variable Sum(const Variable& a, std::vector<int64_t> dims, bool keepdim);
+Variable Mean(const Variable& a, std::vector<int64_t> dims, bool keepdim);
+Variable SumAll(const Variable& a);
+Variable MeanAll(const Variable& a);
+
+// ---- Movement ----------------------------------------------------------------------
+Variable Reshape(const Variable& a, Shape new_shape);
+Variable Permute(const Variable& a, std::vector<int64_t> perm);
+Variable Transpose(const Variable& a, int64_t dim0, int64_t dim1);
+Variable Slice(const Variable& a, int64_t dim, int64_t start, int64_t length);
+Variable Concat(const std::vector<Variable>& parts, int64_t dim);
+Variable Pad(const Variable& a, int64_t dim, int64_t before, int64_t after,
+             float value);
+
+// ---- Composite -------------------------------------------------------------------------
+Variable Softmax(const Variable& a, int64_t dim);
+// log(softmax(a)) computed stably; preferred for cross-entropy losses.
+Variable LogSoftmax(const Variable& a, int64_t dim);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_AUTOGRAD_OPS_H_

@@ -1,0 +1,132 @@
+#include "autograd/variable.h"
+
+#include <unordered_set>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+namespace {
+
+// Graph recording toggle for NoGradGuard. The library is single-threaded by
+// design (one training loop per process); thread_local keeps it safe if that
+// ever changes.
+thread_local bool g_grad_enabled = true;
+
+// In-place dst += src (same shape).
+void AddInto(Tensor& dst, const Tensor& src) {
+  MSD_CHECK(dst.shape() == src.shape());
+  float* d = dst.data();
+  const float* s = src.data();
+  const int64_t n = dst.numel();
+  for (int64_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+}  // namespace
+
+void AccumulateGrad(AutogradNode& node, const Tensor& g) {
+  if (!node.requires_grad) return;
+  Tensor reduced = ReduceTo(g, node.value.shape());
+  if (!node.grad.defined()) {
+    // Clone: `reduced` may alias `g` (ReduceTo is a pass-through when shapes
+    // match) and the caller may reuse that buffer.
+    node.grad = reduced.Clone();
+  } else {
+    AddInto(node.grad, reduced);
+  }
+}
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  MSD_CHECK(value.defined());
+  node_ = std::make_shared<AutogradNode>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  MSD_CHECK(defined());
+  return node_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  MSD_CHECK(defined());
+  return node_->value;
+}
+
+const Tensor& Variable::grad() const {
+  MSD_CHECK(defined());
+  return node_->grad;
+}
+
+Tensor& Variable::mutable_grad() {
+  MSD_CHECK(defined());
+  return node_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && node_->grad.defined(); }
+
+void Variable::ZeroGrad() {
+  MSD_CHECK(defined());
+  node_->grad = Tensor();
+}
+
+bool Variable::requires_grad() const {
+  MSD_CHECK(defined());
+  return node_->requires_grad;
+}
+
+void Variable::Backward() const {
+  MSD_CHECK(defined());
+  MSD_CHECK_EQ(node_->value.numel(), 1)
+      << "Backward() must start from a scalar loss";
+
+  // Iterative post-order DFS to produce a topological order (parents before
+  // children in `topo`), then sweep in reverse.
+  std::vector<AutogradNode*> topo;
+  std::unordered_set<AutogradNode*> visited;
+  struct Frame {
+    AutogradNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(node_.get()).second) {
+    stack.push_back({node_.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      AutogradNode* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  node_->grad = Tensor::Ones(node_->value.shape());
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    AutogradNode* n = *it;
+    if (n->backward_fn && n->grad.defined()) {
+      n->backward_fn(*n);
+    }
+    // Free intermediate gradients (keep leaves', i.e. parameters').
+    if (n->backward_fn) n->grad = Tensor();
+  }
+}
+
+Variable Variable::Detach() const {
+  MSD_CHECK(defined());
+  return Variable(node_->value, /*requires_grad=*/false);
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+}  // namespace msd

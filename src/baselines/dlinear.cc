@@ -1,0 +1,69 @@
+#include "baselines/dlinear.h"
+
+#include <memory>
+
+namespace msd {
+
+Variable MovingAverage(const Variable& x, int64_t kernel_size) {
+  MSD_CHECK_GE(x.rank(), 2);
+  MSD_CHECK_GT(kernel_size, 0);
+  const int64_t length = x.dim(-1);
+  const int64_t last = x.rank() - 1;
+  if (kernel_size == 1) return x;
+  MSD_CHECK_LE(kernel_size, length)
+      << "moving-average kernel larger than series";
+  const int64_t front = (kernel_size - 1) / 2;
+  const int64_t back = kernel_size - 1 - front;
+  // Replicate padding: repeat the first/last element.
+  Variable first = Slice(x, last, 0, 1);
+  Variable final = Slice(x, last, length - 1, 1);
+  std::vector<Variable> parts;
+  if (front > 0) {
+    parts.push_back(Mul(first, Variable(Tensor::Ones({front}))));
+  }
+  parts.push_back(x);
+  if (back > 0) {
+    parts.push_back(Mul(final, Variable(Tensor::Ones({back}))));
+  }
+  Variable padded = parts.size() > 1 ? Concat(parts, last) : x;
+  // Moving sum as the mean of kernel_size shifted slices.
+  Variable acc;
+  for (int64_t k = 0; k < kernel_size; ++k) {
+    Variable shifted = Slice(padded, last, k, length);
+    acc = acc.defined() ? Add(acc, shifted) : shifted;
+  }
+  return MulScalar(acc, 1.0f / static_cast<float>(kernel_size));
+}
+
+DLinear::DLinear(int64_t input_length, int64_t horizon, Rng& rng,
+                 int64_t kernel_size)
+    : input_length_(input_length), kernel_size_(kernel_size) {
+  seasonal_ = RegisterModule("seasonal",
+                             std::make_unique<Linear>(input_length, horizon, rng));
+  trend_ = RegisterModule("trend",
+                          std::make_unique<Linear>(input_length, horizon, rng));
+}
+
+Variable DLinear::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "DLinear expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+  const int64_t kernel = std::min<int64_t>(kernel_size_, input_length_);
+  Variable trend = MovingAverage(input, kernel);
+  Variable seasonal = Sub(input, trend);
+  return Add(seasonal_->Forward(seasonal), trend_->Forward(trend));
+}
+
+LinearForecaster::LinearForecaster(int64_t input_length, int64_t horizon,
+                                   Rng& rng)
+    : input_length_(input_length) {
+  proj_ = RegisterModule("proj",
+                         std::make_unique<Linear>(input_length, horizon, rng));
+}
+
+Variable LinearForecaster::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3);
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+  return proj_->Forward(input);
+}
+
+}  // namespace msd

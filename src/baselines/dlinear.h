@@ -1,0 +1,45 @@
+// DLinear (Zeng et al., 2023), a strong linear baseline used throughout the
+// paper's comparisons: the input is decomposed into trend (moving average
+// with replicate padding) and seasonal (remainder) parts, each forecast by a
+// single channel-shared linear map, and the two are summed.
+#ifndef MSDMIXER_BASELINES_DLINEAR_H_
+#define MSDMIXER_BASELINES_DLINEAR_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+// Centered moving average along the last axis with replicate edge padding;
+// the decomposition used by DLinear/Autoformer/FEDformer.
+Variable MovingAverage(const Variable& x, int64_t kernel_size);
+
+class DLinear : public Module {
+ public:
+  DLinear(int64_t input_length, int64_t horizon, Rng& rng,
+          int64_t kernel_size = 25);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t input_length_;
+  int64_t kernel_size_;
+  Linear* seasonal_;
+  Linear* trend_;
+};
+
+// Single linear map [B, C, L] -> [B, C, H] (channel-shared); the simplest
+// learned forecaster, a useful floor in benchmarks.
+class LinearForecaster : public Module {
+ public:
+  LinearForecaster(int64_t input_length, int64_t horizon, Rng& rng);
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t input_length_;
+  Linear* proj_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_DLINEAR_H_

@@ -1,0 +1,92 @@
+#include "baselines/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace msd {
+
+double DtwDistance(const Tensor& a, const Tensor& b, int64_t band) {
+  MSD_CHECK_EQ(a.rank(), 2);
+  MSD_CHECK_EQ(b.rank(), 2);
+  MSD_CHECK_EQ(a.dim(0), b.dim(0)) << "channel mismatch";
+  const int64_t channels = a.dim(0);
+  const int64_t n = a.dim(1);
+  const int64_t m = b.dim(1);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Per-timestep dependent cost: squared Euclidean across channels.
+  auto cost = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (int64_t c = 0; c < channels; ++c) {
+      const double d = static_cast<double>(a.data()[c * n + i]) -
+                       b.data()[c * m + j];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // Rolling two-row DP.
+  std::vector<double> prev(static_cast<size_t>(m) + 1, inf);
+  std::vector<double> curr(static_cast<size_t>(m) + 1, inf);
+  prev[0] = 0.0;
+  const int64_t effective_band =
+      band > 0 ? std::max(band, std::abs(n - m)) : 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), inf);
+    int64_t j_lo = 1;
+    int64_t j_hi = m;
+    if (effective_band > 0) {
+      j_lo = std::max<int64_t>(1, i - effective_band);
+      j_hi = std::min<int64_t>(m, i + effective_band);
+    }
+    for (int64_t j = j_lo; j <= j_hi; ++j) {
+      const double c = cost(i - 1, j - 1);
+      const double best =
+          std::min({prev[static_cast<size_t>(j)],       // insertion
+                    curr[static_cast<size_t>(j - 1)],   // deletion
+                    prev[static_cast<size_t>(j - 1)]}); // match
+      curr[static_cast<size_t>(j)] = c + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[static_cast<size_t>(m)];
+}
+
+void DtwKnnClassifier::Fit(std::vector<Tensor> train_x,
+                           std::vector<int64_t> train_y) {
+  MSD_CHECK_EQ(train_x.size(), train_y.size());
+  MSD_CHECK(!train_x.empty());
+  train_x_ = std::move(train_x);
+  train_y_ = std::move(train_y);
+}
+
+int64_t DtwKnnClassifier::Predict(const Tensor& x) const {
+  MSD_CHECK(!train_x_.empty()) << "classifier not fitted";
+  const int64_t band = band_fraction_ > 0.0
+                           ? std::max<int64_t>(1, static_cast<int64_t>(
+                                 band_fraction_ * x.dim(1)))
+                           : 0;
+  double best = std::numeric_limits<double>::infinity();
+  int64_t best_label = train_y_[0];
+  for (size_t i = 0; i < train_x_.size(); ++i) {
+    const double d = DtwDistance(x, train_x_[i], band);
+    if (d < best) {
+      best = d;
+      best_label = train_y_[i];
+    }
+  }
+  return best_label;
+}
+
+std::vector<int64_t> DtwKnnClassifier::PredictBatch(
+    const std::vector<Tensor>& xs) const {
+  std::vector<int64_t> out;
+  out.reserve(xs.size());
+  for (const Tensor& x : xs) out.push_back(Predict(x));
+  return out;
+}
+
+}  // namespace msd

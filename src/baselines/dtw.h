@@ -1,0 +1,39 @@
+// Dependent multivariate Dynamic Time Warping (DTW-D, Shokoohi-Yekta et
+// al.) and a 1-nearest-neighbor classifier on top of it — the classical
+// statistical baseline of the paper's Table XI.
+#ifndef MSDMIXER_BASELINES_DTW_H_
+#define MSDMIXER_BASELINES_DTW_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// Squared-Euclidean dependent DTW between two [C, L] series (equal C, any
+// lengths). `band` is the Sakoe-Chiba window half-width; band <= 0 means
+// unconstrained. Returns the accumulated alignment cost.
+double DtwDistance(const Tensor& a, const Tensor& b, int64_t band = 0);
+
+// 1-NN classifier under DtwDistance.
+class DtwKnnClassifier {
+ public:
+  // `band_fraction` scales the Sakoe-Chiba band relative to series length
+  // (0.1 is a common choice and much faster than unconstrained DTW).
+  explicit DtwKnnClassifier(double band_fraction = 0.1)
+      : band_fraction_(band_fraction) {}
+
+  void Fit(std::vector<Tensor> train_x, std::vector<int64_t> train_y);
+
+  int64_t Predict(const Tensor& x) const;
+  std::vector<int64_t> PredictBatch(const std::vector<Tensor>& xs) const;
+
+ private:
+  double band_fraction_;
+  std::vector<Tensor> train_x_;
+  std::vector<int64_t> train_y_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_DTW_H_

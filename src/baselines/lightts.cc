@@ -1,0 +1,54 @@
+#include "baselines/lightts.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/patching.h"
+
+namespace msd {
+
+LightTs::LightTs(int64_t input_length, int64_t horizon, Rng& rng,
+                 int64_t chunk_size, int64_t hidden)
+    : input_length_(input_length) {
+  chunk_size_ = chunk_size > 0
+                    ? chunk_size
+                    : std::max<int64_t>(1, static_cast<int64_t>(std::round(
+                          std::sqrt(static_cast<double>(input_length)))));
+  num_chunks_ = NumPatches(input_length, chunk_size_);
+  // Continuous view: MLP over each chunk's interior (size chunk_size_).
+  continuous_fc1_ = RegisterModule(
+      "continuous_fc1", std::make_unique<Linear>(chunk_size_, hidden, rng));
+  continuous_fc2_ = RegisterModule(
+      "continuous_fc2", std::make_unique<Linear>(hidden, 1, rng));
+  // Interval view: MLP over each stride-phase subsequence (size num_chunks_).
+  interval_fc1_ = RegisterModule(
+      "interval_fc1", std::make_unique<Linear>(num_chunks_, hidden, rng));
+  interval_fc2_ = RegisterModule("interval_fc2",
+                                 std::make_unique<Linear>(hidden, 1, rng));
+  // Fusion head over the concatenated summaries.
+  head_ = RegisterModule(
+      "head",
+      std::make_unique<Linear>(num_chunks_ + chunk_size_, horizon, rng));
+}
+
+Variable LightTs::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "LightTs expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+
+  Variable patched = Patch(input, chunk_size_);  // [B, C, L', s]
+  // Continuous sampling: summarize each chunk -> [B, C, L'].
+  Variable cont = Gelu(continuous_fc1_->Forward(patched));
+  cont = Reshape(continuous_fc2_->Forward(cont),
+                 {batch, channels, num_chunks_});
+  // Interval sampling: summarize each phase across chunks -> [B, C, s].
+  Variable strided = Transpose(patched, 2, 3);  // [B, C, s, L']
+  Variable intv = Gelu(interval_fc1_->Forward(strided));
+  intv = Reshape(interval_fc2_->Forward(intv), {batch, channels, chunk_size_});
+
+  Variable fused = Concat({cont, intv}, 2);  // [B, C, L' + s]
+  return head_->Forward(fused);
+}
+
+}  // namespace msd

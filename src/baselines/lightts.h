@@ -1,0 +1,36 @@
+// LightTS-style sampling MLP (Zhang et al., 2022): forecasts from two
+// complementary downsampled views of the input — continuous chunks (local
+// shape) and interval-strided subsequences (periodic shape) — each processed
+// by an MLP, then fused by a linear head. A representative reimplementation
+// of the paper's LightTS baseline.
+#ifndef MSDMIXER_BASELINES_LIGHTTS_H_
+#define MSDMIXER_BASELINES_LIGHTTS_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class LightTs : public Module {
+ public:
+  // chunk_size must divide input_length (the input is front-padded
+  // internally otherwise).
+  LightTs(int64_t input_length, int64_t horizon, Rng& rng,
+          int64_t chunk_size = 0 /* 0 = sqrt(L) */, int64_t hidden = 64);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t input_length_;
+  int64_t chunk_size_;
+  int64_t num_chunks_;
+  Linear* continuous_fc1_;
+  Linear* continuous_fc2_;
+  Linear* interval_fc1_;
+  Linear* interval_fc2_;
+  Linear* head_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_LIGHTTS_H_

@@ -1,0 +1,32 @@
+#include "baselines/mlp_autoencoder.h"
+
+#include <memory>
+
+namespace msd {
+
+MlpAutoencoder::MlpAutoencoder(int64_t channels, int64_t window, Rng& rng,
+                               int64_t bottleneck)
+    : channels_(channels), window_(window) {
+  encode_time_ = RegisterModule(
+      "encode_time", std::make_unique<Linear>(window, bottleneck, rng));
+  mix_channels_ = RegisterModule(
+      "mix_channels", std::make_unique<Linear>(channels, channels, rng));
+  unmix_channels_ = RegisterModule(
+      "unmix_channels", std::make_unique<Linear>(channels, channels, rng));
+  decode_time_ = RegisterModule(
+      "decode_time", std::make_unique<Linear>(bottleneck, window, rng));
+}
+
+Variable MlpAutoencoder::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, W]";
+  MSD_CHECK_EQ(input.dim(1), channels_);
+  MSD_CHECK_EQ(input.dim(2), window_);
+  Variable h = Gelu(encode_time_->Forward(input));     // [B, C, k]
+  Variable hc = Transpose(h, 1, 2);                    // [B, k, C]
+  hc = Gelu(mix_channels_->Forward(hc));
+  hc = unmix_channels_->Forward(hc);
+  h = Transpose(hc, 1, 2);                             // [B, C, k]
+  return decode_time_->Forward(h);
+}
+
+}  // namespace msd

@@ -1,0 +1,31 @@
+// MLP autoencoder for reconstruction-based anomaly detection: the generic
+// "learn to reconstruct normal data" baseline the paper's Table IX methods
+// share, without MSD-Mixer's decomposition. Temporal bottleneck per channel
+// plus one channel-mixing layer.
+#ifndef MSDMIXER_BASELINES_MLP_AUTOENCODER_H_
+#define MSDMIXER_BASELINES_MLP_AUTOENCODER_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class MlpAutoencoder : public Module {
+ public:
+  MlpAutoencoder(int64_t channels, int64_t window, Rng& rng,
+                 int64_t bottleneck = 16);
+
+  // [B, C, W] -> [B, C, W] reconstruction.
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t channels_;
+  int64_t window_;
+  Linear* encode_time_;
+  Linear* mix_channels_;
+  Linear* unmix_channels_;
+  Linear* decode_time_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_MLP_AUTOENCODER_H_

@@ -1,0 +1,25 @@
+#include "baselines/mlp_classifier.h"
+
+#include <memory>
+
+namespace msd {
+
+MlpClassifier::MlpClassifier(int64_t channels, int64_t length, int64_t classes,
+                             Rng& rng, int64_t hidden)
+    : channels_(channels), length_(length) {
+  fc1_ = RegisterModule(
+      "fc1", std::make_unique<Linear>(channels * length, hidden, rng));
+  fc2_ = RegisterModule("fc2", std::make_unique<Linear>(hidden, classes, rng));
+  dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(0.2f, rng));
+}
+
+Variable MlpClassifier::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3);
+  MSD_CHECK_EQ(input.dim(1), channels_);
+  MSD_CHECK_EQ(input.dim(2), length_);
+  Variable flat = Reshape(input, {input.dim(0), channels_ * length_});
+  Variable h = dropout_->Forward(Gelu(fc1_->Forward(flat)));
+  return fc2_->Forward(h);
+}
+
+}  // namespace msd

@@ -1,0 +1,29 @@
+// Flatten-and-MLP classifier: the simplest learned baseline for the
+// classification task, standing in for the generic deep baselines of the
+// paper's Table XI.
+#ifndef MSDMIXER_BASELINES_MLP_CLASSIFIER_H_
+#define MSDMIXER_BASELINES_MLP_CLASSIFIER_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class MlpClassifier : public Module {
+ public:
+  MlpClassifier(int64_t channels, int64_t length, int64_t classes, Rng& rng,
+                int64_t hidden = 128);
+
+  // [B, C, L] -> [B, M] logits.
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t channels_;
+  int64_t length_;
+  Linear* fc1_;
+  Linear* fc2_;
+  Dropout* dropout_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_MLP_CLASSIFIER_H_

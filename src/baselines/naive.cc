@@ -1,0 +1,32 @@
+#include "baselines/naive.h"
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+Tensor NaiveForecast(const Tensor& input, int64_t horizon) {
+  MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, L]";
+  MSD_CHECK_GT(horizon, 0);
+  Tensor last = Slice(input, 2, input.dim(2) - 1, 1);  // [B, C, 1]
+  return Mul(last, Tensor::Ones({horizon}));
+}
+
+Tensor SeasonalNaiveForecast(const Tensor& input, int64_t horizon, int64_t m) {
+  MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, L]";
+  const int64_t length = input.dim(2);
+  if (m <= 0 || m > length) return NaiveForecast(input, horizon);
+  Tensor period = Slice(input, 2, length - m, m);  // [B, C, m]
+  Tensor out({input.dim(0), input.dim(1), horizon});
+  const float* src = period.data();
+  float* dst = out.data();
+  const int64_t rows = input.dim(0) * input.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t h = 0; h < horizon; ++h) {
+      dst[r * horizon + h] = src[r * m + (h % m)];
+    }
+  }
+  return out;
+}
+
+}  // namespace msd

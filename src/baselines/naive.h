@@ -1,0 +1,20 @@
+// Training-free forecasters: last-value naive and seasonal naive. These
+// anchor the benchmark tables (and on random-walk data they are near
+// optimal, reproducing the paper's Exchange observations).
+#ifndef MSDMIXER_BASELINES_NAIVE_H_
+#define MSDMIXER_BASELINES_NAIVE_H_
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// Repeats the last observed value: [B, C, L] -> [B, C, H].
+Tensor NaiveForecast(const Tensor& input, int64_t horizon);
+
+// Repeats the last full period of length m: [B, C, L] -> [B, C, H].
+// Falls back to NaiveForecast when m <= 0 or m > L.
+Tensor SeasonalNaiveForecast(const Tensor& input, int64_t horizon, int64_t m);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_NAIVE_H_

@@ -1,0 +1,49 @@
+#include "baselines/nbeats.h"
+
+#include <memory>
+#include <string>
+
+namespace msd {
+
+NBeats::NBeats(int64_t input_length, int64_t horizon, Rng& rng,
+               int64_t num_blocks, int64_t hidden)
+    : input_length_(input_length) {
+  MSD_CHECK_GT(num_blocks, 0);
+  for (int64_t b = 0; b < num_blocks; ++b) {
+    const std::string prefix = "block" + std::to_string(b) + ".";
+    Block block;
+    block.fc1 = RegisterModule(prefix + "fc1",
+                               std::make_unique<Linear>(input_length, hidden, rng));
+    block.fc2 =
+        RegisterModule(prefix + "fc2", std::make_unique<Linear>(hidden, hidden, rng));
+    // The final block's backcast would be discarded; omit it so every
+    // registered parameter participates in the forward pass.
+    block.backcast =
+        b + 1 < num_blocks
+            ? RegisterModule(prefix + "backcast",
+                             std::make_unique<Linear>(hidden, input_length, rng))
+            : nullptr;
+    block.forecast = RegisterModule(
+        prefix + "forecast", std::make_unique<Linear>(hidden, horizon, rng));
+    blocks_.push_back(block);
+  }
+}
+
+Variable NBeats::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "NBeats expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+  Variable residual = input;
+  Variable forecast;
+  for (const Block& block : blocks_) {
+    Variable h = Relu(block.fc1->Forward(residual));
+    h = Relu(block.fc2->Forward(h));
+    if (block.backcast != nullptr) {
+      residual = Sub(residual, block.backcast->Forward(h));
+    }
+    Variable f = block.forecast->Forward(h);
+    forecast = forecast.defined() ? Add(forecast, f) : f;
+  }
+  return forecast;
+}
+
+}  // namespace msd

@@ -1,0 +1,38 @@
+// N-BEATS-style generic decomposition stack (Oreshkin et al., 2020), the
+// paper's strongest short-term baseline family: a stack of MLP blocks, each
+// producing a backcast (subtracted from the running input, doubly-residual)
+// and a forecast (summed into the output). Channel-independent: the same
+// per-channel univariate model is applied to every channel via the shared
+// last-axis Linear layers.
+#ifndef MSDMIXER_BASELINES_NBEATS_H_
+#define MSDMIXER_BASELINES_NBEATS_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class NBeats : public Module {
+ public:
+  NBeats(int64_t input_length, int64_t horizon, Rng& rng,
+         int64_t num_blocks = 3, int64_t hidden = 64);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  struct Block {
+    Linear* fc1;
+    Linear* fc2;
+    Linear* backcast;
+    Linear* forecast;
+  };
+
+  int64_t input_length_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_NBEATS_H_

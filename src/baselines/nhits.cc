@@ -1,0 +1,89 @@
+#include "baselines/nhits.h"
+
+#include <memory>
+#include <string>
+
+#include "core/patching.h"
+
+namespace msd {
+
+NHits::NHits(int64_t input_length, int64_t horizon, Rng& rng,
+             std::vector<int64_t> pool_kernels, int64_t hidden)
+    : input_length_(input_length), horizon_(horizon) {
+  MSD_CHECK(!pool_kernels.empty());
+  for (size_t i = 0; i < pool_kernels.size(); ++i) {
+    const int64_t pool = pool_kernels[i];
+    MSD_CHECK_GT(pool, 0);
+    MSD_CHECK_LE(pool, input_length);
+    const std::string prefix = "block" + std::to_string(i) + ".";
+    Block block;
+    block.pool = pool;
+    block.pooled_length = NumPatches(input_length, pool);
+    block.coarse_horizon = std::max<int64_t>(1, horizon / pool);
+    block.fc1 = RegisterModule(
+        prefix + "fc1",
+        std::make_unique<Linear>(block.pooled_length, hidden, rng));
+    block.fc2 = RegisterModule(prefix + "fc2",
+                               std::make_unique<Linear>(hidden, hidden, rng));
+    block.backcast =
+        i + 1 < pool_kernels.size()
+            ? RegisterModule(prefix + "backcast",
+                             std::make_unique<Linear>(hidden, input_length, rng))
+            : nullptr;
+    block.forecast = RegisterModule(
+        prefix + "forecast",
+        std::make_unique<Linear>(hidden, block.coarse_horizon, rng));
+    blocks_.push_back(block);
+  }
+}
+
+Variable NHits::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "NHits expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+
+  Variable residual = input;
+  Variable forecast;
+  for (const Block& block : blocks_) {
+    // Multi-rate view: average-pool by the block's kernel.
+    Variable pooled =
+        Mean(Patch(residual, block.pool), {3}, /*keepdim=*/false);
+    Variable h = Relu(block.fc1->Forward(pooled));
+    h = Relu(block.fc2->Forward(h));
+    if (block.backcast != nullptr) {
+      residual = Sub(residual, block.backcast->Forward(h));
+    }
+    // Hierarchical interpolation: forecast at coarse resolution, upsample by
+    // nearest-neighbor repetition, crop to the horizon.
+    Variable coarse = block.forecast->Forward(h);  // [B, C, Hc]
+    Variable f;
+    if (block.coarse_horizon * block.pool >= horizon_ && block.pool > 1) {
+      Variable expanded =
+          Reshape(coarse, {batch, channels, block.coarse_horizon, 1});
+      expanded = Mul(expanded, Variable(Tensor::Ones({block.pool})));
+      Variable upsampled = Reshape(
+          expanded, {batch, channels, block.coarse_horizon * block.pool});
+      f = Slice(upsampled, 2, 0, horizon_);
+    } else if (block.pool == 1) {
+      f = Slice(coarse, 2, 0, std::min(block.coarse_horizon, horizon_));
+      if (f.dim(2) < horizon_) {
+        f = Pad(f, 2, 0, horizon_ - f.dim(2), 0.0f);
+      }
+    } else {
+      // Coarse horizon too short after flooring; repeat then pad.
+      Variable expanded =
+          Reshape(coarse, {batch, channels, block.coarse_horizon, 1});
+      expanded = Mul(expanded, Variable(Tensor::Ones({block.pool})));
+      Variable upsampled = Reshape(
+          expanded, {batch, channels, block.coarse_horizon * block.pool});
+      const int64_t have = upsampled.dim(2);
+      f = have >= horizon_ ? Slice(upsampled, 2, 0, horizon_)
+                           : Pad(upsampled, 2, 0, horizon_ - have, 0.0f);
+    }
+    forecast = forecast.defined() ? Add(forecast, f) : f;
+  }
+  return forecast;
+}
+
+}  // namespace msd

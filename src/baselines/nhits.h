@@ -1,0 +1,44 @@
+// N-HiTS-style forecaster (Challu et al., 2023): a doubly-residual stack
+// like N-BEATS, but each block sees a pooled (multi-rate) view of the input
+// and emits a low-resolution forecast that is interpolated up to the full
+// horizon — hierarchical interpolation. The paper's strongest short-term
+// task-specific baseline.
+#ifndef MSDMIXER_BASELINES_NHITS_H_
+#define MSDMIXER_BASELINES_NHITS_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class NHits : public Module {
+ public:
+  // One block per entry of `pool_kernels` (descending, e.g. {8, 4, 1}):
+  // block i average-pools the input by pool_kernels[i] and forecasts at
+  // 1/pool_kernels[i] resolution.
+  NHits(int64_t input_length, int64_t horizon, Rng& rng,
+        std::vector<int64_t> pool_kernels = {8, 4, 1}, int64_t hidden = 64);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  struct Block {
+    int64_t pool;
+    int64_t pooled_length;
+    int64_t coarse_horizon;
+    Linear* fc1;
+    Linear* fc2;
+    Linear* backcast;  // null in the final block
+    Linear* forecast;
+  };
+
+  int64_t input_length_;
+  int64_t horizon_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_NHITS_H_

@@ -1,0 +1,76 @@
+#include "baselines/patchtst.h"
+
+#include <memory>
+#include <string>
+
+namespace msd {
+
+PatchTst::PatchTst(const PatchTstConfig& config, Rng& rng) : config_(config) {
+  MSD_CHECK_GT(config.patch_length, 0);
+  MSD_CHECK_GT(config.stride, 0);
+  MSD_CHECK_LE(config.patch_length, config.input_length);
+  num_patches_ =
+      (config.input_length - config.patch_length) / config.stride + 1;
+  embed_ = RegisterModule(
+      "embed",
+      std::make_unique<Linear>(config.patch_length, config.model_dim, rng));
+  positional_ = RegisterParameter(
+      "positional", Tensor::RandNormal({num_patches_, config.model_dim}, 0.0f,
+                                       0.02f, rng));
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(RegisterModule(
+        "block" + std::to_string(b),
+        std::make_unique<TransformerEncoderBlock>(
+            config.model_dim, config.num_heads, config.ffn_dim, rng,
+            config.dropout)));
+  }
+  head_ = RegisterModule(
+      "head", std::make_unique<Linear>(num_patches_ * config.model_dim,
+                                       config.horizon, rng));
+}
+
+Variable PatchTst::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "PatchTst expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(2), config_.input_length);
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+
+  RevInStats stats;
+  Variable x = input;
+  if (config_.use_revin) {
+    stats = ComputeRevInStats(x);
+    x = RevInNormalize(x, stats);
+  }
+
+  // Channel independence: fold channels into the batch.
+  Variable folded = Reshape(x, {batch * channels, config_.input_length});
+
+  // Overlapping patches: [B*C, n_p, patch_len].
+  std::vector<Variable> patches;
+  patches.reserve(static_cast<size_t>(num_patches_));
+  for (int64_t p = 0; p < num_patches_; ++p) {
+    Variable patch =
+        Slice(folded, 1, p * config_.stride, config_.patch_length);
+    patches.push_back(
+        Reshape(patch, {batch * channels, 1, config_.patch_length}));
+  }
+  Variable tokens = Concat(patches, 1);
+
+  // Embed + learned positional encoding, then the encoder stack.
+  Variable h = Add(embed_->Forward(tokens), positional_);
+  for (TransformerEncoderBlock* block : blocks_) {
+    h = block->Forward(h);
+  }
+
+  // Flatten tokens and project to the horizon, unfolding channels.
+  Variable flat =
+      Reshape(h, {batch * channels, num_patches_ * config_.model_dim});
+  Variable forecast =
+      Reshape(head_->Forward(flat), {batch, channels, config_.horizon});
+  if (config_.use_revin) {
+    forecast = RevInDenormalize(forecast, stats);
+  }
+  return forecast;
+}
+
+}  // namespace msd

@@ -1,0 +1,47 @@
+// PatchTST-style Transformer forecaster (Nie et al., 2023) — the paper's
+// strongest task-general baseline. Channel-independent: each channel is
+// segmented into overlapping patches, embedded, run through a Transformer
+// encoder, and projected to the horizon. Reversible instance normalization
+// handles window-level distribution shift.
+#ifndef MSDMIXER_BASELINES_PATCHTST_H_
+#define MSDMIXER_BASELINES_PATCHTST_H_
+
+#include "nn/attention.h"
+#include "nn/revin.h"
+
+namespace msd {
+
+struct PatchTstConfig {
+  int64_t input_length = 96;
+  int64_t horizon = 96;
+  int64_t patch_length = 16;
+  int64_t stride = 8;          // overlapping patches (stride < patch_length)
+  int64_t model_dim = 32;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 64;
+  int64_t num_blocks = 2;
+  float dropout = 0.0f;
+  bool use_revin = true;
+};
+
+class PatchTst : public Module {
+ public:
+  PatchTst(const PatchTstConfig& config, Rng& rng);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+  int64_t num_patches() const { return num_patches_; }
+
+ private:
+  PatchTstConfig config_;
+  int64_t num_patches_;
+  Linear* embed_;
+  Variable positional_;  // [num_patches, model_dim]
+  std::vector<TransformerEncoderBlock*> blocks_;
+  Linear* head_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_PATCHTST_H_

@@ -1,0 +1,97 @@
+#include "baselines/timesnet_lite.h"
+
+#include <memory>
+#include <string>
+
+#include "core/patching.h"
+#include "tensor/fft.h"
+
+namespace msd {
+
+TimesNetLite::TimesNetLite(int64_t input_length, int64_t horizon,
+                           int64_t channels, const Tensor& reference, Rng& rng,
+                           int64_t top_k, int64_t model_dim, int64_t hidden,
+                           bool use_conv)
+    : input_length_(input_length),
+      horizon_(horizon),
+      channels_(channels),
+      model_dim_(model_dim),
+      use_conv_(use_conv) {
+  MSD_CHECK_EQ(reference.rank(), 2);
+  MSD_CHECK_EQ(reference.dim(0), channels);
+  periods_ = TopPeriodsFft(reference, top_k);
+  for (int64_t& p : periods_) p = std::min(p, input_length);
+
+  embed_ = RegisterModule("embed",
+                          std::make_unique<Linear>(channels, model_dim, rng));
+  for (size_t i = 0; i < periods_.size(); ++i) {
+    const std::string prefix = "branch" + std::to_string(i) + ".";
+    PeriodBranch branch;
+    branch.period = periods_[i];
+    branch.cycles = NumPatches(input_length, branch.period);
+    // Folded layout is [B, d, cycles, period].
+    if (use_conv_) {
+      branch.conv1 = RegisterModule(
+          prefix + "conv1",
+          std::make_unique<Conv2dLayer>(model_dim, model_dim, 3, rng,
+                                        /*stride=*/1, /*padding=*/1));
+      branch.conv2 = RegisterModule(
+          prefix + "conv2",
+          std::make_unique<Conv2dLayer>(model_dim, model_dim, 3, rng,
+                                        /*stride=*/1, /*padding=*/1));
+    } else {
+      branch.inter_cycle = RegisterModule(
+          prefix + "inter_cycle",
+          std::make_unique<AxisMlpBlock>(2, branch.cycles, hidden, 0.0f, rng));
+      branch.intra_period = RegisterModule(
+          prefix + "intra_period",
+          std::make_unique<AxisMlpBlock>(3, branch.period, hidden, 0.0f, rng));
+    }
+    branches_.push_back(branch);
+  }
+  time_head_ = RegisterModule(
+      "time_head", std::make_unique<Linear>(input_length, horizon, rng));
+  unembed_ = RegisterModule("unembed",
+                            std::make_unique<Linear>(model_dim, channels, rng));
+}
+
+Variable TimesNetLite::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "TimesNetLite expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(1), channels_);
+  MSD_CHECK_EQ(input.dim(2), input_length_);
+
+  RevInStats stats = ComputeRevInStats(input);
+  Variable x = RevInNormalize(input, stats);
+
+  // Embed channels per time step: [B, C, L] -> [B, d, L].
+  Variable tokens = Transpose(x, 1, 2);             // [B, L, C]
+  tokens = embed_->Forward(tokens);                 // [B, L, d]
+  Variable h = Transpose(tokens, 1, 2);             // [B, d, L]
+
+  // 2D variation modeling per detected period, aggregated by averaging
+  // (TimesNet weights by spectral amplitude; uniform is the lite version).
+  Variable aggregated;
+  for (const PeriodBranch& branch : branches_) {
+    Variable folded = Patch(h, branch.period);      // [B, d, cycles, p]
+    if (use_conv_) {
+      folded = branch.conv2->Forward(Gelu(branch.conv1->Forward(folded)));
+    } else {
+      folded = branch.inter_cycle->Forward(folded);
+      folded = branch.intra_period->Forward(folded);
+    }
+    Variable unfolded = Unpatch(folded, input_length_);
+    aggregated = aggregated.defined() ? Add(aggregated, unfolded) : unfolded;
+  }
+  aggregated = MulScalar(aggregated,
+                         1.0f / static_cast<float>(branches_.size()));
+  h = Add(h, aggregated);  // residual connection around the TimesBlock
+
+  // Forecast head: time projection then channel unembedding.
+  Variable future = time_head_->Forward(h);          // [B, d, H]
+  future = Transpose(future, 1, 2);                  // [B, H, d]
+  future = unembed_->Forward(future);                // [B, H, C]
+  Variable forecast = Transpose(future, 1, 2);       // [B, C, H]
+  return RevInDenormalize(forecast, stats);
+}
+
+}  // namespace msd

@@ -1,0 +1,63 @@
+// TimesNet-style forecaster (Wu et al., 2023) — the paper's strongest
+// task-general baseline. Core idea preserved: FFT-based dominant-period
+// detection, folding the sequence into a 2D [cycles x period] layout per
+// period, and modeling intra-/inter-period variation in 2D, with residual
+// aggregation over periods.
+//
+// "Lite" simplifications for this substrate: periods are detected once from
+// a reference series at construction (fixed 2D shapes; TimesNet re-detects
+// per batch), and the 2D inception block is either axis-MLP mixing (default,
+// faster) or a two-layer 3x3 convolution stack (use_conv=true, closer to
+// the original).
+#ifndef MSDMIXER_BASELINES_TIMESNET_LITE_H_
+#define MSDMIXER_BASELINES_TIMESNET_LITE_H_
+
+#include <vector>
+
+#include "core/mlp_block.h"
+#include "nn/conv_layer.h"
+#include "nn/revin.h"
+
+namespace msd {
+
+class TimesNetLite : public Module {
+ public:
+  // `reference` is a [C, T] sample of the training distribution used to fix
+  // the dominant periods.
+  TimesNetLite(int64_t input_length, int64_t horizon, int64_t channels,
+               const Tensor& reference, Rng& rng, int64_t top_k = 3,
+               int64_t model_dim = 16, int64_t hidden = 32,
+               bool use_conv = false);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+  const std::vector<int64_t>& periods() const { return periods_; }
+
+ private:
+  struct PeriodBranch {
+    int64_t period;
+    int64_t cycles;  // ceil(L / period)
+    // MLP variant (null when use_conv):
+    AxisMlpBlock* inter_cycle = nullptr;
+    AxisMlpBlock* intra_period = nullptr;
+    // Conv variant (null otherwise):
+    Conv2dLayer* conv1 = nullptr;
+    Conv2dLayer* conv2 = nullptr;
+  };
+
+  int64_t input_length_;
+  int64_t horizon_;
+  int64_t channels_;
+  int64_t model_dim_;
+  bool use_conv_;
+  std::vector<int64_t> periods_;
+  Linear* embed_;             // C -> d per time step
+  std::vector<PeriodBranch> branches_;
+  Linear* time_head_;         // L -> H on the embedded sequence
+  Linear* unembed_;           // d -> C per forecast step
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_TIMESNET_LITE_H_

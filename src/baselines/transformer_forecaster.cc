@@ -1,0 +1,56 @@
+#include "baselines/transformer_forecaster.h"
+
+#include <memory>
+#include <string>
+
+namespace msd {
+
+TransformerForecaster::TransformerForecaster(
+    const TransformerForecasterConfig& config, int64_t channels, Rng& rng)
+    : config_(config), channels_(channels) {
+  MSD_CHECK_GT(channels, 0);
+  embed_ = RegisterModule(
+      "embed", std::make_unique<Linear>(channels, config.model_dim, rng));
+  positional_ = RegisterParameter(
+      "positional",
+      Tensor::RandNormal({config.input_length, config.model_dim}, 0.0f, 0.02f,
+                         rng));
+  for (int64_t b = 0; b < config.num_blocks; ++b) {
+    blocks_.push_back(RegisterModule(
+        "block" + std::to_string(b),
+        std::make_unique<TransformerEncoderBlock>(
+            config.model_dim, config.num_heads, config.ffn_dim, rng,
+            config.dropout)));
+  }
+  time_head_ = RegisterModule(
+      "time_head",
+      std::make_unique<Linear>(config.input_length, config.horizon, rng));
+  unembed_ = RegisterModule(
+      "unembed", std::make_unique<Linear>(config.model_dim, channels, rng));
+}
+
+Variable TransformerForecaster::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, L]";
+  MSD_CHECK_EQ(input.dim(1), channels_);
+  MSD_CHECK_EQ(input.dim(2), config_.input_length);
+
+  RevInStats stats;
+  Variable x = input;
+  if (config_.use_revin) {
+    stats = ComputeRevInStats(x);
+    x = RevInNormalize(x, stats);
+  }
+
+  Variable tokens = Transpose(x, 1, 2);                // [B, L, C]
+  Variable h = Add(embed_->Forward(tokens), positional_);
+  for (TransformerEncoderBlock* block : blocks_) {
+    h = block->Forward(h);
+  }
+  Variable future = time_head_->Forward(Transpose(h, 1, 2));  // [B, d, H]
+  future = unembed_->Forward(Transpose(future, 1, 2));        // [B, H, C]
+  Variable forecast = Transpose(future, 1, 2);                // [B, C, H]
+  if (config_.use_revin) forecast = RevInDenormalize(forecast, stats);
+  return forecast;
+}
+
+}  // namespace msd

@@ -1,0 +1,46 @@
+// Vanilla Transformer forecaster with series stationarization (RevIN), a
+// stand-in for the paper's Non-stationary Transformer baseline: point-wise
+// token embedding of all channels per time step, learned positional
+// encoding, encoder stack, and linear time/channel projection heads.
+#ifndef MSDMIXER_BASELINES_TRANSFORMER_FORECASTER_H_
+#define MSDMIXER_BASELINES_TRANSFORMER_FORECASTER_H_
+
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/revin.h"
+
+namespace msd {
+
+struct TransformerForecasterConfig {
+  int64_t input_length = 96;
+  int64_t horizon = 96;
+  int64_t model_dim = 32;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 64;
+  int64_t num_blocks = 2;
+  float dropout = 0.0f;
+  bool use_revin = true;  // the "non-stationary" normalization
+};
+
+class TransformerForecaster : public Module {
+ public:
+  TransformerForecaster(const TransformerForecasterConfig& config,
+                        int64_t channels, Rng& rng);
+
+  // [B, C, L] -> [B, C, H].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  TransformerForecasterConfig config_;
+  int64_t channels_;
+  Linear* embed_;        // C -> d per time step
+  Variable positional_;  // [L, d]
+  std::vector<TransformerEncoderBlock*> blocks_;
+  Linear* time_head_;    // L -> H
+  Linear* unembed_;      // d -> C
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_BASELINES_TRANSFORMER_FORECASTER_H_

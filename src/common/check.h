@@ -1,0 +1,76 @@
+// Fatal assertion macros for programming errors (shape mismatches, API
+// misuse). The library does not use exceptions; unrecoverable contract
+// violations terminate the process with a diagnostic, matching the style of
+// mainstream C++ database/tensor codebases.
+#ifndef MSDMIXER_COMMON_CHECK_H_
+#define MSDMIXER_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace msd {
+namespace internal_check {
+
+// Accumulates a failure message and aborts on destruction. Usage is via the
+// MSD_CHECK* macros only.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "MSD_CHECK failed at " << file << ":" << line << ": "
+            << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Converts the streamed FatalMessage chain to void so it can sit on the
+// false branch of the ternary in MSD_CHECK. operator& binds looser than <<.
+struct Voidify {
+  void operator&(FatalMessage&) {}
+  void operator&(FatalMessage&&) {}
+};
+
+}  // namespace internal_check
+}  // namespace msd
+
+#define MSD_CHECK(condition)                               \
+  (condition) ? (void)0                                    \
+              : ::msd::internal_check::Voidify() &         \
+                    ::msd::internal_check::FatalMessage(   \
+                        __FILE__, __LINE__, #condition)
+
+#define MSD_CHECK_OP(a, b, op)                                             \
+  ((a)op(b)) ? (void)0                                                     \
+             : ::msd::internal_check::Voidify() &                          \
+                   (::msd::internal_check::FatalMessage(                   \
+                        __FILE__, __LINE__, #a " " #op " " #b)             \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define MSD_CHECK_EQ(a, b) MSD_CHECK_OP(a, b, ==)
+#define MSD_CHECK_NE(a, b) MSD_CHECK_OP(a, b, !=)
+#define MSD_CHECK_LT(a, b) MSD_CHECK_OP(a, b, <)
+#define MSD_CHECK_LE(a, b) MSD_CHECK_OP(a, b, <=)
+#define MSD_CHECK_GT(a, b) MSD_CHECK_OP(a, b, >)
+#define MSD_CHECK_GE(a, b) MSD_CHECK_OP(a, b, >=)
+
+#define MSD_FATAL(msg)                                      \
+  ::msd::internal_check::Voidify() &                        \
+      (::msd::internal_check::FatalMessage(__FILE__, __LINE__, "FATAL") << msg)
+
+#endif  // MSDMIXER_COMMON_CHECK_H_

@@ -1,0 +1,117 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (weight init, dropout masks, data
+// generation, shuffling) flows through Rng so that any experiment is
+// reproducible bit-for-bit from its seed. The generator is xoshiro256**
+// seeded via SplitMix64, a well-studied non-cryptographic combination with
+// 256 bits of state and excellent statistical quality.
+#ifndef MSDMIXER_COMMON_RNG_H_
+#define MSDMIXER_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace msd {
+
+// SplitMix64 step; used for seeding and as a cheap stateless hash.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+    cached_gaussian_valid_ = false;
+  }
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform float in [lo, hi).
+  float Uniform(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  // Uniform integer in [0, n). n must be positive.
+  int64_t UniformInt(int64_t n) {
+    MSD_CHECK_GT(n, 0);
+    // Rejection-free for our purposes; modulo bias is negligible for n << 2^64.
+    return static_cast<int64_t>(NextUint64() % static_cast<uint64_t>(n));
+  }
+
+  // Standard normal via Box-Muller with caching of the second deviate.
+  float Gaussian() {
+    if (cached_gaussian_valid_) {
+      cached_gaussian_valid_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_gaussian_ = static_cast<float>(radius * std::sin(theta));
+    cached_gaussian_valid_ = true;
+    return static_cast<float>(radius * std::cos(theta));
+  }
+
+  float Gaussian(float mean, float stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Bernoulli with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& values) {
+    for (int64_t i = static_cast<int64_t>(values.size()) - 1; i > 0; --i) {
+      const int64_t j = UniformInt(i + 1);
+      std::swap(values[i], values[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each dataset
+  // or worker its own stream without correlation.
+  Rng Fork() { return Rng(NextUint64() ^ 0xa02bdbf7bb3c0a7ULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  float cached_gaussian_ = 0.0f;
+  bool cached_gaussian_valid_ = false;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_COMMON_RNG_H_

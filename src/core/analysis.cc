@@ -1,0 +1,81 @@
+#include "core/analysis.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+DecompositionReport AnalyzeDecomposition(MsdMixer& mixer, const Tensor& window,
+                                         int64_t acf_lags) {
+  MSD_CHECK_EQ(window.rank(), 2) << "expects one [C, L] window";
+  const int64_t channels = window.dim(0);
+  const int64_t length = window.dim(1);
+  MSD_CHECK_EQ(channels, mixer.config().channels);
+  MSD_CHECK_EQ(length, mixer.config().input_length);
+
+  NoGradGuard guard;
+  const bool was_training = mixer.training();
+  mixer.SetTraining(false);
+  MsdMixerOutput out = mixer.Run(
+      Variable(window.Reshape({1, channels, length})),
+      /*collect_components=*/true);
+  mixer.SetTraining(was_training);
+
+  DecompositionReport report;
+  report.input_power = MeanAll(Square(window)).item();
+  for (size_t i = 0; i < out.components.size(); ++i) {
+    Tensor component = out.components[i].value().Reshape({channels, length});
+    ComponentSummary summary;
+    summary.layer = static_cast<int64_t>(i) + 1;
+    summary.patch_size = mixer.config().patch_sizes[i];
+    summary.power = MeanAll(Square(component)).item();
+    summary.dominant_period = DominantPeriod(component, 0);
+    report.components.push_back(summary);
+  }
+
+  Tensor residual = out.residual.value().Reshape({channels, length});
+  report.residual_power = MeanAll(Square(residual)).item();
+  Tensor acf = AutocorrelationMatrix(residual);
+  report.residual_acf_band_fraction = WhiteNoiseBandFraction(acf, length);
+  const int64_t lags = std::min<int64_t>(acf_lags, length - 1);
+  double q_sum = 0.0;
+  bool all_white = true;
+  for (int64_t c = 0; c < channels; ++c) {
+    q_sum += LjungBoxStatistic(residual, c, lags);
+    all_white = all_white && PassesLjungBoxWhitenessTest(residual, c, lags);
+  }
+  report.residual_ljung_box_q = q_sum / static_cast<double>(channels);
+  report.residual_is_white = all_white;
+  return report;
+}
+
+std::string FormatDecompositionReport(const DecompositionReport& report) {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "input power %.4f\n", report.input_power);
+  out << line;
+  for (const ComponentSummary& c : report.components) {
+    std::snprintf(line, sizeof(line),
+                  "  layer %lld (patch %3lld): power %.4f, dominant period "
+                  "%lld\n",
+                  static_cast<long long>(c.layer),
+                  static_cast<long long>(c.patch_size), c.power,
+                  static_cast<long long>(c.dominant_period));
+    out << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "residual: power %.4f (%.1f%% of input explained), ACF "
+                "in-band %.0f%%, Ljung-Box Q %.1f (%s)\n",
+                report.residual_power,
+                100.0 * report.explained_power_ratio(),
+                100.0 * report.residual_acf_band_fraction,
+                report.residual_ljung_box_q,
+                report.residual_is_white ? "white" : "not white");
+  out << line;
+  return out.str();
+}
+
+}  // namespace msd

@@ -1,0 +1,50 @@
+// Decomposition interpretability utilities (the paper's Fig. 4 case study
+// as a reusable API): given a trained MSD-Mixer and an input window, report
+// per-component scale and dominant period plus residual whiteness
+// statistics (ACF band fraction and the Ljung-Box test).
+#ifndef MSDMIXER_CORE_ANALYSIS_H_
+#define MSDMIXER_CORE_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/msd_mixer.h"
+
+namespace msd {
+
+struct ComponentSummary {
+  int64_t layer = 0;
+  int64_t patch_size = 0;
+  // Mean square of the component over the window (all channels).
+  double power = 0.0;
+  // Dominant periodogram period of channel 0, in steps.
+  int64_t dominant_period = 0;
+};
+
+struct DecompositionReport {
+  std::vector<ComponentSummary> components;
+  double input_power = 0.0;
+  double residual_power = 0.0;
+  // Fraction of residual ACF coefficients inside the +-2/sqrt(L) band.
+  double residual_acf_band_fraction = 0.0;
+  // Mean Ljung-Box Q over channels, and whether every channel passes the
+  // whiteness test at 5%.
+  double residual_ljung_box_q = 0.0;
+  bool residual_is_white = false;
+  // Share of the input's power captured by the components (1 - res/input).
+  double explained_power_ratio() const {
+    return input_power > 0.0 ? 1.0 - residual_power / input_power : 0.0;
+  }
+};
+
+// Runs the mixer on a single [C, L] window (eval mode, no gradients) and
+// summarizes the decomposition. `acf_lags` bounds the Ljung-Box lag count.
+DecompositionReport AnalyzeDecomposition(MsdMixer& mixer, const Tensor& window,
+                                         int64_t acf_lags = 20);
+
+// Multi-line human-readable rendering of a report.
+std::string FormatDecompositionReport(const DecompositionReport& report);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_ANALYSIS_H_

@@ -1,0 +1,44 @@
+// The MSD-Mixer MLP block (paper Fig. 3a): two fully-connected layers with a
+// GELU nonlinearity and DropPath, wrapped in a residual connection. The block
+// mixes along the *last* axis of its input; AxisMlpBlock transposes an
+// arbitrary axis into last position so one primitive serves the channel-wise,
+// inter-patch, and intra-patch roles of §III-D.
+#ifndef MSDMIXER_CORE_MLP_BLOCK_H_
+#define MSDMIXER_CORE_MLP_BLOCK_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class MlpBlock : public Module {
+ public:
+  // features: size of the mixed (last) axis; hidden: expansion width.
+  MlpBlock(int64_t features, int64_t hidden, float drop_path, Rng& rng);
+
+  Variable Forward(const Variable& input) override;
+
+ private:
+  Linear* fc1_;
+  Linear* fc2_;
+  DropPath* drop_path_;
+};
+
+// Applies an MlpBlock along axis `axis` of a rank-4 [B, C, L', p] tensor
+// (or any rank, axis != 0) by transposing it into last position.
+class AxisMlpBlock : public Module {
+ public:
+  AxisMlpBlock(int64_t axis, int64_t features, int64_t hidden, float drop_path,
+               Rng& rng);
+
+  Variable Forward(const Variable& input) override;
+
+  int64_t axis() const { return axis_; }
+
+ private:
+  int64_t axis_;
+  MlpBlock* block_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_MLP_BLOCK_H_

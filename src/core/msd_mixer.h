@@ -1,0 +1,126 @@
+// MSD-Mixer: Multi-Scale Decomposition MLP-Mixer (paper §III, Fig. 1,
+// Algorithm 1).
+//
+// The model is a stack of k layers. Layer i receives the running residual
+// Z_{i-1} (Z_0 = X), patches it at its own scale p_i, encodes the patched
+// tensor into the component representation E_i, decodes E_i back into the
+// component S_i, and passes Z_i = Z_{i-1} - S_i on. Task output is the sum
+// of per-layer linear heads on the E_i (Eq. 2); reconstruction-style tasks
+// use X - Z_k = sum_i S_i directly. Z_k is returned for the Residual Loss.
+//
+// Ablation variants of §IV-G are configuration, not separate code paths:
+//   -I : pass ascending patch_sizes;
+//   -U : pass uniform patch_sizes (sqrt(L) each);
+//   -N : set patching_mode = kPoolingInterpolation;
+//   -L : train with residual-loss weight lambda = 0 (a trainer setting).
+#ifndef MSDMIXER_CORE_MSD_MIXER_H_
+#define MSDMIXER_CORE_MSD_MIXER_H_
+
+#include <vector>
+
+#include "core/patch_coder.h"
+#include "core/patching.h"
+
+namespace msd {
+
+enum class TaskType { kForecast, kClassification, kReconstruction };
+
+enum class PatchingMode {
+  // Multi-scale temporal patching (the paper's contribution).
+  kPatching,
+  // MSD-Mixer-N ablation: average-pool downsampling with nearest-neighbor
+  // upsampling in place of patching/unpatching (after N-HiTS).
+  kPoolingInterpolation,
+};
+
+struct MsdMixerConfig {
+  int64_t input_length = 96;   // L
+  int64_t channels = 7;        // C
+  // One entry per layer; the paper arranges these in descending order and
+  // derives them from the sampling interval (e.g., {24, 12, 6, 2, 1}).
+  std::vector<int64_t> patch_sizes = {24, 12, 6, 2, 1};
+  int64_t model_dim = 32;   // d, the component-representation width
+  int64_t hidden_dim = 64;  // MLP expansion width
+  float drop_path = 0.1f;
+
+  TaskType task = TaskType::kForecast;
+  int64_t horizon = 96;      // forecast head output length H
+  int64_t num_classes = 2;   // classification head width M
+  // Dropout applied to the flattened representation before each task head
+  // (used by the classification configuration to curb head overfitting).
+  float head_dropout = 0.0f;
+  // Classification-head input: false = flatten C x L' x d (the paper's
+  // layout); true = mean-pool over the patch axis first (C x d input),
+  // which is far smaller and shift-robust — the better choice in the
+  // low-data regime of the scaled benchmarks (see DESIGN.md).
+  bool pool_classification_head = false;
+
+  PatchingMode patching_mode = PatchingMode::kPatching;
+
+  // Reversible per-window instance normalization for the forecast task
+  // (normalize the input window per (sample, channel), denormalize the
+  // forecast) — standard practice in this model family for distribution
+  // shift between windows.
+  bool use_instance_norm = false;
+
+  // Uniform patch sizes sqrt(L) for the -U ablation.
+  static std::vector<int64_t> UniformPatchSizes(int64_t input_length,
+                                                int64_t num_layers);
+};
+
+struct MsdMixerOutput {
+  // [B, C, H] (forecast), [B, M] (classification), or [B, C, L]
+  // (reconstruction = X - Z_k).
+  Variable prediction;
+  // Z_k, the decomposition residual, [B, C, L].
+  Variable residual;
+  // Per-layer components S_i, each [B, C, L] (populated when
+  // collect_components is set on Run).
+  std::vector<Variable> components;
+};
+
+// One decomposition layer: patch -> encode -> (head input E_i) -> decode ->
+// unpatch.
+class MsdMixerLayer : public Module {
+ public:
+  MsdMixerLayer(const MsdMixerConfig& config, int64_t patch_size, Rng& rng);
+
+  struct Result {
+    Variable embedding;  // E_i, [B, C, L', d]
+    Variable component;  // S_i, [B, C, L]
+  };
+  Result Decompose(const Variable& z);
+
+  int64_t patch_size() const { return patch_size_; }
+  int64_t num_patches() const { return num_patches_; }
+
+ private:
+  int64_t input_length_;
+  int64_t patch_size_;
+  int64_t num_patches_;
+  PatchingMode mode_;
+  PatchEncoder* encoder_;
+  PatchDecoder* decoder_;
+};
+
+class MsdMixer : public Module {
+ public:
+  MsdMixer(const MsdMixerConfig& config, Rng& rng);
+
+  // Full forward pass. `x` is [B, C, L].
+  MsdMixerOutput Run(const Variable& x, bool collect_components = false);
+
+  const MsdMixerConfig& config() const { return config_; }
+
+ private:
+  Variable HeadOutput(int64_t layer_index, const Variable& embedding);
+
+  MsdMixerConfig config_;
+  std::vector<MsdMixerLayer*> layers_;
+  std::vector<Linear*> heads_;   // empty for reconstruction tasks
+  Dropout* head_dropout_ = nullptr;  // null when head_dropout == 0
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_MSD_MIXER_H_

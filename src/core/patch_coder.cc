@@ -1,0 +1,66 @@
+#include "core/patch_coder.h"
+
+#include <memory>
+
+namespace msd {
+
+namespace {
+// Axis indices in the patched layout [B, C, L', p].
+constexpr int64_t kChannelAxis = 1;
+constexpr int64_t kPatchAxis = 2;
+constexpr int64_t kWithinPatchAxis = 3;
+}  // namespace
+
+PatchEncoder::PatchEncoder(const PatchCoderDims& dims, Rng& rng) {
+  channel_mlp_ = RegisterModule(
+      "channel_mlp",
+      std::make_unique<AxisMlpBlock>(kChannelAxis, dims.channels,
+                                     dims.hidden_dim, dims.drop_path, rng));
+  inter_patch_mlp_ = RegisterModule(
+      "inter_patch_mlp",
+      std::make_unique<AxisMlpBlock>(kPatchAxis, dims.num_patches,
+                                     dims.hidden_dim, dims.drop_path, rng));
+  intra_patch_mlp_ = RegisterModule(
+      "intra_patch_mlp",
+      std::make_unique<AxisMlpBlock>(kWithinPatchAxis, dims.patch_size,
+                                     dims.hidden_dim, dims.drop_path, rng));
+  to_embedding_ = RegisterModule(
+      "to_embedding",
+      std::make_unique<Linear>(dims.patch_size, dims.model_dim, rng));
+}
+
+Variable PatchEncoder::Forward(const Variable& patched) {
+  MSD_CHECK_EQ(patched.rank(), 4) << "PatchEncoder expects [B, C, L', p]";
+  Variable x = channel_mlp_->Forward(patched);
+  x = inter_patch_mlp_->Forward(x);
+  x = intra_patch_mlp_->Forward(x);
+  return to_embedding_->Forward(x);
+}
+
+PatchDecoder::PatchDecoder(const PatchCoderDims& dims, Rng& rng) {
+  from_embedding_ = RegisterModule(
+      "from_embedding",
+      std::make_unique<Linear>(dims.model_dim, dims.patch_size, rng));
+  intra_patch_mlp_ = RegisterModule(
+      "intra_patch_mlp",
+      std::make_unique<AxisMlpBlock>(kWithinPatchAxis, dims.patch_size,
+                                     dims.hidden_dim, dims.drop_path, rng));
+  inter_patch_mlp_ = RegisterModule(
+      "inter_patch_mlp",
+      std::make_unique<AxisMlpBlock>(kPatchAxis, dims.num_patches,
+                                     dims.hidden_dim, dims.drop_path, rng));
+  channel_mlp_ = RegisterModule(
+      "channel_mlp",
+      std::make_unique<AxisMlpBlock>(kChannelAxis, dims.channels,
+                                     dims.hidden_dim, dims.drop_path, rng));
+}
+
+Variable PatchDecoder::Forward(const Variable& embedding) {
+  MSD_CHECK_EQ(embedding.rank(), 4) << "PatchDecoder expects [B, C, L', d]";
+  Variable x = from_embedding_->Forward(embedding);
+  x = intra_patch_mlp_->Forward(x);
+  x = inter_patch_mlp_->Forward(x);
+  return channel_mlp_->Forward(x);
+}
+
+}  // namespace msd

@@ -1,0 +1,54 @@
+// Patch Encoder and Patch Decoder (paper §III-D, Fig. 3b/3c).
+//
+// Encoder: channel-wise MLP -> inter-patch MLP -> intra-patch MLP -> linear
+// (p -> d), mapping patched input [B, C, L', p] to the component
+// representation E_i in [B, C, L', d].
+// Decoder: the same block types in reverse order with a linear d -> p,
+// reconstructing the patched component S_i from E_i.
+#ifndef MSDMIXER_CORE_PATCH_CODER_H_
+#define MSDMIXER_CORE_PATCH_CODER_H_
+
+#include "core/mlp_block.h"
+
+namespace msd {
+
+struct PatchCoderDims {
+  int64_t channels;     // C
+  int64_t num_patches;  // L'
+  int64_t patch_size;   // p
+  int64_t model_dim;    // d
+  int64_t hidden_dim;   // MLP expansion width
+  float drop_path = 0.0f;
+};
+
+class PatchEncoder : public Module {
+ public:
+  PatchEncoder(const PatchCoderDims& dims, Rng& rng);
+
+  // [B, C, L', p] -> [B, C, L', d].
+  Variable Forward(const Variable& patched) override;
+
+ private:
+  AxisMlpBlock* channel_mlp_;
+  AxisMlpBlock* inter_patch_mlp_;
+  AxisMlpBlock* intra_patch_mlp_;
+  Linear* to_embedding_;
+};
+
+class PatchDecoder : public Module {
+ public:
+  PatchDecoder(const PatchCoderDims& dims, Rng& rng);
+
+  // [B, C, L', d] -> [B, C, L', p].
+  Variable Forward(const Variable& embedding) override;
+
+ private:
+  Linear* from_embedding_;
+  AxisMlpBlock* intra_patch_mlp_;
+  AxisMlpBlock* inter_patch_mlp_;
+  AxisMlpBlock* channel_mlp_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_PATCH_CODER_H_

@@ -1,0 +1,37 @@
+#include "core/patching.h"
+
+namespace msd {
+
+int64_t NumPatches(int64_t length, int64_t patch_size) {
+  MSD_CHECK_GT(length, 0);
+  MSD_CHECK_GT(patch_size, 0);
+  return (length + patch_size - 1) / patch_size;
+}
+
+Variable Patch(const Variable& x, int64_t patch_size) {
+  MSD_CHECK_EQ(x.rank(), 3) << "Patch expects [B, C, L]";
+  const int64_t batch = x.dim(0);
+  const int64_t channels = x.dim(1);
+  const int64_t length = x.dim(2);
+  const int64_t num_patches = NumPatches(length, patch_size);
+  const int64_t padded = num_patches * patch_size;
+  Variable padded_x = x;
+  if (padded != length) {
+    padded_x = Pad(x, /*dim=*/2, /*before=*/padded - length, /*after=*/0,
+                   /*value=*/0.0f);
+  }
+  return Reshape(padded_x, {batch, channels, num_patches, patch_size});
+}
+
+Variable Unpatch(const Variable& x, int64_t length) {
+  MSD_CHECK_EQ(x.rank(), 4) << "Unpatch expects [B, C, L', p]";
+  const int64_t batch = x.dim(0);
+  const int64_t channels = x.dim(1);
+  const int64_t padded = x.dim(2) * x.dim(3);
+  MSD_CHECK_GE(padded, length);
+  Variable flat = Reshape(x, {batch, channels, padded});
+  if (padded == length) return flat;
+  return Slice(flat, /*dim=*/2, /*start=*/padded - length, /*length=*/length);
+}
+
+}  // namespace msd

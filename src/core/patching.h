@@ -1,0 +1,26 @@
+// Multi-scale temporal patching (paper §III-C, Fig. 2).
+//
+// A [B, C, L] batch is zero-padded *at the front* so the length divides the
+// patch size p, then segmented into non-overlapping patches, giving
+// [B, C, L', p] with L' = ceil(L / p). Unpatching inverts the transform.
+// Both directions are differentiable compositions of Pad/Reshape/Slice.
+#ifndef MSDMIXER_CORE_PATCHING_H_
+#define MSDMIXER_CORE_PATCHING_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace msd {
+
+// Number of patches a length-L series yields at patch size p.
+int64_t NumPatches(int64_t length, int64_t patch_size);
+
+// [B, C, L] -> [B, C, L', p].
+Variable Patch(const Variable& x, int64_t patch_size);
+
+// [B, C, L', p] -> [B, C, length]; `length` is the original (pre-pad) L.
+Variable Unpatch(const Variable& x, int64_t length);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_PATCHING_H_

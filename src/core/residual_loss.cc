@@ -1,0 +1,47 @@
+#include "core/residual_loss.h"
+
+#include <cmath>
+
+namespace msd {
+
+Variable ResidualLoss(const Variable& residual,
+                      const ResidualLossOptions& options) {
+  MSD_CHECK_EQ(residual.rank(), 3) << "ResidualLoss expects [B, C, L]";
+  const int64_t length = residual.dim(2);
+  MSD_CHECK_GT(length, 1);
+
+  // Magnitude term: mean of z^2 over everything (second term of Eq. 6).
+  Variable magnitude = MeanAll(Square(residual));
+  if (!options.include_autocorrelation) return magnitude;
+
+  // Autocorrelation term (Eq. 5). Center per (sample, channel) series.
+  Variable mean = Mean(residual, {2}, /*keepdim=*/true);
+  Variable centered = Sub(residual, mean);                     // [B, C, L]
+  Variable denom =
+      AddScalar(Sum(Square(centered), {2}, /*keepdim=*/true), 1e-8f);
+
+  const float band =
+      options.alpha / std::sqrt(static_cast<float>(length));
+  int64_t max_lag = length - 1;
+  if (options.max_lag > 0 && options.max_lag < max_lag) {
+    max_lag = options.max_lag;
+  }
+
+  // Accumulate sum over lags of ReLU(|a_j| - band)^2, shape [B, C, 1].
+  Variable acc;
+  for (int64_t lag = 1; lag <= max_lag; ++lag) {
+    Variable head = Slice(centered, 2, lag, length - lag);
+    Variable tail = Slice(centered, 2, 0, length - lag);
+    Variable numer = Sum(Mul(head, tail), {2}, /*keepdim=*/true);
+    Variable coeff = Div(numer, denom);  // a_{c, lag} in [-1, 1]
+    Variable excess = Relu(AddScalar(Abs(coeff), -band));
+    Variable sq = Square(excess);
+    acc = acc.defined() ? Add(acc, sq) : sq;
+  }
+  // Eq. 6 first term: MeanAll over [B, C, 1] divides by B*C; dividing by the
+  // lag count completes the C * (L-1) normalization (averaged over batch).
+  Variable acf_term = MulScalar(MeanAll(acc), 1.0f / static_cast<float>(max_lag));
+  return Add(acf_term, magnitude);
+}
+
+}  // namespace msd

@@ -1,0 +1,32 @@
+// Residual Loss (paper §III-E, Eq. 5-6): constrains the decomposition
+// residual Z_k to look like white noise by penalizing (a) autocorrelation
+// coefficients beyond the +-alpha/sqrt(L) band and (b) the residual's mean
+// square magnitude.
+#ifndef MSDMIXER_CORE_RESIDUAL_LOSS_H_
+#define MSDMIXER_CORE_RESIDUAL_LOSS_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace msd {
+
+struct ResidualLossOptions {
+  // Band tolerance alpha in Eq. 6.
+  float alpha = 2.0f;
+  // Include the autocorrelation term. The imputation task disables it
+  // (paper §IV-D: with masked inputs the residual ACF is not meaningful)
+  // leaving only the magnitude term.
+  bool include_autocorrelation = true;
+  // Cap on the number of lags evaluated (0 = all L-1 lags as in Eq. 5).
+  // Long-lag coefficients are estimated from very few terms; capping also
+  // bounds graph size for long inputs.
+  int64_t max_lag = 0;
+};
+
+// residual: [B, C, L]. Returns a scalar Variable (differentiable).
+Variable ResidualLoss(const Variable& residual,
+                      const ResidualLossOptions& options = {});
+
+}  // namespace msd
+
+#endif  // MSDMIXER_CORE_RESIDUAL_LOSS_H_

@@ -1,0 +1,155 @@
+#include "data/csv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace msd {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) {
+    // Trim whitespace and CR.
+    size_t begin = cell.find_first_not_of(" \t\r");
+    size_t end = cell.find_last_not_of(" \t\r");
+    cells.push_back(begin == std::string::npos
+                        ? ""
+                        : cell.substr(begin, end - begin + 1));
+  }
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+bool ParseFloat(const std::string& cell, float* out) {
+  if (cell.empty()) {
+    *out = std::numeric_limits<float>::quiet_NaN();
+    return true;  // empty = missing value
+  }
+  char* end = nullptr;
+  const float v = std::strtof(cell.c_str(), &end);
+  if (end == cell.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<CsvSeries> ParseCsvSeries(const std::string& content) {
+  std::vector<std::vector<std::string>> rows;
+  std::stringstream ss(content);
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty() || line == "\r") continue;
+    rows.push_back(SplitLine(line));
+  }
+  if (rows.empty()) return Status::InvalidArgument("empty CSV");
+
+  // Header detection: the first row is a header iff any of its cells fails
+  // to parse as a number (and is non-empty).
+  bool has_header = false;
+  for (const std::string& cell : rows[0]) {
+    float unused;
+    if (!cell.empty() && !ParseFloat(cell, &unused)) {
+      has_header = true;
+      break;
+    }
+  }
+  const size_t first_data_row = has_header ? 1 : 0;
+  if (first_data_row >= rows.size()) {
+    return Status::InvalidArgument("CSV has a header but no data rows");
+  }
+
+  // Timestamp-column detection on the first data row.
+  const auto& probe = rows[first_data_row];
+  if (probe.empty()) return Status::InvalidArgument("empty CSV row");
+  float unused;
+  const size_t first_col = !ParseFloat(probe[0], &unused) ? 1 : 0;
+  if (probe.size() <= first_col) {
+    return Status::InvalidArgument("CSV has no numeric columns");
+  }
+  const size_t channels = probe.size() - first_col;
+  const size_t steps = rows.size() - first_data_row;
+
+  CsvSeries series;
+  if (has_header && rows[0].size() == probe.size()) {
+    for (size_t c = first_col; c < rows[0].size(); ++c) {
+      series.channel_names.push_back(rows[0][c]);
+    }
+  }
+  series.values = Tensor({static_cast<int64_t>(channels),
+                          static_cast<int64_t>(steps)});
+  float* data = series.values.data();
+  for (size_t r = 0; r < steps; ++r) {
+    const auto& row = rows[first_data_row + r];
+    if (row.size() != probe.size()) {
+      return Status::InvalidArgument(
+          "ragged CSV: row " + std::to_string(first_data_row + r + 1) +
+          " has " + std::to_string(row.size()) + " cells, expected " +
+          std::to_string(probe.size()));
+    }
+    for (size_t c = 0; c < channels; ++c) {
+      float value;
+      if (!ParseFloat(row[first_col + c], &value)) {
+        return Status::InvalidArgument(
+            "non-numeric cell '" + row[first_col + c] + "' at row " +
+            std::to_string(first_data_row + r + 1));
+      }
+      data[c * steps + r] = value;
+    }
+  }
+  return series;
+}
+
+StatusOr<CsvSeries> ReadCsvSeries(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) return Status::NotFound("cannot open: " + path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvSeries(buffer.str());
+}
+
+Status WriteCsvSeries(const Tensor& series,
+                      const std::vector<std::string>& channel_names,
+                      const std::string& path) {
+  if (series.rank() != 2) {
+    return Status::InvalidArgument("series must be [C, T]");
+  }
+  const int64_t channels = series.dim(0);
+  const int64_t steps = series.dim(1);
+  if (!channel_names.empty() &&
+      static_cast<int64_t>(channel_names.size()) != channels) {
+    return Status::InvalidArgument("channel name count mismatch");
+  }
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  if (!channel_names.empty()) {
+    for (int64_t c = 0; c < channels; ++c) {
+      file << (c > 0 ? "," : "") << channel_names[static_cast<size_t>(c)];
+    }
+    file << "\n";
+  }
+  const float* data = series.data();
+  for (int64_t t = 0; t < steps; ++t) {
+    for (int64_t c = 0; c < channels; ++c) {
+      if (c > 0) file << ",";
+      const float v = data[c * steps + t];
+      if (std::isnan(v)) {
+        // Missing values round-trip as empty cells.
+      } else {
+        file << v;
+      }
+    }
+    file << "\n";
+  }
+  return file.good() ? Status::OK() : Status::Internal("write failed");
+}
+
+}  // namespace msd

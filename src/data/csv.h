@@ -1,0 +1,37 @@
+// CSV ingestion for real multivariate time-series data.
+//
+// Expected layout, matching the common benchmark format (ETT, ECL, ...):
+// one row per time step, one column per channel, optional header row and
+// optional leading timestamp column (auto-detected: a column whose first
+// data cell does not parse as a number is skipped). Values parse as floats;
+// empty cells become NaN so downstream imputation can handle them.
+#ifndef MSDMIXER_DATA_CSV_H_
+#define MSDMIXER_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace msd {
+
+struct CsvSeries {
+  Tensor values;  // [C, T]
+  std::vector<std::string> channel_names;  // empty if the file had no header
+};
+
+// Reads a whole CSV file into a channel-major tensor.
+StatusOr<CsvSeries> ReadCsvSeries(const std::string& path);
+
+// Parses CSV content from a string (used by tests and in-memory pipelines).
+StatusOr<CsvSeries> ParseCsvSeries(const std::string& content);
+
+// Writes a [C, T] tensor as CSV (header = channel names, rows = steps).
+Status WriteCsvSeries(const Tensor& series,
+                      const std::vector<std::string>& channel_names,
+                      const std::string& path);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATA_CSV_H_

@@ -1,0 +1,50 @@
+#include "data/dataset.h"
+
+#include <numeric>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+Sample VectorDataset::Get(int64_t index) const {
+  MSD_CHECK_GE(index, 0);
+  MSD_CHECK_LT(index, Size());
+  return samples_[static_cast<size_t>(index)];
+}
+
+DataLoader::DataLoader(const Dataset* dataset, int64_t batch_size,
+                       bool shuffle, Rng& rng)
+    : dataset_(dataset), batch_size_(batch_size), shuffle_(shuffle), rng_(&rng) {
+  MSD_CHECK(dataset != nullptr);
+  MSD_CHECK_GT(batch_size, 0);
+  order_.resize(static_cast<size_t>(dataset->Size()));
+  std::iota(order_.begin(), order_.end(), 0);
+  if (shuffle_) rng_->Shuffle(order_);
+}
+
+int64_t DataLoader::NumBatches() const {
+  return (dataset_->Size() + batch_size_ - 1) / batch_size_;
+}
+
+Batch DataLoader::GetBatch(int64_t batch_index) const {
+  MSD_CHECK_GE(batch_index, 0);
+  MSD_CHECK_LT(batch_index, NumBatches());
+  const int64_t begin = batch_index * batch_size_;
+  const int64_t end = std::min<int64_t>(begin + batch_size_, dataset_->Size());
+  std::vector<Tensor> inputs;
+  std::vector<Tensor> targets;
+  inputs.reserve(static_cast<size_t>(end - begin));
+  targets.reserve(static_cast<size_t>(end - begin));
+  for (int64_t i = begin; i < end; ++i) {
+    Sample s = dataset_->Get(order_[static_cast<size_t>(i)]);
+    inputs.push_back(std::move(s.input));
+    targets.push_back(std::move(s.target));
+  }
+  return Batch{Stack(inputs), Stack(targets)};
+}
+
+void DataLoader::Reshuffle() {
+  if (shuffle_) rng_->Shuffle(order_);
+}
+
+}  // namespace msd

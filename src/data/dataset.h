@@ -1,0 +1,72 @@
+// Dataset and batching abstractions.
+//
+// A Dataset yields (input, target) sample pairs; the DataLoader stacks them
+// into batches with optional shuffling. Tensors are float32 throughout;
+// classification labels are stored as float class indices.
+#ifndef MSDMIXER_DATA_DATASET_H_
+#define MSDMIXER_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace msd {
+
+struct Sample {
+  Tensor input;
+  Tensor target;
+};
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int64_t Size() const = 0;
+  virtual Sample Get(int64_t index) const = 0;
+};
+
+// An in-memory dataset over pre-materialized samples.
+class VectorDataset : public Dataset {
+ public:
+  explicit VectorDataset(std::vector<Sample> samples)
+      : samples_(std::move(samples)) {}
+
+  int64_t Size() const override {
+    return static_cast<int64_t>(samples_.size());
+  }
+  Sample Get(int64_t index) const override;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+struct Batch {
+  Tensor input;   // [B, ...]
+  Tensor target;  // [B, ...]
+  int64_t size() const { return input.dim(0); }
+};
+
+// Batches a dataset. Order is reshuffled by Reshuffle() (typically once per
+// epoch); without shuffling, batches follow dataset order. The final batch
+// may be smaller than batch_size.
+class DataLoader {
+ public:
+  DataLoader(const Dataset* dataset, int64_t batch_size, bool shuffle,
+             Rng& rng);
+
+  int64_t NumBatches() const;
+  Batch GetBatch(int64_t batch_index) const;
+  void Reshuffle();
+
+ private:
+  const Dataset* dataset_;
+  int64_t batch_size_;
+  bool shuffle_;
+  Rng* rng_;
+  std::vector<int64_t> order_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATA_DATASET_H_

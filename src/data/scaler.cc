@@ -1,0 +1,32 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+void StandardScaler::Fit(const Tensor& series) {
+  MSD_CHECK_EQ(series.rank(), 2) << "Fit expects [C, T]";
+  MSD_CHECK_GT(series.dim(1), 1);
+  mean_ = Mean(series, {1}, /*keepdim=*/true);
+  Tensor centered = Sub(series, mean_);
+  Tensor var = Mean(Square(centered), {1}, /*keepdim=*/true);
+  std_ = Maximum(Sqrt(var), Tensor::Full({1}, 1e-6f));
+}
+
+Tensor StandardScaler::Transform(const Tensor& x) const {
+  MSD_CHECK(fitted());
+  MSD_CHECK(x.rank() == 2 || x.rank() == 3);
+  MSD_CHECK_EQ(x.dim(-2), mean_.dim(0)) << "channel count mismatch";
+  return Div(Sub(x, mean_), std_);
+}
+
+Tensor StandardScaler::InverseTransform(const Tensor& x) const {
+  MSD_CHECK(fitted());
+  MSD_CHECK(x.rank() == 2 || x.rank() == 3);
+  MSD_CHECK_EQ(x.dim(-2), mean_.dim(0)) << "channel count mismatch";
+  return Add(Mul(x, std_), mean_);
+}
+
+}  // namespace msd

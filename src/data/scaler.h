@@ -1,0 +1,35 @@
+// Per-channel standardization fit on the training split, following the
+// Time-Series-Library protocol the paper builds on: statistics come from the
+// training region only and are applied to all splits.
+#ifndef MSDMIXER_DATA_SCALER_H_
+#define MSDMIXER_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  // Fits per-channel mean/std on `series` [C, T] (typically the train span).
+  void Fit(const Tensor& series);
+
+  // (x - mean) / std per channel; accepts [C, T] or [B, C, T].
+  Tensor Transform(const Tensor& x) const;
+
+  // x * std + mean per channel; accepts [C, T] or [B, C, T].
+  Tensor InverseTransform(const Tensor& x) const;
+
+  bool fitted() const { return mean_.defined(); }
+  const Tensor& mean() const { return mean_; }
+  const Tensor& std() const { return std_; }
+
+ private:
+  Tensor mean_;  // [C, 1]
+  Tensor std_;   // [C, 1], floored at a small epsilon
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATA_SCALER_H_

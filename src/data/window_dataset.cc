@@ -1,0 +1,107 @@
+#include "data/window_dataset.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+SeriesSplits SplitSeries(const Tensor& series, const SplitSpec& spec) {
+  MSD_CHECK_EQ(series.rank(), 2) << "SplitSeries expects [C, T]";
+  const int64_t total = series.dim(1);
+  const int64_t n_train = static_cast<int64_t>(total * spec.train_fraction);
+  const int64_t n_val = static_cast<int64_t>(total * spec.val_fraction);
+  const int64_t n_test = total - n_train - n_val;
+  MSD_CHECK_GT(n_train, 0);
+  MSD_CHECK_GT(n_val, 0);
+  MSD_CHECK_GT(n_test, 0);
+  SeriesSplits splits;
+  splits.train = Slice(series, 1, 0, n_train);
+  splits.val = Slice(series, 1, n_train, n_val);
+  splits.test = Slice(series, 1, n_train + n_val, n_test);
+  return splits;
+}
+
+ForecastWindowDataset::ForecastWindowDataset(Tensor series, int64_t lookback,
+                                             int64_t horizon, int64_t stride)
+    : series_(std::move(series)),
+      lookback_(lookback),
+      horizon_(horizon),
+      stride_(stride) {
+  MSD_CHECK_EQ(series_.rank(), 2);
+  MSD_CHECK_GT(lookback, 0);
+  MSD_CHECK_GT(horizon, 0);
+  MSD_CHECK_GT(stride, 0);
+  const int64_t usable = series_.dim(1) - lookback_ - horizon_;
+  MSD_CHECK_GE(usable, 0) << "series too short for lookback+horizon";
+  count_ = usable / stride_ + 1;
+}
+
+Sample ForecastWindowDataset::Get(int64_t index) const {
+  MSD_CHECK_GE(index, 0);
+  MSD_CHECK_LT(index, count_);
+  const int64_t start = index * stride_;
+  return Sample{Slice(series_, 1, start, lookback_),
+                Slice(series_, 1, start + lookback_, horizon_)};
+}
+
+ImputationWindowDataset::ImputationWindowDataset(Tensor series, int64_t window,
+                                                 double missing_ratio,
+                                                 uint64_t seed, int64_t stride)
+    : series_(std::move(series)),
+      window_(window),
+      missing_ratio_(missing_ratio),
+      seed_(seed),
+      stride_(stride) {
+  MSD_CHECK_EQ(series_.rank(), 2);
+  MSD_CHECK_GT(window, 0);
+  MSD_CHECK_GT(stride, 0);
+  MSD_CHECK_GE(missing_ratio, 0.0);
+  MSD_CHECK_LT(missing_ratio, 1.0);
+  const int64_t usable = series_.dim(1) - window_;
+  MSD_CHECK_GE(usable, 0) << "series too short for window";
+  count_ = usable / stride_ + 1;
+}
+
+Tensor ImputationWindowDataset::MaskFor(int64_t index) const {
+  MSD_CHECK_GE(index, 0);
+  MSD_CHECK_LT(index, count_);
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(index + 1)));
+  return RandomObservationMask({series_.dim(0), window_}, missing_ratio_, rng);
+}
+
+Sample ImputationWindowDataset::Get(int64_t index) const {
+  const int64_t start = index * stride_;
+  Tensor clean = Slice(series_, 1, start, window_);
+  Tensor mask = MaskFor(index);
+  return Sample{Mul(clean, mask), clean};
+}
+
+ReconstructionWindowDataset::ReconstructionWindowDataset(Tensor series,
+                                                         int64_t window,
+                                                         int64_t stride)
+    : series_(std::move(series)),
+      window_(window),
+      stride_(stride > 0 ? stride : window) {
+  MSD_CHECK_EQ(series_.rank(), 2);
+  MSD_CHECK_GT(window, 0);
+  MSD_CHECK_GE(series_.dim(1), window) << "series shorter than one window";
+  count_ = (series_.dim(1) - window_) / stride_ + 1;
+}
+
+Sample ReconstructionWindowDataset::Get(int64_t index) const {
+  MSD_CHECK_GE(index, 0);
+  MSD_CHECK_LT(index, count_);
+  Tensor window = Slice(series_, 1, index * stride_, window_);
+  return Sample{window, window};
+}
+
+Tensor RandomObservationMask(const Shape& shape, double missing_ratio,
+                             Rng& rng) {
+  Tensor mask(shape);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng.Bernoulli(missing_ratio) ? 0.0f : 1.0f;
+  }
+  return mask;
+}
+
+}  // namespace msd

@@ -1,0 +1,96 @@
+// Sliding-window datasets over a single long multivariate series, as used by
+// the long-term forecasting, imputation, and anomaly-detection protocols.
+#ifndef MSDMIXER_DATA_WINDOW_DATASET_H_
+#define MSDMIXER_DATA_WINDOW_DATASET_H_
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// Chronological train/val/test spans of a series of length T.
+struct SplitSpec {
+  double train_fraction = 0.7;
+  double val_fraction = 0.1;
+  // test gets the remainder.
+};
+
+struct SeriesSplits {
+  Tensor train;  // [C, T_train]
+  Tensor val;    // [C, T_val]
+  Tensor test;   // [C, T_test]
+};
+
+// Splits chronologically; fatal if any split would be empty.
+SeriesSplits SplitSeries(const Tensor& series, const SplitSpec& spec);
+
+// Forecasting windows: input = lookback [C, L], target = horizon [C, H],
+// advanced by `stride` (1 reproduces the paper's dense sliding window).
+class ForecastWindowDataset : public Dataset {
+ public:
+  ForecastWindowDataset(Tensor series, int64_t lookback, int64_t horizon,
+                        int64_t stride = 1);
+
+  int64_t Size() const override { return count_; }
+  Sample Get(int64_t index) const override;
+
+ private:
+  Tensor series_;  // [C, T]
+  int64_t lookback_;
+  int64_t horizon_;
+  int64_t stride_;
+  int64_t count_;
+};
+
+// Imputation windows: target is the clean window [C, L]; input is the window
+// with a per-sample random mask applied (missing points zeroed). The mask is
+// regenerated deterministically per index from the dataset seed, matching
+// the protocol of masking the *input* and scoring only masked points.
+class ImputationWindowDataset : public Dataset {
+ public:
+  ImputationWindowDataset(Tensor series, int64_t window, double missing_ratio,
+                          uint64_t seed, int64_t stride = 1);
+
+  int64_t Size() const override { return count_; }
+  // Sample.input = masked window, Sample.target = clean window.
+  Sample Get(int64_t index) const override;
+
+  // The 0/1 observation mask used for sample `index` (1 = observed).
+  Tensor MaskFor(int64_t index) const;
+
+ private:
+  Tensor series_;
+  int64_t window_;
+  double missing_ratio_;
+  uint64_t seed_;
+  int64_t stride_;
+  int64_t count_;
+};
+
+// Reconstruction windows for anomaly detection: input == target == the
+// window [C, W]. Scoring uses non-overlapping windows (stride == window, the
+// benchmark protocol); training may use a smaller stride for more samples.
+class ReconstructionWindowDataset : public Dataset {
+ public:
+  ReconstructionWindowDataset(Tensor series, int64_t window,
+                              int64_t stride = 0 /* 0 = window */);
+
+  int64_t Size() const override { return count_; }
+  Sample Get(int64_t index) const override;
+
+ private:
+  Tensor series_;
+  int64_t window_;
+  int64_t stride_;
+  int64_t count_;
+};
+
+// Generates a 0/1 observation mask (1 = observed) with the given missing
+// ratio, i.i.d. per element.
+Tensor RandomObservationMask(const Shape& shape, double missing_ratio,
+                             Rng& rng);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATA_WINDOW_DATASET_H_

@@ -1,0 +1,184 @@
+#include "datagen/anomaly_gen.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/series_builder.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+namespace {
+
+struct AnomalyProfile {
+  int64_t channels;
+  int64_t train_length;
+  int64_t test_length;
+  // Expected number of anomalous segments in the test span.
+  int64_t num_segments;
+  // Segment length range.
+  int64_t min_len;
+  int64_t max_len;
+  // Magnitude of injected disturbances, in units of signal std.
+  double severity;
+  // Normal-regime recipe parameters.
+  double daily_amp;
+  double ar_coeff;
+  double noise_sigma;
+};
+
+AnomalyProfile ProfileFor(AnomalyDataset dataset) {
+  switch (dataset) {
+    case AnomalyDataset::kSmd:   // server machine metrics: smooth + spikes
+      return {8, 4000, 4000, 12, 5, 50, 3.0, 0.8, 0.7, 0.15};
+    case AnomalyDataset::kMsl:   // spacecraft telemetry: regime shifts
+      return {8, 3000, 3000, 7, 15, 80, 2.5, 0.5, 0.8, 0.2};
+    case AnomalyDataset::kSmap:  // spacecraft telemetry: long quiet + bursts
+      return {6, 3000, 4000, 8, 20, 100, 2.0, 0.4, 0.85, 0.15};
+    case AnomalyDataset::kSwat:  // water treatment: strong periodic actuation
+      return {8, 4000, 4000, 7, 30, 120, 3.5, 1.2, 0.6, 0.1};
+    case AnomalyDataset::kPsm:   // pooled server metrics
+      return {6, 3500, 3000, 9, 10, 60, 2.5, 0.9, 0.7, 0.2};
+  }
+  MSD_FATAL("unknown anomaly dataset");
+}
+
+// Builds the normal-regime config shared by train and test spans.
+SeriesConfig NormalConfig(const AnomalyProfile& profile, int64_t length,
+                          uint64_t seed) {
+  SeriesConfig config;
+  config.length = length;
+  config.channel_mix = 0.3;
+  config.seed = seed;
+  Rng rng(seed ^ 0x77aa77aa77ULL);
+  for (int64_t c = 0; c < profile.channels; ++c) {
+    ChannelSpec spec;
+    spec.level = rng.Gaussian(0.0f, 1.0f);
+    spec.seasonals = {{100.0, profile.daily_amp * (0.7 + 0.6 * rng.NextDouble()),
+                       rng.Uniform(0.0f, 6.28f), 2},
+                      {25.0, 0.3 * profile.daily_amp, rng.Uniform(0.0f, 6.28f),
+                       1}};
+    spec.ar_coeff = profile.ar_coeff;
+    spec.noise_sigma = profile.noise_sigma;
+    config.channels.push_back(spec);
+  }
+  return config;
+}
+
+}  // namespace
+
+std::vector<AnomalyDataset> AllAnomalyDatasets() {
+  return {AnomalyDataset::kSmd, AnomalyDataset::kMsl, AnomalyDataset::kSmap,
+          AnomalyDataset::kSwat, AnomalyDataset::kPsm};
+}
+
+std::string AnomalyDatasetName(AnomalyDataset dataset) {
+  switch (dataset) {
+    case AnomalyDataset::kSmd:
+      return "SMD";
+    case AnomalyDataset::kMsl:
+      return "MSL";
+    case AnomalyDataset::kSmap:
+      return "SMAP";
+    case AnomalyDataset::kSwat:
+      return "SWaT";
+    case AnomalyDataset::kPsm:
+      return "PSM";
+  }
+  MSD_FATAL("unknown anomaly dataset");
+}
+
+AnomalyData GenerateAnomalyDataset(AnomalyDataset dataset, uint64_t seed) {
+  const AnomalyProfile profile = ProfileFor(dataset);
+  // One continuous normal series split into train/test keeps the regimes
+  // consistent across the boundary (as in the real benchmarks).
+  SeriesConfig config = NormalConfig(
+      profile, profile.train_length + profile.test_length, seed);
+  Tensor full = GenerateSeries(config);
+  AnomalyData data;
+  data.train = Slice(full, 1, 0, profile.train_length);
+  Tensor test = Slice(full, 1, profile.train_length, profile.test_length)
+                    .Clone();  // own buffer: we mutate it below
+  data.labels.assign(static_cast<size_t>(profile.test_length), 0);
+
+  Rng rng(seed ^ 0xfeedbeefULL);
+  const int64_t channels = profile.channels;
+  float* p = test.data();
+  const int64_t len = profile.test_length;
+
+  for (int64_t seg = 0; seg < profile.num_segments; ++seg) {
+    const int64_t seg_len =
+        profile.min_len + rng.UniformInt(profile.max_len - profile.min_len + 1);
+    const int64_t start = rng.UniformInt(len - seg_len);
+    // Each segment disturbs a random subset of channels with one anomaly
+    // type. Beyond the obvious amplitude anomalies (spikes, shifts, bursts)
+    // we inject *structural* ones — frozen sensors, time-reversed dynamics,
+    // channel desynchronization — that keep amplitudes plausible and are
+    // only visible to models of the temporal/cross-channel pattern.
+    const int64_t type = rng.UniformInt(6);
+    const int64_t affected = 1 + rng.UniformInt(channels);
+    for (int64_t t = start; t < start + seg_len; ++t) {
+      data.labels[static_cast<size_t>(t)] = 1;
+    }
+    for (int64_t a = 0; a < affected; ++a) {
+      const int64_t c = rng.UniformInt(channels);
+      float* row = p + c * len;
+      switch (type) {
+        case 0: {  // point spikes scattered across the segment
+          for (int64_t t = start; t < start + seg_len; ++t) {
+            if (rng.Bernoulli(0.35)) {
+              row[t] += static_cast<float>(profile.severity) *
+                        (rng.Bernoulli(0.5) ? 1.0f : -1.0f);
+            }
+          }
+          break;
+        }
+        case 1: {  // level shift
+          const float shift = static_cast<float>(profile.severity) *
+                              (rng.Bernoulli(0.5) ? 1.0f : -1.0f);
+          for (int64_t t = start; t < start + seg_len; ++t) row[t] += shift;
+          break;
+        }
+        case 2: {  // variance burst
+          for (int64_t t = start; t < start + seg_len; ++t) {
+            row[t] += rng.Gaussian(0.0f,
+                                   static_cast<float>(profile.severity));
+          }
+          break;
+        }
+        case 3: {  // frozen sensor: hold the value entering the segment
+          const float frozen = row[start];
+          for (int64_t t = start; t < start + seg_len; ++t) row[t] = frozen;
+          break;
+        }
+        case 4: {  // time reversal: plausible values, broken dynamics
+          for (int64_t i = 0; i < seg_len / 2; ++i) {
+            std::swap(row[start + i], row[start + seg_len - 1 - i]);
+          }
+          break;
+        }
+        case 5: {  // channel desync: swap this channel with another one
+          const int64_t other = rng.UniformInt(channels);
+          if (other != c) {
+            float* other_row = p + other * len;
+            for (int64_t t = start; t < start + seg_len; ++t) {
+              std::swap(row[t], other_row[t]);
+            }
+          } else {
+            // Degenerate draw: fall back to a mild level shift.
+            for (int64_t t = start; t < start + seg_len; ++t) {
+              row[t] += 0.5f * static_cast<float>(profile.severity);
+            }
+          }
+          break;
+        }
+        default:
+          MSD_FATAL("unreachable");
+      }
+    }
+  }
+  data.test = test;
+  return data;
+}
+
+}  // namespace msd

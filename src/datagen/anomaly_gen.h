@@ -1,0 +1,36 @@
+// Synthetic anomaly-detection datasets mirroring the five benchmarks of
+// paper Table VIII (SMD, MSL, SMAP, SWaT, PSM): a clean multivariate
+// training span and a labeled test span with injected anomalies of several
+// types (point spikes, level shifts, noise bursts, frozen sensors).
+#ifndef MSDMIXER_DATAGEN_ANOMALY_GEN_H_
+#define MSDMIXER_DATAGEN_ANOMALY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+enum class AnomalyDataset { kSmd, kMsl, kSmap, kSwat, kPsm };
+
+std::vector<AnomalyDataset> AllAnomalyDatasets();
+std::string AnomalyDatasetName(AnomalyDataset dataset);
+
+struct AnomalyData {
+  Tensor train;             // [C, T_train], anomaly-free
+  Tensor test;              // [C, T_test]
+  std::vector<int> labels;  // length T_test; 1 = anomalous time step
+};
+
+// Deterministic generation from `seed`. Channel counts are scaled down from
+// the real datasets; the window length (100) and the normal-train /
+// labeled-test protocol match the paper.
+AnomalyData GenerateAnomalyDataset(AnomalyDataset dataset, uint64_t seed);
+
+// The evaluation window length used by all anomaly benchmarks in the paper.
+constexpr int64_t kAnomalyWindow = 100;
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATAGEN_ANOMALY_GEN_H_

@@ -1,0 +1,48 @@
+// Scaled-down analogues of the eight long-term forecasting benchmarks
+// (paper Table III). Each config reproduces the defining structure of its
+// namesake at a size tractable on one CPU core:
+//
+//   ETTm1/ETTm2 : 7 ch, dual-period (daily 96-step + short 24-step) + trend
+//   ETTh1/ETTh2 : 7 ch, daily 24 + weekly 168 periods, channel heterogeneity
+//   ECL         : many correlated channels with strong daily/weekly cycles
+//   Traffic     : peaky (harmonic-rich) daily pattern, strong coupling
+//   Weather     : smooth AR(0.95) channels with mild daily cycle
+//   Exchange    : pure random walk + drift (no seasonality) — the regime
+//                 where linear/naive baselines are competitive in the paper
+#ifndef MSDMIXER_DATAGEN_LONG_TERM_H_
+#define MSDMIXER_DATAGEN_LONG_TERM_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/series_builder.h"
+
+namespace msd {
+
+enum class LongTermDataset {
+  kEttM1,
+  kEttM2,
+  kEttH1,
+  kEttH2,
+  kEcl,
+  kTraffic,
+  kWeather,
+  kExchange,
+};
+
+// All eight, in paper order.
+std::vector<LongTermDataset> AllLongTermDatasets();
+
+// Display name ("ETTm1", ...).
+std::string LongTermDatasetName(LongTermDataset dataset);
+
+// The generative recipe for one dataset (deterministic given `seed`).
+SeriesConfig LongTermConfig(LongTermDataset dataset, uint64_t seed);
+
+// Dominant seasonal period in steps — used to choose patch sizes, mirroring
+// how the paper sets patch sizes from the sampling interval.
+int64_t LongTermDominantPeriod(LongTermDataset dataset);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATAGEN_LONG_TERM_H_

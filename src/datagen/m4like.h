@@ -1,0 +1,42 @@
+// M4-like short-term forecasting collections (paper Table V): six subsets
+// keyed by sampling frequency, each a set of independent positive univariate
+// series with subset-specific horizon and seasonal periodicity. Series
+// counts are scaled down from the 100k-series competition; horizons,
+// periodicities, and the metric pipeline (SMAPE/MASE/OWA vs Naive2) match.
+#ifndef MSDMIXER_DATAGEN_M4LIKE_H_
+#define MSDMIXER_DATAGEN_M4LIKE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace msd {
+
+struct M4SubsetSpec {
+  std::string name;
+  int64_t horizon = 6;
+  // Seasonal periodicity m used by MASE and Naive2 (1 = non-seasonal).
+  int64_t period = 1;
+  int64_t history_length = 36;
+  int64_t num_series = 64;
+};
+
+// One univariate sample: observed history plus the future to forecast.
+struct UnivariateSeries {
+  std::vector<float> history;
+  std::vector<float> future;  // length == subset horizon
+};
+
+// The six canonical subsets (Yearly, Quarterly, Monthly, Weekly, Daily,
+// Hourly) with paper-matching horizons/periods and scaled-down counts.
+std::vector<M4SubsetSpec> DefaultM4Subsets();
+
+// Deterministically generates the subset's series: multiplicative-ish trend
+// + period-m seasonality + AR noise, strictly positive (as in M4).
+std::vector<UnivariateSeries> GenerateM4Like(const M4SubsetSpec& spec,
+                                             uint64_t seed);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_DATAGEN_M4LIKE_H_

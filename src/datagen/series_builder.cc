@@ -1,0 +1,108 @@
+#include "datagen/series_builder.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+std::vector<float> GenerateChannel(const ChannelSpec& spec, int64_t length,
+                                   Rng& rng) {
+  MSD_CHECK_GT(length, 0);
+  std::vector<float> out(static_cast<size_t>(length));
+  double ar_state = 0.0;
+  double walk = 0.0;
+  for (int64_t t = 0; t < length; ++t) {
+    double value = spec.level + spec.trend_slope * static_cast<double>(t);
+    for (const SeasonalSpec& s : spec.seasonals) {
+      MSD_CHECK_GT(s.period, 0.0);
+      const double omega = 2.0 * M_PI / s.period;
+      for (int h = 1; h <= std::max(1, s.harmonics); ++h) {
+        value += (s.amplitude / h) *
+                 std::sin(omega * h * static_cast<double>(t) + s.phase * h);
+      }
+    }
+    if (spec.random_walk_sigma > 0.0) {
+      walk += rng.Gaussian(0.0f, static_cast<float>(spec.random_walk_sigma));
+      value += walk;
+    }
+    ar_state = spec.ar_coeff * ar_state +
+               rng.Gaussian(0.0f, static_cast<float>(spec.noise_sigma));
+    value += ar_state;
+    out[static_cast<size_t>(t)] = static_cast<float>(value);
+  }
+  return out;
+}
+
+Tensor GenerateSeries(const SeriesConfig& config) {
+  const int64_t channels = static_cast<int64_t>(config.channels.size());
+  MSD_CHECK_GT(channels, 0) << "series config has no channels";
+  MSD_CHECK_GE(config.channel_mix, 0.0);
+  MSD_CHECK_LT(config.channel_mix, 1.0);
+  Rng rng(config.seed);
+
+  Tensor raw({channels, config.length});
+  for (int64_t c = 0; c < channels; ++c) {
+    const std::vector<float> ch =
+        GenerateChannel(config.channels[static_cast<size_t>(c)], config.length,
+                        rng);
+    std::copy(ch.begin(), ch.end(), raw.data() + c * config.length);
+  }
+
+  if (config.driver.amplitude > 0.0) {
+    const DriverSpec& drv = config.driver;
+    MSD_CHECK_GT(drv.period, 0.0);
+    MSD_CHECK_GE(drv.max_lag, 0);
+    // Latent pseudo-periodic driver with slowly wandering phase and a slow
+    // amplitude envelope; rendered long enough to cover every channel lag.
+    const int64_t total = config.length + drv.max_lag;
+    std::vector<double> driver(static_cast<size_t>(total));
+    double phase = rng.Uniform(0.0f, 6.2831853f);
+    for (int64_t t = 0; t < total; ++t) {
+      phase += rng.Gaussian(0.0f, static_cast<float>(drv.phase_jitter));
+      const double envelope =
+          1.0 + 0.4 * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                               (3.7 * drv.period));
+      driver[static_cast<size_t>(t)] =
+          envelope * std::sin(2.0 * M_PI * static_cast<double>(t) /
+                                  drv.period +
+                              phase);
+    }
+    for (int64_t c = 0; c < channels; ++c) {
+      // Deterministic lag spread so some channel always leads (lag 0).
+      const int64_t lag =
+          channels > 1 ? (c * drv.max_lag) / (channels - 1) : 0;
+      const double loading =
+          (rng.Bernoulli(0.5) ? 1.0 : -1.0) * (0.7 + 0.6 * rng.NextDouble());
+      float* row = raw.data() + c * config.length;
+      for (int64_t t = 0; t < config.length; ++t) {
+        // Channel c at time t observes the driver delayed by `lag`; the
+        // rendered buffer index (t + max_lag - lag) keeps everything causal.
+        double d = driver[static_cast<size_t>(t + drv.max_lag - lag)];
+        if (drv.nonlinear) d = std::tanh(1.8 * d);
+        row[t] += static_cast<float>(drv.amplitude * loading * d);
+      }
+    }
+  }
+  if (config.channel_mix == 0.0 || channels == 1) return raw;
+
+  // Random row-stochastic mixing matrix; couples channels while keeping each
+  // one dominated by its own signal.
+  Tensor mix({channels, channels});
+  for (int64_t i = 0; i < channels; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < channels; ++j) {
+      const float w = rng.Uniform(0.0f, 1.0f);
+      mix.set({i, j}, w);
+      row_sum += w;
+    }
+    for (int64_t j = 0; j < channels; ++j) {
+      mix.set({i, j}, mix.at({i, j}) / row_sum);
+    }
+  }
+  Tensor mixed = MatMul(mix, raw);
+  const float alpha = static_cast<float>(config.channel_mix);
+  return Add(MulScalar(raw, 1.0f - alpha), MulScalar(mixed, alpha));
+}
+
+}  // namespace msd

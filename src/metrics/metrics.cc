@@ -1,0 +1,403 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+double MseMetric(const Tensor& prediction, const Tensor& target) {
+  MSD_CHECK(prediction.shape() == target.shape());
+  double acc = 0.0;
+  const float* p = prediction.data();
+  const float* t = target.data();
+  for (int64_t i = 0; i < prediction.numel(); ++i) {
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(prediction.numel());
+}
+
+double MaeMetric(const Tensor& prediction, const Tensor& target) {
+  MSD_CHECK(prediction.shape() == target.shape());
+  double acc = 0.0;
+  const float* p = prediction.data();
+  const float* t = target.data();
+  for (int64_t i = 0; i < prediction.numel(); ++i) {
+    acc += std::fabs(static_cast<double>(p[i]) - t[i]);
+  }
+  return acc / static_cast<double>(prediction.numel());
+}
+
+namespace {
+
+double MaskedMetric(const Tensor& prediction, const Tensor& target,
+                    const Tensor& mask, bool squared) {
+  MSD_CHECK(prediction.shape() == target.shape());
+  MSD_CHECK(prediction.shape() == mask.shape());
+  double acc = 0.0;
+  int64_t count = 0;
+  const float* p = prediction.data();
+  const float* t = target.data();
+  const float* m = mask.data();
+  for (int64_t i = 0; i < prediction.numel(); ++i) {
+    if (m[i] == 0.0f) continue;
+    const double d = static_cast<double>(p[i]) - t[i];
+    acc += squared ? d * d : std::fabs(d);
+    ++count;
+  }
+  MSD_CHECK_GT(count, 0) << "mask selects no elements";
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace
+
+double MaskedMseMetric(const Tensor& prediction, const Tensor& target,
+                       const Tensor& mask) {
+  return MaskedMetric(prediction, target, mask, /*squared=*/true);
+}
+
+double MaskedMaeMetric(const Tensor& prediction, const Tensor& target,
+                       const Tensor& mask) {
+  return MaskedMetric(prediction, target, mask, /*squared=*/false);
+}
+
+double Smape(const std::vector<float>& forecast,
+             const std::vector<float>& actual) {
+  MSD_CHECK_EQ(forecast.size(), actual.size());
+  MSD_CHECK(!forecast.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    const double denom = std::fabs(actual[i]) + std::fabs(forecast[i]);
+    if (denom > 1e-12) {
+      acc += std::fabs(actual[i] - forecast[i]) / denom;
+    }
+  }
+  return 200.0 * acc / static_cast<double>(forecast.size());
+}
+
+double Mase(const std::vector<float>& forecast,
+            const std::vector<float>& actual,
+            const std::vector<float>& insample, int64_t m) {
+  MSD_CHECK_EQ(forecast.size(), actual.size());
+  MSD_CHECK_GT(m, 0);
+  MSD_CHECK_GT(static_cast<int64_t>(insample.size()), m);
+  double scale = 0.0;
+  for (size_t t = static_cast<size_t>(m); t < insample.size(); ++t) {
+    scale += std::fabs(insample[t] - insample[t - static_cast<size_t>(m)]);
+  }
+  scale /= static_cast<double>(insample.size() - static_cast<size_t>(m));
+  if (scale < 1e-12) scale = 1e-12;
+  double err = 0.0;
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    err += std::fabs(actual[i] - forecast[i]);
+  }
+  return err / static_cast<double>(forecast.size()) / scale;
+}
+
+std::vector<float> Naive2Forecast(const std::vector<float>& history,
+                                  int64_t horizon, int64_t m) {
+  MSD_CHECK(!history.empty());
+  MSD_CHECK_GT(horizon, 0);
+  const int64_t n = static_cast<int64_t>(history.size());
+  if (m <= 1 || n < 2 * m) {
+    return std::vector<float>(static_cast<size_t>(horizon), history.back());
+  }
+  // Multiplicative seasonal indices: phase mean / grand mean.
+  double grand = 0.0;
+  for (float v : history) grand += v;
+  grand /= static_cast<double>(n);
+  if (std::fabs(grand) < 1e-9) {
+    return std::vector<float>(static_cast<size_t>(horizon), history.back());
+  }
+  std::vector<double> phase_sum(static_cast<size_t>(m), 0.0);
+  std::vector<int64_t> phase_count(static_cast<size_t>(m), 0);
+  for (int64_t t = 0; t < n; ++t) {
+    phase_sum[static_cast<size_t>(t % m)] += history[static_cast<size_t>(t)];
+    ++phase_count[static_cast<size_t>(t % m)];
+  }
+  std::vector<double> index(static_cast<size_t>(m));
+  for (int64_t k = 0; k < m; ++k) {
+    const double phase_mean =
+        phase_sum[static_cast<size_t>(k)] /
+        std::max<int64_t>(1, phase_count[static_cast<size_t>(k)]);
+    index[static_cast<size_t>(k)] = std::max(phase_mean / grand, 1e-6);
+  }
+  // Deseasonalized last level.
+  const double last_index = index[static_cast<size_t>((n - 1) % m)];
+  const double level = history.back() / last_index;
+  std::vector<float> forecast(static_cast<size_t>(horizon));
+  for (int64_t h = 0; h < horizon; ++h) {
+    const double idx = index[static_cast<size_t>((n + h) % m)];
+    forecast[static_cast<size_t>(h)] = static_cast<float>(level * idx);
+  }
+  return forecast;
+}
+
+M4Scores EvaluateM4(const std::vector<std::vector<float>>& forecasts,
+                    const std::vector<std::vector<float>>& actuals,
+                    const std::vector<std::vector<float>>& histories,
+                    int64_t m) {
+  MSD_CHECK_EQ(forecasts.size(), actuals.size());
+  MSD_CHECK_EQ(forecasts.size(), histories.size());
+  MSD_CHECK(!forecasts.empty());
+  double smape_model = 0.0;
+  double mase_model = 0.0;
+  double smape_naive = 0.0;
+  double mase_naive = 0.0;
+  for (size_t i = 0; i < forecasts.size(); ++i) {
+    smape_model += Smape(forecasts[i], actuals[i]);
+    mase_model += Mase(forecasts[i], actuals[i], histories[i], m);
+    const std::vector<float> naive2 = Naive2Forecast(
+        histories[i], static_cast<int64_t>(actuals[i].size()), m);
+    smape_naive += Smape(naive2, actuals[i]);
+    mase_naive += Mase(naive2, actuals[i], histories[i], m);
+  }
+  const double n = static_cast<double>(forecasts.size());
+  M4Scores scores;
+  scores.smape = smape_model / n;
+  scores.mase = mase_model / n;
+  const double s_ref = std::max(smape_naive / n, 1e-9);
+  const double m_ref = std::max(mase_naive / n, 1e-9);
+  scores.owa = 0.5 * (scores.smape / s_ref + scores.mase / m_ref);
+  return scores;
+}
+
+std::vector<int> PointAdjust(const std::vector<int>& predictions,
+                             const std::vector<int>& labels) {
+  MSD_CHECK_EQ(predictions.size(), labels.size());
+  std::vector<int> adjusted = predictions;
+  const size_t n = labels.size();
+  size_t i = 0;
+  while (i < n) {
+    if (labels[i] == 1) {
+      size_t j = i;
+      while (j < n && labels[j] == 1) ++j;
+      bool any_hit = false;
+      for (size_t k = i; k < j; ++k) {
+        if (predictions[k] == 1) {
+          any_hit = true;
+          break;
+        }
+      }
+      if (any_hit) {
+        for (size_t k = i; k < j; ++k) adjusted[k] = 1;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return adjusted;
+}
+
+DetectionScores PrecisionRecallF1(const std::vector<int>& predictions,
+                                  const std::vector<int>& labels) {
+  MSD_CHECK_EQ(predictions.size(), labels.size());
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == 1 && labels[i] == 1) ++tp;
+    if (predictions[i] == 1 && labels[i] == 0) ++fp;
+    if (predictions[i] == 0 && labels[i] == 1) ++fn;
+  }
+  DetectionScores scores;
+  scores.precision = tp + fp > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  scores.recall = tp + fn > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  scores.f1 = scores.precision + scores.recall > 0.0
+                  ? 2.0 * scores.precision * scores.recall /
+                        (scores.precision + scores.recall)
+                  : 0.0;
+  return scores;
+}
+
+float ThresholdForRatio(std::vector<float> scores, double anomaly_ratio) {
+  MSD_CHECK(!scores.empty());
+  MSD_CHECK_GT(anomaly_ratio, 0.0);
+  MSD_CHECK_LT(anomaly_ratio, 1.0);
+  const size_t k = static_cast<size_t>(
+      (1.0 - anomaly_ratio) * static_cast<double>(scores.size() - 1));
+  std::nth_element(scores.begin(), scores.begin() + static_cast<int64_t>(k),
+                   scores.end());
+  return scores[k];
+}
+
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels) {
+  MSD_CHECK_EQ(predictions.size(), labels.size());
+  MSD_CHECK(!predictions.empty());
+  int64_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<double> MeanRanks(const std::vector<std::vector<double>>& scores) {
+  MSD_CHECK(!scores.empty());
+  const size_t methods = scores[0].size();
+  std::vector<double> rank_sum(methods, 0.0);
+  for (const std::vector<double>& row : scores) {
+    MSD_CHECK_EQ(row.size(), methods);
+    for (size_t m = 0; m < methods; ++m) {
+      // Rank = 1 + count(strictly better) + 0.5 * count(equal others).
+      double better = 0.0;
+      double equal = 0.0;
+      for (size_t o = 0; o < methods; ++o) {
+        if (o == m) continue;
+        if (row[o] > row[m]) better += 1.0;
+        if (row[o] == row[m]) equal += 1.0;
+      }
+      rank_sum[m] += 1.0 + better + 0.5 * equal;
+    }
+  }
+  for (double& r : rank_sum) r /= static_cast<double>(scores.size());
+  return rank_sum;
+}
+
+Tensor AutocorrelationMatrix(const Tensor& series) {
+  MSD_CHECK_EQ(series.rank(), 2) << "expects [C, L]";
+  const int64_t channels = series.dim(0);
+  const int64_t length = series.dim(1);
+  MSD_CHECK_GT(length, 1);
+  Tensor acf({channels, length - 1});
+  const float* p = series.data();
+  float* out = acf.data();
+  for (int64_t c = 0; c < channels; ++c) {
+    const float* z = p + c * length;
+    double mean = 0.0;
+    for (int64_t t = 0; t < length; ++t) mean += z[t];
+    mean /= static_cast<double>(length);
+    double denom = 0.0;
+    for (int64_t t = 0; t < length; ++t) {
+      const double d = z[t] - mean;
+      denom += d * d;
+    }
+    if (denom < 1e-12) denom = 1e-12;
+    for (int64_t lag = 1; lag < length; ++lag) {
+      double numer = 0.0;
+      for (int64_t t = lag; t < length; ++t) {
+        numer += (z[t] - mean) * (z[t - lag] - mean);
+      }
+      out[c * (length - 1) + (lag - 1)] =
+          static_cast<float>(numer / denom);
+    }
+  }
+  return acf;
+}
+
+double LjungBoxStatistic(const Tensor& series, int64_t channel,
+                         int64_t max_lag) {
+  MSD_CHECK_EQ(series.rank(), 2);
+  const int64_t n = series.dim(1);
+  MSD_CHECK_GT(max_lag, 0);
+  MSD_CHECK_LT(max_lag, n);
+  Tensor row = Slice(series, 0, channel, 1);
+  Tensor acf = AutocorrelationMatrix(row);
+  double q = 0.0;
+  for (int64_t k = 1; k <= max_lag; ++k) {
+    const double rho = acf.at({0, k - 1});
+    q += rho * rho / static_cast<double>(n - k);
+  }
+  return static_cast<double>(n) * (n + 2.0) * q;
+}
+
+double ChiSquaredCriticalValue(int64_t degrees_of_freedom,
+                               double significance) {
+  MSD_CHECK_GT(degrees_of_freedom, 0);
+  MSD_CHECK_GT(significance, 0.0);
+  MSD_CHECK_LT(significance, 1.0);
+  // Standard-normal upper quantile via Acklam-style rational approximation
+  // on the central region (sufficient for typical significance levels).
+  const double p = 1.0 - significance;
+  // Beasley-Springer-Moro approximation of the normal quantile.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  double z;
+  if (p < 0.02425) {
+    const double u = std::sqrt(-2.0 * std::log(p));
+    z = (((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else if (p > 1.0 - 0.02425) {
+    const double u = std::sqrt(-2.0 * std::log(1.0 - p));
+    z = -(((((c[0] * u + c[1]) * u + c[2]) * u + c[3]) * u + c[4]) * u + c[5]) /
+        ((((d[0] * u + d[1]) * u + d[2]) * u + d[3]) * u + 1.0);
+  } else {
+    const double u = p - 0.5;
+    const double t = u * u;
+    z = (((((a[0] * t + a[1]) * t + a[2]) * t + a[3]) * t + a[4]) * t + a[5]) *
+        u /
+        (((((b[0] * t + b[1]) * t + b[2]) * t + b[3]) * t + b[4]) * t + 1.0);
+  }
+  // Wilson-Hilferty: chi2_q ~ k * (1 - 2/(9k) + z * sqrt(2/(9k)))^3.
+  const double k = static_cast<double>(degrees_of_freedom);
+  const double term = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * term * term * term;
+}
+
+bool PassesLjungBoxWhitenessTest(const Tensor& series, int64_t channel,
+                                 int64_t max_lag, double significance) {
+  const double q = LjungBoxStatistic(series, channel, max_lag);
+  return q <= ChiSquaredCriticalValue(max_lag, significance);
+}
+
+std::vector<double> Periodogram(const Tensor& series, int64_t channel) {
+  MSD_CHECK_EQ(series.rank(), 2);
+  const int64_t n = series.dim(1);
+  const float* z = series.data() + channel * n;
+  double mean = 0.0;
+  for (int64_t t = 0; t < n; ++t) mean += z[t];
+  mean /= static_cast<double>(n);
+  std::vector<double> power(static_cast<size_t>(n / 2 + 1), 0.0);
+  for (int64_t period = 2; period <= n / 2; ++period) {
+    const double omega = 2.0 * M_PI / static_cast<double>(period);
+    double re = 0.0;
+    double im = 0.0;
+    for (int64_t t = 0; t < n; ++t) {
+      const double v = z[t] - mean;
+      re += v * std::cos(omega * static_cast<double>(t));
+      im += v * std::sin(omega * static_cast<double>(t));
+    }
+    power[static_cast<size_t>(period)] = (re * re + im * im) / n;
+  }
+  return power;
+}
+
+int64_t DominantPeriod(const Tensor& series, int64_t channel) {
+  const std::vector<double> power = Periodogram(series, channel);
+  int64_t best_period = 2;
+  double best = -1.0;
+  for (size_t p = 2; p < power.size(); ++p) {
+    if (power[p] > best) {
+      best = power[p];
+      best_period = static_cast<int64_t>(p);
+    }
+  }
+  return best_period;
+}
+
+double WhiteNoiseBandFraction(const Tensor& acf, int64_t series_length,
+                              double alpha) {
+  MSD_CHECK_GT(series_length, 0);
+  const double band = alpha / std::sqrt(static_cast<double>(series_length));
+  int64_t inside = 0;
+  const float* p = acf.data();
+  for (int64_t i = 0; i < acf.numel(); ++i) {
+    if (std::fabs(p[i]) <= band) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(acf.numel());
+}
+
+}  // namespace msd

@@ -1,0 +1,119 @@
+// Evaluation metrics for the five tasks: MSE/MAE (forecasting, imputation),
+// SMAPE/MASE/OWA with a Naive2 reference (M4 short-term protocol),
+// point-adjusted precision/recall/F1 (anomaly detection), accuracy and mean
+// rank (classification), and autocorrelation utilities used by the Residual
+// Loss analysis (paper Eq. 5 and Fig. 4).
+#ifndef MSDMIXER_METRICS_METRICS_H_
+#define MSDMIXER_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// ---- Regression -------------------------------------------------------------
+double MseMetric(const Tensor& prediction, const Tensor& target);
+double MaeMetric(const Tensor& prediction, const Tensor& target);
+// MSE/MAE restricted to positions where mask == 1.
+double MaskedMseMetric(const Tensor& prediction, const Tensor& target,
+                       const Tensor& mask);
+double MaskedMaeMetric(const Tensor& prediction, const Tensor& target,
+                       const Tensor& mask);
+
+// ---- M4 short-term (paper Eq. 8) ---------------------------------------------
+// SMAPE in percent (0..200).
+double Smape(const std::vector<float>& forecast,
+             const std::vector<float>& actual);
+
+// MASE: mean |error| scaled by the in-sample seasonal-naive MAE with
+// periodicity m (m=1 -> plain naive differencing).
+double Mase(const std::vector<float>& forecast,
+            const std::vector<float>& actual,
+            const std::vector<float>& insample, int64_t m);
+
+// Naive2 reference forecast: deseasonalize the history with multiplicative
+// period-m indices (when m > 1), repeat the last deseasonalized value, and
+// reseasonalize. With m == 1 this is the plain naive forecast.
+std::vector<float> Naive2Forecast(const std::vector<float>& history,
+                                  int64_t horizon, int64_t m);
+
+struct M4Scores {
+  double smape = 0.0;
+  double mase = 0.0;
+  double owa = 0.0;  // vs the Naive2 reference
+};
+
+// Aggregates SMAPE/MASE over a set of series and forms OWA against Naive2
+// computed on the same data.
+M4Scores EvaluateM4(const std::vector<std::vector<float>>& forecasts,
+                    const std::vector<std::vector<float>>& actuals,
+                    const std::vector<std::vector<float>>& histories,
+                    int64_t m);
+
+// ---- Anomaly detection -----------------------------------------------------------
+struct DetectionScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+// Applies the point-adjustment protocol (Xu et al., Anomaly Transformer; used
+// by the paper's Table IX): if any point of a contiguous ground-truth anomaly
+// segment is predicted, the whole segment counts as detected. Inputs are 0/1
+// sequences of equal length.
+std::vector<int> PointAdjust(const std::vector<int>& predictions,
+                             const std::vector<int>& labels);
+
+DetectionScores PrecisionRecallF1(const std::vector<int>& predictions,
+                                  const std::vector<int>& labels);
+
+// Threshold chosen so that `anomaly_ratio` of the combined scores exceed it
+// (the Time-Series-Library convention).
+float ThresholdForRatio(std::vector<float> scores, double anomaly_ratio);
+
+// ---- Classification -----------------------------------------------------------------
+double Accuracy(const std::vector<int64_t>& predictions,
+                const std::vector<int64_t>& labels);
+
+// Average rank of each method across benchmarks; `scores[b][m]` is method
+// m's score on benchmark b, where *higher is better*. Ties share the mean
+// rank. Returns one mean rank per method (lower is better).
+std::vector<double> MeanRanks(const std::vector<std::vector<double>>& scores);
+
+// ---- Autocorrelation ----------------------------------------------------------------
+// Sample ACF per channel: for input [C, L] returns [C, L-1] with entry (c, j)
+// the lag-(j+1) autocorrelation coefficient (paper Eq. 5).
+Tensor AutocorrelationMatrix(const Tensor& series);
+
+// Fraction of ACF entries within the white-noise band |a| <= alpha/sqrt(L).
+double WhiteNoiseBandFraction(const Tensor& acf, int64_t series_length,
+                              double alpha = 2.0);
+
+// Ljung-Box portmanteau statistic Q = n(n+2) * sum_{k=1..h} rho_k^2/(n-k)
+// for a single channel of `series` [C, L]. Under the white-noise null, Q is
+// approximately chi-squared with h degrees of freedom.
+double LjungBoxStatistic(const Tensor& series, int64_t channel,
+                         int64_t max_lag);
+
+// Upper critical value of the chi-squared distribution (Wilson-Hilferty
+// approximation); significance is the upper tail mass, e.g. 0.05.
+double ChiSquaredCriticalValue(int64_t degrees_of_freedom,
+                               double significance);
+
+// True if the Ljung-Box test fails to reject whiteness at `significance`.
+bool PassesLjungBoxWhitenessTest(const Tensor& series, int64_t channel,
+                                 int64_t max_lag, double significance = 0.05);
+
+// Naive-DFT periodogram of one channel: power at integer periods
+// 2..L/2, indexed by period (index p holds the power of period p; entries
+// 0 and 1 are zero).
+std::vector<double> Periodogram(const Tensor& series, int64_t channel);
+
+// Period in [2, L/2] with maximal periodogram power.
+int64_t DominantPeriod(const Tensor& series, int64_t channel);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_METRICS_METRICS_H_

@@ -1,0 +1,81 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <memory>
+
+namespace msd {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
+                                               int64_t num_heads, Rng& rng,
+                                               float dropout)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads) {
+  MSD_CHECK_GT(num_heads, 0);
+  MSD_CHECK_EQ(model_dim % num_heads, 0)
+      << "model_dim must be divisible by num_heads";
+  query_ = RegisterModule("query",
+                          std::make_unique<Linear>(model_dim, model_dim, rng));
+  key_ = RegisterModule("key",
+                        std::make_unique<Linear>(model_dim, model_dim, rng));
+  value_ = RegisterModule("value",
+                          std::make_unique<Linear>(model_dim, model_dim, rng));
+  output_ = RegisterModule("output",
+                           std::make_unique<Linear>(model_dim, model_dim, rng));
+  dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(dropout, rng));
+}
+
+Variable MultiHeadSelfAttention::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.rank(), 3) << "attention expects [B, L, D]";
+  MSD_CHECK_EQ(input.dim(2), model_dim_);
+  const int64_t batch = input.dim(0);
+  const int64_t length = input.dim(1);
+
+  // Project and split heads: [B, L, D] -> [B, H, L, d].
+  auto split_heads = [&](const Variable& x) {
+    Variable reshaped =
+        Reshape(x, {batch, length, num_heads_, head_dim_});
+    return Transpose(reshaped, 1, 2);
+  };
+  Variable q = split_heads(query_->Forward(input));
+  Variable k = split_heads(key_->Forward(input));
+  Variable v = split_heads(value_->Forward(input));
+
+  // Attention scores: [B, H, L, L].
+  Variable scores = MatMul(q, Transpose(k, -1, -2));
+  scores = MulScalar(scores,
+                     1.0f / std::sqrt(static_cast<float>(head_dim_)));
+  Variable weights = Softmax(scores, -1);
+  weights = dropout_->Forward(weights);
+
+  // Weighted values back to [B, L, D].
+  Variable context = MatMul(weights, v);              // [B, H, L, d]
+  context = Transpose(context, 1, 2);                 // [B, L, H, d]
+  context = Reshape(context, {batch, length, model_dim_});
+  return output_->Forward(context);
+}
+
+TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
+                                                 int64_t num_heads,
+                                                 int64_t ffn_dim, Rng& rng,
+                                                 float dropout) {
+  norm1_ = RegisterModule("norm1", std::make_unique<LayerNorm>(model_dim));
+  attention_ = RegisterModule(
+      "attention", std::make_unique<MultiHeadSelfAttention>(
+                       model_dim, num_heads, rng, dropout));
+  norm2_ = RegisterModule("norm2", std::make_unique<LayerNorm>(model_dim));
+  ffn1_ = RegisterModule("ffn1",
+                         std::make_unique<Linear>(model_dim, ffn_dim, rng));
+  ffn2_ = RegisterModule("ffn2",
+                         std::make_unique<Linear>(ffn_dim, model_dim, rng));
+  dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(dropout, rng));
+}
+
+Variable TransformerEncoderBlock::Forward(const Variable& input) {
+  Variable attended = attention_->Forward(norm1_->Forward(input));
+  Variable x = Add(input, dropout_->Forward(attended));
+  Variable ffn = ffn2_->Forward(Gelu(ffn1_->Forward(norm2_->Forward(x))));
+  return Add(x, dropout_->Forward(ffn));
+}
+
+}  // namespace msd

@@ -1,0 +1,53 @@
+// Multi-head self-attention and a pre-norm Transformer encoder block, the
+// substrate for the PatchTST-style baseline (the paper's strongest
+// comparison model family).
+#ifndef MSDMIXER_NN_ATTENTION_H_
+#define MSDMIXER_NN_ATTENTION_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+// Scaled dot-product multi-head self-attention over [B, L, D] sequences.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t model_dim, int64_t num_heads, Rng& rng,
+                         float dropout = 0.0f);
+
+  // [B, L, D] -> [B, L, D].
+  Variable Forward(const Variable& input) override;
+
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t model_dim_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Linear* query_;
+  Linear* key_;
+  Linear* value_;
+  Linear* output_;
+  Dropout* dropout_;
+};
+
+// Pre-norm Transformer encoder block:
+//   x = x + MHSA(LN(x));  x = x + FFN(LN(x)).
+class TransformerEncoderBlock : public Module {
+ public:
+  TransformerEncoderBlock(int64_t model_dim, int64_t num_heads,
+                          int64_t ffn_dim, Rng& rng, float dropout = 0.0f);
+
+  Variable Forward(const Variable& input) override;
+
+ private:
+  LayerNorm* norm1_;
+  MultiHeadSelfAttention* attention_;
+  LayerNorm* norm2_;
+  Linear* ffn1_;
+  Linear* ffn2_;
+  Dropout* dropout_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_ATTENTION_H_

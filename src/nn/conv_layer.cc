@@ -1,0 +1,33 @@
+#include "nn/conv_layer.h"
+
+#include <cmath>
+
+namespace msd {
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel_size, Rng& rng, int64_t stride,
+                         int64_t padding, bool bias)
+    : stride_(stride), padding_(padding) {
+  MSD_CHECK_GT(in_channels, 0);
+  MSD_CHECK_GT(out_channels, 0);
+  MSD_CHECK_GT(kernel_size, 0);
+  const float bound =
+      1.0f / std::sqrt(static_cast<float>(in_channels * kernel_size *
+                                          kernel_size));
+  kernel_ = RegisterParameter(
+      "kernel",
+      Tensor::RandUniform({out_channels, in_channels, kernel_size, kernel_size},
+                          -bound, bound, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::RandUniform({out_channels, 1, 1}, -bound, bound, rng));
+  }
+}
+
+Variable Conv2dLayer::Forward(const Variable& input) {
+  Variable out = Conv2d(input, kernel_, stride_, padding_);
+  if (bias_.defined()) out = Add(out, bias_);
+  return out;
+}
+
+}  // namespace msd

@@ -1,0 +1,27 @@
+// Conv2d as a Module: learnable kernel + per-output-channel bias.
+#ifndef MSDMIXER_NN_CONV_LAYER_H_
+#define MSDMIXER_NN_CONV_LAYER_H_
+
+#include "nn/layers.h"
+
+namespace msd {
+
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel_size,
+              Rng& rng, int64_t stride = 1, int64_t padding = 0,
+              bool bias = true);
+
+  // [B, C, H, W] -> [B, O, H', W'].
+  Variable Forward(const Variable& input) override;
+
+ private:
+  int64_t stride_;
+  int64_t padding_;
+  Variable kernel_;  // [O, C, k, k]
+  Variable bias_;    // [O, 1, 1] (undefined if bias=false)
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_CONV_LAYER_H_

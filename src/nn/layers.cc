@@ -1,0 +1,110 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace msd {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  MSD_CHECK_GT(in_features, 0);
+  MSD_CHECK_GT(out_features, 0);
+  const float bound = 1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = RegisterParameter(
+      "weight",
+      Tensor::RandUniform({in_features, out_features}, -bound, bound, rng));
+  if (bias) {
+    bias_ = RegisterParameter(
+        "bias", Tensor::RandUniform({out_features}, -bound, bound, rng));
+  }
+}
+
+Variable Linear::Forward(const Variable& input) {
+  MSD_CHECK_GE(input.rank(), 2);
+  MSD_CHECK_EQ(input.dim(-1), in_features_)
+      << "Linear expected last dim " << in_features_;
+  Variable out = MatMul(input, weight_);
+  if (bias_.defined()) out = Add(out, bias_);
+  return out;
+}
+
+Variable Activation::Forward(const Variable& input) {
+  switch (kind_) {
+    case ActivationKind::kRelu:
+      return Relu(input);
+    case ActivationKind::kGelu:
+      return Gelu(input);
+    case ActivationKind::kTanh:
+      return Tanh(input);
+    case ActivationKind::kSigmoid:
+      return Sigmoid(input);
+    case ActivationKind::kIdentity:
+      return input;
+  }
+  MSD_FATAL("unknown activation kind");
+}
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps) {
+  MSD_CHECK_GT(features, 0);
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({features}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({features}));
+}
+
+Variable LayerNorm::Forward(const Variable& input) {
+  MSD_CHECK_EQ(input.dim(-1), features_);
+  Variable mean = Mean(input, {-1}, /*keepdim=*/true);
+  Variable centered = Sub(input, mean);
+  Variable var = Mean(Square(centered), {-1}, /*keepdim=*/true);
+  Variable normalized = Div(centered, Sqrt(AddScalar(var, eps_)));
+  return Add(Mul(normalized, gamma_), beta_);
+}
+
+Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
+  MSD_CHECK_GE(p, 0.0f);
+  MSD_CHECK_LT(p, 1.0f);
+}
+
+Variable Dropout::Forward(const Variable& input) {
+  if (!training() || p_ == 0.0f) return input;
+  Tensor mask(input.shape());
+  const float keep = 1.0f - p_;
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng_->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  return Mul(input, Variable(std::move(mask)));
+}
+
+DropPath::DropPath(float p, Rng& rng) : p_(p), rng_(&rng) {
+  MSD_CHECK_GE(p, 0.0f);
+  MSD_CHECK_LT(p, 1.0f);
+}
+
+Variable DropPath::Forward(const Variable& input) {
+  if (!training() || p_ == 0.0f) return input;
+  // One keep/drop decision per sample (dim 0), broadcast over the rest.
+  Shape mask_shape(static_cast<size_t>(input.rank()), 1);
+  mask_shape[0] = input.dim(0);
+  Tensor mask(mask_shape);
+  const float keep = 1.0f - p_;
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = rng_->Bernoulli(keep) ? 1.0f / keep : 0.0f;
+  }
+  return Mul(input, Variable(std::move(mask)));
+}
+
+Sequential& Sequential::Add(std::unique_ptr<Module> module) {
+  MSD_CHECK(module != nullptr);
+  stages_.push_back(RegisterModule("stage" + std::to_string(next_index_++),
+                                   std::move(module)));
+  return *this;
+}
+
+Variable Sequential::Forward(const Variable& input) {
+  Variable x = input;
+  for (Module* stage : stages_) x = stage->Forward(x);
+  return x;
+}
+
+}  // namespace msd

@@ -1,0 +1,55 @@
+#include "nn/loss.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+Variable MseLoss(const Variable& prediction, const Variable& target) {
+  return MeanAll(Square(Sub(prediction, target)));
+}
+
+Variable MaeLoss(const Variable& prediction, const Variable& target) {
+  return MeanAll(Abs(Sub(prediction, target)));
+}
+
+Variable MaskedMseLoss(const Variable& prediction, const Variable& target,
+                       const Tensor& mask) {
+  MSD_CHECK(mask.shape() == prediction.shape());
+  const float count = SumAll(mask).item();
+  MSD_CHECK_GT(count, 0.0f) << "mask selects no elements";
+  Variable err = Mul(Square(Sub(prediction, target)), Variable(mask));
+  return MulScalar(SumAll(err), 1.0f / count);
+}
+
+Variable HuberLoss(const Variable& prediction, const Variable& target,
+                   float delta) {
+  MSD_CHECK_GT(delta, 0.0f);
+  // Branch-free formulation: let a = |error|, q = min(a, delta).
+  // loss = 0.5 q^2 + delta * (a - q); both pieces differentiable via
+  // existing ops (min via 0.5*(a + delta - |a - delta|)).
+  Variable a = Abs(Sub(prediction, target));
+  Variable q = MulScalar(
+      Sub(AddScalar(a, delta), Abs(AddScalar(a, -delta))), 0.5f);
+  Variable quadratic = MulScalar(Square(q), 0.5f);
+  Variable linear = MulScalar(Sub(a, q), delta);
+  return MeanAll(Add(quadratic, linear));
+}
+
+Variable CrossEntropyLoss(const Variable& logits, const Tensor& labels) {
+  MSD_CHECK_EQ(logits.rank(), 2);
+  MSD_CHECK_EQ(labels.rank(), 1);
+  const int64_t batch = logits.dim(0);
+  const int64_t classes = logits.dim(1);
+  MSD_CHECK_EQ(labels.dim(0), batch);
+  Tensor onehot = Tensor::Zeros({batch, classes});
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t label = static_cast<int64_t>(labels.data()[b]);
+    MSD_CHECK_GE(label, 0);
+    MSD_CHECK_LT(label, classes);
+    onehot.set({b, label}, 1.0f);
+  }
+  Variable picked = Mul(LogSoftmax(logits, 1), Variable(std::move(onehot)));
+  return MulScalar(SumAll(picked), -1.0f / static_cast<float>(batch));
+}
+
+}  // namespace msd

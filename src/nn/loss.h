@@ -1,0 +1,32 @@
+// Loss functions. All return scalar Variables suitable for Backward().
+#ifndef MSDMIXER_NN_LOSS_H_
+#define MSDMIXER_NN_LOSS_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace msd {
+
+// Mean squared error over all elements.
+Variable MseLoss(const Variable& prediction, const Variable& target);
+
+// Mean absolute error over all elements.
+Variable MaeLoss(const Variable& prediction, const Variable& target);
+
+// MSE restricted to positions where mask == 1 (mask is a constant 0/1 tensor
+// of the same shape); normalizes by the mask count. Used for imputation.
+Variable MaskedMseLoss(const Variable& prediction, const Variable& target,
+                       const Tensor& mask);
+
+// Huber (smooth-L1) loss: quadratic within |error| <= delta, linear beyond;
+// robust to the occasional outlier window. Mean over all elements.
+Variable HuberLoss(const Variable& prediction, const Variable& target,
+                   float delta = 1.0f);
+
+// Softmax cross entropy from logits [B, M] against integer class labels [B]
+// (stored as floats). Mean over the batch.
+Variable CrossEntropyLoss(const Variable& logits, const Tensor& labels);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_LOSS_H_

@@ -1,0 +1,49 @@
+#include "nn/module.h"
+
+namespace msd {
+
+Variable Module::Forward(const Variable&) {
+  MSD_FATAL("this module does not implement unary Forward()");
+}
+
+std::vector<Variable> Module::Parameters() const {
+  std::vector<Variable> out;
+  for (const auto& [name, param] : NamedParameters()) out.push_back(param);
+  return out;
+}
+
+std::vector<std::pair<std::string, Variable>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Variable>> out;
+  CollectNamed("", &out);
+  return out;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, Variable>>* out) const {
+  for (const auto& [name, param] : params_) {
+    out->emplace_back(prefix + name, param);
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectNamed(prefix + name + ".", out);
+  }
+}
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& param : Parameters()) n += param.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+Variable Module::RegisterParameter(std::string name, Tensor init) {
+  Variable param(std::move(init), /*requires_grad=*/true);
+  params_.emplace_back(std::move(name), param);
+  return param;
+}
+
+}  // namespace msd

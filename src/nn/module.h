@@ -1,0 +1,68 @@
+// Base class for neural-network modules: owns parameters and child modules,
+// exposes a flat parameter list for optimizers, and tracks train/eval mode
+// (consumed by stochastic modules like Dropout/DropPath).
+#ifndef MSDMIXER_NN_MODULE_H_
+#define MSDMIXER_NN_MODULE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace msd {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // Unary forward; modules with richer signatures (multiple inputs, tuples)
+  // define their own methods and leave this unimplemented.
+  virtual Variable Forward(const Variable& input);
+
+  // All trainable parameters of this module and its children, depth-first.
+  // The returned Variables share nodes with the stored parameters, so
+  // optimizers can mutate values/grads through them.
+  std::vector<Variable> Parameters() const;
+
+  // Named (path-qualified) parameters, for checkpoint-style introspection.
+  std::vector<std::pair<std::string, Variable>> NamedParameters() const;
+
+  // Total number of scalar parameters.
+  int64_t NumParameters() const;
+
+  // Switches this module and all children between training and evaluation
+  // behaviour.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  Module() = default;
+
+  // Registers a trainable parameter; returns a handle the subclass stores.
+  Variable RegisterParameter(std::string name, Tensor init);
+
+  // Registers a child and returns a raw pointer for the subclass to keep.
+  template <typename M>
+  M* RegisterModule(std::string name, std::unique_ptr<M> child) {
+    M* raw = child.get();
+    children_.emplace_back(std::move(name), std::move(child));
+    return raw;
+  }
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Variable>>* out) const;
+
+  std::vector<std::pair<std::string, Variable>> params_;
+  std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_MODULE_H_

@@ -1,0 +1,23 @@
+#include "nn/revin.h"
+
+namespace msd {
+
+RevInStats ComputeRevInStats(const Variable& x, float eps) {
+  MSD_CHECK_EQ(x.rank(), 3) << "RevIN expects [B, C, L]";
+  RevInStats stats;
+  stats.mean = Mean(x, {2}, /*keepdim=*/true);
+  Variable centered = Sub(x, stats.mean);
+  Variable var = Mean(Square(centered), {2}, /*keepdim=*/true);
+  stats.std = Sqrt(AddScalar(var, eps));
+  return stats;
+}
+
+Variable RevInNormalize(const Variable& x, const RevInStats& stats) {
+  return Div(Sub(x, stats.mean), stats.std);
+}
+
+Variable RevInDenormalize(const Variable& y, const RevInStats& stats) {
+  return Add(Mul(y, stats.std), stats.mean);
+}
+
+}  // namespace msd

@@ -1,0 +1,30 @@
+// Reversible instance normalization (RevIN, Kim et al. 2022): normalize each
+// (sample, channel) series by its own mean/std before the model and restore
+// the statistics on the output. Standard equipment of modern forecasters
+// (PatchTST and friends) for distribution shift between windows.
+#ifndef MSDMIXER_NN_REVIN_H_
+#define MSDMIXER_NN_REVIN_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace msd {
+
+struct RevInStats {
+  Variable mean;  // [B, C, 1]
+  Variable std;   // [B, C, 1]
+};
+
+// Statistics over the time (last) axis of [B, C, L].
+RevInStats ComputeRevInStats(const Variable& x, float eps = 1e-5f);
+
+// (x - mean) / std.
+Variable RevInNormalize(const Variable& x, const RevInStats& stats);
+
+// y * std + mean; `y` may have a different length than the input (e.g. the
+// forecast horizon) — stats broadcast over time.
+Variable RevInDenormalize(const Variable& y, const RevInStats& stats);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_REVIN_H_

@@ -1,0 +1,141 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'S', 'D', 'C', 'K', 'P', 'T', '\0'};
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteBytes(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+bool ReadBytes(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  std::FILE* f = file.get();
+  const auto named = module.NamedParameters();
+  const uint64_t count = named.size();
+  if (!WriteBytes(f, kMagic, sizeof(kMagic)) ||
+      !WriteBytes(f, &kVersion, sizeof(kVersion)) ||
+      !WriteBytes(f, &count, sizeof(count))) {
+    return Status::Internal("write failed: " + path);
+  }
+  for (const auto& [name, param] : named) {
+    const uint64_t name_len = name.size();
+    const uint64_t rank = static_cast<uint64_t>(param.rank());
+    if (!WriteBytes(f, &name_len, sizeof(name_len)) ||
+        !WriteBytes(f, name.data(), name.size()) ||
+        !WriteBytes(f, &rank, sizeof(rank))) {
+      return Status::Internal("write failed: " + path);
+    }
+    for (int64_t d : param.shape()) {
+      if (!WriteBytes(f, &d, sizeof(d))) {
+        return Status::Internal("write failed: " + path);
+      }
+    }
+    if (!WriteBytes(f, param.value().data(),
+                    static_cast<size_t>(param.numel()) * sizeof(float))) {
+      return Status::Internal("write failed: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(Module& module, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::FILE* f = file.get();
+  char magic[8];
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadBytes(f, magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not an MSD checkpoint: " + path);
+  }
+  if (!ReadBytes(f, &version, sizeof(version)) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadBytes(f, &count, sizeof(count))) {
+    return Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+
+  std::map<std::string, std::pair<Shape, std::vector<float>>> entries;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadBytes(f, &name_len, sizeof(name_len)) || name_len > (1u << 20)) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    std::string name(name_len, '\0');
+    uint64_t rank = 0;
+    if (!ReadBytes(f, name.data(), name_len) ||
+        !ReadBytes(f, &rank, sizeof(rank)) || rank > 16) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    Shape shape(rank);
+    for (uint64_t d = 0; d < rank; ++d) {
+      if (!ReadBytes(f, &shape[d], sizeof(int64_t)) || shape[d] < 0) {
+        return Status::InvalidArgument("truncated checkpoint: " + path);
+      }
+    }
+    const int64_t numel = NumElementsOf(shape);
+    std::vector<float> data(static_cast<size_t>(numel));
+    if (!ReadBytes(f, data.data(), data.size() * sizeof(float))) {
+      return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    entries.emplace(std::move(name),
+                    std::make_pair(std::move(shape), std::move(data)));
+  }
+
+  auto named = module.NamedParameters();
+  if (named.size() != entries.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: model has " +
+        std::to_string(named.size()) + ", checkpoint has " +
+        std::to_string(entries.size()));
+  }
+  for (auto& [name, param] : named) {
+    auto it = entries.find(name);
+    if (it == entries.end()) {
+      return Status::NotFound("parameter missing from checkpoint: " + name);
+    }
+    if (it->second.first != param.shape()) {
+      return Status::InvalidArgument(
+          "shape mismatch for " + name + ": model " +
+          ShapeToString(param.shape()) + " vs checkpoint " +
+          ShapeToString(it->second.first));
+    }
+    std::copy(it->second.second.begin(), it->second.second.end(),
+              param.mutable_value().data());
+  }
+  return Status::OK();
+}
+
+}  // namespace msd

@@ -1,0 +1,28 @@
+// Model checkpointing: saves/loads a Module's named parameters to a simple
+// versioned binary format ("MSDCKPT"). Loading is by parameter name, so a
+// checkpoint survives reordering but not renaming; shape mismatches are
+// recoverable errors (Status), not crashes.
+#ifndef MSDMIXER_NN_SERIALIZE_H_
+#define MSDMIXER_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace msd {
+
+// Binary layout:
+//   magic "MSDCKPT\0" | uint32 version | uint64 param_count |
+//   per param: uint64 name_len | name bytes | uint64 rank |
+//              int64 dims[rank] | float data[numel]
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+// Loads values into the module's parameters by name. Every parameter of the
+// module must be present in the file with a matching shape; extra entries in
+// the file are an error too (they indicate a model/checkpoint mismatch).
+Status LoadCheckpoint(Module& module, const std::string& path);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_NN_SERIALIZE_H_

@@ -1,0 +1,132 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+Optimizer::Optimizer(std::vector<Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  MSD_CHECK_GT(lr, 0.0f);
+  for (const Variable& p : params_) {
+    MSD_CHECK(p.defined());
+    MSD_CHECK(p.requires_grad()) << "optimizer given a non-trainable Variable";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Variable& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<Variable> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.resize(params_.size());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    const int64_t n = p.numel();
+    if (momentum_ > 0.0f) {
+      if (!velocity_[i].defined()) velocity_[i] = Tensor(p.shape());
+      float* v = velocity_[i].data();
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        v[j] = momentum_ * v[j] + grad;
+        w[j] -= lr_ * v[j];
+      }
+    } else {
+      for (int64_t j = 0; j < n; ++j) {
+        const float grad = g[j] + weight_decay_ * w[j];
+        w[j] -= lr_ * grad;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay, bool decoupled_weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay),
+      decoupled_(decoupled_weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    if (!m_[i].defined()) {
+      m_[i] = Tensor(p.shape());
+      v_[i] = Tensor(p.shape());
+    }
+    const float* g = p.grad().data();
+    float* w = p.mutable_value().data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float grad = g[j];
+      if (weight_decay_ > 0.0f && !decoupled_) grad += weight_decay_ * w[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad * grad;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      float update = m_hat / (std::sqrt(v_hat) + eps_);
+      if (weight_decay_ > 0.0f && decoupled_) update += weight_decay_ * w[j];
+      w[j] -= lr_ * update;
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  MSD_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const Variable& p : params) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad().data();
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      total_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Variable& p : params) {
+      if (!p.has_grad()) continue;
+      Variable mutable_param = p;  // Variables alias their node
+      float* g = mutable_param.mutable_grad().data();
+      for (int64_t j = 0; j < p.numel(); ++j) g[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+void ExponentialLr::SetEpoch(int64_t epoch) {
+  opt_->set_lr(base_lr_ * std::pow(gamma_, static_cast<float>(epoch)));
+}
+
+void CosineLr::SetEpoch(int64_t epoch) {
+  MSD_CHECK_GT(total_epochs_, 0);
+  const float progress =
+      std::min(1.0f, static_cast<float>(epoch) /
+                         static_cast<float>(total_epochs_));
+  const float cosine = 0.5f * (1.0f + std::cos(M_PI * progress));
+  opt_->set_lr(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+}  // namespace msd

@@ -1,0 +1,107 @@
+// First-order optimizers over lists of parameter Variables, plus gradient
+// clipping and learning-rate schedules.
+#ifndef MSDMIXER_OPTIM_OPTIMIZER_H_
+#define MSDMIXER_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace msd {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  // Applies one update using the gradients currently stored on parameters.
+  // Parameters without a gradient are skipped.
+  virtual void Step() = 0;
+
+  // Clears parameter gradients; call between steps.
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<Variable> params_;
+  float lr_;
+};
+
+// Plain SGD with optional classical momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Variable> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+// Adam (Kingma & Ba). With decoupled_weight_decay=true this is AdamW.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f,
+       bool decoupled_weight_decay = true);
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  bool decoupled_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+// Scales gradients in place so their global L2 norm is at most `max_norm`.
+// Returns the pre-clip norm.
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm);
+
+// Multiplicative decay: lr <- lr0 * gamma^epoch.
+class ExponentialLr {
+ public:
+  ExponentialLr(Optimizer* opt, float gamma)
+      : opt_(opt), gamma_(gamma), base_lr_(opt->lr()) {}
+
+  void SetEpoch(int64_t epoch);
+
+ private:
+  Optimizer* opt_;
+  float gamma_;
+  float base_lr_;
+};
+
+// Cosine annealing from the base LR to `min_lr` over `total_epochs`.
+class CosineLr {
+ public:
+  CosineLr(Optimizer* opt, int64_t total_epochs, float min_lr = 0.0f)
+      : opt_(opt),
+        total_epochs_(total_epochs),
+        min_lr_(min_lr),
+        base_lr_(opt->lr()) {}
+
+  void SetEpoch(int64_t epoch);
+
+ private:
+  Optimizer* opt_;
+  int64_t total_epochs_;
+  float min_lr_;
+  float base_lr_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_OPTIM_OPTIMIZER_H_

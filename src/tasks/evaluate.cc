@@ -1,0 +1,148 @@
+#include "tasks/evaluate.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+RegressionScores EvaluateForecast(TaskModel& model, const Dataset& test,
+                                  int64_t batch_size) {
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  Rng rng(1);
+  DataLoader loader(&test, batch_size, /*shuffle=*/false, rng);
+  double sse = 0.0;
+  double sae = 0.0;
+  int64_t count = 0;
+  for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+    Batch batch = loader.GetBatch(b);
+    Tensor pred = model.Forward(Variable(batch.input)).prediction.value();
+    MSD_CHECK(pred.shape() == batch.target.shape());
+    const int64_t n = pred.numel();
+    sse += MseMetric(pred, batch.target) * static_cast<double>(n);
+    sae += MaeMetric(pred, batch.target) * static_cast<double>(n);
+    count += n;
+  }
+  MSD_CHECK_GT(count, 0);
+  return {sse / static_cast<double>(count), sae / static_cast<double>(count)};
+}
+
+RegressionScores EvaluateImputation(TaskModel& model,
+                                    const ImputationWindowDataset& test,
+                                    int64_t batch_size) {
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  double sse = 0.0;
+  double sae = 0.0;
+  int64_t count = 0;
+  // Ordered traversal so sample indices map directly to masks.
+  for (int64_t start = 0; start < test.Size(); start += batch_size) {
+    const int64_t end = std::min<int64_t>(start + batch_size, test.Size());
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> targets;
+    std::vector<Tensor> missing_masks;
+    for (int64_t i = start; i < end; ++i) {
+      Sample s = test.Get(i);
+      inputs.push_back(std::move(s.input));
+      targets.push_back(std::move(s.target));
+      // MaskFor returns the observation mask (1 = observed); invert it.
+      Tensor observed = test.MaskFor(i);
+      missing_masks.push_back(
+          Sub(Tensor::Ones(observed.shape()), observed));
+    }
+    Tensor pred =
+        model.Forward(Variable(Stack(inputs))).prediction.value();
+    Tensor target = Stack(targets);
+    Tensor missing = Stack(missing_masks);
+    const float* p = pred.data();
+    const float* t = target.data();
+    const float* m = missing.data();
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      if (m[i] == 0.0f) continue;
+      const double d = static_cast<double>(p[i]) - t[i];
+      sse += d * d;
+      sae += std::fabs(d);
+      ++count;
+    }
+  }
+  MSD_CHECK_GT(count, 0) << "no masked positions to score";
+  return {sse / static_cast<double>(count), sae / static_cast<double>(count)};
+}
+
+double EvaluateClassificationAccuracy(TaskModel& model, const Dataset& test,
+                                      int64_t batch_size) {
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  Rng rng(1);
+  DataLoader loader(&test, batch_size, /*shuffle=*/false, rng);
+  std::vector<int64_t> predictions;
+  std::vector<int64_t> labels;
+  for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+    Batch batch = loader.GetBatch(b);
+    Tensor logits = model.Forward(Variable(batch.input)).prediction.value();
+    Tensor arg = ArgMax(logits, 1);
+    Tensor target = batch.target.rank() == 2
+                        ? batch.target.Reshape({batch.target.dim(0)})
+                        : batch.target;
+    for (int64_t i = 0; i < arg.numel(); ++i) {
+      predictions.push_back(static_cast<int64_t>(arg.data()[i]));
+      labels.push_back(static_cast<int64_t>(target.data()[i]));
+    }
+  }
+  return Accuracy(predictions, labels);
+}
+
+std::vector<float> ReconstructionScores(TaskModel& model, const Tensor& series,
+                                        int64_t window) {
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  MSD_CHECK_EQ(series.rank(), 2);
+  const int64_t channels = series.dim(0);
+  const int64_t num_windows = series.dim(1) / window;
+  MSD_CHECK_GT(num_windows, 0);
+  std::vector<float> scores;
+  scores.reserve(static_cast<size_t>(num_windows * window));
+  constexpr int64_t kBatch = 16;
+  for (int64_t w0 = 0; w0 < num_windows; w0 += kBatch) {
+    const int64_t w1 = std::min(w0 + kBatch, num_windows);
+    std::vector<Tensor> windows;
+    for (int64_t w = w0; w < w1; ++w) {
+      windows.push_back(Slice(series, 1, w * window, window));
+    }
+    Tensor x = Stack(windows);  // [b, C, W]
+    Tensor recon = model.Forward(Variable(x)).prediction.value();
+    Tensor err = Mean(Square(Sub(recon, x)), {1}, /*keepdim=*/false);  // [b, W]
+    const float* e = err.data();
+    for (int64_t i = 0; i < err.numel(); ++i) scores.push_back(e[i]);
+    (void)channels;
+  }
+  return scores;
+}
+
+AnomalyEvalResult EvaluateAnomalyDetection(TaskModel& model,
+                                           const Tensor& train_series,
+                                           const Tensor& test_series,
+                                           const std::vector<int>& labels,
+                                           int64_t window,
+                                           double anomaly_ratio) {
+  std::vector<float> train_scores =
+      ReconstructionScores(model, train_series, window);
+  std::vector<float> test_scores =
+      ReconstructionScores(model, test_series, window);
+
+  std::vector<float> combined = train_scores;
+  combined.insert(combined.end(), test_scores.begin(), test_scores.end());
+  const float threshold = ThresholdForRatio(combined, anomaly_ratio);
+
+  // Scores cover only full windows; truncate labels to match.
+  MSD_CHECK_LE(test_scores.size(), labels.size());
+  std::vector<int> truth(labels.begin(),
+                         labels.begin() + static_cast<int64_t>(test_scores.size()));
+  std::vector<int> predicted(test_scores.size(), 0);
+  for (size_t i = 0; i < test_scores.size(); ++i) {
+    predicted[i] = test_scores[i] > threshold ? 1 : 0;
+  }
+  std::vector<int> adjusted = PointAdjust(predicted, truth);
+  return {PrecisionRecallF1(adjusted, truth), threshold};
+}
+
+}  // namespace msd

@@ -1,0 +1,56 @@
+// Evaluation loops (gradient-free) for the five tasks.
+#ifndef MSDMIXER_TASKS_EVALUATE_H_
+#define MSDMIXER_TASKS_EVALUATE_H_
+
+#include <vector>
+
+#include "data/window_dataset.h"
+#include "metrics/metrics.h"
+#include "tasks/task_model.h"
+#include "tasks/trainer.h"
+
+namespace msd {
+
+struct RegressionScores {
+  double mse = 0.0;
+  double mae = 0.0;
+};
+
+// Mean MSE/MAE of model predictions over every sample in `test`.
+RegressionScores EvaluateForecast(TaskModel& model, const Dataset& test,
+                                  int64_t batch_size = 32);
+
+// Masked-position MSE/MAE for imputation: predictions are scored only where
+// the dataset's observation mask is 0 (the missing points).
+RegressionScores EvaluateImputation(TaskModel& model,
+                                    const ImputationWindowDataset& test,
+                                    int64_t batch_size = 32);
+
+// Top-1 accuracy for classification; model outputs [B, M] logits.
+double EvaluateClassificationAccuracy(TaskModel& model, const Dataset& test,
+                                      int64_t batch_size = 32);
+
+struct AnomalyEvalResult {
+  DetectionScores scores;
+  float threshold = 0.0f;
+};
+
+// Reconstruction-based detection protocol (paper §IV-E): per-time-step score
+// = mean squared reconstruction error across channels, threshold at the
+// (1 - anomaly_ratio) quantile of train+test scores, point-adjusted F1.
+// `model` must already be trained on the (normal) training windows.
+AnomalyEvalResult EvaluateAnomalyDetection(TaskModel& model,
+                                           const Tensor& train_series,
+                                           const Tensor& test_series,
+                                           const std::vector<int>& labels,
+                                           int64_t window,
+                                           double anomaly_ratio);
+
+// Per-time-step reconstruction error scores over consecutive windows of a
+// [C, T] series (last partial window dropped).
+std::vector<float> ReconstructionScores(TaskModel& model, const Tensor& series,
+                                        int64_t window);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TASKS_EVALUATE_H_

@@ -1,0 +1,168 @@
+#include "tasks/experiments.h"
+
+#include <algorithm>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+RegressionScores RunForecastExperiment(TaskModel& model,
+                                       const Tensor& raw_series,
+                                       const ForecastExperimentConfig& config) {
+  SeriesSplits splits = SplitSeries(raw_series, config.split);
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  Tensor train = scaler.Transform(splits.train);
+  Tensor test = scaler.Transform(splits.test);
+
+  ForecastWindowDataset train_data(train, config.lookback, config.horizon,
+                                   config.train_stride);
+  ForecastWindowDataset test_data(test, config.lookback, config.horizon,
+                                  config.eval_stride);
+  Train(model, train_data, config.trainer, ForecastMseTaskLoss);
+  return EvaluateForecast(model, test_data);
+}
+
+RegressionScores RunImputationExperiment(
+    TaskModel& model, const Tensor& raw_series,
+    const ImputationExperimentConfig& config) {
+  SeriesSplits splits = SplitSeries(raw_series, config.split);
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  Tensor train = scaler.Transform(splits.train);
+  Tensor test = scaler.Transform(splits.test);
+
+  ImputationWindowDataset train_data(train, config.window,
+                                     config.missing_ratio, config.mask_seed,
+                                     config.train_stride);
+  ImputationWindowDataset test_data(test, config.window, config.missing_ratio,
+                                    config.mask_seed ^ 0x1234567ULL,
+                                    config.eval_stride);
+  Train(model, train_data, config.trainer,
+        config.masked_loss ? ImputationTaskLoss : ReconstructionMseTaskLoss);
+  return EvaluateImputation(model, test_data);
+}
+
+int64_t ShortTermLookback(const M4SubsetSpec& spec,
+                          const ShortTermExperimentConfig& config) {
+  const int64_t wanted = spec.horizon * config.lookback_multiple;
+  return std::min<int64_t>(wanted, spec.history_length - spec.horizon);
+}
+
+M4Scores RunShortTermExperiment(TaskModel& model,
+                                const std::vector<UnivariateSeries>& series,
+                                const M4SubsetSpec& spec,
+                                const ShortTermExperimentConfig& config) {
+  MSD_CHECK(!series.empty());
+  const int64_t lookback = ShortTermLookback(spec, config);
+  MSD_CHECK_GT(lookback, 0);
+
+  // Training windows: slide (lookback + horizon) over each history. Inputs
+  // are mean-scaled per window (M4 series live on very different levels).
+  auto window_scale = [](const float* data, int64_t n) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += data[i];
+    mean /= static_cast<double>(n);
+    return static_cast<float>(std::max(std::fabs(mean), 1e-3));
+  };
+
+  std::vector<Sample> train_samples;
+  for (const UnivariateSeries& s : series) {
+    const int64_t history = static_cast<int64_t>(s.history.size());
+    const int64_t usable = history - lookback - spec.horizon;
+    const int64_t stride = std::max<int64_t>(1, usable / 4);
+    for (int64_t start = 0; start <= usable; start += stride) {
+      const float scale = window_scale(s.history.data() + start, lookback);
+      Tensor x({1, lookback});
+      Tensor y({1, spec.horizon});
+      for (int64_t t = 0; t < lookback; ++t) {
+        x.set({0, t}, s.history[static_cast<size_t>(start + t)] / scale);
+      }
+      for (int64_t t = 0; t < spec.horizon; ++t) {
+        y.set({0, t},
+              s.history[static_cast<size_t>(start + lookback + t)] / scale);
+      }
+      train_samples.push_back({std::move(x), std::move(y)});
+    }
+  }
+  VectorDataset train_data(std::move(train_samples));
+  Train(model, train_data, config.trainer, ForecastMseTaskLoss);
+
+  // Forecast each series from the end of its history.
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  std::vector<std::vector<float>> forecasts;
+  std::vector<std::vector<float>> actuals;
+  std::vector<std::vector<float>> histories;
+  for (const UnivariateSeries& s : series) {
+    const int64_t history = static_cast<int64_t>(s.history.size());
+    const float scale = window_scale(s.history.data() + history - lookback,
+                                     lookback);
+    Tensor x({1, 1, lookback});
+    for (int64_t t = 0; t < lookback; ++t) {
+      x.set({0, 0, t},
+            s.history[static_cast<size_t>(history - lookback + t)] / scale);
+    }
+    Tensor pred = model.Forward(Variable(x)).prediction.value();
+    std::vector<float> forecast(static_cast<size_t>(spec.horizon));
+    for (int64_t t = 0; t < spec.horizon; ++t) {
+      forecast[static_cast<size_t>(t)] = pred.at({0, 0, t}) * scale;
+    }
+    forecasts.push_back(std::move(forecast));
+    actuals.push_back(s.future);
+    histories.push_back(s.history);
+  }
+  return EvaluateM4(forecasts, actuals, histories, spec.period);
+}
+
+AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
+                                       const Tensor& test,
+                                       const std::vector<int>& labels,
+                                       const AnomalyExperimentConfig& config) {
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Tensor train_scaled = scaler.Transform(train);
+  Tensor test_scaled = scaler.Transform(test);
+
+  const int64_t train_stride = config.train_stride > 0
+                                   ? config.train_stride
+                                   : std::max<int64_t>(1, config.window / 4);
+  ReconstructionWindowDataset train_data(train_scaled, config.window,
+                                         train_stride);
+  Train(model, train_data, config.trainer, ReconstructionMseTaskLoss);
+
+  double ratio = config.anomaly_ratio;
+  if (ratio <= 0.0) {
+    int64_t anomalous = 0;
+    for (int v : labels) anomalous += v;
+    ratio = std::max(
+        0.005, 0.5 * static_cast<double>(anomalous) /
+                   static_cast<double>(std::max<size_t>(1, labels.size())));
+  }
+  return EvaluateAnomalyDetection(model, train_scaled, test_scaled, labels,
+                                  config.window, ratio);
+}
+
+std::vector<Sample> MakeClassificationSamples(
+    const std::vector<Tensor>& xs, const std::vector<int64_t>& ys) {
+  MSD_CHECK_EQ(xs.size(), ys.size());
+  std::vector<Sample> samples;
+  samples.reserve(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    samples.push_back(
+        {xs[i], Tensor::Full({1}, static_cast<float>(ys[i]))});
+  }
+  return samples;
+}
+
+double RunClassificationExperiment(
+    TaskModel& model, const ClassificationData& data,
+    const ClassificationExperimentConfig& config) {
+  VectorDataset train_data(MakeClassificationSamples(data.train_x,
+                                                     data.train_y));
+  VectorDataset test_data(MakeClassificationSamples(data.test_x, data.test_y));
+  Train(model, train_data, config.trainer, ClassificationTaskLoss);
+  return EvaluateClassificationAccuracy(model, test_data);
+}
+
+}  // namespace msd

@@ -1,0 +1,104 @@
+// High-level experiment drivers mirroring the paper's five protocols. Bench
+// binaries and examples assemble models + data and call these.
+#ifndef MSDMIXER_TASKS_EXPERIMENTS_H_
+#define MSDMIXER_TASKS_EXPERIMENTS_H_
+
+#include <vector>
+
+#include "data/scaler.h"
+#include "datagen/classification_gen.h"
+#include "datagen/m4like.h"
+#include "tasks/evaluate.h"
+
+namespace msd {
+
+// ---- Long-term forecasting (Table IV protocol) ------------------------------
+struct ForecastExperimentConfig {
+  int64_t lookback = 96;
+  int64_t horizon = 96;
+  SplitSpec split{0.7, 0.1};
+  // Window strides let CPU benches subsample the dense sliding window.
+  int64_t train_stride = 1;
+  int64_t eval_stride = 1;
+  TrainerConfig trainer;
+};
+
+// Splits chronologically, standardizes with train statistics, trains on the
+// train span, and reports scaled-space MSE/MAE on the test span (the
+// Time-Series-Library convention the paper follows).
+RegressionScores RunForecastExperiment(TaskModel& model,
+                                       const Tensor& raw_series,
+                                       const ForecastExperimentConfig& config);
+
+// ---- Imputation (Table VII protocol) ------------------------------------------
+struct ImputationExperimentConfig {
+  int64_t window = 96;
+  double missing_ratio = 0.25;
+  // Train on masked-position MSE (the TSLib convention) vs full
+  // reconstruction MSE; exposed for the adaptation ablation bench.
+  bool masked_loss = true;
+  SplitSpec split{0.7, 0.1};
+  int64_t train_stride = 1;
+  int64_t eval_stride = 1;
+  uint64_t mask_seed = 42;
+  TrainerConfig trainer;
+};
+
+// Trains on randomly-masked windows of the train span (input = masked,
+// target = clean); reports MSE/MAE at masked positions of the test span.
+RegressionScores RunImputationExperiment(
+    TaskModel& model, const Tensor& raw_series,
+    const ImputationExperimentConfig& config);
+
+// ---- Short-term forecasting (Table VI protocol) ----------------------------------
+struct ShortTermExperimentConfig {
+  // Input window; the M4 pipelines of the baselines use 2 * horizon.
+  int64_t lookback_multiple = 2;
+  TrainerConfig trainer;
+};
+
+// Trains a univariate forecaster over all series of an M4-like subset and
+// scores SMAPE/MASE/OWA against the subset's futures. The model consumes
+// [B, 1, lookback] and emits [B, 1, horizon].
+M4Scores RunShortTermExperiment(TaskModel& model,
+                                const std::vector<UnivariateSeries>& series,
+                                const M4SubsetSpec& spec,
+                                const ShortTermExperimentConfig& config);
+
+// Lookback used by RunShortTermExperiment for a given subset.
+int64_t ShortTermLookback(const M4SubsetSpec& spec,
+                          const ShortTermExperimentConfig& config);
+
+// ---- Anomaly detection (Table IX protocol) -----------------------------------------
+struct AnomalyExperimentConfig {
+  int64_t window = 100;
+  // Stride of training windows (0 = window/4; overlapping windows multiply
+  // the training set; scoring always uses non-overlapping windows).
+  int64_t train_stride = 0;
+  // Quantile used for the detection threshold. <= 0 derives it from the
+  // labeled anomaly rate of the test split.
+  double anomaly_ratio = 0.0;
+  TrainerConfig trainer;
+};
+
+AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
+                                       const Tensor& test,
+                                       const std::vector<int>& labels,
+                                       const AnomalyExperimentConfig& config);
+
+// ---- Classification (Table XI protocol) ----------------------------------------------
+struct ClassificationExperimentConfig {
+  TrainerConfig trainer;
+};
+
+double RunClassificationExperiment(TaskModel& model,
+                                   const ClassificationData& data,
+                                   const ClassificationExperimentConfig& config);
+
+// Builds the (input [C, L], label [1]) sample set for a classification split.
+std::vector<Sample> MakeClassificationSamples(
+    const std::vector<Tensor>& xs, const std::vector<int64_t>& ys);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TASKS_EXPERIMENTS_H_

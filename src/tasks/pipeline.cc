@@ -1,0 +1,212 @@
+#include "tasks/pipeline.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "data/window_dataset.h"
+#include "metrics/metrics.h"
+#include "nn/serialize.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+
+namespace {
+
+std::vector<int64_t> DeriveLadder(const Tensor& series, int64_t lookback) {
+  Tensor probe = series.dim(1) > 4 * lookback
+                     ? Slice(series, 1, series.dim(1) - 4 * lookback,
+                             4 * lookback)
+                     : series;
+  const int64_t period = std::min<int64_t>(DominantPeriod(probe, 0), lookback);
+  std::vector<int64_t> ladder;
+  for (int64_t p : {period, period / 2, period / 4, int64_t{2}, int64_t{1}}) {
+    p = std::min(p, lookback);
+    if (p >= 1 && (ladder.empty() || p < ladder.back())) ladder.push_back(p);
+  }
+  return ladder;
+}
+
+}  // namespace
+
+ForecastPipeline::ForecastPipeline(const ForecastPipelineConfig& config,
+                                   uint64_t seed)
+    : config_(config), seed_(seed) {
+  MSD_CHECK_GT(config.lookback, 0);
+  MSD_CHECK_GT(config.horizon, 0);
+}
+
+TrainStats ForecastPipeline::Fit(const Tensor& series) {
+  MSD_CHECK_EQ(series.rank(), 2) << "Fit expects [C, T]";
+  const int64_t channels = series.dim(0);
+  const int64_t total = series.dim(1);
+  MSD_CHECK_GE(total, 2 * (config_.lookback + config_.horizon))
+      << "series too short for the configured lookback/horizon";
+
+  if (config_.patch_sizes.empty()) {
+    config_.patch_sizes = DeriveLadder(series, config_.lookback);
+  }
+
+  scaler_.Fit(series);
+  Tensor scaled = scaler_.Transform(series);
+
+  MsdMixerConfig mc;
+  mc.input_length = config_.lookback;
+  mc.channels = channels;
+  mc.patch_sizes = config_.patch_sizes;
+  mc.model_dim = config_.model_dim;
+  mc.hidden_dim = config_.hidden_dim;
+  mc.task = TaskType::kForecast;
+  mc.horizon = config_.horizon;
+  mc.use_instance_norm = config_.use_instance_norm;
+  Rng rng(seed_);
+  mixer_ = std::make_unique<MsdMixer>(mc, rng);
+
+  ResidualLossOptions ro;
+  ro.max_lag = std::min<int64_t>(24, config_.lookback - 1);
+  MsdMixerTaskModel task_model(mixer_.get(), config_.residual_loss_weight, ro);
+
+  const bool use_validation = config_.trainer.early_stop_patience > 0;
+  TrainStats stats;
+  if (use_validation) {
+    const int64_t val_len = std::max<int64_t>(
+        config_.lookback + config_.horizon + 1,
+        static_cast<int64_t>(total * config_.validation_fraction));
+    const int64_t train_len = total - val_len;
+    MSD_CHECK_GT(train_len, config_.lookback + config_.horizon)
+        << "not enough data left for training after the validation split";
+    ForecastWindowDataset train(Slice(scaled, 1, 0, train_len),
+                                config_.lookback, config_.horizon);
+    ForecastWindowDataset val(Slice(scaled, 1, train_len, val_len),
+                              config_.lookback, config_.horizon);
+    stats = Train(task_model, train, config_.trainer, ForecastMseTaskLoss,
+                  &val);
+  } else {
+    ForecastWindowDataset train(scaled, config_.lookback, config_.horizon);
+    stats = Train(task_model, train, config_.trainer, ForecastMseTaskLoss);
+  }
+  fitted_ = true;
+  return stats;
+}
+
+Tensor ForecastPipeline::Predict(const Tensor& history) const {
+  MSD_CHECK(fitted_) << "call Fit() or Load() first";
+  MSD_CHECK_EQ(history.rank(), 2);
+  MSD_CHECK_GE(history.dim(1), config_.lookback);
+  const int64_t channels = history.dim(0);
+  Tensor scaled = scaler_.Transform(history);
+  Tensor window = Slice(scaled, 1, scaled.dim(1) - config_.lookback,
+                        config_.lookback);
+  NoGradGuard guard;
+  mixer_->SetTraining(false);
+  Tensor forecast =
+      mixer_->Run(Variable(window.Reshape({1, channels, config_.lookback})))
+          .prediction.value()
+          .Reshape({channels, config_.horizon});
+  return scaler_.InverseTransform(forecast);
+}
+
+Tensor ForecastPipeline::PredictRolling(const Tensor& history,
+                                        int64_t total_steps) const {
+  MSD_CHECK_GT(total_steps, 0);
+  Tensor extended = history;
+  Tensor produced;
+  while (!produced.defined() || produced.dim(1) < total_steps) {
+    Tensor next = Predict(extended);
+    extended = Concat({extended, next}, 1);
+    produced = produced.defined() ? Concat({produced, next}, 1) : next;
+  }
+  return Slice(produced, 1, 0, total_steps);
+}
+
+Status ForecastPipeline::Save(const std::string& path) const {
+  if (!fitted_) return Status::InvalidArgument("pipeline not fitted");
+  Status model_status = SaveCheckpoint(*mixer_, path);
+  if (!model_status.ok()) return model_status;
+  std::ofstream meta(path + ".meta");
+  if (!meta.is_open()) {
+    return Status::InvalidArgument("cannot write: " + path + ".meta");
+  }
+  for (size_t i = 0; i < config_.patch_sizes.size(); ++i) {
+    meta << (i > 0 ? " " : "") << config_.patch_sizes[i];
+  }
+  meta << "\n";
+  const int64_t channels = scaler_.mean().dim(0);
+  for (int64_t c = 0; c < channels; ++c) {
+    meta << (c > 0 ? " " : "") << scaler_.mean().at({c, 0});
+  }
+  meta << "\n";
+  for (int64_t c = 0; c < channels; ++c) {
+    meta << (c > 0 ? " " : "") << scaler_.std().at({c, 0});
+  }
+  meta << "\n";
+  return meta.good() ? Status::OK() : Status::Internal("meta write failed");
+}
+
+Status ForecastPipeline::Load(const std::string& path) {
+  std::ifstream meta(path + ".meta");
+  if (!meta.is_open()) return Status::NotFound("missing: " + path + ".meta");
+  std::string ladder_line;
+  std::string mean_line;
+  std::string std_line;
+  if (!std::getline(meta, ladder_line) || !std::getline(meta, mean_line) ||
+      !std::getline(meta, std_line)) {
+    return Status::InvalidArgument("truncated meta: " + path + ".meta");
+  }
+  auto parse = [](const std::string& line) {
+    std::vector<double> values;
+    std::istringstream ss(line);
+    double v;
+    while (ss >> v) values.push_back(v);
+    return values;
+  };
+  const auto ladder = parse(ladder_line);
+  const auto means = parse(mean_line);
+  const auto stds = parse(std_line);
+  if (ladder.empty() || means.empty() || means.size() != stds.size()) {
+    return Status::InvalidArgument("malformed meta: " + path + ".meta");
+  }
+  config_.patch_sizes.clear();
+  for (double p : ladder) {
+    config_.patch_sizes.push_back(static_cast<int64_t>(p));
+  }
+  const int64_t channels = static_cast<int64_t>(means.size());
+  // Rebuild scaler statistics via a fit on synthetic two-point data, then
+  // overwrite with the stored values.
+  Tensor mean_tensor({channels, 1});
+  Tensor std_tensor({channels, 1});
+  for (int64_t c = 0; c < channels; ++c) {
+    mean_tensor.set({c, 0}, static_cast<float>(means[static_cast<size_t>(c)]));
+    std_tensor.set({c, 0}, static_cast<float>(stds[static_cast<size_t>(c)]));
+  }
+  scaler_ = StandardScaler();
+  {
+    // StandardScaler only exposes Fit(); reconstruct exact stats by fitting
+    // on two points per channel at mean +- std.
+    Tensor synthetic({channels, 2});
+    for (int64_t c = 0; c < channels; ++c) {
+      const float m = mean_tensor.at({c, 0});
+      const float s = std_tensor.at({c, 0});
+      synthetic.set({c, 0}, m - s);
+      synthetic.set({c, 1}, m + s);
+    }
+    scaler_.Fit(synthetic);
+  }
+
+  MsdMixerConfig mc;
+  mc.input_length = config_.lookback;
+  mc.channels = channels;
+  mc.patch_sizes = config_.patch_sizes;
+  mc.model_dim = config_.model_dim;
+  mc.hidden_dim = config_.hidden_dim;
+  mc.task = TaskType::kForecast;
+  mc.horizon = config_.horizon;
+  mc.use_instance_norm = config_.use_instance_norm;
+  Rng rng(seed_);
+  mixer_ = std::make_unique<MsdMixer>(mc, rng);
+  Status model_status = LoadCheckpoint(*mixer_, path);
+  if (!model_status.ok()) return model_status;
+  fitted_ = true;
+  return Status::OK();
+}
+
+}  // namespace msd

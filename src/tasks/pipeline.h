@@ -1,0 +1,69 @@
+// High-level fit/predict pipeline: the one-stop API a downstream user
+// reaches for. Bundles scaling, window construction, MSD-Mixer
+// configuration, training (with optional validation-based early stopping),
+// rolling prediction, and checkpoint persistence over raw [C, T] series.
+#ifndef MSDMIXER_TASKS_PIPELINE_H_
+#define MSDMIXER_TASKS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/msd_mixer.h"
+#include "data/scaler.h"
+#include "tasks/trainer.h"
+
+namespace msd {
+
+struct ForecastPipelineConfig {
+  int64_t lookback = 96;
+  int64_t horizon = 24;
+  // Patch sizes; empty = derive a ladder from the series' dominant period.
+  std::vector<int64_t> patch_sizes;
+  int64_t model_dim = 16;
+  int64_t hidden_dim = 32;
+  float residual_loss_weight = 0.5f;
+  bool use_instance_norm = true;
+  // Fraction of the series (from the end) held out for validation when
+  // early stopping is enabled.
+  double validation_fraction = 0.1;
+  TrainerConfig trainer;
+};
+
+class ForecastPipeline {
+ public:
+  explicit ForecastPipeline(const ForecastPipelineConfig& config,
+                            uint64_t seed = 1);
+
+  // Fits scaler + model on `series` [C, T]. Uses the last
+  // validation_fraction of the span for early stopping when
+  // trainer.early_stop_patience > 0. Returns training statistics.
+  TrainStats Fit(const Tensor& series);
+
+  // Forecasts `horizon` steps following the *end* of `history` [C, T]
+  // (T >= lookback), in the original (unscaled) units.
+  Tensor Predict(const Tensor& history) const;
+
+  // Rolls Predict() forward `steps` times, feeding forecasts back in, to
+  // produce an arbitrarily long continuation.
+  Tensor PredictRolling(const Tensor& history, int64_t total_steps) const;
+
+  // Persists / restores model weights (the config must match at load time;
+  // the scaler statistics are stored alongside as parameters).
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+  bool fitted() const { return fitted_; }
+  const MsdMixer& model() const { return *mixer_; }
+
+ private:
+  ForecastPipelineConfig config_;
+  uint64_t seed_;
+  std::unique_ptr<MsdMixer> mixer_;
+  StandardScaler scaler_;
+  bool fitted_ = false;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TASKS_PIPELINE_H_

@@ -1,0 +1,71 @@
+// Uniform adapter over trainable models so one trainer serves both the
+// MSD-Mixer (whose forward also yields the decomposition residual for the
+// Residual Loss, Eq. 7) and plain baselines.
+#ifndef MSDMIXER_TASKS_TASK_MODEL_H_
+#define MSDMIXER_TASKS_TASK_MODEL_H_
+
+#include "core/msd_mixer.h"
+#include "core/residual_loss.h"
+#include "nn/module.h"
+
+namespace msd {
+
+class TaskModel {
+ public:
+  virtual ~TaskModel() = default;
+
+  struct Output {
+    Variable prediction;
+    // Weighted auxiliary loss term (undefined Variable when absent).
+    Variable aux_loss;
+  };
+
+  virtual Output Forward(const Variable& input) = 0;
+  virtual Module& module() = 0;
+};
+
+// Wraps any unary Module (DLinear, LightTS, NBeats, MlpAutoencoder, ...).
+class ModuleTaskModel : public TaskModel {
+ public:
+  explicit ModuleTaskModel(Module* module) : module_(module) {
+    MSD_CHECK(module != nullptr);
+  }
+
+  Output Forward(const Variable& input) override {
+    return {module_->Forward(input), Variable()};
+  }
+  Module& module() override { return *module_; }
+
+ private:
+  Module* module_;
+};
+
+// Wraps MsdMixer, attaching lambda * ResidualLoss(Z_k) as the aux loss
+// (paper Eq. 7). lambda = 0 reproduces the MSD-Mixer-L ablation.
+class MsdMixerTaskModel : public TaskModel {
+ public:
+  MsdMixerTaskModel(MsdMixer* mixer, float lambda,
+                    ResidualLossOptions residual_options = {})
+      : mixer_(mixer), lambda_(lambda), residual_options_(residual_options) {
+    MSD_CHECK(mixer != nullptr);
+  }
+
+  Output Forward(const Variable& input) override {
+    MsdMixerOutput out = mixer_->Run(input);
+    Variable aux;
+    if (lambda_ > 0.0f) {
+      aux = MulScalar(ResidualLoss(out.residual, residual_options_), lambda_);
+    }
+    return {out.prediction, aux};
+  }
+  Module& module() override { return *mixer_; }
+
+ private:
+  MsdMixer* mixer_;
+  float lambda_;
+  ResidualLossOptions residual_options_;
+};
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TASKS_TASK_MODEL_H_

@@ -1,0 +1,146 @@
+#include "tasks/trainer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "nn/loss.h"
+#include "optim/optimizer.h"
+
+namespace msd {
+
+float TrainStats::best_val_loss() const {
+  float best = std::numeric_limits<float>::infinity();
+  for (float v : val_losses) best = std::min(best, v);
+  return best;
+}
+
+namespace {
+
+// Gradient-free mean task loss over a dataset.
+float EvaluateLoss(TaskModel& model, const Dataset& data,
+                   const TrainerConfig& config,
+                   const std::function<Variable(const Variable&, const Batch&)>&
+                       task_loss) {
+  NoGradGuard guard;
+  model.module().SetTraining(false);
+  Rng rng(1);
+  DataLoader loader(&data, config.batch_size, /*shuffle=*/false, rng);
+  double total = 0.0;
+  for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+    Batch batch = loader.GetBatch(b);
+    TaskModel::Output out = model.Forward(Variable(batch.input));
+    total += task_loss(out.prediction, batch).item();
+  }
+  model.module().SetTraining(true);
+  return static_cast<float>(total / std::max<int64_t>(1, loader.NumBatches()));
+}
+
+}  // namespace
+
+TrainStats Train(TaskModel& model, const Dataset& train_data,
+                 const TrainerConfig& config,
+                 const std::function<Variable(const Variable&, const Batch&)>&
+                     task_loss,
+                 const Dataset* validation) {
+  MSD_CHECK_GT(config.epochs, 0);
+  if (config.early_stop_patience > 0) {
+    MSD_CHECK(validation != nullptr)
+        << "early stopping requires a validation dataset";
+  }
+  Rng rng(config.seed);
+  DataLoader loader(&train_data, config.batch_size, /*shuffle=*/true, rng);
+  Adam opt(model.module().Parameters(), config.lr, 0.9f, 0.999f, 1e-8f,
+           config.weight_decay, /*decoupled=*/true);
+  CosineLr schedule(&opt, config.epochs);
+
+  model.module().SetTraining(true);
+  TrainStats stats;
+  float best_val = std::numeric_limits<float>::infinity();
+  int64_t epochs_without_improvement = 0;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.cosine_lr) schedule.SetEpoch(epoch);
+    int64_t batches = loader.NumBatches();
+    if (config.max_batches_per_epoch > 0) {
+      batches = std::min(batches, config.max_batches_per_epoch);
+    }
+    double epoch_loss = 0.0;
+    for (int64_t b = 0; b < batches; ++b) {
+      Batch batch = loader.GetBatch(b);
+      opt.ZeroGrad();
+      TaskModel::Output out = model.Forward(Variable(batch.input));
+      Variable loss = task_loss(out.prediction, batch);
+      if (out.aux_loss.defined()) loss = Add(loss, out.aux_loss);
+      loss.Backward();
+      if (config.grad_clip > 0.0f) {
+        ClipGradNorm(opt.params(), config.grad_clip);
+      }
+      opt.Step();
+      epoch_loss += loss.item();
+    }
+    loader.Reshuffle();
+    stats.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(batches)));
+    if (validation != nullptr) {
+      const float val = EvaluateLoss(model, *validation, config, task_loss);
+      stats.val_losses.push_back(val);
+      if (val < best_val - 1e-7f) {
+        best_val = val;
+        epochs_without_improvement = 0;
+      } else {
+        ++epochs_without_improvement;
+      }
+    }
+    if (config.verbose) {
+      std::fprintf(stderr, "  epoch %2lld/%lld  loss %.5f%s\n",
+                   static_cast<long long>(epoch + 1),
+                   static_cast<long long>(config.epochs),
+                   stats.epoch_losses.back(),
+                   stats.val_losses.empty()
+                       ? ""
+                       : ("  val " + std::to_string(stats.val_losses.back()))
+                             .c_str());
+    }
+    if (config.early_stop_patience > 0 &&
+        epochs_without_improvement >= config.early_stop_patience) {
+      stats.early_stopped = true;
+      break;
+    }
+  }
+  model.module().SetTraining(false);
+  return stats;
+}
+
+Variable ForecastMseTaskLoss(const Variable& prediction, const Batch& batch) {
+  return MseLoss(prediction, Variable(batch.target));
+}
+
+Variable ReconstructionMseTaskLoss(const Variable& prediction,
+                                   const Batch& batch) {
+  return MseLoss(prediction, Variable(batch.target));
+}
+
+Variable ImputationTaskLoss(const Variable& prediction, const Batch& batch) {
+  Tensor missing = Tensor::Uninitialized(batch.input.shape());
+  const float* in = batch.input.data();
+  float* m = missing.data();
+  bool any = false;
+  for (int64_t i = 0; i < missing.numel(); ++i) {
+    m[i] = in[i] == 0.0f ? 1.0f : 0.0f;
+    any = any || m[i] == 1.0f;
+  }
+  if (!any) return ReconstructionMseTaskLoss(prediction, batch);
+  return MaskedMseLoss(prediction, Variable(batch.target), missing);
+}
+
+Variable ClassificationTaskLoss(const Variable& prediction,
+                                const Batch& batch) {
+  Tensor labels = batch.target;
+  if (labels.rank() == 2) {
+    labels = labels.Reshape({labels.dim(0)});
+  }
+  return CrossEntropyLoss(prediction, labels);
+}
+
+}  // namespace msd

@@ -1,0 +1,68 @@
+// Generic training loop shared by all five tasks: AdamW + gradient clipping
+// + cosine LR decay over mini-batches from a DataLoader, with an optional
+// per-model auxiliary loss (the Residual Loss for MSD-Mixer).
+#ifndef MSDMIXER_TASKS_TRAINER_H_
+#define MSDMIXER_TASKS_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "tasks/task_model.h"
+
+namespace msd {
+
+struct TrainerConfig {
+  int64_t epochs = 5;
+  int64_t batch_size = 16;
+  float lr = 1e-3f;
+  float weight_decay = 0.0f;
+  float grad_clip = 5.0f;  // <= 0 disables
+  bool cosine_lr = true;
+  // Cap on batches per epoch (0 = all); lets benches bound CPU time while
+  // still seeing fresh windows every epoch via reshuffling.
+  int64_t max_batches_per_epoch = 0;
+  // Early stopping: stop after this many epochs without validation-loss
+  // improvement (0 disables; requires validation data to be passed).
+  int64_t early_stop_patience = 0;
+  uint64_t seed = 7;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<float> epoch_losses;
+  std::vector<float> val_losses;  // one per epoch when validation provided
+  bool early_stopped = false;
+  float final_loss() const {
+    return epoch_losses.empty() ? 0.0f : epoch_losses.back();
+  }
+  float best_val_loss() const;
+};
+
+// task_loss maps (prediction, batch) -> scalar Variable. The trainer adds the
+// model's aux loss (if any), backpropagates, clips, and steps. When
+// `validation` is non-null, the task loss is also evaluated (gradient-free)
+// on it after every epoch, enabling early stopping via
+// TrainerConfig::early_stop_patience.
+TrainStats Train(TaskModel& model, const Dataset& train_data,
+                 const TrainerConfig& config,
+                 const std::function<Variable(const Variable&, const Batch&)>&
+                     task_loss,
+                 const Dataset* validation = nullptr);
+
+// Convenience task losses.
+Variable ForecastMseTaskLoss(const Variable& prediction, const Batch& batch);
+Variable ReconstructionMseTaskLoss(const Variable& prediction,
+                                   const Batch& batch);
+// Imputation: MSE at the masked positions only (the Time-Series-Library
+// convention). Missing points are identified as exact zeros of the masked
+// input — valid because the imputation datasets zero missing entries and
+// real standardized values are almost surely nonzero. Falls back to the
+// full reconstruction loss if a batch happens to have no masked point.
+Variable ImputationTaskLoss(const Variable& prediction, const Batch& batch);
+// batch.target holds float class indices of shape [B] or [B, 1].
+Variable ClassificationTaskLoss(const Variable& prediction, const Batch& batch);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TASKS_TRAINER_H_

@@ -1,0 +1,152 @@
+#include "tensor/conv.h"
+
+namespace msd {
+
+int64_t ConvOutSize(int64_t input, int64_t kernel, const Conv2dSpec& spec) {
+  MSD_CHECK_GT(spec.stride, 0);
+  MSD_CHECK_GE(spec.padding, 0);
+  const int64_t padded = input + 2 * spec.padding;
+  MSD_CHECK_GE(padded, kernel) << "kernel larger than padded input";
+  return (padded - kernel) / spec.stride + 1;
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& kernel,
+              const Conv2dSpec& spec) {
+  MSD_CHECK_EQ(input.rank(), 4) << "input must be [B, C, H, W]";
+  MSD_CHECK_EQ(kernel.rank(), 4) << "kernel must be [O, C, kh, kw]";
+  MSD_CHECK_EQ(input.dim(1), kernel.dim(1)) << "channel mismatch";
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+  const int64_t height = input.dim(2);
+  const int64_t width = input.dim(3);
+  const int64_t out_channels = kernel.dim(0);
+  const int64_t kh = kernel.dim(2);
+  const int64_t kw = kernel.dim(3);
+  const int64_t oh = ConvOutSize(height, kh, spec);
+  const int64_t ow = ConvOutSize(width, kw, spec);
+
+  Tensor out = Tensor::Zeros({batch, out_channels, oh, ow});
+  const float* pin = input.data();
+  const float* pk = kernel.data();
+  float* po = out.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t o = 0; o < out_channels; ++o) {
+      float* out_plane = po + (b * out_channels + o) * oh * ow;
+      for (int64_t c = 0; c < channels; ++c) {
+        const float* in_plane = pin + (b * channels + c) * height * width;
+        const float* k_plane = pk + (o * channels + c) * kh * kw;
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t x = 0; x < ow; ++x) {
+            float acc = 0.0f;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= height) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= width) continue;
+                acc += in_plane[iy * width + ix] * k_plane[ky * kw + kx];
+              }
+            }
+            out_plane[y * ow + x] += acc;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2dInputGrad(const Tensor& grad_output, const Tensor& kernel,
+                       int64_t input_height, int64_t input_width,
+                       const Conv2dSpec& spec) {
+  MSD_CHECK_EQ(grad_output.rank(), 4);
+  MSD_CHECK_EQ(kernel.rank(), 4);
+  MSD_CHECK_EQ(grad_output.dim(1), kernel.dim(0)) << "out-channel mismatch";
+  const int64_t batch = grad_output.dim(0);
+  const int64_t out_channels = kernel.dim(0);
+  const int64_t channels = kernel.dim(1);
+  const int64_t kh = kernel.dim(2);
+  const int64_t kw = kernel.dim(3);
+  const int64_t oh = grad_output.dim(2);
+  const int64_t ow = grad_output.dim(3);
+
+  Tensor grad_input =
+      Tensor::Zeros({batch, channels, input_height, input_width});
+  const float* pg = grad_output.data();
+  const float* pk = kernel.data();
+  float* pi = grad_input.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t o = 0; o < out_channels; ++o) {
+      const float* g_plane = pg + (b * out_channels + o) * oh * ow;
+      for (int64_t c = 0; c < channels; ++c) {
+        float* in_plane = pi + (b * channels + c) * input_height * input_width;
+        const float* k_plane = pk + (o * channels + c) * kh * kw;
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t x = 0; x < ow; ++x) {
+            const float g = g_plane[y * ow + x];
+            if (g == 0.0f) continue;
+            for (int64_t ky = 0; ky < kh; ++ky) {
+              const int64_t iy = y * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= input_height) continue;
+              for (int64_t kx = 0; kx < kw; ++kx) {
+                const int64_t ix = x * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= input_width) continue;
+                in_plane[iy * input_width + ix] += g * k_plane[ky * kw + kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor Conv2dKernelGrad(const Tensor& input, const Tensor& grad_output,
+                        int64_t kernel_height, int64_t kernel_width,
+                        const Conv2dSpec& spec) {
+  MSD_CHECK_EQ(input.rank(), 4);
+  MSD_CHECK_EQ(grad_output.rank(), 4);
+  MSD_CHECK_EQ(input.dim(0), grad_output.dim(0)) << "batch mismatch";
+  const int64_t batch = input.dim(0);
+  const int64_t channels = input.dim(1);
+  const int64_t height = input.dim(2);
+  const int64_t width = input.dim(3);
+  const int64_t out_channels = grad_output.dim(1);
+  const int64_t oh = grad_output.dim(2);
+  const int64_t ow = grad_output.dim(3);
+
+  Tensor grad_kernel =
+      Tensor::Zeros({out_channels, channels, kernel_height, kernel_width});
+  const float* pin = input.data();
+  const float* pg = grad_output.data();
+  float* pk = grad_kernel.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t o = 0; o < out_channels; ++o) {
+      const float* g_plane = pg + (b * out_channels + o) * oh * ow;
+      for (int64_t c = 0; c < channels; ++c) {
+        const float* in_plane = pin + (b * channels + c) * height * width;
+        float* k_plane = pk + (o * channels + c) * kernel_height * kernel_width;
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t x = 0; x < ow; ++x) {
+            const float g = g_plane[y * ow + x];
+            if (g == 0.0f) continue;
+            for (int64_t ky = 0; ky < kernel_height; ++ky) {
+              const int64_t iy = y * spec.stride + ky - spec.padding;
+              if (iy < 0 || iy >= height) continue;
+              for (int64_t kx = 0; kx < kernel_width; ++kx) {
+                const int64_t ix = x * spec.stride + kx - spec.padding;
+                if (ix < 0 || ix >= width) continue;
+                k_plane[ky * kernel_width + kx] +=
+                    g * in_plane[iy * width + ix];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_kernel;
+}
+
+}  // namespace msd

@@ -1,0 +1,37 @@
+// Direct 2D convolution kernels (cross-correlation convention, as in every
+// deep-learning framework) with explicit gradient kernels. Used by the
+// Conv2dLayer module; shapes follow the PyTorch convention.
+#ifndef MSDMIXER_TENSOR_CONV_H_
+#define MSDMIXER_TENSOR_CONV_H_
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+struct Conv2dSpec {
+  int64_t stride = 1;
+  int64_t padding = 0;  // symmetric zero padding on both spatial axes
+};
+
+// Output spatial size for one axis.
+int64_t ConvOutSize(int64_t input, int64_t kernel, const Conv2dSpec& spec);
+
+// input [B, C, H, W] (*) kernel [O, C, kh, kw] -> [B, O, H', W'].
+Tensor Conv2d(const Tensor& input, const Tensor& kernel,
+              const Conv2dSpec& spec = {});
+
+// Gradient of Conv2d w.r.t. the input: scatter of grad_output through the
+// kernel. Shapes: grad_output [B, O, H', W'] -> [B, C, H, W].
+Tensor Conv2dInputGrad(const Tensor& grad_output, const Tensor& kernel,
+                       int64_t input_height, int64_t input_width,
+                       const Conv2dSpec& spec = {});
+
+// Gradient of Conv2d w.r.t. the kernel: correlation of input with
+// grad_output. Shapes: -> [O, C, kh, kw].
+Tensor Conv2dKernelGrad(const Tensor& input, const Tensor& grad_output,
+                        int64_t kernel_height, int64_t kernel_width,
+                        const Conv2dSpec& spec = {});
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TENSOR_CONV_H_

@@ -1,0 +1,98 @@
+#include "tensor/fft.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace msd {
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  MSD_CHECK_GT(n, 0u);
+  MSD_CHECK_EQ(n & (n - 1), 0u) << "FFT size must be a power of two";
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * M_PI / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> AmplitudeSpectrum(const std::vector<float>& values) {
+  MSD_CHECK(!values.empty());
+  size_t n = 1;
+  while (n < values.size()) n <<= 1;
+  std::vector<std::complex<double>> data(n, {0.0, 0.0});
+  for (size_t i = 0; i < values.size(); ++i) data[i] = values[i];
+  Fft(data);
+  std::vector<double> amplitude(n / 2 + 1);
+  for (size_t k = 0; k <= n / 2; ++k) amplitude[k] = std::abs(data[k]);
+  return amplitude;
+}
+
+std::vector<int64_t> TopPeriodsFft(const Tensor& series, int64_t top_k) {
+  MSD_CHECK_EQ(series.rank(), 2) << "expects [C, L]";
+  MSD_CHECK_GT(top_k, 0);
+  const int64_t channels = series.dim(0);
+  const int64_t length = series.dim(1);
+  // Average amplitude spectrum over channels (on the padded grid).
+  std::vector<double> mean_amplitude;
+  for (int64_t c = 0; c < channels; ++c) {
+    std::vector<float> row(series.data() + c * length,
+                           series.data() + (c + 1) * length);
+    // Remove the mean so the DC bin does not dominate bin leakage.
+    float mean = 0.0f;
+    for (float v : row) mean += v;
+    mean /= static_cast<float>(length);
+    for (float& v : row) v -= mean;
+    std::vector<double> amplitude = AmplitudeSpectrum(row);
+    if (mean_amplitude.empty()) {
+      mean_amplitude = std::move(amplitude);
+    } else {
+      for (size_t i = 0; i < amplitude.size(); ++i) {
+        mean_amplitude[i] += amplitude[i];
+      }
+    }
+  }
+  const size_t padded = (mean_amplitude.size() - 1) * 2;
+
+  // Rank frequency bins (excluding DC) by amplitude.
+  std::vector<size_t> bins;
+  for (size_t k = 1; k < mean_amplitude.size(); ++k) bins.push_back(k);
+  std::sort(bins.begin(), bins.end(), [&](size_t a, size_t b) {
+    return mean_amplitude[a] > mean_amplitude[b];
+  });
+
+  std::vector<int64_t> periods;
+  for (size_t k : bins) {
+    if (static_cast<int64_t>(periods.size()) >= top_k) break;
+    int64_t period = static_cast<int64_t>(
+        std::llround(static_cast<double>(padded) / static_cast<double>(k)));
+    period = std::min<int64_t>(std::max<int64_t>(period, 2), length / 2);
+    if (std::find(periods.begin(), periods.end(), period) == periods.end()) {
+      periods.push_back(period);
+    }
+  }
+  if (periods.empty()) periods.push_back(std::max<int64_t>(2, length / 4));
+  return periods;
+}
+
+}  // namespace msd

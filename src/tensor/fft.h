@@ -1,0 +1,30 @@
+// Fast Fourier transform utilities (iterative radix-2 Cooley-Tukey) used for
+// period detection (TimesNet-style) and spectral analysis. Real-input
+// helpers return amplitude spectra; lengths that are not powers of two are
+// handled by zero-padding for spectra and by the O(n^2) DFT for exact needs.
+#ifndef MSDMIXER_TENSOR_FFT_H_
+#define MSDMIXER_TENSOR_FFT_H_
+
+#include <complex>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// In-place radix-2 FFT; size must be a power of two. inverse=true applies
+// the unscaled inverse transform (caller divides by n if desired).
+void Fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+// Amplitude spectrum |X_k| for k = 0..n/2 of a real signal, computed with a
+// zero-padded power-of-two FFT. `values` may have any length.
+std::vector<double> AmplitudeSpectrum(const std::vector<float>& values);
+
+// The `top_k` dominant periods of a [C, L] series (amplitudes averaged over
+// channels, frequency 0 excluded), mapped to integer periods L/k, deduped,
+// clamped to [2, L/2]. Mirrors TimesNet's FFT-based period selection.
+std::vector<int64_t> TopPeriodsFft(const Tensor& series, int64_t top_k);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TENSOR_FFT_H_

@@ -1,0 +1,210 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+namespace msd {
+
+int64_t NumElementsOf(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    MSD_CHECK_GE(d, 0) << "negative dimension in shape " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size());
+  int64_t acc = 1;
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 1; i >= 0; --i) {
+    strides[i] = acc;
+    acc *= shape[i];
+  }
+  return strides;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(NumElementsOf(shape_)) {
+  storage_ = std::make_shared<float[]>(static_cast<size_t>(numel_));  // zeroed
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), numel_(NumElementsOf(shape_)) {
+  MSD_CHECK_EQ(numel_, static_cast<int64_t>(values.size()))
+      << "value count does not match shape " << ShapeToString(shape_);
+  storage_ =
+      std::make_shared_for_overwrite<float[]>(static_cast<size_t>(numel_));
+  std::copy(values.begin(), values.end(), storage_.get());
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElementsOf(t.shape_);
+  t.storage_ =
+      std::make_shared_for_overwrite<float[]>(static_cast<size_t>(t.numel_));
+  return t;
+}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Tensor({}, {value}); }
+
+Tensor Tensor::Arange(int64_t n) {
+  MSD_CHECK_GE(n, 0);
+  std::vector<float> values(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) values[static_cast<size_t>(i)] = static_cast<float>(i);
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::RandUniform(Shape shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::RandNormal(Shape shape, float mean, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = rng.Gaussian(mean, stddev);
+  return t;
+}
+
+int64_t Tensor::dim(int64_t axis) const {
+  if (axis < 0) axis += rank();
+  MSD_CHECK_GE(axis, 0);
+  MSD_CHECK_LT(axis, rank());
+  return shape_[static_cast<size_t>(axis)];
+}
+
+float* Tensor::data() {
+  MSD_CHECK(defined());
+  return storage_.get();
+}
+
+const float* Tensor::data() const {
+  MSD_CHECK(defined());
+  return storage_.get();
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  MSD_CHECK_EQ(static_cast<int64_t>(index.size()), rank());
+  const auto strides = RowMajorStrides(shape_);
+  int64_t offset = 0;
+  size_t axis = 0;
+  for (int64_t i : index) {
+    MSD_CHECK_GE(i, 0);
+    MSD_CHECK_LT(i, shape_[axis]);
+    offset += i * strides[axis];
+    ++axis;
+  }
+  return data()[offset];
+}
+
+void Tensor::set(std::initializer_list<int64_t> index, float value) {
+  MSD_CHECK_EQ(static_cast<int64_t>(index.size()), rank());
+  const auto strides = RowMajorStrides(shape_);
+  int64_t offset = 0;
+  size_t axis = 0;
+  for (int64_t i : index) {
+    MSD_CHECK_GE(i, 0);
+    MSD_CHECK_LT(i, shape_[axis]);
+    offset += i * strides[axis];
+    ++axis;
+  }
+  data()[offset] = value;
+}
+
+float Tensor::item() const {
+  MSD_CHECK_EQ(numel_, 1) << "item() requires a 1-element tensor, got shape "
+                          << ShapeToString(shape_);
+  return data()[0];
+}
+
+Tensor Tensor::Clone() const {
+  MSD_CHECK(defined());
+  Tensor out = Uninitialized(shape_);
+  std::copy(data(), data() + numel_, out.data());
+  return out;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MSD_CHECK(defined());
+  int64_t inferred_axis = -1;
+  int64_t known = 1;
+  for (size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      MSD_CHECK_EQ(inferred_axis, -1) << "at most one -1 dimension allowed";
+      inferred_axis = static_cast<int64_t>(i);
+    } else {
+      MSD_CHECK_GE(new_shape[i], 0);
+      known *= new_shape[i];
+    }
+  }
+  if (inferred_axis >= 0) {
+    MSD_CHECK_GT(known, 0);
+    MSD_CHECK_EQ(numel_ % known, 0)
+        << "cannot infer -1 in reshape of " << ShapeToString(shape_) << " to "
+        << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(inferred_axis)] = numel_ / known;
+  }
+  MSD_CHECK_EQ(NumElementsOf(new_shape), numel_)
+      << "reshape of " << ShapeToString(shape_) << " to "
+      << ShapeToString(new_shape) << " changes element count";
+  Tensor out;
+  out.storage_ = storage_;
+  out.shape_ = std::move(new_shape);
+  out.numel_ = numel_;
+  return out;
+}
+
+void Tensor::CopyFrom(const Tensor& src) {
+  MSD_CHECK(defined());
+  MSD_CHECK(src.defined());
+  MSD_CHECK_EQ(numel_, src.numel());
+  std::copy(src.data(), src.data() + numel_, data());
+}
+
+void Tensor::Fill(float value) {
+  MSD_CHECK(defined());
+  std::fill(data(), data() + numel_, value);
+}
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t show = std::min<int64_t>(numel_, 16);
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) out << ", ";
+    out << data()[i];
+  }
+  if (numel_ > show) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace msd

@@ -1,0 +1,740 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+
+namespace msd {
+
+namespace {
+
+// Strides for `shape` right-aligned into `rank` axes, with 0 stride for
+// broadcast (size-1 against larger) dimensions.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  const int64_t out_rank = static_cast<int64_t>(out.size());
+  const int64_t in_rank = static_cast<int64_t>(shape.size());
+  const auto in_strides = RowMajorStrides(shape);
+  std::vector<int64_t> strides(static_cast<size_t>(out_rank), 0);
+  for (int64_t i = 0; i < in_rank; ++i) {
+    const int64_t out_axis = out_rank - in_rank + i;
+    if (shape[static_cast<size_t>(i)] == out[static_cast<size_t>(out_axis)]) {
+      strides[static_cast<size_t>(out_axis)] = in_strides[static_cast<size_t>(i)];
+    } else {
+      MSD_CHECK_EQ(shape[static_cast<size_t>(i)], 1)
+          << "shape " << ShapeToString(shape) << " does not broadcast to "
+          << ShapeToString(out);
+      strides[static_cast<size_t>(out_axis)] = 0;
+    }
+  }
+  return strides;
+}
+
+// True when `suffix` equals the trailing dims of `shape` (so a contiguous
+// buffer of the suffix shape tiles the larger one exactly).
+bool IsSuffixShape(const Shape& suffix, const Shape& shape) {
+  if (suffix.size() > shape.size()) return false;
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[suffix.size() - 1 - i] != shape[shape.size() - 1 - i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename F>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(b.defined());
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = out.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  // Fast path: b tiles a as a suffix (e.g. bias add) — the common case in
+  // Linear layers and per-channel scaling.
+  if (b.numel() > 0 && IsSuffixShape(b.shape(), a.shape())) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t inner = b.numel();
+    const int64_t outer = a.numel() / inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* row = pa + o * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = f(row[i], pb[i]);
+    }
+    return out;
+  }
+  // Mirror: a tiles b as a suffix.
+  if (a.numel() > 0 && IsSuffixShape(a.shape(), b.shape())) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t inner = a.numel();
+    const int64_t outer = b.numel() / inner;
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* row = pb + o * inner;
+      float* dst = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] = f(pa[i], row[i]);
+    }
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out = Tensor::Uninitialized(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t oa = 0;
+  int64_t ob = 0;
+  const int64_t n = out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = f(pa[oa], pb[ob]);
+    // Odometer increment.
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      oa += sa[u];
+      ob += sb[u];
+      if (index[u] < out_shape[u]) break;
+      oa -= sa[u] * out_shape[u];
+      ob -= sb[u] * out_shape[u];
+      index[u] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor UnaryOp(const Tensor& a, F f) {
+  MSD_CHECK(a.defined());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+// Resolves and validates reduction dims; returns a sorted, deduped list of
+// non-negative axes.
+std::vector<int64_t> NormalizeDims(std::vector<int64_t> dims, int64_t rank) {
+  for (auto& d : dims) d = NormalizeDim(d, rank);
+  std::sort(dims.begin(), dims.end());
+  dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
+  return dims;
+}
+
+}  // namespace
+
+int64_t NormalizeDim(int64_t dim, int64_t rank) {
+  if (dim < 0) dim += rank;
+  MSD_CHECK_GE(dim, 0) << "axis out of range for rank " << rank;
+  MSD_CHECK_LT(dim, rank) << "axis out of range for rank " << rank;
+  return dim;
+}
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int64_t rank = std::max<int64_t>(static_cast<int64_t>(a.size()),
+                                         static_cast<int64_t>(b.size()));
+  Shape out(static_cast<size_t>(rank), 1);
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t ai = static_cast<int64_t>(a.size()) - rank + i;
+    const int64_t bi = static_cast<int64_t>(b.size()) - rank + i;
+    const int64_t da = ai >= 0 ? a[static_cast<size_t>(ai)] : 1;
+    const int64_t db = bi >= 0 ? b[static_cast<size_t>(bi)] : 1;
+    if (da == db || db == 1) {
+      out[static_cast<size_t>(i)] = da;
+    } else if (da == 1) {
+      out[static_cast<size_t>(i)] = db;
+    } else {
+      MSD_FATAL("shapes " << ShapeToString(a) << " and " << ShapeToString(b)
+                          << " are not broadcastable");
+    }
+  }
+  return out;
+}
+
+Tensor ExpandTo(const Tensor& t, const Shape& target) {
+  // Implemented as a broadcast-add with zeros of the target shape.
+  if (t.shape() == target) return t;
+  return Add(t, Tensor::Zeros(target));
+}
+
+Tensor ReduceTo(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  const int64_t t_rank = t.rank();
+  const int64_t target_rank = static_cast<int64_t>(target.size());
+  MSD_CHECK_GE(t_rank, target_rank)
+      << "cannot reduce " << ShapeToString(t.shape()) << " to "
+      << ShapeToString(target);
+  std::vector<int64_t> reduce_dims;
+  for (int64_t i = 0; i < t_rank; ++i) {
+    const int64_t ti = i - (t_rank - target_rank);
+    const int64_t target_dim = ti >= 0 ? target[static_cast<size_t>(ti)] : -1;
+    if (target_dim != t.dim(i)) {
+      MSD_CHECK(target_dim == 1 || target_dim == -1)
+          << "cannot reduce " << ShapeToString(t.shape()) << " to "
+          << ShapeToString(target);
+      reduce_dims.push_back(i);
+    }
+  }
+  Tensor reduced = Sum(t, reduce_dims, /*keepdim=*/true);
+  return reduced.Reshape(target);
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+}
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+}
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+}
+Tensor Greater(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+}
+Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x + s; });
+}
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(a, [s](float x) { return x * s; });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return -x; });
+}
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::exp(x); });
+}
+Tensor Log(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::log(x); });
+}
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+}
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::fabs(x); });
+}
+Tensor Square(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x * x; });
+}
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+Tensor Gelu(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
+  });
+}
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return std::tanh(x); });
+}
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  return UnaryOp(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+Tensor Sign(const Tensor& a) {
+  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+Tensor GeluGrad(const Tensor& a) {
+  return UnaryOp(a, [](float x) {
+    const float phi_big = 0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
+    const float phi_small =
+        std::exp(-0.5f * x * x) * 0.39894228040143267f;  // 1/sqrt(2*pi)
+    return phi_big + x * phi_small;
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MSD_CHECK_GE(a.rank(), 2);
+  MSD_CHECK_GE(b.rank(), 2);
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t k2 = b.dim(-2);
+  const int64_t n = b.dim(-1);
+  MSD_CHECK_EQ(k, k2) << "matmul inner dims mismatch: "
+                      << ShapeToString(a.shape()) << " x "
+                      << ShapeToString(b.shape());
+
+  // Broadcast batch dims.
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  const Shape batch = BroadcastShapes(a_batch, b_batch);
+  const int64_t batch_numel = NumElementsOf(batch);
+
+  Shape out_shape = batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  Tensor out(out_shape);
+
+  const auto sa = BroadcastStrides(a_batch, batch);
+  const auto sb = BroadcastStrides(b_batch, batch);
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  const int64_t a_mat = m * k;
+  const int64_t b_mat = k * n;
+  const int64_t o_mat = m * n;
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  // sa/sb strides are in whole-matrix units over the batch dims.
+  std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
+  for (int64_t batch_i = 0; batch_i < batch_numel; ++batch_i) {
+    int64_t oa = 0;
+    int64_t ob = 0;
+    for (int64_t axis = 0; axis < batch_rank; ++axis) {
+      const size_t u = static_cast<size_t>(axis);
+      oa += index[u] * sa[u];
+      ob += index[u] * sb[u];
+    }
+    const float* A = pa + oa * a_mat;
+    const float* B = pb + ob * b_mat;
+    float* C = po + batch_i * o_mat;
+    // ikj loop order: C rows accumulate from contiguous B rows.
+    for (int64_t i = 0; i < m; ++i) {
+      float* c_row = C + i * n;
+      const float* a_row = A + i * k;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = a_row[kk];
+        const float* b_row = B + kk * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+      }
+    }
+    for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      if (++index[u] < batch[u]) break;
+      index[u] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  MSD_CHECK(a.defined());
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  MSD_CHECK_GT(a.numel(), 0);
+  return Tensor::Scalar(SumAll(a).item() / static_cast<float>(a.numel()));
+}
+
+float MaxAbs(const Tensor& a) {
+  float best = 0.0f;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) best = std::max(best, std::fabs(p[i]));
+  return best;
+}
+
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  MSD_CHECK(a.defined());
+  const int64_t rank = a.rank();
+  dims = NormalizeDims(std::move(dims), rank);
+  if (dims.empty()) return a.Clone();
+
+  Shape keep_shape = a.shape();
+  for (int64_t d : dims) keep_shape[static_cast<size_t>(d)] = 1;
+
+  // Fast path: reducing a contiguous prefix of axes (e.g. bias gradients)
+  // or a contiguous suffix (e.g. per-row sums).
+  const bool is_prefix =
+      dims.back() == static_cast<int64_t>(dims.size()) - 1;
+  const bool is_suffix = dims.front() == rank - static_cast<int64_t>(dims.size());
+  if (is_prefix || is_suffix) {
+    int64_t reduced = 1;
+    for (int64_t d : dims) reduced *= a.dim(d);
+    const int64_t kept = a.numel() / std::max<int64_t>(1, reduced);
+    Tensor out(keep_shape);
+    const float* pa = a.data();
+    float* po = out.data();
+    if (is_prefix) {
+      // Sum `reduced` stacked blocks of length `kept`.
+      for (int64_t r = 0; r < reduced; ++r) {
+        const float* block = pa + r * kept;
+        for (int64_t i = 0; i < kept; ++i) po[i] += block[i];
+      }
+    } else {
+      // Row sums: `kept` rows of length `reduced`.
+      for (int64_t i = 0; i < kept; ++i) {
+        const float* row = pa + i * reduced;
+        float acc = 0.0f;
+        for (int64_t j = 0; j < reduced; ++j) acc += row[j];
+        po[i] = acc;
+      }
+    }
+    if (keepdim) return out;
+    Shape squeezed;
+    for (int64_t i = 0; i < rank; ++i) {
+      if (!std::binary_search(dims.begin(), dims.end(), i)) {
+        squeezed.push_back(a.dim(i));
+      }
+    }
+    return out.Reshape(squeezed);
+  }
+
+  Tensor out(keep_shape);
+  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
+  // out_strides has 0 on reduced axes, so many input positions map to the
+  // same output slot, accumulating the reduction.
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t off = 0;
+  const int64_t n = a.numel();
+  const Shape& in_shape = a.shape();
+  for (int64_t i = 0; i < n; ++i) {
+    po[off] += pa[i];
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      off += out_strides[u];
+      if (index[u] < in_shape[u]) break;
+      off -= out_strides[u] * in_shape[u];
+      index[u] = 0;
+    }
+  }
+  if (keepdim) return out;
+  Shape squeezed;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (!std::binary_search(dims.begin(), dims.end(), i)) {
+      squeezed.push_back(a.dim(i));
+    }
+  }
+  return out.Reshape(squeezed);
+}
+
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  const int64_t rank = a.rank();
+  auto norm = NormalizeDims(dims, rank);
+  int64_t count = 1;
+  for (int64_t d : norm) count *= a.dim(d);
+  MSD_CHECK_GT(count, 0);
+  return MulScalar(Sum(a, std::move(dims), keepdim), 1.0f / static_cast<float>(count));
+}
+
+Tensor MaxReduce(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  Shape keep_shape = a.shape();
+  keep_shape[static_cast<size_t>(dim)] = 1;
+  Tensor out = Tensor::Full(keep_shape, -std::numeric_limits<float>::infinity());
+  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t off = 0;
+  const Shape& in_shape = a.shape();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[off] = std::max(po[off], pa[i]);
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      off += out_strides[u];
+      if (index[u] < in_shape[u]) break;
+      off -= out_strides[u] * in_shape[u];
+      index[u] = 0;
+    }
+  }
+  if (keepdim) return out;
+  Shape squeezed;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i != dim) squeezed.push_back(a.dim(i));
+  }
+  return out.Reshape(squeezed);
+}
+
+Tensor ArgMax(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  Shape keep_shape = a.shape();
+  keep_shape[static_cast<size_t>(dim)] = 1;
+  Tensor best = Tensor::Full(keep_shape, -std::numeric_limits<float>::infinity());
+  Tensor arg(keep_shape);
+  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
+  const float* pa = a.data();
+  float* pbest = best.data();
+  float* parg = arg.data();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t off = 0;
+  const Shape& in_shape = a.shape();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const int64_t pos = index[static_cast<size_t>(dim)];
+    if (pa[i] > pbest[off]) {
+      pbest[off] = pa[i];
+      parg[off] = static_cast<float>(pos);
+    }
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      off += out_strides[u];
+      if (index[u] < in_shape[u]) break;
+      off -= out_strides[u] * in_shape[u];
+      index[u] = 0;
+    }
+  }
+  Shape squeezed;
+  for (int64_t i = 0; i < rank; ++i) {
+    if (i != dim) squeezed.push_back(a.dim(i));
+  }
+  if (squeezed.empty()) return arg.Reshape({});
+  return arg.Reshape(squeezed);
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  const int64_t rank = a.rank();
+  MSD_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
+  std::vector<bool> seen(static_cast<size_t>(rank), false);
+  Shape out_shape(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) {
+    const int64_t p = NormalizeDim(perm[static_cast<size_t>(i)], rank);
+    MSD_CHECK(!seen[static_cast<size_t>(p)]) << "duplicate axis in permutation";
+    seen[static_cast<size_t>(p)] = true;
+    out_shape[static_cast<size_t>(i)] = a.dim(p);
+  }
+  // Fast path: swapping the last two axes (batched 2D transpose), the
+  // dominant movement pattern in the mixer's axis-MLP blocks.
+  if (rank >= 2) {
+    bool last_two_swap = true;
+    for (int64_t i = 0; i < rank - 2; ++i) {
+      if (NormalizeDim(perm[static_cast<size_t>(i)], rank) != i) {
+        last_two_swap = false;
+        break;
+      }
+    }
+    last_two_swap =
+        last_two_swap &&
+        NormalizeDim(perm[static_cast<size_t>(rank - 2)], rank) == rank - 1 &&
+        NormalizeDim(perm[static_cast<size_t>(rank - 1)], rank) == rank - 2;
+    if (last_two_swap) {
+      const int64_t rows = a.dim(-2);
+      const int64_t cols = a.dim(-1);
+      const int64_t batch = a.numel() / (rows * cols);
+      Tensor out = Tensor::Uninitialized(out_shape);
+      const float* pa = a.data();
+      float* po = out.data();
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* src = pa + b * rows * cols;
+        float* dst = po + b * rows * cols;
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* s = src + r * cols;
+          for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = s[c];
+        }
+      }
+      return out;
+    }
+  }
+
+  Tensor out = Tensor::Uninitialized(out_shape);
+  const auto in_strides = RowMajorStrides(a.shape());
+  // Stride to advance in the *input* when the i-th *output* axis increments.
+  std::vector<int64_t> gather_strides(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) {
+    gather_strides[static_cast<size_t>(i)] =
+        in_strides[static_cast<size_t>(NormalizeDim(perm[static_cast<size_t>(i)], rank))];
+  }
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t off = 0;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = pa[off];
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      off += gather_strides[u];
+      if (index[u] < out_shape[u]) break;
+      off -= gather_strides[u] * out_shape[u];
+      index[u] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
+  const int64_t rank = a.rank();
+  dim0 = NormalizeDim(dim0, rank);
+  dim1 = NormalizeDim(dim1, rank);
+  std::vector<int64_t> perm(static_cast<size_t>(rank));
+  for (int64_t i = 0; i < rank; ++i) perm[static_cast<size_t>(i)] = i;
+  std::swap(perm[static_cast<size_t>(dim0)], perm[static_cast<size_t>(dim1)]);
+  return Permute(a, perm);
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  MSD_CHECK_GE(start, 0);
+  MSD_CHECK_GE(length, 0);
+  MSD_CHECK_LE(start + length, a.dim(dim))
+      << "slice [" << start << ", " << start + length << ") out of range on axis "
+      << dim << " of " << ShapeToString(a.shape());
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(dim)] = length;
+  Tensor out = Tensor::Uninitialized(out_shape);
+  // View the tensor as [outer, a.dim(dim), inner] and copy row blocks.
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= a.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= a.dim(i);
+  const int64_t in_dim = a.dim(dim);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pa + (o * in_dim + start) * inner;
+    float* dst = po + o * length * inner;
+    std::memcpy(dst, src, static_cast<size_t>(length * inner) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  MSD_CHECK(!parts.empty());
+  const int64_t rank = parts[0].rank();
+  dim = NormalizeDim(dim, rank);
+  int64_t total = 0;
+  for (const Tensor& p : parts) {
+    MSD_CHECK_EQ(p.rank(), rank);
+    for (int64_t i = 0; i < rank; ++i) {
+      if (i != dim) {
+        MSD_CHECK_EQ(p.dim(i), parts[0].dim(i))
+            << "concat shape mismatch on axis " << i;
+      }
+    }
+    total += p.dim(dim);
+  }
+  Shape out_shape = parts[0].shape();
+  out_shape[static_cast<size_t>(dim)] = total;
+  Tensor out = Tensor::Uninitialized(out_shape);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= out.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= out.dim(i);
+  float* po = out.data();
+  int64_t dst_offset_rows = 0;
+  for (const Tensor& p : parts) {
+    const int64_t p_dim = p.dim(dim);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      float* dst = po + (o * total + dst_offset_rows) * inner;
+      const float* src = pp + o * p_dim * inner;
+      std::memcpy(dst, src, static_cast<size_t>(p_dim * inner) * sizeof(float));
+    }
+    dst_offset_rows += p_dim;
+  }
+  return out;
+}
+
+Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+           float value) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  MSD_CHECK_GE(before, 0);
+  MSD_CHECK_GE(after, 0);
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(dim)] += before + after;
+  Tensor out = Tensor::Full(out_shape, value);
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= a.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= a.dim(i);
+  const int64_t in_dim = a.dim(dim);
+  const int64_t out_dim = out.dim(dim);
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    float* dst = po + (o * out_dim + before) * inner;
+    const float* src = pa + o * in_dim * inner;
+    std::memcpy(dst, src, static_cast<size_t>(in_dim * inner) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Stack(const std::vector<Tensor>& parts) {
+  MSD_CHECK(!parts.empty());
+  const Shape& base = parts[0].shape();
+  Shape out_shape;
+  out_shape.push_back(static_cast<int64_t>(parts.size()));
+  out_shape.insert(out_shape.end(), base.begin(), base.end());
+  Tensor out = Tensor::Uninitialized(out_shape);
+  const int64_t chunk = parts[0].numel();
+  float* po = out.data();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    MSD_CHECK(parts[i].shape() == base) << "stack shape mismatch";
+    std::memcpy(po + static_cast<int64_t>(i) * chunk, parts[i].data(),
+                static_cast<size_t>(chunk) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& a, int64_t dim) {
+  const Tensor max = MaxReduce(a, dim, /*keepdim=*/true);
+  const Tensor e = Exp(Sub(a, max));
+  const Tensor z = Sum(e, {dim}, /*keepdim=*/true);
+  return Div(e, z);
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) return false;
+  }
+  return true;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  MSD_CHECK(a.shape() == b.shape());
+  float best = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    best = std::max(best, std::fabs(pa[i] - pb[i]));
+  }
+  return best;
+}
+
+bool HasNonFinite(const Tensor& a) {
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    if (!std::isfinite(p[i])) return true;
+  }
+  return false;
+}
+
+}  // namespace msd

@@ -1,0 +1,110 @@
+// Pure (non-differentiable) tensor kernels. The autograd layer composes
+// these into differentiable ops; models should normally use the autograd
+// wrappers instead of calling these directly.
+//
+// Binary elementwise ops follow NumPy broadcasting: shapes are right-aligned
+// and a dimension of size 1 stretches to match its counterpart.
+#ifndef MSDMIXER_TENSOR_TENSOR_OPS_H_
+#define MSDMIXER_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace msd {
+
+// ---- Broadcasting --------------------------------------------------------
+
+// The shape both inputs broadcast to; fatal if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+// Materializes `t` broadcast to `target` (fatal if not broadcastable).
+Tensor ExpandTo(const Tensor& t, const Shape& target);
+
+// Sums `t` down to `target` shape, reversing a broadcast. Used by autograd
+// to reduce an output gradient back to an input's shape.
+Tensor ReduceTo(const Tensor& t, const Shape& target);
+
+// ---- Elementwise binary (broadcasting) -----------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+// 1.0 where the predicate holds, else 0.0.
+Tensor Greater(const Tensor& a, const Tensor& b);
+Tensor GreaterEqual(const Tensor& a, const Tensor& b);
+
+// Scalar conveniences.
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Elementwise unary ----------------------------------------------------
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Relu(const Tensor& a);
+// Exact GELU: 0.5 * x * (1 + erf(x / sqrt(2))).
+Tensor Gelu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Clamp(const Tensor& a, float lo, float hi);
+// -1, 0, or +1 per element.
+Tensor Sign(const Tensor& a);
+// Derivative of exact GELU: Phi(x) + x * phi(x).
+Tensor GeluGrad(const Tensor& a);
+
+// ---- Matrix multiplication -------------------------------------------------
+// a: [..., m, k], b: [..., k, n] -> [..., m, n]; batch dims broadcast.
+// Rank-2 x rank-2 is the plain matrix product.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Reductions ------------------------------------------------------------
+// Scalar (rank-0) total.
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+float MaxAbs(const Tensor& a);
+
+// Reduce over `dims` (each in [-rank, rank)). With keepdim the reduced axes
+// stay as size-1 dims; otherwise they are removed.
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim);
+Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim);
+Tensor MaxReduce(const Tensor& a, int64_t dim, bool keepdim);
+
+// Index of the maximum along `dim` (ties -> lowest index), as floats.
+Tensor ArgMax(const Tensor& a, int64_t dim);
+
+// ---- Movement ---------------------------------------------------------------
+// Reorders axes: out.dim(i) == in.dim(perm[i]). Materializes a new buffer.
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm);
+// Swaps two axes.
+Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1);
+// Elements [start, start+length) along `dim`.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length);
+// Concatenation along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t dim);
+// Pads `dim` with `value`: `before` elements in front, `after` at the back.
+Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+           float value);
+// Stacks equal-shaped tensors along a new leading dimension.
+Tensor Stack(const std::vector<Tensor>& parts);
+
+// ---- Normalization helpers ---------------------------------------------------
+Tensor Softmax(const Tensor& a, int64_t dim);
+
+// ---- Testing utilities --------------------------------------------------------
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+bool HasNonFinite(const Tensor& a);
+
+// Normalizes an axis index (accepts negatives) against `rank`.
+int64_t NormalizeDim(int64_t dim, int64_t rank);
+
+}  // namespace msd
+
+#endif  // MSDMIXER_TENSOR_TENSOR_OPS_H_

@@ -1,0 +1,362 @@
+// Unit tests for the autograd engine, including numerical gradient checks
+// (central finite differences) for every differentiable op.
+#include "autograd/ops.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+// Checks analytic gradients of `f` (a scalar-valued function of one leaf)
+// against central finite differences at `x0`.
+void ExpectGradMatchesNumeric(
+    const std::function<Variable(const Variable&)>& f, const Tensor& x0,
+    float eps = 1e-2f, float atol = 2e-3f, float rtol = 3e-2f) {
+  Variable x(x0.Clone(), /*requires_grad=*/true);
+  Variable y = f(x);
+  ASSERT_EQ(y.numel(), 1);
+  y.Backward();
+  ASSERT_TRUE(x.has_grad());
+  const Tensor& analytic = x.grad();
+
+  Tensor probe = x0.Clone();
+  Variable xp(probe, /*requires_grad=*/false);
+  for (int64_t i = 0; i < probe.numel(); ++i) {
+    const float saved = probe.data()[i];
+    probe.data()[i] = saved + eps;
+    const float up = f(xp).item();
+    probe.data()[i] = saved - eps;
+    const float down = f(xp).item();
+    probe.data()[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float a = analytic.data()[i];
+    EXPECT_NEAR(a, numeric, atol + rtol * std::fabs(numeric))
+        << "element " << i;
+  }
+}
+
+TEST(VariableTest, LeafBasics) {
+  Variable v(Tensor::Ones({2, 2}), /*requires_grad=*/true);
+  EXPECT_TRUE(v.defined());
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_FALSE(v.has_grad());
+  EXPECT_EQ(v.shape(), (Shape{2, 2}));
+}
+
+TEST(VariableTest, BackwardSimpleChain) {
+  // y = sum((2x + 1)^2), dy/dx = 4(2x + 1)
+  Variable x(Tensor({3}, {0.0f, 1.0f, -1.0f}), true);
+  Variable y = SumAll(Square(AddScalar(MulScalar(x, 2.0f), 1.0f)));
+  y.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor({3}, {4.0f, 12.0f, -4.0f})));
+}
+
+TEST(VariableTest, BackwardRequiresScalar) {
+  Variable x(Tensor::Ones({3}), true);
+  Variable y = MulScalar(x, 2.0f);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(VariableTest, GradientsAccumulateAcrossBackwardCalls) {
+  Variable x(Tensor::Ones({2}), true);
+  for (int pass = 0; pass < 2; ++pass) {
+    Variable y = SumAll(MulScalar(x, 3.0f));
+    y.Backward();
+  }
+  EXPECT_TRUE(AllClose(x.grad(), Tensor::Full({2}, 6.0f)));
+  x.ZeroGrad();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, DiamondDependencyCountsBothPaths) {
+  // y = x*x + x, dy/dx = 2x + 1
+  Variable x(Tensor({2}, {3.0f, -2.0f}), true);
+  Variable y = SumAll(Add(Mul(x, x), x));
+  y.Backward();
+  EXPECT_TRUE(AllClose(x.grad(), Tensor({2}, {7.0f, -3.0f})));
+}
+
+TEST(VariableTest, DetachStopsGradient) {
+  Variable x(Tensor::Ones({2}), true);
+  Variable d = x.Detach();
+  Variable y = SumAll(Mul(d, d));
+  EXPECT_FALSE(y.requires_grad());
+  y.Backward();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(VariableTest, NoGradGuardDisablesRecording) {
+  Variable x(Tensor::Ones({2}), true);
+  {
+    NoGradGuard guard;
+    Variable y = SumAll(Mul(x, x));
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+}
+
+TEST(VariableTest, NoGradGuardNests) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+  }
+  EXPECT_FALSE(NoGradGuard::GradEnabled());
+}
+
+TEST(VariableTest, BroadcastGradReducesToLeafShape) {
+  Variable a(Tensor::Ones({2, 3}), true);
+  Variable b(Tensor::Ones({3}), true);
+  Variable y = SumAll(Add(a, b));
+  y.Backward();
+  EXPECT_EQ(a.grad().shape(), (Shape{2, 3}));
+  EXPECT_EQ(b.grad().shape(), (Shape{3}));
+  EXPECT_TRUE(AllClose(b.grad(), Tensor::Full({3}, 2.0f)));
+}
+
+TEST(VariableTest, ConstantLeafGetsNoGrad) {
+  Variable a(Tensor::Ones({2}), true);
+  Variable c(Tensor::Ones({2}), false);
+  Variable y = SumAll(Mul(a, c));
+  y.Backward();
+  EXPECT_TRUE(a.has_grad());
+  EXPECT_FALSE(c.has_grad());
+}
+
+// ---- Numerical gradient checks, one per op ---------------------------------
+
+Tensor TestInput(Shape shape, uint64_t seed, float mean = 0.0f,
+                 float stddev = 1.0f) {
+  Rng rng(seed);
+  return Tensor::RandNormal(std::move(shape), mean, stddev, rng);
+}
+
+TEST(GradCheck, AddBroadcast) {
+  Tensor other = TestInput({4}, 1);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(Add(x, Variable(other))));
+      },
+      TestInput({3, 4}, 2));
+}
+
+TEST(GradCheck, SubBothSides) {
+  Tensor other = TestInput({3, 4}, 3);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(Sub(Variable(other), x)));
+      },
+      TestInput({3, 4}, 4));
+}
+
+TEST(GradCheck, MulBroadcast) {
+  Tensor other = TestInput({3, 1}, 5);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) { return SumAll(Mul(x, Variable(other))); },
+      TestInput({3, 4}, 6));
+}
+
+TEST(GradCheck, DivNumeratorAndDenominator) {
+  Tensor denom = TestInput({2, 3}, 7, 3.0f, 0.2f);  // away from zero
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) { return SumAll(Div(x, Variable(denom))); },
+      TestInput({2, 3}, 8));
+  Tensor numer = TestInput({2, 3}, 9);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) { return SumAll(Div(Variable(numer), x)); },
+      TestInput({2, 3}, 10, 3.0f, 0.2f));
+}
+
+TEST(GradCheck, MatMul2DBothSides) {
+  Tensor rhs = TestInput({4, 2}, 11);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(MatMul(x, Variable(rhs))));
+      },
+      TestInput({3, 4}, 12));
+  Tensor lhs = TestInput({3, 4}, 13);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(MatMul(Variable(lhs), x)));
+      },
+      TestInput({4, 2}, 14));
+}
+
+TEST(GradCheck, MatMulBatchedBroadcastRhs) {
+  // x: [2,3,4] times shared rhs [4,2]; rhs gradient must sum over batch.
+  Tensor x0 = TestInput({2, 3, 4}, 15);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& w) {
+        return SumAll(Square(MatMul(Variable(x0), w)));
+      },
+      TestInput({4, 2}, 16));
+}
+
+TEST(GradCheck, UnaryElementwise) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Exp(x)); }, TestInput({6}, 17));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Log(x)); },
+      TestInput({6}, 18, 3.0f, 0.3f));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Sqrt(x)); },
+      TestInput({6}, 19, 4.0f, 0.3f));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Square(x)); }, TestInput({6}, 20));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Tanh(x)); }, TestInput({6}, 21));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Sigmoid(x)); },
+      TestInput({6}, 22));
+}
+
+TEST(GradCheck, AbsAwayFromKink) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Abs(x)); },
+      TestInput({6}, 23, 2.0f, 0.3f));
+}
+
+TEST(GradCheck, ReluAwayFromKink) {
+  Tensor x0({4}, {1.5f, -1.5f, 2.0f, -0.7f});
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Square(Relu(x))); }, x0);
+}
+
+TEST(GradCheck, Gelu) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return SumAll(Gelu(x)); }, TestInput({8}, 24));
+}
+
+TEST(GradCheck, SumOverDims) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Sum(x, {1}, /*keepdim=*/false)));
+      },
+      TestInput({3, 4}, 25));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Sum(x, {0, 2}, /*keepdim=*/true)));
+      },
+      TestInput({2, 3, 4}, 26));
+}
+
+TEST(GradCheck, MeanOverDims) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Mean(x, {-1}, /*keepdim=*/false)));
+      },
+      TestInput({3, 5}, 27));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) { return Square(MeanAll(x)); },
+      TestInput({3, 5}, 28));
+}
+
+TEST(GradCheck, MovementOps) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Reshape(x, {6, 2})));
+      },
+      TestInput({3, 4}, 29));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Permute(x, {2, 0, 1})));
+      },
+      TestInput({2, 3, 4}, 30));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Transpose(x, -1, -2)));
+      },
+      TestInput({3, 4}, 31));
+}
+
+TEST(GradCheck, SliceAndPad) {
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Slice(x, 1, 1, 2)));
+      },
+      TestInput({3, 5}, 32));
+  ExpectGradMatchesNumeric(
+      [](const Variable& x) {
+        return SumAll(Square(Pad(x, 1, 2, 1, 0.5f)));
+      },
+      TestInput({3, 5}, 33));
+}
+
+TEST(GradCheck, Concat) {
+  Tensor other = TestInput({3, 2}, 34);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(Concat({x, Variable(other)}, 1)));
+      },
+      TestInput({3, 4}, 35));
+}
+
+TEST(GradCheck, ConcatGradSplitsAcrossAllParts) {
+  Variable a(TestInput({2, 2}, 36), true);
+  Variable b(TestInput({2, 3}, 37), true);
+  Variable y = SumAll(Square(Concat({a, b}, 1)));
+  y.Backward();
+  EXPECT_TRUE(AllClose(a.grad(), MulScalar(a.value(), 2.0f)));
+  EXPECT_TRUE(AllClose(b.grad(), MulScalar(b.value(), 2.0f)));
+}
+
+TEST(GradCheck, Softmax) {
+  Tensor target = TestInput({2, 5}, 38);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Square(Sub(Softmax(x, 1), Variable(target))));
+      },
+      TestInput({2, 5}, 39));
+}
+
+TEST(GradCheck, LogSoftmax) {
+  Tensor weights = TestInput({2, 5}, 40);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        return SumAll(Mul(LogSoftmax(x, -1), Variable(weights)));
+      },
+      TestInput({2, 5}, 41));
+}
+
+TEST(GradCheck, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor x0 = TestInput({3, 7}, 42);
+  Variable x(x0, false);
+  EXPECT_TRUE(AllClose(LogSoftmax(x, 1).value(), Log(Softmax(x0, 1)), 1e-5f,
+                       1e-4f));
+}
+
+TEST(GradCheck, DeepCompositeExpression) {
+  // A small MLP-like composite touching many ops at once.
+  Tensor w1 = TestInput({5, 8}, 43, 0.0f, 0.5f);
+  Tensor w2 = TestInput({8, 3}, 44, 0.0f, 0.5f);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& x) {
+        Variable h = Gelu(MatMul(x, Variable(w1)));
+        Variable o = MatMul(h, Variable(w2));
+        return MeanAll(Square(o));
+      },
+      TestInput({4, 5}, 45));
+}
+
+TEST(GradCheck, ParameterGradientThroughComposite) {
+  // Gradient w.r.t. a weight used at two places in the graph.
+  Tensor x0 = TestInput({4, 5}, 46);
+  ExpectGradMatchesNumeric(
+      [&](const Variable& w) {
+        Variable x(x0);
+        Variable h = MatMul(x, w);          // [4, 5] x [5, 5]
+        Variable o = MatMul(h, w);          // reuse of w
+        return MeanAll(Square(o));
+      },
+      TestInput({5, 5}, 47, 0.0f, 0.4f));
+}
+
+}  // namespace
+}  // namespace msd

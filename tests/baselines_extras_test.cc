@@ -1,0 +1,183 @@
+// Tests for the PatchTST-style and N-HiTS-style baselines.
+#include "baselines/patchtst.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/nhits.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(PatchTstTest, OutputShapeAndPatchCount) {
+  Rng rng(1);
+  PatchTstConfig config;
+  config.input_length = 96;
+  config.horizon = 24;
+  config.patch_length = 16;
+  config.stride = 8;
+  PatchTst model(config, rng);
+  EXPECT_EQ(model.num_patches(), (96 - 16) / 8 + 1);
+  Variable x(Tensor::RandNormal({2, 5, 96}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{2, 5, 24}));
+}
+
+TEST(PatchTstTest, GradientsReachAllParameters) {
+  Rng rng(2);
+  PatchTstConfig config;
+  config.input_length = 32;
+  config.horizon = 8;
+  config.patch_length = 8;
+  config.stride = 4;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.ffn_dim = 32;
+  config.num_blocks = 1;
+  PatchTst model(config, rng);
+  Variable x(Tensor::RandNormal({2, 3, 32}, 0, 1, rng));
+  SumAll(Square(model.Forward(x))).Backward();
+  for (const Variable& p : model.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+  }
+}
+
+TEST(PatchTstTest, RevInMakesModelShiftEquivariant) {
+  // With RevIN, adding a constant offset to the input shifts the forecast by
+  // the same constant (to numerical precision).
+  Rng rng(3);
+  PatchTstConfig config;
+  config.input_length = 32;
+  config.horizon = 8;
+  config.patch_length = 8;
+  config.stride = 8;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  config.use_revin = true;
+  PatchTst model(config, rng);
+  model.SetTraining(false);
+  Variable x(Tensor::RandNormal({1, 2, 32}, 0, 1, rng));
+  Tensor base = model.Forward(x).value();
+  Variable shifted(AddScalar(x.value(), 100.0f));
+  Tensor moved = model.Forward(shifted).value();
+  EXPECT_TRUE(AllClose(AddScalar(base, 100.0f), moved, 1e-2f, 1e-3f));
+}
+
+TEST(PatchTstTest, ChannelIndependence) {
+  // Channel-independent design: changing channel 1's values must not change
+  // channel 0's forecast.
+  Rng rng(4);
+  PatchTstConfig config;
+  config.input_length = 32;
+  config.horizon = 8;
+  config.patch_length = 8;
+  config.stride = 8;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  PatchTst model(config, rng);
+  model.SetTraining(false);
+  Tensor x = Tensor::RandNormal({1, 2, 32}, 0, 1, rng);
+  Tensor y = model.Forward(Variable(x)).value();
+  Tensor x2 = x.Clone();
+  for (int64_t t = 0; t < 32; ++t) x2.set({0, 1, t}, 9.0f + t);
+  Tensor y2 = model.Forward(Variable(x2)).value();
+  EXPECT_TRUE(AllClose(Slice(y, 1, 0, 1), Slice(y2, 1, 0, 1), 1e-5f, 1e-5f));
+}
+
+TEST(PatchTstTest, LearnsSeasonalPattern) {
+  Rng rng(5);
+  PatchTstConfig config;
+  config.input_length = 48;
+  config.horizon = 12;
+  config.patch_length = 12;
+  config.stride = 6;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  PatchTst model(config, rng);
+  Adam opt(model.Parameters(), 2e-3f);
+  float last = 1e9f;
+  for (int step = 0; step < 120; ++step) {
+    // Sinusoids with random phases; target continues the wave.
+    Tensor x({8, 1, 48});
+    Tensor y({8, 1, 12});
+    Rng data_rng(1000 + step);
+    for (int64_t b = 0; b < 8; ++b) {
+      const float phase = data_rng.Uniform(0.0f, 6.28f);
+      for (int64_t t = 0; t < 48; ++t) {
+        x.set({b, 0, t}, std::sin(2.0f * 3.14159265f * t / 12.0f + phase));
+      }
+      for (int64_t t = 0; t < 12; ++t) {
+        y.set({b, 0, t},
+              std::sin(2.0f * 3.14159265f * (48 + t) / 12.0f + phase));
+      }
+    }
+    opt.ZeroGrad();
+    Variable loss =
+        MeanAll(Square(Sub(model.Forward(Variable(x)), Variable(y))));
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, 0.1f);  // variance of the wave is 0.5
+}
+
+// ---- N-HiTS -------------------------------------------------------------------
+
+TEST(NHitsTest, OutputShape) {
+  Rng rng(6);
+  NHits model(96, 24, rng, {8, 4, 1});
+  Variable x(Tensor::RandNormal({2, 3, 96}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{2, 3, 24}));
+}
+
+TEST(NHitsTest, OddHorizonAndPoolsStillShapeCorrect) {
+  Rng rng(7);
+  NHits model(50, 13, rng, {7, 3, 1});
+  Variable x(Tensor::RandNormal({1, 2, 50}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{1, 2, 13}));
+}
+
+TEST(NHitsTest, GradientsReachAllParameters) {
+  Rng rng(8);
+  NHits model(48, 12, rng, {4, 2, 1});
+  Variable x(Tensor::RandNormal({2, 1, 48}, 0, 1, rng));
+  SumAll(Square(model.Forward(x))).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(NHitsTest, FitsTrendPlusSeason) {
+  Rng rng(9);
+  NHits model(48, 12, rng, {6, 2, 1}, 64);
+  Adam opt(model.Parameters(), 3e-3f);
+  float last = 1e9f;
+  for (int step = 0; step < 200; ++step) {
+    Tensor x({8, 1, 48});
+    Tensor y({8, 1, 12});
+    Rng data_rng(2000 + step);
+    for (int64_t b = 0; b < 8; ++b) {
+      const float slope = data_rng.Uniform(-0.02f, 0.02f);
+      const float phase = data_rng.Uniform(0.0f, 6.28f);
+      auto value = [&](int64_t t) {
+        return slope * t +
+               0.7f * std::sin(2.0f * 3.14159265f * t / 12.0f + phase);
+      };
+      for (int64_t t = 0; t < 48; ++t) x.set({b, 0, t}, value(t));
+      for (int64_t t = 0; t < 12; ++t) y.set({b, 0, t}, value(48 + t));
+    }
+    opt.ZeroGrad();
+    Variable loss =
+        MeanAll(Square(Sub(model.Forward(Variable(x)), Variable(y))));
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, 0.12f);
+}
+
+}  // namespace
+}  // namespace msd

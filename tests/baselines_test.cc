@@ -1,0 +1,240 @@
+// Tests for the baseline models.
+#include "baselines/dlinear.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/dtw.h"
+#include "baselines/lightts.h"
+#include "baselines/mlp_autoencoder.h"
+#include "baselines/naive.h"
+#include "baselines/nbeats.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(MovingAverageTest, ConstantSeriesUnchanged) {
+  Variable x(Tensor::Full({1, 2, 20}, 3.0f));
+  Variable ma = MovingAverage(x, 5);
+  EXPECT_EQ(ma.shape(), x.shape());
+  EXPECT_TRUE(AllClose(ma.value(), x.value(), 1e-5f, 1e-5f));
+}
+
+TEST(MovingAverageTest, SmoothsInteriorExactly) {
+  Variable x(Tensor::Arange(9).Reshape({1, 1, 9}));
+  Variable ma = MovingAverage(x, 3);
+  // Interior element i is the mean of {i-1, i, i+1} = i.
+  for (int64_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(ma.value().at({0, 0, i}), static_cast<float>(i), 1e-5f);
+  }
+  // Edges use replicate padding: mean of {0, 0, 1} = 1/3.
+  EXPECT_NEAR(ma.value().at({0, 0, 0}), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(ma.value().at({0, 0, 8}), (7.0f + 8.0f + 8.0f) / 3.0f, 1e-5f);
+}
+
+TEST(MovingAverageTest, KernelOneIsIdentity) {
+  Rng rng(1);
+  Variable x(Tensor::RandNormal({1, 1, 10}, 0, 1, rng));
+  EXPECT_TRUE(AllClose(MovingAverage(x, 1).value(), x.value(), 0.0f, 0.0f));
+}
+
+TEST(DLinearTest, OutputShapeAndGradients) {
+  Rng rng(2);
+  DLinear model(48, 24, rng);
+  Variable x(Tensor::RandNormal({3, 5, 48}, 0, 1, rng));
+  Variable y = model.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{3, 5, 24}));
+  SumAll(Square(y)).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(DLinearTest, LearnsLinearTrendExtrapolation) {
+  // DLinear can represent y_t = x_last + slope * t exactly; verify it learns
+  // to extrapolate ramps.
+  Rng rng(3);
+  DLinear model(16, 4, rng, /*kernel_size=*/5);
+  std::vector<Variable> params = model.Parameters();
+  for (int step = 0; step < 400; ++step) {
+    // Random ramps: x_t = a * t + b.
+    Tensor x({8, 1, 16});
+    Tensor y({8, 1, 4});
+    Rng data_rng(static_cast<uint64_t>(step) + 100);
+    for (int64_t i = 0; i < 8; ++i) {
+      const float a = data_rng.Uniform(-1.0f, 1.0f);
+      const float b = data_rng.Uniform(-2.0f, 2.0f);
+      for (int64_t t = 0; t < 16; ++t) x.set({i, 0, t}, a * t + b);
+      for (int64_t t = 0; t < 4; ++t) y.set({i, 0, t}, a * (16 + t) + b);
+    }
+    for (Variable& p : params) p.ZeroGrad();
+    Variable loss = MeanAll(Square(Sub(model.Forward(Variable(x)), Variable(y))));
+    loss.Backward();
+    for (Variable& p : params) {
+      float* w = p.mutable_value().data();
+      const float* g = p.grad().data();
+      for (int64_t j = 0; j < p.numel(); ++j) w[j] -= 0.002f * g[j];
+    }
+  }
+  // Evaluate on a fresh ramp.
+  Tensor x({1, 1, 16});
+  for (int64_t t = 0; t < 16; ++t) x.set({0, 0, t}, 0.5f * t + 1.0f);
+  Tensor y = model.Forward(Variable(x)).value();
+  for (int64_t t = 0; t < 4; ++t) {
+    EXPECT_NEAR(y.at({0, 0, t}), 0.5f * (16 + t) + 1.0f, 0.6f);
+  }
+}
+
+TEST(LinearForecasterTest, ShapeAndGrad) {
+  Rng rng(4);
+  LinearForecaster model(32, 8, rng);
+  Variable x(Tensor::RandNormal({2, 3, 32}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{2, 3, 8}));
+}
+
+TEST(LightTsTest, ShapeWithDefaultChunk) {
+  Rng rng(5);
+  LightTs model(96, 24, rng);
+  Variable x(Tensor::RandNormal({2, 4, 96}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{2, 4, 24}));
+}
+
+TEST(LightTsTest, NonDivisibleLengthHandled) {
+  Rng rng(6);
+  LightTs model(50, 10, rng, /*chunk_size=*/8);
+  Variable x(Tensor::RandNormal({1, 2, 50}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{1, 2, 10}));
+}
+
+TEST(NBeatsTest, ShapeAndGradients) {
+  Rng rng(7);
+  NBeats model(36, 6, rng, /*num_blocks=*/2, /*hidden=*/32);
+  Variable x(Tensor::RandNormal({4, 1, 36}, 0, 1, rng));
+  Variable y = model.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{4, 1, 6}));
+  SumAll(Square(y)).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(NaiveTest, RepeatsLastValue) {
+  Tensor x({1, 2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor f = NaiveForecast(x, 3);
+  EXPECT_TRUE(AllClose(f, Tensor({1, 2, 3}, {4, 4, 4, 40, 40, 40})));
+}
+
+TEST(SeasonalNaiveTest, RepeatsLastPeriod) {
+  Tensor x({1, 1, 6}, {1, 2, 3, 4, 5, 6});
+  Tensor f = SeasonalNaiveForecast(x, 5, 3);
+  // Last period {4,5,6}, repeated cyclically.
+  EXPECT_TRUE(AllClose(f, Tensor({1, 1, 5}, {4, 5, 6, 4, 5})));
+}
+
+TEST(SeasonalNaiveTest, FallsBackWhenPeriodTooLong) {
+  Tensor x({1, 1, 4}, {1, 2, 3, 9});
+  Tensor f = SeasonalNaiveForecast(x, 2, 10);
+  EXPECT_TRUE(AllClose(f, Tensor({1, 1, 2}, {9, 9})));
+}
+
+TEST(MlpAutoencoderTest, ShapeAndOverfitsOneBatch) {
+  Rng rng(8);
+  MlpAutoencoder model(3, 20, rng, /*bottleneck=*/12);
+  // Structured (low-rank) data: sinusoids with random phases, which a
+  // bottleneck autoencoder can actually represent.
+  Tensor x({4, 3, 20});
+  for (int64_t b = 0; b < 4; ++b) {
+    for (int64_t c = 0; c < 3; ++c) {
+      const float phase = rng.Uniform(0.0f, 6.28f);
+      for (int64_t t = 0; t < 20; ++t) {
+        x.set({b, c, t}, std::sin(2.0f * static_cast<float>(M_PI) * t / 10.0f +
+                                  phase));
+      }
+    }
+  }
+  std::vector<Variable> params = model.Parameters();
+  float first = 0.0f;
+  float last = 0.0f;
+  Adam opt(params, 0.01f);
+  for (int step = 0; step < 300; ++step) {
+    opt.ZeroGrad();
+    Variable loss = MeanAll(Square(Sub(model.Forward(Variable(x)), Variable(x))));
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.25f);
+}
+
+// ---- DTW ---------------------------------------------------------------------
+
+TEST(DtwTest, IdenticalSeriesZeroDistance) {
+  Rng rng(9);
+  Tensor a = Tensor::RandNormal({2, 30}, 0, 1, rng);
+  EXPECT_NEAR(DtwDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(DtwTest, SymmetricWithoutBand) {
+  Rng rng(10);
+  Tensor a = Tensor::RandNormal({2, 20}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({2, 25}, 0, 1, rng);
+  EXPECT_NEAR(DtwDistance(a, b), DtwDistance(b, a), 1e-6);
+}
+
+TEST(DtwTest, InvariantToTimeWarp) {
+  // A stretched copy of a series should be much closer under DTW than a
+  // different signal.
+  const int64_t n = 40;
+  Tensor a({1, n});
+  Tensor warped({1, n});
+  Tensor other({1, n});
+  for (int64_t t = 0; t < n; ++t) {
+    const double u = static_cast<double>(t) / n;
+    a.set({0, t}, std::sin(2 * M_PI * 2 * u));
+    // Nonlinear time warp of the same sine.
+    warped.set({0, t}, std::sin(2 * M_PI * 2 * (u * u * 0.7 + u * 0.3)));
+    other.set({0, t}, std::cos(2 * M_PI * 5 * u));
+  }
+  EXPECT_LT(DtwDistance(a, warped), DtwDistance(a, other) * 0.5);
+}
+
+TEST(DtwTest, BandSpeedsUpButStaysAboveExact) {
+  Rng rng(11);
+  Tensor a = Tensor::RandNormal({1, 50}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({1, 50}, 0, 1, rng);
+  // Constrained DTW cost is >= unconstrained cost.
+  EXPECT_GE(DtwDistance(a, b, 3) + 1e-9, DtwDistance(a, b));
+}
+
+TEST(DtwKnnTest, ClassifiesCleanSinusoids) {
+  // Two classes: slow vs fast sine with phase jitter.
+  Rng rng(12);
+  auto make = [&](double freq) {
+    Tensor x({1, 48});
+    const double phase = rng.NextDouble();
+    for (int64_t t = 0; t < 48; ++t) {
+      x.set({0, t}, std::sin(2 * M_PI * freq * t / 48.0 + phase) +
+                        rng.Gaussian(0, 0.1f));
+    }
+    return x;
+  };
+  std::vector<Tensor> train_x;
+  std::vector<int64_t> train_y;
+  for (int i = 0; i < 10; ++i) {
+    train_x.push_back(make(2.0));
+    train_y.push_back(0);
+    train_x.push_back(make(5.0));
+    train_y.push_back(1);
+  }
+  DtwKnnClassifier knn(0.2);
+  knn.Fit(train_x, train_y);
+  int correct = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (knn.Predict(make(2.0)) == 0) ++correct;
+    if (knn.Predict(make(5.0)) == 1) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,136 @@
+// Tests for the 2D convolution kernels and their autograd wrapper.
+#include "tensor/conv.h"
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "autograd/gradcheck.h"
+#include "autograd/ops.h"
+#include "nn/conv_layer.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(ConvTest, OutSizeFormula) {
+  EXPECT_EQ(ConvOutSize(5, 3, {1, 0}), 3);
+  EXPECT_EQ(ConvOutSize(5, 3, {1, 1}), 5);
+  EXPECT_EQ(ConvOutSize(7, 3, {2, 0}), 3);
+  EXPECT_EQ(ConvOutSize(4, 4, {1, 0}), 1);
+}
+
+TEST(ConvTest, IdentityKernelReproducesInput) {
+  Rng rng(1);
+  Tensor x = Tensor::RandNormal({1, 1, 4, 5}, 0, 1, rng);
+  Tensor k = Tensor::Ones({1, 1, 1, 1});
+  Tensor y = Conv2d(x, k);
+  EXPECT_TRUE(AllClose(y, x, 0.0f, 0.0f));
+}
+
+TEST(ConvTest, HandComputed2x2) {
+  // input 1x1x2x3 = [[1,2,3],[4,5,6]], kernel 1x1x2x2 = [[1,0],[0,1]].
+  Tensor x({1, 1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor k({1, 1, 2, 2}, {1, 0, 0, 1});
+  Tensor y = Conv2d(x, k);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_EQ(y.at({0, 0, 0, 0}), 1.0f + 5.0f);
+  EXPECT_EQ(y.at({0, 0, 0, 1}), 2.0f + 6.0f);
+}
+
+TEST(ConvTest, PaddingKeepsSpatialSize) {
+  Rng rng(2);
+  Tensor x = Tensor::RandNormal({2, 3, 6, 6}, 0, 1, rng);
+  Tensor k = Tensor::RandNormal({4, 3, 3, 3}, 0, 1, rng);
+  Tensor y = Conv2d(x, k, {1, 1});
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 6, 6}));
+}
+
+TEST(ConvTest, StrideDownsamples) {
+  Rng rng(3);
+  Tensor x = Tensor::RandNormal({1, 2, 8, 8}, 0, 1, rng);
+  Tensor k = Tensor::RandNormal({2, 2, 2, 2}, 0, 1, rng);
+  Tensor y = Conv2d(x, k, {2, 0});
+  EXPECT_EQ(y.shape(), (Shape{1, 2, 4, 4}));
+}
+
+TEST(ConvTest, SumsOverInputChannels) {
+  // Two channels, kernel picks each with weight 1: output = c0 + c1.
+  Tensor x({1, 2, 1, 2}, {1, 2, 10, 20});
+  Tensor k({1, 2, 1, 1}, {1, 1});
+  Tensor y = Conv2d(x, k);
+  EXPECT_TRUE(AllClose(y, Tensor({1, 1, 1, 2}, {11, 22})));
+}
+
+class ConvGradSweep
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ConvGradSweep, InputGradientMatchesNumeric) {
+  const auto& [stride, padding] = GetParam();
+  Rng rng(4);
+  Tensor kernel = Tensor::RandNormal({2, 2, 3, 3}, 0, 0.5f, rng);
+  GradCheckResult result = CheckGradient(
+      [&](const Variable& x) {
+        return MeanAll(Square(Conv2d(x, Variable(kernel), stride, padding)));
+      },
+      Tensor::RandNormal({1, 2, 6, 7}, 0, 1, rng));
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+TEST_P(ConvGradSweep, KernelGradientMatchesNumeric) {
+  const auto& [stride, padding] = GetParam();
+  Rng rng(5);
+  Tensor input = Tensor::RandNormal({2, 2, 6, 6}, 0, 1, rng);
+  GradCheckResult result = CheckGradient(
+      [&](const Variable& k) {
+        return MeanAll(Square(Conv2d(Variable(input), k, stride, padding)));
+      },
+      Tensor::RandNormal({2, 2, 3, 3}, 0, 0.5f, rng));
+  EXPECT_TRUE(result.ok) << result.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Specs, ConvGradSweep,
+                         ::testing::Values(std::make_tuple(1, 0),
+                                           std::make_tuple(1, 1),
+                                           std::make_tuple(2, 0),
+                                           std::make_tuple(2, 1)));
+
+TEST(Conv2dLayerTest, ShapeBiasAndGradients) {
+  Rng rng(6);
+  Conv2dLayer layer(3, 5, 3, rng, /*stride=*/1, /*padding=*/1);
+  Variable x(Tensor::RandNormal({2, 3, 4, 4}, 0, 1, rng));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 4, 4}));
+  SumAll(Square(y)).Backward();
+  for (const Variable& p : layer.Parameters()) EXPECT_TRUE(p.has_grad());
+  EXPECT_EQ(layer.NumParameters(), 5 * 3 * 3 * 3 + 5);
+}
+
+TEST(Conv2dLayerTest, LearnsAnEdgeDetector) {
+  // Fit a layer to reproduce a fixed target convolution.
+  Rng rng(7);
+  Conv2dLayer layer(1, 1, 3, rng, 1, 1);
+  Tensor target_kernel({1, 1, 3, 3}, {0, -1, 0, -1, 4, -1, 0, -1, 0});
+  Adam opt(layer.Parameters(), 0.05f);
+  float last = 1e9f;
+  for (int step = 0; step < 500; ++step) {
+    Tensor x = Tensor::RandNormal({4, 1, 8, 8}, 0, 1, rng);
+    Tensor y = Conv2d(x, target_kernel, {1, 1});
+    opt.ZeroGrad();
+    Variable loss = MeanAll(Square(Sub(layer.Forward(Variable(x)), Variable(y))));
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, 0.08f);
+}
+
+TEST(ConvTest, ChannelMismatchDies) {
+  Tensor x = Tensor::Zeros({1, 3, 4, 4});
+  Tensor k = Tensor::Zeros({1, 2, 2, 2});
+  EXPECT_DEATH(Conv2d(x, k), "channel mismatch");
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,93 @@
+// Tests for CSV time-series ingestion.
+#include "data/csv.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTimestampColumn) {
+  const std::string content =
+      "date,load,temp\n"
+      "2020-01-01,1.5,20\n"
+      "2020-01-02,2.5,21\n"
+      "2020-01-03,3.5,22\n";
+  auto result = ParseCsvSeries(content);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const CsvSeries& series = result.value();
+  EXPECT_EQ(series.values.shape(), (Shape{2, 3}));
+  EXPECT_EQ(series.channel_names,
+            (std::vector<std::string>{"load", "temp"}));
+  EXPECT_EQ(series.values.at({0, 0}), 1.5f);
+  EXPECT_EQ(series.values.at({1, 2}), 22.0f);
+}
+
+TEST(CsvTest, ParsesHeaderlessNumericFile) {
+  auto result = ParseCsvSeries("1,2\n3,4\n5,6\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().values.shape(), (Shape{2, 3}));
+  EXPECT_TRUE(result.value().channel_names.empty());
+  EXPECT_EQ(result.value().values.at({1, 1}), 4.0f);
+}
+
+TEST(CsvTest, EmptyCellsBecomeNaN) {
+  auto result = ParseCsvSeries("a,b\n1,\n2,3\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isnan(result.value().values.at({1, 0})));
+  EXPECT_EQ(result.value().values.at({1, 1}), 3.0f);
+}
+
+TEST(CsvTest, WindowsLineEndingsAndSpaces) {
+  auto result = ParseCsvSeries("x , y\r\n 1 , 2 \r\n 3 , 4 \r\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().channel_names[0], "x");
+  EXPECT_EQ(result.value().values.at({1, 1}), 4.0f);
+}
+
+TEST(CsvTest, RaggedRowRejected) {
+  auto result = ParseCsvSeries("1,2\n3\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("ragged"), std::string::npos);
+}
+
+TEST(CsvTest, NonNumericDataCellRejected) {
+  auto result = ParseCsvSeries("a,b\n1,2\n1,oops\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsvSeries("").ok());
+  EXPECT_FALSE(ParseCsvSeries("only,a,header\n").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Rng rng(1);
+  Tensor series = Tensor::RandNormal({3, 10}, 0, 1, rng);
+  const std::string path = ::testing::TempDir() + "/series_roundtrip.csv";
+  Status wrote = WriteCsvSeries(series, {"a", "b", "c"}, path);
+  ASSERT_TRUE(wrote.ok()) << wrote.ToString();
+  auto result = ReadCsvSeries(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().channel_names,
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(AllClose(result.value().values, series, 1e-4f, 1e-4f));
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto result = ReadCsvSeries("/nonexistent/file.csv");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, WriteRejectsBadShapes) {
+  EXPECT_FALSE(WriteCsvSeries(Tensor::Ones({4}), {}, "/tmp/x.csv").ok());
+  EXPECT_FALSE(
+      WriteCsvSeries(Tensor::Ones({2, 3}), {"only-one"}, "/tmp/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace msd

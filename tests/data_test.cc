@@ -1,0 +1,203 @@
+// Tests for the data pipeline: datasets, loader, scaler, window sampling.
+#include "data/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/scaler.h"
+#include "data/window_dataset.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+Tensor RampSeries(int64_t channels, int64_t length) {
+  Tensor t({channels, length});
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t i = 0; i < length; ++i) {
+      t.set({c, i}, static_cast<float>(c * 1000 + i));
+    }
+  }
+  return t;
+}
+
+TEST(SplitSeriesTest, ChronologicalFractions) {
+  Tensor series = RampSeries(2, 100);
+  SeriesSplits splits = SplitSeries(series, {0.7, 0.1});
+  EXPECT_EQ(splits.train.dim(1), 70);
+  EXPECT_EQ(splits.val.dim(1), 10);
+  EXPECT_EQ(splits.test.dim(1), 20);
+  EXPECT_EQ(splits.train.at({0, 0}), 0.0f);
+  EXPECT_EQ(splits.val.at({0, 0}), 70.0f);
+  EXPECT_EQ(splits.test.at({0, 0}), 80.0f);
+}
+
+TEST(SplitSeriesTest, EmptySplitDies) {
+  Tensor series = RampSeries(1, 10);
+  EXPECT_DEATH(SplitSeries(series, {0.99, 0.005}), "");
+}
+
+TEST(ForecastWindowTest, CountAndAlignment) {
+  Tensor series = RampSeries(1, 20);
+  ForecastWindowDataset ds(series, /*lookback=*/5, /*horizon=*/3);
+  // usable = 20 - 5 - 3 = 12 -> 13 windows.
+  EXPECT_EQ(ds.Size(), 13);
+  Sample s0 = ds.Get(0);
+  EXPECT_EQ(s0.input.shape(), (Shape{1, 5}));
+  EXPECT_EQ(s0.target.shape(), (Shape{1, 3}));
+  EXPECT_EQ(s0.input.at({0, 0}), 0.0f);
+  EXPECT_EQ(s0.target.at({0, 0}), 5.0f);
+  Sample last = ds.Get(12);
+  EXPECT_EQ(last.input.at({0, 0}), 12.0f);
+  EXPECT_EQ(last.target.at({0, 2}), 19.0f);
+}
+
+TEST(ForecastWindowTest, StrideSkipsWindows) {
+  Tensor series = RampSeries(1, 20);
+  ForecastWindowDataset ds(series, 5, 3, /*stride=*/4);
+  EXPECT_EQ(ds.Size(), 4);
+  EXPECT_EQ(ds.Get(1).input.at({0, 0}), 4.0f);
+}
+
+TEST(ForecastWindowTest, TooShortDies) {
+  Tensor series = RampSeries(1, 6);
+  EXPECT_DEATH(ForecastWindowDataset(series, 5, 3), "too short");
+}
+
+TEST(ImputationWindowTest, MaskIsDeterministicAndApplied) {
+  Tensor series = RampSeries(2, 50);
+  // Offset so zeros in the input unambiguously mark masked points.
+  series = AddScalar(series, 10.0f);
+  ImputationWindowDataset ds(series, /*window=*/10, /*missing_ratio=*/0.4,
+                             /*seed=*/7);
+  Sample a = ds.Get(3);
+  Sample b = ds.Get(3);
+  EXPECT_TRUE(AllClose(a.input, b.input, 0.0f, 0.0f));
+  Tensor mask = ds.MaskFor(3);
+  EXPECT_TRUE(AllClose(a.input, Mul(a.target, mask), 0.0f, 0.0f));
+  // Roughly 40% missing, checked on a statistically meaningful window size.
+  ImputationWindowDataset wide(RampSeries(4, 600), /*window=*/500,
+                               /*missing_ratio=*/0.4, /*seed=*/7);
+  const float observed = SumAll(wide.MaskFor(0)).item();
+  EXPECT_NEAR(observed / 2000.0f, 0.6f, 0.05f);
+}
+
+TEST(ImputationWindowTest, DifferentWindowsGetDifferentMasks) {
+  Tensor series = RampSeries(1, 100);
+  ImputationWindowDataset ds(series, 20, 0.5, 11);
+  EXPECT_FALSE(AllClose(ds.MaskFor(0), ds.MaskFor(1), 0.0f, 0.0f));
+}
+
+TEST(ReconstructionWindowTest, NonOverlappingWindows) {
+  Tensor series = RampSeries(1, 25);
+  ReconstructionWindowDataset ds(series, 10);
+  EXPECT_EQ(ds.Size(), 2);  // trailing 5 steps dropped
+  Sample s1 = ds.Get(1);
+  EXPECT_EQ(s1.input.at({0, 0}), 10.0f);
+  EXPECT_TRUE(AllClose(s1.input, s1.target, 0.0f, 0.0f));
+}
+
+TEST(DataLoaderTest, BatchesCoverDatasetOnce) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 10; ++i) {
+    samples.push_back({Tensor::Full({2}, static_cast<float>(i)),
+                       Tensor::Full({1}, static_cast<float>(i))});
+  }
+  VectorDataset ds(std::move(samples));
+  Rng rng(1);
+  DataLoader loader(&ds, /*batch_size=*/3, /*shuffle=*/true, rng);
+  EXPECT_EQ(loader.NumBatches(), 4);
+  std::multiset<float> seen;
+  for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+    Batch batch = loader.GetBatch(b);
+    EXPECT_EQ(batch.input.rank(), 2);
+    for (int64_t i = 0; i < batch.size(); ++i) {
+      seen.insert(batch.input.at({i, 0}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(seen.count(static_cast<float>(i)), 1u);
+  }
+}
+
+TEST(DataLoaderTest, LastBatchMayBeSmaller) {
+  std::vector<Sample> samples(7, {Tensor::Ones({2}), Tensor::Ones({1})});
+  VectorDataset ds(std::move(samples));
+  Rng rng(2);
+  DataLoader loader(&ds, 4, false, rng);
+  EXPECT_EQ(loader.GetBatch(0).size(), 4);
+  EXPECT_EQ(loader.GetBatch(1).size(), 3);
+}
+
+TEST(DataLoaderTest, NoShufflePreservesOrder) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 5; ++i) {
+    samples.push_back({Tensor::Full({1}, static_cast<float>(i)),
+                       Tensor::Full({1}, 0.0f)});
+  }
+  VectorDataset ds(std::move(samples));
+  Rng rng(3);
+  DataLoader loader(&ds, 2, false, rng);
+  EXPECT_EQ(loader.GetBatch(0).input.at({0, 0}), 0.0f);
+  EXPECT_EQ(loader.GetBatch(0).input.at({1, 0}), 1.0f);
+  EXPECT_EQ(loader.GetBatch(2).input.at({0, 0}), 4.0f);
+}
+
+TEST(DataLoaderTest, ReshuffleChangesOrder) {
+  std::vector<Sample> samples;
+  for (int i = 0; i < 64; ++i) {
+    samples.push_back({Tensor::Full({1}, static_cast<float>(i)),
+                       Tensor::Full({1}, 0.0f)});
+  }
+  VectorDataset ds(std::move(samples));
+  Rng rng(4);
+  DataLoader loader(&ds, 64, true, rng);
+  Tensor before = loader.GetBatch(0).input;
+  loader.Reshuffle();
+  Tensor after = loader.GetBatch(0).input;
+  EXPECT_FALSE(AllClose(before, after, 0.0f, 0.0f));
+}
+
+TEST(ScalerTest, TransformThenInverseIsIdentity) {
+  Rng rng(5);
+  Tensor series = Tensor::RandNormal({3, 200}, 4.0f, 2.5f, rng);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  Tensor z = scaler.Transform(series);
+  // Standardized: per-channel mean ~0, std ~1.
+  Tensor mean = Mean(z, {1}, false);
+  EXPECT_LT(MaxAbs(mean), 1e-4f);
+  Tensor back = scaler.InverseTransform(z);
+  EXPECT_TRUE(AllClose(back, series, 1e-3f, 1e-3f));
+}
+
+TEST(ScalerTest, BatchedTransformBroadcasts) {
+  Rng rng(6);
+  Tensor series = Tensor::RandNormal({3, 100}, 2.0f, 1.0f, rng);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  Tensor batch = Tensor::RandNormal({4, 3, 10}, 2.0f, 1.0f, rng);
+  Tensor z = scaler.Transform(batch);
+  EXPECT_EQ(z.shape(), (Shape{4, 3, 10}));
+  EXPECT_TRUE(AllClose(scaler.InverseTransform(z), batch, 1e-3f, 1e-3f));
+}
+
+TEST(ScalerTest, ConstantChannelDoesNotDivideByZero) {
+  Tensor series = Tensor::Full({1, 50}, 3.0f);
+  StandardScaler scaler;
+  scaler.Fit(series);
+  Tensor z = scaler.Transform(series);
+  EXPECT_FALSE(HasNonFinite(z));
+}
+
+TEST(MaskTest, RatioRespected) {
+  Rng rng(7);
+  Tensor mask = RandomObservationMask({100, 100}, 0.25, rng);
+  const float observed = SumAll(mask).item();
+  EXPECT_NEAR(observed / 10000.0f, 0.75f, 0.02f);
+}
+
+}  // namespace
+}  // namespace msd

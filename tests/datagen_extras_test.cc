@@ -1,0 +1,176 @@
+// Targeted tests for the generator features added for experiment-shape
+// fidelity: the lead-lag driver, structural anomaly types, classification
+// noise texture and time shifts, and M4 phase drift.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/anomaly_gen.h"
+#include "datagen/classification_gen.h"
+#include "datagen/m4like.h"
+#include "datagen/series_builder.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(DriverTest, LeadLagMakesChannelsCrossPredictive) {
+  // With a shared driver and spread lags, the lag-Delta cross-correlation
+  // between a leading and a lagging channel must exceed the zero-lag one.
+  SeriesConfig config;
+  config.length = 2000;
+  config.seed = 3;
+  for (int c = 0; c < 2; ++c) {
+    ChannelSpec spec;
+    spec.noise_sigma = 0.05;
+    config.channels.push_back(spec);
+  }
+  config.driver = {1.0, 48.0, 0.01, 40, true};
+  Tensor series = GenerateSeries(config);
+  // Channel 0 has lag 0 (leads); channel 1 has lag 40.
+  auto corr_at_shift = [&](int64_t shift) {
+    double num = 0.0;
+    double d0 = 0.0;
+    double d1 = 0.0;
+    for (int64_t t = 0; t + shift < 2000; ++t) {
+      const double a = series.at({0, t});
+      const double b = series.at({1, t + shift});
+      num += a * b;
+      d0 += a * a;
+      d1 += b * b;
+    }
+    return num / std::sqrt(d0 * d1);
+  };
+  // Loadings have random sign; the *magnitude* of the aligned-lag
+  // correlation is what carries predictability.
+  EXPECT_GT(std::fabs(corr_at_shift(40)), std::fabs(corr_at_shift(0)) + 0.2);
+}
+
+TEST(DriverTest, NonlinearReadoutIsBounded) {
+  SeriesConfig config;
+  config.length = 500;
+  config.seed = 4;
+  ChannelSpec spec;
+  spec.noise_sigma = 0.0;
+  config.channels.push_back(spec);
+  config.driver = {2.0, 24.0, 0.0, 0, true};
+  Tensor series = GenerateSeries(config);
+  // tanh readout bounds the driver contribution by amplitude * loading_max.
+  EXPECT_LT(MaxAbs(series), 2.0f * 1.3f + 0.1f);
+}
+
+TEST(AnomalyTypesTest, StructuralAnomaliesPreserveAmplitude) {
+  // Across seeds, some labeled segments must have near-normal amplitude
+  // (frozen / reversed / desynced) — the signature of the structural types
+  // that amplitude-threshold detectors miss.
+  AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kMsl, 8);
+  Tensor mean = Mean(data.train, {1}, true);
+  Tensor dev = Mean(Abs(Sub(data.test, mean)), {0}, false);
+  // Collect per-labeled-step deviations.
+  std::vector<float> anomalous_devs;
+  for (int64_t t = 0; t < dev.numel(); ++t) {
+    if (data.labels[static_cast<size_t>(t)] == 1) {
+      anomalous_devs.push_back(dev.data()[t]);
+    }
+  }
+  ASSERT_GT(anomalous_devs.size(), 100u);
+  std::sort(anomalous_devs.begin(), anomalous_devs.end());
+  // Compare the low quantile of anomalous deviations with the typical
+  // normal deviation: structural anomalies blend in amplitude-wise.
+  double normal_mean = 0.0;
+  int64_t normal_count = 0;
+  for (int64_t t = 0; t < dev.numel(); ++t) {
+    if (data.labels[static_cast<size_t>(t)] == 0) {
+      normal_mean += dev.data()[t];
+      ++normal_count;
+    }
+  }
+  normal_mean /= normal_count;
+  EXPECT_LT(anomalous_devs[anomalous_devs.size() / 10],
+            normal_mean * 2.0);
+}
+
+TEST(ClassificationTextureTest, ClassesDifferInNoiseAutocorrelation) {
+  // Two samples of the same class should have more similar lag-1 noise
+  // autocorrelation than samples of different classes, on average.
+  ClassificationSubset subset{"tex", 2, 128, 4, 80, 40, 2.0};
+  ClassificationData data = GenerateClassificationData(subset, 12);
+  auto lag1 = [&](const Tensor& x) {
+    Tensor acf = AutocorrelationMatrix(x);
+    return 0.5 * (acf.at({0, 0}) + acf.at({1, 0}));
+  };
+  // Average per-class lag-1 statistic.
+  std::vector<double> per_class(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (size_t i = 0; i < data.train_x.size(); ++i) {
+    per_class[static_cast<size_t>(data.train_y[i])] += lag1(data.train_x[i]);
+    counts[static_cast<size_t>(data.train_y[i])]++;
+  }
+  for (int k = 0; k < 4; ++k) per_class[static_cast<size_t>(k)] /= counts[static_cast<size_t>(k)];
+  // The spread of class means must be non-trivial (texture is class-coded).
+  double lo = per_class[0];
+  double hi = per_class[0];
+  for (double v : per_class) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.15);
+}
+
+TEST(ClassificationShiftTest, SamplesOfOneClassAreNotPhaseLocked) {
+  ClassificationSubset subset{"shift", 1, 128, 2, 60, 20, 0.1};
+  ClassificationData data = GenerateClassificationData(subset, 13);
+  // Find two same-class samples; with random time shifts their pointwise
+  // correlation should frequently be visibly below 1.
+  int below = 0;
+  int pairs = 0;
+  for (size_t i = 0; i + 2 < data.train_x.size(); i += 2) {
+    if (data.train_y[i] != data.train_y[i + 2]) continue;
+    const Tensor& a = data.train_x[i];
+    const Tensor& b = data.train_x[i + 2];
+    double num = 0.0;
+    double da = 0.0;
+    double db = 0.0;
+    for (int64_t t = 0; t < 128; ++t) {
+      num += a.at({0, t}) * b.at({0, t});
+      da += a.at({0, t}) * a.at({0, t});
+      db += b.at({0, t}) * b.at({0, t});
+    }
+    const double corr = num / std::sqrt(da * db);
+    ++pairs;
+    if (corr < 0.9) ++below;
+  }
+  ASSERT_GT(pairs, 5);
+  EXPECT_GT(below, pairs / 4);
+}
+
+TEST(M4DriftTest, SeasonalPhaseDriftsAcrossLongHistories) {
+  // With drifting phase, the correlation between the first and last seasonal
+  // cycle of a long series decays relative to adjacent cycles.
+  M4SubsetSpec spec{"DriftProbe", 8, 24, 480, 8};
+  auto series = GenerateM4Like(spec, 3);
+  int decayed = 0;
+  for (const auto& s : series) {
+    auto cycle_corr = [&](int64_t c1, int64_t c2) {
+      double num = 0.0;
+      double d1 = 0.0;
+      double d2 = 0.0;
+      for (int64_t t = 0; t < 24; ++t) {
+        const double a = s.history[static_cast<size_t>(c1 * 24 + t)];
+        const double b = s.history[static_cast<size_t>(c2 * 24 + t)];
+        num += a * b;
+        d1 += a * a;
+        d2 += b * b;
+      }
+      return num / std::sqrt(d1 * d2);
+    };
+    if (cycle_corr(0, 1) > cycle_corr(0, 19)) ++decayed;
+  }
+  // Not guaranteed per-series (trend dominates correlation), but the
+  // majority should show drift-induced decay.
+  EXPECT_GE(decayed, 4);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,242 @@
+// Tests for the synthetic workload generators: determinism, structural
+// properties (seasonality, random-walk behaviour, anomaly labeling, class
+// separability proxies).
+#include "datagen/series_builder.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/anomaly_gen.h"
+#include "datagen/classification_gen.h"
+#include "datagen/long_term.h"
+#include "datagen/m4like.h"
+#include "metrics/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(SeriesBuilderTest, DeterministicFromSeed) {
+  SeriesConfig config = LongTermConfig(LongTermDataset::kEttH1, 3);
+  Tensor a = GenerateSeries(config);
+  Tensor b = GenerateSeries(config);
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(SeriesBuilderTest, SeedChangesOutput) {
+  Tensor a = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 3));
+  Tensor b = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 4));
+  EXPECT_FALSE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+TEST(SeriesBuilderTest, PureSineHasExpectedPeriodicity) {
+  ChannelSpec spec;
+  spec.seasonals = {{24.0, 1.0, 0.0, 1}};
+  spec.noise_sigma = 0.0;
+  Rng rng(1);
+  std::vector<float> ch = GenerateChannel(spec, 240, rng);
+  for (int64_t t = 0; t < 216; ++t) {
+    EXPECT_NEAR(ch[static_cast<size_t>(t)], ch[static_cast<size_t>(t + 24)],
+                1e-4f);
+  }
+}
+
+TEST(SeriesBuilderTest, TrendAccumulates) {
+  ChannelSpec spec;
+  spec.trend_slope = 0.1;
+  spec.noise_sigma = 0.0;
+  Rng rng(1);
+  std::vector<float> ch = GenerateChannel(spec, 100, rng);
+  EXPECT_NEAR(ch[99] - ch[0], 9.9f, 1e-3f);
+}
+
+TEST(SeriesBuilderTest, ChannelMixCouplesChannels) {
+  SeriesConfig config;
+  config.length = 500;
+  config.seed = 5;
+  config.channel_mix = 0.8;
+  for (int i = 0; i < 4; ++i) {
+    ChannelSpec spec;
+    spec.seasonals = {{50.0 + 17.0 * i, 1.0, 0.3 * i, 1}};
+    spec.noise_sigma = 0.05;
+    config.channels.push_back(spec);
+  }
+  Tensor mixed = GenerateSeries(config);
+  config.channel_mix = 0.0;
+  Tensor raw = GenerateSeries(config);
+  // With heavy mixing, channel 0 deviates strongly from its unmixed self.
+  Tensor c0_mixed = Slice(mixed, 0, 0, 1);
+  Tensor c0_raw = Slice(raw, 0, 0, 1);
+  EXPECT_GT(MaxAbsDiff(c0_mixed, c0_raw), 0.3f);
+}
+
+TEST(LongTermConfigTest, AllDatasetsGenerate) {
+  for (LongTermDataset ds : AllLongTermDatasets()) {
+    SeriesConfig config = LongTermConfig(ds, 1);
+    Tensor series = GenerateSeries(config);
+    EXPECT_EQ(series.rank(), 2) << LongTermDatasetName(ds);
+    EXPECT_GE(series.dim(0), 7) << LongTermDatasetName(ds);
+    EXPECT_GE(series.dim(1), 2048) << LongTermDatasetName(ds);
+    EXPECT_FALSE(HasNonFinite(series)) << LongTermDatasetName(ds);
+    EXPECT_GT(LongTermDominantPeriod(ds), 0);
+  }
+}
+
+TEST(LongTermConfigTest, SeasonalDatasetsHavePeriodicAcf) {
+  // ETTh1's ACF should peak near lag 24; Exchange's should decay like a
+  // random walk (no periodic bump).
+  Tensor etth1 = GenerateSeries(LongTermConfig(LongTermDataset::kEttH1, 2));
+  Tensor window = Slice(etth1, 1, 0, 480);
+  Tensor acf = AutocorrelationMatrix(window);
+  // Average over channels at lag 24 vs lag 12 (off-period).
+  double lag24 = 0.0;
+  double lag12 = 0.0;
+  for (int64_t c = 0; c < acf.dim(0); ++c) {
+    lag24 += acf.at({c, 23});
+    lag12 += acf.at({c, 11});
+  }
+  EXPECT_GT(lag24, lag12 + 0.5 * acf.dim(0) * 0.1);
+}
+
+TEST(LongTermConfigTest, ExchangeIsRandomWalkLike) {
+  Tensor exch = GenerateSeries(LongTermConfig(LongTermDataset::kExchange, 2));
+  // First differences of a random walk are ~white noise: their lag-1 ACF is
+  // near zero while the level series is highly autocorrelated.
+  Tensor c0 = Slice(exch, 0, 0, 1);
+  Tensor window = Slice(c0, 1, 0, 512);
+  Tensor acf_level = AutocorrelationMatrix(window);
+  EXPECT_GT(acf_level.at({0, 0}), 0.9f);
+  Tensor diff = Sub(Slice(window, 1, 1, 511), Slice(window, 1, 0, 511));
+  Tensor acf_diff = AutocorrelationMatrix(diff);
+  EXPECT_LT(std::fabs(acf_diff.at({0, 0})), 0.25f);
+}
+
+TEST(M4LikeTest, SubsetsMatchPaperHorizons) {
+  const auto subsets = DefaultM4Subsets();
+  ASSERT_EQ(subsets.size(), 6u);
+  EXPECT_EQ(subsets[0].name, "Yearly");
+  EXPECT_EQ(subsets[0].horizon, 6);
+  EXPECT_EQ(subsets[1].horizon, 8);
+  EXPECT_EQ(subsets[2].horizon, 18);
+  EXPECT_EQ(subsets[3].horizon, 13);
+  EXPECT_EQ(subsets[4].horizon, 14);
+  EXPECT_EQ(subsets[5].horizon, 48);
+  EXPECT_EQ(subsets[5].period, 24);
+}
+
+TEST(M4LikeTest, SeriesArePositiveAndDeterministic) {
+  const auto subsets = DefaultM4Subsets();
+  for (const auto& spec : subsets) {
+    auto series = GenerateM4Like(spec, 9);
+    ASSERT_EQ(series.size(), static_cast<size_t>(spec.num_series));
+    for (const auto& s : series) {
+      EXPECT_EQ(static_cast<int64_t>(s.history.size()), spec.history_length);
+      EXPECT_EQ(static_cast<int64_t>(s.future.size()), spec.horizon);
+      for (float v : s.history) EXPECT_GT(v, 0.0f);
+      for (float v : s.future) EXPECT_GT(v, 0.0f);
+    }
+    auto again = GenerateM4Like(spec, 9);
+    EXPECT_EQ(again[0].history, series[0].history);
+  }
+}
+
+TEST(AnomalyGenTest, AllDatasetsGenerateWithLabels) {
+  for (AnomalyDataset ds : AllAnomalyDatasets()) {
+    AnomalyData data = GenerateAnomalyDataset(ds, 3);
+    EXPECT_EQ(data.train.rank(), 2);
+    EXPECT_EQ(data.test.rank(), 2);
+    EXPECT_EQ(data.train.dim(0), data.test.dim(0));
+    EXPECT_EQ(static_cast<int64_t>(data.labels.size()), data.test.dim(1));
+    int64_t anomalous = 0;
+    for (int v : data.labels) anomalous += v;
+    // Some but not most points are anomalous.
+    EXPECT_GT(anomalous, 20) << AnomalyDatasetName(ds);
+    EXPECT_LT(anomalous, data.test.dim(1) / 2) << AnomalyDatasetName(ds);
+  }
+}
+
+TEST(AnomalyGenTest, AnomalousRegionsDeviateFromNormal) {
+  AnomalyData data = GenerateAnomalyDataset(AnomalyDataset::kSmd, 4);
+  // Regenerate the same underlying series without injection by reusing the
+  // clean training stats: anomalous steps should have larger deviation from
+  // channel means than normal steps on average.
+  Tensor mean = Mean(data.train, {1}, true);
+  Tensor dev = Abs(Sub(data.test, mean));
+  Tensor per_step = Mean(dev, {0}, false);
+  double normal_dev = 0.0;
+  double anomaly_dev = 0.0;
+  int64_t n_normal = 0;
+  int64_t n_anomaly = 0;
+  for (int64_t t = 0; t < per_step.numel(); ++t) {
+    if (data.labels[static_cast<size_t>(t)] == 1) {
+      anomaly_dev += per_step.data()[t];
+      ++n_anomaly;
+    } else {
+      normal_dev += per_step.data()[t];
+      ++n_normal;
+    }
+  }
+  EXPECT_GT(anomaly_dev / n_anomaly, normal_dev / n_normal);
+}
+
+TEST(ClassificationGenTest, SubsetProfiles) {
+  const auto subsets = DefaultClassificationSubsets();
+  ASSERT_EQ(subsets.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& s : subsets) names.insert(s.name);
+  EXPECT_TRUE(names.count("AWR"));
+  EXPECT_TRUE(names.count("UWGL"));
+  EXPECT_EQ(subsets[0].channels, 9);  // AWR
+}
+
+TEST(ClassificationGenTest, BalancedAndDeterministic) {
+  ClassificationSubset subset{"toy", 3, 64, 4, 80, 40, 0.5};
+  ClassificationData data = GenerateClassificationData(subset, 5);
+  ASSERT_EQ(data.train_x.size(), 80u);
+  ASSERT_EQ(data.test_x.size(), 40u);
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t y : data.train_y) counts[static_cast<size_t>(y)]++;
+  for (int64_t c : counts) EXPECT_EQ(c, 20);
+  ClassificationData again = GenerateClassificationData(subset, 5);
+  EXPECT_TRUE(AllClose(again.train_x[0], data.train_x[0], 0.0f, 0.0f));
+}
+
+TEST(ClassificationGenTest, ClassesAreSeparableByTemplateCorrelation) {
+  // A nearest-centroid check: samples should correlate more with their own
+  // class mean than with other class means (signal exists to be learned).
+  ClassificationSubset subset{"toy", 3, 96, 3, 90, 45, 0.4};
+  ClassificationData data = GenerateClassificationData(subset, 6);
+  std::vector<Tensor> centroids;
+  for (int64_t k = 0; k < 3; ++k) {
+    Tensor acc = Tensor::Zeros({3, 96});
+    int64_t n = 0;
+    for (size_t i = 0; i < data.train_x.size(); ++i) {
+      if (data.train_y[i] == k) {
+        acc = Add(acc, data.train_x[i]);
+        ++n;
+      }
+    }
+    centroids.push_back(MulScalar(acc, 1.0f / static_cast<float>(n)));
+  }
+  int64_t correct = 0;
+  for (size_t i = 0; i < data.test_x.size(); ++i) {
+    double best = -1e30;
+    int64_t best_k = -1;
+    for (int64_t k = 0; k < 3; ++k) {
+      const double score =
+          SumAll(Mul(data.test_x[i], centroids[static_cast<size_t>(k)])).item();
+      if (score > best) {
+        best = score;
+        best_k = k;
+      }
+    }
+    if (best_k == data.test_y[i]) ++correct;
+  }
+  // Well above the 33% chance level.
+  EXPECT_GT(correct, 30);
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,200 @@
+// Tests for the FFT utilities, TimesNet-lite, and the Transformer
+// forecaster.
+#include "tensor/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/timesnet_lite.h"
+#include "baselines/transformer_forecaster.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(FftTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  std::vector<std::complex<double>> data(64);
+  std::vector<std::complex<double>> original(64);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = {rng.Gaussian(), rng.Gaussian()};
+    original[i] = data[i];
+  }
+  Fft(data);
+  Fft(data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real() / 64.0, original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag() / 64.0, original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, MatchesNaiveDftOnRandomSignal) {
+  Rng rng(2);
+  const size_t n = 32;
+  std::vector<std::complex<double>> data(n);
+  for (auto& v : data) v = {rng.Gaussian(), 0.0};
+  std::vector<std::complex<double>> fft_result = data;
+  Fft(fft_result);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * M_PI * static_cast<double>(k * t) / n;
+      acc += data[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    EXPECT_NEAR(fft_result[k].real(), acc.real(), 1e-8);
+    EXPECT_NEAR(fft_result[k].imag(), acc.imag(), 1e-8);
+  }
+}
+
+TEST(FftTest, NonPowerOfTwoDies) {
+  std::vector<std::complex<double>> data(10);
+  EXPECT_DEATH(Fft(data), "power of two");
+}
+
+TEST(FftTest, AmplitudeSpectrumPeaksAtSignalFrequency) {
+  // Period 16 on a 128-point grid: bin 8.
+  std::vector<float> signal(128);
+  for (size_t t = 0; t < signal.size(); ++t) {
+    signal[t] = std::sin(2.0f * static_cast<float>(M_PI) * t / 16.0f);
+  }
+  const auto amplitude = AmplitudeSpectrum(signal);
+  size_t argmax = 1;
+  for (size_t k = 1; k < amplitude.size(); ++k) {
+    if (amplitude[k] > amplitude[argmax]) argmax = k;
+  }
+  EXPECT_EQ(argmax, 8u);
+}
+
+TEST(FftTest, TopPeriodsFindsPlantedPeriods) {
+  Tensor series({2, 128});
+  for (int64_t c = 0; c < 2; ++c) {
+    for (int64_t t = 0; t < 128; ++t) {
+      series.set({c, t},
+                 std::sin(2.0f * static_cast<float>(M_PI) * t / 32.0f) +
+                     0.5f * std::sin(2.0f * static_cast<float>(M_PI) * t /
+                                     8.0f));
+    }
+  }
+  const auto periods = TopPeriodsFft(series, 2);
+  ASSERT_GE(periods.size(), 1u);
+  EXPECT_EQ(periods[0], 32);
+  if (periods.size() > 1) {
+    EXPECT_EQ(periods[1], 8);
+  }
+}
+
+// ---- TimesNet-lite -----------------------------------------------------------
+
+Tensor PeriodicReference(int64_t channels, int64_t length, int64_t period) {
+  Tensor t({channels, length});
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t i = 0; i < length; ++i) {
+      t.set({c, i}, std::sin(2.0f * static_cast<float>(M_PI) * i /
+                                 static_cast<float>(period) +
+                             0.5f * c));
+    }
+  }
+  return t;
+}
+
+TEST(TimesNetLiteTest, DetectsReferencePeriodAndShapes) {
+  Rng rng(3);
+  Tensor reference = PeriodicReference(3, 512, 24);
+  TimesNetLite model(96, 48, 3, reference, rng, /*top_k=*/2);
+  ASSERT_FALSE(model.periods().empty());
+  EXPECT_EQ(model.periods()[0], 24);
+  Variable x(Tensor::RandNormal({2, 3, 96}, 0, 1, rng));
+  EXPECT_EQ(model.Forward(x).shape(), (Shape{2, 3, 48}));
+}
+
+TEST(TimesNetLiteTest, GradientsReachAllParameters) {
+  Rng rng(4);
+  Tensor reference = PeriodicReference(2, 256, 16);
+  TimesNetLite model(32, 8, 2, reference, rng, 2, 8, 16);
+  Variable x(Tensor::RandNormal({2, 2, 32}, 0, 1, rng));
+  SumAll(Square(model.Forward(x))).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(TimesNetLiteTest, LearnsPeriodicContinuation) {
+  Rng rng(5);
+  Tensor reference = PeriodicReference(1, 256, 12);
+  TimesNetLite model(48, 12, 1, reference, rng, 1, 12, 24);
+  Adam opt(model.Parameters(), 3e-3f);
+  float last = 1e9f;
+  for (int step = 0; step < 150; ++step) {
+    Tensor x({8, 1, 48});
+    Tensor y({8, 1, 12});
+    Rng data_rng(900 + step);
+    for (int64_t b = 0; b < 8; ++b) {
+      const float phase = data_rng.Uniform(0.0f, 6.28f);
+      for (int64_t t = 0; t < 48; ++t) {
+        x.set({b, 0, t},
+              std::sin(2.0f * static_cast<float>(M_PI) * t / 12.0f + phase));
+      }
+      for (int64_t t = 0; t < 12; ++t) {
+        y.set({b, 0, t}, std::sin(2.0f * static_cast<float>(M_PI) * (48 + t) /
+                                      12.0f +
+                                  phase));
+      }
+    }
+    opt.ZeroGrad();
+    Variable loss =
+        MeanAll(Square(Sub(model.Forward(Variable(x)), Variable(y))));
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, 0.1f);
+}
+
+TEST(TimesNetLiteTest, ConvVariantShapesAndGradients) {
+  Rng rng(8);
+  Tensor reference = PeriodicReference(2, 256, 16);
+  TimesNetLite model(32, 8, 2, reference, rng, 2, 8, 16, /*use_conv=*/true);
+  Variable x(Tensor::RandNormal({2, 2, 32}, 0, 1, rng));
+  Variable y = model.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 2, 8}));
+  SumAll(Square(y)).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+// ---- Transformer forecaster ------------------------------------------------------
+
+TEST(TransformerForecasterTest, ShapeAndGradients) {
+  Rng rng(6);
+  TransformerForecasterConfig config;
+  config.input_length = 32;
+  config.horizon = 8;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  TransformerForecaster model(config, 4, rng);
+  Variable x(Tensor::RandNormal({2, 4, 32}, 0, 1, rng));
+  Variable y = model.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 4, 8}));
+  SumAll(Square(y)).Backward();
+  for (const Variable& p : model.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(TransformerForecasterTest, RevInShiftEquivariance) {
+  Rng rng(7);
+  TransformerForecasterConfig config;
+  config.input_length = 32;
+  config.horizon = 8;
+  config.model_dim = 16;
+  config.num_heads = 2;
+  config.num_blocks = 1;
+  TransformerForecaster model(config, 2, rng);
+  model.SetTraining(false);
+  Variable x(Tensor::RandNormal({1, 2, 32}, 0, 1, rng));
+  Tensor base = model.Forward(x).value();
+  Tensor moved =
+      model.Forward(Variable(AddScalar(x.value(), 10.0f))).value();
+  EXPECT_TRUE(AllClose(AddScalar(base, 10.0f), moved, 1e-2f, 1e-3f));
+}
+
+}  // namespace
+}  // namespace msd

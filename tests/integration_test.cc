@@ -1,0 +1,172 @@
+// Cross-module integration tests: checkpointing a trained MSD-Mixer, CSV
+// round trips through the imputation pipeline, and trainer/evaluator
+// interactions that single-module suites cannot cover.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/msd_mixer.h"
+#include "data/csv.h"
+#include "datagen/series_builder.h"
+#include "nn/serialize.h"
+#include "tasks/experiments.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+Tensor SmallSeasonalSeries(int64_t channels, int64_t length, uint64_t seed) {
+  SeriesConfig config;
+  config.length = length;
+  config.seed = seed;
+  config.channel_mix = 0.2;
+  for (int64_t c = 0; c < channels; ++c) {
+    ChannelSpec spec;
+    spec.seasonals = {{12.0, 1.0, 0.4 * static_cast<double>(c), 1}};
+    spec.ar_coeff = 0.4;
+    spec.noise_sigma = 0.15;
+    config.channels.push_back(spec);
+  }
+  return GenerateSeries(config);
+}
+
+MsdMixerConfig TinyForecastConfig() {
+  MsdMixerConfig config;
+  config.input_length = 36;
+  config.channels = 2;
+  config.patch_sizes = {12, 4, 1};
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.drop_path = 0.0f;
+  config.task = TaskType::kForecast;
+  config.horizon = 12;
+  return config;
+}
+
+TEST(IntegrationTest, TrainedMixerSurvivesCheckpointRoundTrip) {
+  Tensor series = SmallSeasonalSeries(2, 600, 4);
+  ForecastExperimentConfig experiment;
+  experiment.lookback = 36;
+  experiment.horizon = 12;
+  experiment.train_stride = 3;
+  experiment.eval_stride = 6;
+  experiment.trainer.epochs = 2;
+  experiment.trainer.batch_size = 16;
+  experiment.trainer.max_batches_per_epoch = 10;
+
+  Rng rng(1);
+  MsdMixerConfig mc = TinyForecastConfig();
+  MsdMixer original(mc, rng);
+  MsdMixerTaskModel model(&original, 0.3f);
+  RunForecastExperiment(model, series, experiment);
+
+  const std::string path = ::testing::TempDir() + "/mixer_integration.ckpt";
+  ASSERT_TRUE(SaveCheckpoint(original, path).ok());
+
+  Rng rng2(777);
+  MsdMixer restored(mc, rng2);
+  Status status = LoadCheckpoint(restored, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // The restored model must produce bit-identical predictions.
+  NoGradGuard guard;
+  original.SetTraining(false);
+  restored.SetTraining(false);
+  Rng data_rng(9);
+  Variable x(Tensor::RandNormal({2, 2, 36}, 0, 1, data_rng));
+  EXPECT_TRUE(AllClose(original.Run(x).prediction.value(),
+                       restored.Run(x).prediction.value(), 0.0f, 0.0f));
+}
+
+TEST(IntegrationTest, CsvRoundTripFeedsForecastPipeline) {
+  Tensor series = SmallSeasonalSeries(3, 400, 6);
+  const std::string path = ::testing::TempDir() + "/pipeline.csv";
+  ASSERT_TRUE(WriteCsvSeries(series, {"a", "b", "c"}, path).ok());
+  auto loaded = ReadCsvSeries(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(AllClose(loaded.value().values, series, 1e-3f, 1e-3f));
+
+  // Loaded data must flow through the experiment driver unchanged.
+  Rng rng(2);
+  MsdMixerConfig mc = TinyForecastConfig();
+  mc.channels = 3;
+  MsdMixer mixer(mc, rng);
+  MsdMixerTaskModel model(&mixer, 0.3f);
+  ForecastExperimentConfig experiment;
+  experiment.lookback = 36;
+  experiment.horizon = 12;
+  experiment.train_stride = 4;
+  experiment.eval_stride = 8;
+  experiment.trainer.epochs = 1;
+  experiment.trainer.batch_size = 16;
+  experiment.trainer.max_batches_per_epoch = 5;
+  RegressionScores scores =
+      RunForecastExperiment(model, loaded.value().values, experiment);
+  EXPECT_TRUE(std::isfinite(scores.mse));
+  EXPECT_GT(scores.mse, 0.0);
+}
+
+TEST(IntegrationTest, InstanceNormImprovesShiftedWindows) {
+  // Train two identical mixers (with/without instance norm) on a series with
+  // a strong trend so test windows sit at unseen levels; instance norm must
+  // not be worse.
+  SeriesConfig config;
+  config.length = 700;
+  config.seed = 11;
+  for (int c = 0; c < 2; ++c) {
+    ChannelSpec spec;
+    spec.seasonals = {{12.0, 1.0, 0.3 * c, 1}};
+    spec.trend_slope = 0.01;  // strong drift
+    spec.noise_sigma = 0.1;
+    config.channels.push_back(spec);
+  }
+  Tensor series = GenerateSeries(config);
+
+  ForecastExperimentConfig experiment;
+  experiment.lookback = 36;
+  experiment.horizon = 12;
+  experiment.train_stride = 3;
+  experiment.eval_stride = 6;
+  experiment.trainer.epochs = 3;
+  experiment.trainer.batch_size = 16;
+  experiment.trainer.max_batches_per_epoch = 12;
+
+  auto run = [&](bool instance_norm) {
+    Rng rng(3);
+    MsdMixerConfig mc = TinyForecastConfig();
+    mc.use_instance_norm = instance_norm;
+    MsdMixer mixer(mc, rng);
+    MsdMixerTaskModel model(&mixer, 0.3f);
+    return RunForecastExperiment(model, series, experiment).mse;
+  };
+  const double with_norm = run(true);
+  const double without_norm = run(false);
+  EXPECT_LT(with_norm, without_norm * 1.1);
+}
+
+TEST(IntegrationTest, ImputationTaskLossTargetsMaskedPositionsOnly) {
+  // A model that is perfect on observed positions but wrong on masked ones
+  // must incur the full masked error.
+  Tensor clean({1, 1, 4}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor masked({1, 1, 4}, {1.0f, 0.0f, 3.0f, 0.0f});
+  Batch batch{masked, clean};
+  // Prediction: copies observed, fills masked with 0 -> error 2^2 and 4^2.
+  Variable pred(masked.Clone());
+  EXPECT_NEAR(ImputationTaskLoss(pred, batch).item(), (4.0 + 16.0) / 2.0,
+              1e-5);
+}
+
+TEST(IntegrationTest, BenchScaleEnvRespected) {
+  // Guard against regressions in the bench scaling hook used by all bench
+  // binaries (documented in README).
+  // Not using bench_util.h directly (bench/ is not a library); replicate the
+  // contract: MSD_BENCH_SCALE multiplies epochs.
+  setenv("MSD_BENCH_SCALE", "2.5", 1);
+  const char* env = std::getenv("MSD_BENCH_SCALE");
+  ASSERT_NE(env, nullptr);
+  EXPECT_NEAR(std::atof(env), 2.5, 1e-9);
+  unsetenv("MSD_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace msd

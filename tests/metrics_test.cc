@@ -1,0 +1,211 @@
+// Tests for evaluation metrics, including the M4 pipeline (SMAPE/MASE/OWA),
+// point-adjusted F1, and autocorrelation utilities.
+#include "metrics/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(RegressionMetricsTest, KnownValues) {
+  Tensor pred({3}, {1, 2, 3});
+  Tensor target({3}, {1, 4, 0});
+  EXPECT_NEAR(MseMetric(pred, target), (0.0 + 4.0 + 9.0) / 3.0, 1e-6);
+  EXPECT_NEAR(MaeMetric(pred, target), (0.0 + 2.0 + 3.0) / 3.0, 1e-6);
+}
+
+TEST(RegressionMetricsTest, MaskedVariantsIgnoreUnmasked) {
+  Tensor pred({4}, {1, 2, 3, 4});
+  Tensor target({4}, {0, 0, 0, 0});
+  Tensor mask({4}, {0, 1, 0, 1});
+  EXPECT_NEAR(MaskedMseMetric(pred, target, mask), (4.0 + 16.0) / 2.0, 1e-6);
+  EXPECT_NEAR(MaskedMaeMetric(pred, target, mask), (2.0 + 4.0) / 2.0, 1e-6);
+}
+
+TEST(SmapeTest, PerfectForecastIsZero) {
+  EXPECT_NEAR(Smape({1, 2, 3}, {1, 2, 3}), 0.0, 1e-9);
+}
+
+TEST(SmapeTest, KnownValue) {
+  // |10-8|/(10+8) = 1/9; SMAPE = 200/1 * (1/9) = 22.22...
+  EXPECT_NEAR(Smape({8}, {10}), 200.0 / 9.0, 1e-6);
+}
+
+TEST(SmapeTest, BoundedBy200) {
+  EXPECT_NEAR(Smape({0.0001f}, {100}), 200.0 * (100.0 - 0.0001) / 100.0001,
+              1e-3);
+}
+
+TEST(MaseTest, NaiveForecastScoresOne) {
+  // For a random walk, the naive forecast error equals the in-sample naive
+  // error scale in expectation; construct an exact case.
+  std::vector<float> insample = {0, 1, 2, 3, 4, 5};  // |diff| = 1 everywhere
+  std::vector<float> actual = {7.0f};
+  std::vector<float> forecast = {5.0f};  // error 2, scale 1 -> MASE 2
+  EXPECT_NEAR(Mase(forecast, actual, insample, 1), 2.0, 1e-6);
+}
+
+TEST(MaseTest, SeasonalScaleUsesLagM) {
+  // Period-2 alternation: seasonal diffs are zero except tiny epsilon floor.
+  std::vector<float> insample = {1, 5, 1, 5, 1, 5};
+  // lag-2 diffs all zero -> scale floored; MASE should be very large.
+  EXPECT_GT(Mase({3.0f}, {5.0f}, insample, 2), 1e6);
+  // lag-1 diffs = 4 -> scale 4.
+  EXPECT_NEAR(Mase({3.0f}, {5.0f}, insample, 1), 2.0 / 4.0, 1e-6);
+}
+
+TEST(Naive2Test, NonSeasonalRepeatsLastValue) {
+  std::vector<float> f = Naive2Forecast({1, 2, 3, 4}, 3, 1);
+  EXPECT_EQ(f, std::vector<float>({4, 4, 4}));
+}
+
+TEST(Naive2Test, SeasonalReproducesPattern) {
+  // Strict period-4 multiplicative pattern around level 10.
+  std::vector<float> history;
+  const float pattern[4] = {8, 12, 10, 10};
+  for (int rep = 0; rep < 6; ++rep) {
+    for (float p : pattern) history.push_back(p);
+  }
+  std::vector<float> f = Naive2Forecast(history, 4, 4);
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_NEAR(f[static_cast<size_t>(h)],
+                pattern[(history.size() + static_cast<size_t>(h)) % 4], 0.3f);
+  }
+}
+
+TEST(EvaluateM4Test, Naive2ForecastGetsOwaOne) {
+  // Feeding Naive2's own forecasts must give OWA == 1 by construction.
+  Rng rng(3);
+  std::vector<std::vector<float>> histories;
+  std::vector<std::vector<float>> actuals;
+  std::vector<std::vector<float>> forecasts;
+  for (int s = 0; s < 10; ++s) {
+    std::vector<float> h;
+    for (int t = 0; t < 40; ++t) {
+      h.push_back(20.0f + 3.0f * std::sin(t * 0.7f) + rng.Gaussian(0, 0.5f));
+    }
+    std::vector<float> a;
+    for (int t = 0; t < 6; ++t) a.push_back(20.0f + rng.Gaussian(0, 0.5f));
+    forecasts.push_back(Naive2Forecast(h, 6, 4));
+    histories.push_back(std::move(h));
+    actuals.push_back(std::move(a));
+  }
+  M4Scores scores = EvaluateM4(forecasts, actuals, histories, 4);
+  EXPECT_NEAR(scores.owa, 1.0, 1e-9);
+}
+
+TEST(EvaluateM4Test, PerfectForecastBeatsNaive) {
+  std::vector<std::vector<float>> histories = {{1, 2, 3, 4, 5, 6, 7, 8}};
+  std::vector<std::vector<float>> actuals = {{9, 10}};
+  std::vector<std::vector<float>> perfect = actuals;
+  M4Scores scores = EvaluateM4(perfect, actuals, histories, 1);
+  EXPECT_NEAR(scores.smape, 0.0, 1e-9);
+  EXPECT_NEAR(scores.owa, 0.0, 1e-9);
+}
+
+TEST(PointAdjustTest, SegmentFullyCreditedOnAnyHit) {
+  std::vector<int> labels = {0, 1, 1, 1, 0, 1, 1, 0};
+  std::vector<int> preds = {0, 0, 1, 0, 0, 0, 0, 0};
+  std::vector<int> adjusted = PointAdjust(preds, labels);
+  EXPECT_EQ(adjusted, std::vector<int>({0, 1, 1, 1, 0, 0, 0, 0}));
+}
+
+TEST(PointAdjustTest, FalsePositivesUntouched) {
+  std::vector<int> labels = {0, 0, 1, 1};
+  std::vector<int> preds = {1, 0, 0, 0};
+  std::vector<int> adjusted = PointAdjust(preds, labels);
+  EXPECT_EQ(adjusted, std::vector<int>({1, 0, 0, 0}));
+}
+
+TEST(PrecisionRecallF1Test, KnownValues) {
+  std::vector<int> labels = {1, 1, 0, 0, 1, 0};
+  std::vector<int> preds = {1, 0, 1, 0, 1, 0};
+  DetectionScores s = PrecisionRecallF1(preds, labels);
+  EXPECT_NEAR(s.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.recall, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.f1, 2.0 / 3.0, 1e-9);
+}
+
+TEST(PrecisionRecallF1Test, DegenerateCases) {
+  DetectionScores s = PrecisionRecallF1({0, 0}, {0, 1});
+  EXPECT_EQ(s.precision, 0.0);
+  EXPECT_EQ(s.f1, 0.0);
+}
+
+TEST(ThresholdForRatioTest, SelectsUpperQuantile) {
+  std::vector<float> scores;
+  for (int i = 0; i < 100; ++i) scores.push_back(static_cast<float>(i));
+  const float thr = ThresholdForRatio(scores, 0.10);
+  // ~10% of scores exceed the threshold.
+  int above = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (static_cast<float>(i) > thr) ++above;
+  }
+  EXPECT_GE(above, 8);
+  EXPECT_LE(above, 12);
+}
+
+TEST(AccuracyTest, KnownValue) {
+  EXPECT_NEAR(Accuracy({1, 2, 3, 4}, {1, 2, 0, 4}), 0.75, 1e-9);
+}
+
+TEST(MeanRanksTest, OrdersAndTies) {
+  // Benchmarks x methods, higher better.
+  std::vector<std::vector<double>> scores = {
+      {0.9, 0.8, 0.7},
+      {0.5, 0.6, 0.5},
+  };
+  std::vector<double> ranks = MeanRanks(scores);
+  EXPECT_NEAR(ranks[0], (1.0 + 2.5) / 2.0, 1e-9);
+  EXPECT_NEAR(ranks[1], (2.0 + 1.0) / 2.0, 1e-9);
+  EXPECT_NEAR(ranks[2], (3.0 + 2.5) / 2.0, 1e-9);
+}
+
+TEST(AcfTest, WhiteNoiseStaysInBand) {
+  Rng rng(11);
+  Tensor noise = Tensor::RandNormal({3, 400}, 0, 1, rng);
+  Tensor acf = AutocorrelationMatrix(noise);
+  // Look only at short lags (long-lag estimates have few samples).
+  Tensor short_lags = Slice(acf, 1, 0, 50);
+  const double frac = WhiteNoiseBandFraction(short_lags, 400, 2.0);
+  EXPECT_GT(frac, 0.85);
+}
+
+TEST(AcfTest, SineHasPeriodicPeaks) {
+  Tensor series({1, 200});
+  for (int64_t t = 0; t < 200; ++t) {
+    series.set({0, t}, std::sin(2.0f * static_cast<float>(M_PI) * t / 20.0f));
+  }
+  Tensor acf = AutocorrelationMatrix(series);
+  EXPECT_GT(acf.at({0, 19}), 0.8f);   // lag 20
+  EXPECT_LT(acf.at({0, 9}), -0.8f);   // lag 10: anti-phase
+}
+
+TEST(AcfTest, Lag1OfConstantSlopeIsHigh) {
+  Tensor series({1, 100});
+  for (int64_t t = 0; t < 100; ++t) {
+    series.set({0, t}, static_cast<float>(t));
+  }
+  Tensor acf = AutocorrelationMatrix(series);
+  EXPECT_GT(acf.at({0, 0}), 0.9f);
+}
+
+TEST(AcfTest, MatchesPaperEquation5OnTinyExample) {
+  // Hand-computed ACF for z = [1, 2, 3, 4], mean 2.5.
+  // denom = 2.25+0.25+0.25+2.25 = 5. lag1: (−0.5)(−1.5)+(0.5)(−0.5)+(1.5)(0.5)
+  // = 0.75+(−0.25)+0.75 = 1.25 -> 0.25. lag2: (0.5)(−1.5)+(1.5)(−0.5) = −1.5
+  // -> −0.3. lag3: (1.5)(−1.5) = −2.25 -> −0.45.
+  Tensor series({1, 4}, {1, 2, 3, 4});
+  Tensor acf = AutocorrelationMatrix(series);
+  EXPECT_NEAR(acf.at({0, 0}), 0.25f, 1e-6f);
+  EXPECT_NEAR(acf.at({0, 1}), -0.3f, 1e-6f);
+  EXPECT_NEAR(acf.at({0, 2}), -0.45f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace msd

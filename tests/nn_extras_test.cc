@@ -1,0 +1,212 @@
+// Tests for attention, RevIN, and checkpoint serialization.
+#include "nn/attention.h"
+
+#include <cstdio>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nn/revin.h"
+#include "nn/serialize.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(AttentionTest, OutputShapePreserved) {
+  Rng rng(1);
+  MultiHeadSelfAttention attn(16, 4, rng);
+  Variable x(Tensor::RandNormal({2, 10, 16}, 0, 1, rng));
+  EXPECT_EQ(attn.Forward(x).shape(), (Shape{2, 10, 16}));
+}
+
+TEST(AttentionTest, HeadsMustDivideModelDim) {
+  Rng rng(2);
+  EXPECT_DEATH(MultiHeadSelfAttention(10, 4, rng), "divisible");
+}
+
+TEST(AttentionTest, GradientsReachAllParameters) {
+  Rng rng(3);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Variable x(Tensor::RandNormal({2, 5, 8}, 0, 1, rng));
+  SumAll(Square(attn.Forward(x))).Backward();
+  for (const Variable& p : attn.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(AttentionTest, PermutationEquivariantWithoutPositions) {
+  // Pure self-attention commutes with permutations of the sequence.
+  Rng rng(4);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  attn.SetTraining(false);
+  Variable x(Tensor::RandNormal({1, 4, 8}, 0, 1, rng));
+  Tensor y = attn.Forward(x).value();
+  // Reverse the sequence.
+  std::vector<Tensor> rows;
+  for (int64_t i = 3; i >= 0; --i) {
+    rows.push_back(Slice(x.value(), 1, i, 1));
+  }
+  Variable reversed(Concat(rows, 1));
+  Tensor y_rev = attn.Forward(reversed).value();
+  for (int64_t i = 0; i < 4; ++i) {
+    Tensor a = Slice(y, 1, i, 1);
+    Tensor b = Slice(y_rev, 1, 3 - i, 1);
+    EXPECT_TRUE(AllClose(a, b, 1e-4f, 1e-3f)) << "position " << i;
+  }
+}
+
+TEST(AttentionTest, AttendsToInformativePositions) {
+  // A learnable sanity check: an encoder block can fit a target that
+  // requires mixing across positions.
+  Rng rng(5);
+  TransformerEncoderBlock block(8, 2, 16, rng);
+  Tensor x = Tensor::RandNormal({4, 6, 8}, 0, 1, rng);
+  // Target: mean over sequence positions, broadcast back.
+  Tensor target = ExpandTo(Mean(x, {1}, true), {4, 6, 8});
+  Adam opt(block.Parameters(), 0.01f);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 150; ++step) {
+    opt.ZeroGrad();
+    Variable loss =
+        MeanAll(Square(Sub(block.Forward(Variable(x)), Variable(target))));
+    if (step == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+TEST(TransformerBlockTest, ShapeAndEvalDeterminism) {
+  Rng rng(6);
+  TransformerEncoderBlock block(16, 4, 32, rng, /*dropout=*/0.3f);
+  block.SetTraining(false);
+  Variable x(Tensor::RandNormal({2, 7, 16}, 0, 1, rng));
+  Tensor a = block.Forward(x).value();
+  Tensor b = block.Forward(x).value();
+  EXPECT_EQ(a.shape(), (Shape{2, 7, 16}));
+  EXPECT_TRUE(AllClose(a, b, 0.0f, 0.0f));
+}
+
+// ---- RevIN ------------------------------------------------------------------
+
+TEST(RevInTest, NormalizeThenDenormalizeIsIdentity) {
+  Rng rng(7);
+  Variable x(Tensor::RandNormal({3, 4, 20}, 5.0f, 3.0f, rng));
+  RevInStats stats = ComputeRevInStats(x);
+  Variable z = RevInNormalize(x, stats);
+  Variable back = RevInDenormalize(z, stats);
+  EXPECT_TRUE(AllClose(back.value(), x.value(), 1e-3f, 1e-3f));
+}
+
+TEST(RevInTest, NormalizedSeriesHasZeroMeanUnitVar) {
+  Rng rng(8);
+  Variable x(Tensor::RandNormal({2, 3, 50}, -7.0f, 2.0f, rng));
+  Variable z = RevInNormalize(x, ComputeRevInStats(x));
+  Tensor mean = Mean(z.value(), {2}, false);
+  EXPECT_LT(MaxAbs(mean), 1e-4f);
+  Tensor var = Mean(Square(z.value()), {2}, false);
+  for (int64_t i = 0; i < var.numel(); ++i) {
+    EXPECT_NEAR(var.data()[i], 1.0f, 2e-2f);
+  }
+}
+
+TEST(RevInTest, DenormalizeBroadcastsOverDifferentLength) {
+  Rng rng(9);
+  Variable x(Tensor::RandNormal({1, 2, 30}, 3.0f, 1.0f, rng));
+  RevInStats stats = ComputeRevInStats(x);
+  Variable forecast(Tensor::Zeros({1, 2, 10}));
+  Tensor restored = RevInDenormalize(forecast, stats).value();
+  // Zero normalized forecast denormalizes to the per-channel mean.
+  for (int64_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(restored.at({0, c, 5}), stats.mean.value().at({0, c, 0}),
+                1e-5f);
+  }
+}
+
+TEST(RevInTest, GradientFlowsThroughStats) {
+  Rng rng(10);
+  Variable x(Tensor::RandNormal({2, 2, 16}, 0, 1, rng), true);
+  RevInStats stats = ComputeRevInStats(x);
+  Variable z = RevInNormalize(x, stats);
+  SumAll(Square(z)).Backward();
+  EXPECT_TRUE(x.has_grad());
+}
+
+// ---- Serialization --------------------------------------------------------------
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(11);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(4, 8, rng))
+      .Add(std::make_unique<Activation>(ActivationKind::kGelu))
+      .Add(std::make_unique<Linear>(8, 2, rng));
+  Variable x(Tensor::RandNormal({3, 4}, 0, 1, rng));
+  Tensor before = model.Forward(x).value();
+
+  const std::string path = ::testing::TempDir() + "/ckpt_roundtrip.bin";
+  ASSERT_TRUE(SaveCheckpoint(model, path).ok());
+
+  // A second model with different init must reproduce the first after load.
+  Rng rng2(999);
+  Sequential other;
+  other.Add(std::make_unique<Linear>(4, 8, rng2))
+      .Add(std::make_unique<Activation>(ActivationKind::kGelu))
+      .Add(std::make_unique<Linear>(8, 2, rng2));
+  EXPECT_FALSE(AllClose(other.Forward(x).value(), before, 1e-5f, 1e-5f));
+  Status status = LoadCheckpoint(other, path);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(AllClose(other.Forward(x).value(), before, 0.0f, 0.0f));
+}
+
+TEST(SerializeTest, LoadMissingFileFails) {
+  Rng rng(12);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(2, 2, rng));
+  Status status = LoadCheckpoint(model, "/nonexistent/path/ckpt.bin");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(13);
+  Sequential small;
+  small.Add(std::make_unique<Linear>(2, 2, rng));
+  const std::string path = ::testing::TempDir() + "/ckpt_mismatch.bin";
+  ASSERT_TRUE(SaveCheckpoint(small, path).ok());
+  Sequential big;
+  big.Add(std::make_unique<Linear>(2, 3, rng));
+  Status status = LoadCheckpoint(big, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST(SerializeTest, ParameterCountMismatchFails) {
+  Rng rng(14);
+  Sequential one;
+  one.Add(std::make_unique<Linear>(2, 2, rng));
+  const std::string path = ::testing::TempDir() + "/ckpt_count.bin";
+  ASSERT_TRUE(SaveCheckpoint(one, path).ok());
+  Sequential two;
+  two.Add(std::make_unique<Linear>(2, 2, rng))
+      .Add(std::make_unique<Linear>(2, 2, rng));
+  EXPECT_FALSE(LoadCheckpoint(two, path).ok());
+}
+
+TEST(SerializeTest, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/ckpt_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  Rng rng(15);
+  Sequential model;
+  model.Add(std::make_unique<Linear>(2, 2, rng));
+  Status status = LoadCheckpoint(model, path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not an MSD checkpoint"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msd

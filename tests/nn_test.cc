@@ -1,0 +1,233 @@
+// Tests for Module, layers, and losses.
+#include "nn/layers.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+TEST(LinearTest, OutputShapeAndDeterminism) {
+  Rng rng(1);
+  Linear fc(4, 3, rng);
+  Variable x(Tensor::Ones({2, 4}));
+  Variable y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3}));
+  // Same seed -> same weights -> same output.
+  Rng rng2(1);
+  Linear fc2(4, 3, rng2);
+  EXPECT_TRUE(AllClose(fc2.Forward(x).value(), y.value(), 0.0f, 0.0f));
+}
+
+TEST(LinearTest, HighRankInput) {
+  Rng rng(2);
+  Linear fc(5, 7, rng);
+  Variable x(Tensor::Ones({2, 3, 4, 5}));
+  Variable y = fc.Forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 3, 4, 7}));
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(3);
+  Linear fc(4, 3, rng, /*bias=*/false);
+  EXPECT_EQ(fc.NumParameters(), 12);
+  Variable zero(Tensor::Zeros({1, 4}));
+  EXPECT_TRUE(AllClose(fc.Forward(zero).value(), Tensor::Zeros({1, 3})));
+}
+
+TEST(LinearTest, GradientsReachParameters) {
+  Rng rng(4);
+  Linear fc(4, 3, rng);
+  Variable x(Tensor::Ones({2, 4}));
+  Variable loss = MeanAll(Square(fc.Forward(x)));
+  loss.Backward();
+  for (const Variable& p : fc.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+    EXPECT_GT(MaxAbs(p.grad()), 0.0f);
+  }
+}
+
+TEST(LinearTest, WrongInputDimDies) {
+  Rng rng(5);
+  Linear fc(4, 3, rng);
+  Variable x(Tensor::Ones({2, 5}));
+  EXPECT_DEATH(fc.Forward(x), "expected last dim");
+}
+
+TEST(ModuleTest, NamedParametersArePathQualified) {
+  Rng rng(6);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(4, 8, rng))
+      .Add(std::make_unique<Activation>(ActivationKind::kGelu))
+      .Add(std::make_unique<Linear>(8, 2, rng));
+  const auto named = seq.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "stage0.weight");
+  EXPECT_EQ(named[3].first, "stage2.bias");
+  EXPECT_EQ(seq.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(ModuleTest, SetTrainingRecursesIntoChildren) {
+  Rng rng(7);
+  Sequential seq;
+  auto* dropout = new Dropout(0.5f, rng);
+  seq.Add(std::unique_ptr<Module>(dropout));
+  seq.SetTraining(false);
+  EXPECT_FALSE(dropout->training());
+  seq.SetTraining(true);
+  EXPECT_TRUE(dropout->training());
+}
+
+TEST(ActivationTest, AppliesSelectedFunction) {
+  Variable x(Tensor({3}, {-1.0f, 0.0f, 2.0f}));
+  EXPECT_TRUE(AllClose(Activation(ActivationKind::kRelu).Forward(x).value(),
+                       Tensor({3}, {0, 0, 2})));
+  EXPECT_TRUE(AllClose(Activation(ActivationKind::kIdentity).Forward(x).value(),
+                       x.value()));
+}
+
+TEST(LayerNormTest, NormalizesLastDim) {
+  Rng rng(8);
+  LayerNorm ln(16);
+  Variable x(Tensor::RandNormal({4, 16}, 5.0f, 3.0f, rng));
+  Tensor y = ln.Forward(x).value();
+  // Fresh gamma=1, beta=0 => per-row mean 0, var ~1.
+  Tensor mean = Mean(y, {1}, false);
+  EXPECT_LT(MaxAbs(mean), 1e-4f);
+  Tensor var = Mean(Square(y), {1}, false);
+  for (int64_t i = 0; i < var.numel(); ++i) {
+    EXPECT_NEAR(var.data()[i], 1.0f, 1e-2f);
+  }
+}
+
+TEST(LayerNormTest, GradFlowsThroughAllParams) {
+  Rng rng(9);
+  LayerNorm ln(8);
+  Variable x(Tensor::RandNormal({3, 8}, 0, 1, rng), true);
+  Variable loss = MeanAll(Square(ln.Forward(x)));
+  loss.Backward();
+  EXPECT_TRUE(x.has_grad());
+  for (const Variable& p : ln.Parameters()) EXPECT_TRUE(p.has_grad());
+}
+
+TEST(DropoutTest, IdentityInEval) {
+  Rng rng(10);
+  Dropout drop(0.5f, rng);
+  drop.SetTraining(false);
+  Variable x(Tensor::Ones({100}));
+  EXPECT_TRUE(AllClose(drop.Forward(x).value(), x.value(), 0.0f, 0.0f));
+}
+
+TEST(DropoutTest, DropsApproximatelyPFraction) {
+  Rng rng(11);
+  Dropout drop(0.3f, rng);
+  Variable x(Tensor::Ones({10000}));
+  Tensor y = drop.Forward(x).value();
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.7f, 1e-5f);  // inverted scaling
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropPathTest, DropsWholeSamples) {
+  Rng rng(12);
+  DropPath drop(0.5f, rng);
+  Variable x(Tensor::Ones({64, 4, 4}));
+  Tensor y = drop.Forward(x).value();
+  int64_t kept = 0;
+  for (int64_t b = 0; b < 64; ++b) {
+    const float first = y.at({b, 0, 0});
+    // Every element within a sample must share the same mask value.
+    for (int64_t i = 0; i < 4; ++i) {
+      for (int64_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(y.at({b, i, j}), first);
+      }
+    }
+    if (first != 0.0f) {
+      EXPECT_NEAR(first, 2.0f, 1e-5f);
+      ++kept;
+    }
+  }
+  EXPECT_GT(kept, 16);
+  EXPECT_LT(kept, 48);
+}
+
+TEST(SequentialTest, ComposesStagesInOrder) {
+  Rng rng(13);
+  Sequential seq;
+  seq.Add(std::make_unique<Linear>(4, 4, rng))
+      .Add(std::make_unique<Activation>(ActivationKind::kRelu));
+  Variable x(Tensor::RandNormal({2, 4}, 0, 1, rng));
+  Tensor y = seq.Forward(x).value();
+  for (int64_t i = 0; i < y.numel(); ++i) EXPECT_GE(y.data()[i], 0.0f);
+  EXPECT_EQ(seq.size(), 2);
+}
+
+// ---- Losses -----------------------------------------------------------------
+
+TEST(LossTest, MseKnownValue) {
+  Variable pred(Tensor({2}, {1.0f, 3.0f}));
+  Variable target(Tensor({2}, {0.0f, 1.0f}));
+  EXPECT_NEAR(MseLoss(pred, target).item(), (1.0f + 4.0f) / 2.0f, 1e-6f);
+  EXPECT_NEAR(MaeLoss(pred, target).item(), (1.0f + 2.0f) / 2.0f, 1e-6f);
+}
+
+TEST(LossTest, MaskedMseIgnoresUnmasked) {
+  Variable pred(Tensor({4}, {1, 2, 3, 4}));
+  Variable target(Tensor({4}, {0, 0, 0, 0}));
+  Tensor mask({4}, {1, 0, 1, 0});
+  EXPECT_NEAR(MaskedMseLoss(pred, target, mask).item(), (1.0f + 9.0f) / 2.0f,
+              1e-6f);
+}
+
+TEST(LossTest, MaskedMseEmptyMaskDies) {
+  Variable pred(Tensor::Ones({3}));
+  Variable target(Tensor::Zeros({3}));
+  EXPECT_DEATH(MaskedMseLoss(pred, target, Tensor::Zeros({3})),
+               "mask selects no elements");
+}
+
+TEST(LossTest, CrossEntropyUniformLogits) {
+  // Uniform logits -> loss = log(M).
+  Variable logits(Tensor::Zeros({2, 4}));
+  Tensor labels({2}, {0.0f, 3.0f});
+  EXPECT_NEAR(CrossEntropyLoss(logits, labels).item(), std::log(4.0f), 1e-5f);
+}
+
+TEST(LossTest, CrossEntropyPerfectPrediction) {
+  Tensor t = Tensor::Zeros({1, 3});
+  t.set({0, 1}, 100.0f);
+  Variable logits(t);
+  Tensor labels({1}, {1.0f});
+  EXPECT_NEAR(CrossEntropyLoss(logits, labels).item(), 0.0f, 1e-4f);
+}
+
+TEST(LossTest, CrossEntropyGradientPushesTowardLabel) {
+  Variable logits(Tensor::Zeros({1, 3}), true);
+  Tensor labels({1}, {2.0f});
+  CrossEntropyLoss(logits, labels).Backward();
+  const Tensor& g = logits.grad();
+  // Gradient is softmax - onehot: positive on wrong classes, negative on the
+  // labeled class.
+  EXPECT_GT(g.at({0, 0}), 0.0f);
+  EXPECT_GT(g.at({0, 1}), 0.0f);
+  EXPECT_LT(g.at({0, 2}), 0.0f);
+}
+
+TEST(LossTest, CrossEntropyBadLabelDies) {
+  Variable logits(Tensor::Zeros({1, 3}));
+  EXPECT_DEATH(CrossEntropyLoss(logits, Tensor({1}, {3.0f})), "");
+}
+
+}  // namespace
+}  // namespace msd

@@ -1,0 +1,162 @@
+// Tests for optimizers, gradient clipping, and LR schedules.
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+// Minimizes ||w - target||^2 with the given optimizer; returns final w.
+template <typename MakeOpt>
+Tensor MinimizeQuadratic(MakeOpt make_opt, int steps) {
+  Variable w(Tensor({3}, {5.0f, -4.0f, 2.0f}), true);
+  Tensor target({3}, {1.0f, 2.0f, -1.0f});
+  auto opt = make_opt(std::vector<Variable>{w});
+  for (int i = 0; i < steps; ++i) {
+    opt->ZeroGrad();
+    Variable loss = SumAll(Square(Sub(w, Variable(target))));
+    loss.Backward();
+    opt->Step();
+  }
+  return w.value().Clone();
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.1f);
+      },
+      100);
+  EXPECT_TRUE(AllClose(w, Tensor({3}, {1.0f, 2.0f, -1.0f}), 1e-3f, 1e-3f));
+}
+
+TEST(SgdTest, MomentumConverges) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Sgd>(std::move(p), 0.05f, 0.9f);
+      },
+      200);
+  EXPECT_TRUE(AllClose(w, Tensor({3}, {1.0f, 2.0f, -1.0f}), 1e-3f, 1e-3f));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = MinimizeQuadratic(
+      [](std::vector<Variable> p) {
+        return std::make_unique<Adam>(std::move(p), 0.1f);
+      },
+      300);
+  EXPECT_TRUE(AllClose(w, Tensor({3}, {1.0f, 2.0f, -1.0f}), 1e-2f, 1e-2f));
+}
+
+TEST(AdamTest, DecoupledWeightDecayShrinksWeights) {
+  // With zero gradient signal, AdamW decay pulls weights toward zero.
+  Variable w(Tensor({2}, {10.0f, -10.0f}), true);
+  Adam opt({w}, /*lr=*/0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f,
+           /*decoupled=*/true);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    // Constant-zero loss contribution: gradient of sum(0*w) is zero but
+    // defined, so Step() applies only decay.
+    Variable loss = SumAll(Mul(w, Variable(Tensor::Zeros({2}))));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(std::fabs(w.value().at({0})), 10.0f * std::pow(1.0f - 0.01f, 50));
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGrad) {
+  Variable used(Tensor::Ones({1}), true);
+  Variable unused(Tensor::Ones({1}), true);
+  Sgd opt({used, unused}, 0.5f);
+  Variable loss = SumAll(Square(used));
+  loss.Backward();
+  opt.Step();
+  EXPECT_NE(used.value().item(), 1.0f);
+  EXPECT_EQ(unused.value().item(), 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Variable w(Tensor::Ones({2}), true);
+  Sgd opt({w}, 0.1f);
+  SumAll(Square(w)).Backward();
+  EXPECT_TRUE(w.has_grad());
+  opt.ZeroGrad();
+  EXPECT_FALSE(w.has_grad());
+}
+
+TEST(OptimizerTest, NonTrainableParamDies) {
+  Variable w(Tensor::Ones({2}), false);
+  EXPECT_DEATH(Sgd({w}, 0.1f), "non-trainable");
+}
+
+TEST(ClipGradNormTest, ScalesDownLargeGradients) {
+  Variable w(Tensor({2}, {0.0f, 0.0f}), true);
+  Variable loss = SumAll(Mul(w, Variable(Tensor({2}, {3.0f, 4.0f}))));
+  loss.Backward();
+  const float norm = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(w.grad().at({0}), 3.0f / 5.0f, 1e-5f);
+  EXPECT_NEAR(w.grad().at({1}), 4.0f / 5.0f, 1e-5f);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable w(Tensor({1}, {0.0f}), true);
+  SumAll(MulScalar(w, 0.5f)).Backward();
+  ClipGradNorm({w}, 10.0f);
+  EXPECT_NEAR(w.grad().item(), 0.5f, 1e-6f);
+}
+
+TEST(SchedulerTest, ExponentialDecay) {
+  Variable w(Tensor::Ones({1}), true);
+  Sgd opt({w}, 1.0f);
+  ExponentialLr sched(&opt, 0.5f);
+  sched.SetEpoch(0);
+  EXPECT_NEAR(opt.lr(), 1.0f, 1e-6f);
+  sched.SetEpoch(3);
+  EXPECT_NEAR(opt.lr(), 0.125f, 1e-6f);
+}
+
+TEST(SchedulerTest, CosineAnneal) {
+  Variable w(Tensor::Ones({1}), true);
+  Sgd opt({w}, 1.0f);
+  CosineLr sched(&opt, 10, 0.1f);
+  sched.SetEpoch(0);
+  EXPECT_NEAR(opt.lr(), 1.0f, 1e-5f);
+  sched.SetEpoch(5);
+  EXPECT_NEAR(opt.lr(), 0.55f, 1e-5f);
+  sched.SetEpoch(10);
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+  sched.SetEpoch(20);  // clamped past the end
+  EXPECT_NEAR(opt.lr(), 0.1f, 1e-5f);
+}
+
+TEST(IntegrationTest, TinyMlpLearnsXor) {
+  // End-to-end: 2-layer MLP fits XOR with Adam.
+  Rng rng(99);
+  Variable w1(Tensor::RandNormal({2, 8}, 0, 0.7f, rng), true);
+  Variable b1(Tensor::Zeros({8}), true);
+  Variable w2(Tensor::RandNormal({8, 1}, 0, 0.7f, rng), true);
+  Variable b2(Tensor::Zeros({1}), true);
+  Tensor x({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor y({4, 1}, {0, 1, 1, 0});
+  Adam opt({w1, b1, w2, b2}, 0.05f);
+  float final_loss = 1.0f;
+  for (int step = 0; step < 500; ++step) {
+    opt.ZeroGrad();
+    Variable h = Tanh(Add(MatMul(Variable(x), w1), b1));
+    Variable out = Sigmoid(Add(MatMul(h, w2), b2));
+    Variable loss = MeanAll(Square(Sub(out, Variable(y))));
+    loss.Backward();
+    opt.Step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 0.02f);
+}
+
+}  // namespace
+}  // namespace msd

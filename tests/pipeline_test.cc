@@ -1,0 +1,147 @@
+// Tests for the high-level ForecastPipeline, early stopping, and Huber loss.
+#include "tasks/pipeline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/series_builder.h"
+#include "nn/loss.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+Tensor DemoSeries(uint64_t seed = 5, int64_t length = 900) {
+  SeriesConfig config;
+  config.length = length;
+  config.seed = seed;
+  config.channel_mix = 0.2;
+  for (int c = 0; c < 2; ++c) {
+    ChannelSpec spec;
+    spec.level = 10.0 + 5.0 * c;
+    spec.seasonals = {{12.0, 2.0, 0.5 * c, 1}};
+    spec.ar_coeff = 0.4;
+    spec.noise_sigma = 0.3;
+    config.channels.push_back(spec);
+  }
+  return GenerateSeries(config);
+}
+
+ForecastPipelineConfig FastConfig() {
+  ForecastPipelineConfig config;
+  config.lookback = 36;
+  config.horizon = 12;
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.trainer.epochs = 3;
+  config.trainer.batch_size = 16;
+  config.trainer.lr = 3e-3f;
+  config.trainer.max_batches_per_epoch = 12;
+  return config;
+}
+
+TEST(ForecastPipelineTest, FitDerivesLadderAndPredictsInOriginalUnits) {
+  ForecastPipeline pipeline(FastConfig(), /*seed=*/3);
+  Tensor series = DemoSeries();
+  EXPECT_FALSE(pipeline.fitted());
+  pipeline.Fit(series);
+  EXPECT_TRUE(pipeline.fitted());
+  // Derived ladder starts at the dominant period (12).
+  EXPECT_EQ(pipeline.model().config().patch_sizes.front(), 12);
+
+  Tensor forecast = pipeline.Predict(series);
+  EXPECT_EQ(forecast.shape(), (Shape{2, 12}));
+  // Original units: near the channel levels (10/15), not near 0.
+  EXPECT_GT(MeanAll(Slice(forecast, 0, 0, 1)).item(), 5.0f);
+  EXPECT_GT(MeanAll(Slice(forecast, 0, 1, 1)).item(), 8.0f);
+}
+
+TEST(ForecastPipelineTest, PredictRequiresFit) {
+  ForecastPipeline pipeline(FastConfig());
+  EXPECT_DEATH(pipeline.Predict(Tensor::Ones({2, 64})), "Fit");
+}
+
+TEST(ForecastPipelineTest, RollingPredictionCoversRequestedSteps) {
+  ForecastPipeline pipeline(FastConfig(), 4);
+  Tensor series = DemoSeries(7);
+  pipeline.Fit(series);
+  Tensor rolled = pipeline.PredictRolling(series, 30);
+  EXPECT_EQ(rolled.shape(), (Shape{2, 30}));
+  EXPECT_FALSE(HasNonFinite(rolled));
+}
+
+TEST(ForecastPipelineTest, SaveLoadReproducesPredictions) {
+  ForecastPipelineConfig config = FastConfig();
+  ForecastPipeline pipeline(config, 5);
+  Tensor series = DemoSeries(9);
+  pipeline.Fit(series);
+  Tensor before = pipeline.Predict(series);
+
+  const std::string path = ::testing::TempDir() + "/pipeline_roundtrip.ckpt";
+  Status saved = pipeline.Save(path);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+
+  ForecastPipeline restored(config, /*seed=*/999);
+  Status loaded = restored.Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.ToString();
+  Tensor after = restored.Predict(series);
+  EXPECT_TRUE(AllClose(after, before, 1e-4f, 1e-4f));
+}
+
+TEST(ForecastPipelineTest, LoadMissingMetaFails) {
+  ForecastPipeline pipeline(FastConfig());
+  EXPECT_FALSE(pipeline.Load("/nonexistent/pipeline.ckpt").ok());
+}
+
+TEST(EarlyStoppingTest, StopsBeforeMaxEpochsOnPlateau) {
+  ForecastPipelineConfig config = FastConfig();
+  config.trainer.epochs = 40;
+  config.trainer.early_stop_patience = 2;
+  config.trainer.max_batches_per_epoch = 6;
+  ForecastPipeline pipeline(config, 6);
+  TrainStats stats = pipeline.Fit(DemoSeries(11, 700));
+  EXPECT_TRUE(stats.early_stopped);
+  EXPECT_LT(static_cast<int64_t>(stats.epoch_losses.size()), 40);
+  EXPECT_EQ(stats.val_losses.size(), stats.epoch_losses.size());
+  EXPECT_TRUE(std::isfinite(stats.best_val_loss()));
+}
+
+TEST(HuberLossTest, MatchesMseInQuadraticRegion) {
+  Variable pred(Tensor({3}, {0.1f, -0.2f, 0.3f}));
+  Variable target(Tensor::Zeros({3}));
+  // |e| < delta=1: Huber = 0.5 * e^2 (mean).
+  const float expected =
+      0.5f * (0.01f + 0.04f + 0.09f) / 3.0f;
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0f).item(), expected, 1e-6f);
+}
+
+TEST(HuberLossTest, LinearBeyondDelta) {
+  Variable pred(Tensor({1}, {5.0f}));
+  Variable target(Tensor::Zeros({1}));
+  // delta=1, |e|=5: 0.5*1 + 1*(5-1) = 4.5.
+  EXPECT_NEAR(HuberLoss(pred, target, 1.0f).item(), 4.5f, 1e-5f);
+}
+
+TEST(HuberLossTest, GradientBoundedByDelta) {
+  Variable pred(Tensor({2}, {100.0f, -100.0f}), true);
+  Variable target(Tensor::Zeros({2}));
+  HuberLoss(pred, target, 1.0f).Backward();
+  // d/dx mean(huber) = sign(e) * delta / n = +-0.5.
+  EXPECT_NEAR(pred.grad().at({0}), 0.5f, 1e-4f);
+  EXPECT_NEAR(pred.grad().at({1}), -0.5f, 1e-4f);
+}
+
+TEST(HuberLossTest, LessSensitiveToOutliersThanMse) {
+  Variable clean(Tensor({4}, {0.1f, 0.1f, 0.1f, 0.1f}));
+  Variable dirty(Tensor({4}, {0.1f, 0.1f, 0.1f, 50.0f}));
+  Variable target(Tensor::Zeros({4}));
+  const float mse_ratio = MseLoss(dirty, target).item() /
+                          MseLoss(clean, target).item();
+  const float huber_ratio = HuberLoss(dirty, target).item() /
+                            HuberLoss(clean, target).item();
+  EXPECT_LT(huber_ratio, mse_ratio / 10.0f);
+}
+
+}  // namespace
+}  // namespace msd

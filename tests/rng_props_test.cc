@@ -1,0 +1,167 @@
+// Statistical and property tests for the RNG and metric functions:
+// distribution moments, shuffle uniformity, and parameterized sweeps over
+// the M4 metric identities.
+#include "common/rng.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace msd {
+namespace {
+
+TEST(RngStatsTest, GaussianMomentsMatch) {
+  Rng rng(101);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngStatsTest, UniformIsUniform) {
+  Rng rng(102);
+  const int n = 100000;
+  const int buckets = 10;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    counts[static_cast<size_t>(u * buckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / buckets, 4.0 * std::sqrt(n / buckets));
+  }
+}
+
+TEST(RngStatsTest, BernoulliRate) {
+  Rng rng(103);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngStatsTest, UniformIntCoversRange) {
+  Rng rng(104);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 60000; ++i) counts[rng.UniformInt(6)]++;
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GE(value, 0);
+    EXPECT_LT(value, 6);
+    EXPECT_NEAR(count, 10000, 500);
+  }
+}
+
+TEST(RngStatsTest, ShuffleIsUnbiasedOnFirstPosition) {
+  // Each element should land in position 0 with probability ~1/4.
+  std::map<int, int> first;
+  Rng rng(105);
+  for (int trial = 0; trial < 40000; ++trial) {
+    std::vector<int> values = {0, 1, 2, 3};
+    rng.Shuffle(values);
+    first[values[0]]++;
+  }
+  for (const auto& [value, count] : first) {
+    EXPECT_NEAR(count, 10000, 500) << "value " << value;
+  }
+}
+
+TEST(RngStatsTest, ForkProducesIndependentStreams) {
+  Rng parent(106);
+  Rng child = parent.Fork();
+  // The two streams should not be identical over a window.
+  int agreements = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++agreements;
+  }
+  EXPECT_EQ(agreements, 0);
+}
+
+TEST(RngStatsTest, SeedDeterminism) {
+  Rng a(107);
+  Rng b(107);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+// ---- M4 metric property sweeps ------------------------------------------------
+
+class M4MetricSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(M4MetricSweep, PerfectForecastScoresZeroAndScaleInvariance) {
+  const int64_t m = GetParam();
+  Rng rng(200 + static_cast<uint64_t>(m));
+  std::vector<float> history;
+  for (int t = 0; t < 60; ++t) {
+    history.push_back(
+        50.0f + 10.0f * std::sin(2.0f * static_cast<float>(M_PI) * t /
+                                 std::max<int64_t>(m, 4)) +
+        rng.Gaussian(0.0f, 1.0f));
+  }
+  std::vector<float> actual(history.end() - 8, history.end());
+  std::vector<float> insample(history.begin(), history.end() - 8);
+
+  EXPECT_NEAR(Smape(actual, actual), 0.0, 1e-9);
+  EXPECT_NEAR(Mase(actual, actual, insample, m), 0.0, 1e-9);
+
+  // SMAPE and MASE are invariant to rescaling all series by the same factor.
+  auto scale = [](std::vector<float> v, float k) {
+    for (float& x : v) x *= k;
+    return v;
+  };
+  std::vector<float> forecast = actual;
+  forecast[0] += 5.0f;
+  const double smape1 = Smape(forecast, actual);
+  const double smape2 = Smape(scale(forecast, 3.0f), scale(actual, 3.0f));
+  EXPECT_NEAR(smape1, smape2, 1e-6);
+  const double mase1 = Mase(forecast, actual, insample, m);
+  const double mase2 = Mase(scale(forecast, 3.0f), scale(actual, 3.0f),
+                            scale(insample, 3.0f), m);
+  EXPECT_NEAR(mase1, mase2, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, M4MetricSweep,
+                         ::testing::Values(1, 4, 12, 24));
+
+class PointAdjustSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PointAdjustSweep, AdjustedF1NeverBelowRaw) {
+  // Point adjustment can only add true positives within labeled segments.
+  const double detect_rate = GetParam();
+  Rng rng(300);
+  std::vector<int> labels(500, 0);
+  for (int seg = 0; seg < 8; ++seg) {
+    const int start = static_cast<int>(rng.UniformInt(460));
+    for (int i = start; i < start + 30 && i < 500; ++i) labels[(size_t)i] = 1;
+  }
+  std::vector<int> predictions(500, 0);
+  for (size_t i = 0; i < 500; ++i) {
+    if (labels[i] == 1 && rng.Bernoulli(detect_rate)) predictions[i] = 1;
+    if (labels[i] == 0 && rng.Bernoulli(0.02)) predictions[i] = 1;
+  }
+  const double raw_f1 = PrecisionRecallF1(predictions, labels).f1;
+  const double adjusted_f1 =
+      PrecisionRecallF1(PointAdjust(predictions, labels), labels).f1;
+  EXPECT_GE(adjusted_f1 + 1e-12, raw_f1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PointAdjustSweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.9));
+
+}  // namespace
+}  // namespace msd
