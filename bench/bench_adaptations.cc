@@ -101,7 +101,7 @@ double ImputationMse(bool masked_loss, const Tensor& series) {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Adaptation ablations: the scale-adaptations of DESIGN.md §2, "
@@ -147,5 +147,5 @@ int main() {
   std::printf(
       "\nEach adaptation should improve (or be required by) its task at this\n"
       "scale; see DESIGN.md §2 for the rationale behind each.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

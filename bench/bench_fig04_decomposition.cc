@@ -130,7 +130,7 @@ void Report(const char* title, const TrainedDecomposition& dec,
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Fig. 4 analogue: decomposition case study (ETTh1-like, L=96, "
@@ -160,5 +160,5 @@ int main() {
       "multi-scale patterns and the residual shrinks toward in-band white\n"
       "noise. Expected here: smaller residual std and higher in-band ACF\n"
       "fraction for the model trained with the Residual Loss.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -1,12 +1,24 @@
 // google-benchmark microbenchmarks for the substrate kernels that dominate
-// MSD-Mixer training: matmul, permute, patching, the residual-loss ACF, and
-// a full forward/backward step.
+// MSD-Mixer training: matmul, FFT, permute, patching, the residual-loss ACF,
+// a full forward/backward step, and a whole trainer epoch.
+//
+// Besides the standard google-benchmark flags, accepts
+//   --metrics-out <path>  combined metrics-registry + span-aggregate JSON
+//   --trace-out <path>    chrome://tracing event file
+// so kernel-level telemetry (tensor/matmul, tensor/fft, train/epoch spans)
+// lands in BENCH_*.json trajectories.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/msd_mixer.h"
 #include "core/patching.h"
 #include "core/residual_loss.h"
 #include "metrics/metrics.h"
+#include "tasks/trainer.h"
+#include "tensor/fft.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -72,6 +84,44 @@ void BM_PatchUnpatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PatchUnpatch)->Arg(24)->Arg(5)->Arg(1);
+
+void BM_Fft(benchmark::State& state) {
+  Rng rng(1);
+  Tensor series = Tensor::RandNormal({7, 256}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopPeriodsFft(series, 3));
+  }
+}
+BENCHMARK(BM_Fft);
+
+void BM_TrainerEpoch(benchmark::State& state) {
+  Rng rng(1);
+  MsdMixerConfig config;
+  config.input_length = 48;
+  config.channels = 3;
+  config.patch_sizes = {12, 4, 1};
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.task = TaskType::kForecast;
+  config.horizon = 24;
+  Tensor series = Tensor::RandNormal({3, 400}, 0, 1, rng);
+  ForecastWindowDataset data(series, 48, 24, 4);
+  TrainerConfig trainer;
+  trainer.epochs = 1;
+  trainer.batch_size = 16;
+  trainer.max_batches_per_epoch = 4;
+  trainer.telemetry = TelemetrySink::kRegistry;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng model_rng(7);
+    MsdMixer mixer(config, model_rng);
+    MsdMixerTaskModel model(&mixer, /*lambda=*/0.3f);
+    state.ResumeTiming();
+    TrainStats stats = Train(model, data, trainer, ForecastMseTaskLoss);
+    benchmark::DoNotOptimize(stats.total_wall_seconds);
+  }
+}
+BENCHMARK(BM_TrainerEpoch);
 
 void BM_ResidualLossForwardBackward(benchmark::State& state) {
   Rng rng(1);
@@ -144,4 +194,37 @@ BENCHMARK(BM_MixerInference);
 }  // namespace
 }  // namespace msd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off the telemetry flags before google-benchmark sees (and rejects)
+  // them; remember the full original argv for the export at the end.
+  const std::string metrics_out = msd::bench::MetricsOutPath(argc, argv);
+  const std::string trace_out = msd::bench::TraceOutPath(argc, argv);
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      ++i;  // skip the value
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0 ||
+        arg.rfind("--trace-out=", 0) == 0) {
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bool ok = true;
+  if (!metrics_out.empty()) ok = msd::bench::WriteTelemetryReport(metrics_out);
+  if (!trace_out.empty()) {
+    ok = msd::obs::Profiler::Global().WriteChromeTrace(trace_out) && ok;
+  }
+  return ok ? 0 : 1;
+}

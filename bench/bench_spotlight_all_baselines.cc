@@ -118,7 +118,7 @@ std::vector<RunResult> RunAll(const Tensor& series, int64_t period) {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Spotlight: all eight implemented forecasters, horizon 96 ==\n"
@@ -148,5 +148,5 @@ int main() {
       "\nPaper shape check: MSD-Mixer first, PatchTST/TimesNet the closest\n"
       "pursuers (Table IV's strongest baselines), linear models behind on\n"
       "driver-coupled multivariate data.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

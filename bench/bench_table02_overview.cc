@@ -241,7 +241,7 @@ TaskOutcome ClassificationTask() {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Table II analogue: overall comparison (one representative\n"
@@ -267,5 +267,5 @@ int main() {
       "Paper shape check (Table II): MSD-Mixer led 118 of 142 benchmarks\n"
       "across the five tasks, with every other method far behind.\n",
       mixer_firsts);
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -34,6 +34,8 @@ using bench::TablePrinter;
 struct RunResult {
   std::string model;
   RegressionScores scores;
+  // From TrainStats::total_wall_seconds (0 for training-free baselines).
+  double train_seconds = 0.0;
 };
 
 ForecastExperimentConfig MakeExperiment(int64_t horizon, int64_t length) {
@@ -62,8 +64,10 @@ std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
     ResidualLossOptions ro;
     ro.max_lag = 24;
     MsdMixerTaskModel model(&mixer, /*lambda=*/0.5f, ro);
-    results.push_back(
-        {"MSD-Mixer", RunForecastExperiment(model, series, config)});
+    TrainStats stats;
+    RegressionScores scores =
+        RunForecastExperiment(model, series, config, &stats);
+    results.push_back({"MSD-Mixer", scores, stats.total_wall_seconds});
   }
   {
     Rng rng(150 + horizon);
@@ -72,28 +76,37 @@ std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
     pc.horizon = horizon;
     PatchTst patchtst(pc, rng);
     ModuleTaskModel model(&patchtst);
-    results.push_back(
-        {"PatchTST", RunForecastExperiment(model, series, config)});
+    TrainStats stats;
+    RegressionScores scores =
+        RunForecastExperiment(model, series, config, &stats);
+    results.push_back({"PatchTST", scores, stats.total_wall_seconds});
   }
   {
     Rng rng(200 + horizon);
     DLinear dlinear(96, horizon, rng);
     ModuleTaskModel model(&dlinear);
-    results.push_back(
-        {"DLinear", RunForecastExperiment(model, series, config)});
+    TrainStats stats;
+    RegressionScores scores =
+        RunForecastExperiment(model, series, config, &stats);
+    results.push_back({"DLinear", scores, stats.total_wall_seconds});
   }
   {
     Rng rng(300 + horizon);
     LightTs lightts(96, horizon, rng);
     ModuleTaskModel model(&lightts);
-    results.push_back(
-        {"LightTS", RunForecastExperiment(model, series, config)});
+    TrainStats stats;
+    RegressionScores scores =
+        RunForecastExperiment(model, series, config, &stats);
+    results.push_back({"LightTS", scores, stats.total_wall_seconds});
   }
   {
     Rng rng(400 + horizon);
     NBeats nbeats(96, horizon, rng, /*num_blocks=*/3, /*hidden=*/64);
     ModuleTaskModel model(&nbeats);
-    results.push_back({"N-BEATS", RunForecastExperiment(model, series, config)});
+    TrainStats stats;
+    RegressionScores scores =
+        RunForecastExperiment(model, series, config, &stats);
+    results.push_back({"N-BEATS", scores, stats.total_wall_seconds});
   }
   {
     // Training-free seasonal naive at the dominant period.
@@ -103,7 +116,7 @@ std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
     ForecastWindowDataset test(scaler.Transform(splits.test), 96, horizon,
                                config.eval_stride);
     results.push_back(
-        {"S-Naive", bench::EvaluateNaiveOnDataset(test, period)});
+        {"S-Naive", bench::EvaluateNaiveOnDataset(test, period), 0.0});
   }
   return results;
 }
@@ -111,7 +124,7 @@ std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf("== Table III analogue: long-term forecasting datasets ==\n");
   bench::TablePrinter stats({"Dataset", "Dim", "Timesteps", "Period",
@@ -154,12 +167,14 @@ int main() {
   table.PrintHeader();
 
   std::map<std::string, int> first_counts;
+  std::map<std::string, double> train_seconds;
   int total_benchmarks = 0;
   for (LongTermDataset ds : AllLongTermDatasets()) {
     const Tensor& series = all_series.at(ds);
     const int64_t period = LongTermDominantPeriod(ds);
     for (int64_t horizon : horizons) {
       const auto results = RunAllModels(series, period, horizon);
+      for (const auto& r : results) train_seconds[r.model] += r.train_seconds;
       // Two benchmarks per row (MSE and MAE), as in the paper's counting.
       for (int metric = 0; metric < 2; ++metric) {
         double best = 1e30;
@@ -193,10 +208,13 @@ int main() {
     table.PrintRule();
   }
 
-  std::printf("\n1st-place counts over %d benchmarks (MSE+MAE cells):\n",
-              total_benchmarks);
+  std::printf(
+      "\n1st-place counts over %d benchmarks (MSE+MAE cells), with total\n"
+      "training wall time from trainer telemetry:\n",
+      total_benchmarks);
   for (const auto& model : models) {
-    std::printf("  %-10s %d\n", model.c_str(), first_counts[model]);
+    std::printf("  %-10s %3d   train %ss\n", model.c_str(),
+                first_counts[model], bench::Fmt(train_seconds[model], 1).c_str());
   }
   std::printf(
       "\nPaper shape check (Table IV): MSD-Mixer led 49/64 benchmarks with\n"
@@ -206,5 +224,5 @@ int main() {
       "PatchTST here is a scaled-down reimplementation; the remaining\n"
       "baselines (TimesNet, Scaleformer, ETSformer, NST, FEDformer) are\n"
       "n/a in this CPU-only reproduction.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

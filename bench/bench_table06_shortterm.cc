@@ -105,7 +105,7 @@ std::vector<SubsetResult> RunSubset(const M4SubsetSpec& spec,
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   const auto subsets = DefaultM4Subsets();
 
@@ -207,5 +207,5 @@ int main() {
       "(15/15), N-BEATS/N-HiTS the strongest baselines, with avg OWA 0.838\n"
       "(MSD-Mixer) vs 0.855 (N-BEATS). Expected here: MSD-Mixer and N-BEATS\n"
       "lead with OWA < 1 (better than Naive2) on seasonal subsets.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -123,7 +123,7 @@ std::vector<RunResult> RunAllModels(const Tensor& series, double ratio) {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Table VII analogue: imputation (MSE / MAE at masked points) ==\n\n");
@@ -187,5 +187,5 @@ int main() {
       "stayed stable as the missing ratio grew, while baselines degraded\n"
       "quickly. Expected here: MSD-Mixer leads; the interpolation floor\n"
       "worsens sharply at high missing ratios.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -88,7 +88,7 @@ std::vector<RunResult> RunAllModels(const AnomalyData& data) {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf("== Table VIII analogue: anomaly detection datasets ==\n");
   bench::TablePrinter stats(
@@ -177,5 +177,5 @@ int main() {
       "threshold-at-ratio makes simple reconstructors strong, and the\n"
       "mixer needs the bottlenecked configuration to avoid reconstructing\n"
       "anomalies (DESIGN.md). The paper's margin does not reproduce here.\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -71,7 +71,7 @@ std::vector<RunResult> RunAllModels(const ClassificationSubset& subset,
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   const auto subsets = DefaultClassificationSubsets();
 
@@ -149,5 +149,5 @@ int main() {
       "the subsets — MSD-Mixer clearly ahead of the classical DTW-1NN on\n"
       "average, with the small task-specific flatten-MLP the strongest\n"
       "single competitor (the TARNet role).\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

@@ -61,7 +61,7 @@ float ApplyVariant(Variant variant, MsdMixerConfig* config) {
 }  // namespace
 }  // namespace msd
 
-int main() {
+int main(int argc, char** argv) {
   using namespace msd;
   std::printf(
       "== Table XII analogue: MSD-Mixer ablations "
@@ -249,5 +249,5 @@ int main() {
       "(-N most on classification, -U most on long-term MSE 0.345 -> 0.422);\n"
       "-L consistently hurts, most visibly anomaly F1 (0.930 -> 0.897) and\n"
       "classification accuracy (0.807 -> 0.768).\n");
-  return 0;
+  return bench::ExportTelemetry(argc, argv) ? 0 : 1;
 }

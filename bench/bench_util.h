@@ -13,10 +13,86 @@
 #include "baselines/naive.h"
 #include "core/msd_mixer.h"
 #include "metrics/metrics.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tasks/experiments.h"
 
 namespace msd {
 namespace bench {
+
+// ---- Telemetry export -------------------------------------------------------
+// Every bench accepts
+//   --metrics-out <path>   combined metrics + span-aggregate JSON snapshot
+//   --trace-out <path>     chrome://tracing event file
+// so BENCH_*.json perf trajectories come straight from the registry instead
+// of ad-hoc timers.
+
+// Value of `--flag <v>` or `--flag=<v>` in argv; empty string when absent.
+inline std::string FlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+inline std::string MetricsOutPath(int argc, char** argv) {
+  return FlagValue(argc, argv, "--metrics-out");
+}
+
+inline std::string TraceOutPath(int argc, char** argv) {
+  return FlagValue(argc, argv, "--trace-out");
+}
+
+// Writes {"metrics": <registry snapshot>, "spans": <profiler aggregates>}
+// to `path` and re-parses the file contents as a self-check. Returns false
+// (with a message on stderr) on I/O or parse failure.
+inline bool WriteTelemetryReport(const std::string& path) {
+  const std::string json = "{\"metrics\":" +
+                           obs::MetricsRegistry::Global().ToJson() +
+                           ",\"spans\":" +
+                           obs::Profiler::Global().AggregateReportJson() + "}";
+  obs::JsonValue parsed;
+  if (!obs::JsonParse(json, &parsed) || parsed.Find("metrics") == nullptr ||
+      parsed.Find("spans") == nullptr) {
+    std::fprintf(stderr, "telemetry report failed JSON self-check\n");
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("telemetry written to %s (%zu bytes)\n", path.c_str(),
+              json.size());
+  return true;
+}
+
+// Handles both telemetry flags at the end of a bench main(); returns false
+// if a requested export failed (benches exit nonzero on that).
+inline bool ExportTelemetry(int argc, char** argv) {
+  bool ok = true;
+  const std::string metrics = MetricsOutPath(argc, argv);
+  if (!metrics.empty()) ok = WriteTelemetryReport(metrics) && ok;
+  const std::string trace = TraceOutPath(argc, argv);
+  if (!trace.empty()) {
+    if (obs::Profiler::Global().WriteChromeTrace(trace)) {
+      std::printf("chrome trace written to %s\n", trace.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write chrome trace %s\n", trace.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
 
 // MSD_BENCH_SCALE scales training effort (epochs); 1.0 is the default
 // CPU-budget configuration, larger values train longer.
@@ -137,6 +213,12 @@ inline std::string Fmt(double v, int precision = 3) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+// Table cell for a model's training cost, taken from the trainer's own
+// telemetry (TrainStats::total_wall_seconds) rather than a bench-local timer.
+inline std::string TrainSecondsCell(const TrainStats& stats) {
+  return Fmt(stats.total_wall_seconds, 1) + "s";
 }
 
 // Marks the minimum value in a row of scores with an asterisk.

@@ -12,6 +12,8 @@
 #include "core/residual_loss.h"
 #include "datagen/series_builder.h"
 #include "metrics/metrics.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tasks/experiments.h"
 #include "tensor/tensor_ops.h"
 
@@ -66,10 +68,43 @@ int main() {
   experiment.trainer.lr = 3e-3f;
   experiment.trainer.max_batches_per_epoch = 30;
   experiment.trainer.verbose = true;
+  experiment.trainer.telemetry = TelemetrySink::kRegistry;
   std::printf("Training...\n");
-  RegressionScores scores = RunForecastExperiment(model, series, experiment);
+  TrainStats train_stats;
+  RegressionScores scores =
+      RunForecastExperiment(model, series, experiment, &train_stats);
   std::printf("Test MSE %.3f  MAE %.3f (standardized scale)\n", scores.mse,
               scores.mae);
+
+  // Telemetry summary: what training cost, from the observability subsystem
+  // (docs/OBSERVABILITY.md). Counters come from the process-wide registry;
+  // per-label timings from the span profiler.
+  auto& registry = obs::MetricsRegistry::Global();
+  std::printf("\nTelemetry summary:\n");
+  std::printf("  model: %lld params (%.1f KiB), ~%lld FLOPs/item forward\n",
+              (long long)mixer.NumParameters(),
+              (double)mixer.ParameterBytes() / 1024.0,
+              (long long)mixer.ApproxForwardFlopsPerItem());
+  std::printf("  training: %.2fs wall over %zu epochs, mean |grad| %.3f\n",
+              train_stats.total_wall_seconds, train_stats.epoch_losses.size(),
+              train_stats.mean_grad_norm());
+  std::printf("  tensor: %lld allocs (%.1f MiB), %lld matmuls (%.2f GFLOP)\n",
+              (long long)registry.GetCounter("tensor/allocs").value(),
+              (double)registry.GetCounter("tensor/alloc_bytes").value() /
+                  (1024.0 * 1024.0),
+              (long long)registry.GetCounter("tensor/matmul_calls").value(),
+              (double)registry.GetCounter("tensor/matmul_flops").value() /
+                  1e9);
+  std::printf("  autograd: %lld nodes built, %lld backward sweeps\n",
+              (long long)registry.GetCounter("autograd/nodes_created").value(),
+              (long long)registry.GetCounter("autograd/backward_calls")
+                  .value());
+  std::printf("  hottest spans (self time):\n");
+  for (const auto& [label, s] : obs::Profiler::Global().Aggregates()) {
+    std::printf("    %-22s count %6lld  self %8.1f ms  total %8.1f ms\n",
+                label.c_str(), (long long)s.count,
+                (double)s.self_ns / 1e6, (double)s.total_ns / 1e6);
+  }
 
   // 4. Inspect the decomposition of one window: each layer's component plus
   //    the residual. The components sum back to the input exactly.

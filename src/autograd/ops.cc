@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "tensor/conv.h"
 #include "tensor/tensor_ops.h"
 
@@ -15,6 +16,9 @@ using NodePtr = std::shared_ptr<AutogradNode>;
 // recording is enabled and some parent participates in gradients.
 Variable MakeOp(Tensor value, std::vector<NodePtr> parents,
                 std::function<void(AutogradNode&)> backward) {
+  static obs::Counter& nodes_created =
+      obs::MetricsRegistry::Global().GetCounter("autograd/nodes_created");
+  nodes_created.Add(1);
   auto node = std::make_shared<AutogradNode>();
   node->value = std::move(value);
   bool any_requires = false;

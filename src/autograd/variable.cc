@@ -1,7 +1,10 @@
 #include "autograd/variable.h"
 
+#include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -79,6 +82,7 @@ void Variable::Backward() const {
   MSD_CHECK(defined());
   MSD_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() must start from a scalar loss";
+  MSD_SPAN("autograd/backward");
 
   // Iterative post-order DFS to produce a topological order (parents before
   // children in `topo`), then sweep in reverse.
@@ -89,10 +93,12 @@ void Variable::Backward() const {
     size_t next_parent;
   };
   std::vector<Frame> stack;
+  size_t max_depth = 0;
   if (visited.insert(node_.get()).second) {
     stack.push_back({node_.get(), 0});
   }
   while (!stack.empty()) {
+    max_depth = std::max(max_depth, stack.size());
     Frame& top = stack.back();
     if (top.next_parent < top.node->parents.size()) {
       AutogradNode* parent = top.node->parents[top.next_parent++].get();
@@ -103,6 +109,20 @@ void Variable::Backward() const {
       topo.push_back(top.node);
       stack.pop_back();
     }
+  }
+
+  {
+    // Tape telemetry: how big/deep the graphs we differentiate are.
+    static obs::Counter& backward_calls =
+        obs::MetricsRegistry::Global().GetCounter("autograd/backward_calls");
+    static obs::Histogram& tape_nodes =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "autograd/tape_nodes", {100.0, 1000.0, 10000.0, 100000.0});
+    static obs::Gauge& tape_depth =
+        obs::MetricsRegistry::Global().GetGauge("autograd/max_tape_depth");
+    backward_calls.Add(1);
+    tape_nodes.Observe(static_cast<double>(topo.size()));
+    tape_depth.SetMax(static_cast<double>(max_depth));
   }
 
   node_->grad = Tensor::Ones(node_->value.shape());

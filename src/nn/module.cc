@@ -35,6 +35,18 @@ int64_t Module::NumParameters() const {
   return n;
 }
 
+int64_t Module::ParameterBytes() const {
+  return NumParameters() * static_cast<int64_t>(sizeof(float));
+}
+
+int64_t Module::ApproxForwardFlopsPerItem() const {
+  int64_t flops = 0;
+  for (const auto& param : Parameters()) {
+    flops += param.rank() >= 2 ? 2 * param.numel() : param.numel();
+  }
+  return flops;
+}
+
 void Module::SetTraining(bool training) {
   training_ = training;
   for (auto& [name, child] : children_) child->SetTraining(training);

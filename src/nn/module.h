@@ -35,6 +35,17 @@ class Module {
   // Total number of scalar parameters.
   int64_t NumParameters() const;
 
+  // Bytes held by parameter values (float32; excludes gradients and
+  // optimizer state, which at most triple this during training).
+  int64_t ParameterBytes() const;
+
+  // Rough forward-pass FLOPs per sample, estimated from parameter shapes:
+  // 2 * numel for every rank>=2 parameter (each weight of a dense map costs
+  // a multiply-add per item) and numel for rank<2 parameters (bias adds,
+  // norm scales). Activation functions and data movement are not counted;
+  // use the "tensor/matmul_flops" counter for exact measured matmul work.
+  int64_t ApproxForwardFlopsPerItem() const;
+
   // Switches this module and all children between training and evaluation
   // behaviour.
   void SetTraining(bool training);

@@ -1,0 +1,50 @@
+// Minimal JSON support for the observability subsystem: string escaping for
+// the emitters and a strict recursive-descent parser used to validate and
+// round-trip telemetry snapshots (tests, bench --metrics-out self-checks).
+//
+// The parser handles the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) but is tuned for machine-generated
+// telemetry files, not adversarial input: nesting depth is capped.
+#ifndef MSDMIXER_OBS_JSON_H_
+#define MSDMIXER_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msd {
+namespace obs {
+
+// Escapes `s` for embedding inside a JSON string literal (no surrounding
+// quotes added).
+std::string JsonEscape(const std::string& s);
+
+// Parsed JSON document node. Object member order is preserved.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses `text` into `*out`. Returns false (and leaves `*out` unspecified) on
+// any syntax error or trailing garbage.
+bool JsonParse(const std::string& text, JsonValue* out);
+
+}  // namespace obs
+}  // namespace msd
+
+#endif  // MSDMIXER_OBS_JSON_H_

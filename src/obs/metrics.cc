@@ -1,0 +1,169 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace msd {
+namespace obs {
+
+namespace {
+
+// Portable atomic double accumulate (fetch_add on atomic<double> is C++20 but
+// a CAS loop avoids relying on library support).
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < v && !target.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+// Emits a double with enough digits to round-trip, avoiding locale issues.
+std::string NumberToJson(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+void Gauge::SetMax(double v) { AtomicMax(value_, v); }
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  MSD_CHECK(!bounds_.empty()) << "histogram needs at least one bucket bound";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    MSD_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  // Linear scan: telemetry histograms have a handful of buckets and the scan
+  // is branch-predictable; a binary search would not pay for itself.
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  } else {
+    MSD_CHECK(slot->upper_bounds() == upper_bounds)
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  return *slot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << NumberToJson(g->value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << NumberToJson(h->sum()) << ",\"buckets\":[";
+    const auto& bounds = h->upper_bounds();
+    const auto counts = h->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"le\":";
+      if (i < bounds.size()) {
+        out << NumberToJson(bounds[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace msd

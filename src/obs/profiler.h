@@ -1,0 +1,149 @@
+// Hierarchical span profiler: RAII ScopedSpan timers that nest, aggregate
+// per-label, and export an aggregate JSON report plus a
+// chrome://tracing-compatible event file.
+//
+// Usage (hot paths use the macro so spans vanish entirely when profiling is
+// compiled out via -DMSD_ENABLE_PROFILING=OFF):
+//
+//   void MatMulKernel(...) {
+//     MSD_SPAN("tensor/matmul");
+//     ...
+//   }
+//
+// Semantics:
+//  * Spans nest per-thread: a span opened while another is active becomes its
+//    child. Per-label aggregates track count, total (inclusive) time,
+//    self time (total minus direct children), min and max.
+//  * Self-time accounting is exact: each closing span adds its inclusive
+//    duration to its parent's child-time accumulator.
+//  * Recording is also runtime-toggleable (Profiler::SetEnabled); a disabled
+//    profiler costs one relaxed atomic load per span.
+//  * The trace-event buffer is capped (SetTraceCapacity); once full, further
+//    events only update aggregates and `dropped_events` counts them.
+//
+// Label taxonomy ("subsystem/operation", e.g. "tensor/matmul",
+// "train/epoch") is documented in docs/OBSERVABILITY.md.
+#ifndef MSDMIXER_OBS_PROFILER_H_
+#define MSDMIXER_OBS_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef MSD_PROFILING_ENABLED
+#define MSD_PROFILING_ENABLED 1
+#endif
+
+namespace msd {
+namespace obs {
+
+// Monotonic clock in nanoseconds (steady across the process).
+int64_t MonotonicNowNs();
+
+struct SpanStats {
+  int64_t count = 0;
+  int64_t total_ns = 0;  // inclusive (span + children)
+  int64_t self_ns = 0;   // exclusive (span minus direct children)
+  int64_t min_ns = std::numeric_limits<int64_t>::max();
+  int64_t max_ns = 0;
+};
+
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Max buffered trace events (default 65536). 0 keeps aggregates only.
+  void SetTraceCapacity(int64_t max_events);
+
+  // Clears aggregates and the trace buffer; keeps enabled/capacity settings.
+  void Reset();
+
+  std::map<std::string, SpanStats> Aggregates() const;
+  int64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // {"label": {"count": n, "total_ms": t, "self_ms": s,
+  //            "min_ms": lo, "max_ms": hi}, ...} sorted by label.
+  std::string AggregateReportJson() const;
+
+  // chrome://tracing / Perfetto "traceEvents" JSON ("X" complete events).
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // Internal API used by ScopedSpan; `start/end` from MonotonicNowNs.
+  void RecordSpan(const char* label, int64_t start_ns, int64_t end_ns,
+                  int64_t child_ns, int32_t tid);
+
+ private:
+  struct TraceEvent {
+    const char* label;  // string literals from call sites; never freed
+    int32_t tid;
+    int64_t start_ns;
+    int64_t dur_ns;
+  };
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::map<std::string, SpanStats> aggregates_;
+  std::vector<TraceEvent> events_;
+  int64_t capacity_ = 65536;
+};
+
+#if MSD_PROFILING_ENABLED
+
+class ScopedSpan {
+ public:
+  // `label` must outlive the profiler (use string literals).
+  explicit ScopedSpan(const char* label);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* label_;
+  ScopedSpan* parent_;
+  int64_t start_ns_;
+  int64_t child_ns_ = 0;
+  bool active_;
+};
+
+#define MSD_SPAN_CONCAT_INNER(a, b) a##b
+#define MSD_SPAN_CONCAT(a, b) MSD_SPAN_CONCAT_INNER(a, b)
+#define MSD_SPAN(label) \
+  ::msd::obs::ScopedSpan MSD_SPAN_CONCAT(msd_span_, __COUNTER__)(label)
+
+#else  // !MSD_PROFILING_ENABLED
+
+// Compiled-out spans: constructing one is a no-op the optimizer removes.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* label) { (void)label; }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+#define MSD_SPAN(label) \
+  do {                  \
+  } while (false)
+
+#endif  // MSD_PROFILING_ENABLED
+
+}  // namespace obs
+}  // namespace msd
+
+#endif  // MSDMIXER_OBS_PROFILER_H_

@@ -93,8 +93,7 @@ void Adam::Step() {
   }
 }
 
-float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
-  MSD_CHECK_GT(max_norm, 0.0f);
+float GlobalGradNorm(const std::vector<Variable>& params) {
   double total_sq = 0.0;
   for (const Variable& p : params) {
     if (!p.has_grad()) continue;
@@ -103,7 +102,12 @@ float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
       total_sq += static_cast<double>(g[j]) * g[j];
     }
   }
-  const float norm = static_cast<float>(std::sqrt(total_sq));
+  return static_cast<float>(std::sqrt(total_sq));
+}
+
+float ClipGradNorm(const std::vector<Variable>& params, float max_norm) {
+  MSD_CHECK_GT(max_norm, 0.0f);
+  const float norm = GlobalGradNorm(params);
   if (norm > max_norm && norm > 0.0f) {
     const float scale = max_norm / norm;
     for (const Variable& p : params) {

@@ -66,6 +66,10 @@ class Adam : public Optimizer {
   std::vector<Tensor> v_;
 };
 
+// Global L2 norm over all parameter gradients (parameters without a gradient
+// are skipped). Used for telemetry and by ClipGradNorm.
+float GlobalGradNorm(const std::vector<Variable>& params);
+
 // Scales gradients in place so their global L2 norm is at most `max_norm`.
 // Returns the pre-clip norm.
 float ClipGradNorm(const std::vector<Variable>& params, float max_norm);

@@ -1,6 +1,7 @@
 #include "tasks/experiments.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "tensor/tensor_ops.h"
 
@@ -8,7 +9,8 @@ namespace msd {
 
 RegressionScores RunForecastExperiment(TaskModel& model,
                                        const Tensor& raw_series,
-                                       const ForecastExperimentConfig& config) {
+                                       const ForecastExperimentConfig& config,
+                                       TrainStats* train_stats) {
   SeriesSplits splits = SplitSeries(raw_series, config.split);
   StandardScaler scaler;
   scaler.Fit(splits.train);
@@ -19,13 +21,15 @@ RegressionScores RunForecastExperiment(TaskModel& model,
                                    config.train_stride);
   ForecastWindowDataset test_data(test, config.lookback, config.horizon,
                                   config.eval_stride);
-  Train(model, train_data, config.trainer, ForecastMseTaskLoss);
+  TrainStats stats = Train(model, train_data, config.trainer,
+                           ForecastMseTaskLoss);
+  if (train_stats != nullptr) *train_stats = std::move(stats);
   return EvaluateForecast(model, test_data);
 }
 
 RegressionScores RunImputationExperiment(
     TaskModel& model, const Tensor& raw_series,
-    const ImputationExperimentConfig& config) {
+    const ImputationExperimentConfig& config, TrainStats* train_stats) {
   SeriesSplits splits = SplitSeries(raw_series, config.split);
   StandardScaler scaler;
   scaler.Fit(splits.train);
@@ -38,8 +42,11 @@ RegressionScores RunImputationExperiment(
   ImputationWindowDataset test_data(test, config.window, config.missing_ratio,
                                     config.mask_seed ^ 0x1234567ULL,
                                     config.eval_stride);
-  Train(model, train_data, config.trainer,
-        config.masked_loss ? ImputationTaskLoss : ReconstructionMseTaskLoss);
+  TrainStats stats =
+      Train(model, train_data, config.trainer,
+            config.masked_loss ? ImputationTaskLoss
+                               : ReconstructionMseTaskLoss);
+  if (train_stats != nullptr) *train_stats = std::move(stats);
   return EvaluateImputation(model, test_data);
 }
 
@@ -52,7 +59,8 @@ int64_t ShortTermLookback(const M4SubsetSpec& spec,
 M4Scores RunShortTermExperiment(TaskModel& model,
                                 const std::vector<UnivariateSeries>& series,
                                 const M4SubsetSpec& spec,
-                                const ShortTermExperimentConfig& config) {
+                                const ShortTermExperimentConfig& config,
+                                TrainStats* train_stats) {
   MSD_CHECK(!series.empty());
   const int64_t lookback = ShortTermLookback(spec, config);
   MSD_CHECK_GT(lookback, 0);
@@ -86,7 +94,9 @@ M4Scores RunShortTermExperiment(TaskModel& model,
     }
   }
   VectorDataset train_data(std::move(train_samples));
-  Train(model, train_data, config.trainer, ForecastMseTaskLoss);
+  TrainStats stats = Train(model, train_data, config.trainer,
+                           ForecastMseTaskLoss);
+  if (train_stats != nullptr) *train_stats = std::move(stats);
 
   // Forecast each series from the end of its history.
   NoGradGuard guard;
@@ -118,7 +128,8 @@ M4Scores RunShortTermExperiment(TaskModel& model,
 AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
                                        const Tensor& test,
                                        const std::vector<int>& labels,
-                                       const AnomalyExperimentConfig& config) {
+                                       const AnomalyExperimentConfig& config,
+                                       TrainStats* train_stats) {
   StandardScaler scaler;
   scaler.Fit(train);
   Tensor train_scaled = scaler.Transform(train);
@@ -129,7 +140,9 @@ AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
                                    : std::max<int64_t>(1, config.window / 4);
   ReconstructionWindowDataset train_data(train_scaled, config.window,
                                          train_stride);
-  Train(model, train_data, config.trainer, ReconstructionMseTaskLoss);
+  TrainStats stats = Train(model, train_data, config.trainer,
+                           ReconstructionMseTaskLoss);
+  if (train_stats != nullptr) *train_stats = std::move(stats);
 
   double ratio = config.anomaly_ratio;
   if (ratio <= 0.0) {
@@ -157,11 +170,13 @@ std::vector<Sample> MakeClassificationSamples(
 
 double RunClassificationExperiment(
     TaskModel& model, const ClassificationData& data,
-    const ClassificationExperimentConfig& config) {
+    const ClassificationExperimentConfig& config, TrainStats* train_stats) {
   VectorDataset train_data(MakeClassificationSamples(data.train_x,
                                                      data.train_y));
   VectorDataset test_data(MakeClassificationSamples(data.test_x, data.test_y));
-  Train(model, train_data, config.trainer, ClassificationTaskLoss);
+  TrainStats stats = Train(model, train_data, config.trainer,
+                           ClassificationTaskLoss);
+  if (train_stats != nullptr) *train_stats = std::move(stats);
   return EvaluateClassificationAccuracy(model, test_data);
 }
 

@@ -26,9 +26,13 @@ struct ForecastExperimentConfig {
 // Splits chronologically, standardizes with train statistics, trains on the
 // train span, and reports scaled-space MSE/MAE on the test span (the
 // Time-Series-Library convention the paper follows).
+// Every driver optionally returns the trainer's TrainStats (timings,
+// telemetry) through `train_stats` so benches can report wall-clock cost
+// without hand-rolled timers.
 RegressionScores RunForecastExperiment(TaskModel& model,
                                        const Tensor& raw_series,
-                                       const ForecastExperimentConfig& config);
+                                       const ForecastExperimentConfig& config,
+                                       TrainStats* train_stats = nullptr);
 
 // ---- Imputation (Table VII protocol) ------------------------------------------
 struct ImputationExperimentConfig {
@@ -48,7 +52,8 @@ struct ImputationExperimentConfig {
 // target = clean); reports MSE/MAE at masked positions of the test span.
 RegressionScores RunImputationExperiment(
     TaskModel& model, const Tensor& raw_series,
-    const ImputationExperimentConfig& config);
+    const ImputationExperimentConfig& config,
+    TrainStats* train_stats = nullptr);
 
 // ---- Short-term forecasting (Table VI protocol) ----------------------------------
 struct ShortTermExperimentConfig {
@@ -63,7 +68,8 @@ struct ShortTermExperimentConfig {
 M4Scores RunShortTermExperiment(TaskModel& model,
                                 const std::vector<UnivariateSeries>& series,
                                 const M4SubsetSpec& spec,
-                                const ShortTermExperimentConfig& config);
+                                const ShortTermExperimentConfig& config,
+                                TrainStats* train_stats = nullptr);
 
 // Lookback used by RunShortTermExperiment for a given subset.
 int64_t ShortTermLookback(const M4SubsetSpec& spec,
@@ -84,16 +90,18 @@ struct AnomalyExperimentConfig {
 AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
                                        const Tensor& test,
                                        const std::vector<int>& labels,
-                                       const AnomalyExperimentConfig& config);
+                                       const AnomalyExperimentConfig& config,
+                                       TrainStats* train_stats = nullptr);
 
 // ---- Classification (Table XI protocol) ----------------------------------------------
 struct ClassificationExperimentConfig {
   TrainerConfig trainer;
 };
 
-double RunClassificationExperiment(TaskModel& model,
-                                   const ClassificationData& data,
-                                   const ClassificationExperimentConfig& config);
+double RunClassificationExperiment(
+    TaskModel& model, const ClassificationData& data,
+    const ClassificationExperimentConfig& config,
+    TrainStats* train_stats = nullptr);
 
 // Builds the (input [C, L], label [1]) sample set for a classification split.
 std::vector<Sample> MakeClassificationSamples(

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "optim/optimizer.h"
 
 namespace msd {
@@ -16,7 +18,62 @@ float TrainStats::best_val_loss() const {
   return best;
 }
 
+float TrainStats::mean_grad_norm() const {
+  if (grad_norms.empty()) return 0.0f;
+  double total = 0.0;
+  for (float g : grad_norms) total += g;
+  return static_cast<float>(total / static_cast<double>(grad_norms.size()));
+}
+
 namespace {
+
+// Registry-published instruments (kRegistry sink). Looked up once.
+struct TrainInstruments {
+  obs::Counter& epochs;
+  obs::Counter& batches;
+  obs::Counter& early_stops;
+  obs::Gauge& last_loss;
+  obs::Gauge& grad_norm;
+  obs::Gauge& lr;
+
+  static TrainInstruments& Get() {
+    auto& registry = obs::MetricsRegistry::Global();
+    static TrainInstruments instruments{
+        registry.GetCounter("train/epochs"),
+        registry.GetCounter("train/batches"),
+        registry.GetCounter("train/early_stops"),
+        registry.GetGauge("train/last_loss"),
+        registry.GetGauge("train/grad_norm"),
+        registry.GetGauge("train/lr")};
+    return instruments;
+  }
+};
+
+// The per-epoch progress line TrainerConfig::verbose prints; fed from the
+// telemetry recorded this epoch so stderr and TrainStats always agree.
+void EmitEpochLine(const TrainStats& stats, int64_t epoch,
+                   int64_t total_epochs, float lr, float grad_norm) {
+  std::string line;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "  epoch %2lld/%lld  loss %.5f",
+                static_cast<long long>(epoch + 1),
+                static_cast<long long>(total_epochs),
+                stats.epoch_losses.back());
+  line += buf;
+  if (!stats.val_losses.empty() &&
+      stats.val_losses.size() == stats.epoch_losses.size()) {
+    std::snprintf(buf, sizeof(buf), "  val %.5f", stats.val_losses.back());
+    line += buf;
+  }
+  if (grad_norm > 0.0f) {
+    std::snprintf(buf, sizeof(buf), "  |g| %.3f", grad_norm);
+    line += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  lr %.2e  %.2fs", lr,
+                stats.epoch_seconds.back());
+  line += buf;
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
 
 // Gradient-free mean task loss over a dataset.
 float EvaluateLoss(TaskModel& model, const Dataset& data,
@@ -55,34 +112,69 @@ TrainStats Train(TaskModel& model, const Dataset& train_data,
            config.weight_decay, /*decoupled=*/true);
   CosineLr schedule(&opt, config.epochs);
 
+  const bool record_stats = config.telemetry != TelemetrySink::kNone;
+  const bool publish = config.telemetry == TelemetrySink::kRegistry;
+
   model.module().SetTraining(true);
   TrainStats stats;
   float best_val = std::numeric_limits<float>::infinity();
   int64_t epochs_without_improvement = 0;
+  const int64_t train_start_ns = obs::MonotonicNowNs();
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    MSD_SPAN("train/epoch");
+    const int64_t epoch_start_ns = obs::MonotonicNowNs();
     if (config.cosine_lr) schedule.SetEpoch(epoch);
+    if (record_stats) stats.epoch_lrs.push_back(opt.lr());
     int64_t batches = loader.NumBatches();
     if (config.max_batches_per_epoch > 0) {
       batches = std::min(batches, config.max_batches_per_epoch);
     }
     double epoch_loss = 0.0;
+    float last_grad_norm = 0.0f;
     for (int64_t b = 0; b < batches; ++b) {
       Batch batch = loader.GetBatch(b);
       opt.ZeroGrad();
-      TaskModel::Output out = model.Forward(Variable(batch.input));
-      Variable loss = task_loss(out.prediction, batch);
-      if (out.aux_loss.defined()) loss = Add(loss, out.aux_loss);
-      loss.Backward();
-      if (config.grad_clip > 0.0f) {
-        ClipGradNorm(opt.params(), config.grad_clip);
+      TaskModel::Output out;
+      Variable loss;
+      {
+        MSD_SPAN("train/forward");
+        out = model.Forward(Variable(batch.input));
+        loss = task_loss(out.prediction, batch);
+        if (out.aux_loss.defined()) loss = Add(loss, out.aux_loss);
       }
-      opt.Step();
-      epoch_loss += loss.item();
+      {
+        MSD_SPAN("train/backward");
+        loss.Backward();
+      }
+      float grad_norm = 0.0f;
+      if (config.grad_clip > 0.0f) {
+        grad_norm = ClipGradNorm(opt.params(), config.grad_clip);
+      } else if (record_stats) {
+        grad_norm = GlobalGradNorm(opt.params());
+      }
+      {
+        MSD_SPAN("train/optimizer_step");
+        opt.Step();
+      }
+      const float batch_loss = loss.item();
+      epoch_loss += batch_loss;
+      last_grad_norm = grad_norm;
+      if (record_stats) {
+        stats.batch_losses.push_back(batch_loss);
+        stats.grad_norms.push_back(grad_norm);
+      }
+      if (publish) {
+        TrainInstruments& t = TrainInstruments::Get();
+        t.batches.Add(1);
+        t.last_loss.Set(batch_loss);
+        t.grad_norm.Set(grad_norm);
+      }
     }
     loader.Reshuffle();
     stats.epoch_losses.push_back(
         static_cast<float>(epoch_loss / static_cast<double>(batches)));
     if (validation != nullptr) {
+      MSD_SPAN("train/validate");
       const float val = EvaluateLoss(model, *validation, config, task_loss);
       stats.val_losses.push_back(val);
       if (val < best_val - 1e-7f) {
@@ -92,22 +184,34 @@ TrainStats Train(TaskModel& model, const Dataset& train_data,
         ++epochs_without_improvement;
       }
     }
+    stats.epoch_seconds.push_back(
+        static_cast<double>(obs::MonotonicNowNs() - epoch_start_ns) / 1e9);
+    if (publish) {
+      TrainInstruments& t = TrainInstruments::Get();
+      t.epochs.Add(1);
+      t.lr.Set(opt.lr());
+    }
     if (config.verbose) {
-      std::fprintf(stderr, "  epoch %2lld/%lld  loss %.5f%s\n",
-                   static_cast<long long>(epoch + 1),
-                   static_cast<long long>(config.epochs),
-                   stats.epoch_losses.back(),
-                   stats.val_losses.empty()
-                       ? ""
-                       : ("  val " + std::to_string(stats.val_losses.back()))
-                             .c_str());
+      EmitEpochLine(stats, epoch, config.epochs, opt.lr(), last_grad_norm);
     }
     if (config.early_stop_patience > 0 &&
         epochs_without_improvement >= config.early_stop_patience) {
       stats.early_stopped = true;
+      stats.early_stop_epoch = epoch;
+      if (publish) TrainInstruments::Get().early_stops.Add(1);
+      if (config.verbose) {
+        std::fprintf(stderr,
+                     "  early stop after epoch %lld (no val improvement in "
+                     "%lld epochs; best val %.5f)\n",
+                     static_cast<long long>(epoch + 1),
+                     static_cast<long long>(config.early_stop_patience),
+                     best_val);
+      }
       break;
     }
   }
+  stats.total_wall_seconds =
+      static_cast<double>(obs::MonotonicNowNs() - train_start_ns) / 1e9;
   model.module().SetTraining(false);
   return stats;
 }

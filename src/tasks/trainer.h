@@ -12,6 +12,21 @@
 
 namespace msd {
 
+// How much telemetry the trainer records. All levels are purely
+// observational: they never touch the RNG streams or the update math, so
+// training results are bit-identical across sinks (guarded by a test).
+enum class TelemetrySink {
+  // Per-epoch losses and wall-clock timings only (always cheap).
+  kNone,
+  // + per-batch losses, pre-clip gradient norms, and per-epoch effective LR
+  //   recorded into TrainStats.
+  kStats,
+  // kStats + published to the process-wide obs::MetricsRegistry
+  //   (train/epochs, train/batches, train/last_loss, train/grad_norm,
+  //   train/lr, train/early_stops) for --metrics-out style exports.
+  kRegistry,
+};
+
 struct TrainerConfig {
   int64_t epochs = 5;
   int64_t batch_size = 16;
@@ -26,17 +41,34 @@ struct TrainerConfig {
   // improvement (0 disables; requires validation data to be passed).
   int64_t early_stop_patience = 0;
   uint64_t seed = 7;
+  // Prints a per-epoch progress line (loss, val loss, grad norm, LR, epoch
+  // seconds) to stderr, fed from the same telemetry the sink records.
   bool verbose = false;
+  TelemetrySink telemetry = TelemetrySink::kNone;
 };
 
 struct TrainStats {
   std::vector<float> epoch_losses;
   std::vector<float> val_losses;  // one per epoch when validation provided
+
+  // Wall-clock timings (always recorded; one clock read per epoch).
+  std::vector<double> epoch_seconds;
+  double total_wall_seconds = 0.0;
+
+  // Recorded when TrainerConfig::telemetry >= kStats.
+  std::vector<float> batch_losses;  // every optimizer step, in order
+  std::vector<float> grad_norms;    // pre-clip global L2 norm per step
+  std::vector<float> epoch_lrs;     // effective LR at the start of each epoch
+
   bool early_stopped = false;
+  // Epoch index (0-based) after which early stopping fired; -1 otherwise.
+  int64_t early_stop_epoch = -1;
+
   float final_loss() const {
     return epoch_losses.empty() ? 0.0f : epoch_losses.back();
   }
   float best_val_loss() const;
+  float mean_grad_norm() const;  // 0 when grad norms were not recorded
 };
 
 // task_loss maps (prediction, batch) -> scalar Variable. The trainer adds the

@@ -4,10 +4,16 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace msd {
 
 void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  MSD_SPAN("tensor/fft");
+  static obs::Counter& fft_calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor/fft_calls");
+  fft_calls.Add(1);
   const size_t n = data.size();
   MSD_CHECK_GT(n, 0u);
   MSD_CHECK_EQ(n & (n - 1), 0u) << "FFT size must be a power of two";

@@ -5,7 +5,24 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace msd {
+
+namespace {
+
+// Byte/allocation accounting for every buffer-creating path. Two relaxed
+// atomic adds; the registry lookups happen once per process.
+void NoteAllocation(int64_t numel) {
+  static obs::Counter& allocs =
+      obs::MetricsRegistry::Global().GetCounter("tensor/allocs");
+  static obs::Counter& bytes =
+      obs::MetricsRegistry::Global().GetCounter("tensor/alloc_bytes");
+  allocs.Add(1);
+  bytes.Add(numel * static_cast<int64_t>(sizeof(float)));
+}
+
+}  // namespace
 
 int64_t NumElementsOf(const Shape& shape) {
   int64_t n = 1;
@@ -40,6 +57,7 @@ std::string ShapeToString(const Shape& shape) {
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(NumElementsOf(shape_)) {
   storage_ = std::make_shared<float[]>(static_cast<size_t>(numel_));  // zeroed
+  NoteAllocation(numel_);
 }
 
 Tensor::Tensor(Shape shape, std::vector<float> values)
@@ -49,6 +67,7 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
   storage_ =
       std::make_shared_for_overwrite<float[]>(static_cast<size_t>(numel_));
   std::copy(values.begin(), values.end(), storage_.get());
+  NoteAllocation(numel_);
 }
 
 Tensor Tensor::Uninitialized(Shape shape) {
@@ -57,6 +76,7 @@ Tensor Tensor::Uninitialized(Shape shape) {
   t.numel_ = NumElementsOf(t.shape_);
   t.storage_ =
       std::make_shared_for_overwrite<float[]>(static_cast<size_t>(t.numel_));
+  NoteAllocation(t.numel_);
   return t;
 }
 

@@ -6,6 +6,9 @@
 #include <functional>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+
 namespace msd {
 
 namespace {
@@ -275,6 +278,7 @@ Tensor GeluGrad(const Tensor& a) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MSD_SPAN("tensor/matmul");
   MSD_CHECK_GE(a.rank(), 2);
   MSD_CHECK_GE(b.rank(), 2);
   const int64_t m = a.dim(-2);
@@ -290,6 +294,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape b_batch(b.shape().begin(), b.shape().end() - 2);
   const Shape batch = BroadcastShapes(a_batch, b_batch);
   const int64_t batch_numel = NumElementsOf(batch);
+
+  static obs::Counter& matmul_calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_calls");
+  static obs::Counter& matmul_flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_flops");
+  matmul_calls.Add(1);
+  matmul_flops.Add(2 * batch_numel * m * k * n);
 
   Shape out_shape = batch;
   out_shape.push_back(m);

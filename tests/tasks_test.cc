@@ -2,6 +2,7 @@
 // exercising trainer + datasets + models + metrics together.
 #include "tasks/experiments.h"
 
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,8 @@
 #include "datagen/anomaly_gen.h"
 #include "datagen/long_term.h"
 #include "datagen/series_builder.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -73,6 +76,100 @@ TEST(TrainerTest, LossDecreasesOverEpochs) {
   TrainStats stats = Train(model, train_data, trainer, ForecastMseTaskLoss);
   ASSERT_EQ(stats.epoch_losses.size(), 4u);
   EXPECT_LT(stats.final_loss(), stats.epoch_losses.front());
+}
+
+TEST(TrainerTest, TelemetrySinkPopulatesStats) {
+  Rng rng(10);
+  Tensor series = TinySeries();
+  MsdMixerConfig mc = TinyMixerConfig(TaskType::kForecast, 3, 48, 24);
+  MsdMixer mixer(mc, rng);
+  MsdMixerTaskModel model(&mixer, 0.3f);
+
+  SeriesSplits splits = SplitSeries(series, {0.7, 0.1});
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  ForecastWindowDataset train_data(scaler.Transform(splits.train), 48, 24, 2);
+  TrainerConfig trainer = FastTrainer(3);
+  trainer.telemetry = TelemetrySink::kStats;
+  TrainStats stats = Train(model, train_data, trainer, ForecastMseTaskLoss);
+
+  const size_t steps = 3u * 12u;  // epochs * max_batches_per_epoch
+  ASSERT_EQ(stats.batch_losses.size(), steps);
+  ASSERT_EQ(stats.grad_norms.size(), steps);
+  ASSERT_EQ(stats.epoch_lrs.size(), 3u);
+  ASSERT_EQ(stats.epoch_seconds.size(), 3u);
+  EXPECT_GT(stats.total_wall_seconds, 0.0);
+  double epoch_sum = 0.0;
+  for (double s : stats.epoch_seconds) {
+    EXPECT_GT(s, 0.0);
+    epoch_sum += s;
+  }
+  EXPECT_LE(epoch_sum, stats.total_wall_seconds * 1.01);
+  for (float g : stats.grad_norms) {
+    EXPECT_TRUE(std::isfinite(g));
+    EXPECT_GT(g, 0.0f);  // pre-clip norm of a real step is never zero
+  }
+  EXPECT_GT(stats.mean_grad_norm(), 0.0f);
+  // Cosine schedule decays the effective LR across epochs.
+  EXPECT_FLOAT_EQ(stats.epoch_lrs.front(), trainer.lr);
+  EXPECT_LT(stats.epoch_lrs.back(), stats.epoch_lrs.front());
+}
+
+TEST(TrainerTest, RegistrySinkPublishesMetrics) {
+  obs::MetricsRegistry::Global().ResetAll();
+  Rng rng(11);
+  Tensor series = TinySeries();
+  MsdMixerConfig mc = TinyMixerConfig(TaskType::kForecast, 3, 48, 24);
+  MsdMixer mixer(mc, rng);
+  MsdMixerTaskModel model(&mixer, 0.3f);
+
+  SeriesSplits splits = SplitSeries(series, {0.7, 0.1});
+  StandardScaler scaler;
+  scaler.Fit(splits.train);
+  ForecastWindowDataset train_data(scaler.Transform(splits.train), 48, 24, 2);
+  TrainerConfig trainer = FastTrainer(2);
+  trainer.telemetry = TelemetrySink::kRegistry;
+  Train(model, train_data, trainer, ForecastMseTaskLoss);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("train/epochs").value(), 2);
+  EXPECT_EQ(registry.GetCounter("train/batches").value(), 2 * 12);
+  EXPECT_GT(registry.GetGauge("train/grad_norm").value(), 0.0);
+  EXPECT_GT(registry.GetGauge("train/lr").value(), 0.0);
+  // The instrumented substrate saw real work during training.
+  EXPECT_GT(registry.GetCounter("tensor/matmul_calls").value(), 0);
+  EXPECT_GT(registry.GetCounter("autograd/backward_calls").value(), 0);
+}
+
+// Telemetry must be purely observational: identical training trajectories
+// with every sink + the profiler on vs everything off.
+TEST(TrainerTest, TelemetryDoesNotPerturbTraining) {
+  auto run = [](bool telemetry_on) {
+    Rng rng(12);  // same model init both times
+    Tensor series = TinySeries();
+    MsdMixerConfig mc = TinyMixerConfig(TaskType::kForecast, 3, 48, 24);
+    MsdMixer mixer(mc, rng);
+    MsdMixerTaskModel model(&mixer, 0.3f);
+    SeriesSplits splits = SplitSeries(series, {0.7, 0.1});
+    StandardScaler scaler;
+    scaler.Fit(splits.train);
+    ForecastWindowDataset train_data(scaler.Transform(splits.train), 48, 24,
+                                     2);
+    TrainerConfig trainer = FastTrainer(3);
+    trainer.telemetry =
+        telemetry_on ? TelemetrySink::kRegistry : TelemetrySink::kNone;
+    obs::Profiler::Global().SetEnabled(telemetry_on);
+    TrainStats stats = Train(model, train_data, trainer, ForecastMseTaskLoss);
+    obs::Profiler::Global().SetEnabled(true);
+    return stats.epoch_losses;
+  };
+  const std::vector<float> with_telemetry = run(true);
+  const std::vector<float> without_telemetry = run(false);
+  ASSERT_EQ(with_telemetry.size(), without_telemetry.size());
+  for (size_t i = 0; i < with_telemetry.size(); ++i) {
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(with_telemetry[i], without_telemetry[i]) << "epoch " << i;
+  }
 }
 
 TEST(ForecastExperimentTest, MsdMixerBeatsUntrainedSelf) {
