@@ -19,12 +19,29 @@ Variable MakeOp(Tensor value, std::vector<NodePtr> parents,
   static obs::Counter& nodes_created =
       obs::MetricsRegistry::Global().GetCounter("autograd/nodes_created");
   nodes_created.Add(1);
+#if MSD_DEBUG_CHECKS_ENABLED
+  {
+    // NaN/Inf guard on every differentiable op output. Fatal: a non-finite
+    // value this deep in a training graph is already silent corruption.
+    const int64_t bad = debug::FirstNonFinite(value.data(), value.numel());
+    MSD_CHECK_EQ(bad, -1) << "debug check: non-finite value in op output "
+                          << "(element " << bad << " of shape "
+                          << ShapeToString(value.shape()) << ")";
+  }
+#endif
   auto node = std::make_shared<AutogradNode>();
   node->value = std::move(value);
   bool any_requires = false;
   for (const NodePtr& p : parents) any_requires |= p->requires_grad;
   if (NoGradGuard::GradEnabled() && any_requires) {
     node->requires_grad = true;
+#if MSD_DEBUG_CHECKS_ENABLED
+    // Tape lint: mark leaves consumed by this recorded op; Backward() clears
+    // the mark on every leaf its sweep reaches and reports the rest.
+    for (const NodePtr& p : parents) {
+      if (!p->backward_fn && p->requires_grad) p->debug_used_in_graph = true;
+    }
+#endif
     node->parents = std::move(parents);
     node->backward_fn = std::move(backward);
   }

@@ -16,12 +16,23 @@ namespace {
 // ever changes.
 thread_local bool g_grad_enabled = true;
 
+#if MSD_DEBUG_CHECKS_ENABLED
+// Tape-lint registry of requires-grad leaves created on this thread, used by
+// the dropped-leaf scan at the end of Backward(). Expired entries are pruned
+// on every sweep so the registry tracks live parameters only.
+thread_local std::vector<std::weak_ptr<AutogradNode>> g_debug_leaves;
+#endif
+
 // In-place dst += src (same shape).
 void AddInto(Tensor& dst, const Tensor& src) {
   MSD_CHECK(dst.shape() == src.shape());
   float* d = dst.data();
   const float* s = src.data();
   const int64_t n = dst.numel();
+  MSD_DCHECK(!debug::RangesOverlap(
+      d, n * static_cast<int64_t>(sizeof(float)), s,
+      n * static_cast<int64_t>(sizeof(float))))
+      << "gradient accumulation would read its own output buffer";
   for (int64_t i = 0; i < n; ++i) d[i] += s[i];
 }
 
@@ -30,6 +41,14 @@ void AddInto(Tensor& dst, const Tensor& src) {
 void AccumulateGrad(AutogradNode& node, const Tensor& g) {
   if (!node.requires_grad) return;
   Tensor reduced = ReduceTo(g, node.value.shape());
+#if MSD_DEBUG_CHECKS_ENABLED
+  {
+    const int64_t bad = debug::FirstNonFinite(reduced.data(), reduced.numel());
+    MSD_CHECK_EQ(bad, -1) << "debug check: non-finite gradient (element "
+                          << bad << " of shape "
+                          << ShapeToString(node.value.shape()) << ")";
+  }
+#endif
   if (!node.grad.defined()) {
     // Clone: `reduced` may alias `g` (ReduceTo is a pass-through when shapes
     // match) and the caller may reuse that buffer.
@@ -44,6 +63,9 @@ Variable::Variable(Tensor value, bool requires_grad) {
   node_ = std::make_shared<AutogradNode>();
   node_->value = std::move(value);
   node_->requires_grad = requires_grad;
+#if MSD_DEBUG_CHECKS_ENABLED
+  if (requires_grad) g_debug_leaves.push_back(node_);
+#endif
 }
 
 const Tensor& Variable::value() const {
@@ -83,6 +105,14 @@ void Variable::Backward() const {
   MSD_CHECK_EQ(node_->value.numel(), 1)
       << "Backward() must start from a scalar loss";
   MSD_SPAN("autograd/backward");
+#if MSD_DEBUG_CHECKS_ENABLED
+  if (!g_grad_enabled) {
+    debug::EmitTapeDiagnostic(
+        "autograd: Backward() while gradient recording is disabled — a "
+        "NoGradGuard is active (or was leaked), so this graph predates the "
+        "guard and later steps will silently record nothing");
+  }
+#endif
 
   // Iterative post-order DFS to produce a topological order (parents before
   // children in `topo`), then sweep in reverse.
@@ -125,15 +155,66 @@ void Variable::Backward() const {
     tape_depth.SetMax(static_cast<double>(max_depth));
   }
 
+#if MSD_DEBUG_CHECKS_ENABLED
+  // Tape lint: a second sweep over nodes whose backward closures already ran
+  // double-accumulates gradients — the classic backward-after-backward bug.
+  // Report once per sweep, not per node.
+  bool reported_consumed = false;
+  for (AutogradNode* n : topo) {
+    if (n->backward_fn && n->debug_swept && !reported_consumed) {
+      reported_consumed = true;
+      debug::EmitTapeDiagnostic(
+          "autograd: Backward() on an already-consumed tape — a node's "
+          "backward closure is running a second time without the forward "
+          "pass being recomputed, so gradients double-accumulate");
+    }
+  }
+#endif
+
   node_->grad = Tensor::Ones(node_->value.shape());
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     AutogradNode* n = *it;
     if (n->backward_fn && n->grad.defined()) {
       n->backward_fn(*n);
+#if MSD_DEBUG_CHECKS_ENABLED
+      n->debug_swept = true;
+#endif
     }
     // Free intermediate gradients (keep leaves', i.e. parameters').
     if (n->backward_fn) n->grad = Tensor();
   }
+
+#if MSD_DEBUG_CHECKS_ENABLED
+  // Tape lint: requires-grad leaves consumed by a recorded op but never
+  // reached by a sweep were cut out of the graph (typically by a Detach() or
+  // a value-level rebuild on the path to the loss) — they will never train.
+  // Heuristic: a leaf feeding a *different* pending graph also trips this;
+  // see docs/ANALYSIS.md. Capped to avoid drowning the sink.
+  {
+    int64_t reported_dropped = 0;
+    std::vector<std::weak_ptr<AutogradNode>> live;
+    live.reserve(g_debug_leaves.size());
+    for (const auto& weak : g_debug_leaves) {
+      std::shared_ptr<AutogradNode> leaf = weak.lock();
+      if (!leaf) continue;  // parameter died; prune
+      live.push_back(weak);
+      if (visited.count(leaf.get()) > 0) {
+        // Reached by this sweep: the "used" mark is consumed.
+        leaf->debug_used_in_graph = false;
+      } else if (leaf->debug_used_in_graph && !leaf->grad.defined() &&
+                 reported_dropped < 8) {
+        ++reported_dropped;
+        leaf->debug_used_in_graph = false;  // report each drop once
+        debug::EmitTapeDiagnostic(
+            "autograd: requires-grad leaf of shape " +
+            ShapeToString(leaf->value.shape()) +
+            " was consumed by a recorded op but not reached by Backward() — "
+            "dropped from the graph (Detach() on the path to the loss?)");
+      }
+    }
+    g_debug_leaves.swap(live);
+  }
+#endif
 }
 
 Variable Variable::Detach() const {

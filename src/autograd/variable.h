@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/debug.h"
 #include "tensor/tensor.h"
 
 namespace msd {
@@ -30,6 +31,15 @@ struct AutogradNode {
   // Reads this->grad and accumulates into parents' grads. Null for leaves
   // and for nodes created under NoGradGuard.
   std::function<void(AutogradNode&)> backward_fn;
+#if MSD_DEBUG_CHECKS_ENABLED
+  // Tape-linter state (debug-checks builds only; the flag is set globally by
+  // CMake so every translation unit agrees on this layout). `debug_swept`
+  // marks nodes whose backward_fn already ran; `debug_used_in_graph` marks
+  // leaves consumed as parents of a recorded op since they were last reached
+  // by a Backward() sweep. See common/debug.h and docs/ANALYSIS.md.
+  bool debug_swept = false;
+  bool debug_used_in_graph = false;
+#endif
 };
 
 // Accumulates `g` into `node`'s gradient, reducing over broadcast dims so the

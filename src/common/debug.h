@@ -1,0 +1,138 @@
+// Debug invariant layer (see docs/ANALYSIS.md).
+//
+// Compiled in only when the build sets MSD_DEBUG_CHECKS_ENABLED=1 (CMake
+// option MSD_DEBUG_CHECKS). When the option is OFF every macro in this file
+// expands to dead code the optimizer removes, so release builds pay nothing
+// — the zero-overhead guarantee is validated by tools/check.sh, which diffs
+// quickstart training losses between the two configurations.
+//
+// Three families of checks live behind the flag:
+//  * MSD_DCHECK* — debug-only variants of the MSD_CHECK macros, for
+//    invariants too hot to validate in release (per-element loops, kernel
+//    entry validation).
+//  * Data guards — non-finite (NaN/Inf) detection over float spans and
+//    alias-overlap detection between kernel input/output buffers. Violations
+//    are fatal: silent numerical corruption is the exact failure class this
+//    layer exists to catch.
+//  * Autograd tape lint — heuristic diagnostics (double backward on a
+//    consumed tape, requires-grad leaves dropped from the graph, Backward()
+//    under a leaked NoGradGuard). These are *recorded*, not fatal, because
+//    they can false-positive in legitimate multi-graph workflows; tests and
+//    tools read them via TakeTapeDiagnostics().
+#ifndef MSDMIXER_COMMON_DEBUG_H_
+#define MSDMIXER_COMMON_DEBUG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+// The build system defines this globally (add_compile_definitions) so every
+// translation unit in a build tree agrees on the struct layouts and inline
+// function bodies below. Default to OFF for embedders that bypass CMake.
+#ifndef MSD_DEBUG_CHECKS_ENABLED
+#define MSD_DEBUG_CHECKS_ENABLED 0
+#endif
+
+namespace msd {
+namespace debug {
+
+inline constexpr bool kDebugChecksEnabled = MSD_DEBUG_CHECKS_ENABLED != 0;
+
+// ---- Data guards ----------------------------------------------------------
+
+// Index of the first non-finite element in [p, p + n), or -1 if all finite.
+inline int64_t FirstNonFinite(const float* p, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return i;
+  }
+  return -1;
+}
+
+// True when the half-open byte ranges [a, a + a_bytes) and [b, b + b_bytes)
+// overlap. Empty ranges never overlap.
+inline bool RangesOverlap(const void* a, int64_t a_bytes, const void* b,
+                          int64_t b_bytes) {
+  if (a_bytes <= 0 || b_bytes <= 0) return false;
+  const auto* pa = static_cast<const char*>(a);
+  const auto* pb = static_cast<const char*>(b);
+  return pa < pb + b_bytes && pb < pa + a_bytes;
+}
+
+// ---- Autograd tape lint diagnostic sink -----------------------------------
+//
+// Thread-local so concurrent training loops cannot interleave diagnostics.
+// The sink is unbounded in principle but every producer caps what it emits
+// per Backward() sweep.
+
+namespace internal {
+inline thread_local std::vector<std::string> tape_diagnostics;
+}  // namespace internal
+
+// Records a tape-lint diagnostic and mirrors it to stderr.
+inline void EmitTapeDiagnostic(std::string message) {
+  std::fprintf(stderr, "[msd-tape-lint] %s\n", message.c_str());
+  internal::tape_diagnostics.push_back(std::move(message));
+}
+
+// Returns and clears the diagnostics recorded by this thread.
+inline std::vector<std::string> TakeTapeDiagnostics() {
+  std::vector<std::string> out;
+  out.swap(internal::tape_diagnostics);
+  return out;
+}
+
+inline int64_t TapeDiagnosticCount() {
+  return static_cast<int64_t>(internal::tape_diagnostics.size());
+}
+
+}  // namespace debug
+}  // namespace msd
+
+// ---- Debug-only check macros ----------------------------------------------
+//
+// When MSD_DEBUG_CHECKS is OFF these expand to `while (false) MSD_CHECK(...)`:
+// the condition and streamed operands still type-check (so debug-only code
+// cannot rot) but are never evaluated and the optimizer deletes the branch.
+#if MSD_DEBUG_CHECKS_ENABLED
+
+#define MSD_DCHECK(condition) MSD_CHECK(condition)
+#define MSD_DCHECK_EQ(a, b) MSD_CHECK_EQ(a, b)
+#define MSD_DCHECK_NE(a, b) MSD_CHECK_NE(a, b)
+#define MSD_DCHECK_LT(a, b) MSD_CHECK_LT(a, b)
+#define MSD_DCHECK_LE(a, b) MSD_CHECK_LE(a, b)
+#define MSD_DCHECK_GT(a, b) MSD_CHECK_GT(a, b)
+#define MSD_DCHECK_GE(a, b) MSD_CHECK_GE(a, b)
+
+// Runs the statement only in debug-checks builds (for multi-line validation).
+// Variadic so unparenthesized commas in the statement are preserved.
+#define MSD_DEBUG_ONLY(...) __VA_ARGS__
+
+#else  // !MSD_DEBUG_CHECKS_ENABLED
+
+#define MSD_DCHECK(condition) \
+  while (false) MSD_CHECK(condition)
+#define MSD_DCHECK_EQ(a, b) \
+  while (false) MSD_CHECK_EQ(a, b)
+#define MSD_DCHECK_NE(a, b) \
+  while (false) MSD_CHECK_NE(a, b)
+#define MSD_DCHECK_LT(a, b) \
+  while (false) MSD_CHECK_LT(a, b)
+#define MSD_DCHECK_LE(a, b) \
+  while (false) MSD_CHECK_LE(a, b)
+#define MSD_DCHECK_GT(a, b) \
+  while (false) MSD_CHECK_GT(a, b)
+#define MSD_DCHECK_GE(a, b) \
+  while (false) MSD_CHECK_GE(a, b)
+
+#define MSD_DEBUG_ONLY(...) \
+  do {                      \
+  } while (false)
+
+#endif  // MSD_DEBUG_CHECKS_ENABLED
+
+#endif  // MSDMIXER_COMMON_DEBUG_H_

@@ -5,6 +5,7 @@
 #include <memory>
 #include <sstream>
 
+#include "common/debug.h"
 #include "obs/metrics.h"
 
 namespace msd {
@@ -205,6 +206,14 @@ void Tensor::CopyFrom(const Tensor& src) {
   MSD_CHECK(defined());
   MSD_CHECK(src.defined());
   MSD_CHECK_EQ(numel_, src.numel());
+  // std::copy forbids the destination starting inside the source range;
+  // aliasing here means the caller copied a tensor onto (a reshape of)
+  // itself, which is a bug even when the copy would be a no-op.
+  MSD_DCHECK(!debug::RangesOverlap(
+      data(), numel_ * static_cast<int64_t>(sizeof(float)), src.data(),
+      numel_ * static_cast<int64_t>(sizeof(float))))
+      << "debug check: CopyFrom source aliases destination (shape "
+      << ShapeToString(shape_) << ")";
   std::copy(src.data(), src.data() + numel_, data());
 }
 

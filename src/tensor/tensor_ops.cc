@@ -6,12 +6,52 @@
 #include <functional>
 #include <limits>
 
+#include "common/debug.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 
 namespace msd {
 
 namespace {
+
+#if MSD_DEBUG_CHECKS_ENABLED
+
+// Shape/metadata consistency at kernel entry. Storage is always contiguous
+// row-major in this library, so strides are derived from the shape; the
+// invariant that can break (via memory corruption or a future view feature
+// gone wrong) is the cached element count diverging from the shape product.
+void DebugValidateTensor(const Tensor& t, const char* op) {
+  MSD_CHECK(t.defined()) << "debug check: undefined tensor passed to " << op;
+  MSD_CHECK_EQ(t.numel(), NumElementsOf(t.shape()))
+      << "debug check: tensor metadata corrupted at entry of " << op
+      << " (shape " << ShapeToString(t.shape()) << ")";
+}
+
+// Alias-overlap guard for elementwise kernels: every kernel here writes a
+// freshly allocated output, so any overlap with an input buffer means the
+// allocator or a future in-place path handed out aliasing storage.
+void DebugCheckNoAlias(const Tensor& out, const Tensor& in, const char* op) {
+  MSD_CHECK(!debug::RangesOverlap(
+      out.data(), out.numel() * static_cast<int64_t>(sizeof(float)),
+      in.data(), in.numel() * static_cast<int64_t>(sizeof(float))))
+      << "debug check: output of " << op << " aliases an input buffer "
+      << "(shapes " << ShapeToString(out.shape()) << " / "
+      << ShapeToString(in.shape()) << ")";
+}
+
+#define MSD_DEBUG_VALIDATE_TENSOR(t, op) DebugValidateTensor(t, op)
+#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) DebugCheckNoAlias(out, in, op)
+
+#else  // !MSD_DEBUG_CHECKS_ENABLED
+
+// Arguments are referenced (but not evaluated) so loop variables that exist
+// only to be validated do not trip -Wunused-variable.
+#define MSD_DEBUG_VALIDATE_TENSOR(t, op) \
+  ((void)sizeof(&(t)), (void)(op))
+#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
+  ((void)sizeof(&(out)), (void)sizeof(&(in)), (void)(op))
+
+#endif  // MSD_DEBUG_CHECKS_ENABLED
 
 // Strides for `shape` right-aligned into `rank` axes, with 0 stride for
 // broadcast (size-1 against larger) dimensions.
@@ -50,9 +90,13 @@ template <typename F>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   MSD_CHECK(a.defined());
   MSD_CHECK(b.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "BinaryOp");
+  MSD_DEBUG_VALIDATE_TENSOR(b, "BinaryOp");
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
     Tensor out = Tensor::Uninitialized(a.shape());
+    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
+    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -64,6 +108,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   // Linear layers and per-channel scaling.
   if (b.numel() > 0 && IsSuffixShape(b.shape(), a.shape())) {
     Tensor out = Tensor::Uninitialized(a.shape());
+    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
+    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -79,6 +125,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   // Mirror: a tiles b as a suffix.
   if (a.numel() > 0 && IsSuffixShape(a.shape(), b.shape())) {
     Tensor out = Tensor::Uninitialized(b.shape());
+    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
+    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -93,6 +141,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
   }
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   Tensor out = Tensor::Uninitialized(out_shape);
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
+  MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
   const auto sa = BroadcastStrides(a.shape(), out_shape);
   const auto sb = BroadcastStrides(b.shape(), out_shape);
   const int64_t rank = static_cast<int64_t>(out_shape.size());
@@ -123,7 +173,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
 template <typename F>
 Tensor UnaryOp(const Tensor& a, F f) {
   MSD_CHECK(a.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "UnaryOp");
   Tensor out = Tensor::Uninitialized(a.shape());
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "UnaryOp");
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
@@ -279,6 +331,8 @@ Tensor GeluGrad(const Tensor& a) {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   MSD_SPAN("tensor/matmul");
+  MSD_DEBUG_VALIDATE_TENSOR(a, "MatMul");
+  MSD_DEBUG_VALIDATE_TENSOR(b, "MatMul");
   MSD_CHECK_GE(a.rank(), 2);
   MSD_CHECK_GE(b.rank(), 2);
   const int64_t m = a.dim(-2);
@@ -372,6 +426,7 @@ float MaxAbs(const Tensor& a) {
 
 Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   MSD_CHECK(a.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Sum");
   const int64_t rank = a.rank();
   dims = NormalizeDims(std::move(dims), rank);
   if (dims.empty()) return a.Clone();
@@ -525,6 +580,7 @@ Tensor ArgMax(const Tensor& a, int64_t dim) {
 }
 
 Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Permute");
   const int64_t rank = a.rank();
   MSD_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
   std::vector<bool> seen(static_cast<size_t>(rank), false);
@@ -606,6 +662,7 @@ Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
 }
 
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Slice");
   const int64_t rank = a.rank();
   dim = NormalizeDim(dim, rank);
   MSD_CHECK_GE(start, 0);
@@ -634,6 +691,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
 
 Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   MSD_CHECK(!parts.empty());
+  for (const Tensor& p : parts) MSD_DEBUG_VALIDATE_TENSOR(p, "Concat");
   const int64_t rank = parts[0].rank();
   dim = NormalizeDim(dim, rank);
   int64_t total = 0;
@@ -671,6 +729,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
 
 Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
            float value) {
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Pad");
   const int64_t rank = a.rank();
   dim = NormalizeDim(dim, rank);
   MSD_CHECK_GE(before, 0);

@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# Correctness analysis driver (docs/ANALYSIS.md): builds and tests the tree
+# under the full analysis matrix and prints a per-leg summary table. Exits
+# nonzero if any leg fails.
+#
+# Legs:
+#   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
+#                 full ctest including lint_check and gradcheck_sweep, plus a
+#                 quickstart run whose training losses are captured.
+#   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
+#                 must be bit-identical to the release leg — the invariant
+#                 layer must observe, never perturb.
+#   asan-ubsan    AddressSanitizer + UndefinedBehaviorSanitizer (abort on
+#                 first finding); full ctest.
+#   tsan          ThreadSanitizer over the concurrent surface: obs_test (the
+#                 metrics/profiler registries) and tasks_test (trainer
+#                 telemetry).
+#
+# Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
+#   --tidy     also run clang-tidy (src/common + src/tensor); skipped with a
+#              note when clang-tidy is not installed.
+#   --leg      run only the named leg(s); default is all four.
+#   --jobs N   parallel build/test jobs (default: nproc).
+#
+# Build trees live in build-check/<leg> so they never disturb ./build.
+set -u -o pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_TIDY=0
+LEGS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --tidy) RUN_TIDY=1 ;;
+    --jobs) JOBS="$2"; shift ;;
+    --leg) LEGS+=("$2"); shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+[[ ${#LEGS[@]} -eq 0 ]] && LEGS=(release debug-checks asan-ubsan tsan)
+
+CHECK_DIR="${ROOT}/build-check"
+mkdir -p "${CHECK_DIR}"
+
+declare -A STATUS    # leg -> PASS / FAIL / SKIP
+declare -A DETAIL    # leg -> one-line explanation
+FAILED=0
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+fail_leg() {  # leg detail
+  STATUS[$1]="FAIL"
+  DETAIL[$1]="$2"
+  FAILED=1
+}
+
+configure_and_build() {  # builddir target... -- cmake-args...
+  local builddir="$1"; shift
+  local targets=()
+  while [[ $# -gt 0 && "$1" != "--" ]]; do targets+=("$1"); shift; done
+  [[ $# -gt 0 ]] && shift  # drop --
+  cmake -B "${builddir}" -S "${ROOT}" "$@" || return 1
+  if [[ ${#targets[@]} -gt 0 ]]; then
+    local t
+    for t in "${targets[@]}"; do
+      cmake --build "${builddir}" -j "${JOBS}" --target "${t}" || return 1
+    done
+  else
+    cmake --build "${builddir}" -j "${JOBS}" || return 1
+  fi
+}
+
+# Training losses only (strip wall-clock columns): the bit-identity contract
+# is about numerics, not timing.
+quickstart_losses() {  # builddir outfile
+  "$1/examples/quickstart" |
+    grep -E 'epoch +[0-9]+/|Test MSE|component S|residual:' |
+    sed -E 's/ [0-9.]+s$//' > "$2"
+}
+
+run_release_like_leg() {  # leg-name extra-cmake-flag...
+  local leg="$1"; shift
+  local builddir="${CHECK_DIR}/${leg}"
+  note "leg ${leg}: configure + build"
+  if ! configure_and_build "${builddir}" -- "$@"; then
+    fail_leg "${leg}" "build failed"; return
+  fi
+  note "leg ${leg}: ctest"
+  if ! (cd "${builddir}" && ctest --output-on-failure -j "${JOBS}"); then
+    fail_leg "${leg}" "ctest failures"; return
+  fi
+  note "leg ${leg}: quickstart"
+  if ! quickstart_losses "${builddir}" "${builddir}/quickstart_losses.txt"; then
+    fail_leg "${leg}" "quickstart run failed"; return
+  fi
+  STATUS[${leg}]="PASS"
+  DETAIL[${leg}]="full ctest clean"
+}
+
+for leg in "${LEGS[@]}"; do
+  case "${leg}" in
+    release)
+      run_release_like_leg release
+      ;;
+    debug-checks)
+      run_release_like_leg debug-checks -DMSD_DEBUG_CHECKS=ON
+      # Zero-interference: checks may observe training, never change it.
+      rel="${CHECK_DIR}/release/quickstart_losses.txt"
+      dbg="${CHECK_DIR}/debug-checks/quickstart_losses.txt"
+      if [[ "${STATUS[debug-checks]}" == "PASS" && -f "${rel}" ]]; then
+        if diff -u "${rel}" "${dbg}"; then
+          DETAIL[debug-checks]="ctest clean; losses bit-identical to release"
+        else
+          fail_leg debug-checks "quickstart losses differ from release leg"
+        fi
+      fi
+      ;;
+    asan-ubsan)
+      # -march=native off: sanitizer runs should reproduce across machines.
+      run_release_like_leg asan-ubsan \
+        -DMSD_SANITIZE=address,undefined -DMSD_NATIVE_ARCH=OFF
+      ;;
+    tsan)
+      builddir="${CHECK_DIR}/tsan"
+      note "leg tsan: configure + build (obs_test, tasks_test)"
+      if ! configure_and_build "${builddir}" obs_test tasks_test -- \
+          -DMSD_SANITIZE=thread -DMSD_NATIVE_ARCH=OFF; then
+        fail_leg tsan "build failed"; continue
+      fi
+      note "leg tsan: obs_test + tasks_test"
+      ok=1
+      "${builddir}/tests/obs_test" || ok=0
+      "${builddir}/tests/tasks_test" || ok=0
+      if [[ ${ok} -eq 1 ]]; then
+        STATUS[tsan]="PASS"; DETAIL[tsan]="obs_test + tasks_test clean"
+      else
+        fail_leg tsan "test failures under ThreadSanitizer"
+      fi
+      ;;
+    *)
+      echo "unknown leg: ${leg}" >&2; exit 2
+      ;;
+  esac
+done
+
+if [[ ${RUN_TIDY} -eq 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    note "clang-tidy (src/common, src/tensor)"
+    tidydir="${CHECK_DIR}/tidy"
+    if configure_and_build "${tidydir}" msd_lint -- \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON &&
+        find "${ROOT}/src/common" "${ROOT}/src/tensor" \
+            -name '*.cc' -o -name '*.h' |
+          xargs clang-tidy -p "${tidydir}" --warnings-as-errors='*'; then
+      STATUS[tidy]="PASS"; DETAIL[tidy]="no diagnostics"
+    else
+      fail_leg tidy "clang-tidy diagnostics"
+    fi
+  else
+    STATUS[tidy]="SKIP"
+    DETAIL[tidy]="clang-tidy not installed"
+  fi
+fi
+
+printf '\n%-14s %-6s %s\n' "leg" "status" "detail"
+printf '%s\n' "--------------------------------------------------------------"
+for leg in "${LEGS[@]}" $( [[ ${RUN_TIDY} -eq 1 ]] && echo tidy ); do
+  printf '%-14s %-6s %s\n' "${leg}" "${STATUS[${leg}]:-SKIP}" \
+    "${DETAIL[${leg}]:-not run}"
+done
+
+exit "${FAILED}"

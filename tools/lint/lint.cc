@@ -1,0 +1,274 @@
+// Repo lint: mechanical style/correctness rules the compiler cannot enforce,
+// run over `src/` as the `lint_check` ctest (see docs/ANALYSIS.md).
+//
+// Rules:
+//   no-assert      <assert.h> assertions vanish under NDEBUG and print no
+//                  operands; library code must use MSD_CHECK (common/check.h).
+//   no-cout        std::cout in library code corrupts programs that treat
+//                  stdout as a data channel (CSV export, JSON snapshots);
+//                  diagnostics belong on stderr, telemetry in src/obs.
+//   header-guard   every header needs #pragma once or a #ifndef/#define
+//                  include guard near the top.
+//   include-path   includes are rooted at src/ (CMake adds it to the include
+//                  path): no "src/..." or "../" relative spellings, which
+//                  break when a file moves and defeat include-what-you-use.
+//   no-raw-alloc   src/tensor and src/autograd own the hot allocation paths;
+//                  raw new/malloc there bypasses the shared_ptr ownership
+//                  model and the tensor/allocs telemetry.
+//
+// Usage: msd_lint <repo-root> — prints violations as file:line: rule:
+// message and exits nonzero if any rule fired. Add a rule by extending
+// CheckLine()/CheckHeaderGuard() and documenting it in docs/ANALYSIS.md.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Library files allowed to write to std::cout (none today; CLI binaries live
+// in examples/ and bench/, outside the linted tree).
+const std::set<std::string>& CoutAllowlist() {
+  static const std::set<std::string> allowlist = {};
+  return allowlist;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Replaces comment bodies — and, when `strip_literals` is set, string and
+// character literal contents — with spaces, preserving line breaks so
+// reported line numbers stay exact. Include-path rules need literals kept
+// (the include path IS a string literal); token rules need them blanked.
+// Raw string literals are not handled (the tree does not use them); the
+// scanner treats them as ordinary strings.
+std::string StripComments(const std::string& text, bool strip_literals) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string out = text;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char terminator = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          if (strip_literals) out[i] = ' ';
+          if (next != '\n') {
+            if (strip_literals && i + 1 < text.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == terminator) {
+          state = State::kCode;
+        } else if (c != '\n' && strip_literals) {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// True when `token` appears in `line` as a whole word at position `pos`.
+bool IsWholeWordAt(const std::string& line, size_t pos, size_t len) {
+  if (pos > 0 && IsWordChar(line[pos - 1])) return false;
+  const size_t end = pos + len;
+  if (end < line.size() && IsWordChar(line[end])) return false;
+  return true;
+}
+
+// Finds `token` as a whole word followed (after optional spaces) by '('.
+bool HasCallToken(const std::string& line, const std::string& token) {
+  for (size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (!IsWholeWordAt(line, pos, token.size())) continue;
+    size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '(') return true;
+  }
+  return false;
+}
+
+bool HasWordToken(const std::string& line, const std::string& token) {
+  for (size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (IsWholeWordAt(line, pos, token.size())) return true;
+  }
+  return false;
+}
+
+void CheckHeaderGuard(const std::string& raw_text, const std::string& rel,
+                      std::vector<Violation>* violations) {
+  if (raw_text.find("#pragma once") != std::string::npos) return;
+  // Hand-rolled #ifndef parse (std::regex is avoided: its libstdc++ headers
+  // trip -Werror=maybe-uninitialized under the GCC 12 sanitizer builds).
+  const size_t ifndef = raw_text.find("#ifndef");
+  if (ifndef != std::string::npos) {
+    size_t pos = ifndef + 7;
+    while (pos < raw_text.size() &&
+           (raw_text[pos] == ' ' || raw_text[pos] == '\t')) {
+      ++pos;
+    }
+    const size_t name_start = pos;
+    while (pos < raw_text.size() && IsWordChar(raw_text[pos])) ++pos;
+    if (pos > name_start) {
+      const std::string guard =
+          "#define " + raw_text.substr(name_start, pos - name_start);
+      if (raw_text.find(guard) != std::string::npos) return;
+    }
+  }
+  violations->push_back({rel, 1, "header-guard",
+                         "header has neither #pragma once nor a matching "
+                         "#ifndef/#define include guard"});
+}
+
+void CheckFile(const fs::path& path, const std::string& rel,
+               std::vector<Violation>* violations) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string raw_text = buffer.str();
+  const std::string code_text =
+      StripComments(raw_text, /*strip_literals=*/true);
+  const std::string directive_text =
+      StripComments(raw_text, /*strip_literals=*/false);
+
+  if (path.extension() == ".h") CheckHeaderGuard(raw_text, rel, violations);
+
+  const bool alloc_sensitive = rel.rfind("src/tensor/", 0) == 0 ||
+                               rel.rfind("src/autograd/", 0) == 0;
+  const bool cout_allowed = CoutAllowlist().count(rel) > 0;
+
+  std::istringstream lines(code_text);
+  std::istringstream directive_lines(directive_text);
+  std::string line;
+  std::string directive_line;
+  int line_number = 0;
+  while (std::getline(lines, line) &&
+         std::getline(directive_lines, directive_line)) {
+    ++line_number;
+    if (HasCallToken(line, "assert")) {
+      violations->push_back({rel, line_number, "no-assert",
+                             "use MSD_CHECK (common/check.h) instead of "
+                             "assert: it survives NDEBUG and prints operands"});
+    }
+    if (!cout_allowed && line.find("std::cout") != std::string::npos) {
+      violations->push_back({rel, line_number, "no-cout",
+                             "library code must not write to std::cout; use "
+                             "stderr or the obs subsystem"});
+    }
+    if (directive_line.find("#include \"src/") != std::string::npos) {
+      violations->push_back({rel, line_number, "include-path",
+                             "includes are rooted at src/: drop the src/ "
+                             "prefix"});
+    }
+    if (directive_line.find("#include \"../") != std::string::npos) {
+      violations->push_back({rel, line_number, "include-path",
+                             "no parent-relative includes; spell the path "
+                             "from src/"});
+    }
+    if (alloc_sensitive) {
+      if (HasWordToken(line, "new") && !HasWordToken(line, "delete")) {
+        violations->push_back({rel, line_number, "no-raw-alloc",
+                               "no raw new in tensor/autograd; use "
+                               "make_shared/make_unique ownership"});
+      }
+      for (const char* fn : {"malloc", "calloc", "realloc", "free"}) {
+        if (HasCallToken(line, fn)) {
+          violations->push_back({rel, line_number, "no-raw-alloc",
+                                 std::string("no ") + fn +
+                                     " in tensor/autograd; use RAII "
+                                     "containers"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: msd_lint <repo-root>\n");
+    return 2;
+  }
+  const fs::path root(argv[1]);
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::fprintf(stderr, "msd_lint: %s is not a directory\n",
+                 src.string().c_str());
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  int64_t files_checked = 0;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".h" && ext != ".cc") continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    ++files_checked;
+    CheckFile(path, fs::relative(path, root).generic_string(), &violations);
+  }
+
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%d: %s: %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::fprintf(stderr, "msd_lint: %lld files, %lld violation(s)\n",
+               static_cast<long long>(files_checked),
+               static_cast<long long>(violations.size()));
+  return violations.empty() ? 0 : 1;
+}
