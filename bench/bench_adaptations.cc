@@ -102,6 +102,7 @@ double ImputationMse(bool masked_loss, const Tensor& series) {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Adaptation ablations: the scale-adaptations of DESIGN.md §2, "

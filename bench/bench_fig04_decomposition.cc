@@ -131,6 +131,7 @@ void Report(const char* title, const TrainedDecomposition& dec,
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Fig. 4 analogue: decomposition case study (ETTh1-like, L=96, "

@@ -5,6 +5,7 @@
 // Besides the standard google-benchmark flags, accepts
 //   --metrics-out <path>  combined metrics-registry + span-aggregate JSON
 //   --trace-out <path>    chrome://tracing event file
+//   --threads <n>         global pool size for the whole run (docs/RUNTIME.md)
 // so kernel-level telemetry (tensor/matmul, tensor/fft, train/epoch spans)
 // lands in BENCH_*.json trajectories.
 #include <benchmark/benchmark.h>
@@ -17,6 +18,7 @@
 #include "core/patching.h"
 #include "core/residual_loss.h"
 #include "metrics/metrics.h"
+#include "runtime/parallel.h"
 #include "tasks/trainer.h"
 #include "tensor/fft.h"
 #include "tensor/tensor_ops.h"
@@ -171,6 +173,62 @@ void BM_MixerTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MixerTrainStep);
 
+// ---- Thread-scaling sweeps --------------------------------------------------
+// The same kernel at pool sizes 1/2/4 (Arg is the thread count). check.sh's
+// release leg records this family as BENCH_threads.json; outputs are
+// bit-identical across the sweep, so only wall-clock should move.
+
+void BM_MatMulThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({128, 128}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({128, 128}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128 * 128);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ElementwiseThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({64, 7, 512}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({64, 7, 512}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Gelu(Add(a, b)));
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_ElementwiseThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_MixerStepThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  MsdMixerConfig config;
+  config.input_length = 96;
+  config.channels = 7;
+  config.patch_sizes = {24, 12, 6, 2, 1};
+  config.model_dim = 16;
+  config.hidden_dim = 32;
+  config.task = TaskType::kForecast;
+  config.horizon = 96;
+  MsdMixer mixer(config, rng);
+  Tensor x = Tensor::RandNormal({32, 7, 96}, 0, 1, rng);
+  Tensor y = Tensor::RandNormal({32, 7, 96}, 0, 1, rng);
+  for (auto _ : state) {
+    for (Variable& p : mixer.Parameters()) p.ZeroGrad();
+    MsdMixerOutput out = mixer.Run(Variable(x));
+    Variable loss = Add(MeanAll(Square(Sub(out.prediction, Variable(y)))),
+                        MulScalar(ResidualLoss(out.residual,
+                                               {2.0f, true, 24}),
+                                  0.5f));
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_MixerStepThreads)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_MixerInference(benchmark::State& state) {
   Rng rng(1);
   MsdMixerConfig config;
@@ -195,19 +253,20 @@ BENCHMARK(BM_MixerInference);
 }  // namespace msd
 
 int main(int argc, char** argv) {
-  // Peel off the telemetry flags before google-benchmark sees (and rejects)
-  // them; remember the full original argv for the export at the end.
+  // Peel off our flags before google-benchmark sees (and rejects) them;
+  // remember the full original argv for the export at the end.
+  msd::bench::InitThreads(argc, argv);
   const std::string metrics_out = msd::bench::MetricsOutPath(argc, argv);
   const std::string trace_out = msd::bench::TraceOutPath(argc, argv);
   std::vector<char*> passthrough;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (arg == "--metrics-out" || arg == "--trace-out" || arg == "--threads") {
       ++i;  // skip the value
       continue;
     }
     if (arg.rfind("--metrics-out=", 0) == 0 ||
-        arg.rfind("--trace-out=", 0) == 0) {
+        arg.rfind("--trace-out=", 0) == 0 || arg.rfind("--threads=", 0) == 0) {
       continue;
     }
     passthrough.push_back(argv[i]);

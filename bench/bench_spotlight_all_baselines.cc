@@ -119,6 +119,7 @@ std::vector<RunResult> RunAll(const Tensor& series, int64_t period) {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Spotlight: all eight implemented forecasters, horizon 96 ==\n"

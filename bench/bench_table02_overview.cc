@@ -242,6 +242,7 @@ TaskOutcome ClassificationTask() {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Table II analogue: overall comparison (one representative\n"

@@ -125,6 +125,7 @@ std::vector<RunResult> RunAllModels(const Tensor& series, int64_t period,
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf("== Table III analogue: long-term forecasting datasets ==\n");
   bench::TablePrinter stats({"Dataset", "Dim", "Timesteps", "Period",

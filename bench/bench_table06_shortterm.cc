@@ -106,6 +106,7 @@ std::vector<SubsetResult> RunSubset(const M4SubsetSpec& spec,
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   const auto subsets = DefaultM4Subsets();
 

@@ -124,6 +124,7 @@ std::vector<RunResult> RunAllModels(const Tensor& series, double ratio) {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Table VII analogue: imputation (MSE / MAE at masked points) ==\n\n");

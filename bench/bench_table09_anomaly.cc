@@ -89,6 +89,7 @@ std::vector<RunResult> RunAllModels(const AnomalyData& data) {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf("== Table VIII analogue: anomaly detection datasets ==\n");
   bench::TablePrinter stats(

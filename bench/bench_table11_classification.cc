@@ -72,6 +72,7 @@ std::vector<RunResult> RunAllModels(const ClassificationSubset& subset,
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   const auto subsets = DefaultClassificationSubsets();
 

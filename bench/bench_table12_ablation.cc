@@ -62,6 +62,7 @@ float ApplyVariant(Variant variant, MsdMixerConfig* config) {
 }  // namespace msd
 
 int main(int argc, char** argv) {
+  msd::bench::InitThreads(argc, argv);
   using namespace msd;
   std::printf(
       "== Table XII analogue: MSD-Mixer ablations "

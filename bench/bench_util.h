@@ -16,6 +16,7 @@
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "runtime/parallel.h"
 #include "tasks/experiments.h"
 
 namespace msd {
@@ -37,6 +38,33 @@ inline std::string FlagValue(int argc, char** argv, const std::string& flag) {
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return "";
+}
+
+// ---- Thread-count control ---------------------------------------------------
+// Every bench accepts --threads N, overriding the MSD_THREADS / hardware
+// default for the whole run. Results are bit-identical for any value
+// (docs/RUNTIME.md), so this only trades wall-clock for cores.
+
+// Parsed value of --threads; 0 when absent (keep the ambient default).
+// Exits with a usage error on a malformed or non-positive value.
+inline int64_t ThreadsFlagValue(int argc, char** argv) {
+  const std::string v = FlagValue(argc, argv, "--threads");
+  if (v.empty()) return 0;
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0' || n <= 0) {
+    std::fprintf(stderr, "invalid --threads value '%s' (want a positive int)\n",
+                 v.c_str());
+    std::exit(2);
+  }
+  return static_cast<int64_t>(n);
+}
+
+// Applies --threads (when present) to the global pool. Call once at the top
+// of a bench main(), before any tensor work.
+inline void InitThreads(int argc, char** argv) {
+  const int64_t n = ThreadsFlagValue(argc, argv);
+  if (n > 0) runtime::SetNumThreads(n);
 }
 
 inline std::string MetricsOutPath(int argc, char** argv) {

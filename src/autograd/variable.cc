@@ -5,15 +5,18 @@
 
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "runtime/parallel.h"
+#include "tensor/kernels.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
 
 namespace {
 
-// Graph recording toggle for NoGradGuard. The library is single-threaded by
-// design (one training loop per process); thread_local keeps it safe if that
-// ever changes.
+// Graph recording toggle for NoGradGuard. Tape construction stays on the
+// thread that runs the training loop (parallelism lives below the op layer,
+// in src/runtime/); thread_local keeps the toggle safe for pool workers that
+// run forward math inside kernels.
 thread_local bool g_grad_enabled = true;
 
 #if MSD_DEBUG_CHECKS_ENABLED
@@ -23,7 +26,8 @@ thread_local bool g_grad_enabled = true;
 thread_local std::vector<std::weak_ptr<AutogradNode>> g_debug_leaves;
 #endif
 
-// In-place dst += src (same shape).
+// In-place dst += src (same shape). Parallel over fixed chunks: each element
+// is touched by exactly one chunk, so accumulation stays deterministic.
 void AddInto(Tensor& dst, const Tensor& src) {
   MSD_CHECK(dst.shape() == src.shape());
   float* d = dst.data();
@@ -33,7 +37,10 @@ void AddInto(Tensor& dst, const Tensor& src) {
       d, n * static_cast<int64_t>(sizeof(float)), s,
       n * static_cast<int64_t>(sizeof(float))))
       << "gradient accumulation would read its own output buffer";
-  for (int64_t i = 0; i < n; ++i) d[i] += s[i];
+  runtime::ParallelFor(0, n, kernel::kElementwiseGrain,
+                       [&](int64_t cb, int64_t ce) {
+                         for (int64_t i = cb; i < ce; ++i) d[i] += s[i];
+                       });
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -31,15 +32,19 @@ Batch DataLoader::GetBatch(int64_t batch_index) const {
   MSD_CHECK_LT(batch_index, NumBatches());
   const int64_t begin = batch_index * batch_size_;
   const int64_t end = std::min<int64_t>(begin + batch_size_, dataset_->Size());
-  std::vector<Tensor> inputs;
-  std::vector<Tensor> targets;
-  inputs.reserve(static_cast<size_t>(end - begin));
-  targets.reserve(static_cast<size_t>(end - begin));
-  for (int64_t i = begin; i < end; ++i) {
-    Sample s = dataset_->Get(order_[static_cast<size_t>(i)]);
-    inputs.push_back(std::move(s.input));
-    targets.push_back(std::move(s.target));
-  }
+  // Parallel batch synthesis: Get() is const and samples land in their own
+  // slots, so sample construction (windowing, datagen synthesis) fans out
+  // across the pool. Slot order — and therefore the stacked batch — is
+  // independent of the thread count.
+  std::vector<Tensor> inputs(static_cast<size_t>(end - begin));
+  std::vector<Tensor> targets(static_cast<size_t>(end - begin));
+  runtime::ParallelFor(begin, end, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t i = cb; i < ce; ++i) {
+      Sample s = dataset_->Get(order_[static_cast<size_t>(i)]);
+      inputs[static_cast<size_t>(i - begin)] = std::move(s.input);
+      targets[static_cast<size_t>(i - begin)] = std::move(s.target);
+    }
+  });
   return Batch{Stack(inputs), Stack(targets)};
 }
 

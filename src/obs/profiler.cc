@@ -48,43 +48,106 @@ void Profiler::SetTraceCapacity(int64_t max_events) {
   if (static_cast<int64_t>(events_.size()) > capacity_) {
     events_.resize(static_cast<size_t>(capacity_));
   }
+  events_space_.store(static_cast<int64_t>(events_.size()) < capacity_,
+                      std::memory_order_relaxed);
 }
 
 void Profiler::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  aggregates_.clear();
+  // Per-thread maps are cleared lazily: bumping the epoch marks them stale,
+  // the owning thread clears on its next record, and readers skip them.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
   events_.clear();
   dropped_.store(0, std::memory_order_relaxed);
+  events_space_.store(capacity_ > 0, std::memory_order_relaxed);
+}
+
+Profiler::ThreadAgg& Profiler::LocalAgg() {
+  // Per-(thread, profiler) slots. The registry holds a shared_ptr too, so a
+  // thread's stats outlive the thread. Instances are effectively the leaked
+  // Global() in production; a destroyed local Profiler leaves a dead slot
+  // behind, which only costs a pointer compare.
+  thread_local std::vector<std::pair<Profiler*, std::shared_ptr<ThreadAgg>>>
+      slots;
+  for (auto& [profiler, agg] : slots) {
+    if (profiler == this) return *agg;
+  }
+  auto agg = std::make_shared<ThreadAgg>();
+  agg->epoch = epoch_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads_.push_back(agg);
+  }
+  slots.emplace_back(this, agg);
+  return *agg;
 }
 
 void Profiler::RecordSpan(const char* label, int64_t start_ns, int64_t end_ns,
                           int64_t child_ns, int32_t tid) {
   const int64_t dur = end_ns - start_ns;
+  ThreadAgg& agg = LocalAgg();
+  {
+    // Uncontended in steady state: only merges from reader threads compete.
+    std::lock_guard<std::mutex> lock(agg.mu);
+    const int64_t epoch = epoch_.load(std::memory_order_relaxed);
+    if (agg.epoch != epoch) {
+      agg.aggregates.clear();
+      agg.epoch = epoch;
+    }
+    SpanStats& s = agg.aggregates[label];
+    s.count += 1;
+    s.total_ns += dur;
+    s.self_ns += dur - child_ns;
+    s.min_ns = std::min(s.min_ns, dur);
+    s.max_ns = std::max(s.max_ns, dur);
+  }
+  if (!events_space_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  SpanStats& s = aggregates_[label];
-  s.count += 1;
-  s.total_ns += dur;
-  s.self_ns += dur - child_ns;
-  s.min_ns = std::min(s.min_ns, dur);
-  s.max_ns = std::max(s.max_ns, dur);
   if (static_cast<int64_t>(events_.size()) < capacity_) {
     events_.push_back(TraceEvent{label, tid, start_ns, dur});
+    if (static_cast<int64_t>(events_.size()) >= capacity_) {
+      events_space_.store(false, std::memory_order_relaxed);
+    }
   } else {
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 std::map<std::string, SpanStats> Profiler::Aggregates() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return aggregates_;
+  // Deterministic merge: per-label sums, min, and max all commute, so the
+  // result does not depend on thread registration order or which worker ran
+  // which span.
+  const int64_t epoch = epoch_.load(std::memory_order_relaxed);
+  std::vector<std::shared_ptr<ThreadAgg>> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads = threads_;
+  }
+  std::map<std::string, SpanStats> merged;
+  for (const auto& agg : threads) {
+    std::lock_guard<std::mutex> lock(agg->mu);
+    if (agg->epoch != epoch) continue;  // stale: predates the last Reset
+    for (const auto& [label, s] : agg->aggregates) {
+      SpanStats& m = merged[label];
+      m.count += s.count;
+      m.total_ns += s.total_ns;
+      m.self_ns += s.self_ns;
+      m.min_ns = std::min(m.min_ns, s.min_ns);
+      m.max_ns = std::max(m.max_ns, s.max_ns);
+    }
+  }
+  return merged;
 }
 
 std::string Profiler::AggregateReportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::map<std::string, SpanStats> aggregates = Aggregates();
   std::ostringstream out;
   out << "{";
   bool first = true;
-  for (const auto& [label, s] : aggregates_) {
+  for (const auto& [label, s] : aggregates) {
     if (!first) out << ",";
     first = false;
     out << "\"" << label << "\":{\"count\":" << s.count

@@ -20,6 +20,14 @@
 //    profiler costs one relaxed atomic load per span.
 //  * The trace-event buffer is capped (SetTraceCapacity); once full, further
 //    events only update aggregates and `dropped_events` counts them.
+//  * Aggregation is per-thread: each recording thread owns its own
+//    label->stats map behind an uncontended mutex, so pool workers
+//    (src/runtime/) never serialize on a global lock. Readers merge the
+//    per-thread maps label-by-label with commutative combines (sum/min/max),
+//    so the merged aggregates are deterministic regardless of which worker
+//    executed which span. Trace events stay in one global capped buffer;
+//    their order reflects actual execution and is not deterministic across
+//    runs with MSD_THREADS > 1.
 //
 // Label taxonomy ("subsystem/operation", e.g. "tensor/matmul",
 // "train/epoch") is documented in docs/OBSERVABILITY.md.
@@ -30,6 +38,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -67,8 +76,11 @@ class Profiler {
   void SetTraceCapacity(int64_t max_events);
 
   // Clears aggregates and the trace buffer; keeps enabled/capacity settings.
+  // Per-thread maps are invalidated lazily via an epoch bump — safe to call
+  // while worker threads exist, as long as no span is concurrently open.
   void Reset();
 
+  // Deterministic merge of every thread's aggregates (see header comment).
   std::map<std::string, SpanStats> Aggregates() const;
   int64_t dropped_events() const {
     return dropped_.load(std::memory_order_relaxed);
@@ -94,10 +106,27 @@ class Profiler {
     int64_t dur_ns;
   };
 
+  // One recording thread's aggregates. Owned jointly by that thread's
+  // thread_local slot and the profiler's registry, so stats survive thread
+  // exit. `epoch` lags the profiler's reset epoch; a stale map is cleared on
+  // the owner's next record and skipped by readers.
+  struct ThreadAgg {
+    std::mutex mu;  // owner writes, readers merge: rarely contended
+    std::map<std::string, SpanStats> aggregates;
+    int64_t epoch = 0;
+  };
+
+  // The calling thread's aggregation slot, registered on first use.
+  ThreadAgg& LocalAgg();
+
   std::atomic<bool> enabled_{true};
   std::atomic<int64_t> dropped_{0};
-  mutable std::mutex mu_;
-  std::map<std::string, SpanStats> aggregates_;
+  std::atomic<int64_t> epoch_{0};
+  // Fast-path hint that the event buffer has room, so spans recorded after
+  // the buffer fills (or with capacity 0) skip the global lock entirely.
+  std::atomic<bool> events_space_{true};
+  mutable std::mutex mu_;  // guards threads_, events_, capacity_
+  std::vector<std::shared_ptr<ThreadAgg>> threads_;
   std::vector<TraceEvent> events_;
   int64_t capacity_ = 65536;
 };

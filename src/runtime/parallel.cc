@@ -1,0 +1,88 @@
+#include "runtime/parallel.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace msd {
+namespace runtime {
+
+namespace {
+
+obs::Counter& ParallelCallsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("runtime/parallel_calls");
+  return c;
+}
+
+obs::Counter& ChunksExecutedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("runtime/chunks_executed");
+  return c;
+}
+
+obs::Gauge& ThreadsGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("runtime/threads");
+  return g;
+}
+
+}  // namespace
+
+int64_t NumThreads() { return ThreadPool::Global().num_threads(); }
+
+void SetNumThreads(int64_t n) {
+  MSD_CHECK(!InParallelRegion())
+      << "SetNumThreads called from inside a parallel region";
+  ThreadPool::Global().Resize(n);
+  ThreadsGauge().Set(static_cast<double>(ThreadPool::Global().num_threads()));
+}
+
+int64_t NumChunks(int64_t n, int64_t grain) {
+  MSD_CHECK_GT(n, 0);
+  MSD_CHECK_GT(grain, 0);
+  const int64_t chunks = (n + grain - 1) / grain;
+  return chunks < kMaxChunksPerLoop ? chunks : kMaxChunksPerLoop;
+}
+
+std::pair<int64_t, int64_t> ChunkBounds(int64_t begin, int64_t n,
+                                        int64_t chunks, int64_t chunk_index) {
+  const int64_t base = n / chunks;
+  const int64_t rem = n % chunks;
+  // Chunks [0, rem) get base + 1 iterations, the rest get base.
+  const int64_t extra = chunk_index < rem ? chunk_index : rem;
+  const int64_t b = begin + chunk_index * base + extra;
+  const int64_t len = base + (chunk_index < rem ? 1 : 0);
+  return {b, b + len};
+}
+
+void ParallelChunks(int64_t begin, int64_t end, int64_t grain,
+                    const IndexedRangeFn& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int64_t chunks = NumChunks(n, grain);
+  ParallelCallsCounter().Add(1);
+  ChunksExecutedCounter().Add(chunks);
+  ThreadPool& pool = ThreadPool::Global();
+  if (chunks == 1 || InParallelRegion() || pool.num_threads() == 1) {
+    // Inline path: same chunk geometry, ascending order. Used for nested
+    // loops, single-chunk ranges, and MSD_THREADS=1.
+    for (int64_t c = 0; c < chunks; ++c) {
+      const auto [b, e] = ChunkBounds(begin, n, chunks, c);
+      body(c, b, e);
+    }
+    return;
+  }
+  pool.RunChunks(chunks, [&](int64_t c) {
+    const auto [b, e] = ChunkBounds(begin, n, chunks, c);
+    body(c, b, e);
+  });
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn& body) {
+  ParallelChunks(begin, end, grain,
+                 [&](int64_t /*chunk*/, int64_t b, int64_t e) { body(b, e); });
+}
+
+}  // namespace runtime
+}  // namespace msd

@@ -1,0 +1,126 @@
+// Chunked data-parallel primitives with a bit-determinism contract
+// (docs/RUNTIME.md).
+//
+// Every parallel loop in the library goes through ParallelFor /
+// ParallelChunks / ParallelReduce. The contract that makes results
+// bit-identical for any MSD_THREADS value:
+//
+//  1. Chunk geometry is a pure function of the iteration range and the grain
+//     (NumChunks/ChunkBounds below) — the thread count only decides which
+//     thread executes a chunk, never where a chunk starts or ends.
+//  2. A chunk body writes only to locations derived from its own indices
+//     (disjoint writes), so execution order across chunks is unobservable.
+//  3. Cross-chunk combination (ParallelReduce) folds per-chunk partials with
+//     a fixed-order binary tree over chunk indices, identical for every
+//     thread count — including 1, where the same chunked evaluation runs
+//     inline.
+//
+// Nested parallel loops (a body that itself calls ParallelFor) execute
+// inline on the calling worker: same chunk geometry, sequential order.
+#ifndef MSDMIXER_RUNTIME_PARALLEL_H_
+#define MSDMIXER_RUNTIME_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace msd {
+namespace runtime {
+
+// ---- Thread-count control ---------------------------------------------------
+
+// Current size of the global pool (1 = fully inline execution).
+int64_t NumThreads();
+
+// Resizes the global pool; n <= 0 restores the MSD_THREADS / hardware
+// default. Must not be called from inside a parallel region.
+void SetNumThreads(int64_t n);
+
+// RAII override: applies `n` threads for the scope when n > 0, restores the
+// previous count on destruction; n <= 0 is a no-op (inherit current).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int64_t n)
+      : previous_(NumThreads()), active_(n > 0 && n != previous_) {
+    if (active_) SetNumThreads(n);
+  }
+  ~ScopedThreads() {
+    if (active_) SetNumThreads(previous_);
+  }
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int64_t previous_;
+  bool active_;
+};
+
+// ---- Deterministic chunk geometry -------------------------------------------
+
+// Upper bound on chunks per loop. Fixed (never derived from the thread
+// count) so chunk boundaries — and therefore reduction trees — are identical
+// for every MSD_THREADS value. 64 chunks load-balance pools up to ~64
+// threads while keeping per-chunk dispatch overhead negligible.
+inline constexpr int64_t kMaxChunksPerLoop = 64;
+
+// Number of chunks for n iterations at the given grain (min iterations per
+// chunk): ceil(n / grain) clamped to [1, kMaxChunksPerLoop].
+int64_t NumChunks(int64_t n, int64_t grain);
+
+// Half-open bounds of chunk `chunk_index` when [begin, begin + n) is split
+// into `chunks` near-equal parts (the first n % chunks parts get one extra).
+std::pair<int64_t, int64_t> ChunkBounds(int64_t begin, int64_t n,
+                                        int64_t chunks, int64_t chunk_index);
+
+// ---- Primitives -------------------------------------------------------------
+
+using RangeFn = std::function<void(int64_t begin, int64_t end)>;
+using IndexedRangeFn =
+    std::function<void(int64_t chunk, int64_t begin, int64_t end)>;
+
+// Runs body(chunk_begin, chunk_end) over fixed chunks of [begin, end),
+// in parallel when the pool has threads and we are not already inside a
+// parallel region. Blocks until every chunk finished; rethrows the first
+// exception a chunk threw.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const RangeFn& body);
+
+// ParallelFor variant that also passes the chunk index, for bodies that
+// write per-chunk slots (the building block of ParallelReduce).
+void ParallelChunks(int64_t begin, int64_t end, int64_t grain,
+                    const IndexedRangeFn& body);
+
+// Chunked reduction: map_chunk(chunk_begin, chunk_end) -> T computes each
+// chunk's partial; partials are folded with combine(T, T) in a fixed-order
+// binary tree over chunk indices. Returns `identity` for an empty range.
+// combine must be associative; it need not be commutative.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 const MapFn& map_chunk, const CombineFn& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return identity;
+  const int64_t chunks = NumChunks(n, grain);
+  std::vector<T> partials(static_cast<size_t>(chunks), identity);
+  ParallelChunks(begin, end, grain,
+                 [&](int64_t chunk, int64_t b, int64_t e) {
+                   partials[static_cast<size_t>(chunk)] = map_chunk(b, e);
+                 });
+  // Fixed-order tree reduction: pairing depends only on the chunk count.
+  for (int64_t stride = 1; stride < chunks; stride *= 2) {
+    for (int64_t i = 0; i + stride < chunks; i += 2 * stride) {
+      partials[static_cast<size_t>(i)] =
+          combine(partials[static_cast<size_t>(i)],
+                  partials[static_cast<size_t>(i + stride)]);
+    }
+  }
+  return partials[0];
+}
+
+}  // namespace runtime
+}  // namespace msd
+
+#endif  // MSDMIXER_RUNTIME_PARALLEL_H_

@@ -1,0 +1,153 @@
+#include "runtime/thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace msd {
+namespace runtime {
+
+namespace {
+
+// Set while this thread executes a chunk body; nested parallel loops check it
+// through InParallelRegion() and fall back to inline execution.
+thread_local bool g_in_parallel_region = false;
+
+}  // namespace
+
+bool InParallelRegion() { return g_in_parallel_region; }
+
+int64_t ThreadPool::DefaultNumThreads() {
+  const char* env = std::getenv("MSD_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    MSD_CHECK(end != env && *end == '\0' && v >= 1)
+        << "MSD_THREADS must be a positive integer, got \"" << env << "\"";
+    return static_cast<int64_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int64_t>(hw);
+}
+
+ThreadPool::ThreadPool(int64_t num_threads) {
+  Start(num_threads > 0 ? num_threads : DefaultNumThreads());
+}
+
+ThreadPool::~ThreadPool() { Stop(); }
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked (like obs::Profiler::Global) so worker threads never race static
+  // destruction order at process exit.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+int64_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_threads_;
+}
+
+void ThreadPool::Start(int64_t num_threads) {
+  MSD_CHECK_GE(num_threads, 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    num_threads_ = num_threads;
+    stop_ = false;
+  }
+  // The calling thread is participant #0; only the extras are spawned.
+  workers_.reserve(static_cast<size_t>(num_threads - 1));
+  for (int64_t i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSD_CHECK(jobs_.empty())
+        << "ThreadPool resized or destroyed while a parallel loop is running";
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::Resize(int64_t num_threads) {
+  Stop();
+  Start(num_threads > 0 ? num_threads : DefaultNumThreads());
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (stop_) return;
+      job = jobs_.front();
+    }
+    WorkOn(*job);
+  }
+}
+
+void ThreadPool::WorkOn(Job& job) {
+  int64_t executed = 0;
+  const bool was_in_parallel = g_in_parallel_region;
+  g_in_parallel_region = true;
+  while (true) {
+    const int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.chunk_count) break;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*job.fn)(i);
+      } catch (...) {
+        job.failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+    ++executed;
+  }
+  g_in_parallel_region = was_in_parallel;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!job.dequeued) {
+    // The claim loop only exits once every index is taken, so the job can be
+    // retired from the queue even while other participants still execute
+    // their final chunks.
+    job.dequeued = true;
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == &job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  job.completed += executed;
+  if (job.completed == job.chunk_count) done_cv_.notify_all();
+}
+
+void ThreadPool::RunChunks(int64_t chunk_count, const ChunkFn& fn) {
+  MSD_CHECK_GT(chunk_count, 0);
+  Job job;
+  job.fn = &fn;
+  job.chunk_count = chunk_count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(&job);
+  }
+  work_cv_.notify_all();
+  WorkOn(job);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job.completed == job.chunk_count; });
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace runtime
+}  // namespace msd

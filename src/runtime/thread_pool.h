@@ -1,0 +1,109 @@
+// Persistent worker pool behind the ParallelFor/ParallelReduce primitives in
+// runtime/parallel.h (see docs/RUNTIME.md).
+//
+// Design:
+//  * One process-wide pool (Global()), sized from the MSD_THREADS environment
+//    variable, falling back to std::thread::hardware_concurrency(). A pool of
+//    size 1 owns no worker threads at all: every chunk runs inline on the
+//    calling thread, preserving the exact single-threaded execution of the
+//    pre-runtime library.
+//  * Work arrives as a fixed set of chunk indices (RunChunks). Workers and
+//    the calling thread claim indices from a shared atomic cursor, so load
+//    balances dynamically while the chunk *geometry* stays fixed — the
+//    determinism contract lives in runtime/parallel.h, which derives chunk
+//    boundaries from the iteration range only, never from the thread count.
+//  * The calling thread participates: RunChunks never blocks until every
+//    chunk has been claimed, so a pool of N threads applies N cores to the
+//    loop, not N-1.
+//  * Exceptions thrown by a chunk are captured (first one wins) and rethrown
+//    on the calling thread after the loop completes. The library's own
+//    MSD_CHECK failures abort the process directly, on whichever thread they
+//    fire — the pool adds no exception translation for those.
+//  * This is the only file in the tree allowed to spawn std::thread; the
+//    repo lint (tools/lint/lint.cc, rule no-raw-thread) enforces it.
+#ifndef MSDMIXER_RUNTIME_THREAD_POOL_H_
+#define MSDMIXER_RUNTIME_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace msd {
+namespace runtime {
+
+// Body invoked once per chunk index in [0, chunk_count).
+using ChunkFn = std::function<void(int64_t)>;
+
+// True while the calling thread is executing a chunk body (worker or
+// participating caller). Nested parallel loops observe this and run inline.
+bool InParallelRegion();
+
+class ThreadPool {
+ public:
+  // num_threads <= 0 resolves DefaultNumThreads().
+  explicit ThreadPool(int64_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // The process-wide pool every parallel primitive dispatches through.
+  static ThreadPool& Global();
+
+  // MSD_THREADS when set to a positive integer, else hardware concurrency
+  // (else 1). Read once per call so tests can vary the environment.
+  static int64_t DefaultNumThreads();
+
+  int64_t num_threads() const;
+
+  // Joins the workers and restarts with the new count (<= 0 restores the
+  // default). Fatal if called while a RunChunks is in flight.
+  void Resize(int64_t num_threads);
+
+  // Executes fn(0) .. fn(chunk_count - 1), each exactly once, on the worker
+  // threads plus the calling thread; blocks until every chunk has finished.
+  // The first exception thrown by `fn` is rethrown here; once a chunk has
+  // thrown, remaining unclaimed chunks are skipped.
+  void RunChunks(int64_t chunk_count, const ChunkFn& fn);
+
+ private:
+  // One parallel loop in flight. Lives on the submitting thread's stack;
+  // `completed` reaching chunk_count is the hand-off that lets the submitter
+  // destroy it.
+  struct Job {
+    const ChunkFn* fn = nullptr;
+    int64_t chunk_count = 0;
+    std::atomic<int64_t> next{0};     // claim cursor
+    std::atomic<bool> failed{false};  // fast-path skip after an exception
+    int64_t completed = 0;            // guarded by pool mu_
+    std::exception_ptr error;         // guarded by pool mu_
+    bool dequeued = false;            // guarded by pool mu_
+  };
+
+  void Start(int64_t num_threads);
+  void Stop();
+  void WorkerLoop();
+  // Claims and runs chunks of `job` until the cursor is exhausted, then folds
+  // the completion count into the job under mu_ (signalling done_cv_ when the
+  // job finishes) and dequeues it so idle workers stop scanning it.
+  void WorkOn(Job& job);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a job arrived or stop_
+  std::condition_variable done_cv_;  // submitters: a job completed
+  std::deque<Job*> jobs_;
+  std::vector<std::thread> workers_;
+  int64_t num_threads_ = 1;
+  bool stop_ = false;
+};
+
+}  // namespace runtime
+}  // namespace msd
+
+#endif  // MSDMIXER_RUNTIME_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -11,6 +12,9 @@ RegressionScores RunForecastExperiment(TaskModel& model,
                                        const Tensor& raw_series,
                                        const ForecastExperimentConfig& config,
                                        TrainStats* train_stats) {
+  // Every driver honours TrainerConfig::threads for its whole scope so the
+  // evaluation phase runs on the same pool size as training.
+  runtime::ScopedThreads scoped_threads(config.trainer.threads);
   SeriesSplits splits = SplitSeries(raw_series, config.split);
   StandardScaler scaler;
   scaler.Fit(splits.train);
@@ -30,6 +34,7 @@ RegressionScores RunForecastExperiment(TaskModel& model,
 RegressionScores RunImputationExperiment(
     TaskModel& model, const Tensor& raw_series,
     const ImputationExperimentConfig& config, TrainStats* train_stats) {
+  runtime::ScopedThreads scoped_threads(config.trainer.threads);
   SeriesSplits splits = SplitSeries(raw_series, config.split);
   StandardScaler scaler;
   scaler.Fit(splits.train);
@@ -62,6 +67,7 @@ M4Scores RunShortTermExperiment(TaskModel& model,
                                 const ShortTermExperimentConfig& config,
                                 TrainStats* train_stats) {
   MSD_CHECK(!series.empty());
+  runtime::ScopedThreads scoped_threads(config.trainer.threads);
   const int64_t lookback = ShortTermLookback(spec, config);
   MSD_CHECK_GT(lookback, 0);
 
@@ -130,6 +136,7 @@ AnomalyEvalResult RunAnomalyExperiment(TaskModel& model, const Tensor& train,
                                        const std::vector<int>& labels,
                                        const AnomalyExperimentConfig& config,
                                        TrainStats* train_stats) {
+  runtime::ScopedThreads scoped_threads(config.trainer.threads);
   StandardScaler scaler;
   scaler.Fit(train);
   Tensor train_scaled = scaler.Transform(train);
@@ -171,6 +178,7 @@ std::vector<Sample> MakeClassificationSamples(
 double RunClassificationExperiment(
     TaskModel& model, const ClassificationData& data,
     const ClassificationExperimentConfig& config, TrainStats* train_stats) {
+  runtime::ScopedThreads scoped_threads(config.trainer.threads);
   VectorDataset train_data(MakeClassificationSamples(data.train_x,
                                                      data.train_y));
   VectorDataset test_data(MakeClassificationSamples(data.test_x, data.test_y));

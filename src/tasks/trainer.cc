@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/profiler.h"
 #include "optim/optimizer.h"
+#include "runtime/parallel.h"
 
 namespace msd {
 
@@ -102,6 +103,7 @@ TrainStats Train(TaskModel& model, const Dataset& train_data,
                      task_loss,
                  const Dataset* validation) {
   MSD_CHECK_GT(config.epochs, 0);
+  runtime::ScopedThreads scoped_threads(config.threads);
   if (config.early_stop_patience > 0) {
     MSD_CHECK(validation != nullptr)
         << "early stopping requires a validation dataset";

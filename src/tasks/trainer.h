@@ -41,6 +41,10 @@ struct TrainerConfig {
   // improvement (0 disables; requires validation data to be passed).
   int64_t early_stop_patience = 0;
   uint64_t seed = 7;
+  // Pool size for the whole run (0 = inherit MSD_THREADS / the ambient
+  // runtime setting). Purely a wall-clock knob: training results are
+  // bit-identical for every value (docs/RUNTIME.md).
+  int64_t threads = 0;
   // Prints a per-epoch progress line (loss, val loss, grad norm, LR, epoch
   // seconds) to stderr, fed from the same telemetry the sink records.
   bool verbose = false;

@@ -1,6 +1,11 @@
 #include "tensor/conv.h"
 
+#include "runtime/parallel.h"
+#include "tensor/kernels.h"
+
 namespace msd {
+
+using kernel::GrainForWork;
 
 int64_t ConvOutSize(int64_t input, int64_t kernel, const Conv2dSpec& spec) {
   MSD_CHECK_GT(spec.stride, 0);
@@ -29,9 +34,17 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel,
   const float* pin = input.data();
   const float* pk = kernel.data();
   float* po = out.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t o = 0; o < out_channels; ++o) {
-      float* out_plane = po + (b * out_channels + o) * oh * ow;
+  // Parallel over (b, o) output planes: each plane is written by exactly one
+  // chunk, and its per-element accumulation order (c ascending) matches the
+  // serial kernel.
+  runtime::ParallelFor(
+      0, batch * out_channels,
+      GrainForWork(channels * oh * ow * kh * kw),
+      [&](int64_t pb, int64_t pe) {
+    for (int64_t plane = pb; plane < pe; ++plane) {
+      const int64_t b = plane / out_channels;
+      const int64_t o = plane % out_channels;
+      float* out_plane = po + plane * oh * ow;
       for (int64_t c = 0; c < channels; ++c) {
         const float* in_plane = pin + (b * channels + c) * height * width;
         const float* k_plane = pk + (o * channels + c) * kh * kw;
@@ -52,7 +65,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel,
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -75,11 +88,18 @@ Tensor Conv2dInputGrad(const Tensor& grad_output, const Tensor& kernel,
   const float* pg = grad_output.data();
   const float* pk = kernel.data();
   float* pi = grad_input.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t o = 0; o < out_channels; ++o) {
-      const float* g_plane = pg + (b * out_channels + o) * oh * ow;
-      for (int64_t c = 0; c < channels; ++c) {
-        float* in_plane = pi + (b * channels + c) * input_height * input_width;
+  // Parallel over (b, c) gradient planes — the accumulation targets — with
+  // o ascending innermost so each element keeps the serial order.
+  runtime::ParallelFor(
+      0, batch * channels,
+      GrainForWork(out_channels * oh * ow * kh * kw),
+      [&](int64_t pb, int64_t pe) {
+    for (int64_t plane = pb; plane < pe; ++plane) {
+      const int64_t b = plane / channels;
+      const int64_t c = plane % channels;
+      float* in_plane = pi + plane * input_height * input_width;
+      for (int64_t o = 0; o < out_channels; ++o) {
+        const float* g_plane = pg + (b * out_channels + o) * oh * ow;
         const float* k_plane = pk + (o * channels + c) * kh * kw;
         for (int64_t y = 0; y < oh; ++y) {
           for (int64_t x = 0; x < ow; ++x) {
@@ -98,7 +118,7 @@ Tensor Conv2dInputGrad(const Tensor& grad_output, const Tensor& kernel,
         }
       }
     }
-  }
+  });
   return grad_input;
 }
 
@@ -121,12 +141,19 @@ Tensor Conv2dKernelGrad(const Tensor& input, const Tensor& grad_output,
   const float* pin = input.data();
   const float* pg = grad_output.data();
   float* pk = grad_kernel.data();
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t o = 0; o < out_channels; ++o) {
-      const float* g_plane = pg + (b * out_channels + o) * oh * ow;
-      for (int64_t c = 0; c < channels; ++c) {
+  // Parallel over (o, c) kernel planes — the accumulation targets — with
+  // b ascending innermost so each element keeps the serial order.
+  runtime::ParallelFor(
+      0, out_channels * channels,
+      GrainForWork(batch * oh * ow * kernel_height * kernel_width),
+      [&](int64_t pb, int64_t pe) {
+    for (int64_t plane = pb; plane < pe; ++plane) {
+      const int64_t o = plane / channels;
+      const int64_t c = plane % channels;
+      float* k_plane = pk + plane * kernel_height * kernel_width;
+      for (int64_t b = 0; b < batch; ++b) {
+        const float* g_plane = pg + (b * out_channels + o) * oh * ow;
         const float* in_plane = pin + (b * channels + c) * height * width;
-        float* k_plane = pk + (o * channels + c) * kernel_height * kernel_width;
         for (int64_t y = 0; y < oh; ++y) {
           for (int64_t x = 0; x < ow; ++x) {
             const float g = g_plane[y * ow + x];
@@ -145,7 +172,7 @@ Tensor Conv2dKernelGrad(const Tensor& input, const Tensor& grad_output,
         }
       }
     }
-  }
+  });
   return grad_kernel;
 }
 

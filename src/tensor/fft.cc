@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "runtime/parallel.h"
 
 namespace msd {
 
@@ -60,22 +61,27 @@ std::vector<int64_t> TopPeriodsFft(const Tensor& series, int64_t top_k) {
   const int64_t channels = series.dim(0);
   const int64_t length = series.dim(1);
   // Average amplitude spectrum over channels (on the padded grid).
-  std::vector<double> mean_amplitude;
-  for (int64_t c = 0; c < channels; ++c) {
-    std::vector<float> row(series.data() + c * length,
-                           series.data() + (c + 1) * length);
-    // Remove the mean so the DC bin does not dominate bin leakage.
-    float mean = 0.0f;
-    for (float v : row) mean += v;
-    mean /= static_cast<float>(length);
-    for (float& v : row) v -= mean;
-    std::vector<double> amplitude = AmplitudeSpectrum(row);
-    if (mean_amplitude.empty()) {
-      mean_amplitude = std::move(amplitude);
-    } else {
-      for (size_t i = 0; i < amplitude.size(); ++i) {
-        mean_amplitude[i] += amplitude[i];
-      }
+  // Per-channel spectra are independent, so the FFT batch loop parallelizes
+  // over channels; the sum below merges them serially in channel order so
+  // the result is bit-identical for any MSD_THREADS.
+  std::vector<std::vector<double>> spectra(static_cast<size_t>(channels));
+  runtime::ParallelFor(0, channels, 1, [&](int64_t cb, int64_t ce) {
+    for (int64_t c = cb; c < ce; ++c) {
+      std::vector<float> row(series.data() + c * length,
+                             series.data() + (c + 1) * length);
+      // Remove the mean so the DC bin does not dominate bin leakage.
+      float mean = 0.0f;
+      for (float v : row) mean += v;
+      mean /= static_cast<float>(length);
+      for (float& v : row) v -= mean;
+      spectra[static_cast<size_t>(c)] = AmplitudeSpectrum(row);
+    }
+  });
+  std::vector<double> mean_amplitude = std::move(spectra[0]);
+  for (int64_t c = 1; c < channels; ++c) {
+    const auto& amplitude = spectra[static_cast<size_t>(c)];
+    for (size_t i = 0; i < amplitude.size(); ++i) {
+      mean_amplitude[i] += amplitude[i];
     }
   }
   const size_t padded = (mean_amplitude.size() - 1) * 2;

@@ -1,0 +1,261 @@
+// Unified kernel dispatch layer: generic elementwise / reduction templates
+// that route every tensor kernel through the parallel runtime
+// (runtime/parallel.h, docs/RUNTIME.md).
+//
+// MapKernel   — out[i] = f(a[i])
+// ZipKernel   — broadcasted out[i] = f(a[...], b[...])
+// ReduceKernel— whole-tensor reduction with fixed-order tree combine
+//
+// All three inherit the runtime's determinism contract: chunk boundaries
+// derive from element counts and the grain constants below, never the
+// thread count, so results are bit-identical for any MSD_THREADS value.
+// Internal header: tensor kernels (tensor_ops.cc, conv.cc, fft.cc) only.
+#ifndef MSDMIXER_TENSOR_KERNELS_H_
+#define MSDMIXER_TENSOR_KERNELS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+#include "common/debug.h"
+#include "runtime/parallel.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace kernel {
+
+#if MSD_DEBUG_CHECKS_ENABLED
+
+// Shape/metadata consistency at kernel entry. Storage is always contiguous
+// row-major in this library, so strides are derived from the shape; the
+// invariant that can break (via memory corruption or a future view feature
+// gone wrong) is the cached element count diverging from the shape product.
+inline void DebugValidateTensor(const Tensor& t, const char* op) {
+  MSD_CHECK(t.defined()) << "debug check: undefined tensor passed to " << op;
+  MSD_CHECK_EQ(t.numel(), NumElementsOf(t.shape()))
+      << "debug check: tensor metadata corrupted at entry of " << op
+      << " (shape " << ShapeToString(t.shape()) << ")";
+}
+
+// Alias-overlap guard for elementwise kernels: every kernel writes a freshly
+// allocated output, so any overlap with an input buffer means the allocator
+// or a future in-place path handed out aliasing storage.
+inline void DebugCheckNoAlias(const Tensor& out, const Tensor& in,
+                              const char* op) {
+  MSD_CHECK(!debug::RangesOverlap(
+      out.data(), out.numel() * static_cast<int64_t>(sizeof(float)),
+      in.data(), in.numel() * static_cast<int64_t>(sizeof(float))))
+      << "debug check: output of " << op << " aliases an input buffer "
+      << "(shapes " << ShapeToString(out.shape()) << " / "
+      << ShapeToString(in.shape()) << ")";
+}
+
+#define MSD_DEBUG_VALIDATE_TENSOR(t, op) ::msd::kernel::DebugValidateTensor(t, op)
+#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
+  ::msd::kernel::DebugCheckNoAlias(out, in, op)
+
+#else  // !MSD_DEBUG_CHECKS_ENABLED
+
+// Arguments are referenced (but not evaluated) so loop variables that exist
+// only to be validated do not trip -Wunused-variable.
+#define MSD_DEBUG_VALIDATE_TENSOR(t, op) \
+  ((void)sizeof(&(t)), (void)(op))
+#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
+  ((void)sizeof(&(out)), (void)sizeof(&(in)), (void)(op))
+
+#endif  // MSD_DEBUG_CHECKS_ENABLED
+
+// Minimum elements per chunk for elementwise kernels: small enough to spread
+// mixer-sized tensors across the pool, large enough that chunk dispatch is
+// noise next to the loop body. Chunk *boundaries* derive from these grains
+// and the element count only — never the thread count.
+inline constexpr int64_t kElementwiseGrain = 4096;
+// Reductions chunk coarser: each chunk's partial costs a combine step.
+inline constexpr int64_t kReduceGrain = 8192;
+
+// Grain for loops whose iteration does `work` elements' worth of compute
+// (rows, matrices, memcpy blocks): aims chunks at ~kElementwiseGrain
+// elements each.
+inline int64_t GrainForWork(int64_t work) {
+  return std::max<int64_t>(1, kElementwiseGrain / std::max<int64_t>(1, work));
+}
+
+// Strides for `shape` right-aligned into the rank of `out`, with 0 stride
+// for broadcast (size-1 against larger) dimensions.
+inline std::vector<int64_t> BroadcastStrides(const Shape& shape,
+                                             const Shape& out) {
+  const int64_t out_rank = static_cast<int64_t>(out.size());
+  const int64_t in_rank = static_cast<int64_t>(shape.size());
+  const auto in_strides = RowMajorStrides(shape);
+  std::vector<int64_t> strides(static_cast<size_t>(out_rank), 0);
+  for (int64_t i = 0; i < in_rank; ++i) {
+    const int64_t out_axis = out_rank - in_rank + i;
+    if (shape[static_cast<size_t>(i)] == out[static_cast<size_t>(out_axis)]) {
+      strides[static_cast<size_t>(out_axis)] =
+          in_strides[static_cast<size_t>(i)];
+    } else {
+      MSD_CHECK_EQ(shape[static_cast<size_t>(i)], 1)
+          << "shape " << ShapeToString(shape) << " does not broadcast to "
+          << ShapeToString(out);
+      strides[static_cast<size_t>(out_axis)] = 0;
+    }
+  }
+  return strides;
+}
+
+// True when `suffix` equals the trailing dims of `shape` (so a contiguous
+// buffer of the suffix shape tiles the larger one exactly).
+inline bool IsSuffixShape(const Shape& suffix, const Shape& shape) {
+  if (suffix.size() > shape.size()) return false;
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    if (suffix[suffix.size() - 1 - i] != shape[shape.size() - 1 - i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Unflattens linear index `i` of `shape` into `index` and returns the dot
+// product with `strides` — the chunk-entry offset for strided kernels.
+inline int64_t UnflattenOffset(int64_t i, const Shape& shape,
+                               const std::vector<int64_t>& strides,
+                               std::vector<int64_t>& index) {
+  int64_t off = 0;
+  for (int64_t axis = static_cast<int64_t>(shape.size()) - 1; axis >= 0;
+       --axis) {
+    const size_t u = static_cast<size_t>(axis);
+    index[u] = i % shape[u];
+    i /= shape[u];
+    off += index[u] * strides[u];
+  }
+  return off;
+}
+
+// MapKernel: elementwise unary op, parallel over fixed chunks.
+template <typename F>
+Tensor MapKernel(const Tensor& a, F f) {
+  MSD_CHECK(a.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "MapKernel");
+  Tensor out = Tensor::Uninitialized(a.shape());
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "MapKernel");
+  const float* pa = a.data();
+  float* po = out.data();
+  runtime::ParallelFor(0, a.numel(), kElementwiseGrain,
+                       [&](int64_t cb, int64_t ce) {
+                         for (int64_t i = cb; i < ce; ++i) po[i] = f(pa[i]);
+                       });
+  return out;
+}
+
+// ZipKernel: broadcasted elementwise binary op, parallel over the output.
+// Each output element is written by exactly one chunk, so results are
+// independent of chunk execution order.
+template <typename F>
+Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(b.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "ZipKernel");
+  MSD_DEBUG_VALIDATE_TENSOR(b, "ZipKernel");
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
+    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    runtime::ParallelFor(0, out.numel(), kElementwiseGrain,
+                         [&](int64_t cb, int64_t ce) {
+                           for (int64_t i = cb; i < ce; ++i) {
+                             po[i] = f(pa[i], pb[i]);
+                           }
+                         });
+    return out;
+  }
+  // Fast path: one side tiles the other as a suffix (e.g. bias add) — the
+  // common case in Linear layers and per-channel scaling. `b_tiles_a`
+  // preserves the argument order of `f` when b is the large side.
+  const bool b_tiles_a = b.numel() > 0 && IsSuffixShape(b.shape(), a.shape());
+  const bool a_tiles_b = a.numel() > 0 && IsSuffixShape(a.shape(), b.shape());
+  if (b_tiles_a || a_tiles_b) {
+    const Tensor& big = b_tiles_a ? a : b;
+    const Tensor& small = b_tiles_a ? b : a;
+    Tensor out = Tensor::Uninitialized(big.shape());
+    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
+    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+    const float* pbig = big.data();
+    const float* psmall = small.data();
+    float* po = out.data();
+    const int64_t inner = small.numel();
+    const int64_t outer = big.numel() / inner;
+    runtime::ParallelFor(0, outer, GrainForWork(inner),
+                         [&](int64_t cb, int64_t ce) {
+      for (int64_t o = cb; o < ce; ++o) {
+        const float* row = pbig + o * inner;
+        float* dst = po + o * inner;
+        if (b_tiles_a) {
+          for (int64_t i = 0; i < inner; ++i) dst[i] = f(row[i], psmall[i]);
+        } else {
+          for (int64_t i = 0; i < inner; ++i) dst[i] = f(psmall[i], row[i]);
+        }
+      }
+    });
+    return out;
+  }
+  // General case: odometer walk over the broadcast output shape. Each chunk
+  // re-derives its input offsets from its first linear index, so chunks are
+  // independent.
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out = Tensor::Uninitialized(out_shape);
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
+  MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  runtime::ParallelFor(0, out.numel(), kElementwiseGrain,
+                       [&](int64_t cb, int64_t ce) {
+    std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+    int64_t oa = UnflattenOffset(cb, out_shape, sa, index);
+    int64_t ob = UnflattenOffset(cb, out_shape, sb, index);
+    for (int64_t i = cb; i < ce; ++i) {
+      po[i] = f(pa[oa], pb[ob]);
+      // Odometer increment.
+      for (int64_t axis = rank - 1; axis >= 0; --axis) {
+        const size_t u = static_cast<size_t>(axis);
+        ++index[u];
+        oa += sa[u];
+        ob += sb[u];
+        if (index[u] < out_shape[u]) break;
+        oa -= sa[u] * out_shape[u];
+        ob -= sb[u] * out_shape[u];
+        index[u] = 0;
+      }
+    }
+  });
+  return out;
+}
+
+// ReduceKernel: whole-tensor reduction. Per-chunk partials are combined with
+// runtime::ParallelReduce's fixed-order tree, so the result is bit-identical
+// for every MSD_THREADS value. T must not be bool (std::vector<bool> packs
+// bits and concurrent chunk writes would race) — use int for predicates.
+template <typename T, typename MapFn, typename CombineFn>
+T ReduceKernel(const Tensor& a, T identity, const MapFn& map_chunk,
+               const CombineFn& combine) {
+  static_assert(!std::is_same_v<T, bool>,
+                "use int partials: vector<bool> bits race across chunks");
+  MSD_CHECK(a.defined());
+  return runtime::ParallelReduce(0, a.numel(), kReduceGrain, identity,
+                                 map_chunk, combine);
+}
+
+}  // namespace kernel
+}  // namespace msd
+
+#endif  // MSDMIXER_TENSOR_KERNELS_H_

@@ -9,179 +9,18 @@
 #include "common/debug.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
+#include "runtime/parallel.h"
+#include "tensor/kernels.h"
 
 namespace msd {
 
+using kernel::BroadcastStrides;
+using kernel::GrainForWork;
+using kernel::MapKernel;
+using kernel::ReduceKernel;
+using kernel::ZipKernel;
+
 namespace {
-
-#if MSD_DEBUG_CHECKS_ENABLED
-
-// Shape/metadata consistency at kernel entry. Storage is always contiguous
-// row-major in this library, so strides are derived from the shape; the
-// invariant that can break (via memory corruption or a future view feature
-// gone wrong) is the cached element count diverging from the shape product.
-void DebugValidateTensor(const Tensor& t, const char* op) {
-  MSD_CHECK(t.defined()) << "debug check: undefined tensor passed to " << op;
-  MSD_CHECK_EQ(t.numel(), NumElementsOf(t.shape()))
-      << "debug check: tensor metadata corrupted at entry of " << op
-      << " (shape " << ShapeToString(t.shape()) << ")";
-}
-
-// Alias-overlap guard for elementwise kernels: every kernel here writes a
-// freshly allocated output, so any overlap with an input buffer means the
-// allocator or a future in-place path handed out aliasing storage.
-void DebugCheckNoAlias(const Tensor& out, const Tensor& in, const char* op) {
-  MSD_CHECK(!debug::RangesOverlap(
-      out.data(), out.numel() * static_cast<int64_t>(sizeof(float)),
-      in.data(), in.numel() * static_cast<int64_t>(sizeof(float))))
-      << "debug check: output of " << op << " aliases an input buffer "
-      << "(shapes " << ShapeToString(out.shape()) << " / "
-      << ShapeToString(in.shape()) << ")";
-}
-
-#define MSD_DEBUG_VALIDATE_TENSOR(t, op) DebugValidateTensor(t, op)
-#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) DebugCheckNoAlias(out, in, op)
-
-#else  // !MSD_DEBUG_CHECKS_ENABLED
-
-// Arguments are referenced (but not evaluated) so loop variables that exist
-// only to be validated do not trip -Wunused-variable.
-#define MSD_DEBUG_VALIDATE_TENSOR(t, op) \
-  ((void)sizeof(&(t)), (void)(op))
-#define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
-  ((void)sizeof(&(out)), (void)sizeof(&(in)), (void)(op))
-
-#endif  // MSD_DEBUG_CHECKS_ENABLED
-
-// Strides for `shape` right-aligned into `rank` axes, with 0 stride for
-// broadcast (size-1 against larger) dimensions.
-std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
-  const int64_t out_rank = static_cast<int64_t>(out.size());
-  const int64_t in_rank = static_cast<int64_t>(shape.size());
-  const auto in_strides = RowMajorStrides(shape);
-  std::vector<int64_t> strides(static_cast<size_t>(out_rank), 0);
-  for (int64_t i = 0; i < in_rank; ++i) {
-    const int64_t out_axis = out_rank - in_rank + i;
-    if (shape[static_cast<size_t>(i)] == out[static_cast<size_t>(out_axis)]) {
-      strides[static_cast<size_t>(out_axis)] = in_strides[static_cast<size_t>(i)];
-    } else {
-      MSD_CHECK_EQ(shape[static_cast<size_t>(i)], 1)
-          << "shape " << ShapeToString(shape) << " does not broadcast to "
-          << ShapeToString(out);
-      strides[static_cast<size_t>(out_axis)] = 0;
-    }
-  }
-  return strides;
-}
-
-// True when `suffix` equals the trailing dims of `shape` (so a contiguous
-// buffer of the suffix shape tiles the larger one exactly).
-bool IsSuffixShape(const Shape& suffix, const Shape& shape) {
-  if (suffix.size() > shape.size()) return false;
-  for (size_t i = 0; i < suffix.size(); ++i) {
-    if (suffix[suffix.size() - 1 - i] != shape[shape.size() - 1 - i]) {
-      return false;
-    }
-  }
-  return true;
-}
-
-template <typename F>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, F f) {
-  MSD_CHECK(a.defined());
-  MSD_CHECK(b.defined());
-  MSD_DEBUG_VALIDATE_TENSOR(a, "BinaryOp");
-  MSD_DEBUG_VALIDATE_TENSOR(b, "BinaryOp");
-  // Fast path: identical shapes.
-  if (a.shape() == b.shape()) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
-    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    const int64_t n = out.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
-    return out;
-  }
-  // Fast path: b tiles a as a suffix (e.g. bias add) — the common case in
-  // Linear layers and per-channel scaling.
-  if (b.numel() > 0 && IsSuffixShape(b.shape(), a.shape())) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
-    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    const int64_t inner = b.numel();
-    const int64_t outer = a.numel() / inner;
-    for (int64_t o = 0; o < outer; ++o) {
-      const float* row = pa + o * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = f(row[i], pb[i]);
-    }
-    return out;
-  }
-  // Mirror: a tiles b as a suffix.
-  if (a.numel() > 0 && IsSuffixShape(a.shape(), b.shape())) {
-    Tensor out = Tensor::Uninitialized(b.shape());
-    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
-    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
-    const float* pa = a.data();
-    const float* pb = b.data();
-    float* po = out.data();
-    const int64_t inner = a.numel();
-    const int64_t outer = b.numel() / inner;
-    for (int64_t o = 0; o < outer; ++o) {
-      const float* row = pb + o * inner;
-      float* dst = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) dst[i] = f(pa[i], row[i]);
-    }
-    return out;
-  }
-  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out = Tensor::Uninitialized(out_shape);
-  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "BinaryOp");
-  MSD_DEBUG_CHECK_NO_ALIAS(out, b, "BinaryOp");
-  const auto sa = BroadcastStrides(a.shape(), out_shape);
-  const auto sb = BroadcastStrides(b.shape(), out_shape);
-  const int64_t rank = static_cast<int64_t>(out_shape.size());
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* po = out.data();
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  int64_t oa = 0;
-  int64_t ob = 0;
-  const int64_t n = out.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = f(pa[oa], pb[ob]);
-    // Odometer increment.
-    for (int64_t axis = rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      ++index[u];
-      oa += sa[u];
-      ob += sb[u];
-      if (index[u] < out_shape[u]) break;
-      oa -= sa[u] * out_shape[u];
-      ob -= sb[u] * out_shape[u];
-      index[u] = 0;
-    }
-  }
-  return out;
-}
-
-template <typename F>
-Tensor UnaryOp(const Tensor& a, F f) {
-  MSD_CHECK(a.defined());
-  MSD_DEBUG_VALIDATE_TENSOR(a, "UnaryOp");
-  Tensor out = Tensor::Uninitialized(a.shape());
-  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "UnaryOp");
-  const float* pa = a.data();
-  float* po = out.data();
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i]);
-  return out;
-}
 
 // Resolves and validates reduction dims; returns a sorted, deduped list of
 // non-negative axes.
@@ -190,6 +29,45 @@ std::vector<int64_t> NormalizeDims(std::vector<int64_t> dims, int64_t rank) {
   std::sort(dims.begin(), dims.end());
   dims.erase(std::unique(dims.begin(), dims.end()), dims.end());
   return dims;
+}
+
+// Shape of `a` with the (sorted) reduced axes removed.
+Shape SqueezeDims(const Tensor& a, const std::vector<int64_t>& dims) {
+  Shape squeezed;
+  for (int64_t i = 0; i < a.rank(); ++i) {
+    if (!std::binary_search(dims.begin(), dims.end(), i)) {
+      squeezed.push_back(a.dim(i));
+    }
+  }
+  return squeezed;
+}
+
+// Serial odometer over every element of `a`, calling
+// visit(i, out_off, dim_pos): `i` the linear input index, `out_off` the
+// offset under `out_strides` (0-stride on reduced axes folds many inputs
+// onto one output slot), `dim_pos` the current index along `track_dim`
+// (-1 to skip tracking). Shared by the generic Sum / MaxReduce / ArgMax
+// paths; stays serial because output slots are written by many iterations.
+template <typename V>
+void ReduceVisit(const Tensor& a, const std::vector<int64_t>& out_strides,
+                 int64_t track_dim, V visit) {
+  const int64_t rank = a.rank();
+  const Shape& in_shape = a.shape();
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  int64_t off = 0;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    visit(i, off,
+          track_dim >= 0 ? index[static_cast<size_t>(track_dim)] : int64_t{0});
+    for (int64_t axis = rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      ++index[u];
+      off += out_strides[u];
+      if (index[u] < in_shape[u]) break;
+      off -= out_strides[u] * in_shape[u];
+      index[u] = 0;
+    }
+  }
 }
 
 }  // namespace
@@ -251,77 +129,77 @@ Tensor ReduceTo(const Tensor& t, const Shape& target) {
 }
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x + y; });
+  return ZipKernel(a, b, [](float x, float y) { return x + y; });
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x - y; });
+  return ZipKernel(a, b, [](float x, float y) { return x - y; });
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x * y; });
+  return ZipKernel(a, b, [](float x, float y) { return x * y; });
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x / y; });
+  return ZipKernel(a, b, [](float x, float y) { return x / y; });
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::max(x, y); });
+  return ZipKernel(a, b, [](float x, float y) { return std::max(x, y); });
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return std::min(x, y); });
+  return ZipKernel(a, b, [](float x, float y) { return std::min(x, y); });
 }
 Tensor Greater(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
+  return ZipKernel(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
 }
 Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
+  return ZipKernel(a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x + s; });
+  return MapKernel(a, [s](float x) { return x + s; });
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(a, [s](float x) { return x * s; });
+  return MapKernel(a, [s](float x) { return x * s; });
 }
 
 Tensor Neg(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return -x; });
+  return MapKernel(a, [](float x) { return -x; });
 }
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::exp(x); });
+  return MapKernel(a, [](float x) { return std::exp(x); });
 }
 Tensor Log(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::log(x); });
+  return MapKernel(a, [](float x) { return std::log(x); });
 }
 Tensor Sqrt(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::sqrt(x); });
+  return MapKernel(a, [](float x) { return std::sqrt(x); });
 }
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::fabs(x); });
+  return MapKernel(a, [](float x) { return std::fabs(x); });
 }
 Tensor Square(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x * x; });
+  return MapKernel(a, [](float x) { return x * x; });
 }
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return MapKernel(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 Tensor Gelu(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
+  return MapKernel(a, [](float x) {
     return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
   });
 }
 Tensor Sigmoid(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return MapKernel(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
 }
 Tensor Tanh(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return std::tanh(x); });
+  return MapKernel(a, [](float x) { return std::tanh(x); });
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
-  return UnaryOp(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+  return MapKernel(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
 }
 Tensor Sign(const Tensor& a) {
-  return UnaryOp(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+  return MapKernel(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 Tensor GeluGrad(const Tensor& a) {
-  return UnaryOp(a, [](float x) {
+  return MapKernel(a, [](float x) {
     const float phi_big = 0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
     const float phi_small =
         std::exp(-0.5f * x * x) * 0.39894228040143267f;  // 1/sqrt(2*pi)
@@ -363,52 +241,69 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
   const auto sa = BroadcastStrides(a_batch, batch);
   const auto sb = BroadcastStrides(b_batch, batch);
-  const int64_t batch_rank = static_cast<int64_t>(batch.size());
   const int64_t a_mat = m * k;
   const int64_t b_mat = k * n;
-  const int64_t o_mat = m * n;
 
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
 
-  // sa/sb strides are in whole-matrix units over the batch dims.
-  std::vector<int64_t> index(static_cast<size_t>(batch_rank), 0);
-  for (int64_t batch_i = 0; batch_i < batch_numel; ++batch_i) {
-    int64_t oa = 0;
-    int64_t ob = 0;
-    for (int64_t axis = 0; axis < batch_rank; ++axis) {
-      const size_t u = static_cast<size_t>(axis);
-      oa += index[u] * sa[u];
-      ob += index[u] * sb[u];
+  // Per-batch matrix offsets (sa/sb strides are in whole-matrix units over
+  // the batch dims), precomputed so the parallel row loop can jump anywhere.
+  std::vector<int64_t> a_off(static_cast<size_t>(batch_numel), 0);
+  std::vector<int64_t> b_off(static_cast<size_t>(batch_numel), 0);
+  {
+    std::vector<int64_t> index(batch.size(), 0);
+    for (int64_t batch_i = 0; batch_i < batch_numel; ++batch_i) {
+      int64_t oa = 0;
+      int64_t ob = 0;
+      for (size_t u = 0; u < batch.size(); ++u) {
+        oa += index[u] * sa[u];
+        ob += index[u] * sb[u];
+      }
+      a_off[static_cast<size_t>(batch_i)] = oa * a_mat;
+      b_off[static_cast<size_t>(batch_i)] = ob * b_mat;
+      for (int64_t axis = static_cast<int64_t>(batch.size()) - 1; axis >= 0;
+           --axis) {
+        const size_t u = static_cast<size_t>(axis);
+        if (++index[u] < batch[u]) break;
+        index[u] = 0;
+      }
     }
-    const float* A = pa + oa * a_mat;
-    const float* B = pb + ob * b_mat;
-    float* C = po + batch_i * o_mat;
-    // ikj loop order: C rows accumulate from contiguous B rows.
-    for (int64_t i = 0; i < m; ++i) {
-      float* c_row = C + i * n;
-      const float* a_row = A + i * k;
+  }
+
+  // Parallel over output rows across all batches. Each row is produced by
+  // exactly one chunk, and its accumulation order (kk ascending) matches the
+  // serial kernel, so results are bit-identical at any thread count.
+  runtime::ParallelFor(0, batch_numel * m, GrainForWork(k * n),
+                       [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const int64_t batch_i = r / m;
+      const float* A = pa + a_off[static_cast<size_t>(batch_i)];
+      const float* B = pb + b_off[static_cast<size_t>(batch_i)];
+      float* c_row = po + r * n;
+      const float* a_row = A + (r % m) * k;
+      // ikj loop order: C rows accumulate from contiguous B rows.
       for (int64_t kk = 0; kk < k; ++kk) {
         const float aik = a_row[kk];
         const float* b_row = B + kk * n;
         for (int64_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
       }
     }
-    for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      if (++index[u] < batch[u]) break;
-      index[u] = 0;
-    }
-  }
+  });
   return out;
 }
 
 Tensor SumAll(const Tensor& a) {
-  MSD_CHECK(a.defined());
-  double acc = 0.0;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  const double acc = ReduceKernel(
+      a, 0.0,
+      [p](int64_t cb, int64_t ce) {
+        double partial = 0.0;
+        for (int64_t i = cb; i < ce; ++i) partial += p[i];
+        return partial;
+      },
+      [](double x, double y) { return x + y; });
   return Tensor::Scalar(static_cast<float>(acc));
 }
 
@@ -418,10 +313,15 @@ Tensor MeanAll(const Tensor& a) {
 }
 
 float MaxAbs(const Tensor& a) {
-  float best = 0.0f;
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) best = std::max(best, std::fabs(p[i]));
-  return best;
+  return ReduceKernel(
+      a, 0.0f,
+      [p](int64_t cb, int64_t ce) {
+        float best = 0.0f;
+        for (int64_t i = cb; i < ce; ++i) best = std::max(best, std::fabs(p[i]));
+        return best;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
@@ -435,7 +335,9 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   for (int64_t d : dims) keep_shape[static_cast<size_t>(d)] = 1;
 
   // Fast path: reducing a contiguous prefix of axes (e.g. bias gradients)
-  // or a contiguous suffix (e.g. per-row sums).
+  // or a contiguous suffix (e.g. per-row sums). Both parallelize over the
+  // *kept* elements, so each output slot keeps the serial kernel's
+  // accumulation order.
   const bool is_prefix =
       dims.back() == static_cast<int64_t>(dims.size()) - 1;
   const bool is_suffix = dims.front() == rank - static_cast<int64_t>(dims.size());
@@ -447,59 +349,40 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
     const float* pa = a.data();
     float* po = out.data();
     if (is_prefix) {
-      // Sum `reduced` stacked blocks of length `kept`.
-      for (int64_t r = 0; r < reduced; ++r) {
-        const float* block = pa + r * kept;
-        for (int64_t i = 0; i < kept; ++i) po[i] += block[i];
-      }
+      // Sum `reduced` stacked blocks of length `kept`; r ascends innermost
+      // per output element, matching the serial block order.
+      runtime::ParallelFor(0, kept, GrainForWork(reduced),
+                           [&](int64_t cb, int64_t ce) {
+        for (int64_t r = 0; r < reduced; ++r) {
+          const float* block = pa + r * kept;
+          for (int64_t i = cb; i < ce; ++i) po[i] += block[i];
+        }
+      });
     } else {
       // Row sums: `kept` rows of length `reduced`.
-      for (int64_t i = 0; i < kept; ++i) {
-        const float* row = pa + i * reduced;
-        float acc = 0.0f;
-        for (int64_t j = 0; j < reduced; ++j) acc += row[j];
-        po[i] = acc;
-      }
+      runtime::ParallelFor(0, kept, GrainForWork(reduced),
+                           [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+          const float* row = pa + i * reduced;
+          float acc = 0.0f;
+          for (int64_t j = 0; j < reduced; ++j) acc += row[j];
+          po[i] = acc;
+        }
+      });
     }
     if (keepdim) return out;
-    Shape squeezed;
-    for (int64_t i = 0; i < rank; ++i) {
-      if (!std::binary_search(dims.begin(), dims.end(), i)) {
-        squeezed.push_back(a.dim(i));
-      }
-    }
-    return out.Reshape(squeezed);
+    return out.Reshape(SqueezeDims(a, dims));
   }
 
   Tensor out(keep_shape);
-  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
   // out_strides has 0 on reduced axes, so many input positions map to the
   // same output slot, accumulating the reduction.
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  int64_t off = 0;
-  const int64_t n = a.numel();
-  const Shape& in_shape = a.shape();
-  for (int64_t i = 0; i < n; ++i) {
-    po[off] += pa[i];
-    for (int64_t axis = rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      ++index[u];
-      off += out_strides[u];
-      if (index[u] < in_shape[u]) break;
-      off -= out_strides[u] * in_shape[u];
-      index[u] = 0;
-    }
-  }
+  ReduceVisit(a, BroadcastStrides(keep_shape, a.shape()), -1,
+              [&](int64_t i, int64_t off, int64_t) { po[off] += pa[i]; });
   if (keepdim) return out;
-  Shape squeezed;
-  for (int64_t i = 0; i < rank; ++i) {
-    if (!std::binary_search(dims.begin(), dims.end(), i)) {
-      squeezed.push_back(a.dim(i));
-    }
-  }
-  return out.Reshape(squeezed);
+  return out.Reshape(SqueezeDims(a, dims));
 }
 
 Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
@@ -517,29 +400,14 @@ Tensor MaxReduce(const Tensor& a, int64_t dim, bool keepdim) {
   Shape keep_shape = a.shape();
   keep_shape[static_cast<size_t>(dim)] = 1;
   Tensor out = Tensor::Full(keep_shape, -std::numeric_limits<float>::infinity());
-  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  int64_t off = 0;
-  const Shape& in_shape = a.shape();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    po[off] = std::max(po[off], pa[i]);
-    for (int64_t axis = rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      ++index[u];
-      off += out_strides[u];
-      if (index[u] < in_shape[u]) break;
-      off -= out_strides[u] * in_shape[u];
-      index[u] = 0;
-    }
-  }
+  ReduceVisit(a, BroadcastStrides(keep_shape, a.shape()), -1,
+              [&](int64_t i, int64_t off, int64_t) {
+                po[off] = std::max(po[off], pa[i]);
+              });
   if (keepdim) return out;
-  Shape squeezed;
-  for (int64_t i = 0; i < rank; ++i) {
-    if (i != dim) squeezed.push_back(a.dim(i));
-  }
-  return out.Reshape(squeezed);
+  return out.Reshape(SqueezeDims(a, {dim}));
 }
 
 Tensor ArgMax(const Tensor& a, int64_t dim) {
@@ -549,32 +417,17 @@ Tensor ArgMax(const Tensor& a, int64_t dim) {
   keep_shape[static_cast<size_t>(dim)] = 1;
   Tensor best = Tensor::Full(keep_shape, -std::numeric_limits<float>::infinity());
   Tensor arg(keep_shape);
-  const auto out_strides = BroadcastStrides(keep_shape, a.shape());
   const float* pa = a.data();
   float* pbest = best.data();
   float* parg = arg.data();
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  int64_t off = 0;
-  const Shape& in_shape = a.shape();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const int64_t pos = index[static_cast<size_t>(dim)];
-    if (pa[i] > pbest[off]) {
-      pbest[off] = pa[i];
-      parg[off] = static_cast<float>(pos);
-    }
-    for (int64_t axis = rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      ++index[u];
-      off += out_strides[u];
-      if (index[u] < in_shape[u]) break;
-      off -= out_strides[u] * in_shape[u];
-      index[u] = 0;
-    }
-  }
-  Shape squeezed;
-  for (int64_t i = 0; i < rank; ++i) {
-    if (i != dim) squeezed.push_back(a.dim(i));
-  }
+  ReduceVisit(a, BroadcastStrides(keep_shape, a.shape()), dim,
+              [&](int64_t i, int64_t off, int64_t pos) {
+                if (pa[i] > pbest[off]) {
+                  pbest[off] = pa[i];
+                  parg[off] = static_cast<float>(pos);
+                }
+              });
+  const Shape squeezed = SqueezeDims(a, {dim});
   if (squeezed.empty()) return arg.Reshape({});
   return arg.Reshape(squeezed);
 }
@@ -592,7 +445,8 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
     out_shape[static_cast<size_t>(i)] = a.dim(p);
   }
   // Fast path: swapping the last two axes (batched 2D transpose), the
-  // dominant movement pattern in the mixer's axis-MLP blocks.
+  // dominant movement pattern in the mixer's axis-MLP blocks. Parallel over
+  // batch matrices — each writes a disjoint output block.
   if (rank >= 2) {
     bool last_two_swap = true;
     for (int64_t i = 0; i < rank - 2; ++i) {
@@ -612,14 +466,17 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
       Tensor out = Tensor::Uninitialized(out_shape);
       const float* pa = a.data();
       float* po = out.data();
-      for (int64_t b = 0; b < batch; ++b) {
-        const float* src = pa + b * rows * cols;
-        float* dst = po + b * rows * cols;
-        for (int64_t r = 0; r < rows; ++r) {
-          const float* s = src + r * cols;
-          for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = s[c];
+      runtime::ParallelFor(0, batch, GrainForWork(rows * cols),
+                           [&](int64_t bb, int64_t be) {
+        for (int64_t b = bb; b < be; ++b) {
+          const float* src = pa + b * rows * cols;
+          float* dst = po + b * rows * cols;
+          for (int64_t r = 0; r < rows; ++r) {
+            const float* s = src + r * cols;
+            for (int64_t c = 0; c < cols; ++c) dst[c * rows + r] = s[c];
+          }
         }
-      }
+      });
       return out;
     }
   }
@@ -634,20 +491,22 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   }
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  int64_t off = 0;
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = pa[off];
-    for (int64_t axis = rank - 1; axis >= 0; --axis) {
-      const size_t u = static_cast<size_t>(axis);
-      ++index[u];
-      off += gather_strides[u];
-      if (index[u] < out_shape[u]) break;
-      off -= gather_strides[u] * out_shape[u];
-      index[u] = 0;
+  runtime::ParallelFor(0, a.numel(), kernel::kElementwiseGrain,
+                       [&](int64_t cb, int64_t ce) {
+    std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+    int64_t off = kernel::UnflattenOffset(cb, out_shape, gather_strides, index);
+    for (int64_t i = cb; i < ce; ++i) {
+      po[i] = pa[off];
+      for (int64_t axis = rank - 1; axis >= 0; --axis) {
+        const size_t u = static_cast<size_t>(axis);
+        ++index[u];
+        off += gather_strides[u];
+        if (index[u] < out_shape[u]) break;
+        off -= gather_strides[u] * out_shape[u];
+        index[u] = 0;
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -681,11 +540,14 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
   const int64_t in_dim = a.dim(dim);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = pa + (o * in_dim + start) * inner;
-    float* dst = po + o * length * inner;
-    std::memcpy(dst, src, static_cast<size_t>(length * inner) * sizeof(float));
-  }
+  runtime::ParallelFor(0, outer, GrainForWork(length * inner),
+                       [&](int64_t cb, int64_t ce) {
+    for (int64_t o = cb; o < ce; ++o) {
+      const float* src = pa + (o * in_dim + start) * inner;
+      float* dst = po + o * length * inner;
+      std::memcpy(dst, src, static_cast<size_t>(length * inner) * sizeof(float));
+    }
+  });
   return out;
 }
 
@@ -717,11 +579,14 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   for (const Tensor& p : parts) {
     const int64_t p_dim = p.dim(dim);
     const float* pp = p.data();
-    for (int64_t o = 0; o < outer; ++o) {
-      float* dst = po + (o * total + dst_offset_rows) * inner;
-      const float* src = pp + o * p_dim * inner;
-      std::memcpy(dst, src, static_cast<size_t>(p_dim * inner) * sizeof(float));
-    }
+    runtime::ParallelFor(0, outer, GrainForWork(p_dim * inner),
+                         [&](int64_t cb, int64_t ce) {
+      for (int64_t o = cb; o < ce; ++o) {
+        float* dst = po + (o * total + dst_offset_rows) * inner;
+        const float* src = pp + o * p_dim * inner;
+        std::memcpy(dst, src, static_cast<size_t>(p_dim * inner) * sizeof(float));
+      }
+    });
     dst_offset_rows += p_dim;
   }
   return out;
@@ -745,11 +610,14 @@ Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
   const int64_t out_dim = out.dim(dim);
   const float* pa = a.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    float* dst = po + (o * out_dim + before) * inner;
-    const float* src = pa + o * in_dim * inner;
-    std::memcpy(dst, src, static_cast<size_t>(in_dim * inner) * sizeof(float));
-  }
+  runtime::ParallelFor(0, outer, GrainForWork(in_dim * inner),
+                       [&](int64_t cb, int64_t ce) {
+    for (int64_t o = cb; o < ce; ++o) {
+      float* dst = po + (o * out_dim + before) * inner;
+      const float* src = pa + o * in_dim * inner;
+      std::memcpy(dst, src, static_cast<size_t>(in_dim * inner) * sizeof(float));
+    }
+  });
   return out;
 }
 
@@ -762,15 +630,21 @@ Tensor Stack(const std::vector<Tensor>& parts) {
   Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t chunk = parts[0].numel();
   float* po = out.data();
-  for (size_t i = 0; i < parts.size(); ++i) {
-    MSD_CHECK(parts[i].shape() == base) << "stack shape mismatch";
-    std::memcpy(po + static_cast<int64_t>(i) * chunk, parts[i].data(),
-                static_cast<size_t>(chunk) * sizeof(float));
-  }
+  runtime::ParallelFor(
+      0, static_cast<int64_t>(parts.size()), 1, [&](int64_t cb, int64_t ce) {
+        for (int64_t i = cb; i < ce; ++i) {
+          MSD_CHECK(parts[static_cast<size_t>(i)].shape() == base)
+              << "stack shape mismatch";
+          std::memcpy(po + i * chunk, parts[static_cast<size_t>(i)].data(),
+                      static_cast<size_t>(chunk) * sizeof(float));
+        }
+      });
   return out;
 }
 
 Tensor Softmax(const Tensor& a, int64_t dim) {
+  // Composed from parallel kernels: MaxReduce / ZipKernel / MapKernel / Sum
+  // all dispatch through the runtime.
   const Tensor max = MaxReduce(a, dim, /*keepdim=*/true);
   const Tensor e = Exp(Sub(a, max));
   const Tensor z = Sum(e, {dim}, /*keepdim=*/true);
@@ -781,30 +655,47 @@ bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
   if (a.shape() != b.shape()) return false;
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    const float diff = std::fabs(pa[i] - pb[i]);
-    if (diff > atol + rtol * std::fabs(pb[i])) return false;
-  }
-  return true;
+  // int partials, not bool: std::vector<bool> packs bits, and concurrent
+  // chunk writes to adjacent bits would race.
+  return ReduceKernel(
+             a, 1,
+             [&](int64_t cb, int64_t ce) {
+               for (int64_t i = cb; i < ce; ++i) {
+                 const float diff = std::fabs(pa[i] - pb[i]);
+                 if (diff > atol + rtol * std::fabs(pb[i])) return 0;
+               }
+               return 1;
+             },
+             [](int x, int y) { return x & y; }) != 0;
 }
 
 float MaxAbsDiff(const Tensor& a, const Tensor& b) {
   MSD_CHECK(a.shape() == b.shape());
-  float best = 0.0f;
   const float* pa = a.data();
   const float* pb = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    best = std::max(best, std::fabs(pa[i] - pb[i]));
-  }
-  return best;
+  return ReduceKernel(
+      a, 0.0f,
+      [&](int64_t cb, int64_t ce) {
+        float best = 0.0f;
+        for (int64_t i = cb; i < ce; ++i) {
+          best = std::max(best, std::fabs(pa[i] - pb[i]));
+        }
+        return best;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 bool HasNonFinite(const Tensor& a) {
   const float* p = a.data();
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    if (!std::isfinite(p[i])) return true;
-  }
-  return false;
+  return ReduceKernel(
+             a, 0,
+             [p](int64_t cb, int64_t ce) {
+               for (int64_t i = cb; i < ce; ++i) {
+                 if (!std::isfinite(p[i])) return 1;
+               }
+               return 0;
+             },
+             [](int x, int y) { return x | y; }) != 0;
 }
 
 }  // namespace msd

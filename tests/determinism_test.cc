@@ -1,0 +1,183 @@
+// Bit-determinism suite for the parallel runtime: forward losses, gradients,
+// reductions, and fully trained models must be byte-identical for every
+// MSD_THREADS value (the contract in docs/RUNTIME.md). Comparisons are exact
+// — memcmp over float buffers, no tolerances.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/msd_mixer.h"
+#include "data/window_dataset.h"
+#include "runtime/parallel.h"
+#include "tasks/task_model.h"
+#include "tasks/trainer.h"
+#include "tensor/fft.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+constexpr int64_t kThreadCounts[] = {1, 2, 8};
+
+void ExpectBitIdentical(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_TRUE(a.defined());
+  ASSERT_TRUE(b.defined());
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.numel()) * sizeof(float)),
+            0)
+      << what << " differs bitwise across thread counts";
+}
+
+MsdMixerConfig SmallForecastConfig() {
+  MsdMixerConfig config;
+  config.input_length = 48;
+  config.channels = 3;
+  config.patch_sizes = {12, 4, 1};
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.drop_path = 0.0f;
+  config.task = TaskType::kForecast;
+  config.horizon = 24;
+  return config;
+}
+
+TEST(DeterminismTest, ElementwiseAndMatMulKernels) {
+  Rng rng(5);
+  Tensor a = Tensor::RandNormal({4, 7, 96}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({4, 7, 96}, 0, 1, rng);
+  Tensor m1 = Tensor::RandNormal({33, 65}, 0, 1, rng);
+  Tensor m2 = Tensor::RandNormal({65, 17}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({96}, 0, 1, rng);
+
+  std::vector<Tensor> sums, gelus, mats, biased;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    sums.push_back(Add(a, b));
+    gelus.push_back(Gelu(a));
+    mats.push_back(MatMul(m1, m2));
+    biased.push_back(Add(a, bias));
+  }
+  for (size_t k = 1; k < sums.size(); ++k) {
+    ExpectBitIdentical(sums[0], sums[k], "Add");
+    ExpectBitIdentical(gelus[0], gelus[k], "Gelu");
+    ExpectBitIdentical(mats[0], mats[k], "MatMul");
+    ExpectBitIdentical(biased[0], biased[k], "broadcast Add");
+  }
+}
+
+TEST(DeterminismTest, ReductionsAndFft) {
+  Rng rng(11);
+  // Large enough to split into many chunks; values span magnitudes so the
+  // combine order would show in the low bits if it varied.
+  Tensor t = Tensor::RandNormal({32, 7, 512}, 0, 100, rng);
+  Tensor series = Tensor::RandNormal({7, 256}, 0, 1, rng);
+
+  std::vector<Tensor> sum_all;
+  std::vector<float> max_abs;
+  std::vector<std::vector<int64_t>> periods;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    sum_all.push_back(SumAll(t));
+    max_abs.push_back(MaxAbs(t));
+    periods.push_back(TopPeriodsFft(series, 3));
+  }
+  for (size_t k = 1; k < sum_all.size(); ++k) {
+    ExpectBitIdentical(sum_all[0], sum_all[k], "SumAll");
+    EXPECT_EQ(max_abs[0], max_abs[k]);  // exact: no tolerance
+    EXPECT_EQ(periods[0], periods[k]);
+  }
+}
+
+TEST(DeterminismTest, ForwardLossBitIdenticalAcrossThreadCounts) {
+  Rng model_rng(7);
+  MsdMixer mixer(SmallForecastConfig(), model_rng);
+  mixer.SetTraining(false);
+  Rng data_rng(3);
+  Tensor x = Tensor::RandNormal({8, 3, 48}, 0, 1, data_rng);
+  Tensor y = Tensor::RandNormal({8, 3, 24}, 0, 1, data_rng);
+
+  NoGradGuard guard;
+  std::vector<Tensor> predictions;
+  std::vector<float> losses;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    MsdMixerOutput out = mixer.Run(Variable(x));
+    predictions.push_back(out.prediction.value());
+    losses.push_back(
+        MeanAll(Square(Sub(out.prediction, Variable(y)))).item());
+  }
+  for (size_t k = 1; k < predictions.size(); ++k) {
+    ExpectBitIdentical(predictions[0], predictions[k], "forward prediction");
+    EXPECT_EQ(losses[0], losses[k]);
+  }
+}
+
+TEST(DeterminismTest, GradientsBitIdenticalAcrossThreadCounts) {
+  Rng model_rng(7);
+  MsdMixer mixer(SmallForecastConfig(), model_rng);
+  Rng data_rng(3);
+  Tensor x = Tensor::RandNormal({8, 3, 48}, 0, 1, data_rng);
+  Tensor y = Tensor::RandNormal({8, 3, 24}, 0, 1, data_rng);
+
+  std::vector<std::vector<Tensor>> grads;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    for (Variable& p : mixer.Parameters()) p.ZeroGrad();
+    MsdMixerOutput out = mixer.Run(Variable(x));
+    Variable loss = Add(MeanAll(Square(Sub(out.prediction, Variable(y)))),
+                        MulScalar(ResidualLoss(out.residual, {}), 0.3f));
+    loss.Backward();
+    std::vector<Tensor> snapshot;
+    for (Variable& p : mixer.Parameters()) {
+      ASSERT_TRUE(p.has_grad());
+      snapshot.push_back(p.grad().Clone());
+    }
+    grads.push_back(std::move(snapshot));
+  }
+  for (size_t k = 1; k < grads.size(); ++k) {
+    ASSERT_EQ(grads[0].size(), grads[k].size());
+    for (size_t p = 0; p < grads[0].size(); ++p) {
+      ExpectBitIdentical(grads[0][p], grads[k][p], "parameter gradient");
+    }
+  }
+}
+
+TEST(DeterminismTest, TrainedModelBitIdenticalAcrossThreadCounts) {
+  Rng series_rng(13);
+  Tensor series = Tensor::RandNormal({3, 300}, 0, 1, series_rng);
+  Rng probe_rng(17);
+  Tensor probe = Tensor::RandNormal({4, 3, 48}, 0, 1, probe_rng);
+
+  std::vector<Tensor> outputs;
+  std::vector<std::vector<float>> epoch_losses;
+  for (int64_t threads : kThreadCounts) {
+    // Identical seeds per run; only the pool size differs. TrainerConfig's
+    // own `threads` knob is exercised here instead of ScopedThreads.
+    Rng model_rng(7);
+    MsdMixer mixer(SmallForecastConfig(), model_rng);
+    MsdMixerTaskModel model(&mixer, /*lambda=*/0.3f);
+    ForecastWindowDataset data(series, 48, 24, 4);
+    TrainerConfig trainer;
+    trainer.epochs = 2;
+    trainer.batch_size = 8;
+    trainer.max_batches_per_epoch = 4;
+    trainer.threads = threads;
+    TrainStats stats = Train(model, data, trainer, ForecastMseTaskLoss);
+    epoch_losses.push_back(stats.epoch_losses);
+
+    NoGradGuard guard;
+    runtime::ScopedThreads scoped(threads);
+    outputs.push_back(model.Forward(Variable(probe)).prediction.value());
+  }
+  for (size_t k = 1; k < outputs.size(); ++k) {
+    // Training losses are exactly equal epoch by epoch...
+    EXPECT_EQ(epoch_losses[0], epoch_losses[k]);
+    // ...and so is every byte the trained model produces.
+    ExpectBitIdentical(outputs[0], outputs[k], "trained-model output");
+  }
+}
+
+}  // namespace
+}  // namespace msd

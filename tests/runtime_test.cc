@@ -1,0 +1,277 @@
+// Unit tests for the parallel execution runtime (src/runtime/): pool
+// startup/shutdown, the deterministic chunk geometry, exception propagation
+// out of worker chunks, and the nested-loop inline fallback.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace msd {
+namespace runtime {
+namespace {
+
+// Restores MSD_THREADS on scope exit so tests can vary the environment.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(ThreadPoolTest, DefaultNumThreadsReadsEnv) {
+  {
+    ScopedEnv env("MSD_THREADS", "3");
+    EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  }
+  {
+    ScopedEnv env("MSD_THREADS", "1");
+    EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  }
+  {
+    ScopedEnv env("MSD_THREADS", nullptr);
+    EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, StartupShutdownAndResize) {
+  // A locally owned pool (not Global) exercises construction/destruction.
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    std::atomic<int64_t> ran{0};
+    pool.RunChunks(16, [&](int64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 16);
+    pool.Resize(2);
+    EXPECT_EQ(pool.num_threads(), 2);
+    ran = 0;
+    pool.RunChunks(8, [&](int64_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+  }
+  // A size-1 pool spawns no workers; chunks run inline on the caller.
+  ThreadPool serial(1);
+  int64_t ran = 0;
+  serial.RunChunks(5, [&](int64_t) { ++ran; });
+  EXPECT_EQ(ran, 5);
+}
+
+TEST(ThreadPoolTest, SetNumThreadsResizesGlobalAndZeroRestoresDefault) {
+  const int64_t original = NumThreads();
+  SetNumThreads(4);
+  EXPECT_EQ(NumThreads(), 4);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);
+  EXPECT_EQ(NumThreads(), ThreadPool::DefaultNumThreads());
+  SetNumThreads(original);
+}
+
+TEST(ThreadPoolTest, ScopedThreadsAppliesAndRestores) {
+  const int64_t original = NumThreads();
+  {
+    ScopedThreads scoped(3);
+    EXPECT_EQ(NumThreads(), 3);
+    {
+      ScopedThreads inner(0);  // n <= 0: inherit, no resize
+      EXPECT_EQ(NumThreads(), 3);
+    }
+    EXPECT_EQ(NumThreads(), 3);
+  }
+  EXPECT_EQ(NumThreads(), original);
+}
+
+TEST(ChunkGeometryTest, NumChunksCeilsAndClamps) {
+  EXPECT_EQ(NumChunks(100, 10), 10);
+  EXPECT_EQ(NumChunks(101, 10), 11);
+  EXPECT_EQ(NumChunks(5, 10), 1);
+  EXPECT_EQ(NumChunks(1, 1), 1);
+  // Clamped to the fixed upper bound, independent of thread count.
+  EXPECT_EQ(NumChunks(1'000'000, 1), kMaxChunksPerLoop);
+}
+
+TEST(ChunkGeometryTest, ChunkBoundsPartitionTheRange) {
+  for (int64_t n : {1, 7, 63, 64, 65, 1000}) {
+    for (int64_t chunks : {int64_t{1}, int64_t{3}, kMaxChunksPerLoop}) {
+      if (chunks > n) continue;
+      const int64_t begin = 11;
+      int64_t expected_next = begin;
+      for (int64_t c = 0; c < chunks; ++c) {
+        const auto [b, e] = ChunkBounds(begin, n, chunks, c);
+        EXPECT_EQ(b, expected_next) << "gap before chunk " << c;
+        EXPECT_GE(e, b);
+        // Near-equal split: sizes differ by at most one, larger ones first.
+        EXPECT_GE(e - b, n / chunks);
+        EXPECT_LE(e - b, n / chunks + 1);
+        expected_next = e;
+      }
+      EXPECT_EQ(expected_next, begin + n) << "chunks do not cover the range";
+    }
+  }
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnceAtAnyThreadCount) {
+  const int64_t n = 10'000;
+  for (int64_t threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    std::vector<int> hits(static_cast<size_t>(n), 0);
+    ParallelFor(0, n, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+    });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), n);
+    for (int i : hits) ASSERT_EQ(i, 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  bool called = false;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { called = true; });
+  ParallelFor(5, 3, 1, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, NestedLoopsFallBackToInlineExecution) {
+  ScopedThreads scoped(4);
+  const int64_t outer = 8;
+  std::vector<int> in_region(static_cast<size_t>(outer), 0);
+  std::vector<int64_t> inner_sum(static_cast<size_t>(outer), 0);
+  ParallelFor(0, outer, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      in_region[static_cast<size_t>(i)] = InParallelRegion() ? 1 : 0;
+      // Nested loop: must run inline on this worker (and not deadlock).
+      ParallelFor(0, 100, 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t j = ib; j < ie; ++j) {
+          inner_sum[static_cast<size_t>(i)] += j;
+        }
+      });
+    }
+  });
+  for (int64_t i = 0; i < outer; ++i) {
+    EXPECT_EQ(in_region[static_cast<size_t>(i)], 1)
+        << "chunk body " << i << " did not observe the parallel region";
+    EXPECT_EQ(inner_sum[static_cast<size_t>(i)], 99 * 100 / 2);
+  }
+  EXPECT_FALSE(InParallelRegion());
+}
+
+TEST(ParallelForTest, ExceptionPropagatesAndPoolSurvives) {
+  ScopedThreads scoped(4);
+  auto throwing_loop = [] {
+    ParallelFor(0, 6400, 1, [](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        if (i == 4321) throw std::runtime_error("chunk failure");
+      }
+    });
+  };
+  EXPECT_THROW(throwing_loop(), std::runtime_error);
+  try {
+    throwing_loop();
+  } catch (const std::runtime_error& err) {
+    EXPECT_STREQ(err.what(), "chunk failure");
+  }
+  // The pool must remain fully usable after a failed loop.
+  std::atomic<int64_t> ran{0};
+  ParallelFor(0, 1000, 1,
+              [&](int64_t b, int64_t e) { ran.fetch_add(e - b); });
+  EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ParallelReduceTest, MatchesSerialSum) {
+  const int64_t n = 100'000;
+  double expected = 0.0;
+  for (int64_t i = 0; i < n; ++i) expected += static_cast<double>(i) * 0.5;
+  for (int64_t threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    const double sum = ParallelReduce(
+        0, n, 64, 0.0,
+        [](int64_t b, int64_t e) {
+          double s = 0.0;
+          for (int64_t i = b; i < e; ++i) s += static_cast<double>(i) * 0.5;
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+    EXPECT_DOUBLE_EQ(sum, expected);
+  }
+}
+
+TEST(ParallelReduceTest, CombineOrderIsFixedAcrossThreadCounts) {
+  // Floating-point sums over adversarially scaled values are sensitive to
+  // combine order; the fixed tree must give bit-identical results for every
+  // thread count.
+  const int64_t n = 65'536;
+  auto run = [n] {
+    return ParallelReduce(
+        0, n, 256, 0.0f,
+        [](int64_t b, int64_t e) {
+          float s = 0.0f;
+          for (int64_t i = b; i < e; ++i) {
+            s += 1.0f / static_cast<float>(1 + (i * 2654435761u) % 9973);
+          }
+          return s;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  float results[3];
+  const int64_t counts[3] = {1, 2, 8};
+  for (int k = 0; k < 3; ++k) {
+    ScopedThreads scoped(counts[k]);
+    results[k] = run();
+  }
+  EXPECT_EQ(results[0], results[1]);  // exact: no tolerance
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(ParallelReduceTest, NonCommutativeCombinePreservesChunkOrder) {
+  // String concatenation is associative but not commutative: the tree must
+  // fold chunks in ascending index order regardless of execution order.
+  const int64_t n = 640;
+  std::string expected;
+  for (int64_t i = 0; i < n; ++i) expected += std::to_string(i % 10);
+  for (int64_t threads : {1, 2, 8}) {
+    ScopedThreads scoped(threads);
+    const std::string got = ParallelReduce(
+        0, n, 10, std::string(),
+        [](int64_t b, int64_t e) {
+          std::string s;
+          for (int64_t i = b; i < e; ++i) s += std::to_string(i % 10);
+          return s;
+        },
+        [](const std::string& a, const std::string& b) { return a + b; });
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  const int value = ParallelReduce(
+      3, 3, 1, 42, [](int64_t, int64_t) { return 0; },
+      [](int a, int b) { return a + b; });
+  EXPECT_EQ(value, 42);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace msd

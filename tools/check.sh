@@ -6,15 +6,17 @@
 # Legs:
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
 #                 full ctest including lint_check and gradcheck_sweep, plus a
-#                 quickstart run whose training losses are captured.
+#                 quickstart run whose training losses are captured and a
+#                 thread-scaling bench snapshot (BENCH_threads.json).
 #   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
 #                 must be bit-identical to the release leg — the invariant
 #                 layer must observe, never perturb.
 #   asan-ubsan    AddressSanitizer + UndefinedBehaviorSanitizer (abort on
 #                 first finding); full ctest.
-#   tsan          ThreadSanitizer over the concurrent surface: obs_test (the
-#                 metrics/profiler registries) and tasks_test (trainer
-#                 telemetry).
+#   tsan          ThreadSanitizer over the full suite with MSD_THREADS=4, so
+#                 every parallel kernel (src/runtime dispatch), the
+#                 profiler's per-thread merge, and the trainer path run on a
+#                 real multi-threaded pool under the race detector.
 #
 # Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
 #   --tidy     also run clang-tidy (src/common + src/tensor); skipped with a
@@ -103,6 +105,18 @@ for leg in "${LEGS[@]}"; do
   case "${leg}" in
     release)
       run_release_like_leg release
+      if [[ "${STATUS[release]}" == "PASS" ]]; then
+        # Thread-scaling snapshot: the BM_*Threads family at pool sizes
+        # 1/2/4, with kernel-level telemetry, recorded as BENCH_threads.json.
+        note "leg release: thread-scaling bench snapshot"
+        if "${CHECK_DIR}/release/bench/bench_micro_kernels" \
+            --benchmark_filter='Threads' --benchmark_min_time=0.02 \
+            --metrics-out "${CHECK_DIR}/release/BENCH_threads.json"; then
+          DETAIL[release]="full ctest clean; BENCH_threads.json recorded"
+        else
+          fail_leg release "thread-scaling bench snapshot failed"
+        fi
+      fi
       ;;
     debug-checks)
       run_release_like_leg debug-checks -DMSD_DEBUG_CHECKS=ON
@@ -124,19 +138,19 @@ for leg in "${LEGS[@]}"; do
       ;;
     tsan)
       builddir="${CHECK_DIR}/tsan"
-      note "leg tsan: configure + build (obs_test, tasks_test)"
-      if ! configure_and_build "${builddir}" obs_test tasks_test -- \
+      note "leg tsan: configure + build"
+      if ! configure_and_build "${builddir}" -- \
           -DMSD_SANITIZE=thread -DMSD_NATIVE_ARCH=OFF; then
         fail_leg tsan "build failed"; continue
       fi
-      note "leg tsan: obs_test + tasks_test"
-      ok=1
-      "${builddir}/tests/obs_test" || ok=0
-      "${builddir}/tests/tasks_test" || ok=0
-      if [[ ${ok} -eq 1 ]]; then
-        STATUS[tsan]="PASS"; DETAIL[tsan]="obs_test + tasks_test clean"
+      note "leg tsan: full ctest at MSD_THREADS=4"
+      # MSD_THREADS=4 forces the pool path (not the serial fallback) in every
+      # parallel kernel while the race detector watches.
+      if (cd "${builddir}" &&
+          MSD_THREADS=4 ctest --output-on-failure -j "${JOBS}"); then
+        STATUS[tsan]="PASS"; DETAIL[tsan]="full ctest clean at MSD_THREADS=4"
       else
-        fail_leg tsan "test failures under ThreadSanitizer"
+        fail_leg tsan "ctest failures under ThreadSanitizer (MSD_THREADS=4)"
       fi
       ;;
     *)

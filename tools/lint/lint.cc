@@ -15,6 +15,10 @@
 //   no-raw-alloc   src/tensor and src/autograd own the hot allocation paths;
 //                  raw new/malloc there bypasses the shared_ptr ownership
 //                  model and the tensor/allocs telemetry.
+//   no-raw-thread  src/runtime owns all thread spawning; raw std::thread /
+//                  std::jthread / std::async elsewhere bypasses the pool and
+//                  breaks the MSD_THREADS determinism contract
+//                  (docs/RUNTIME.md).
 //
 // Usage: msd_lint <repo-root> — prints violations as file:line: rule:
 // message and exits nonzero if any rule fired. Add a rule by extending
@@ -186,6 +190,7 @@ void CheckFile(const fs::path& path, const std::string& rel,
   const bool alloc_sensitive = rel.rfind("src/tensor/", 0) == 0 ||
                                rel.rfind("src/autograd/", 0) == 0;
   const bool cout_allowed = CoutAllowlist().count(rel) > 0;
+  const bool thread_owner = rel.rfind("src/runtime/", 0) == 0;
 
   std::istringstream lines(code_text);
   std::istringstream directive_lines(directive_text);
@@ -214,6 +219,21 @@ void CheckFile(const fs::path& path, const std::string& rel,
       violations->push_back({rel, line_number, "include-path",
                              "no parent-relative includes; spell the path "
                              "from src/"});
+    }
+    if (!thread_owner) {
+      for (const char* token :
+           {"std::thread", "std::jthread", "std::async"}) {
+        // IsWholeWordAt also rejects "std::thread::id" etc. only on the word
+        // boundary side; the "::" suffix is fine — any spawn or member use of
+        // these types belongs behind the runtime pool.
+        if (HasWordToken(line, token)) {
+          violations->push_back(
+              {rel, line_number, "no-raw-thread",
+               std::string(token) +
+                   " outside src/runtime/: parallelism must go through "
+                   "runtime::ParallelFor so MSD_THREADS determinism holds"});
+        }
+      }
     }
     if (alloc_sensitive) {
       if (HasWordToken(line, "new") && !HasWordToken(line, "delete")) {
