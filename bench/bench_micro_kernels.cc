@@ -173,6 +173,21 @@ void BM_MixerTrainStep(benchmark::State& state) {
 }
 BENCHMARK(BM_MixerTrainStep);
 
+void BM_Rfft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor noise = Tensor::RandNormal({static_cast<int64_t>(n)}, 0, 1, rng);
+  std::vector<double> x(n);
+  for (size_t i = 0; i < n; ++i) x[i] = noise.data()[i];
+  std::vector<std::complex<double>> out;
+  for (auto _ : state) {
+    Rfft(x.data(), n, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->Arg(256)->Arg(4096);
+
 // ---- Thread-scaling sweeps --------------------------------------------------
 // The same kernel at pool sizes 1/2/4 (Arg is the thread count). check.sh's
 // release leg records this family as BENCH_threads.json; outputs are
@@ -189,6 +204,67 @@ void BM_MatMulThreads(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128 * 128 * 128);
 }
 BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// GEMM shape family at the layer shapes BM_MixerTrainStep actually runs
+// (B=32, C=7, L=96, patch 24, d=16, h=32, horizon 96), with the fused
+// bias/activation epilogues the model uses at each site.
+
+// Patch embedding: [B, C, L', p] x [p, d] + bias (shared-B flatten path).
+void BM_GemmPatchEmbedThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 4, 24}, 0, 1, rng);
+  Tensor w = Tensor::RandNormal({24, 16}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({16}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatMulEx(a, w, bias, gemm::Activation::kIdentity));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 7 * 4 * 24 * 16);
+}
+BENCHMARK(BM_GemmPatchEmbedThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Mixing MLP first layer: [B, C, L', d] x [d, h] + bias + gelu, fused.
+void BM_GemmChannelMixThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 4, 16}, 0, 1, rng);
+  Tensor w = Tensor::RandNormal({16, 32}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({32}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulEx(a, w, bias, gemm::Activation::kGelu));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 7 * 4 * 16 * 32);
+}
+BENCHMARK(BM_GemmChannelMixThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Forecast head projection: [B, C, L'*d] x [L'*d, H] + bias.
+void BM_GemmHeadThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::RandNormal({32, 7, 64}, 0, 1, rng);
+  Tensor w = Tensor::RandNormal({64, 96}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({96}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        MatMulEx(a, w, bias, gemm::Activation::kIdentity));
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 7 * 64 * 96);
+}
+BENCHMARK(BM_GemmHeadThreads)->Arg(1)->Arg(2)->Arg(4);
+
+// Channel-parallel real-input FFT (period detection path): per-channel rfft
+// fans out across the pool, merge order is fixed, so outputs stay
+// bit-identical while wall-clock scales.
+void BM_RfftThreads(benchmark::State& state) {
+  runtime::ScopedThreads scoped(state.range(0));
+  Rng rng(1);
+  Tensor series = Tensor::RandNormal({16, 512}, 0, 1, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopPeriodsFft(series, 3));
+  }
+}
+BENCHMARK(BM_RfftThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_ElementwiseThreads(benchmark::State& state) {
   runtime::ScopedThreads scoped(state.range(0));

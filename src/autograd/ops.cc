@@ -186,6 +186,56 @@ Variable MatMul(const Variable& a, const Variable& b) {
       });
 }
 
+Variable MatMulEx(const Variable& a, const Variable& b, const Variable& bias,
+                  gemm::Activation act) {
+  NodePtr na = a.node();
+  NodePtr nb = b.node();
+  NodePtr nbias = bias.defined() ? bias.node() : nullptr;
+  // Only gelu's derivative needs the pre-activation z = a@b + bias; relu,
+  // tanh, and sigmoid recover theirs from the output, and identity needs
+  // nothing — so z is captured (one extra tensor) for gelu only, and only
+  // while recording.
+  const bool save_pre =
+      act == gemm::Activation::kGelu && NoGradGuard::GradEnabled();
+  Tensor pre;
+  Tensor value = MatMulEx(a.value(), b.value(),
+                          bias.defined() ? bias.value() : Tensor(), act,
+                          save_pre ? &pre : nullptr);
+  std::vector<NodePtr> parents = {na, nb};
+  if (nbias != nullptr) parents.push_back(nbias);
+  return MakeOp(
+      std::move(value), std::move(parents),
+      [na, nb, nbias, act, pre](AutogradNode& self) {
+        // dz: gradient at the pre-activation, shared by all three inputs.
+        // The derivative expressions mirror the standalone Relu/Gelu/
+        // Sigmoid/Tanh ops so fused and composed graphs train identically.
+        const Tensor& y = self.value;
+        Tensor dz;
+        switch (act) {
+          case gemm::Activation::kIdentity:
+            dz = self.grad;
+            break;
+          case gemm::Activation::kRelu:
+            // y > 0 exactly where the pre-activation was > 0.
+            dz = Mul(self.grad, Greater(y, Tensor::Zeros({})));
+            break;
+          case gemm::Activation::kGelu:
+            dz = Mul(self.grad, GeluGrad(pre));
+            break;
+          case gemm::Activation::kTanh:
+            dz = Mul(self.grad, Sub(Tensor::Ones(y.shape()), Square(y)));
+            break;
+          case gemm::Activation::kSigmoid:
+            dz = Mul(self.grad, Mul(y, Sub(Tensor::Ones(y.shape()), y)));
+            break;
+        }
+        AccumulateGrad(*na, MatMul(dz, Transpose(nb->value, -1, -2)));
+        AccumulateGrad(*nb, MatMul(Transpose(na->value, -1, -2), dz));
+        // AccumulateGrad reduces dz over every leading dim down to [n].
+        if (nbias != nullptr) AccumulateGrad(*nbias, dz);
+      });
+}
+
 Variable Conv2d(const Variable& input, const Variable& kernel, int64_t stride,
                 int64_t padding) {
   NodePtr ni = input.node();

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "tensor/gemm.h"
 
 namespace msd {
 
@@ -38,6 +39,16 @@ Variable Tanh(const Variable& a);
 // ---- Linear algebra ------------------------------------------------------------
 // Batched matrix product with broadcastable batch dims (see tensor MatMul).
 Variable MatMul(const Variable& a, const Variable& b);
+
+// Fused act(a @ b + bias): a single GEMM whose epilogue applies the bias add
+// and activation, so neither the bias-sum nor the pre-activation tensor is
+// materialized in the graph. `bias` may be an undefined Variable (no bias).
+// The backward is fused too: one dz tensor feeds the two matmul gradients
+// and the (broadcast-reduced) bias gradient; only kGelu stores the
+// pre-activation, the other activations recover their derivative from the
+// output.
+Variable MatMulEx(const Variable& a, const Variable& b, const Variable& bias,
+                  gemm::Activation act);
 
 // 2D convolution: input [B, C, H, W] (*) kernel [O, C, kh, kw]; stride and
 // symmetric zero padding per tensor/conv.h.

@@ -39,12 +39,14 @@ Variable LightTs::Forward(const Variable& input) {
 
   Variable patched = Patch(input, chunk_size_);  // [B, C, L', s]
   // Continuous sampling: summarize each chunk -> [B, C, L'].
-  Variable cont = Gelu(continuous_fc1_->Forward(patched));
+  Variable cont =
+      continuous_fc1_->ForwardActivated(patched, ActivationKind::kGelu);
   cont = Reshape(continuous_fc2_->Forward(cont),
                  {batch, channels, num_chunks_});
   // Interval sampling: summarize each phase across chunks -> [B, C, s].
   Variable strided = Transpose(patched, 2, 3);  // [B, C, s, L']
-  Variable intv = Gelu(interval_fc1_->Forward(strided));
+  Variable intv =
+      interval_fc1_->ForwardActivated(strided, ActivationKind::kGelu);
   intv = Reshape(interval_fc2_->Forward(intv), {batch, channels, chunk_size_});
 
   Variable fused = Concat({cont, intv}, 2);  // [B, C, L' + s]

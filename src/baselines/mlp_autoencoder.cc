@@ -21,9 +21,10 @@ Variable MlpAutoencoder::Forward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, W]";
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), window_);
-  Variable h = Gelu(encode_time_->Forward(input));     // [B, C, k]
-  Variable hc = Transpose(h, 1, 2);                    // [B, k, C]
-  hc = Gelu(mix_channels_->Forward(hc));
+  Variable h =
+      encode_time_->ForwardActivated(input, ActivationKind::kGelu);  // [B,C,k]
+  Variable hc = Transpose(h, 1, 2);                                  // [B,k,C]
+  hc = mix_channels_->ForwardActivated(hc, ActivationKind::kGelu);
   hc = unmix_channels_->Forward(hc);
   h = Transpose(hc, 1, 2);                             // [B, C, k]
   return decode_time_->Forward(h);

@@ -18,7 +18,8 @@ Variable MlpClassifier::Forward(const Variable& input) {
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), length_);
   Variable flat = Reshape(input, {input.dim(0), channels_ * length_});
-  Variable h = dropout_->Forward(Gelu(fc1_->Forward(flat)));
+  Variable h =
+      dropout_->Forward(fc1_->ForwardActivated(flat, ActivationKind::kGelu));
   return fc2_->Forward(h);
 }
 

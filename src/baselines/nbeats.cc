@@ -35,8 +35,8 @@ Variable NBeats::Forward(const Variable& input) {
   Variable residual = input;
   Variable forecast;
   for (const Block& block : blocks_) {
-    Variable h = Relu(block.fc1->Forward(residual));
-    h = Relu(block.fc2->Forward(h));
+    Variable h = block.fc1->ForwardActivated(residual, ActivationKind::kRelu);
+    h = block.fc2->ForwardActivated(h, ActivationKind::kRelu);
     if (block.backcast != nullptr) {
       residual = Sub(residual, block.backcast->Forward(h));
     }

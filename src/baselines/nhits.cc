@@ -49,8 +49,8 @@ Variable NHits::Forward(const Variable& input) {
     // Multi-rate view: average-pool by the block's kernel.
     Variable pooled =
         Mean(Patch(residual, block.pool), {3}, /*keepdim=*/false);
-    Variable h = Relu(block.fc1->Forward(pooled));
-    h = Relu(block.fc2->Forward(h));
+    Variable h = block.fc1->ForwardActivated(pooled, ActivationKind::kRelu);
+    h = block.fc2->ForwardActivated(h, ActivationKind::kRelu);
     if (block.backcast != nullptr) {
       residual = Sub(residual, block.backcast->Forward(h));
     }

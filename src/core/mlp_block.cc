@@ -13,7 +13,9 @@ MlpBlock::MlpBlock(int64_t features, int64_t hidden, float drop_path,
 }
 
 Variable MlpBlock::Forward(const Variable& input) {
-  Variable branch = fc2_->Forward(Gelu(fc1_->Forward(input)));
+  // fc1 + GELU run as one fused GEMM; fc2 fuses its bias the same way.
+  Variable branch =
+      fc2_->Forward(fc1_->ForwardActivated(input, ActivationKind::kGelu));
   return Add(input, drop_path_->Forward(branch));
 }
 

@@ -74,7 +74,8 @@ TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
 Variable TransformerEncoderBlock::Forward(const Variable& input) {
   Variable attended = attention_->Forward(norm1_->Forward(input));
   Variable x = Add(input, dropout_->Forward(attended));
-  Variable ffn = ffn2_->Forward(Gelu(ffn1_->Forward(norm2_->Forward(x))));
+  Variable ffn = ffn2_->Forward(
+      ffn1_->ForwardActivated(norm2_->Forward(x), ActivationKind::kGelu));
   return Add(x, dropout_->Forward(ffn));
 }
 

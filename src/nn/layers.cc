@@ -18,13 +18,35 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
   }
 }
 
+namespace {
+
+gemm::Activation ToGemmActivation(ActivationKind kind) {
+  switch (kind) {
+    case ActivationKind::kRelu:
+      return gemm::Activation::kRelu;
+    case ActivationKind::kGelu:
+      return gemm::Activation::kGelu;
+    case ActivationKind::kTanh:
+      return gemm::Activation::kTanh;
+    case ActivationKind::kSigmoid:
+      return gemm::Activation::kSigmoid;
+    case ActivationKind::kIdentity:
+      return gemm::Activation::kIdentity;
+  }
+  MSD_FATAL("unknown activation kind");
+}
+
+}  // namespace
+
 Variable Linear::Forward(const Variable& input) {
+  return ForwardActivated(input, ActivationKind::kIdentity);
+}
+
+Variable Linear::ForwardActivated(const Variable& input, ActivationKind act) {
   MSD_CHECK_GE(input.rank(), 2);
   MSD_CHECK_EQ(input.dim(-1), in_features_)
       << "Linear expected last dim " << in_features_;
-  Variable out = MatMul(input, weight_);
-  if (bias_.defined()) out = Add(out, bias_);
-  return out;
+  return MatMulEx(input, weight_, bias_, ToGemmActivation(act));
 }
 
 Variable Activation::Forward(const Variable& input) {

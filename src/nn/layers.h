@@ -11,14 +11,22 @@
 
 namespace msd {
 
+enum class ActivationKind { kRelu, kGelu, kTanh, kSigmoid, kIdentity };
+
 // Affine map on the last dimension: y = x W + b, with x of any rank >= 2.
 // Initialization follows the PyTorch default, U(-1/sqrt(in), 1/sqrt(in)).
+// Forward runs as one fused GEMM (autograd MatMulEx): the bias add — and,
+// for ForwardActivated, the activation — happen in the GEMM epilogue with no
+// intermediate tensors.
 class Linear : public Module {
  public:
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
          bool bias = true);
 
   Variable Forward(const Variable& input) override;
+  // y = act(x W + b) in a single fused op; preferred over composing Forward
+  // with a separate activation on hot paths.
+  Variable ForwardActivated(const Variable& input, ActivationKind act);
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -29,8 +37,6 @@ class Linear : public Module {
   Variable weight_;  // [in, out]
   Variable bias_;    // [out] (undefined if bias=false)
 };
-
-enum class ActivationKind { kRelu, kGelu, kTanh, kSigmoid, kIdentity };
 
 // Stateless elementwise activation as a module (for Sequential pipelines).
 class Activation : public Module {

@@ -10,6 +10,7 @@
 #include "obs/profiler.h"
 #include "optim/optimizer.h"
 #include "runtime/parallel.h"
+#include "tensor/pool.h"
 
 namespace msd {
 
@@ -104,6 +105,11 @@ TrainStats Train(TaskModel& model, const Dataset& train_data,
                  const Dataset* validation) {
   MSD_CHECK_GT(config.epochs, 0);
   runtime::ScopedThreads scoped_threads(config.threads);
+  // Keep the tensor pool's cache alive across every step of every epoch:
+  // after the first epoch warms the size classes, steady-state steps recycle
+  // buffers instead of hitting the system allocator. Trimmed when the
+  // outermost scope (this one, unless the caller opened a wider one) exits.
+  pool::MemoryScope memory_scope;
   if (config.early_stop_patience > 0) {
     MSD_CHECK(validation != nullptr)
         << "early stopping requires a validation dataset";

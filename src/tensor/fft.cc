@@ -43,16 +43,70 @@ void Fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
 }
 
+void Rfft(const double* in, size_t n, std::vector<std::complex<double>>& out) {
+  MSD_SPAN("tensor/rfft");
+  static obs::Counter& rfft_calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor/rfft_calls");
+  rfft_calls.Add(1);
+  MSD_CHECK_GT(n, 0u);
+  MSD_CHECK_EQ(n & (n - 1), 0u) << "rfft size must be a power of two";
+  if (n == 1) {
+    out.assign(1, {in[0], 0.0});
+    return;
+  }
+  // Pack even samples into the real lane and odd samples into the imaginary
+  // lane, one half-size complex FFT, then untangle: with Z the packed
+  // transform, Fe_k = (Z_k + conj(Z_{m-k})) / 2 is the even-sample spectrum
+  // and Fo_k = -i (Z_k - conj(Z_{m-k})) / 2 the odd one, and
+  // X_k = Fe_k + e^{-2*pi*i*k/n} Fo_k.
+  const size_t m = n / 2;
+  std::vector<std::complex<double>> z(m);
+  for (size_t j = 0; j < m; ++j) z[j] = {in[2 * j], in[2 * j + 1]};
+  Fft(z);
+  out.resize(m + 1);
+  out[0] = {z[0].real() + z[0].imag(), 0.0};
+  out[m] = {z[0].real() - z[0].imag(), 0.0};
+  // Incremental twiddle rotation (one sincos total, like the butterfly
+  // loop in Fft) instead of a std::polar call per bin, which would cost
+  // more than the half-size FFT saves.
+  const double angle = -2.0 * M_PI / static_cast<double>(n);
+  const std::complex<double> wstep(std::cos(angle), std::sin(angle));
+  std::complex<double> w = wstep;
+  for (size_t k = 1; k < m; ++k) {
+    const std::complex<double> zk = z[k];
+    const std::complex<double> zc = std::conj(z[m - k]);
+    const std::complex<double> fe = 0.5 * (zk + zc);
+    const std::complex<double> fo =
+        std::complex<double>(0.0, -0.5) * (zk - zc);
+    out[k] = fe + w * fo;
+    w *= wstep;
+  }
+}
+
+namespace {
+
+// Zero-pads `len` real samples to the next power of two and returns the
+// rfft amplitude spectrum |X_k|, k = 0..padded/2.
+std::vector<double> PaddedAmplitude(const double* x, size_t len) {
+  size_t n = 1;
+  while (n < len) n <<= 1;
+  std::vector<double> padded(n, 0.0);
+  std::copy(x, x + len, padded.begin());
+  std::vector<std::complex<double>> spectrum;
+  Rfft(padded.data(), n, spectrum);
+  std::vector<double> amplitude(spectrum.size());
+  for (size_t k = 0; k < spectrum.size(); ++k) {
+    amplitude[k] = std::abs(spectrum[k]);
+  }
+  return amplitude;
+}
+
+}  // namespace
+
 std::vector<double> AmplitudeSpectrum(const std::vector<float>& values) {
   MSD_CHECK(!values.empty());
-  size_t n = 1;
-  while (n < values.size()) n <<= 1;
-  std::vector<std::complex<double>> data(n, {0.0, 0.0});
-  for (size_t i = 0; i < values.size(); ++i) data[i] = values[i];
-  Fft(data);
-  std::vector<double> amplitude(n / 2 + 1);
-  for (size_t k = 0; k <= n / 2; ++k) amplitude[k] = std::abs(data[k]);
-  return amplitude;
+  std::vector<double> x(values.begin(), values.end());
+  return PaddedAmplitude(x.data(), x.size());
 }
 
 std::vector<int64_t> TopPeriodsFft(const Tensor& series, int64_t top_k) {
@@ -67,14 +121,15 @@ std::vector<int64_t> TopPeriodsFft(const Tensor& series, int64_t top_k) {
   std::vector<std::vector<double>> spectra(static_cast<size_t>(channels));
   runtime::ParallelFor(0, channels, 1, [&](int64_t cb, int64_t ce) {
     for (int64_t c = cb; c < ce; ++c) {
-      std::vector<float> row(series.data() + c * length,
-                             series.data() + (c + 1) * length);
+      const float* row = series.data() + c * length;
       // Remove the mean so the DC bin does not dominate bin leakage.
-      float mean = 0.0f;
-      for (float v : row) mean += v;
-      mean /= static_cast<float>(length);
-      for (float& v : row) v -= mean;
-      spectra[static_cast<size_t>(c)] = AmplitudeSpectrum(row);
+      double mean = 0.0;
+      for (int64_t i = 0; i < length; ++i) mean += row[i];
+      mean /= static_cast<double>(length);
+      std::vector<double> centered(static_cast<size_t>(length));
+      for (int64_t i = 0; i < length; ++i) centered[static_cast<size_t>(i)] = row[i] - mean;
+      spectra[static_cast<size_t>(c)] =
+          PaddedAmplitude(centered.data(), centered.size());
     }
   });
   std::vector<double> mean_amplitude = std::move(spectra[0]);

@@ -16,6 +16,13 @@ namespace msd {
 // the unscaled inverse transform (caller divides by n if desired).
 void Fft(std::vector<std::complex<double>>& data, bool inverse = false);
 
+// Real-input FFT: fills `out` with X_k for k = 0..n/2 (the non-redundant
+// half; the rest follows from conjugate symmetry) of the n real samples at
+// `in`. Computed as an n/2-point complex FFT over even/odd sample pairs
+// plus an untangling pass — roughly half the work of a full complex
+// transform. n must be a power of two.
+void Rfft(const double* in, size_t n, std::vector<std::complex<double>>& out);
+
 // Amplitude spectrum |X_k| for k = 0..n/2 of a real signal, computed with a
 // zero-padded power-of-two FFT. `values` may have any length.
 std::vector<double> AmplitudeSpectrum(const std::vector<float>& values);

@@ -7,6 +7,7 @@
 
 #include "common/debug.h"
 #include "obs/metrics.h"
+#include "tensor/pool.h"
 
 namespace msd {
 
@@ -57,7 +58,10 @@ std::string ShapeToString(const Shape& shape) {
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(NumElementsOf(shape_)) {
-  storage_ = std::make_shared<float[]>(static_cast<size_t>(numel_));  // zeroed
+  // Pool blocks are recycled dirty, so the zero-init contract is an explicit
+  // fill (the system allocator gave zeroed pages for free; the pool cannot).
+  storage_ = pool::AllocateShared(numel_);
+  std::fill(storage_.get(), storage_.get() + numel_, 0.0f);
   NoteAllocation(numel_);
 }
 
@@ -65,8 +69,7 @@ Tensor::Tensor(Shape shape, std::vector<float> values)
     : shape_(std::move(shape)), numel_(NumElementsOf(shape_)) {
   MSD_CHECK_EQ(numel_, static_cast<int64_t>(values.size()))
       << "value count does not match shape " << ShapeToString(shape_);
-  storage_ =
-      std::make_shared_for_overwrite<float[]>(static_cast<size_t>(numel_));
+  storage_ = pool::AllocateShared(numel_);
   std::copy(values.begin(), values.end(), storage_.get());
   NoteAllocation(numel_);
 }
@@ -75,8 +78,7 @@ Tensor Tensor::Uninitialized(Shape shape) {
   Tensor t;
   t.shape_ = std::move(shape);
   t.numel_ = NumElementsOf(t.shape_);
-  t.storage_ =
-      std::make_shared_for_overwrite<float[]>(static_cast<size_t>(t.numel_));
+  t.storage_ = pool::AllocateShared(t.numel_);
   NoteAllocation(t.numel_);
   return t;
 }

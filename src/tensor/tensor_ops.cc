@@ -208,6 +208,11 @@ Tensor GeluGrad(const Tensor& a) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return MatMulEx(a, b, Tensor(), gemm::Activation::kIdentity, nullptr);
+}
+
+Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
+                gemm::Activation act, Tensor* pre_out) {
   MSD_SPAN("tensor/matmul");
   MSD_DEBUG_VALIDATE_TENSOR(a, "MatMul");
   MSD_DEBUG_VALIDATE_TENSOR(b, "MatMul");
@@ -220,6 +225,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   MSD_CHECK_EQ(k, k2) << "matmul inner dims mismatch: "
                       << ShapeToString(a.shape()) << " x "
                       << ShapeToString(b.shape());
+  if (bias.defined()) {
+    MSD_DEBUG_VALIDATE_TENSOR(bias, "MatMulEx bias");
+    MSD_CHECK_EQ(bias.rank(), 1) << "MatMulEx bias must be rank-1 [n]";
+    MSD_CHECK_EQ(bias.dim(0), n) << "MatMulEx bias length mismatch";
+  }
 
   // Broadcast batch dims.
   Shape a_batch(a.shape().begin(), a.shape().end() - 2);
@@ -237,57 +247,73 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Shape out_shape = batch;
   out_shape.push_back(m);
   out_shape.push_back(n);
-  Tensor out(out_shape);
+  // The GEMM writes every output element; no zero-fill pre-pass.
+  Tensor out = Tensor::Uninitialized(out_shape);
 
+  float* pre_ptr = nullptr;
+  if (pre_out != nullptr) {
+    if (act == gemm::Activation::kIdentity) {
+      *pre_out = out;  // pre-activation == output; share storage
+    } else {
+      *pre_out = Tensor::Uninitialized(out_shape);
+      pre_ptr = pre_out->data();
+    }
+  }
+  const float* bias_ptr = bias.defined() ? bias.data() : nullptr;
+  if (out.numel() == 0) return out;
+
+  // Shared-B fast path: when b carries no real batch dims, the batched
+  // product is one [batch*m, k] x [k, n] GEMM over a's contiguous buffer —
+  // B is packed once and there are no per-batch offset tables at all. This
+  // covers every Linear layer (rank-N input x rank-2 weight).
+  if (NumElementsOf(b_batch) == 1) {
+    gemm::Gemm(a.data(), b.data(), out.data(), batch_numel * m, k, n,
+               bias_ptr, act, pre_ptr);
+    return out;
+  }
+
+  // True-batched path (e.g. attention scores): one GEMM per batch matrix,
+  // parallel over batches; nested GEMM loops run inline per the runtime
+  // contract. Batch offsets come from a stack odometer — no per-call heap
+  // offset tables.
+  constexpr int64_t kMaxBatchRank = 16;
+  const int64_t batch_rank = static_cast<int64_t>(batch.size());
+  MSD_CHECK_LE(batch_rank, kMaxBatchRank)
+      << "MatMul supports at most " << kMaxBatchRank << " batch dims";
   const auto sa = BroadcastStrides(a_batch, batch);
   const auto sb = BroadcastStrides(b_batch, batch);
   const int64_t a_mat = m * k;
   const int64_t b_mat = k * n;
-
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-
-  // Per-batch matrix offsets (sa/sb strides are in whole-matrix units over
-  // the batch dims), precomputed so the parallel row loop can jump anywhere.
-  std::vector<int64_t> a_off(static_cast<size_t>(batch_numel), 0);
-  std::vector<int64_t> b_off(static_cast<size_t>(batch_numel), 0);
-  {
-    std::vector<int64_t> index(batch.size(), 0);
-    for (int64_t batch_i = 0; batch_i < batch_numel; ++batch_i) {
-      int64_t oa = 0;
-      int64_t ob = 0;
-      for (size_t u = 0; u < batch.size(); ++u) {
-        oa += index[u] * sa[u];
-        ob += index[u] * sb[u];
-      }
-      a_off[static_cast<size_t>(batch_i)] = oa * a_mat;
-      b_off[static_cast<size_t>(batch_i)] = ob * b_mat;
-      for (int64_t axis = static_cast<int64_t>(batch.size()) - 1; axis >= 0;
-           --axis) {
-        const size_t u = static_cast<size_t>(axis);
-        if (++index[u] < batch[u]) break;
-        index[u] = 0;
-      }
+  runtime::ParallelFor(0, batch_numel, GrainForWork(m * k * n),
+                       [&](int64_t bb, int64_t be) {
+    // Unflatten the chunk's first batch index, then advance by odometer.
+    int64_t index[kMaxBatchRank] = {0};
+    int64_t oa = 0;
+    int64_t ob = 0;
+    int64_t rest = bb;
+    for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+      const size_t u = static_cast<size_t>(axis);
+      index[u] = rest % batch[u];
+      rest /= batch[u];
+      oa += index[u] * sa[u];
+      ob += index[u] * sb[u];
     }
-  }
-
-  // Parallel over output rows across all batches. Each row is produced by
-  // exactly one chunk, and its accumulation order (kk ascending) matches the
-  // serial kernel, so results are bit-identical at any thread count.
-  runtime::ParallelFor(0, batch_numel * m, GrainForWork(k * n),
-                       [&](int64_t rb, int64_t re) {
-    for (int64_t r = rb; r < re; ++r) {
-      const int64_t batch_i = r / m;
-      const float* A = pa + a_off[static_cast<size_t>(batch_i)];
-      const float* B = pb + b_off[static_cast<size_t>(batch_i)];
-      float* c_row = po + r * n;
-      const float* a_row = A + (r % m) * k;
-      // ikj loop order: C rows accumulate from contiguous B rows.
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float aik = a_row[kk];
-        const float* b_row = B + kk * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+    for (int64_t batch_i = bb; batch_i < be; ++batch_i) {
+      gemm::Gemm(pa + oa * a_mat, pb + ob * b_mat, po + batch_i * m * n, m, k,
+                 n, bias_ptr, act,
+                 pre_ptr == nullptr ? nullptr : pre_ptr + batch_i * m * n);
+      for (int64_t axis = batch_rank - 1; axis >= 0; --axis) {
+        const size_t u = static_cast<size_t>(axis);
+        ++index[u];
+        oa += sa[u];
+        ob += sb[u];
+        if (index[u] < batch[u]) break;
+        oa -= sa[u] * batch[u];
+        ob -= sb[u] * batch[u];
+        index[u] = 0;
       }
     }
   });

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "tensor/gemm.h"
 #include "tensor/tensor.h"
 
 namespace msd {
@@ -60,8 +61,18 @@ Tensor GeluGrad(const Tensor& a);
 
 // ---- Matrix multiplication -------------------------------------------------
 // a: [..., m, k], b: [..., k, n] -> [..., m, n]; batch dims broadcast.
-// Rank-2 x rank-2 is the plain matrix product.
+// Rank-2 x rank-2 is the plain matrix product. Backed by the blocked GEMM in
+// tensor/gemm.h; results are bit-identical for any MSD_THREADS value.
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Fused variant: act(a @ b + bias), with `bias` an optional rank-1 [n]
+// vector added per output row and the activation applied in the GEMM
+// epilogue — no intermediate bias-add or pre-activation tensor is
+// materialized. When `pre_out` is non-null and act != kIdentity it receives
+// a @ b + bias (the value an activation backward differentiates at); for
+// kIdentity it aliases the returned output.
+Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
+                gemm::Activation act, Tensor* pre_out = nullptr);
 
 // ---- Reductions ------------------------------------------------------------
 // Scalar (rank-0) total.

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <vector>
 
+#include "autograd/ops.h"
 #include "core/msd_mixer.h"
 #include "data/window_dataset.h"
 #include "runtime/parallel.h"
@@ -86,6 +87,114 @@ TEST(DeterminismTest, ReductionsAndFft) {
   for (size_t k = 1; k < sum_all.size(); ++k) {
     ExpectBitIdentical(sum_all[0], sum_all[k], "SumAll");
     EXPECT_EQ(max_abs[0], max_abs[k]);  // exact: no tolerance
+    EXPECT_EQ(periods[0], periods[k]);
+  }
+}
+
+TEST(DeterminismTest, BlockedGemmShapeSweep) {
+  // Shapes chosen to hit every edge of the blocked GEMM (tensor/gemm.h):
+  // m/n tails smaller than the 8x8 register tile, k spilling past the 256
+  // k-slice, and m spanning several 64-row parallel tiles. The tiling is a
+  // pure function of the shape, so each product must be byte-stable across
+  // pool sizes.
+  const int64_t shapes[][3] = {
+      {5, 300, 2}, {33, 65, 17}, {257, 64, 9}, {64, 256, 64}};
+  Rng rng(23);
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::RandNormal({s[0], s[1]}, 0, 1, rng);
+    Tensor b = Tensor::RandNormal({s[1], s[2]}, 0, 1, rng);
+    std::vector<Tensor> outs;
+    for (int64_t threads : kThreadCounts) {
+      runtime::ScopedThreads scoped(threads);
+      outs.push_back(MatMul(a, b));
+    }
+    for (size_t k = 1; k < outs.size(); ++k) {
+      ExpectBitIdentical(outs[0], outs[k], "blocked GEMM");
+    }
+  }
+}
+
+TEST(DeterminismTest, BatchedAndFusedMatMulBitIdentical) {
+  Rng rng(29);
+  // Shared-B batch (the flattened single-GEMM fast path).
+  Tensor a = Tensor::RandNormal({6, 5, 4, 24}, 0, 1, rng);
+  Tensor w = Tensor::RandNormal({24, 16}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({16}, 0, 1, rng);
+  // True batched product (per-batch GEMM dispatch).
+  Tensor ab = Tensor::RandNormal({3, 4, 12, 20}, 0, 1, rng);
+  Tensor bb = Tensor::RandNormal({3, 4, 20, 8}, 0, 1, rng);
+
+  const gemm::Activation acts[] = {
+      gemm::Activation::kIdentity, gemm::Activation::kRelu,
+      gemm::Activation::kGelu, gemm::Activation::kTanh,
+      gemm::Activation::kSigmoid};
+  std::vector<Tensor> shared, batched;
+  std::vector<std::vector<Tensor>> fused;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    shared.push_back(MatMul(a, w));
+    batched.push_back(MatMul(ab, bb));
+    std::vector<Tensor> per_act;
+    for (gemm::Activation act : acts) {
+      per_act.push_back(MatMulEx(a, w, bias, act));
+    }
+    fused.push_back(std::move(per_act));
+  }
+  for (size_t k = 1; k < shared.size(); ++k) {
+    ExpectBitIdentical(shared[0], shared[k], "shared-B batched MatMul");
+    ExpectBitIdentical(batched[0], batched[k], "true-batched MatMul");
+    for (size_t i = 0; i < fused[0].size(); ++i) {
+      ExpectBitIdentical(fused[0][i], fused[k][i], "fused MatMulEx epilogue");
+    }
+  }
+}
+
+TEST(DeterminismTest, FusedEpilogueGradientsBitIdentical) {
+  Rng rng(31);
+  Tensor at = Tensor::RandNormal({4, 12, 20}, 0, 1, rng);
+  Tensor wt = Tensor::RandNormal({20, 8}, 0, 1, rng);
+  Tensor biast = Tensor::RandNormal({8}, 0, 1, rng);
+  const gemm::Activation acts[] = {
+      gemm::Activation::kIdentity, gemm::Activation::kRelu,
+      gemm::Activation::kGelu, gemm::Activation::kTanh,
+      gemm::Activation::kSigmoid};
+  for (gemm::Activation act : acts) {
+    std::vector<Tensor> da, dw, dbias;
+    for (int64_t threads : kThreadCounts) {
+      runtime::ScopedThreads scoped(threads);
+      Variable a(at, /*requires_grad=*/true);
+      Variable w(wt, /*requires_grad=*/true);
+      Variable bias(biast, /*requires_grad=*/true);
+      MeanAll(Square(MatMulEx(a, w, bias, act))).Backward();
+      da.push_back(a.grad().Clone());
+      dw.push_back(w.grad().Clone());
+      dbias.push_back(bias.grad().Clone());
+    }
+    for (size_t k = 1; k < da.size(); ++k) {
+      ExpectBitIdentical(da[0], da[k], "MatMulEx grad a");
+      ExpectBitIdentical(dw[0], dw[k], "MatMulEx grad b");
+      ExpectBitIdentical(dbias[0], dbias[k], "MatMulEx grad bias");
+    }
+  }
+}
+
+TEST(DeterminismTest, RfftSpectraExactAcrossThreadCounts) {
+  Rng rng(37);
+  Tensor noise = Tensor::RandNormal({300}, 0, 1, rng);
+  std::vector<float> values(noise.data(), noise.data() + noise.numel());
+  Tensor series = Tensor::RandNormal({16, 512}, 0, 1, rng);
+
+  std::vector<std::vector<double>> spectra;
+  std::vector<std::vector<int64_t>> periods;
+  for (int64_t threads : kThreadCounts) {
+    runtime::ScopedThreads scoped(threads);
+    spectra.push_back(AmplitudeSpectrum(values));
+    periods.push_back(TopPeriodsFft(series, 4));
+  }
+  for (size_t k = 1; k < spectra.size(); ++k) {
+    // Exact double equality: the rfft itself is serial and the channel fan
+    // out merges in fixed order, so not even the low bits may move.
+    EXPECT_EQ(spectra[0], spectra[k]);
     EXPECT_EQ(periods[0], periods[k]);
   }
 }

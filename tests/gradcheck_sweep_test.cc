@@ -211,6 +211,85 @@ void AddOpCases(std::vector<SweepCase>* cases) {
     return CheckScalarized([&](const Variable& x) { return MatMul(c, x); },
                            Uniform({3, 4}, -1.0f, 1.0f, 272), 273);
   });
+  // Fused GEMM epilogues (MatMulEx): every activation, each argument slot.
+  // The backward recovers dz from the activation output (gelu from the saved
+  // pre-activation), so each slot exercises a different recovery formula.
+  add("MatMulEx_identity_bias", [] {
+    const Variable a(Uniform({2, 3}, -1.0f, 1.0f, 2001));
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2002));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(a, b, x, gemm::Activation::kIdentity);
+        },
+        Uniform({4}, -1.0f, 1.0f, 2003), 2004);
+  });
+  add("MatMulEx_relu_lhs", [] {
+    // Bias of magnitude >= 0.5 pushes the pre-activations away from relu's
+    // kink so the finite-difference probe cannot cross it.
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2011));
+    const Variable bias(AwayFromZero({4}, 2012));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(x, b, bias, gemm::Activation::kRelu);
+        },
+        Uniform({2, 3}, -0.1f, 0.1f, 2013), 2014);
+  });
+  add("MatMulEx_gelu_lhs", [] {
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2021));
+    const Variable bias(Uniform({4}, -1.0f, 1.0f, 2022));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(x, b, bias, gemm::Activation::kGelu);
+        },
+        Uniform({2, 3}, -1.0f, 1.0f, 2023), 2024);
+  });
+  add("MatMulEx_gelu_rhs", [] {
+    const Variable a(Uniform({2, 3}, -1.0f, 1.0f, 2031));
+    const Variable bias(Uniform({4}, -1.0f, 1.0f, 2032));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(a, x, bias, gemm::Activation::kGelu);
+        },
+        Uniform({3, 4}, -1.0f, 1.0f, 2033), 2034);
+  });
+  add("MatMulEx_gelu_bias", [] {
+    const Variable a(Uniform({2, 3}, -1.0f, 1.0f, 2041));
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2042));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(a, b, x, gemm::Activation::kGelu);
+        },
+        Uniform({4}, -1.0f, 1.0f, 2043), 2044);
+  });
+  add("MatMulEx_tanh_lhs", [] {
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2051));
+    const Variable bias(Uniform({4}, -1.0f, 1.0f, 2052));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(x, b, bias, gemm::Activation::kTanh);
+        },
+        Uniform({2, 3}, -1.0f, 1.0f, 2053), 2054);
+  });
+  add("MatMulEx_sigmoid_bias", [] {
+    const Variable a(Uniform({2, 3}, -1.0f, 1.0f, 2061));
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2062));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(a, b, x, gemm::Activation::kSigmoid);
+        },
+        Uniform({4}, -1.0f, 1.0f, 2063), 2064);
+  });
+  add("MatMulEx_batched_gelu", [] {
+    // Rank-3 lhs against a shared rank-2 rhs: the flattened single-GEMM
+    // path, with the bias gradient reducing over batch and rows.
+    const Variable b(Uniform({3, 4}, -1.0f, 1.0f, 2071));
+    const Variable bias(Uniform({4}, -1.0f, 1.0f, 2072));
+    return CheckScalarized(
+        [&](const Variable& x) {
+          return MatMulEx(x, b, bias, gemm::Activation::kGelu);
+        },
+        Uniform({2, 2, 3}, -1.0f, 1.0f, 2073), 2074);
+  });
   add("Conv2d_input", [] {
     const Variable k(Uniform({3, 2, 3, 3}, -0.5f, 0.5f, 281));
     return CheckScalarized(

@@ -1,0 +1,147 @@
+// Size-class tensor memory pool (tensor/pool.h, docs/PERFORMANCE.md):
+// free-list reuse, MemoryScope-bounded cache lifetime, the MSD_DISABLE_POOL
+// bypass, and the steady-state guarantee the trainer relies on — after a
+// warm-up epoch, training allocations stop hitting the system allocator.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/msd_mixer.h"
+#include "data/window_dataset.h"
+#include "tasks/task_model.h"
+#include "tasks/trainer.h"
+#include "tensor/pool.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+// The pool is process-global, so every expectation works on stat deltas.
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = pool::Enabled();
+    pool::SetEnabled(true);
+    pool::Trim();
+  }
+  void TearDown() override {
+    pool::SetEnabled(was_enabled_);
+    pool::Trim();
+  }
+  bool was_enabled_ = false;
+};
+
+TEST_F(PoolTest, FreedBlockIsReusedForSameSizeClass) {
+  pool::MemoryScope scope;
+  const float* first_data = nullptr;
+  {
+    Tensor t = Tensor::Zeros({100});
+    first_data = t.data();
+  }
+  // The freed block sits in its size class now.
+  EXPECT_GT(pool::GetStats().blocks_cached, 0);
+  const pool::PoolStats before = pool::GetStats();
+  // Same class (anything rounding to the same power of two) reuses it.
+  Tensor again = Tensor::Zeros({97});
+  EXPECT_EQ(again.data(), first_data);
+  const pool::PoolStats after = pool::GetStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST_F(PoolTest, RecycledBlocksAreZeroedByTensorZeros) {
+  pool::MemoryScope scope;
+  { Tensor dirty = Tensor::Full({64}, 3.5f); }
+  Tensor clean = Tensor::Zeros({64});  // recycles the dirty block
+  for (int64_t i = 0; i < clean.numel(); ++i) {
+    ASSERT_EQ(clean.data()[i], 0.0f);
+  }
+}
+
+TEST_F(PoolTest, OutermostMemoryScopeExitTrims) {
+  {
+    pool::MemoryScope outer;
+    {
+      pool::MemoryScope inner;
+      { Tensor t = Tensor::Zeros({256}); }
+      EXPECT_GT(pool::GetStats().bytes_cached, 0);
+    }
+    // Inner exit is not outermost: the cache survives.
+    EXPECT_GT(pool::GetStats().bytes_cached, 0);
+  }
+  EXPECT_EQ(pool::GetStats().bytes_cached, 0);
+  EXPECT_EQ(pool::GetStats().blocks_cached, 0);
+}
+
+TEST_F(PoolTest, DisabledPoolCachesNothing) {
+  pool::SetEnabled(false);
+  pool::MemoryScope scope;
+  const pool::PoolStats before = pool::GetStats();
+  { Tensor t = Tensor::Zeros({512}); }
+  Tensor again = Tensor::Zeros({512});
+  const pool::PoolStats after = pool::GetStats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(pool::GetStats().blocks_cached, 0);
+}
+
+TEST_F(PoolTest, NumericsIdenticalWithPoolDisabled) {
+  // The pool only changes where buffers live; every byte of every result
+  // must match with caching off (the MSD_DISABLE_POOL escape hatch).
+  auto compute = [] {
+    Rng rng(41);
+    Tensor a = Tensor::RandNormal({33, 65}, 0, 1, rng);
+    Tensor b = Tensor::RandNormal({65, 17}, 0, 1, rng);
+    Tensor bias = Tensor::RandNormal({17}, 0, 1, rng);
+    return MatMulEx(a, b, bias, gemm::Activation::kGelu);
+  };
+  Tensor pooled = compute();
+  pool::SetEnabled(false);
+  pool::Trim();
+  Tensor fresh = compute();
+  ASSERT_EQ(pooled.shape(), fresh.shape());
+  EXPECT_EQ(std::memcmp(pooled.data(), fresh.data(),
+                        static_cast<size_t>(pooled.numel()) * sizeof(float)),
+            0);
+}
+
+TEST_F(PoolTest, SteadyStateTrainingHitsTheCache) {
+  // First epoch warms every size class; from then on the trainer's
+  // allocations recycle instead of hitting the system allocator. The outer
+  // scope keeps the cache alive between the two Train() calls, as a long
+  // experiment driver would.
+  pool::MemoryScope scope;
+  Rng series_rng(13);
+  Tensor series = Tensor::RandNormal({3, 300}, 0, 1, series_rng);
+  ForecastWindowDataset data(series, 48, 24, 4);
+  MsdMixerConfig config;
+  config.input_length = 48;
+  config.channels = 3;
+  config.patch_sizes = {12, 4, 1};
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.task = TaskType::kForecast;
+  config.horizon = 24;
+  Rng model_rng(7);
+  MsdMixer mixer(config, model_rng);
+  MsdMixerTaskModel model(&mixer, /*lambda=*/0.3f);
+  TrainerConfig trainer;
+  trainer.epochs = 1;
+  trainer.batch_size = 8;
+  trainer.max_batches_per_epoch = 4;
+
+  Train(model, data, trainer, ForecastMseTaskLoss);  // warm-up epoch
+  const pool::PoolStats warm = pool::GetStats();
+  Train(model, data, trainer, ForecastMseTaskLoss);  // steady state
+  const pool::PoolStats steady = pool::GetStats();
+
+  const int64_t hits = steady.hits - warm.hits;
+  const int64_t misses = steady.misses - warm.misses;
+  ASSERT_GT(hits + misses, 0);
+  const double hit_rate = static_cast<double>(hits) /
+                          static_cast<double>(hits + misses);
+  EXPECT_GE(hit_rate, 0.95) << hits << " hits, " << misses << " misses";
+}
+
+}  // namespace
+}  // namespace msd

@@ -239,6 +239,37 @@ TEST(TensorOpsTest, MatMulInnerDimMismatchDies) {
   EXPECT_DEATH(MatMul(a, b), "inner dims mismatch");
 }
 
+TEST(TensorOpsTest, MatMulExMatchesComposedOps) {
+  // The fused epilogue must agree with MatMul + Add + activation composed
+  // from separate kernels. Tolerance, not memcmp: the fused path may
+  // contract the bias add differently under -ffp-contract.
+  Rng rng(19);
+  Tensor a = Tensor::RandNormal({3, 5, 20}, 0, 1, rng);
+  Tensor b = Tensor::RandNormal({20, 8}, 0, 1, rng);
+  Tensor bias = Tensor::RandNormal({8}, 0, 1, rng);
+  Tensor base = Add(MatMul(a, b), bias);
+  EXPECT_TRUE(AllClose(
+      MatMulEx(a, b, bias, gemm::Activation::kIdentity), base, 1e-5f));
+  EXPECT_TRUE(AllClose(
+      MatMulEx(a, b, bias, gemm::Activation::kRelu), Relu(base), 1e-5f));
+  EXPECT_TRUE(AllClose(
+      MatMulEx(a, b, bias, gemm::Activation::kGelu), Gelu(base), 1e-5f));
+  EXPECT_TRUE(AllClose(
+      MatMulEx(a, b, bias, gemm::Activation::kTanh), Tanh(base), 1e-5f));
+  EXPECT_TRUE(AllClose(MatMulEx(a, b, bias, gemm::Activation::kSigmoid),
+                       Sigmoid(base), 1e-5f));
+  // Without a bias the fused product reduces to plain MatMul exactly.
+  Tensor plain = MatMulEx(a, b, Tensor(), gemm::Activation::kIdentity);
+  EXPECT_TRUE(AllClose(plain, MatMul(a, b), 0.0f, 0.0f));
+}
+
+TEST(TensorOpsTest, MatMulExBiasShapeMismatchDies) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({3, 4});
+  Tensor bias = Tensor::Zeros({5});
+  EXPECT_DEATH(MatMulEx(a, b, bias, gemm::Activation::kIdentity), "bias");
+}
+
 // ---- Reductions --------------------------------------------------------------
 
 TEST(TensorOpsTest, SumAllAndMeanAll) {

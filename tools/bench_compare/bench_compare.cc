@@ -1,0 +1,198 @@
+// Compares two benchmark result files and fails on wall-clock regressions.
+//
+// Usage:
+//   bench_compare <baseline.json> <current.json> [--threshold <pct>]
+//
+// Accepts either of the repo's two result formats, auto-detected per file:
+//   * google-benchmark JSON (--benchmark_out): the "benchmarks" array; each
+//     entry's key is its "name" and its metric is "cpu_time" (already
+//     normalized per iteration, so adaptive iteration counts do not skew
+//     the comparison).
+//   * telemetry snapshots written by --metrics-out ({"metrics":…,"spans":…}):
+//     each span label maps to total_ms / count, i.e. mean wall-clock per
+//     call, again invariant to how many calls the run happened to make.
+//
+// Only names present in BOTH files are compared; additions and removals are
+// listed as informational. A name whose current time exceeds baseline by
+// more than --threshold percent (default 10) is a regression; any regression
+// makes the exit status 1 so tools/check.sh can gate on it. Malformed input
+// or usage errors exit 2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using msd::obs::JsonParse;
+using msd::obs::JsonValue;
+
+// Benchmark-name -> per-iteration (or per-call) time. Unit is whatever the
+// file uses; both files of a pair must come from the same producer for the
+// ratio to mean anything, which the >10%-shift check tolerates anyway since
+// only ratios are compared.
+using TimeMap = std::map<std::string, double>;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// google-benchmark format: {"context":…, "benchmarks":[{"name":…,
+// "cpu_time":…, …}, …]}. Aggregate rows (mean/median/stddev from
+// --benchmark_repetitions) are skipped so a repetitions run compares its
+// raw entries consistently with a non-repetitions baseline.
+bool ExtractGoogleBenchmark(const JsonValue& doc, TimeMap* out) {
+  const JsonValue* benchmarks = doc.Find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) return false;
+  for (const JsonValue& entry : benchmarks->array) {
+    const JsonValue* name = entry.Find("name");
+    const JsonValue* cpu = entry.Find("cpu_time");
+    const JsonValue* run_type = entry.Find("run_type");
+    if (name == nullptr || !name->is_string() || cpu == nullptr ||
+        !cpu->is_number()) {
+      continue;
+    }
+    if (run_type != nullptr && run_type->is_string() &&
+        run_type->str == "aggregate") {
+      continue;
+    }
+    (*out)[name->str] = cpu->number;
+  }
+  return true;
+}
+
+// Telemetry snapshot format: {"metrics":…, "spans":{"label":{"count":N,
+// "total_ms":…, …}, …}}. The comparable number is mean ms per call.
+bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
+  const JsonValue* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->is_object()) return false;
+  for (const auto& [label, span] : spans->object) {
+    const JsonValue* count = span.Find("count");
+    const JsonValue* total = span.Find("total_ms");
+    if (count == nullptr || !count->is_number() || total == nullptr ||
+        !total->is_number() || count->number <= 0.0) {
+      continue;
+    }
+    (*out)[label] = total->number / count->number;
+  }
+  return true;
+}
+
+bool LoadTimes(const std::string& path, TimeMap* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  JsonValue doc;
+  if (!JsonParse(text, &doc)) {
+    std::fprintf(stderr, "bench_compare: %s is not valid JSON\n",
+                 path.c_str());
+    return false;
+  }
+  if (ExtractGoogleBenchmark(doc, out) || ExtractTelemetrySpans(doc, out)) {
+    if (out->empty()) {
+      std::fprintf(stderr, "bench_compare: %s contains no entries\n",
+                   path.c_str());
+      return false;
+    }
+    return true;
+  }
+  std::fprintf(stderr,
+               "bench_compare: %s has neither a \"benchmarks\" array nor a "
+               "\"spans\" object\n",
+               path.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold_pct = 10.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --threshold needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      threshold_pct = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || threshold_pct < 0.0) {
+        std::fprintf(stderr,
+                     "bench_compare: bad --threshold '%s' (want pct >= 0)\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--threshold <pct>]\n");
+    return 2;
+  }
+
+  TimeMap baseline;
+  TimeMap current;
+  if (!LoadTimes(positional[0], &baseline) ||
+      !LoadTimes(positional[1], &current)) {
+    return 2;
+  }
+
+  int64_t compared = 0;
+  int64_t regressions = 0;
+  int64_t improvements = 0;
+  for (const auto& [name, base_time] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("  [gone ] %s (only in baseline)\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    const double cur_time = it->second;
+    const double delta_pct =
+        base_time > 0.0 ? (cur_time - base_time) / base_time * 100.0 : 0.0;
+    const char* tag = "  ok   ";
+    if (delta_pct > threshold_pct) {
+      tag = "REGRESS";
+      ++regressions;
+    } else if (delta_pct < -threshold_pct) {
+      tag = "faster ";
+      ++improvements;
+    }
+    std::printf("  [%s] %-48s %12.1f -> %12.1f  (%+6.1f%%)\n", tag,
+                name.c_str(), base_time, cur_time, delta_pct);
+  }
+  for (const auto& [name, time] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      std::printf("  [new  ] %s (only in current)\n", name.c_str());
+      (void)time;
+    }
+  }
+
+  std::printf(
+      "bench_compare: %lld compared, %lld regressions, %lld improvements "
+      "(threshold %.1f%%)\n",
+      static_cast<long long>(compared), static_cast<long long>(regressions),
+      static_cast<long long>(improvements), threshold_pct);
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: no common entries to compare\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -19,10 +19,18 @@
 #                 real multi-threaded pool under the race detector.
 #
 # Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
+#        [--bench-baseline FILE]
 #   --tidy     also run clang-tidy (src/common + src/tensor); skipped with a
 #              note when clang-tidy is not installed.
 #   --leg      run only the named leg(s); default is all four.
 #   --jobs N   parallel build/test jobs (default: nproc).
+#   --bench-baseline FILE
+#              after the release leg, re-run the kernel benches in
+#              google-benchmark JSON form and gate them against FILE with
+#              tools/bench_compare (>10% cpu_time growth on any common
+#              benchmark fails the run). The repo's committed reference is
+#              BENCH_baseline.json; regenerate it with the command printed
+#              in that file's "context" block when the hardware changes.
 #
 # Build trees live in build-check/<leg> so they never disturb ./build.
 set -u -o pipefail
@@ -30,6 +38,7 @@ set -u -o pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TIDY=0
+BENCH_BASELINE=""
 LEGS=()
 
 while [[ $# -gt 0 ]]; do
@@ -37,6 +46,7 @@ while [[ $# -gt 0 ]]; do
     --tidy) RUN_TIDY=1 ;;
     --jobs) JOBS="$2"; shift ;;
     --leg) LEGS+=("$2"); shift ;;
+    --bench-baseline) BENCH_BASELINE="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -115,6 +125,22 @@ for leg in "${LEGS[@]}"; do
           DETAIL[release]="full ctest clean; BENCH_threads.json recorded"
         else
           fail_leg release "thread-scaling bench snapshot failed"
+        fi
+      fi
+      if [[ "${STATUS[release]}" == "PASS" && -n "${BENCH_BASELINE}" ]]; then
+        # Perf gate: the kernel benches (GEMM family, fused epilogues, rfft)
+        # against the committed baseline; >10% cpu_time growth fails.
+        note "leg release: bench_compare vs ${BENCH_BASELINE}"
+        current="${CHECK_DIR}/release/BENCH_current.json"
+        if "${CHECK_DIR}/release/bench/bench_micro_kernels" \
+              --benchmark_filter='BM_MatMul2D|BM_BatchedMatMul|BM_Gemm|BM_Rfft|BM_Fft' \
+              --benchmark_min_time=0.05 \
+              --benchmark_out="${current}" --benchmark_out_format=json &&
+            "${CHECK_DIR}/release/tools/bench_compare" \
+              "${BENCH_BASELINE}" "${current}"; then
+          DETAIL[release]="${DETAIL[release]}; bench within baseline"
+        else
+          fail_leg release "bench regression vs ${BENCH_BASELINE}"
         fi
       fi
       ;;

@@ -19,6 +19,12 @@
 //                  std::jthread / std::async elsewhere bypasses the pool and
 //                  breaks the MSD_THREADS determinism contract
 //                  (docs/RUNTIME.md).
+//   no-raw-buffer  float buffers in src/tensor must come from the size-class
+//                  pool (tensor/pool.h) so steady-state training recycles
+//                  instead of hitting the system allocator; constructing a
+//                  std::vector<float> there bypasses it. References are fine
+//                  (they don't allocate), as are the files that implement
+//                  the allocation path itself.
 //
 // Usage: msd_lint <repo-root> — prints violations as file:line: rule:
 // message and exits nonzero if any rule fired. Add a rule by extending
@@ -48,6 +54,18 @@ struct Violation {
 // in examples/ and bench/, outside the linted tree).
 const std::set<std::string>& CoutAllowlist() {
   static const std::set<std::string> allowlist = {};
+  return allowlist;
+}
+
+// Files that implement Tensor's allocation path and so legitimately create
+// float buffers directly (the no-raw-buffer rule exempts them).
+const std::set<std::string>& BufferOwnerAllowlist() {
+  static const std::set<std::string> allowlist = {
+      "src/tensor/tensor.h",
+      "src/tensor/tensor.cc",
+      "src/tensor/pool.h",
+      "src/tensor/pool.cc",
+  };
   return allowlist;
 }
 
@@ -149,6 +167,22 @@ bool HasWordToken(const std::string& line, const std::string& token) {
   return false;
 }
 
+// Finds `std::vector<float>` used as an owning buffer: the token NOT
+// followed (after optional spaces) by '&'. A reference never allocates, so
+// `const std::vector<float>&` parameters stay legal outside the allocator.
+bool HasOwningFloatVector(const std::string& line) {
+  const std::string token = "std::vector<float>";
+  for (size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos > 0 && IsWordChar(line[pos - 1])) continue;
+    size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '&') continue;
+    return true;
+  }
+  return false;
+}
+
 void CheckHeaderGuard(const std::string& raw_text, const std::string& rel,
                       std::vector<Violation>* violations) {
   if (raw_text.find("#pragma once") != std::string::npos) return;
@@ -191,6 +225,8 @@ void CheckFile(const fs::path& path, const std::string& rel,
                                rel.rfind("src/autograd/", 0) == 0;
   const bool cout_allowed = CoutAllowlist().count(rel) > 0;
   const bool thread_owner = rel.rfind("src/runtime/", 0) == 0;
+  const bool buffer_sensitive = rel.rfind("src/tensor/", 0) == 0 &&
+                                BufferOwnerAllowlist().count(rel) == 0;
 
   std::istringstream lines(code_text);
   std::istringstream directive_lines(directive_text);
@@ -234,6 +270,12 @@ void CheckFile(const fs::path& path, const std::string& rel,
                    "runtime::ParallelFor so MSD_THREADS determinism holds"});
         }
       }
+    }
+    if (buffer_sensitive && HasOwningFloatVector(line)) {
+      violations->push_back(
+          {rel, line_number, "no-raw-buffer",
+           "float buffers in src/tensor come from pool::AllocateShared "
+           "(tensor/pool.h) or Tensor itself, not std::vector<float>"});
     }
     if (alloc_sensitive) {
       if (HasWordToken(line, "new") && !HasWordToken(line, "delete")) {
