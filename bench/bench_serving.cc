@@ -1,0 +1,238 @@
+// Closed-loop load test for the serving subsystem (docs/SERVING.md).
+//
+// Builds a small random-init MSD-Mixer, snapshots it to a checkpoint,
+// restores it into a frozen serve::InferenceSession, and hammers a
+// ServerLoop from N client threads until --requests requests have
+// completed. Reports throughput and p50/p95/p99 end-to-end latency from
+// the clients' own clocks, plus the batcher's serve/* telemetry, and
+// exits nonzero on any failed request, any correctness mismatch, or a
+// broken backpressure/cancellation contract.
+//
+//   bench_serving [--requests N] [--clients N] [--workers N]
+//                 [--max-batch N] [--max-delay-us N] [--threads N]
+//                 [--metrics-out FILE] [--trace-out FILE]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "nn/serialize.h"
+#include "runtime/worker.h"
+#include "serve/server.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace msd;
+
+int64_t IntFlag(int argc, char** argv, const std::string& flag,
+                int64_t fallback) {
+  const std::string v = bench::FlagValue(argc, argv, flag);
+  if (v.empty()) return fallback;
+  const int64_t n = std::atoll(v.c_str());
+  if (n <= 0) {
+    std::fprintf(stderr, "invalid %s value '%s'\n", flag.c_str(), v.c_str());
+    std::exit(2);
+  }
+  return n;
+}
+
+double Percentile(std::vector<double>* sorted_inout, double q) {
+  std::vector<double>& v = *sorted_inout;
+  if (v.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+// Verifies the bounded-queue contract on an idle (not Start()ed) batcher:
+// admission up to capacity, kResourceExhausted past it, kCancelled for
+// everything pending at Stop(). Returns false on any violation.
+bool CheckBackpressure(serve::InferenceSession* session) {
+  serve::MicroBatcherConfig config;
+  config.queue_capacity = 8;
+  serve::MicroBatcher batcher(session, config);
+  const Tensor window = Tensor::Zeros({session->model_config().channels,
+                                       session->model_config().input_length});
+  std::vector<serve::ResultFuture> pending;
+  for (int64_t i = 0; i < config.queue_capacity; ++i) {
+    serve::ResultFuture f;
+    if (!batcher.Submit(window, &f).ok()) {
+      std::fprintf(stderr, "backpressure: admission %lld rejected early\n",
+                   (long long)i);
+      return false;
+    }
+    pending.push_back(std::move(f));
+  }
+  serve::ResultFuture overflow;
+  Status rejected = batcher.Submit(window, &overflow);
+  if (rejected.code() != StatusCode::kResourceExhausted) {
+    std::fprintf(stderr, "backpressure: expected ResourceExhausted, got %s\n",
+                 rejected.ToString().c_str());
+    return false;
+  }
+  batcher.Stop();
+  for (auto& f : pending) {
+    if (f.get().status().code() != StatusCode::kCancelled) {
+      std::fprintf(stderr, "backpressure: pending request not Cancelled\n");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::InitThreads(argc, argv);
+  const int64_t requests = IntFlag(argc, argv, "--requests", 2000);
+  const int64_t clients = IntFlag(argc, argv, "--clients", 4);
+  const int64_t workers = IntFlag(argc, argv, "--workers", 2);
+  const int64_t max_batch = IntFlag(argc, argv, "--max-batch", 8);
+  const int64_t max_delay_us = IntFlag(argc, argv, "--max-delay-us", 1000);
+
+  // Small forecast model: big enough to exercise every layer, small enough
+  // that the bench is queue-bound rather than GEMM-bound.
+  MsdMixerConfig mc = bench::MixerConfig(TaskType::kForecast, /*channels=*/3,
+                                         /*input_length=*/48, /*horizon=*/12,
+                                         /*period=*/24);
+  Rng rng(7);
+  MsdMixer reference(mc, rng);
+  const std::string ckpt = "bench_serving_ckpt.msdckpt";
+  Status saved = SaveCheckpoint(reference, ckpt);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "checkpoint save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+
+  serve::InferenceSessionConfig sc;
+  sc.model = mc;
+  sc.max_batch = max_batch;
+  auto session_or = serve::InferenceSession::Create(sc, ckpt);
+  std::remove(ckpt.c_str());
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "session create failed: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  serve::InferenceSession* session = session_or.value().get();
+
+  serve::MicroBatcherConfig bc;
+  bc.max_batch = max_batch;
+  bc.max_delay_us = max_delay_us;
+  bc.queue_capacity = std::max<int64_t>(64, 2 * clients);
+  bc.num_workers = workers;
+  serve::ServerLoop server(session, bc);
+  server.Start();
+
+  // Distinct per-client request windows, so the correctness check exercises
+  // batches of mixed rows.
+  std::vector<Tensor> windows;
+  Rng data_rng(99);
+  for (int64_t i = 0; i < clients; ++i) {
+    windows.push_back(Tensor::RandNormal({mc.channels, mc.input_length}, 0.0f,
+                                         1.0f, data_rng));
+  }
+  // Ground truth outside the serving path (single-request API).
+  std::vector<Tensor> expected;
+  for (const Tensor& w : windows) {
+    auto direct = session->Predict(w);
+    if (!direct.ok()) {
+      std::fprintf(stderr, "direct predict failed: %s\n",
+                   direct.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(direct.value());
+  }
+
+  std::atomic<int64_t> issued{0};
+  std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+
+  const auto start = std::chrono::steady_clock::now();
+  {
+    runtime::WorkerGroup group;
+    group.Start(clients, [&](int64_t client) {
+      auto& mine = latencies[static_cast<size_t>(client)];
+      const Tensor& window = windows[static_cast<size_t>(client)];
+      const Tensor& want = expected[static_cast<size_t>(client)];
+      while (issued.fetch_add(1) < requests) {
+        const auto t0 = std::chrono::steady_clock::now();
+        StatusOr<Tensor> got = server.Handle(window);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!got.ok()) {
+          // Closed-loop clients never overflow the queue; any error is a bug.
+          failures.fetch_add(1);
+          continue;
+        }
+        mine.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+        if (std::memcmp(got.value().data(), want.data(),
+                        sizeof(float) * static_cast<size_t>(want.numel())) !=
+            0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+    group.Join();
+  }
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  server.Stop();
+
+  std::vector<double> merged;
+  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
+  std::sort(merged.begin(), merged.end());
+  const double p50 = Percentile(&merged, 0.50);
+  const double p95 = Percentile(&merged, 0.95);
+  const double p99 = Percentile(&merged, 0.99);
+  const double throughput =
+      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+
+  // Exact client-side percentiles as gauges, so --metrics-out snapshots are
+  // comparable across runs by tools/bench_compare.
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("serve/latency_p50_us").Set(p50);
+  registry.GetGauge("serve/latency_p95_us").Set(p95);
+  registry.GetGauge("serve/latency_p99_us").Set(p99);
+  registry.GetGauge("serve/throughput_rps").Set(throughput);
+
+  bench::TablePrinter table({"metric", "value"}, {24, 18});
+  table.PrintHeader();
+  table.PrintRow({"requests completed", std::to_string(merged.size())});
+  table.PrintRow({"clients x workers", std::to_string(clients) + " x " +
+                                           std::to_string(workers)});
+  table.PrintRow({"throughput (req/s)", bench::Fmt(throughput, 1)});
+  table.PrintRow({"p50 latency (us)", bench::Fmt(p50, 0)});
+  table.PrintRow({"p95 latency (us)", bench::Fmt(p95, 0)});
+  table.PrintRow({"p99 latency (us)", bench::Fmt(p99, 0)});
+  table.PrintRule();
+
+  const bool backpressure_ok = CheckBackpressure(session);
+
+  bool ok = true;
+  if (static_cast<int64_t>(merged.size()) < requests) {
+    std::fprintf(stderr, "only %zu/%lld requests completed\n", merged.size(),
+                 (long long)requests);
+    ok = false;
+  }
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%lld requests failed\n", (long long)failures.load());
+    ok = false;
+  }
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr, "%lld responses differed from direct Predict\n",
+                 (long long)mismatches.load());
+    ok = false;
+  }
+  if (!backpressure_ok) ok = false;
+  if (!bench::ExportTelemetry(argc, argv)) ok = false;
+  return ok ? 0 : 1;
+}

@@ -34,6 +34,12 @@ Variable MakeOp(Tensor value, std::vector<NodePtr> parents,
   bool any_requires = false;
   for (const NodePtr& p : parents) any_requires |= p->requires_grad;
   if (NoGradGuard::GradEnabled() && any_requires) {
+    // Counts only nodes that join the tape (parents + backward closure kept).
+    // Flat across an inference pass under NoGradGuard — the serving tests
+    // regress on exactly that (tests/serve_test.cc).
+    static obs::Counter& nodes_recorded =
+        obs::MetricsRegistry::Global().GetCounter("autograd/nodes_recorded");
+    nodes_recorded.Add(1);
     node->requires_grad = true;
 #if MSD_DEBUG_CHECKS_ENABLED
     // Tape lint: mark leaves consumed by this recorded op; Backward() clears

@@ -17,6 +17,13 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kOutOfRange,
+  // Admission control: a bounded resource (request queue, batch slot) is
+  // full right now; the caller may retry after backing off.
+  kResourceExhausted,
+  // The work item's deadline expired before a result was produced.
+  kDeadlineExceeded,
+  // The owner shut down / abandoned the work before it ran.
+  kCancelled,
 };
 
 // Value-semantic error carrier. OK status carries no message.
@@ -38,6 +45,15 @@ class Status {
   }
   static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -62,6 +78,15 @@ class Status {
         break;
       case StatusCode::kOutOfRange:
         name = "OutOfRange";
+        break;
+      case StatusCode::kResourceExhausted:
+        name = "ResourceExhausted";
+        break;
+      case StatusCode::kDeadlineExceeded:
+        name = "DeadlineExceeded";
+        break;
+      case StatusCode::kCancelled:
+        name = "Cancelled";
         break;
     }
     return name + ": " + message_;

@@ -31,6 +31,25 @@ bool ReadBytes(std::FILE* f, void* data, size_t size) {
   return std::fread(data, 1, size, f) == size;
 }
 
+// Size of `f` in bytes via seek-to-end, restoring the read position; -1 on
+// seek failure. Used to bounds-check every length field in the checkpoint
+// against what the file can actually hold, so a corrupt name_len/rank/dim
+// becomes a recoverable Status instead of a gigabyte allocation or over-read.
+int64_t FileSizeBytes(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long size = std::ftell(f);
+  if (size < 0 || std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return static_cast<int64_t>(size);
+}
+
+// Bytes between the current read position and end of file (0 on error).
+int64_t RemainingBytes(std::FILE* f, int64_t file_size) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || file_size < static_cast<int64_t>(pos)) return 0;
+  return file_size - static_cast<int64_t>(pos);
+}
+
 }  // namespace
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
@@ -73,6 +92,10 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
     return Status::NotFound("cannot open: " + path);
   }
   std::FILE* f = file.get();
+  const int64_t file_size = FileSizeBytes(f);
+  if (file_size < 0) {
+    return Status::Internal("cannot determine size of " + path);
+  }
   char magic[8];
   uint32_t version = 0;
   uint64_t count = 0;
@@ -86,26 +109,62 @@ Status LoadCheckpoint(Module& module, const std::string& path) {
   if (!ReadBytes(f, &count, sizeof(count))) {
     return Status::InvalidArgument("truncated checkpoint: " + path);
   }
+  // Every entry costs at least a name_len and a rank field; a count claiming
+  // more than the file could hold is corruption, not a 2^60-iteration loop.
+  constexpr uint64_t kMinEntryBytes = 2 * sizeof(uint64_t);
+  if (count > static_cast<uint64_t>(file_size) / kMinEntryBytes) {
+    return Status::InvalidArgument(
+        "corrupt checkpoint (parameter count " + std::to_string(count) +
+        " exceeds what " + std::to_string(file_size) +
+        " bytes can hold): " + path);
+  }
 
   std::map<std::string, std::pair<Shape, std::vector<float>>> entries;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    if (!ReadBytes(f, &name_len, sizeof(name_len)) || name_len > (1u << 20)) {
+    if (!ReadBytes(f, &name_len, sizeof(name_len))) {
       return Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    if (name_len > static_cast<uint64_t>(RemainingBytes(f, file_size))) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint (name length " + std::to_string(name_len) +
+          " exceeds remaining file): " + path);
     }
     std::string name(name_len, '\0');
     uint64_t rank = 0;
     if (!ReadBytes(f, name.data(), name_len) ||
-        !ReadBytes(f, &rank, sizeof(rank)) || rank > 16) {
+        !ReadBytes(f, &rank, sizeof(rank))) {
       return Status::InvalidArgument("truncated checkpoint: " + path);
     }
+    if (rank > 16) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint (rank " + std::to_string(rank) + "): " + path);
+    }
     Shape shape(rank);
+    // numel is recomputed incrementally with an overflow guard: the per-dim
+    // cap keeps the running product inside int64 range even before the
+    // remaining-bytes check rejects it.
+    int64_t numel = 1;
+    constexpr int64_t kMaxNumel = int64_t{1} << 40;
     for (uint64_t d = 0; d < rank; ++d) {
-      if (!ReadBytes(f, &shape[d], sizeof(int64_t)) || shape[d] < 0) {
+      if (!ReadBytes(f, &shape[d], sizeof(int64_t))) {
         return Status::InvalidArgument("truncated checkpoint: " + path);
       }
+      if (shape[d] < 0 || shape[d] > kMaxNumel ||
+          (shape[d] > 0 && numel > kMaxNumel / shape[d])) {
+        return Status::InvalidArgument(
+            "corrupt checkpoint (dimension " + std::to_string(shape[d]) +
+            " of " + name + "): " + path);
+      }
+      numel *= shape[d];
     }
-    const int64_t numel = NumElementsOf(shape);
+    const int64_t data_bytes = numel * static_cast<int64_t>(sizeof(float));
+    if (data_bytes > RemainingBytes(f, file_size)) {
+      return Status::InvalidArgument(
+          "corrupt checkpoint (" + name + " claims " +
+          std::to_string(data_bytes) + " data bytes past end of file): " +
+          path);
+    }
     std::vector<float> data(static_cast<size_t>(numel));
     if (!ReadBytes(f, data.data(), data.size() * sizeof(float))) {
       return Status::InvalidArgument("truncated checkpoint: " + path);

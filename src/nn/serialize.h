@@ -21,6 +21,9 @@ Status SaveCheckpoint(const Module& module, const std::string& path);
 // Loads values into the module's parameters by name. Every parameter of the
 // module must be present in the file with a matching shape; extra entries in
 // the file are an error too (they indicate a model/checkpoint mismatch).
+// Every length field (count, name_len, rank, dims) is bounds-checked against
+// the file size, so truncated or bit-flipped checkpoints return a Status
+// instead of over-reading or attempting absurd allocations.
 Status LoadCheckpoint(Module& module, const std::string& path);
 
 }  // namespace msd

@@ -87,6 +87,7 @@ void ThreadPool::WorkerLoop() {
       work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
       if (stop_) return;
       job = jobs_.front();
+      ++job->refs;
     }
     WorkOn(*job);
   }
@@ -126,7 +127,10 @@ void ThreadPool::WorkOn(Job& job) {
     }
   }
   job.completed += executed;
-  if (job.completed == job.chunk_count) done_cv_.notify_all();
+  --job.refs;
+  if (job.completed == job.chunk_count && job.refs == 0) {
+    done_cv_.notify_all();
+  }
 }
 
 void ThreadPool::RunChunks(int64_t chunk_count, const ChunkFn& fn) {
@@ -137,13 +141,18 @@ void ThreadPool::RunChunks(int64_t chunk_count, const ChunkFn& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(&job);
+    ++job.refs;  // the submitting thread's own participation
   }
   work_cv_.notify_all();
   WorkOn(job);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return job.completed == job.chunk_count; });
+    // Wait for refs to drain, not just chunk completion: a worker that lost
+    // every chunk still holds the job pointer until its WorkOn epilogue runs.
+    done_cv_.wait(lock, [&] {
+      return job.completed == job.chunk_count && job.refs == 0;
+    });
     error = job.error;
   }
   if (error) std::rethrow_exception(error);

@@ -84,6 +84,13 @@ class ThreadPool {
     int64_t completed = 0;            // guarded by pool mu_
     std::exception_ptr error;         // guarded by pool mu_
     bool dequeued = false;            // guarded by pool mu_
+    // Participants currently holding a pointer to this job (taken under mu_
+    // at pick time, released in WorkOn's final section). The submitter may
+    // only destroy the job once this drops to zero: a worker that picked the
+    // job but lost every chunk to its siblings still touches the claim
+    // cursor, and without the ref that touch races the next Job constructed
+    // at the same stack address.
+    int64_t refs = 0;                 // guarded by pool mu_
   };
 
   void Start(int64_t num_threads);

@@ -1,0 +1,31 @@
+#include "runtime/worker.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace msd {
+namespace runtime {
+
+WorkerGroup::~WorkerGroup() { Join(); }
+
+void WorkerGroup::Start(int64_t count, WorkerFn fn) {
+  MSD_CHECK(threads_.empty())
+      << "WorkerGroup::Start while workers are still running; Join() first";
+  MSD_CHECK_GT(count, 0);
+  MSD_CHECK(fn != nullptr);
+  threads_.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    threads_.emplace_back([fn, i] { fn(i); });
+  }
+}
+
+void WorkerGroup::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace runtime
+}  // namespace msd

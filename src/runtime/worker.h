@@ -1,0 +1,59 @@
+// Dedicated long-running service threads (docs/SERVING.md).
+//
+// The chunked ThreadPool (runtime/thread_pool.h) executes *bounded* parallel
+// loops and must never be blocked on external events: a worker that sleeps
+// on a condition variable inside RunChunks would stall every kernel in the
+// process. Service loops — micro-batcher workers draining a request queue,
+// closed-loop load-generator clients — therefore run on their own dedicated
+// threads, grouped here. A WorkerGroup thread is free to block, and it can
+// still dispatch chunked kernels: ParallelFor from a WorkerGroup thread
+// submits to the global pool like any other caller (concurrent submitters
+// are supported).
+//
+// src/runtime is the only directory allowed to spawn std::thread (repo lint
+// rule no-raw-thread); every serving thread goes through this class.
+#ifndef MSDMIXER_RUNTIME_WORKER_H_
+#define MSDMIXER_RUNTIME_WORKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace msd {
+namespace runtime {
+
+class WorkerGroup {
+ public:
+  // Invoked exactly once per worker with its index in [0, size()).
+  // The function is expected to loop until an owner-provided stop signal
+  // (e.g. the batcher's stop flag) tells it to return.
+  using WorkerFn = std::function<void(int64_t worker_index)>;
+
+  WorkerGroup() = default;
+  // Joins any still-running workers; the owner must have signalled its stop
+  // condition first or this blocks forever (by design — losing a service
+  // thread silently is worse).
+  ~WorkerGroup();
+
+  WorkerGroup(const WorkerGroup&) = delete;
+  WorkerGroup& operator=(const WorkerGroup&) = delete;
+
+  // Spawns `count` threads running fn(0) .. fn(count-1). Fatal if the group
+  // already holds unjoined workers.
+  void Start(int64_t count, WorkerFn fn);
+
+  // Blocks until every worker function has returned, then empties the group
+  // so Start() may be called again. No-op when nothing is running.
+  void Join();
+
+  int64_t size() const { return static_cast<int64_t>(threads_.size()); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace runtime
+}  // namespace msd
+
+#endif  // MSDMIXER_RUNTIME_WORKER_H_

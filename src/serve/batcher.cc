@@ -1,0 +1,214 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace serve {
+
+namespace {
+
+// Shared-instrument handles (find-or-create once, relaxed atomics after).
+struct ServeMetrics {
+  obs::Counter& requests = obs::MetricsRegistry::Global().GetCounter(
+      "serve/requests_total");
+  obs::Counter& rejected = obs::MetricsRegistry::Global().GetCounter(
+      "serve/rejected_total");
+  obs::Counter& timeouts = obs::MetricsRegistry::Global().GetCounter(
+      "serve/timeouts_total");
+  obs::Counter& batches = obs::MetricsRegistry::Global().GetCounter(
+      "serve/batches_total");
+  obs::Gauge& queue_depth = obs::MetricsRegistry::Global().GetGauge(
+      "serve/queue_depth");
+  obs::Gauge& queue_depth_peak = obs::MetricsRegistry::Global().GetGauge(
+      "serve/queue_depth_peak");
+  obs::Histogram& batch_size = obs::MetricsRegistry::Global().GetHistogram(
+      "serve/batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  obs::Histogram& latency_us = obs::MetricsRegistry::Global().GetHistogram(
+      "serve/latency_us",
+      {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
+       50000.0, 100000.0, 250000.0, 1000000.0});
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(InferenceSession* session,
+                           const MicroBatcherConfig& config)
+    : session_(session), config_(config) {
+  MSD_CHECK(session != nullptr);
+  MSD_CHECK_GE(config_.max_batch, 1);
+  MSD_CHECK_GE(config_.queue_capacity, 1);
+  MSD_CHECK_GE(config_.num_workers, 1);
+  MSD_CHECK_GE(config_.max_delay_us, 0);
+  // A batch can never exceed what one PredictBatch call accepts.
+  config_.max_batch = std::min(config_.max_batch, session->max_batch());
+}
+
+MicroBatcher::~MicroBatcher() { Stop(); }
+
+void MicroBatcher::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSD_CHECK(!stopped_) << "MicroBatcher cannot restart after Stop()";
+    if (started_) return;
+    started_ = true;
+  }
+  workers_.Start(config_.num_workers, [this](int64_t) { WorkerLoop(); });
+}
+
+void MicroBatcher::Stop() {
+  std::deque<Request> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    drained.swap(queue_);
+    Metrics().queue_depth.Set(0.0);
+  }
+  cv_.notify_all();
+  workers_.Join();
+  for (Request& request : drained) {
+    request.promise.set_value(
+        Status::Cancelled("micro-batcher stopped before the request ran"));
+  }
+}
+
+Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
+                            int64_t timeout_us) {
+  MSD_CHECK(result != nullptr);
+  if (!window.defined() || window.rank() != 2 ||
+      window.dim(0) != session_->model_config().channels ||
+      window.dim(1) != session_->model_config().input_length) {
+    return Status::InvalidArgument(
+        "window must be [" +
+        std::to_string(session_->model_config().channels) + ", " +
+        std::to_string(session_->model_config().input_length) + "]");
+  }
+  if (timeout_us < 0) timeout_us = config_.default_timeout_us;
+
+  Request request;
+  request.input = std::move(window);
+  request.enqueue_time = Clock::now();
+  request.deadline = timeout_us > 0
+                         ? request.enqueue_time +
+                               std::chrono::microseconds(timeout_us)
+                         : Clock::time_point::max();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return Status::Cancelled("micro-batcher is stopped");
+    }
+    if (static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
+      Metrics().rejected.Add(1);
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(config_.queue_capacity) +
+          " pending); retry with backoff");
+    }
+    // The future is handed out only once admission is certain, so a
+    // rejected Submit never leaves the caller a broken promise.
+    *result = request.promise.get_future();
+    queue_.push_back(std::move(request));
+    const double depth = static_cast<double>(queue_.size());
+    Metrics().queue_depth.Set(depth);
+    Metrics().queue_depth_peak.SetMax(depth);
+    Metrics().requests.Add(1);
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+int64_t MicroBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void MicroBatcher::WorkerLoop() {
+  const auto max_delay = std::chrono::microseconds(config_.max_delay_us);
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !queue_.empty(); });
+      if (stopped_) return;
+      // Coalesce: wait for more requests until the batch is full or the
+      // oldest pending request has aged out. The deadline is re-derived from
+      // the current front each pass — another worker may have taken the
+      // requests we were originally batching behind.
+      while (!stopped_ && !queue_.empty() &&
+             static_cast<int64_t>(queue_.size()) < config_.max_batch) {
+        const auto batch_deadline = queue_.front().enqueue_time + max_delay;
+        if (Clock::now() >= batch_deadline) break;
+        cv_.wait_until(lock, batch_deadline);
+      }
+      if (stopped_) return;
+      if (queue_.empty()) continue;
+      const int64_t take =
+          std::min<int64_t>(static_cast<int64_t>(queue_.size()),
+                            config_.max_batch);
+      batch.reserve(static_cast<size_t>(take));
+      for (int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
+  // Expired requests resolve immediately and never occupy batch rows.
+  std::vector<Request> live;
+  live.reserve(batch.size());
+  const auto now = Clock::now();
+  for (Request& request : batch) {
+    if (now >= request.deadline) {
+      Metrics().timeouts.Add(1);
+      request.promise.set_value(Status::DeadlineExceeded(
+          "request timed out in the batch queue"));
+    } else {
+      live.push_back(std::move(request));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(live.size());
+  for (const Request& request : live) inputs.push_back(request.input);
+  StatusOr<Tensor> outputs = session_->PredictBatch(Stack(inputs));
+
+  Metrics().batches.Add(1);
+  Metrics().batch_size.Observe(static_cast<double>(live.size()));
+
+  if (!outputs.ok()) {
+    for (Request& request : live) {
+      request.promise.set_value(outputs.status());
+    }
+    return;
+  }
+  const Tensor& stacked = outputs.value();
+  const auto done = Clock::now();
+  for (size_t i = 0; i < live.size(); ++i) {
+    // Row i of the stacked output, with the batch axis dropped.
+    Tensor row = Slice(stacked, 0, static_cast<int64_t>(i), 1);
+    Shape squeezed(row.shape().begin() + 1, row.shape().end());
+    live[i].promise.set_value(row.Reshape(std::move(squeezed)));
+    Metrics().latency_us.Observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            done - live[i].enqueue_time)
+            .count());
+  }
+}
+
+}  // namespace serve
+}  // namespace msd

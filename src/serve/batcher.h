@@ -1,0 +1,119 @@
+// Dynamic micro-batching request engine (docs/SERVING.md).
+//
+// Requests enter a bounded MPMC queue; dedicated worker threads
+// (runtime::WorkerGroup) coalesce pending requests into a batch when either
+// `max_batch` requests are waiting or the oldest request has waited
+// `max_delay_us`, then run one InferenceSession::PredictBatch and resolve
+// each request's future with its own row.
+//
+// Policies:
+//  * Admission control: Submit() on a full queue fails fast with
+//    kResourceExhausted — callers get backpressure, requests are never
+//    dropped on the floor.
+//  * Timeout: a request that is still queued past its deadline resolves
+//    with kDeadlineExceeded at dequeue time (it never occupies batch space).
+//  * Cancellation: Stop() drains the queue and resolves every pending
+//    request with kCancelled before joining the workers; no future is ever
+//    left unresolved.
+//
+// This file is serving hot-path code: the repo lint rule
+// no-blocking-io-in-serve-hot-path forbids file/stdio calls anywhere in
+// src/serve so a batch cycle stays compute-only.
+//
+// Telemetry (docs/OBSERVABILITY.md taxonomy): counters
+// serve/requests_total, serve/rejected_total, serve/timeouts_total,
+// serve/batches_total; gauges serve/queue_depth, serve/queue_depth_peak;
+// histograms serve/batch_size, serve/latency_us (admission to completion).
+#ifndef MSDMIXER_SERVE_BATCHER_H_
+#define MSDMIXER_SERVE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "common/status.h"
+#include "runtime/worker.h"
+#include "serve/session.h"
+
+namespace msd {
+namespace serve {
+
+struct MicroBatcherConfig {
+  // Coalescing window: a batch closes at `max_batch` requests or when the
+  // oldest member has waited `max_delay_us`, whichever comes first.
+  // (Clamped to the session's max_batch.)
+  int64_t max_batch = 8;
+  int64_t max_delay_us = 2000;
+  // Bounded queue; Submit() beyond this rejects with kResourceExhausted.
+  int64_t queue_capacity = 64;
+  // Dedicated batch-assembly threads. One is enough to saturate the GEMM
+  // engine (PredictBatch fans out over the MSD_THREADS pool); a second
+  // overlaps batch assembly with compute.
+  int64_t num_workers = 1;
+  // Default per-request timeout; <= 0 means no deadline.
+  int64_t default_timeout_us = 0;
+};
+
+using ResultFuture = std::future<StatusOr<Tensor>>;
+
+class MicroBatcher {
+ public:
+  // `session` must outlive the batcher.
+  MicroBatcher(InferenceSession* session, const MicroBatcherConfig& config);
+  ~MicroBatcher();  // Stop()s if still running.
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Spawns the worker threads. Submit() before Start() is allowed — requests
+  // queue up (subject to capacity) and are served once workers exist.
+  void Start();
+
+  // Drains the queue (pending requests resolve with kCancelled), joins the
+  // workers. Idempotent.
+  void Stop();
+
+  // Enqueues one window ([channels, length]). On OK, *result resolves with
+  // the per-request output or an error produced later in the cycle. Non-OK
+  // return means the request was NOT admitted: kResourceExhausted when the
+  // queue is full, kCancelled after Stop(), kInvalidArgument on bad shape.
+  // timeout_us: <0 uses config.default_timeout_us; 0 means no deadline.
+  Status Submit(Tensor window, ResultFuture* result, int64_t timeout_us = -1);
+
+  int64_t queue_depth() const;
+  const MicroBatcherConfig& config() const { return config_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    Tensor input;
+    std::promise<StatusOr<Tensor>> promise;
+    Clock::time_point enqueue_time;
+    // time_point::max() when the request has no deadline.
+    Clock::time_point deadline;
+  };
+
+  void WorkerLoop();
+  // Resolves every member of `batch`: expired requests with
+  // kDeadlineExceeded, the rest with rows of one PredictBatch call.
+  void ProcessBatch(std::vector<Request> batch);
+
+  InferenceSession* session_;
+  MicroBatcherConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool started_ = false;
+  bool stopped_ = false;
+  runtime::WorkerGroup workers_;
+};
+
+}  // namespace serve
+}  // namespace msd
+
+#endif  // MSDMIXER_SERVE_BATCHER_H_

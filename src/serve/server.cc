@@ -1,0 +1,116 @@
+#include "serve/server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+namespace msd {
+namespace serve {
+
+ServerLoop::ServerLoop(InferenceSession* session,
+                       const MicroBatcherConfig& config)
+    : session_(session), batcher_(session, config) {
+  MSD_CHECK(session != nullptr);
+}
+
+StatusOr<Tensor> ServerLoop::Handle(const Tensor& window, int64_t timeout_us) {
+  ResultFuture future;
+  Status admitted = batcher_.Submit(window, &future, timeout_us);
+  if (!admitted.ok()) return admitted;
+  return future.get();
+}
+
+StatusOr<Tensor> ParseWindowLine(const std::string& line, int64_t channels,
+                                 int64_t length) {
+  std::vector<std::vector<float>> rows(1);
+  const char* cursor = line.c_str();
+  const char* end = cursor + line.size();
+  while (cursor < end) {
+    char* next = nullptr;
+    const float value = std::strtof(cursor, &next);
+    if (next == cursor) {
+      return Status::InvalidArgument("unparseable value at offset " +
+                                     std::to_string(cursor - line.c_str()));
+    }
+    rows.back().push_back(value);
+    cursor = next;
+    while (cursor < end && (*cursor == ' ' || *cursor == '\t')) ++cursor;
+    if (cursor < end) {
+      if (*cursor == ';') {
+        rows.emplace_back();
+        ++cursor;
+      } else if (*cursor == ',') {
+        ++cursor;
+      } else if (*cursor == '\r' || *cursor == '\n') {
+        break;
+      } else {
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + *cursor + "' in request");
+      }
+    }
+  }
+  if (rows.back().empty()) rows.pop_back();
+  if (rows.empty()) return Status::InvalidArgument("empty request line");
+  const size_t per_channel = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != per_channel) {
+      return Status::InvalidArgument("ragged channels: expected " +
+                                     std::to_string(per_channel) +
+                                     " values per channel");
+    }
+  }
+  if (channels > 0 && static_cast<int64_t>(rows.size()) != channels) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(channels) + " channels, got " +
+        std::to_string(rows.size()));
+  }
+  if (length > 0 && static_cast<int64_t>(per_channel) != length) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(length) + " values per channel, got " +
+        std::to_string(per_channel));
+  }
+  Tensor window({static_cast<int64_t>(rows.size()),
+                 static_cast<int64_t>(per_channel)});
+  for (int64_t c = 0; c < window.dim(0); ++c) {
+    for (int64_t t = 0; t < window.dim(1); ++t) {
+      window.set({c, t}, rows[static_cast<size_t>(c)][static_cast<size_t>(t)]);
+    }
+  }
+  return window;
+}
+
+std::string FormatTensorLine(const Tensor& tensor) {
+  MSD_CHECK(tensor.defined());
+  MSD_CHECK(tensor.rank() == 1 || tensor.rank() == 2)
+      << "text protocol renders rank-1/rank-2 outputs";
+  const int64_t rows = tensor.rank() == 2 ? tensor.dim(0) : 1;
+  const int64_t cols = tensor.rank() == 2 ? tensor.dim(1) : tensor.dim(0);
+  std::string out;
+  out.reserve(static_cast<size_t>(rows * cols) * 10);
+  char buffer[48];
+  for (int64_t r = 0; r < rows; ++r) {
+    if (r > 0) out.push_back(';');
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) out.push_back(',');
+      const float v =
+          tensor.rank() == 2 ? tensor.at({r, c}) : tensor.at({c});
+      std::snprintf(buffer, sizeof(buffer), "%.6g", static_cast<double>(v));
+      out += buffer;
+    }
+  }
+  return out;
+}
+
+std::string ServerLoop::HandleLine(const std::string& line) {
+  StatusOr<Tensor> window =
+      ParseWindowLine(line, session_->model_config().channels,
+                      session_->model_config().input_length);
+  if (!window.ok()) return "ERROR " + window.status().ToString();
+  StatusOr<Tensor> result = Handle(window.value());
+  if (!result.ok()) return "ERROR " + result.status().ToString();
+  return FormatTensorLine(result.value());
+}
+
+}  // namespace serve
+}  // namespace msd

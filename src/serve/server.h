@@ -1,0 +1,70 @@
+// Serving front-end (docs/SERVING.md).
+//
+// ServerLoop glues a frozen InferenceSession to a MicroBatcher and exposes
+// the two call surfaces the tools use:
+//
+//  * Handle(window)   — synchronous Tensor-in/Tensor-out: submits to the
+//    batcher and blocks on the request future. This is what load-generator
+//    clients (bench/bench_serving.cc) call from many threads at once.
+//  * HandleLine(line) — the text protocol used by tools/msd_serve over
+//    stdin or a unix socket. One request per line; channels are separated
+//    by ';', values within a channel by ','. The response uses the same
+//    layout, or "ERROR <code>: <message>" on failure. Transport IO stays in
+//    the tools — this file only transforms strings (the
+//    no-blocking-io-in-serve-hot-path lint rule bans stdio here).
+//
+// Lifecycle: Start() spawns the batcher workers, Stop() drains in-flight
+// requests (they resolve with kCancelled) and joins. The destructor Stop()s.
+#ifndef MSDMIXER_SERVE_SERVER_H_
+#define MSDMIXER_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "serve/batcher.h"
+#include "serve/session.h"
+
+namespace msd {
+namespace serve {
+
+class ServerLoop {
+ public:
+  // `session` must outlive the server.
+  ServerLoop(InferenceSession* session, const MicroBatcherConfig& config);
+
+  void Start() { batcher_.Start(); }
+  void Stop() { batcher_.Stop(); }
+
+  // Submits `window` ([channels, length]) and waits for the result.
+  // timeout_us: <0 uses the batcher default, 0 disables the deadline.
+  StatusOr<Tensor> Handle(const Tensor& window, int64_t timeout_us = -1);
+
+  // Parses one text-protocol request line, runs Handle, renders the reply.
+  // Never throws; malformed input yields an "ERROR ..." string.
+  std::string HandleLine(const std::string& line);
+
+  InferenceSession* session() { return session_; }
+  MicroBatcher& batcher() { return batcher_; }
+
+ private:
+  InferenceSession* session_;
+  MicroBatcher batcher_;
+};
+
+// Text-protocol helpers, exposed for tests and tools.
+//
+// ParseWindowLine: "1,2,3;4,5,6" -> [2, 3] tensor. Every channel must have
+// the same number of values and match the expected [channels, length] if
+// those are positive.
+StatusOr<Tensor> ParseWindowLine(const std::string& line, int64_t channels,
+                                 int64_t length);
+
+// FormatTensorLine: inverse rendering — rank-1 tensors become one
+// comma-separated channel; rank-2 rows are joined with ';'. %.6g floats.
+std::string FormatTensorLine(const Tensor& tensor);
+
+}  // namespace serve
+}  // namespace msd
+
+#endif  // MSDMIXER_SERVE_SERVER_H_

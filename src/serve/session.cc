@@ -1,0 +1,137 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "tasks/pipeline.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace serve {
+
+InferenceSession::InferenceSession(const InferenceSessionConfig& config)
+    : config_(config) {}
+
+StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Create(
+    const InferenceSessionConfig& config, const std::string& checkpoint_path) {
+  if (config.max_batch < 1) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  if (config.model.channels < 1 || config.model.input_length < 1) {
+    return Status::InvalidArgument("model config needs channels/input_length");
+  }
+  if (config.scaler.fitted() &&
+      config.scaler.mean().dim(0) != config.model.channels) {
+    return Status::InvalidArgument(
+        "scaler channel count does not match the model");
+  }
+  std::unique_ptr<InferenceSession> session(new InferenceSession(config));
+  Rng rng(config.seed);
+  session->mixer_ = std::make_unique<MsdMixer>(config.model, rng);
+  Status loaded = LoadCheckpoint(*session->mixer_, checkpoint_path);
+  if (!loaded.ok()) return loaded;
+  session->mixer_->SetTraining(false);
+  if (config.warmup) {
+    // Full-size batch primes every pool size class the steady state needs;
+    // requests after this never touch the system allocator.
+    StatusOr<Tensor> warm = session->PredictBatch(Tensor::Zeros(
+        {config.max_batch, config.model.channels, config.model.input_length}));
+    if (!warm.ok()) return warm.status();
+  }
+  static obs::Counter& sessions =
+      obs::MetricsRegistry::Global().GetCounter("serve/sessions_created");
+  sessions.Add(1);
+  return session;
+}
+
+Status InferenceSession::ValidateBatch(const Tensor& batch) const {
+  if (!batch.defined() || batch.rank() != 3) {
+    return Status::InvalidArgument("batch must be [B, channels, length]");
+  }
+  if (batch.dim(0) < 1 || batch.dim(0) > config_.max_batch) {
+    return Status::InvalidArgument(
+        "batch size " + std::to_string(batch.dim(0)) + " outside [1, " +
+        std::to_string(config_.max_batch) + "]");
+  }
+  if (batch.dim(1) != config_.model.channels ||
+      batch.dim(2) != config_.model.input_length) {
+    return Status::InvalidArgument(
+        "window shape " + ShapeToString(batch.shape()) + " does not match [" +
+        std::to_string(config_.model.channels) + ", " +
+        std::to_string(config_.model.input_length) + "]");
+  }
+  return Status::OK();
+}
+
+Tensor InferenceSession::RunFrozen(const Tensor& batch) {
+  MSD_SPAN("serve/predict_batch");
+  std::lock_guard<std::mutex> lock(model_mu_);
+  NoGradGuard guard;
+  return mixer_->Run(Variable(batch)).prediction.value();
+}
+
+StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch) {
+  Status valid = ValidateBatch(batch);
+  if (!valid.ok()) return valid;
+  const Tensor scaled =
+      config_.scaler.fitted() ? config_.scaler.Transform(batch) : batch;
+  Tensor out = RunFrozen(scaled);
+  if (config_.model.task == TaskType::kForecast && config_.scaler.fitted()) {
+    out = config_.scaler.InverseTransform(out);
+  }
+  static obs::Counter& items =
+      obs::MetricsRegistry::Global().GetCounter("serve/predicted_items");
+  items.Add(batch.dim(0));
+  return out;
+}
+
+StatusOr<Tensor> InferenceSession::Predict(const Tensor& window) {
+  if (!window.defined() || window.rank() != 2) {
+    return Status::InvalidArgument("window must be [channels, length]");
+  }
+  StatusOr<Tensor> batched = PredictBatch(
+      window.Reshape({1, window.dim(0), window.dim(1)}));
+  if (!batched.ok()) return batched;
+  Tensor out = std::move(batched).value();
+  Shape squeezed(out.shape().begin() + 1, out.shape().end());
+  return out.Reshape(std::move(squeezed));
+}
+
+StatusOr<Tensor> InferenceSession::AnomalyScores(const Tensor& batch) {
+  if (config_.model.task != TaskType::kReconstruction) {
+    return Status::InvalidArgument(
+        "AnomalyScores needs a reconstruction-task session");
+  }
+  Status valid = ValidateBatch(batch);
+  if (!valid.ok()) return valid;
+  const Tensor scaled =
+      config_.scaler.fitted() ? config_.scaler.Transform(batch) : batch;
+  Tensor recon = RunFrozen(scaled);
+  // Per-window mean squared reconstruction error — the quantity the anomaly
+  // protocol (tasks/evaluate.h) thresholds.
+  return Mean(Square(Sub(recon, scaled)), {1, 2}, /*keepdim=*/false);
+}
+
+StatusOr<std::unique_ptr<InferenceSession>> CreateForecastSession(
+    const std::string& checkpoint_path,
+    const ForecastSessionOptions& options) {
+  StatusOr<ForecastMeta> meta = LoadForecastMeta(checkpoint_path);
+  if (!meta.ok()) return meta.status();
+  InferenceSessionConfig config;
+  config.model.input_length = options.lookback;
+  config.model.channels = meta.value().scaler.mean().dim(0);
+  config.model.patch_sizes = meta.value().patch_sizes;
+  config.model.model_dim = options.model_dim;
+  config.model.hidden_dim = options.hidden_dim;
+  config.model.task = TaskType::kForecast;
+  config.model.horizon = options.horizon;
+  config.model.use_instance_norm = options.use_instance_norm;
+  config.scaler = meta.value().scaler;
+  config.max_batch = options.max_batch;
+  return InferenceSession::Create(config, checkpoint_path);
+}
+
+}  // namespace serve
+}  // namespace msd

@@ -1,0 +1,112 @@
+// Frozen inference session (docs/SERVING.md).
+//
+// An InferenceSession owns an eval-mode MSD-Mixer restored from an MSDCKPT
+// checkpoint and answers Predict requests with no autograd tape, no weight
+// mutation, and pool-recycled activation buffers:
+//
+//  * Frozen: weights load once at Create(); SetTraining(false) is applied
+//    immediately and every forward runs under NoGradGuard, so no request
+//    can record a tape or touch gradients (regression-tested via the
+//    autograd/nodes_recorded counter).
+//  * Pool-backed: the session holds a pool::MemoryScope for its lifetime and
+//    runs a warmup batch at Create(), so steady-state requests draw every
+//    activation buffer from the size-class free lists instead of the system
+//    allocator.
+//  * Thread-safe: concurrent PredictBatch calls are serialized on an
+//    internal mutex. Within a batch the GEMM engine already spreads work
+//    across the MSD_THREADS pool, so inter-batch concurrency adds nothing
+//    on a single node; the mutex keeps the forward pass trivially safe.
+//  * Deterministic: outputs are bit-identical for any MSD_THREADS value and
+//    for any batch composition — row b of PredictBatch equals the
+//    single-request Predict of window b (tests/serve_test.cc).
+//
+// Shape contract per task head (C = channels, L = input_length):
+//   kForecast        [C, L] -> [C, horizon]        (original units)
+//   kClassification  [C, L] -> [num_classes]       (logits)
+//   kReconstruction  [C, L] -> [C, L]              (scaled units)
+#ifndef MSDMIXER_SERVE_SESSION_H_
+#define MSDMIXER_SERVE_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "core/msd_mixer.h"
+#include "data/scaler.h"
+#include "tensor/pool.h"
+
+namespace msd {
+namespace serve {
+
+struct InferenceSessionConfig {
+  // Architecture; must match the checkpoint (LoadCheckpoint verifies every
+  // parameter name and shape).
+  MsdMixerConfig model;
+  // Optional per-channel standardization applied to inputs; forecast
+  // outputs are mapped back through InverseTransform. Unfitted = identity.
+  StandardScaler scaler;
+  // Upper bound on rows per PredictBatch call; also the warmup batch size.
+  int64_t max_batch = 32;
+  // Run one full-size batch at Create() to prime the tensor pool.
+  bool warmup = true;
+  // Seed for the throwaway weight init that the checkpoint overwrites.
+  uint64_t seed = 1;
+};
+
+class InferenceSession {
+ public:
+  // Builds the model, restores `checkpoint_path`, freezes, warms up.
+  static StatusOr<std::unique_ptr<InferenceSession>> Create(
+      const InferenceSessionConfig& config, const std::string& checkpoint_path);
+
+  // Single request: input [C, L]; output per the task-head table above.
+  StatusOr<Tensor> Predict(const Tensor& window);
+
+  // Batched: inputs [B, C, L] with 1 <= B <= max_batch; outputs gain the
+  // same leading B axis. Row b is bit-identical to Predict of window b.
+  StatusOr<Tensor> PredictBatch(const Tensor& batch);
+
+  // Reconstruction sessions only: per-window anomaly score [B] = mean
+  // squared reconstruction error over channels and time (scaled units, the
+  // same quantity tasks/evaluate.h thresholds).
+  StatusOr<Tensor> AnomalyScores(const Tensor& batch);
+
+  const MsdMixerConfig& model_config() const { return config_.model; }
+  int64_t max_batch() const { return config_.max_batch; }
+
+ private:
+  explicit InferenceSession(const InferenceSessionConfig& config);
+
+  Status ValidateBatch(const Tensor& batch) const;
+  // The locked, NoGradGuard-protected forward pass; `batch` is [B, C, L]
+  // in scaled units and the result is the raw head output.
+  Tensor RunFrozen(const Tensor& batch);
+
+  InferenceSessionConfig config_;
+  // Keeps the activation free-lists alive between requests.
+  pool::MemoryScope memory_scope_;
+  std::unique_ptr<MsdMixer> mixer_;
+  std::mutex model_mu_;
+};
+
+// Convenience for checkpoints written by ForecastPipeline::Save: reads the
+// `.meta` sidecar for the patch ladder and scaler statistics, then Create()s
+// a forecast session whose Predict is bit-identical to
+// ForecastPipeline::Predict on the same lookback window.
+struct ForecastSessionOptions {
+  int64_t lookback = 96;
+  int64_t horizon = 24;
+  int64_t model_dim = 16;
+  int64_t hidden_dim = 32;
+  bool use_instance_norm = true;
+  int64_t max_batch = 32;
+};
+
+StatusOr<std::unique_ptr<InferenceSession>> CreateForecastSession(
+    const std::string& checkpoint_path, const ForecastSessionOptions& options);
+
+}  // namespace serve
+}  // namespace msd
+
+#endif  // MSDMIXER_SERVE_SESSION_H_

@@ -1,6 +1,7 @@
 #include "tasks/pipeline.h"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "data/window_dataset.h"
@@ -27,6 +28,85 @@ std::vector<int64_t> DeriveLadder(const Tensor& series, int64_t lookback) {
 }
 
 }  // namespace
+
+Status SaveForecastMeta(const std::string& checkpoint_path,
+                        const std::vector<int64_t>& patch_sizes,
+                        const StandardScaler& scaler) {
+  if (patch_sizes.empty()) {
+    return Status::InvalidArgument("empty patch ladder");
+  }
+  if (!scaler.fitted()) {
+    return Status::InvalidArgument("scaler not fitted");
+  }
+  std::ofstream meta(checkpoint_path + ".meta");
+  if (!meta.is_open()) {
+    return Status::InvalidArgument("cannot write: " + checkpoint_path +
+                                   ".meta");
+  }
+  // max_digits10 for float: scaler statistics survive the text round-trip
+  // exactly.
+  meta << std::setprecision(9);
+  for (size_t i = 0; i < patch_sizes.size(); ++i) {
+    meta << (i > 0 ? " " : "") << patch_sizes[i];
+  }
+  meta << "\n";
+  const int64_t channels = scaler.mean().dim(0);
+  for (int64_t c = 0; c < channels; ++c) {
+    meta << (c > 0 ? " " : "") << scaler.mean().at({c, 0});
+  }
+  meta << "\n";
+  for (int64_t c = 0; c < channels; ++c) {
+    meta << (c > 0 ? " " : "") << scaler.std().at({c, 0});
+  }
+  meta << "\n";
+  return meta.good() ? Status::OK() : Status::Internal("meta write failed");
+}
+
+StatusOr<ForecastMeta> LoadForecastMeta(const std::string& checkpoint_path) {
+  const std::string meta_path = checkpoint_path + ".meta";
+  std::ifstream meta(meta_path);
+  if (!meta.is_open()) return Status::NotFound("missing: " + meta_path);
+  std::string ladder_line;
+  std::string mean_line;
+  std::string std_line;
+  if (!std::getline(meta, ladder_line) || !std::getline(meta, mean_line) ||
+      !std::getline(meta, std_line)) {
+    return Status::InvalidArgument("truncated meta: " + meta_path);
+  }
+  auto parse = [](const std::string& line) {
+    std::vector<double> values;
+    std::istringstream ss(line);
+    double v;
+    while (ss >> v) values.push_back(v);
+    return values;
+  };
+  const auto ladder = parse(ladder_line);
+  const auto means = parse(mean_line);
+  const auto stds = parse(std_line);
+  if (ladder.empty() || means.empty() || means.size() != stds.size()) {
+    return Status::InvalidArgument("malformed meta: " + meta_path);
+  }
+  ForecastMeta result;
+  for (double p : ladder) {
+    const int64_t size = static_cast<int64_t>(p);
+    if (size < 1) {
+      return Status::InvalidArgument("malformed patch ladder: " + meta_path);
+    }
+    result.patch_sizes.push_back(size);
+  }
+  // StandardScaler only exposes Fit(); reconstruct exact statistics by
+  // fitting on two points per channel at mean +- std.
+  const int64_t channels = static_cast<int64_t>(means.size());
+  Tensor synthetic({channels, 2});
+  for (int64_t c = 0; c < channels; ++c) {
+    const float m = static_cast<float>(means[static_cast<size_t>(c)]);
+    const float s = static_cast<float>(stds[static_cast<size_t>(c)]);
+    synthetic.set({c, 0}, m - s);
+    synthetic.set({c, 1}, m + s);
+  }
+  result.scaler.Fit(synthetic);
+  return result;
+}
 
 ForecastPipeline::ForecastPipeline(const ForecastPipelineConfig& config,
                                    uint64_t seed)
@@ -122,75 +202,15 @@ Status ForecastPipeline::Save(const std::string& path) const {
   if (!fitted_) return Status::InvalidArgument("pipeline not fitted");
   Status model_status = SaveCheckpoint(*mixer_, path);
   if (!model_status.ok()) return model_status;
-  std::ofstream meta(path + ".meta");
-  if (!meta.is_open()) {
-    return Status::InvalidArgument("cannot write: " + path + ".meta");
-  }
-  for (size_t i = 0; i < config_.patch_sizes.size(); ++i) {
-    meta << (i > 0 ? " " : "") << config_.patch_sizes[i];
-  }
-  meta << "\n";
-  const int64_t channels = scaler_.mean().dim(0);
-  for (int64_t c = 0; c < channels; ++c) {
-    meta << (c > 0 ? " " : "") << scaler_.mean().at({c, 0});
-  }
-  meta << "\n";
-  for (int64_t c = 0; c < channels; ++c) {
-    meta << (c > 0 ? " " : "") << scaler_.std().at({c, 0});
-  }
-  meta << "\n";
-  return meta.good() ? Status::OK() : Status::Internal("meta write failed");
+  return SaveForecastMeta(path, config_.patch_sizes, scaler_);
 }
 
 Status ForecastPipeline::Load(const std::string& path) {
-  std::ifstream meta(path + ".meta");
-  if (!meta.is_open()) return Status::NotFound("missing: " + path + ".meta");
-  std::string ladder_line;
-  std::string mean_line;
-  std::string std_line;
-  if (!std::getline(meta, ladder_line) || !std::getline(meta, mean_line) ||
-      !std::getline(meta, std_line)) {
-    return Status::InvalidArgument("truncated meta: " + path + ".meta");
-  }
-  auto parse = [](const std::string& line) {
-    std::vector<double> values;
-    std::istringstream ss(line);
-    double v;
-    while (ss >> v) values.push_back(v);
-    return values;
-  };
-  const auto ladder = parse(ladder_line);
-  const auto means = parse(mean_line);
-  const auto stds = parse(std_line);
-  if (ladder.empty() || means.empty() || means.size() != stds.size()) {
-    return Status::InvalidArgument("malformed meta: " + path + ".meta");
-  }
-  config_.patch_sizes.clear();
-  for (double p : ladder) {
-    config_.patch_sizes.push_back(static_cast<int64_t>(p));
-  }
-  const int64_t channels = static_cast<int64_t>(means.size());
-  // Rebuild scaler statistics via a fit on synthetic two-point data, then
-  // overwrite with the stored values.
-  Tensor mean_tensor({channels, 1});
-  Tensor std_tensor({channels, 1});
-  for (int64_t c = 0; c < channels; ++c) {
-    mean_tensor.set({c, 0}, static_cast<float>(means[static_cast<size_t>(c)]));
-    std_tensor.set({c, 0}, static_cast<float>(stds[static_cast<size_t>(c)]));
-  }
-  scaler_ = StandardScaler();
-  {
-    // StandardScaler only exposes Fit(); reconstruct exact stats by fitting
-    // on two points per channel at mean +- std.
-    Tensor synthetic({channels, 2});
-    for (int64_t c = 0; c < channels; ++c) {
-      const float m = mean_tensor.at({c, 0});
-      const float s = std_tensor.at({c, 0});
-      synthetic.set({c, 0}, m - s);
-      synthetic.set({c, 1}, m + s);
-    }
-    scaler_.Fit(synthetic);
-  }
+  StatusOr<ForecastMeta> meta = LoadForecastMeta(path);
+  if (!meta.ok()) return meta.status();
+  config_.patch_sizes = meta.value().patch_sizes;
+  scaler_ = meta.value().scaler;
+  const int64_t channels = scaler_.mean().dim(0);
 
   MsdMixerConfig mc;
   mc.input_length = config_.lookback;

@@ -15,6 +15,25 @@
 
 namespace msd {
 
+// Sidecar metadata stored next to a forecast checkpoint (`<path>.meta`):
+// the derived patch ladder plus the fitted scaler statistics. Shared by
+// ForecastPipeline::Save/Load and the serving layer (serve/session.h), so a
+// checkpoint trained here can be frozen into an InferenceSession without
+// re-deriving either.
+struct ForecastMeta {
+  std::vector<int64_t> patch_sizes;
+  StandardScaler scaler;
+};
+
+// Writes `<checkpoint_path>.meta`. The scaler must be fitted.
+Status SaveForecastMeta(const std::string& checkpoint_path,
+                        const std::vector<int64_t>& patch_sizes,
+                        const StandardScaler& scaler);
+
+// Reads `<checkpoint_path>.meta`. The returned scaler reproduces the saved
+// statistics exactly (bit-identical Transform/InverseTransform).
+StatusOr<ForecastMeta> LoadForecastMeta(const std::string& checkpoint_path);
+
 struct ForecastPipelineConfig {
   int64_t lookback = 96;
   int64_t horizon = 24;

@@ -1,0 +1,343 @@
+// Checkpoint round-trip coverage for every model family, plus corrupt-file
+// hardening of LoadCheckpoint (bounds-checked length fields, PR: serving).
+#include "nn/serialize.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/dlinear.h"
+#include "baselines/lightts.h"
+#include "baselines/mlp_autoencoder.h"
+#include "baselines/mlp_classifier.h"
+#include "baselines/nbeats.h"
+#include "baselines/nhits.h"
+#include "baselines/patchtst.h"
+#include "baselines/timesnet_lite.h"
+#include "baselines/transformer_forecaster.h"
+#include "core/msd_mixer.h"
+#include "tensor/tensor_ops.h"
+
+namespace msd {
+namespace {
+
+// Parallel ctest runs each test as its own process in a shared temp
+// directory, so paths must be pid-unique or concurrent tests truncate each
+// other's checkpoints mid-read.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "serialize_test_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+Tensor EvalForward(Module& model, const Tensor& input) {
+  NoGradGuard guard;
+  model.SetTraining(false);
+  return model.Forward(Variable(input)).value();
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(),
+                     sizeof(float) * static_cast<size_t>(a.numel())) == 0;
+}
+
+// Save model A (seed 1), load into a differently-initialized model B
+// (seed 99), and require bit-identical eval outputs on the same input.
+// `make` builds the model from an Rng so both sides share the architecture;
+// `run` runs one eval-mode forward (MsdMixer uses Run, baselines Forward).
+template <typename MakeFn, typename RunFn>
+void ExpectRoundTripWith(const std::string& tag, MakeFn make, RunFn run,
+                         const Tensor& input) {
+  Rng rng_a(1);
+  auto model_a = make(rng_a);
+  const Tensor out_a = run(*model_a, input);
+
+  const std::string path = TempPath("roundtrip_" + tag + ".msdckpt");
+  ASSERT_TRUE(SaveCheckpoint(*model_a, path).ok()) << tag;
+
+  Rng rng_b(99);
+  auto model_b = make(rng_b);
+  // Different init: loading must actually overwrite the weights.
+  ASSERT_FALSE(BitIdentical(out_a, run(*model_b, input))) << tag;
+  ASSERT_TRUE(LoadCheckpoint(*model_b, path).ok()) << tag;
+  EXPECT_TRUE(BitIdentical(out_a, run(*model_b, input))) << tag;
+  std::remove(path.c_str());
+}
+
+Tensor EvalRunMixer(MsdMixer& mixer, const Tensor& input) {
+  NoGradGuard guard;
+  mixer.SetTraining(false);
+  return mixer.Run(Variable(input)).prediction.value();
+}
+
+template <typename MakeFn>
+void ExpectRoundTrip(const std::string& tag, MakeFn make, const Tensor& input) {
+  ExpectRoundTripWith(
+      tag, make,
+      [](Module& model, const Tensor& in) { return EvalForward(model, in); },
+      input);
+}
+
+template <typename MakeFn>
+void ExpectMixerRoundTrip(const std::string& tag, MakeFn make,
+                          const Tensor& input) {
+  ExpectRoundTripWith(
+      tag, make,
+      [](MsdMixer& mixer, const Tensor& in) { return EvalRunMixer(mixer, in); },
+      input);
+}
+
+Tensor DemoInput(int64_t batch = 2, int64_t channels = 3, int64_t length = 32,
+                 uint64_t seed = 7) {
+  Rng rng(seed);
+  return Tensor::RandNormal({batch, channels, length}, 0.0f, 1.0f, rng);
+}
+
+MsdMixerConfig SmallMixerConfig(TaskType task) {
+  MsdMixerConfig config;
+  config.input_length = 32;
+  config.channels = 3;
+  config.patch_sizes = {8, 4, 1};
+  config.model_dim = 8;
+  config.hidden_dim = 16;
+  config.drop_path = 0.0f;
+  config.task = task;
+  config.horizon = 8;
+  config.num_classes = 4;
+  return config;
+}
+
+TEST(CheckpointRoundTripTest, MsdMixerEveryTaskHead) {
+  const Tensor input = DemoInput();
+  for (TaskType task : {TaskType::kForecast, TaskType::kClassification,
+                        TaskType::kReconstruction}) {
+    MsdMixerConfig config = SmallMixerConfig(task);
+    ExpectMixerRoundTrip(
+        "mixer_task" + std::to_string(static_cast<int>(task)),
+        [&](Rng& rng) { return std::make_unique<MsdMixer>(config, rng); },
+        input);
+  }
+}
+
+TEST(CheckpointRoundTripTest, MsdMixerVariantConfigs) {
+  const Tensor input = DemoInput();
+  MsdMixerConfig pooled = SmallMixerConfig(TaskType::kClassification);
+  pooled.pool_classification_head = true;
+  ExpectMixerRoundTrip(
+      "mixer_pooled",
+      [&](Rng& rng) { return std::make_unique<MsdMixer>(pooled, rng); },
+      input);
+
+  MsdMixerConfig instance_norm = SmallMixerConfig(TaskType::kForecast);
+  instance_norm.use_instance_norm = true;
+  ExpectMixerRoundTrip(
+      "mixer_instnorm",
+      [&](Rng& rng) { return std::make_unique<MsdMixer>(instance_norm, rng); },
+      input);
+}
+
+TEST(CheckpointRoundTripTest, ForecastBaselines) {
+  const Tensor input = DemoInput();
+  ExpectRoundTrip(
+      "dlinear",
+      [](Rng& rng) { return std::make_unique<DLinear>(32, 8, rng); }, input);
+  ExpectRoundTrip(
+      "linear",
+      [](Rng& rng) { return std::make_unique<LinearForecaster>(32, 8, rng); },
+      input);
+  ExpectRoundTrip(
+      "lightts",
+      [](Rng& rng) { return std::make_unique<LightTs>(32, 8, rng); }, input);
+  ExpectRoundTrip(
+      "nbeats",
+      [](Rng& rng) {
+        return std::make_unique<NBeats>(32, 8, rng, /*num_blocks=*/2,
+                                        /*hidden=*/16);
+      },
+      input);
+  ExpectRoundTrip(
+      "nhits",
+      [](Rng& rng) {
+        return std::make_unique<NHits>(32, 8, rng,
+                                       std::vector<int64_t>{4, 2, 1},
+                                       /*hidden=*/16);
+      },
+      input);
+
+  PatchTstConfig patchtst;
+  patchtst.input_length = 32;
+  patchtst.horizon = 8;
+  patchtst.patch_length = 8;
+  patchtst.stride = 4;
+  patchtst.model_dim = 8;
+  patchtst.num_heads = 2;
+  patchtst.ffn_dim = 16;
+  patchtst.num_blocks = 1;
+  ExpectRoundTrip(
+      "patchtst",
+      [&](Rng& rng) { return std::make_unique<PatchTst>(patchtst, rng); },
+      input);
+
+  Rng ref_rng(3);
+  const Tensor reference = Tensor::RandNormal({3, 256}, 0.0f, 1.0f, ref_rng);
+  ExpectRoundTrip(
+      "timesnet",
+      [&](Rng& rng) {
+        return std::make_unique<TimesNetLite>(32, 8, 3, reference, rng,
+                                              /*top_k=*/2, /*model_dim=*/8,
+                                              /*hidden=*/16);
+      },
+      input);
+
+  TransformerForecasterConfig transformer;
+  transformer.input_length = 32;
+  transformer.horizon = 8;
+  transformer.model_dim = 8;
+  transformer.num_heads = 2;
+  transformer.ffn_dim = 16;
+  transformer.num_blocks = 1;
+  ExpectRoundTrip(
+      "transformer",
+      [&](Rng& rng) {
+        return std::make_unique<TransformerForecaster>(transformer, 3, rng);
+      },
+      input);
+}
+
+TEST(CheckpointRoundTripTest, TaskBaselines) {
+  const Tensor input = DemoInput();
+  ExpectRoundTrip(
+      "autoencoder",
+      [](Rng& rng) {
+        return std::make_unique<MlpAutoencoder>(3, 32, rng, /*bottleneck=*/8);
+      },
+      input);
+  ExpectRoundTrip(
+      "classifier",
+      [](Rng& rng) {
+        return std::make_unique<MlpClassifier>(3, 32, 4, rng, /*hidden=*/16);
+      },
+      input);
+}
+
+// ---- Corrupt / truncated checkpoint hardening -------------------------------
+
+class CorruptCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MsdMixerConfig config = SmallMixerConfig(TaskType::kForecast);
+    Rng rng(1);
+    model_ = std::make_unique<MsdMixer>(config, rng);
+    path_ = TempPath("corrupt.msdckpt");
+    ASSERT_TRUE(SaveCheckpoint(*model_, path_).ok());
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    bytes_.resize(static_cast<size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    ASSERT_EQ(std::fread(bytes_.data(), 1, bytes_.size(), f), bytes_.size());
+    std::fclose(f);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Writes `prefix` bytes of the pristine checkpoint (optionally with an
+  // 8-byte field patched in at `patch_offset`) and expects a clean non-OK
+  // load.
+  void ExpectRejected(size_t prefix, size_t patch_offset = SIZE_MAX,
+                      uint64_t patch_value = 0) {
+    std::vector<unsigned char> mutated(bytes_.begin(),
+                                       bytes_.begin() +
+                                           static_cast<ptrdiff_t>(prefix));
+    if (patch_offset != SIZE_MAX) {
+      ASSERT_LE(patch_offset + sizeof(patch_value), mutated.size());
+      std::memcpy(mutated.data() + patch_offset, &patch_value,
+                  sizeof(patch_value));
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(mutated.data(), 1, mutated.size(), f),
+              mutated.size());
+    std::fclose(f);
+    Status status = LoadCheckpoint(*model_, path_);
+    EXPECT_FALSE(status.ok())
+        << "prefix=" << prefix << " patch_offset=" << patch_offset;
+  }
+
+  // Header layout: magic[8] | u32 version | u64 count | first entry...
+  static constexpr size_t kCountOffset = 8 + sizeof(uint32_t);
+  static constexpr size_t kFirstEntryOffset = kCountOffset + sizeof(uint64_t);
+
+  std::unique_ptr<MsdMixer> model_;
+  std::string path_;
+  std::vector<unsigned char> bytes_;
+};
+
+TEST_F(CorruptCheckpointTest, TruncationAtEveryRegionIsRejected) {
+  // A sweep of truncation points: inside the magic, header, first entry's
+  // name/rank/dims, and inside tensor data. None may crash or succeed.
+  const size_t sweep[] = {0,  4,  8,  10, kCountOffset, kFirstEntryOffset,
+                          kFirstEntryOffset + 3, kFirstEntryOffset + 20,
+                          bytes_.size() / 2, bytes_.size() - 1};
+  for (size_t prefix : sweep) {
+    ASSERT_LT(prefix, bytes_.size());
+    ExpectRejected(prefix);
+  }
+}
+
+TEST_F(CorruptCheckpointTest, HugeParameterCountIsRejected) {
+  ExpectRejected(bytes_.size(), kCountOffset, uint64_t{1} << 60);
+}
+
+TEST_F(CorruptCheckpointTest, HugeNameLengthIsRejected) {
+  // First entry starts with its u64 name_len.
+  ExpectRejected(bytes_.size(), kFirstEntryOffset, uint64_t{1} << 60);
+}
+
+TEST_F(CorruptCheckpointTest, NameLengthBeyondFileIsRejected) {
+  ExpectRejected(bytes_.size(), kFirstEntryOffset, bytes_.size() + 1);
+}
+
+TEST_F(CorruptCheckpointTest, HugeRankIsRejected) {
+  // rank sits after name_len + the name itself.
+  uint64_t name_len = 0;
+  std::memcpy(&name_len, bytes_.data() + kFirstEntryOffset, sizeof(name_len));
+  const size_t rank_offset =
+      kFirstEntryOffset + sizeof(uint64_t) + static_cast<size_t>(name_len);
+  ExpectRejected(bytes_.size(), rank_offset, uint64_t{1} << 32);
+}
+
+TEST_F(CorruptCheckpointTest, HugeDimensionIsRejected) {
+  uint64_t name_len = 0;
+  std::memcpy(&name_len, bytes_.data() + kFirstEntryOffset, sizeof(name_len));
+  const size_t dim_offset = kFirstEntryOffset + sizeof(uint64_t) +
+                            static_cast<size_t>(name_len) + sizeof(uint64_t);
+  // Large but in-range dims whose product overflows the numel guard.
+  ExpectRejected(bytes_.size(), dim_offset, uint64_t{1} << 39);
+}
+
+TEST_F(CorruptCheckpointTest, BadMagicAndVersionAreRejected) {
+  ExpectRejected(bytes_.size(), 0, 0x4242424242424242ull);
+  // Version field: patch 8 bytes spanning version+count low word is fine for
+  // a rejection test, but patch the exact u32 via a full u64 overwrite at
+  // offset 8 (version || count-low); the version check fires first.
+  ExpectRejected(bytes_.size(), 8, 0xffffffffull);
+}
+
+TEST_F(CorruptCheckpointTest, PristineFileStillLoads) {
+  // Sanity for the fixture itself: an unmodified byte-copy loads fine.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes_.data(), 1, bytes_.size(), f), bytes_.size());
+  std::fclose(f);
+  EXPECT_TRUE(LoadCheckpoint(*model_, path_).ok());
+}
+
+}  // namespace
+}  // namespace msd

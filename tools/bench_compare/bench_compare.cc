@@ -11,6 +11,9 @@
 //   * telemetry snapshots written by --metrics-out ({"metrics":…,"spans":…}):
 //     each span label maps to total_ms / count, i.e. mean wall-clock per
 //     call, again invariant to how many calls the run happened to make.
+//     Snapshots from bench_serving additionally contribute their
+//     serve/latency_p{50,95,99}_us gauges, so serving tail latency gates
+//     like any other timing.
 //
 // Only names present in BOTH files are compared; additions and removals are
 // listed as informational. A name whose current time exceeds baseline by
@@ -89,6 +92,23 @@ bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
   return true;
 }
 
+// Serving latency percentiles (bench_serving --metrics-out) live under
+// metrics.gauges as serve/latency_p50_us / p95 / p99. They are
+// lower-is-better microsecond values, so they join the comparison map
+// alongside span times and gate the same way (tools/check.sh
+// --serve-baseline).
+void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr) return;
+  const JsonValue* gauges = metrics->Find("gauges");
+  if (gauges == nullptr || !gauges->is_object()) return;
+  for (const auto& [name, value] : gauges->object) {
+    if (name.rfind("serve/latency_", 0) == 0 && value.is_number()) {
+      (*out)[name] = value.number;
+    }
+  }
+}
+
 bool LoadTimes(const std::string& path, TimeMap* out) {
   std::string text;
   if (!ReadFile(path, &text)) {
@@ -102,6 +122,7 @@ bool LoadTimes(const std::string& path, TimeMap* out) {
     return false;
   }
   if (ExtractGoogleBenchmark(doc, out) || ExtractTelemetrySpans(doc, out)) {
+    ExtractServeLatencyGauges(doc, out);
     if (out->empty()) {
       std::fprintf(stderr, "bench_compare: %s contains no entries\n",
                    path.c_str());

@@ -6,8 +6,10 @@
 # Legs:
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
 #                 full ctest including lint_check and gradcheck_sweep, plus a
-#                 quickstart run whose training losses are captured and a
-#                 thread-scaling bench snapshot (BENCH_threads.json).
+#                 quickstart run whose training losses are captured, a
+#                 thread-scaling bench snapshot (BENCH_threads.json), and a
+#                 serving load snapshot (BENCH_serve.json from
+#                 bench_serving --threads 4).
 #   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
 #                 must be bit-identical to the release leg — the invariant
 #                 layer must observe, never perturb.
@@ -15,11 +17,13 @@
 #                 first finding); full ctest.
 #   tsan          ThreadSanitizer over the full suite with MSD_THREADS=4, so
 #                 every parallel kernel (src/runtime dispatch), the
-#                 profiler's per-thread merge, and the trainer path run on a
+#                 profiler's per-thread merge, the trainer path, and the
+#                 serving stack (serve_test's concurrent micro-batcher
+#                 clients, msd_serve_selftest, bench_serving_smoke) run on a
 #                 real multi-threaded pool under the race detector.
 #
 # Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
-#        [--bench-baseline FILE]
+#        [--bench-baseline FILE] [--serve-baseline FILE]
 #   --tidy     also run clang-tidy (src/common + src/tensor); skipped with a
 #              note when clang-tidy is not installed.
 #   --leg      run only the named leg(s); default is all four.
@@ -31,6 +35,11 @@
 #              benchmark fails the run). The repo's committed reference is
 #              BENCH_baseline.json; regenerate it with the command printed
 #              in that file's "context" block when the hardware changes.
+#   --serve-baseline FILE
+#              gate the release leg's BENCH_serve.json serving snapshot
+#              against FILE with tools/bench_compare. Tail latency is noisier
+#              than kernel cpu_time, so the threshold is 25%: a >25% growth
+#              in serve/latency_p99_us (or p50/p95) fails the run.
 #
 # Build trees live in build-check/<leg> so they never disturb ./build.
 set -u -o pipefail
@@ -39,6 +48,7 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_TIDY=0
 BENCH_BASELINE=""
+SERVE_BASELINE=""
 LEGS=()
 
 while [[ $# -gt 0 ]]; do
@@ -47,6 +57,7 @@ while [[ $# -gt 0 ]]; do
     --jobs) JOBS="$2"; shift ;;
     --leg) LEGS+=("$2"); shift ;;
     --bench-baseline) BENCH_BASELINE="$2"; shift ;;
+    --serve-baseline) SERVE_BASELINE="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
@@ -125,6 +136,31 @@ for leg in "${LEGS[@]}"; do
           DETAIL[release]="full ctest clean; BENCH_threads.json recorded"
         else
           fail_leg release "thread-scaling bench snapshot failed"
+        fi
+      fi
+      if [[ "${STATUS[release]}" == "PASS" ]]; then
+        # Serving load snapshot: 1000 closed-loop requests through the
+        # micro-batcher on a 4-thread pool, latency percentiles and serve/*
+        # telemetry recorded as BENCH_serve.json.
+        note "leg release: serving load snapshot"
+        if "${CHECK_DIR}/release/bench/bench_serving" \
+            --threads 4 --requests 1000 \
+            --metrics-out "${CHECK_DIR}/release/BENCH_serve.json"; then
+          DETAIL[release]="${DETAIL[release]}; BENCH_serve.json recorded"
+        else
+          fail_leg release "serving load snapshot failed"
+        fi
+      fi
+      if [[ "${STATUS[release]}" == "PASS" && -n "${SERVE_BASELINE}" ]]; then
+        # Serving perf gate: p50/p95/p99 latency gauges vs the baseline
+        # snapshot; 25% threshold (tail latency is noisier than cpu_time).
+        note "leg release: bench_compare (serving) vs ${SERVE_BASELINE}"
+        if "${CHECK_DIR}/release/tools/bench_compare" \
+              "${SERVE_BASELINE}" "${CHECK_DIR}/release/BENCH_serve.json" \
+              --threshold 25; then
+          DETAIL[release]="${DETAIL[release]}; serving within baseline"
+        else
+          fail_leg release "serving latency regression vs ${SERVE_BASELINE}"
         fi
       fi
       if [[ "${STATUS[release]}" == "PASS" && -n "${BENCH_BASELINE}" ]]; then

@@ -25,6 +25,12 @@
 //                  std::vector<float> there bypasses it. References are fine
 //                  (they don't allocate), as are the files that implement
 //                  the allocation path itself.
+//   no-blocking-io-in-serve-hot-path
+//                  src/serve is request-latency code: a file or stdio call
+//                  inside the batcher/worker cycle stalls every request in
+//                  the batch behind a syscall. Transport and logging IO
+//                  belong in the front-ends (tools/msd_serve, bench).
+//                  snprintf-style pure formatting is fine.
 //
 // Usage: msd_lint <repo-root> — prints violations as file:line: rule:
 // message and exits nonzero if any rule fired. Add a rule by extending
@@ -227,6 +233,7 @@ void CheckFile(const fs::path& path, const std::string& rel,
   const bool thread_owner = rel.rfind("src/runtime/", 0) == 0;
   const bool buffer_sensitive = rel.rfind("src/tensor/", 0) == 0 &&
                                 BufferOwnerAllowlist().count(rel) == 0;
+  const bool serve_hot_path = rel.rfind("src/serve/", 0) == 0;
 
   std::istringstream lines(code_text);
   std::istringstream directive_lines(directive_text);
@@ -268,6 +275,33 @@ void CheckFile(const fs::path& path, const std::string& rel,
                std::string(token) +
                    " outside src/runtime/: parallelism must go through "
                    "runtime::ParallelFor so MSD_THREADS determinism holds"});
+        }
+      }
+    }
+    if (serve_hot_path) {
+      // Blocking C stdio calls (snprintf/vsnprintf format into memory and
+      // are deliberately absent; whole-word matching keeps them legal).
+      for (const char* fn :
+           {"fopen", "freopen", "fclose", "fread", "fwrite", "fprintf",
+            "printf", "fscanf", "scanf", "fgets", "fputs", "puts", "fflush",
+            "getchar", "putchar", "getline", "system"}) {
+        if (HasCallToken(line, fn)) {
+          violations->push_back(
+              {rel, line_number, "no-blocking-io-in-serve-hot-path",
+               std::string(fn) +
+                   " in src/serve stalls every request in the batch; move "
+                   "transport/logging IO to the serving front-ends"});
+        }
+      }
+      for (const char* token :
+           {"std::ifstream", "std::ofstream", "std::fstream", "std::cin",
+            "std::cerr", "std::clog", "std::FILE"}) {
+        if (HasWordToken(line, token)) {
+          violations->push_back(
+              {rel, line_number, "no-blocking-io-in-serve-hot-path",
+               std::string(token) +
+                   " in src/serve stalls every request in the batch; move "
+                   "transport/logging IO to the serving front-ends"});
         }
       }
     }

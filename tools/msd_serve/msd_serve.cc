@@ -1,0 +1,271 @@
+// Serving CLI (docs/SERVING.md): restores a ForecastPipeline checkpoint
+// into a frozen serve::InferenceSession and answers text-protocol requests
+// — one window per line, channels separated by ';', values by ','; the
+// reply is the forecast in the same layout or "ERROR <code>: <message>".
+//
+//   msd_serve <checkpoint> [--lookback N] [--horizon N] [--model-dim N]
+//             [--hidden-dim N] [--max-batch N] [--max-delay-us N]
+//             [--workers N] [--socket PATH]
+//   msd_serve --selftest
+//
+// By default requests are read from stdin and answered on stdout (shell
+// pipelines, smoke tests). With --socket PATH the tool listens on an
+// AF_UNIX stream socket instead and serves connections one line at a time.
+// --selftest trains a small pipeline on synthetic data, serves it to
+// itself through the full text protocol, checks the responses against
+// ForecastPipeline::Predict, and exits nonzero on any mismatch — this is
+// the msd_serve_selftest ctest.
+//
+// All transport IO lives here, outside src/serve (the
+// no-blocking-io-in-serve-hot-path lint rule keeps the engine itself
+// compute-only).
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "datagen/series_builder.h"
+#include "serve/server.h"
+#include "tasks/pipeline.h"
+#include "tensor/tensor_ops.h"
+
+namespace {
+
+using namespace msd;
+
+std::string FlagValue(int argc, char** argv, const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+int64_t IntFlag(int argc, char** argv, const std::string& flag,
+                int64_t fallback) {
+  const std::string v = FlagValue(argc, argv, flag);
+  return v.empty() ? fallback : std::atoll(v.c_str());
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <checkpoint> [--lookback N] [--horizon N]\n"
+               "          [--model-dim N] [--hidden-dim N] [--max-batch N]\n"
+               "          [--max-delay-us N] [--workers N] [--socket PATH]\n"
+               "       %s --selftest\n",
+               argv0, argv0);
+}
+
+// Serves stdin line-by-line; EOF terminates cleanly.
+int ServeStdin(serve::ServerLoop& server) {
+  std::fprintf(stderr, "ready: one request per line on stdin\n");
+  char line[1 << 16];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    const std::string reply = server.HandleLine(line);
+    std::printf("%s\n", reply.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+// Minimal AF_UNIX stream server: connections are handled one at a time,
+// each line answered in order. Enough for local smoke tests and sidecars.
+int ServeSocket(serve::ServerLoop& server, const std::string& path) {
+  const int listener = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "socket path too long: %s\n", path.c_str());
+    close(listener);
+    return 1;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  unlink(path.c_str());
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 8) < 0) {
+    std::perror("bind/listen");
+    close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "listening on %s\n", path.c_str());
+  for (;;) {
+    const int conn = accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      std::perror("accept");
+      break;
+    }
+    std::string pending;
+    char buffer[4096];
+    for (;;) {
+      const ssize_t n = read(conn, buffer, sizeof(buffer));
+      if (n <= 0) break;
+      pending.append(buffer, static_cast<size_t>(n));
+      size_t newline;
+      while ((newline = pending.find('\n')) != std::string::npos) {
+        const std::string reply =
+            server.HandleLine(pending.substr(0, newline)) + "\n";
+        pending.erase(0, newline + 1);
+        size_t sent = 0;
+        while (sent < reply.size()) {
+          const ssize_t w =
+              write(conn, reply.data() + sent, reply.size() - sent);
+          if (w <= 0) break;
+          sent += static_cast<size_t>(w);
+        }
+      }
+    }
+    close(conn);
+  }
+  close(listener);
+  unlink(path.c_str());
+  return 0;
+}
+
+// Trains a small pipeline, round-trips it through checkpoint + text
+// protocol, and cross-checks every reply against the pipeline's own
+// Predict. Returns the process exit code.
+int SelfTest() {
+  SeriesConfig series_config;
+  series_config.name = "selftest";
+  series_config.length = 400;
+  series_config.seed = 21;
+  for (int c = 0; c < 2; ++c) {
+    ChannelSpec channel;
+    channel.level = 1.0 + c;
+    channel.seasonals.push_back({24.0, 1.0, 0.4 * c, 2});
+    channel.noise_sigma = 0.05;
+    series_config.channels.push_back(channel);
+  }
+  const Tensor series = GenerateSeries(series_config);
+
+  ForecastPipelineConfig pc;
+  pc.lookback = 32;
+  pc.horizon = 8;
+  pc.trainer.epochs = 2;
+  pc.trainer.batch_size = 16;
+  pc.trainer.max_batches_per_epoch = 8;
+  pc.trainer.early_stop_patience = 0;
+  ForecastPipeline pipeline(pc, /*seed=*/5);
+  pipeline.Fit(series);
+
+  const std::string ckpt = "msd_serve_selftest.msdckpt";
+  Status saved = pipeline.Save(ckpt);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "selftest: save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+
+  serve::ForecastSessionOptions options;
+  options.lookback = pc.lookback;
+  options.horizon = pc.horizon;
+  auto session = serve::CreateForecastSession(ckpt, options);
+  std::remove(ckpt.c_str());
+  std::remove((ckpt + ".meta").c_str());
+  if (!session.ok()) {
+    std::fprintf(stderr, "selftest: session failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  serve::MicroBatcherConfig bc;
+  bc.max_delay_us = 500;
+  serve::ServerLoop server(session.value().get(), bc);
+  server.Start();
+
+  int failures = 0;
+  for (int64_t offset = 0; offset + pc.lookback <= series.dim(1) && offset < 64;
+       offset += 16) {
+    const Tensor window = Slice(series, 1, offset, pc.lookback);
+    const Tensor want = pipeline.Predict(window);
+    const std::string reply =
+        server.HandleLine(serve::FormatTensorLine(window));
+    if (reply.rfind("ERROR", 0) == 0) {
+      std::fprintf(stderr, "selftest: request failed: %s\n", reply.c_str());
+      ++failures;
+      continue;
+    }
+    auto parsed = serve::ParseWindowLine(reply, window.dim(0), pc.horizon);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "selftest: unparseable reply: %s\n",
+                   parsed.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    // %.6g text round-trip: compare with a matching tolerance, not bitwise.
+    if (!AllClose(parsed.value(), want, /*atol=*/1e-3f, /*rtol=*/1e-3f)) {
+      std::fprintf(stderr, "selftest: reply diverges from pipeline Predict\n");
+      ++failures;
+    }
+  }
+
+  const std::string error_reply = server.HandleLine("1,2,spam");
+  if (error_reply.rfind("ERROR", 0) != 0) {
+    std::fprintf(stderr, "selftest: malformed request not rejected: %s\n",
+                 error_reply.c_str());
+    ++failures;
+  }
+  server.Stop();
+  std::printf("selftest %s\n", failures == 0 ? "passed" : "FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (HasFlag(argc, argv, "--selftest")) return SelfTest();
+  if (argc < 2 || argv[1][0] == '-') {
+    Usage(argv[0]);
+    return 2;
+  }
+  const std::string ckpt = argv[1];
+
+  serve::ForecastSessionOptions options;
+  options.lookback = IntFlag(argc, argv, "--lookback", options.lookback);
+  options.horizon = IntFlag(argc, argv, "--horizon", options.horizon);
+  options.model_dim = IntFlag(argc, argv, "--model-dim", options.model_dim);
+  options.hidden_dim = IntFlag(argc, argv, "--hidden-dim", options.hidden_dim);
+  options.max_batch = IntFlag(argc, argv, "--max-batch", options.max_batch);
+  auto session = serve::CreateForecastSession(ckpt, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "cannot load %s: %s\n", ckpt.c_str(),
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "loaded %s: %lld channels, lookback %lld -> horizon %lld\n",
+               ckpt.c_str(),
+               (long long)session.value()->model_config().channels,
+               (long long)options.lookback, (long long)options.horizon);
+
+  serve::MicroBatcherConfig bc;
+  bc.max_batch = IntFlag(argc, argv, "--max-batch", 8);
+  bc.max_delay_us = IntFlag(argc, argv, "--max-delay-us", 2000);
+  bc.num_workers = IntFlag(argc, argv, "--workers", 1);
+  serve::ServerLoop server(session.value().get(), bc);
+  server.Start();
+
+  const std::string socket_path = FlagValue(argc, argv, "--socket");
+  const int rc = socket_path.empty() ? ServeStdin(server)
+                                     : ServeSocket(server, socket_path);
+  server.Stop();
+  return rc;
+}
