@@ -3,25 +3,44 @@
 // Builds a small random-init MSD-Mixer, snapshots it to a checkpoint,
 // restores it into a frozen serve::InferenceSession, and hammers a
 // ServerLoop from N client threads until --requests requests have
-// completed. Reports throughput and p50/p95/p99 end-to-end latency from
-// the clients' own clocks, plus the batcher's serve/* telemetry, and
-// exits nonzero on any failed request, any correctness mismatch, or a
-// broken backpressure/cancellation contract.
+// completed. Reports throughput and p50/p95/p99 end-to-end latency twice —
+// from the clients' own clocks AND from the server-side serve/e2e_us
+// histogram (Histogram::ValueAtQuantile) — and cross-checks that the two
+// agree within 10%, so the histogram the server exports is trustworthy as
+// the gated source of truth. Exits nonzero on any failed request, any
+// correctness mismatch, a server/client quantile disagreement, or a broken
+// backpressure/cancellation contract.
 //
 //   bench_serving [--requests N] [--clients N] [--workers N]
 //                 [--max-batch N] [--max-delay-us N] [--threads N]
 //                 [--metrics-out FILE] [--trace-out FILE]
+//                 [--telemetry-out FILE] [--telemetry-interval-ms N]
+//                 [--trace-sample N] [--ring-trace-out FILE]
+//                 [--quantile-tolerance PCT]
+//
+// --telemetry-out streams periodic JSONL registry snapshots from a live
+// obs::TelemetryExporter while the load runs; --ring-trace-out dumps the
+// sampled request ring (1-in---trace-sample) as chrome://tracing JSON.
+// --quantile-tolerance loosens the server-vs-client agreement gate (percent,
+// default 10): client tails absorb future-wakeup scheduling jitter the
+// server-side histogram never sees, so short runs on loaded machines (the
+// ctest smoke runs next to the whole suite) need more headroom than a
+// dedicated 1000-request recording.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
 
 #include "bench_util.h"
 #include "nn/serialize.h"
+#include "obs/exporter.h"
+#include "obs/ring.h"
 #include "runtime/worker.h"
 #include "serve/server.h"
+#include "serve/trace.h"
 #include "tensor/tensor_ops.h"
 
 namespace {
@@ -92,6 +111,19 @@ int main(int argc, char** argv) {
   const int64_t workers = IntFlag(argc, argv, "--workers", 2);
   const int64_t max_batch = IntFlag(argc, argv, "--max-batch", 8);
   const int64_t max_delay_us = IntFlag(argc, argv, "--max-delay-us", 1000);
+  const int64_t trace_sample = IntFlag(argc, argv, "--trace-sample", 16);
+
+  obs::TraceRing::Global().SetSampleEvery(trace_sample);
+  obs::TelemetryExporterOptions exporter_options;
+  exporter_options.path = bench::FlagValue(argc, argv, "--telemetry-out");
+  exporter_options.interval_ms =
+      IntFlag(argc, argv, "--telemetry-interval-ms", 200);
+  obs::TelemetryExporter exporter(exporter_options);
+  if (!exporter.Start()) {
+    std::fprintf(stderr, "cannot open telemetry output %s\n",
+                 exporter_options.path.c_str());
+    return 1;
+  }
 
   // Small forecast model: big enough to exercise every layer, small enough
   // that the bench is queue-bound rather than GEMM-bound.
@@ -204,6 +236,13 @@ int main(int argc, char** argv) {
   registry.GetGauge("serve/latency_p99_us").Set(p99);
   registry.GetGauge("serve/throughput_rps").Set(throughput);
 
+  // Server-side quantiles from the serve/e2e_us histogram: the same request
+  // population measured inside the batcher, read back via ValueAtQuantile.
+  const obs::Histogram& e2e = serve::Instruments().e2e_us;
+  const double server_p50 = e2e.ValueAtQuantile(0.50);
+  const double server_p95 = e2e.ValueAtQuantile(0.95);
+  const double server_p99 = e2e.ValueAtQuantile(0.99);
+
   bench::TablePrinter table({"metric", "value"}, {24, 18});
   table.PrintHeader();
   table.PrintRow({"requests completed", std::to_string(merged.size())});
@@ -213,6 +252,9 @@ int main(int argc, char** argv) {
   table.PrintRow({"p50 latency (us)", bench::Fmt(p50, 0)});
   table.PrintRow({"p95 latency (us)", bench::Fmt(p95, 0)});
   table.PrintRow({"p99 latency (us)", bench::Fmt(p99, 0)});
+  table.PrintRow({"server p50 (us)", bench::Fmt(server_p50, 0)});
+  table.PrintRow({"server p95 (us)", bench::Fmt(server_p95, 0)});
+  table.PrintRow({"server p99 (us)", bench::Fmt(server_p99, 0)});
   table.PrintRule();
 
   const bool backpressure_ok = CheckBackpressure(session);
@@ -233,6 +275,63 @@ int main(int argc, char** argv) {
     ok = false;
   }
   if (!backpressure_ok) ok = false;
+
+  // Server-side vs client-side agreement: both sides measured every
+  // completed request, so the interpolated histogram quantiles must land
+  // within --quantile-tolerance percent of the exact client numbers (a
+  // small absolute slack keeps microsecond-scale runs from flapping on
+  // scheduler noise).
+  const int64_t tolerance_pct =
+      IntFlag(argc, argv, "--quantile-tolerance", 10);
+  const struct {
+    const char* name;
+    double q;
+    double client;
+    double server;
+  } quantiles[] = {{"p50", 0.50, p50, server_p50},
+                   {"p95", 0.95, p95, server_p95},
+                   {"p99", 0.99, p99, server_p99}};
+  for (const auto& q : quantiles) {
+    // A quantile whose tail holds fewer than ~5 samples is pinned to one or
+    // two extreme order statistics, where the client's scheduler wake-up
+    // jitter (invisible to the server-side histogram) dominates; comparing
+    // there measures the OS, not the telemetry. p99 needs >= 500 requests.
+    const double tail_samples =
+        (1.0 - q.q) * static_cast<double>(merged.size());
+    if (tail_samples < 5.0) {
+      std::printf("skipping %s agreement check (%zu requests leave %.0f "
+                  "tail samples; need >= 5)\n",
+                  q.name, merged.size(), tail_samples);
+      continue;
+    }
+    const double tolerance =
+        std::max(static_cast<double>(tolerance_pct) / 100.0 * q.client, 30.0);
+    if (std::abs(q.server - q.client) > tolerance) {
+      std::fprintf(stderr,
+                   "server-side %s (%.0f us) disagrees with client-side "
+                   "(%.0f us) by more than %lld%%\n",
+                   q.name, q.server, q.client,
+                   static_cast<long long>(tolerance_pct));
+      ok = false;
+    }
+  }
+
+  // Final flush so the JSONL's last snapshot carries the end-state gauges
+  // and the complete serve/e2e_us histogram.
+  exporter.Stop();
+
+  const std::string ring_trace = bench::FlagValue(argc, argv, "--ring-trace-out");
+  if (!ring_trace.empty()) {
+    const std::string json = obs::TraceRing::Global().ChromeTraceJson();
+    std::FILE* f = std::fopen(ring_trace.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+      std::fprintf(stderr, "cannot write %s\n", ring_trace.c_str());
+      ok = false;
+    }
+    if (f != nullptr) std::fclose(f);
+  }
+
   if (!bench::ExportTelemetry(argc, argv)) ok = false;
   return ok ? 0 : 1;
 }

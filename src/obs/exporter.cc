@@ -1,0 +1,148 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/ring.h"
+
+namespace msd {
+namespace obs {
+
+namespace {
+
+bool WriteWholeFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  return std::fclose(f) == 0 && written == contents.size();
+}
+
+}  // namespace
+
+TelemetryExporter::TelemetryExporter(TelemetryExporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.interval_ms < 10) options_.interval_ms = 10;
+}
+
+TelemetryExporter::~TelemetryExporter() { Stop(); }
+
+bool TelemetryExporter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MSD_CHECK(!stopped_) << "TelemetryExporter cannot restart after Stop()";
+    if (started_) return true;
+    if (!options_.path.empty()) {
+      std::FILE* f = std::fopen(options_.path.c_str(), "w");
+      if (f == nullptr) return false;
+      file_ = f;
+    }
+    started_ = true;
+  }
+  worker_.Start(1, [this](int64_t) { Loop(); });
+  return true;
+}
+
+void TelemetryExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) {
+      stopped_ = true;
+      return;
+    }
+    stopped_ = true;
+  }
+  cv_.notify_all();
+  worker_.Join();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+std::future<bool> TelemetryExporter::RequestTraceDump(const std::string& path) {
+  DumpRequest request;
+  request.path = path;
+  std::future<bool> done = request.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopped_) {
+      request.done.set_value(false);
+      return done;
+    }
+    dumps_.push_back(std::move(request));
+  }
+  cv_.notify_all();
+  return done;
+}
+
+int64_t TelemetryExporter::snapshots_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshots_;
+}
+
+bool TelemetryExporter::WriteSnapshotLine() {
+  // Called on the exporter thread with mu_ held (file_ access); the
+  // registry snapshot takes the registry's own mutex internally.
+  if (file_ == nullptr) return true;
+  std::string line;
+  line.reserve(1 << 12);
+  char head[96];
+  std::snprintf(head, sizeof(head), "{\"ts_ms\":%lld,\"seq\":%lld,",
+                static_cast<long long>(MonotonicNowNs() / 1000000),
+                static_cast<long long>(snapshots_));
+  line += head;
+  line += "\"metrics\":";
+  line += MetricsRegistry::Global().ToJson();
+  line += "}\n";
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  // One fwrite per line + flush: readers never observe a partial line.
+  const size_t written = std::fwrite(line.data(), 1, line.size(), f);
+  if (written != line.size() || std::fflush(f) != 0) return false;
+  ++snapshots_;
+  return true;
+}
+
+void TelemetryExporter::ServiceDumpRequests() {
+  // Drain under the lock, write outside it: a big trace render must not
+  // block Stop()/RequestTraceDump callers.
+  std::deque<DumpRequest> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(dumps_);
+  }
+  for (DumpRequest& request : pending) {
+    request.done.set_value(
+        WriteWholeFile(request.path, TraceRing::Global().ChromeTraceJson()));
+  }
+}
+
+void TelemetryExporter::Loop() {
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    WriteSnapshotLine();  // t=0 snapshot so short runs still emit one line
+  }
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval,
+                   [this] { return stopped_ || !dumps_.empty(); });
+      if (stopped_) {
+        WriteSnapshotLine();  // flush-on-shutdown snapshot
+        break;
+      }
+      if (dumps_.empty()) WriteSnapshotLine();  // periodic tick
+    }
+    ServiceDumpRequests();
+  }
+  ServiceDumpRequests();  // resolve anything enqueued during shutdown
+}
+
+}  // namespace obs
+}  // namespace msd

@@ -1,0 +1,97 @@
+// Background telemetry exporter (docs/OBSERVABILITY.md).
+//
+// A TelemetryExporter owns ALL file I/O for a serving process's telemetry:
+// it runs one dedicated runtime::WorkerGroup thread that
+//
+//  * appends a JSONL registry snapshot line to `options.path` every
+//    `interval_ms` while running, and once more at Stop() (flush-on-
+//    shutdown), so a crash loses at most one interval of visibility;
+//  * services asynchronous chrome://tracing dump requests
+//    (RequestTraceDump) against the global obs::TraceRing — this is what
+//    the serving text protocol's `TRACE <path>` admin command routes
+//    through, keeping the `no-blocking-io-in-serve-hot-path` lint honest:
+//    src/serve only formats strings, the exporter thread does the write.
+//
+// Each snapshot line is one self-contained JSON object:
+//
+//   {"ts_ms": <monotonic ms>, "seq": <0,1,2,...>,
+//    "metrics": <MetricsRegistry::ToJson()>}
+//
+// written with a single fwrite + fflush so concurrent readers (tail -f,
+// the check.sh validator) always see whole lines. The registry snapshot
+// itself is lock-light (one registry mutex held while formatting), and
+// nothing here ever runs on a request thread.
+#ifndef MSDMIXER_OBS_EXPORTER_H_
+#define MSDMIXER_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+
+#include "runtime/worker.h"
+
+namespace msd {
+namespace obs {
+
+struct TelemetryExporterOptions {
+  // JSONL output file; truncated at Start(). Empty disables periodic
+  // snapshots (the exporter then only services trace dump requests).
+  std::string path;
+  // Snapshot period. Clamped to >= 10ms.
+  int64_t interval_ms = 1000;
+};
+
+class TelemetryExporter {
+ public:
+  explicit TelemetryExporter(TelemetryExporterOptions options);
+  ~TelemetryExporter();  // Stop()s if still running.
+
+  TelemetryExporter(const TelemetryExporter&) = delete;
+  TelemetryExporter& operator=(const TelemetryExporter&) = delete;
+
+  // Spawns the exporter worker and writes the first snapshot immediately.
+  // Returns false (nothing spawned) when the output file cannot be opened.
+  bool Start();
+
+  // Writes one final snapshot, resolves outstanding dump requests, joins.
+  // Idempotent.
+  void Stop();
+
+  // Schedules a chrome://tracing dump of obs::TraceRing::Global() to `path`
+  // on the exporter thread; the future resolves true once the file is
+  // written. Resolves false immediately if the exporter is not running.
+  std::future<bool> RequestTraceDump(const std::string& path);
+
+  // Snapshot lines written so far (including the flush-on-shutdown one).
+  int64_t snapshots_written() const;
+
+ private:
+  struct DumpRequest {
+    std::string path;
+    std::promise<bool> done;
+  };
+
+  void Loop();
+  // Appends one snapshot line; returns false on I/O failure.
+  bool WriteSnapshotLine();
+  void ServiceDumpRequests();
+
+  TelemetryExporterOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::deque<DumpRequest> dumps_;
+  int64_t snapshots_ = 0;
+  void* file_ = nullptr;  // std::FILE*, opaque here to keep the header lean
+  runtime::WorkerGroup worker_;
+};
+
+}  // namespace obs
+}  // namespace msd
+
+#endif  // MSDMIXER_OBS_EXPORTER_H_

@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -20,6 +22,11 @@ void AtomicAdd(std::atomic<double>& target, double delta) {
   }
 }
 
+// Race-free running max: compare_exchange_weak refreshes `current` on every
+// failed exchange (including spurious failures), and the loop re-tests
+// `current < v` against the refreshed value, so a concurrent writer that
+// installed something larger is never clobbered and the loop terminates as
+// soon as the stored value is >= v.
 void AtomicMax(std::atomic<double>& target, double v) {
   double current = target.load(std::memory_order_relaxed);
   while (current < v && !target.compare_exchange_weak(
@@ -50,10 +57,17 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 void Histogram::Observe(double v) {
-  // Linear scan: telemetry histograms have a handful of buckets and the scan
-  // is branch-predictable; a binary search would not pay for itself.
-  size_t i = 0;
-  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  // Small histograms use a branch-predictable linear scan; the log-spaced
+  // latency histograms (~200 buckets) binary-search instead so an Observe
+  // on the serving hot path stays a handful of comparisons.
+  size_t i;
+  if (bounds_.size() <= 16) {
+    i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+  } else {
+    i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  }
   buckets_[i].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(sum_, v);
@@ -65,6 +79,52 @@ std::vector<int64_t> Histogram::BucketCounts() const {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   return out;
+}
+
+double Histogram::ValueAtQuantile(double q) const {
+  return QuantileFromBuckets(bounds_, BucketCounts(), q);
+}
+
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<int64_t>& counts, double q) {
+  MSD_CHECK(!bounds.empty());
+  MSD_CHECK_EQ(counts.size(), bounds.size() + 1)
+      << "counts must cover every bound plus the overflow bucket";
+  q = std::min(1.0, std::max(0.0, q));
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the target observation (1-based); ceil so q=1 hits the last one.
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(total)));
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Overflow bucket: no finite upper edge, clamp to the largest bound.
+    if (i == bounds.size()) return bounds.back();
+    const double upper = bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    // Observations spread uniformly inside the bucket.
+    return lower + (upper - lower) * (rank - cumulative) / in_bucket;
+  }
+  return bounds.back();
+}
+
+std::vector<double> LogSpacedBounds(double lo, double hi, int per_decade) {
+  MSD_CHECK(lo > 0.0 && hi > lo) << "need 0 < lo < hi";
+  MSD_CHECK_GE(per_decade, 1);
+  const double ratio = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  std::vector<double> bounds;
+  double b = lo;
+  while (b < hi) {
+    bounds.push_back(b);
+    b *= ratio;
+  }
+  bounds.push_back(b);  // first bound >= hi closes the range
+  return bounds;
 }
 
 void Histogram::Reset() {

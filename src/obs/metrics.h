@@ -43,7 +43,10 @@ class Counter {
 class Gauge {
  public:
   void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  // Keeps the maximum of the current value and `v`.
+  // Keeps the maximum of the current value and `v`. Race-free under
+  // concurrent callers: a CAS loop re-reads the current value on every
+  // failed exchange, so no writer can overwrite a larger concurrent value
+  // (tests/obs_test.cc hammers this from 8 threads).
   void SetMax(double v);
   double value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
@@ -70,6 +73,15 @@ class Histogram {
   const std::vector<double>& upper_bounds() const { return bounds_; }
   // bounds_.size() + 1 entries; last is the overflow bucket.
   std::vector<int64_t> BucketCounts() const;
+
+  // Estimated value at quantile q in [0, 1] from the bucket counts
+  // (Prometheus-style linear interpolation inside the covering bucket).
+  // Returns 0 on an empty histogram; quantiles that land in the overflow
+  // bucket clamp to the largest finite bound. Accuracy is one bucket width,
+  // so latency histograms use log-spaced bounds (LogSpacedBounds) fine
+  // enough for <10% quantile error.
+  double ValueAtQuantile(double q) const;
+
   void Reset();
 
  private:
@@ -78,6 +90,19 @@ class Histogram {
   std::atomic<int64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+// Quantile estimate shared by Histogram::ValueAtQuantile and offline
+// consumers of snapshot JSON (tools/bench_compare): `counts` has one entry
+// per bound plus the trailing overflow bucket, exactly as BucketCounts()
+// and the snapshot "buckets" array lay them out.
+double QuantileFromBuckets(const std::vector<double>& bounds,
+                           const std::vector<int64_t>& counts, double q);
+
+// Log-spaced bucket bounds for latency histograms: `per_decade` bounds per
+// power of ten, from `lo` up to and including the first bound >= `hi`.
+// With per_decade=32 adjacent bounds differ by ~7.5%, keeping interpolated
+// p50/p95/p99 within a few percent of the exact order statistics.
+std::vector<double> LogSpacedBounds(double lo, double hi, int per_decade);
 
 class MetricsRegistry {
  public:

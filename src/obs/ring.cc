@@ -1,0 +1,92 @@
+#include "obs/ring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace msd {
+namespace obs {
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+TraceRing::TraceRing(int64_t capacity) { SetCapacity(capacity); }
+
+void TraceRing::SetCapacity(int64_t capacity) {
+  capacity_ = capacity < 1 ? 1 : capacity;
+  slots_ = std::make_unique<Slot[]>(static_cast<size_t>(capacity_));
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRing::Clear() {
+  for (int64_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void TraceRing::Push(const TraceSpan& span) {
+  const int64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  // Seqlock write: negative seq marks the slot mid-write so a concurrent
+  // Snapshot skips it; the final release store publishes ticket+1 (>0).
+  slot.seq.store(-(ticket + 1), std::memory_order_relaxed);
+  slot.request_id.store(span.request_id, std::memory_order_relaxed);
+  slot.name.store(span.name, std::memory_order_relaxed);
+  slot.start_us.store(span.start_us, std::memory_order_relaxed);
+  slot.dur_us.store(span.dur_us, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<TraceSpan> TraceRing::Snapshot() const {
+  std::vector<std::pair<int64_t, TraceSpan>> ordered;
+  ordered.reserve(static_cast<size_t>(capacity_));
+  for (int64_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const int64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before <= 0) continue;  // never written, or a writer is mid-publish
+    TraceSpan span;
+    span.request_id = slot.request_id.load(std::memory_order_relaxed);
+    span.name = slot.name.load(std::memory_order_relaxed);
+    span.start_us = slot.start_us.load(std::memory_order_relaxed);
+    span.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // A writer that wrapped around and reused the slot mid-copy bumped seq;
+    // drop the (possibly torn) record rather than report a franken-span.
+    if (slot.seq.load(std::memory_order_relaxed) != before) continue;
+    ordered.emplace_back(before, span);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TraceSpan> out;
+  out.reserve(ordered.size());
+  for (auto& [seq, span] : ordered) out.push_back(span);
+  return out;
+}
+
+std::string TraceRing::ChromeTraceJson() const {
+  const std::vector<TraceSpan> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%lld,"
+                  "\"ts\":%lld,\"dur\":%lld}",
+                  first ? "" : ",", span.name,
+                  static_cast<long long>(span.request_id),
+                  static_cast<long long>(span.start_us),
+                  static_cast<long long>(span.dur_us));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace msd

@@ -10,37 +10,6 @@
 namespace msd {
 namespace serve {
 
-namespace {
-
-// Shared-instrument handles (find-or-create once, relaxed atomics after).
-struct ServeMetrics {
-  obs::Counter& requests = obs::MetricsRegistry::Global().GetCounter(
-      "serve/requests_total");
-  obs::Counter& rejected = obs::MetricsRegistry::Global().GetCounter(
-      "serve/rejected_total");
-  obs::Counter& timeouts = obs::MetricsRegistry::Global().GetCounter(
-      "serve/timeouts_total");
-  obs::Counter& batches = obs::MetricsRegistry::Global().GetCounter(
-      "serve/batches_total");
-  obs::Gauge& queue_depth = obs::MetricsRegistry::Global().GetGauge(
-      "serve/queue_depth");
-  obs::Gauge& queue_depth_peak = obs::MetricsRegistry::Global().GetGauge(
-      "serve/queue_depth_peak");
-  obs::Histogram& batch_size = obs::MetricsRegistry::Global().GetHistogram(
-      "serve/batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
-  obs::Histogram& latency_us = obs::MetricsRegistry::Global().GetHistogram(
-      "serve/latency_us",
-      {100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0,
-       50000.0, 100000.0, 250000.0, 1000000.0});
-};
-
-ServeMetrics& Metrics() {
-  static ServeMetrics metrics;
-  return metrics;
-}
-
-}  // namespace
-
 MicroBatcher::MicroBatcher(InferenceSession* session,
                            const MicroBatcherConfig& config)
     : session_(session), config_(config) {
@@ -72,13 +41,14 @@ void MicroBatcher::Stop() {
     if (stopped_) return;
     stopped_ = true;
     drained.swap(queue_);
-    Metrics().queue_depth.Set(0.0);
+    Instruments().queue_depth.Set(0.0);
   }
   cv_.notify_all();
   workers_.Join();
   for (Request& request : drained) {
     request.promise.set_value(
         Status::Cancelled("micro-batcher stopped before the request ran"));
+    DecInflight();
   }
 }
 
@@ -97,9 +67,11 @@ Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
 
   Request request;
   request.input = std::move(window);
-  request.enqueue_time = Clock::now();
+  // Minting assigns the monotonic request id, the 1-in-N sampling bit and
+  // the enqueue timestamp every downstream phase is measured against.
+  request.trace = MintTraceContext();
   request.deadline = timeout_us > 0
-                         ? request.enqueue_time +
+                         ? request.trace.enqueue +
                                std::chrono::microseconds(timeout_us)
                          : Clock::time_point::max();
 
@@ -109,7 +81,7 @@ Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
       return Status::Cancelled("micro-batcher is stopped");
     }
     if (static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
-      Metrics().rejected.Add(1);
+      Instruments().rejected.Add(1);
       return Status::ResourceExhausted(
           "request queue full (" + std::to_string(config_.queue_capacity) +
           " pending); retry with backoff");
@@ -119,12 +91,19 @@ Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
     *result = request.promise.get_future();
     queue_.push_back(std::move(request));
     const double depth = static_cast<double>(queue_.size());
-    Metrics().queue_depth.Set(depth);
-    Metrics().queue_depth_peak.SetMax(depth);
-    Metrics().requests.Add(1);
+    Instruments().queue_depth.Set(depth);
+    Instruments().queue_depth_peak.SetMax(depth);
+    Instruments().requests.Add(1);
+    Instruments().inflight.Set(static_cast<double>(
+        inflight_.fetch_add(1, std::memory_order_relaxed) + 1));
   }
   cv_.notify_one();
   return Status::OK();
+}
+
+void MicroBatcher::DecInflight() {
+  Instruments().inflight.Set(static_cast<double>(
+      inflight_.fetch_sub(1, std::memory_order_relaxed) - 1));
 }
 
 int64_t MicroBatcher::queue_depth() const {
@@ -146,7 +125,7 @@ void MicroBatcher::WorkerLoop() {
       // requests we were originally batching behind.
       while (!stopped_ && !queue_.empty() &&
              static_cast<int64_t>(queue_.size()) < config_.max_batch) {
-        const auto batch_deadline = queue_.front().enqueue_time + max_delay;
+        const auto batch_deadline = queue_.front().trace.enqueue + max_delay;
         if (Clock::now() >= batch_deadline) break;
         cv_.wait_until(lock, batch_deadline);
       }
@@ -160,22 +139,28 @@ void MicroBatcher::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+      Instruments().queue_depth.Set(static_cast<double>(queue_.size()));
     }
     ProcessBatch(std::move(batch));
   }
 }
 
 void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
+  // The queue-wait phase ends here for every member: the batch is off the
+  // queue and owned by this worker.
+  const auto dequeue = Clock::now();
   // Expired requests resolve immediately and never occupy batch rows.
   std::vector<Request> live;
   live.reserve(batch.size());
-  const auto now = Clock::now();
   for (Request& request : batch) {
-    if (now >= request.deadline) {
-      Metrics().timeouts.Add(1);
+    request.trace.dequeue = dequeue;
+    if (dequeue >= request.deadline) {
+      Instruments().timeouts.Add(1);
+      // serve/deadline_miss counts exactly the kDeadlineExceeded outcomes.
+      Instruments().deadline_miss.Add(1);
       request.promise.set_value(Status::DeadlineExceeded(
           "request timed out in the batch queue"));
+      DecInflight();
     } else {
       live.push_back(std::move(request));
     }
@@ -185,28 +170,43 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
   std::vector<Tensor> inputs;
   inputs.reserve(live.size());
   for (const Request& request : live) inputs.push_back(request.input);
-  StatusOr<Tensor> outputs = session_->PredictBatch(Stack(inputs));
+  // The session fills compute_start/compute_end into `compute_trace` and
+  // skips its own direct-call observation: the batcher attributes the shared
+  // compute interval to every member of the batch below.
+  TraceContext compute_trace;
+  StatusOr<Tensor> outputs =
+      session_->PredictBatch(Stack(inputs), &compute_trace);
 
-  Metrics().batches.Add(1);
-  Metrics().batch_size.Observe(static_cast<double>(live.size()));
+  Instruments().batches.Add(1);
+  Instruments().batch_size.Observe(static_cast<double>(live.size()));
 
   if (!outputs.ok()) {
     for (Request& request : live) {
       request.promise.set_value(outputs.status());
+      DecInflight();
     }
     return;
   }
   const Tensor& stacked = outputs.value();
   const auto done = Clock::now();
   for (size_t i = 0; i < live.size(); ++i) {
+    TraceContext& trace = live[i].trace;
+    trace.compute_start = compute_trace.compute_start;
+    trace.compute_end = compute_trace.compute_end;
     // Row i of the stacked output, with the batch axis dropped.
     Tensor row = Slice(stacked, 0, static_cast<int64_t>(i), 1);
     Shape squeezed(row.shape().begin() + 1, row.shape().end());
     live[i].promise.set_value(row.Reshape(std::move(squeezed)));
-    Metrics().latency_us.Observe(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            done - live[i].enqueue_time)
-            .count());
+    Instruments().queue_us.Observe(
+        static_cast<double>(ToMicros(trace.dequeue - trace.enqueue)));
+    Instruments().batch_assembly_us.Observe(
+        static_cast<double>(ToMicros(trace.compute_start - trace.dequeue)));
+    Instruments().compute_us.Observe(static_cast<double>(
+        ToMicros(trace.compute_end - trace.compute_start)));
+    Instruments().e2e_us.Observe(
+        static_cast<double>(ToMicros(done - trace.enqueue)));
+    if (trace.sampled) PushRequestSpans(trace);
+    DecInflight();
   }
 }
 

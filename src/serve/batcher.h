@@ -20,13 +20,18 @@
 // no-blocking-io-in-serve-hot-path forbids file/stdio calls anywhere in
 // src/serve so a batch cycle stays compute-only.
 //
-// Telemetry (docs/OBSERVABILITY.md taxonomy): counters
+// Telemetry (docs/OBSERVABILITY.md taxonomy, serve/trace.h handles): every
+// request carries a TraceContext minted at Submit(), so each reply is
+// decomposed into the serve/queue_us, serve/batch_assembly_us,
+// serve/compute_us and serve/e2e_us histograms; counters
 // serve/requests_total, serve/rejected_total, serve/timeouts_total,
-// serve/batches_total; gauges serve/queue_depth, serve/queue_depth_peak;
-// histograms serve/batch_size, serve/latency_us (admission to completion).
+// serve/deadline_miss, serve/batches_total; gauges serve/queue_depth,
+// serve/queue_depth_peak, serve/inflight; histogram serve/batch_size.
+// Sampled requests push per-phase spans into obs::TraceRing.
 #ifndef MSDMIXER_SERVE_BATCHER_H_
 #define MSDMIXER_SERVE_BATCHER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +42,7 @@
 #include "common/status.h"
 #include "runtime/worker.h"
 #include "serve/session.h"
+#include "serve/trace.h"
 
 namespace msd {
 namespace serve {
@@ -92,7 +98,10 @@ class MicroBatcher {
   struct Request {
     Tensor input;
     std::promise<StatusOr<Tensor>> promise;
-    Clock::time_point enqueue_time;
+    // Carries request id, sampling bit and the enqueue/dequeue/compute
+    // timestamps; trace.enqueue doubles as the admission time the deadline
+    // and coalescing window are derived from.
+    TraceContext trace;
     // time_point::max() when the request has no deadline.
     Clock::time_point deadline;
   };
@@ -101,6 +110,8 @@ class MicroBatcher {
   // Resolves every member of `batch`: expired requests with
   // kDeadlineExceeded, the rest with rows of one PredictBatch call.
   void ProcessBatch(std::vector<Request> batch);
+  // One request left the pipeline (resolved, any status).
+  void DecInflight();
 
   InferenceSession* session_;
   MicroBatcherConfig config_;
@@ -110,6 +121,8 @@ class MicroBatcher {
   std::deque<Request> queue_;
   bool started_ = false;
   bool stopped_ = false;
+  // Admitted-but-unresolved requests, mirrored to the serve/inflight gauge.
+  std::atomic<int64_t> inflight_{0};
   runtime::WorkerGroup workers_;
 };
 

@@ -1,12 +1,35 @@
 #include "serve/server.h"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 #include <vector>
 
+#include "obs/exporter.h"
+
 namespace msd {
 namespace serve {
+
+namespace {
+
+// Strips leading/trailing ASCII whitespace (including the transport's
+// trailing newline) so admin commands match regardless of framing.
+std::string Trimmed(const std::string& line) {
+  size_t begin = 0;
+  size_t end = line.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(line[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(line[end - 1])) != 0) {
+    --end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
 
 ServerLoop::ServerLoop(InferenceSession* session,
                        const MicroBatcherConfig& config)
@@ -102,7 +125,69 @@ std::string FormatTensorLine(const Tensor& tensor) {
   return out;
 }
 
+std::string ServerLoop::StatsLine() const {
+  ServeInstruments& m = Instruments();
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"requests_total\":%lld,\"rejected_total\":%lld,"
+      "\"timeouts_total\":%lld,\"deadline_miss\":%lld,\"batches_total\":%lld,",
+      static_cast<long long>(m.requests.value()),
+      static_cast<long long>(m.rejected.value()),
+      static_cast<long long>(m.timeouts.value()),
+      static_cast<long long>(m.deadline_miss.value()),
+      static_cast<long long>(m.batches.value()));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"queue_depth\":%.0f,\"inflight\":%.0f",
+                m.queue_depth.value(), m.inflight.value());
+  out += buf;
+  const struct {
+    const char* key;
+    const obs::Histogram* hist;
+  } latencies[] = {{"queue_us", &m.queue_us},
+                   {"batch_assembly_us", &m.batch_assembly_us},
+                   {"compute_us", &m.compute_us},
+                   {"e2e_us", &m.e2e_us}};
+  for (const auto& entry : latencies) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"%s\":{\"count\":%lld,\"p50\":%.1f,\"p95\":%.1f,"
+                  "\"p99\":%.1f}",
+                  entry.key, static_cast<long long>(entry.hist->count()),
+                  entry.hist->ValueAtQuantile(0.5),
+                  entry.hist->ValueAtQuantile(0.95),
+                  entry.hist->ValueAtQuantile(0.99));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
 std::string ServerLoop::HandleLine(const std::string& line) {
+  const std::string trimmed = Trimmed(line);
+  if (trimmed == "STATS") return StatsLine();
+  if (trimmed.rfind("TRACE", 0) == 0 &&
+      (trimmed.size() == 5 || trimmed[5] == ' ' || trimmed[5] == '\t')) {
+    const std::string path =
+        trimmed.size() > 5 ? Trimmed(trimmed.substr(5)) : std::string();
+    if (path.empty()) {
+      return "ERROR " +
+             Status::InvalidArgument("TRACE needs a destination path")
+                 .ToString();
+    }
+    if (exporter_ == nullptr) {
+      return "ERROR " + Status::Internal(
+                            "no telemetry exporter attached; TRACE "
+                            "requires --telemetry support in the host tool")
+                            .ToString();
+    }
+    // The exporter thread owns the file write; we only wait for the result,
+    // so no blocking I/O happens in src/serve itself.
+    if (exporter_->RequestTraceDump(path).get()) return "OK " + path;
+    return "ERROR " +
+           Status::Internal("trace dump to " + path + " failed").ToString();
+  }
   StatusOr<Tensor> window =
       ParseWindowLine(line, session_->model_config().channels,
                       session_->model_config().input_length);

@@ -13,6 +13,13 @@
 //    the tools — this file only transforms strings (the
 //    no-blocking-io-in-serve-hot-path lint rule bans stdio here).
 //
+// Admin commands (HandleLine, docs/OBSERVABILITY.md):
+//  * "STATS"        — one JSON line of serve/* counters, gauges and
+//    histogram-derived p50/p95/p99 (Histogram::ValueAtQuantile).
+//  * "TRACE <path>" — dumps the sampled obs::TraceRing as chrome://tracing
+//    JSON to <path> via the attached TelemetryExporter (SetExporter); the
+//    exporter thread does the write, this thread only waits for the result.
+//
 // Lifecycle: Start() spawns the batcher workers, Stop() drains in-flight
 // requests (they resolve with kCancelled) and joins. The destructor Stop()s.
 #ifndef MSDMIXER_SERVE_SERVER_H_
@@ -26,6 +33,10 @@
 #include "serve/session.h"
 
 namespace msd {
+namespace obs {
+class TelemetryExporter;
+}  // namespace obs
+
 namespace serve {
 
 class ServerLoop {
@@ -40,9 +51,19 @@ class ServerLoop {
   // timeout_us: <0 uses the batcher default, 0 disables the deadline.
   StatusOr<Tensor> Handle(const Tensor& window, int64_t timeout_us = -1);
 
-  // Parses one text-protocol request line, runs Handle, renders the reply.
-  // Never throws; malformed input yields an "ERROR ..." string.
+  // Parses one text-protocol request line (or an admin command, see the file
+  // comment), runs Handle, renders the reply. Never throws; malformed input
+  // yields an "ERROR ..." string.
   std::string HandleLine(const std::string& line);
+
+  // Attaches the exporter the TRACE admin command routes dumps through.
+  // Optional; without one TRACE answers with an error. `exporter` must
+  // outlive the server.
+  void SetExporter(obs::TelemetryExporter* exporter) { exporter_ = exporter; }
+
+  // The STATS reply: one JSON object with serve counters/gauges and
+  // p50/p95/p99 for each serve latency histogram.
+  std::string StatsLine() const;
 
   InferenceSession* session() { return session_; }
   MicroBatcher& batcher() { return batcher_; }
@@ -50,6 +71,7 @@ class ServerLoop {
  private:
   InferenceSession* session_;
   MicroBatcher batcher_;
+  obs::TelemetryExporter* exporter_ = nullptr;
 };
 
 // Text-protocol helpers, exposed for tests and tools.

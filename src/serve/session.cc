@@ -69,17 +69,45 @@ Tensor InferenceSession::RunFrozen(const Tensor& batch) {
   MSD_SPAN("serve/predict_batch");
   std::lock_guard<std::mutex> lock(model_mu_);
   NoGradGuard guard;
+  if (config_.synthetic_compute_us > 0) {
+    // Busy-spin (not sleep) so the emulated slow model occupies the forward
+    // pass exactly like real compute would, lock held and all.
+    const auto until = ServeClock::now() +
+                       std::chrono::microseconds(config_.synthetic_compute_us);
+    while (ServeClock::now() < until) {
+    }
+  }
   return mixer_->Run(Variable(batch)).prediction.value();
 }
 
-StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch) {
+StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch,
+                                                TraceContext* trace) {
   Status valid = ValidateBatch(batch);
   if (!valid.ok()) return valid;
+  // Direct callers make this an admission point: mint a context here so the
+  // compute interval is still measured and (if sampled) traced.
+  TraceContext local;
+  const bool direct = trace == nullptr;
+  if (direct) {
+    local = MintTraceContext();
+    trace = &local;
+  }
+  trace->compute_start = ServeClock::now();
   const Tensor scaled =
       config_.scaler.fitted() ? config_.scaler.Transform(batch) : batch;
   Tensor out = RunFrozen(scaled);
   if (config_.model.task == TaskType::kForecast && config_.scaler.fitted()) {
     out = config_.scaler.InverseTransform(out);
+  }
+  trace->compute_end = ServeClock::now();
+  if (direct) {
+    Instruments().compute_us.Observe(static_cast<double>(
+        ToMicros(trace->compute_end - trace->compute_start)));
+    if (trace->sampled) {
+      obs::TraceRing::Global().Push(
+          {trace->request_id, "compute", TimePointUs(trace->compute_start),
+           ToMicros(trace->compute_end - trace->compute_start)});
+    }
   }
   static obs::Counter& items =
       obs::MetricsRegistry::Global().GetCounter("serve/predicted_items");

@@ -27,6 +27,7 @@
 #ifndef MSDMIXER_SERVE_SESSION_H_
 #define MSDMIXER_SERVE_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +35,7 @@
 #include "common/status.h"
 #include "core/msd_mixer.h"
 #include "data/scaler.h"
+#include "serve/trace.h"
 #include "tensor/pool.h"
 
 namespace msd {
@@ -52,6 +54,10 @@ struct InferenceSessionConfig {
   bool warmup = true;
   // Seed for the throwaway weight init that the checkpoint overwrites.
   uint64_t seed = 1;
+  // Test/bench hook: busy-spin this long inside the locked forward pass to
+  // emulate a slower model. 0 (the default) disables the hook; real
+  // deployments never set it.
+  int64_t synthetic_compute_us = 0;
 };
 
 class InferenceSession {
@@ -65,7 +71,15 @@ class InferenceSession {
 
   // Batched: inputs [B, C, L] with 1 <= B <= max_batch; outputs gain the
   // same leading B axis. Row b is bit-identical to Predict of window b.
-  StatusOr<Tensor> PredictBatch(const Tensor& batch);
+  //
+  // Trace protocol: when `trace` is null (a direct caller) this is an
+  // admission point — the session mints a TraceContext, observes the
+  // serve/compute_us histogram itself and pushes a compute span for sampled
+  // calls. When the MicroBatcher passes a context, the session only fills
+  // compute_start/compute_end and the batcher attributes the interval to
+  // each member of the batch.
+  StatusOr<Tensor> PredictBatch(const Tensor& batch,
+                                TraceContext* trace = nullptr);
 
   // Reconstruction sessions only: per-window anomaly score [B] = mean
   // squared reconstruction error over channels and time (scaled units, the

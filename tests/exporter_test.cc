@@ -1,0 +1,218 @@
+// Tests for the sampled trace ring (obs/ring.h) and the background
+// telemetry exporter (obs/exporter.h): seqlock integrity under concurrent
+// writers, drop-oldest wraparound, chrome://tracing rendering, JSONL
+// snapshot schema, flush-on-shutdown, and trace dump servicing.
+#include "obs/exporter.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/ring.h"
+
+namespace msd {
+namespace obs {
+namespace {
+
+// Parallel ctest runs each test as its own process in a shared temp
+// directory, so paths must be pid-unique.
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "exporter_test_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(TraceRingTest, PushAndSnapshotPreserveOrderAndFields) {
+  TraceRing ring(/*capacity=*/8);
+  ring.Push({1, "queue", 100, 10});
+  ring.Push({1, "compute", 110, 50});
+  ring.Push({2, "queue", 105, 20});
+  const auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].request_id, 1);
+  EXPECT_STREQ(spans[0].name, "queue");
+  EXPECT_EQ(spans[0].start_us, 100);
+  EXPECT_EQ(spans[0].dur_us, 10);
+  EXPECT_STREQ(spans[1].name, "compute");
+  EXPECT_EQ(spans[2].request_id, 2);
+}
+
+TEST(TraceRingTest, WraparoundDropsOldestKeepsNewest) {
+  TraceRing ring(/*capacity=*/4);
+  for (int64_t i = 0; i < 10; ++i) {
+    ring.Push({i, "span", i * 100, 1});
+  }
+  EXPECT_EQ(ring.pushed(), 10);
+  const auto spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Fixed capacity, drop-oldest: only the last 4 pushes survive, in order.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].request_id, 6 + static_cast<int64_t>(i));
+  }
+}
+
+TEST(TraceRingTest, SampledIsOneInN) {
+  TraceRing ring;
+  ring.SetSampleEvery(4);
+  EXPECT_TRUE(ring.Sampled(0));
+  EXPECT_FALSE(ring.Sampled(1));
+  EXPECT_FALSE(ring.Sampled(3));
+  EXPECT_TRUE(ring.Sampled(8));
+  ring.SetSampleEvery(1);
+  EXPECT_TRUE(ring.Sampled(7));
+  ring.SetSampleEvery(0);  // sampling disabled entirely
+  EXPECT_FALSE(ring.Sampled(0));
+  EXPECT_FALSE(ring.Sampled(16));
+}
+
+TEST(TraceRingTest, ClearEmptiesTheRing) {
+  TraceRing ring(/*capacity=*/4);
+  ring.Push({1, "span", 0, 1});
+  ASSERT_EQ(ring.Snapshot().size(), 1u);
+  ring.Clear();
+  EXPECT_EQ(ring.Snapshot().size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0);
+}
+
+TEST(TraceRingTest, ChromeTraceJsonParsesWithExpectedFields) {
+  TraceRing ring(/*capacity=*/8);
+  ring.Push({42, "queue", 1000, 250});
+  ring.Push({42, "compute", 1250, 500});
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(ring.ChromeTraceJson(), &doc));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 2u);
+  const JsonValue& first = events->array[0];
+  EXPECT_EQ(first.Find("name")->str, "queue");
+  EXPECT_EQ(first.Find("ph")->str, "X");
+  // tid = request id groups every span of one request onto its own row.
+  EXPECT_DOUBLE_EQ(first.Find("tid")->number, 42.0);
+  EXPECT_DOUBLE_EQ(first.Find("ts")->number, 1000.0);
+  EXPECT_DOUBLE_EQ(first.Find("dur")->number, 250.0);
+}
+
+TEST(TraceRingTest, ConcurrentPushersNeverTearRecords) {
+  // Hammer a tiny ring from many writers while a reader snapshots: the
+  // seqlock must never surface a record whose fields disagree (each pusher
+  // writes spans where dur == request_id, so a mismatch = torn record).
+  TraceRing ring(/*capacity=*/16);
+  constexpr int kThreads = 4;
+  constexpr int kPushes = 5000;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> torn{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      for (const TraceSpan& span : ring.Snapshot()) {
+        if (span.dur_us != span.request_id) torn.fetch_add(1);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&ring, t] {
+      for (int i = 0; i < kPushes; ++i) {
+        const int64_t id = t * kPushes + i;
+        ring.Push({id, "span", id * 10, id});
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(ring.pushed(), int64_t{kThreads} * kPushes);
+}
+
+TEST(TelemetryExporterTest, WritesParseableSnapshotLinesAndFinalFlush) {
+  const std::string path = TempPath("snapshots.jsonl");
+  MetricsRegistry::Global().GetCounter("serve/requests_total");  // ensure key
+  TelemetryExporterOptions options;
+  options.path = path;
+  options.interval_ms = 20;
+  TelemetryExporter exporter(options);
+  ASSERT_TRUE(exporter.Start());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  exporter.Stop();
+  // t=0 line, at least one periodic tick, and the flush-on-shutdown line.
+  EXPECT_GE(exporter.snapshots_written(), 3);
+
+  std::istringstream lines(ReadWholeFile(path));
+  std::string line;
+  int64_t parsed = 0;
+  double last_seq = -1.0;
+  while (std::getline(lines, line)) {
+    JsonValue doc;
+    ASSERT_TRUE(JsonParse(line, &doc)) << "line " << parsed;
+    ASSERT_TRUE(doc.is_object());
+    ASSERT_NE(doc.Find("ts_ms"), nullptr);
+    const JsonValue* seq = doc.Find("seq");
+    ASSERT_NE(seq, nullptr);
+    EXPECT_GT(seq->number, last_seq);  // strictly increasing
+    last_seq = seq->number;
+    const JsonValue* metrics = doc.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_NE(metrics->Find("counters")->Find("serve/requests_total"),
+              nullptr);
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, exporter.snapshots_written());
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryExporterTest, StartFailsOnUnwritablePath) {
+  TelemetryExporterOptions options;
+  options.path = "/nonexistent_dir_for_exporter_test/out.jsonl";
+  TelemetryExporter exporter(options);
+  EXPECT_FALSE(exporter.Start());
+}
+
+TEST(TelemetryExporterTest, EmptyPathServicesDumpsWithoutSnapshotFile) {
+  TraceRing::Global().Clear();
+  TraceRing::Global().Push({7, "compute", 100, 50});
+  TelemetryExporter exporter(TelemetryExporterOptions{});
+  ASSERT_TRUE(exporter.Start());
+  const std::string dump = TempPath("dump.json");
+  EXPECT_TRUE(exporter.RequestTraceDump(dump).get());
+  exporter.Stop();
+  EXPECT_EQ(exporter.snapshots_written(), 0);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParse(ReadWholeFile(dump), &doc));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const JsonValue& event : events->array) {
+    found = found || (event.Find("tid") != nullptr &&
+                      event.Find("tid")->number == 7.0);
+  }
+  EXPECT_TRUE(found);
+  std::remove(dump.c_str());
+}
+
+TEST(TelemetryExporterTest, DumpAfterStopResolvesFalse) {
+  TelemetryExporter exporter(TelemetryExporterOptions{});
+  ASSERT_TRUE(exporter.Start());
+  exporter.Stop();
+  EXPECT_FALSE(exporter.RequestTraceDump(TempPath("late.json")).get());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace msd

@@ -2,6 +2,7 @@
 // span nesting + self-time accounting, JSON snapshot round-trips, and
 // thread-safety of the hot-path instruments.
 #include <atomic>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -50,6 +51,25 @@ TEST(GaugeTest, SetMaxKeepsMaximum) {
   EXPECT_DOUBLE_EQ(g.value(), 11.0);
 }
 
+TEST(GaugeTest, SetMaxIsRaceFreeUnderContention) {
+  // Regression for the SetMax CAS loop: with many writers racing, the final
+  // value must be the global maximum — a torn read-modify-write would let a
+  // smaller late writer overwrite a larger earlier one.
+  Gauge g;
+  constexpr int kThreads = 8;
+  constexpr int kValues = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g, t] {
+      for (int i = 0; i < kValues; ++i) {
+        g.SetMax(static_cast<double>(t * kValues + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kValues - 1));
+}
+
 TEST(HistogramTest, BucketsCountAndSum) {
   Histogram h({1.0, 10.0, 100.0});
   h.Observe(0.5);    // bucket 0 (<= 1)
@@ -67,6 +87,69 @@ TEST(HistogramTest, BucketsCountAndSum) {
   h.Reset();
   EXPECT_EQ(h.count(), 0);
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(QuantileTest, ExactRanksAndInterpolation) {
+  // Counts go through a real Histogram rather than a hand-written array so
+  // the test covers the exact BucketCounts() layout QuantileFromBuckets
+  // documents: 5 observations in (0,10], 5 in (10,20], none beyond.
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 5; ++i) h.Observe(5.0);
+  for (int i = 0; i < 5; ++i) h.Observe(15.0);
+  const std::vector<double>& bounds = h.upper_bounds();
+  const std::vector<int64_t> counts = h.BucketCounts();
+  // rank 5 is the last observation of bucket (0,10]: its upper edge.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.5), 10.0);
+  // rank 9 is the 4th of 5 in (10,20]: 10 + 10 * 4/5.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 0.9), 18.0);
+  // q=1 hits the last observation: the top of its bucket.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, 1.0), 20.0);
+  // q clamps below at the first observation's interpolated position.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, counts, -1.0), 2.0);
+  // Histogram::ValueAtQuantile is the same computation end to end.
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.9), 18.0);
+}
+
+TEST(QuantileTest, OverflowBucketClampsToLargestBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 3; ++i) h.Observe(9.0);  // everything overflows
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.99), 2.0);
+}
+
+TEST(QuantileTest, EmptyHistogramReturnsZero) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(QuantileTest, ValueAtQuantileMatchesExactOnLogSpacedBuckets) {
+  // 1000 uniform observations over [1, 10000): interpolated quantiles on
+  // 32-per-decade log buckets must land within one bucket ratio (~7.5%) of
+  // the exact empirical quantile.
+  Histogram h(LogSpacedBounds(1.0, 1e5, 32));
+  for (int i = 0; i < 1000; ++i) h.Observe(1.0 + i * 10.0);
+  for (const double q : {0.5, 0.95, 0.99}) {
+    const double exact = 1.0 + (std::ceil(q * 1000.0) - 1.0) * 10.0;
+    const double approx = h.ValueAtQuantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.075) << "q=" << q;
+  }
+}
+
+TEST(LogSpacedBoundsTest, CoversRangeMonotonically) {
+  const std::vector<double> bounds = LogSpacedBounds(1.0, 100.0, 1);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_NEAR(bounds[1], 10.0, 1e-9);
+  EXPECT_NEAR(bounds[2], 100.0, 1e-7);
+
+  const std::vector<double> fine = LogSpacedBounds(1.0, 1e7, 48);
+  EXPECT_GE(fine.back(), 1e7);
+  for (size_t i = 1; i < fine.size(); ++i) {
+    EXPECT_GT(fine[i], fine[i - 1]);
+    // Adjacent bounds stay ~4.9% apart: the quantile interpolation error
+    // bound the serving agreement gate relies on.
+    EXPECT_LT(fine[i] / fine[i - 1], 1.05);
+  }
 }
 
 TEST(MetricsRegistryTest, HandlesAreStableAndSurviveReset) {

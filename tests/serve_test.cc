@@ -6,9 +6,13 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -16,8 +20,12 @@
 
 #include "datagen/series_builder.h"
 #include "nn/serialize.h"
+#include "obs/exporter.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/ring.h"
 #include "runtime/parallel.h"
+#include "serve/trace.h"
 #include "tasks/pipeline.h"
 #include "tensor/tensor_ops.h"
 
@@ -53,8 +61,11 @@ MsdMixerConfig SmallConfig(TaskType task) {
 }
 
 // Random-init mixer -> checkpoint -> session, no training involved.
+// `synthetic_compute_us` pads every forward with a busy-spin so timing tests
+// can make compute dominate scheduling noise.
 std::unique_ptr<serve::InferenceSession> MakeSession(
-    TaskType task, int64_t max_batch = 8, const std::string& tag = "s") {
+    TaskType task, int64_t max_batch = 8, const std::string& tag = "s",
+    int64_t synthetic_compute_us = 0) {
   MsdMixerConfig config = SmallConfig(task);
   Rng rng(17);
   MsdMixer mixer(config, rng);
@@ -63,6 +74,7 @@ std::unique_ptr<serve::InferenceSession> MakeSession(
   serve::InferenceSessionConfig sc;
   sc.model = config;
   sc.max_batch = max_batch;
+  sc.synthetic_compute_us = synthetic_compute_us;
   auto session = serve::InferenceSession::Create(sc, path);
   std::remove(path.c_str());
   EXPECT_TRUE(session.ok()) << session.status().ToString();
@@ -328,6 +340,183 @@ TEST(ServerLoopTest, ParseAndFormatAreInverses) {
   auto reparsed = serve::ParseWindowLine(rendered, 2, 3);
   ASSERT_TRUE(reparsed.ok());
   EXPECT_TRUE(BitIdentical(parsed.value(), reparsed.value()));
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(MicroBatcherTest, TimingDecompositionSeparatesQueueFromCompute) {
+  // A slow model makes the phases unambiguous: with one worker mid-compute
+  // (50ms spin), two requests submitted behind it must sit in the queue for
+  // at least the remaining compute time — far beyond the 5ms coalescing
+  // delay — while their own compute span stays >= the spin length. Sampling
+  // every request lets the ring report the per-phase spans directly.
+  obs::TraceRing& ring = obs::TraceRing::Global();
+  const int64_t old_sample = ring.sample_every();
+  ring.SetSampleEvery(1);
+
+  constexpr int64_t kComputeUs = 50000;
+  auto session = MakeSession(TaskType::kForecast, /*max_batch=*/8, "slow",
+                             /*synthetic_compute_us=*/kComputeUs);
+  serve::MicroBatcherConfig config;
+  config.max_batch = 2;
+  config.max_delay_us = 5000;
+  config.num_workers = 1;
+  serve::MicroBatcher batcher(session.get(), config);
+  batcher.Start();
+  // Session creation runs a warmup forward that records its own compute
+  // span; drop it so the snapshot below holds exactly our three requests.
+  ring.Clear();
+
+  const int64_t queue_before = serve::Instruments().queue_us.count();
+  const int64_t compute_before = serve::Instruments().compute_us.count();
+  const int64_t e2e_before = serve::Instruments().e2e_us.count();
+
+  serve::ResultFuture first;
+  ASSERT_TRUE(batcher.Submit(RandomWindow(400), &first).ok());
+  // Let the worker pick up the first request (max_delay 5ms) and enter its
+  // 50ms compute before lining up the coalesced pair behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  serve::ResultFuture second;
+  serve::ResultFuture third;
+  ASSERT_TRUE(batcher.Submit(RandomWindow(401), &second).ok());
+  ASSERT_TRUE(batcher.Submit(RandomWindow(402), &third).ok());
+  ASSERT_TRUE(first.get().ok());
+  ASSERT_TRUE(second.get().ok());
+  ASSERT_TRUE(third.get().ok());
+  batcher.Stop();
+
+  // Every request observes each phase exactly once.
+  EXPECT_EQ(serve::Instruments().queue_us.count(), queue_before + 3);
+  EXPECT_EQ(serve::Instruments().compute_us.count(), compute_before + 3);
+  EXPECT_EQ(serve::Instruments().e2e_us.count(), e2e_before + 3);
+
+  // Group ring spans by request: 3 sampled requests x 3 phases.
+  std::map<int64_t, std::map<std::string, int64_t>> spans;
+  for (const obs::TraceSpan& span : ring.Snapshot()) {
+    spans[span.request_id][span.name] = span.dur_us;
+  }
+  ring.SetSampleEvery(old_sample);
+  ASSERT_EQ(spans.size(), 3u);
+  const int64_t first_id = spans.begin()->first;
+  for (const auto& [id, phases] : spans) {
+    ASSERT_EQ(phases.size(), 3u) << "request " << id;
+    // The spin runs inside the forward, so compute >= the configured pad.
+    EXPECT_GE(phases.at("compute"), kComputeUs - 1000) << "request " << id;
+    if (id == first_id) continue;
+    // The coalesced pair waited out the head request's compute: queue-wait
+    // must dwarf the coalescing delay, and the decomposition must attribute
+    // that wait to the queue phase, not to batch assembly.
+    EXPECT_GE(phases.at("queue"), config.max_delay_us) << "request " << id;
+    EXPECT_LT(phases.at("batch_assembly"), kComputeUs) << "request " << id;
+  }
+}
+
+TEST(MicroBatcherTest, DeadlineMissCounterTracksExpiredRequests) {
+  auto session = MakeSession(TaskType::kForecast);
+  serve::MicroBatcherConfig config;
+  serve::MicroBatcher batcher(session.get(), config);
+  const Tensor window = RandomWindow(4);
+  const int64_t misses_before = serve::Instruments().deadline_miss.value();
+
+  // Same deterministic-expiry setup as ExpiredRequestsResolveWithDeadline-
+  // Exceeded: the lapsed request must bump serve/deadline_miss exactly once,
+  // and the successful one must not move it.
+  serve::ResultFuture expired;
+  ASSERT_TRUE(batcher.Submit(window, &expired, /*timeout_us=*/1000).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  batcher.Start();
+  ASSERT_EQ(expired.get().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(serve::Instruments().deadline_miss.value(), misses_before + 1);
+
+  serve::ResultFuture live;
+  ASSERT_TRUE(batcher.Submit(window, &live, /*timeout_us=*/5000000).ok());
+  ASSERT_TRUE(live.get().ok());
+  batcher.Stop();
+  EXPECT_EQ(serve::Instruments().deadline_miss.value(), misses_before + 1);
+}
+
+TEST(ServerLoopTest, StatsCommandReportsCountersAndQuantiles) {
+  auto session = MakeSession(TaskType::kForecast);
+  serve::MicroBatcherConfig config;
+  config.max_delay_us = 200;
+  serve::ServerLoop server(session.get(), config);
+  server.Start();
+  ASSERT_EQ(server.HandleLine(serve::FormatTensorLine(RandomWindow(12)))
+                .rfind("ERROR", 0),
+            std::string::npos);
+
+  const std::string reply = server.HandleLine("STATS");
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(reply, &doc)) << reply;
+  const obs::JsonValue* requests = doc.Find("requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->number, 1.0);
+  ASSERT_NE(doc.Find("deadline_miss"), nullptr);
+  ASSERT_NE(doc.Find("inflight"), nullptr);
+  for (const char* name :
+       {"queue_us", "batch_assembly_us", "compute_us", "e2e_us"}) {
+    const obs::JsonValue* hist = doc.Find(name);
+    ASSERT_NE(hist, nullptr) << name;
+    ASSERT_NE(hist->Find("count"), nullptr) << name;
+    ASSERT_NE(hist->Find("p50"), nullptr) << name;
+    ASSERT_NE(hist->Find("p99"), nullptr) << name;
+    EXPECT_GE(hist->Find("p99")->number, hist->Find("p50")->number) << name;
+  }
+  // The command itself is whitespace-tolerant.
+  EXPECT_EQ(server.HandleLine("  STATS  ").rfind("ERROR", 0),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(ServerLoopTest, TraceCommandRequiresExporterAndWritesChromeJson) {
+  obs::TraceRing& ring = obs::TraceRing::Global();
+  const int64_t old_sample = ring.sample_every();
+  ring.SetSampleEvery(1);
+  ring.Clear();
+
+  auto session = MakeSession(TaskType::kForecast);
+  serve::MicroBatcherConfig config;
+  config.max_delay_us = 200;
+  serve::ServerLoop server(session.get(), config);
+  server.Start();
+
+  // Without a wired exporter there is no thread allowed to do file I/O.
+  EXPECT_EQ(server.HandleLine("TRACE /tmp/never_written.json").rfind("ERROR", 0),
+            0u);
+
+  obs::TelemetryExporter exporter(obs::TelemetryExporterOptions{});
+  ASSERT_TRUE(exporter.Start());
+  server.SetExporter(&exporter);
+  EXPECT_EQ(server.HandleLine("TRACE").rfind("ERROR", 0), 0u);  // path missing
+
+  ASSERT_EQ(server.HandleLine(serve::FormatTensorLine(RandomWindow(13)))
+                .rfind("ERROR", 0),
+            std::string::npos);
+  const std::string dump = TempPath("trace_dump.json");
+  EXPECT_EQ(server.HandleLine("TRACE " + dump).rfind("OK", 0), 0u);
+  server.Stop();
+  exporter.Stop();
+  ring.SetSampleEvery(old_sample);
+
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(ReadWholeFile(dump), &doc));
+  const obs::JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<std::string> names;
+  for (const obs::JsonValue& event : events->array) {
+    ASSERT_NE(event.Find("name"), nullptr);
+    names.push_back(event.Find("name")->str);
+  }
+  for (const char* phase : {"queue", "batch_assembly", "compute"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), phase), names.end())
+        << phase;
+  }
+  std::remove(dump.c_str());
 }
 
 }  // namespace

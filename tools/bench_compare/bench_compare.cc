@@ -12,8 +12,11 @@
 //     each span label maps to total_ms / count, i.e. mean wall-clock per
 //     call, again invariant to how many calls the run happened to make.
 //     Snapshots from bench_serving additionally contribute their
-//     serve/latency_p{50,95,99}_us gauges, so serving tail latency gates
-//     like any other timing.
+//     serve/latency_p{50,95,99}_us gauges (the clients' own clocks), and —
+//     the gated source of truth — p50/p95/p99 derived from every
+//     metrics.histograms entry named serve/*_us via the same bucket
+//     interpolation the server uses (obs::QuantileFromBuckets), keyed
+//     "serve/e2e_us/p99" style.
 //
 // Only names present in BOTH files are compared; additions and removals are
 // listed as informational. A name whose current time exceeds baseline by
@@ -30,6 +33,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -109,6 +113,48 @@ void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   }
 }
 
+// Server-side latency quantiles from histogram snapshots: every
+// metrics.histograms entry named serve/*_us ({"count":…,"sum":…,
+// "buckets":[{"le":<bound|"inf">,"count":…},…]}) contributes
+// "<name>/p50" / "/p95" / "/p99" entries computed with the same
+// interpolation Histogram::ValueAtQuantile uses in the live server.
+void ExtractServeHistogramQuantiles(const JsonValue& doc, TimeMap* out) {
+  const JsonValue* metrics = doc.Find("metrics");
+  if (metrics == nullptr) return;
+  const JsonValue* histograms = metrics->Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) return;
+  for (const auto& [name, hist] : histograms->object) {
+    if (name.rfind("serve/", 0) != 0 ||
+        name.rfind("_us") != name.size() - 3) {
+      continue;
+    }
+    const JsonValue* buckets = hist.Find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) continue;
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;
+    int64_t total = 0;
+    for (const JsonValue& bucket : buckets->array) {
+      const JsonValue* le = bucket.Find("le");
+      const JsonValue* count = bucket.Find("count");
+      if (le == nullptr || count == nullptr || !count->is_number()) {
+        bounds.clear();
+        break;
+      }
+      // The overflow bucket's bound renders as the string "inf" and takes
+      // no bounds entry (counts is one longer than bounds by contract).
+      if (le->is_number()) bounds.push_back(le->number);
+      counts.push_back(static_cast<int64_t>(count->number));
+      total += static_cast<int64_t>(count->number);
+    }
+    if (bounds.empty() || counts.size() != bounds.size() + 1 || total == 0) {
+      continue;
+    }
+    (*out)[name + "/p50"] = msd::obs::QuantileFromBuckets(bounds, counts, 0.50);
+    (*out)[name + "/p95"] = msd::obs::QuantileFromBuckets(bounds, counts, 0.95);
+    (*out)[name + "/p99"] = msd::obs::QuantileFromBuckets(bounds, counts, 0.99);
+  }
+}
+
 bool LoadTimes(const std::string& path, TimeMap* out) {
   std::string text;
   if (!ReadFile(path, &text)) {
@@ -123,6 +169,7 @@ bool LoadTimes(const std::string& path, TimeMap* out) {
   }
   if (ExtractGoogleBenchmark(doc, out) || ExtractTelemetrySpans(doc, out)) {
     ExtractServeLatencyGauges(doc, out);
+    ExtractServeHistogramQuantiles(doc, out);
     if (out->empty()) {
       std::fprintf(stderr, "bench_compare: %s contains no entries\n",
                    path.c_str());

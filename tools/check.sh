@@ -7,9 +7,11 @@
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
 #                 full ctest including lint_check and gradcheck_sweep, plus a
 #                 quickstart run whose training losses are captured, a
-#                 thread-scaling bench snapshot (BENCH_threads.json), and a
+#                 thread-scaling bench snapshot (BENCH_threads.json), a
 #                 serving load snapshot (BENCH_serve.json from
-#                 bench_serving --threads 4).
+#                 bench_serving --threads 4, including the serve/* histogram
+#                 telemetry), and an msd_serve --selftest pass that validates
+#                 the telemetry exporter's JSONL output end to end.
 #   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
 #                 must be bit-identical to the release leg — the invariant
 #                 layer must observe, never perturb.
@@ -19,8 +21,9 @@
 #                 every parallel kernel (src/runtime dispatch), the
 #                 profiler's per-thread merge, the trainer path, and the
 #                 serving stack (serve_test's concurrent micro-batcher
-#                 clients, msd_serve_selftest, bench_serving_smoke) run on a
-#                 real multi-threaded pool under the race detector.
+#                 clients, exporter_test's trace-ring writer/reader races,
+#                 msd_serve_selftest, bench_serving_smoke) run on a real
+#                 multi-threaded pool under the race detector.
 #
 # Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
 #        [--bench-baseline FILE] [--serve-baseline FILE]
@@ -149,6 +152,19 @@ for leg in "${LEGS[@]}"; do
           DETAIL[release]="${DETAIL[release]}; BENCH_serve.json recorded"
         else
           fail_leg release "serving load snapshot failed"
+        fi
+      fi
+      if [[ "${STATUS[release]}" == "PASS" ]]; then
+        # Serving telemetry self-check: --selftest drives the STATS / TRACE
+        # admin commands against a live server and validates every JSONL
+        # line the exporter wrote (ts_ms/seq/metrics schema, parsed with
+        # src/obs/json.h) before exiting.
+        note "leg release: msd_serve selftest + telemetry validation"
+        if "${CHECK_DIR}/release/tools/msd_serve" --selftest \
+            --telemetry-out "${CHECK_DIR}/release/selftest_telemetry.jsonl"; then
+          DETAIL[release]="${DETAIL[release]}; telemetry JSONL validated"
+        else
+          fail_leg release "msd_serve selftest / telemetry validation failed"
         fi
       fi
       if [[ "${STATUS[release]}" == "PASS" && -n "${SERVE_BASELINE}" ]]; then

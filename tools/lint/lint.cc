@@ -31,6 +31,13 @@
 //                  the batch behind a syscall. Transport and logging IO
 //                  belong in the front-ends (tools/msd_serve, bench).
 //                  snprintf-style pure formatting is fine.
+//   metric-name-taxonomy
+//                  string literals passed to GetCounter/GetGauge/
+//                  GetHistogram must follow the docs/OBSERVABILITY.md
+//                  taxonomy: two or more '/'-separated segments of
+//                  [a-z0-9_] ("serve/queue_us"), so dashboards can group by
+//                  subsystem prefix. Dynamically-built names are not
+//                  statically checkable and are skipped.
 //
 // Usage: msd_lint <repo-root> — prints violations as file:line: rule:
 // message and exits nonzero if any rule fired. Add a rule by extending
@@ -189,6 +196,73 @@ bool HasOwningFloatVector(const std::string& line) {
   return false;
 }
 
+// "serve/queue_us"-style taxonomy: at least two non-empty '/'-separated
+// segments, each limited to [a-z0-9_]. (Hand-rolled — std::regex is avoided,
+// see CheckHeaderGuard.)
+bool IsTaxonomyName(const std::string& name) {
+  int segments = 1;
+  bool segment_empty = true;
+  for (const char c : name) {
+    if (c == '/') {
+      if (segment_empty) return false;
+      ++segments;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return segments >= 2 && !segment_empty;
+}
+
+// metric-name-taxonomy: scans the whole file (literals kept, comments
+// blanked) so registry calls whose name literal sits on the next line are
+// still caught. Calls whose first argument is not a string literal carry a
+// dynamically-built name and are skipped.
+void CheckMetricNames(const std::string& directive_text, const std::string& rel,
+                      std::vector<Violation>* violations) {
+  const size_t size = directive_text.size();
+  for (const char* call : {"GetCounter", "GetGauge", "GetHistogram"}) {
+    const std::string token = call;
+    for (size_t pos = directive_text.find(token); pos != std::string::npos;
+         pos = directive_text.find(token, pos + 1)) {
+      if (!IsWholeWordAt(directive_text, pos, token.size())) continue;
+      size_t after = pos + token.size();
+      while (after < size &&
+             std::isspace(static_cast<unsigned char>(directive_text[after])) !=
+                 0) {
+        ++after;
+      }
+      if (after >= size || directive_text[after] != '(') continue;
+      ++after;
+      while (after < size &&
+             std::isspace(static_cast<unsigned char>(directive_text[after])) !=
+                 0) {
+        ++after;
+      }
+      if (after >= size || directive_text[after] != '"') continue;
+      const size_t name_start = after + 1;
+      const size_t name_end = directive_text.find('"', name_start);
+      if (name_end == std::string::npos) continue;
+      const std::string name =
+          directive_text.substr(name_start, name_end - name_start);
+      if (!IsTaxonomyName(name)) {
+        const int line_number =
+            1 + static_cast<int>(std::count(
+                    directive_text.begin(),
+                    directive_text.begin() + static_cast<std::ptrdiff_t>(pos),
+                    '\n'));
+        violations->push_back(
+            {rel, line_number, "metric-name-taxonomy",
+             "metric name \"" + name +
+                 "\" must be two or more '/'-separated [a-z0-9_] segments "
+                 "(docs/OBSERVABILITY.md taxonomy)"});
+      }
+    }
+  }
+}
+
 void CheckHeaderGuard(const std::string& raw_text, const std::string& rel,
                       std::vector<Violation>* violations) {
   if (raw_text.find("#pragma once") != std::string::npos) return;
@@ -226,6 +300,7 @@ void CheckFile(const fs::path& path, const std::string& rel,
       StripComments(raw_text, /*strip_literals=*/false);
 
   if (path.extension() == ".h") CheckHeaderGuard(raw_text, rel, violations);
+  CheckMetricNames(directive_text, rel, violations);
 
   const bool alloc_sensitive = rel.rfind("src/tensor/", 0) == 0 ||
                                rel.rfind("src/autograd/", 0) == 0;

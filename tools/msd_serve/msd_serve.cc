@@ -5,20 +5,28 @@
 //
 //   msd_serve <checkpoint> [--lookback N] [--horizon N] [--model-dim N]
 //             [--hidden-dim N] [--max-batch N] [--max-delay-us N]
-//             [--workers N] [--socket PATH]
-//   msd_serve --selftest
+//             [--workers N] [--socket PATH] [--telemetry-out FILE]
+//             [--telemetry-interval-ms N] [--trace-sample N]
+//   msd_serve --selftest [--telemetry-out FILE]
 //
 // By default requests are read from stdin and answered on stdout (shell
 // pipelines, smoke tests). With --socket PATH the tool listens on an
 // AF_UNIX stream socket instead and serves connections one line at a time.
 // --selftest trains a small pipeline on synthetic data, serves it to
-// itself through the full text protocol, checks the responses against
-// ForecastPipeline::Predict, and exits nonzero on any mismatch — this is
+// itself through the full text protocol (data requests plus the STATS and
+// TRACE admin commands), checks the responses against
+// ForecastPipeline::Predict, validates the telemetry JSONL when
+// --telemetry-out is given, and exits nonzero on any mismatch — this is
 // the msd_serve_selftest ctest.
+//
+// Telemetry: a background obs::TelemetryExporter appends a JSONL registry
+// snapshot to --telemetry-out every --telemetry-interval-ms and services
+// the `TRACE <path>` admin command (chrome://tracing dump of the sampled
+// request ring; --trace-sample N keeps 1-in-N requests, 0 disables).
 //
 // All transport IO lives here, outside src/serve (the
 // no-blocking-io-in-serve-hot-path lint rule keeps the engine itself
-// compute-only).
+// compute-only; telemetry file writes happen on the exporter thread).
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +38,9 @@
 #include <unistd.h>
 
 #include "datagen/series_builder.h"
+#include "obs/exporter.h"
+#include "obs/json.h"
+#include "obs/ring.h"
 #include "serve/server.h"
 #include "tasks/pipeline.h"
 #include "tensor/tensor_ops.h"
@@ -66,8 +77,59 @@ void Usage(const char* argv0) {
                "usage: %s <checkpoint> [--lookback N] [--horizon N]\n"
                "          [--model-dim N] [--hidden-dim N] [--max-batch N]\n"
                "          [--max-delay-us N] [--workers N] [--socket PATH]\n"
-               "       %s --selftest\n",
+               "          [--telemetry-out FILE] [--telemetry-interval-ms N]\n"
+               "          [--trace-sample N]\n"
+               "       %s --selftest [--telemetry-out FILE]\n",
                argv0, argv0);
+}
+
+// Reads `path` and checks every line is a self-contained JSON snapshot with
+// the schema the exporter promises ({"ts_ms":..,"seq":..,"metrics":{...}}
+// with the serve counters present). Returns the number of problems found.
+int ValidateTelemetryFile(const std::string& path, int64_t min_lines) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  int failures = 0;
+  int64_t lines = 0;
+  char line[1 << 16];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lines;
+    obs::JsonValue doc;
+    if (!obs::JsonParse(line, &doc) || !doc.is_object()) {
+      std::fprintf(stderr, "telemetry: line %lld is not valid JSON\n",
+                   (long long)lines);
+      ++failures;
+      continue;
+    }
+    const obs::JsonValue* ts = doc.Find("ts_ms");
+    const obs::JsonValue* seq = doc.Find("seq");
+    const obs::JsonValue* metrics = doc.Find("metrics");
+    if (ts == nullptr || !ts->is_number() || seq == nullptr ||
+        !seq->is_number() || metrics == nullptr || !metrics->is_object()) {
+      std::fprintf(stderr, "telemetry: line %lld misses ts_ms/seq/metrics\n",
+                   (long long)lines);
+      ++failures;
+      continue;
+    }
+    const obs::JsonValue* counters = metrics->Find("counters");
+    if (counters == nullptr ||
+        counters->Find("serve/requests_total") == nullptr) {
+      std::fprintf(stderr,
+                   "telemetry: line %lld misses serve/requests_total\n",
+                   (long long)lines);
+      ++failures;
+    }
+  }
+  std::fclose(f);
+  if (lines < min_lines) {
+    std::fprintf(stderr, "telemetry: %s has %lld lines, expected >= %lld\n",
+                 path.c_str(), (long long)lines, (long long)min_lines);
+    ++failures;
+  }
+  return failures;
 }
 
 // Serves stdin line-by-line; EOF terminates cleanly.
@@ -142,9 +204,10 @@ int ServeSocket(serve::ServerLoop& server, const std::string& path) {
 }
 
 // Trains a small pipeline, round-trips it through checkpoint + text
-// protocol, and cross-checks every reply against the pipeline's own
-// Predict. Returns the process exit code.
-int SelfTest() {
+// protocol (including the STATS/TRACE admin commands), and cross-checks
+// every reply against the pipeline's own Predict. Returns the process exit
+// code.
+int SelfTest(int argc, char** argv) {
   SeriesConfig series_config;
   series_config.name = "selftest";
   series_config.length = 400;
@@ -190,6 +253,19 @@ int SelfTest() {
   serve::MicroBatcherConfig bc;
   bc.max_delay_us = 500;
   serve::ServerLoop server(session.value().get(), bc);
+
+  // Sample every request so the TRACE dump below is never empty.
+  obs::TraceRing::Global().SetSampleEvery(1);
+  const std::string telemetry_path = FlagValue(argc, argv, "--telemetry-out");
+  obs::TelemetryExporterOptions exporter_options;
+  exporter_options.path = telemetry_path;
+  exporter_options.interval_ms = 50;
+  obs::TelemetryExporter exporter(exporter_options);
+  if (!exporter.Start()) {
+    std::fprintf(stderr, "selftest: cannot open %s\n", telemetry_path.c_str());
+    return 1;
+  }
+  server.SetExporter(&exporter);
   server.Start();
 
   int failures = 0;
@@ -224,7 +300,68 @@ int SelfTest() {
                  error_reply.c_str());
     ++failures;
   }
+
+  // STATS: one JSON object with the request counters and latency quantiles.
+  const std::string stats = server.HandleLine("STATS\n");
+  obs::JsonValue stats_doc;
+  if (!obs::JsonParse(stats, &stats_doc) || !stats_doc.is_object() ||
+      stats_doc.Find("requests_total") == nullptr ||
+      stats_doc.Find("e2e_us") == nullptr) {
+    std::fprintf(stderr, "selftest: bad STATS reply: %s\n", stats.c_str());
+    ++failures;
+  }
+
+  // TRACE: the dump must parse and contain the three per-request phases.
+  char trace_path[128];
+  std::snprintf(trace_path, sizeof(trace_path),
+                "msd_serve_selftest_trace_%d.json", (int)getpid());
+  const std::string trace_reply =
+      server.HandleLine(std::string("TRACE ") + trace_path + "\n");
+  if (trace_reply.rfind("OK", 0) != 0) {
+    std::fprintf(stderr, "selftest: TRACE failed: %s\n", trace_reply.c_str());
+    ++failures;
+  } else {
+    std::FILE* tf = std::fopen(trace_path, "r");
+    std::string trace_json;
+    if (tf != nullptr) {
+      char chunk[4096];
+      size_t n;
+      while ((n = std::fread(chunk, 1, sizeof(chunk), tf)) > 0) {
+        trace_json.append(chunk, n);
+      }
+      std::fclose(tf);
+    }
+    obs::JsonValue trace_doc;
+    const obs::JsonValue* events = nullptr;
+    if (!obs::JsonParse(trace_json, &trace_doc) ||
+        (events = trace_doc.Find("traceEvents")) == nullptr ||
+        !events->is_array() || events->array.empty()) {
+      std::fprintf(stderr, "selftest: TRACE dump unparseable or empty\n");
+      ++failures;
+    } else {
+      bool saw_queue = false, saw_assembly = false, saw_compute = false;
+      for (const obs::JsonValue& event : events->array) {
+        const obs::JsonValue* name = event.Find("name");
+        if (name == nullptr || !name->is_string()) continue;
+        saw_queue = saw_queue || name->str == "queue";
+        saw_assembly = saw_assembly || name->str == "batch_assembly";
+        saw_compute = saw_compute || name->str == "compute";
+      }
+      if (!saw_queue || !saw_assembly || !saw_compute) {
+        std::fprintf(stderr,
+                     "selftest: TRACE dump misses a request phase span\n");
+        ++failures;
+      }
+    }
+  }
+  std::remove(trace_path);
+
   server.Stop();
+  exporter.Stop();
+  if (!telemetry_path.empty()) {
+    // At least the t=0 and flush-on-shutdown snapshots must be present.
+    failures += ValidateTelemetryFile(telemetry_path, /*min_lines=*/2);
+  }
   std::printf("selftest %s\n", failures == 0 ? "passed" : "FAILED");
   return failures == 0 ? 0 : 1;
 }
@@ -232,7 +369,7 @@ int SelfTest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (HasFlag(argc, argv, "--selftest")) return SelfTest();
+  if (HasFlag(argc, argv, "--selftest")) return SelfTest(argc, argv);
   if (argc < 2 || argv[1][0] == '-') {
     Usage(argv[0]);
     return 2;
@@ -261,11 +398,28 @@ int main(int argc, char** argv) {
   bc.max_delay_us = IntFlag(argc, argv, "--max-delay-us", 2000);
   bc.num_workers = IntFlag(argc, argv, "--workers", 1);
   serve::ServerLoop server(session.value().get(), bc);
+
+  const int64_t sample = IntFlag(argc, argv, "--trace-sample", 16);
+  obs::TraceRing::Global().SetSampleEvery(sample);
+  // The exporter always runs (the TRACE admin command needs it); without
+  // --telemetry-out it only services dump requests, no snapshot file.
+  obs::TelemetryExporterOptions exporter_options;
+  exporter_options.path = FlagValue(argc, argv, "--telemetry-out");
+  exporter_options.interval_ms =
+      IntFlag(argc, argv, "--telemetry-interval-ms", 1000);
+  obs::TelemetryExporter exporter(exporter_options);
+  if (!exporter.Start()) {
+    std::fprintf(stderr, "cannot open telemetry output %s\n",
+                 exporter_options.path.c_str());
+    return 1;
+  }
+  server.SetExporter(&exporter);
   server.Start();
 
   const std::string socket_path = FlagValue(argc, argv, "--socket");
   const int rc = socket_path.empty() ? ServeStdin(server)
                                      : ServeSocket(server, socket_path);
   server.Stop();
+  exporter.Stop();
   return rc;
 }
