@@ -328,6 +328,10 @@ Variable Transpose(const Variable& a, int64_t dim0, int64_t dim1) {
   return Permute(a, perm);
 }
 
+// msd-hot-path-safe: overload twin of the audited Tensor Slice — the serve
+// batcher calls the Tensor overload, but a lexical call graph cannot tell
+// overloads apart; the frozen path only reaches Variable ops through
+// MsdMixer::Run, which is audited as a unit.
 Variable Slice(const Variable& a, int64_t dim, int64_t start, int64_t length) {
   NodePtr na = a.node();
   const int64_t norm_dim = NormalizeDim(dim, a.rank());

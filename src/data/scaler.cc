@@ -15,6 +15,8 @@ void StandardScaler::Fit(const Tensor& series) {
   std_ = Maximum(Sqrt(var), Tensor::Full({1}, 1e-6f));
 }
 
+// msd-hot-path-safe: pool-backed elementwise scaling; the small
+// shape/stride vectors inside the zip kernels are audited with it.
 Tensor StandardScaler::Transform(const Tensor& x) const {
   MSD_CHECK(fitted());
   MSD_CHECK(x.rank() == 2 || x.rank() == 3);
@@ -22,6 +24,7 @@ Tensor StandardScaler::Transform(const Tensor& x) const {
   return Div(Sub(x, mean_), std_);
 }
 
+// msd-hot-path-safe: same contract as Transform.
 Tensor StandardScaler::InverseTransform(const Tensor& x) const {
   MSD_CHECK(fitted());
   MSD_CHECK(x.rank() == 2 || x.rank() == 3);

@@ -53,7 +53,11 @@ Histogram::Histogram(std::vector<double> upper_bounds)
         << "histogram bounds must be strictly increasing";
   }
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
-  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  // Construction happens-before any concurrent Observe (the registry hands
+  // the histogram out only after the constructor returns).
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Observe(double v) {
@@ -135,11 +139,14 @@ void Histogram::Reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+// msd-hot-path-safe: once-only lazy init; steady state is a pointer read.
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;
 }
 
+// msd-hot-path-safe: registration path; hot callers cache the returned
+// reference in a function-local static (see serve/trace.h Instruments).
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -147,6 +154,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name) {
   return *slot;
 }
 
+// msd-hot-path-safe: same contract as GetCounter.
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
@@ -154,6 +162,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
   return *slot;
 }
 
+// msd-hot-path-safe: same contract as GetCounter.
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -37,6 +37,7 @@ int64_t MonotonicNowNs() {
       .count();
 }
 
+// msd-hot-path-safe: once-only lazy init; steady state is a pointer read.
 Profiler& Profiler::Global() {
   static Profiler* profiler = new Profiler();  // never destroyed
   return *profiler;

@@ -9,6 +9,7 @@
 namespace msd {
 namespace obs {
 
+// msd-hot-path-safe: once-only lazy init; steady state is a pointer read.
 TraceRing& TraceRing::Global() {
   static TraceRing* ring = new TraceRing();  // never destroyed
   return *ring;
@@ -34,7 +35,13 @@ void TraceRing::Push(const TraceSpan& span) {
   Slot& slot = slots_[ticket % capacity_];
   // Seqlock write: negative seq marks the slot mid-write so a concurrent
   // Snapshot skips it; the final release store publishes ticket+1 (>0).
+  // The release fence keeps the payload stores from becoming visible before
+  // the busy marker (a release store on the marker would not order the
+  // LATER stores, so a fence is the only correct spelling here) — without
+  // it a reader on a weakly-ordered machine can observe new payload under
+  // the old seq on both reads of its validation pair and accept torn data.
   slot.seq.store(-(ticket + 1), std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   slot.request_id.store(span.request_id, std::memory_order_relaxed);
   slot.name.store(span.name, std::memory_order_relaxed);
   slot.start_us.store(span.start_us, std::memory_order_relaxed);

@@ -55,6 +55,9 @@ std::pair<int64_t, int64_t> ChunkBounds(int64_t begin, int64_t n,
   return {b, b + len};
 }
 
+// msd-hot-path-safe: the sanctioned parallelism chokepoint — the pool
+// handshake (futex wait + one lock per dispatch) is the audited design
+// (docs/RUNTIME.md); callers must not re-flag it per call site.
 void ParallelChunks(int64_t begin, int64_t end, int64_t grain,
                     const IndexedRangeFn& body) {
   const int64_t n = end - begin;
@@ -78,6 +81,7 @@ void ParallelChunks(int64_t begin, int64_t end, int64_t grain,
   });
 }
 
+// msd-hot-path-safe: same contract as ParallelChunks.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const RangeFn& body) {
   ParallelChunks(begin, end, grain,

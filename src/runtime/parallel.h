@@ -86,11 +86,15 @@ using IndexedRangeFn =
 // in parallel when the pool has threads and we are not already inside a
 // parallel region. Blocks until every chunk finished; rethrows the first
 // exception a chunk threw.
+// msd-hot-path-safe: the sanctioned parallelism chokepoint — the pool
+// handshake (futex wait + one lock per dispatch) is the audited design
+// (docs/RUNTIME.md); callers must not re-flag it per call site.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const RangeFn& body);
 
 // ParallelFor variant that also passes the chunk index, for bodies that
 // write per-chunk slots (the building block of ParallelReduce).
+// msd-hot-path-safe: same contract as ParallelFor.
 void ParallelChunks(int64_t begin, int64_t end, int64_t grain,
                     const IndexedRangeFn& body);
 

@@ -36,6 +36,8 @@ ThreadPool::ThreadPool(int64_t num_threads) {
 
 ThreadPool::~ThreadPool() { Stop(); }
 
+// msd-hot-path-safe: once-only lazy init (workers spawn on first use);
+// steady state is a pointer read.
 ThreadPool& ThreadPool::Global() {
   // Leaked (like obs::Profiler::Global) so worker threads never race static
   // destruction order at process exit.

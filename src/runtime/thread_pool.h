@@ -20,7 +20,7 @@
 //    MSD_CHECK failures abort the process directly, on whichever thread they
 //    fire — the pool adds no exception translation for those.
 //  * This is the only file in the tree allowed to spawn std::thread; the
-//    repo lint (tools/lint/lint.cc, rule no-raw-thread) enforces it.
+//    repo analyzer (tools/analyze/, rule no-raw-thread) enforces it.
 #ifndef MSDMIXER_RUNTIME_THREAD_POOL_H_
 #define MSDMIXER_RUNTIME_THREAD_POOL_H_
 

@@ -111,6 +111,7 @@ int64_t MicroBatcher::queue_depth() const {
   return static_cast<int64_t>(queue_.size());
 }
 
+// msd-hot-path: per-batch worker cycle; every request's latency includes it.
 void MicroBatcher::WorkerLoop() {
   const auto max_delay = std::chrono::microseconds(config_.max_delay_us);
   for (;;) {

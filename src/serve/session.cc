@@ -80,6 +80,7 @@ Tensor InferenceSession::RunFrozen(const Tensor& batch) {
   return mixer_->Run(Variable(batch)).prediction.value();
 }
 
+// msd-hot-path: the serving inference entry point.
 StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch,
                                                 TraceContext* trace) {
   Status valid = ValidateBatch(batch);

@@ -109,6 +109,8 @@ struct ServeInstruments {
       registry.GetHistogram("serve/e2e_us", LatencyBoundsUs());
 };
 
+// msd-hot-path-safe: once-only registration; the leaked singleton caches
+// every counter reference so steady-state use is a static pointer read.
 inline ServeInstruments& Instruments() {
   static ServeInstruments* instruments = new ServeInstruments();
   return *instruments;

@@ -10,6 +10,7 @@
 
 namespace msd {
 
+// msd-hot-path: period-detection kernel on the forward path.
 void Fft(std::vector<std::complex<double>>& data, bool inverse) {
   MSD_SPAN("tensor/fft");
   static obs::Counter& fft_calls =
@@ -43,6 +44,7 @@ void Fft(std::vector<std::complex<double>>& data, bool inverse) {
   }
 }
 
+// msd-hot-path: period-detection kernel on the forward path.
 void Rfft(const double* in, size_t n, std::vector<std::complex<double>>& out) {
   MSD_SPAN("tensor/rfft");
   static obs::Counter& rfft_calls =

@@ -162,6 +162,7 @@ void PackB(const float* b, int64_t k, int64_t n, float* packed) {
   });
 }
 
+// msd-hot-path: innermost training/serving compute kernel.
 void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
                    int64_t k, int64_t n, const float* bias, Activation act,
                    float* pre) {
@@ -205,6 +206,7 @@ void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
   });
 }
 
+// msd-hot-path: innermost training/serving compute kernel.
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, const float* bias, Activation act, float* pre) {
   if (m == 0 || n == 0) return;

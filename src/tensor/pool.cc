@@ -207,6 +207,8 @@ void Pool::ExitScope() {
 
 }  // namespace
 
+// msd-hot-path-safe: THE sanctioned hot-path allocator — steady state is a
+// size-class freelist pop under a short lock, not a system allocation.
 std::shared_ptr<float[]> AllocateShared(int64_t numel) {
   return Pool::Instance().Allocate(numel);
 }

@@ -546,6 +546,8 @@ Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
   return Permute(a, perm);
 }
 
+// msd-hot-path-safe: batch assembly over pool-backed tensors; the small
+// shape vectors are audited with it.
 Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
   MSD_DEBUG_VALIDATE_TENSOR(a, "Slice");
   const int64_t rank = a.rank();
@@ -647,6 +649,7 @@ Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
   return out;
 }
 
+// msd-hot-path-safe: same contract as Slice.
 Tensor Stack(const std::vector<Tensor>& parts) {
   MSD_CHECK(!parts.empty());
   const Shape& base = parts[0].shape();

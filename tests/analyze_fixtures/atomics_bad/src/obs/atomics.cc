@@ -1,0 +1,13 @@
+#include <atomic>
+
+namespace {
+std::atomic<int> flag{0};
+std::atomic<int> data{0};
+}  // namespace
+
+int ReadFlag() { return flag.load(std::memory_order_acquire); }
+
+void Publish(int v) {
+  data.store(v);
+  flag.store(1, std::memory_order_relaxed);
+}

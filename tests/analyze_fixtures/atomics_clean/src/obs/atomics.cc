@@ -1,0 +1,13 @@
+#include <atomic>
+
+namespace {
+std::atomic<int> flag{0};
+std::atomic<long> hits{0};
+}  // namespace
+
+int ReadFlag() { return flag.load(std::memory_order_acquire); }
+
+void Publish() {
+  hits.fetch_add(1, std::memory_order_relaxed);
+  flag.store(1, std::memory_order_release);
+}

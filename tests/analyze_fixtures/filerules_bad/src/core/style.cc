@@ -1,0 +1,12 @@
+#include "src/core/thing.h"
+#include "../core/other.h"
+#include <cassert>
+#include <iostream>
+#include <thread>
+
+void Style(int x) {
+  assert(x > 0);
+  std::cout << x;
+  std::thread t([] {});
+  t.join();
+}

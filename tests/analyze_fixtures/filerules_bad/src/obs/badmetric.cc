@@ -1,0 +1,6 @@
+void Register(int& registry) { (void)registry; }
+
+void Record(int& registry) {
+  GetCounter("BadName");
+  (void)registry;
+}

@@ -1,0 +1,3 @@
+#include <cstdio>
+
+void Reply() { std::printf("late"); }

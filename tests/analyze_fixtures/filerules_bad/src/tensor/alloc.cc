@@ -1,0 +1,11 @@
+#include <cstdlib>
+#include <vector>
+
+void Alloc() {
+  float* raw = new float[4];
+  void* p = std::malloc(4);
+  std::vector<float> buf(4);
+  (void)raw;
+  (void)p;
+  (void)buf;
+}

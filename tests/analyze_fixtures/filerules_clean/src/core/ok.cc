@@ -1,0 +1,7 @@
+#include "core/ok.h"
+
+// assert(x) in a comment must not fire, nor std::cout in a string.
+int Ok() {
+  const char* msg = "std::cout << assert(1)";
+  return msg[0];
+}

@@ -1,0 +1,4 @@
+void Record(int& registry) {
+  GetCounter("serve/requests_total");
+  (void)registry;
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include <vector>
+
+// Allowlisted owner file: the buffer construction below is the legal one.
+struct FixtureTensor {
+  std::vector<float> storage;
+};

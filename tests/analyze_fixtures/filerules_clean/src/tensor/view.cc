@@ -1,0 +1,8 @@
+#include <vector>
+
+// A reference never allocates, so it is legal outside the owner files.
+float Sum(const std::vector<float>& xs) {
+  float total = 0.0F;
+  for (float x : xs) total += x;
+  return total;
+}

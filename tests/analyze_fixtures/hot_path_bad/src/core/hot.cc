@@ -1,0 +1,19 @@
+#include <cstdio>
+#include <mutex>
+
+namespace {
+std::mutex mu;
+
+void Helper() {
+  std::FILE* f = std::fopen("x", "r");
+  if (f != nullptr) std::fclose(f);
+  std::lock_guard<std::mutex> lock(mu);
+}
+}  // namespace
+
+// msd-hot-path: fixture root.
+void HotRoot() {
+  auto* p = new int(1);
+  delete p;
+  Helper();
+}

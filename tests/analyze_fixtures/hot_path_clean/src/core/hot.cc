@@ -1,0 +1,8 @@
+// msd-hot-path-safe: audited fixture chokepoint.
+void SafeHelper() {
+  auto* p = new int(1);
+  delete p;
+}
+
+// msd-hot-path: fixture root.
+void HotRoot() { SafeHelper(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "common/b.h"
+int A();

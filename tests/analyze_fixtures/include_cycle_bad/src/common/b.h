@@ -1,0 +1,3 @@
+#pragma once
+#include "common/a.h"
+int B();

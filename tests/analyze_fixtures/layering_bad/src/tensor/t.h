@@ -1,0 +1,3 @@
+#pragma once
+#include "serve/s.h"
+int TensorThing();

@@ -1,0 +1,3 @@
+#pragma once
+#include "tensor/t.h"
+int ServeThing();

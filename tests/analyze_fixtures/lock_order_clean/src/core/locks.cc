@@ -1,0 +1,16 @@
+#include <mutex>
+
+namespace {
+std::mutex a_mu;
+std::mutex b_mu;
+}  // namespace
+
+void First() {
+  std::lock_guard<std::mutex> la(a_mu);
+  std::lock_guard<std::mutex> lb(b_mu);
+}
+
+void Second() {
+  std::lock_guard<std::mutex> la(a_mu);
+  std::lock_guard<std::mutex> lb(b_mu);
+}

@@ -1,0 +1,357 @@
+// Fixture tests for the msd_analyze passes (tools/analyze/, docs/ANALYSIS.md).
+//
+// Each pass gets a minimal violating fixture tree under
+// tests/analyze_fixtures/<name>/src and a clean twin that must stay silent.
+// The per-file rules migrated from the PR 2/5/6 token lint additionally pin
+// their diagnostic text verbatim: the suppression file keys on it and the
+// old lint's contract was grep-stable messages.
+
+#include "analyze/analyzer.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/json.h"
+
+namespace msd {
+namespace analyze {
+namespace {
+
+std::string FixtureRoot(const std::string& name) {
+  return std::string(MSD_ANALYZE_FIXTURES_DIR) + "/" + name;
+}
+
+// Runs the analyzer over one fixture tree. `suppressions` is a file name
+// inside the fixture directory; explicit files are required to exist.
+AnalyzerResult RunFixture(const std::string& fixture,
+                   const std::string& suppressions = "") {
+  AnalyzerOptions options;
+  if (!suppressions.empty()) {
+    options.suppressions_path = FixtureRoot(fixture) + "/" + suppressions;
+    options.suppressions_required = true;
+  }
+  return RunAnalyzer(FixtureRoot(fixture), options);
+}
+
+int CountRule(const AnalyzerResult& result, const std::string& rule) {
+  int n = 0;
+  for (const Finding& f : result.findings) n += f.rule == rule ? 1 : 0;
+  return n;
+}
+
+// Message of the unique finding matching (rule, file, line); "" when absent.
+std::string MessageAt(const AnalyzerResult& result, const std::string& rule,
+                      const std::string& file, int line) {
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule && f.file == file && f.line == line) return f.message;
+  }
+  return "";
+}
+
+bool HasFindingAt(const AnalyzerResult& result, const std::string& rule,
+                  const std::string& file, int line) {
+  return !MessageAt(result, rule, file, line).empty();
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: include-layering.
+// ---------------------------------------------------------------------------
+
+TEST(LayeringPass, FlagsUpwardInclude) {
+  const AnalyzerResult result = RunFixture("layering_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.unsuppressed, 1);
+  ASSERT_TRUE(HasFindingAt(result, "layering", "src/tensor/t.h", 2));
+  const std::string msg = MessageAt(result, "layering", "src/tensor/t.h", 2);
+  EXPECT_NE(msg.find("breaks the layer DAG"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("serve"), std::string::npos) << msg;
+}
+
+TEST(LayeringPass, DownwardIncludeIsSilent) {
+  const AnalyzerResult result = RunFixture("layering_clean");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.unsuppressed, 0);
+  EXPECT_TRUE(result.findings.empty());
+}
+
+TEST(LayeringPass, IncludeCycleIsAlwaysFatal) {
+  // a.h <-> b.h sit in the same subsystem (a legal layering direction), but
+  // the file-granularity cycle must still be reported.
+  const AnalyzerResult result = RunFixture("include_cycle_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  ASSERT_GE(CountRule(result, "include-cycle"), 1);
+  EXPECT_EQ(CountRule(result, "layering"), 0);
+  for (const Finding& f : result.findings) {
+    EXPECT_NE(f.message.find("include cycle (always fatal)"),
+              std::string::npos)
+        << f.message;
+  }
+}
+
+TEST(LayeringPass, RanksMatchTheDeclaredDag) {
+  EXPECT_EQ(LayerRank("common"), 0);
+  EXPECT_LT(LayerRank("tensor"), LayerRank("autograd"));
+  EXPECT_LT(LayerRank("autograd"), LayerRank("nn"));
+  EXPECT_LT(LayerRank("core"), LayerRank("serve"));
+  EXPECT_EQ(LayerRank("serve"), 9);
+  EXPECT_EQ(LayerRank("not_a_subsystem"), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: lock-order.
+// ---------------------------------------------------------------------------
+
+TEST(LockOrderPass, OpposedOrdersFormACycle) {
+  const AnalyzerResult result = RunFixture("lock_order_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  // One finding per closing acquisition: b-under-a in TakeAThenB and
+  // a-under-b in TakeBThenA each complete the two-mutex cycle.
+  EXPECT_EQ(CountRule(result, "lock-order"), 2);
+  ASSERT_TRUE(HasFindingAt(result, "lock-order", "src/core/locks.cc", 10));
+  ASSERT_TRUE(HasFindingAt(result, "lock-order", "src/core/locks.cc", 15));
+  const std::string msg =
+      MessageAt(result, "lock-order", "src/core/locks.cc", 10);
+  EXPECT_NE(msg.find("potential deadlock"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("TakeAThenB"), std::string::npos) << msg;
+  // File-scope mutexes key on the file basename, not the function, so the
+  // two functions' pairs merge into one graph.
+  EXPECT_NE(msg.find("locks.cc::a_mu"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("locks.cc::b_mu"), std::string::npos) << msg;
+}
+
+TEST(LockOrderPass, ConsistentOrderIsSilent) {
+  const AnalyzerResult result = RunFixture("lock_order_clean");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: hot-path reachability.
+// ---------------------------------------------------------------------------
+
+TEST(HotPathPass, FlagsAllocIoAndLockReachableFromRoot) {
+  const AnalyzerResult result = RunFixture("hot_path_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  // The root allocates directly; the transitively-called Helper does IO and
+  // takes a lock.
+  EXPECT_EQ(CountRule(result, "hot-path-alloc"), 1);
+  ASSERT_TRUE(HasFindingAt(result, "hot-path-alloc", "src/core/hot.cc", 16));
+  EXPECT_GE(CountRule(result, "hot-path-io"), 2);
+  ASSERT_TRUE(HasFindingAt(result, "hot-path-io", "src/core/hot.cc", 9));
+  EXPECT_EQ(CountRule(result, "hot-path-lock"), 1);
+  ASSERT_TRUE(HasFindingAt(result, "hot-path-lock", "src/core/hot.cc", 10));
+  // Findings in callees carry the call chain from the root.
+  const std::string msg =
+      MessageAt(result, "hot-path-lock", "src/core/hot.cc", 10);
+  EXPECT_NE(msg.find("HotRoot -> Helper"), std::string::npos) << msg;
+  // Nothing but the three hot-path rules fires on this fixture.
+  EXPECT_EQ(static_cast<int>(result.findings.size()),
+            CountRule(result, "hot-path-alloc") +
+                CountRule(result, "hot-path-io") +
+                CountRule(result, "hot-path-lock"));
+}
+
+TEST(HotPathPass, SafeChokepointStopsTraversal) {
+  // SafeHelper allocates but is annotated msd-hot-path-safe: neither its
+  // body nor anything past it is scanned.
+  const AnalyzerResult result = RunFixture("hot_path_clean");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: atomics audit.
+// ---------------------------------------------------------------------------
+
+TEST(AtomicsPass, FlagsDefaultOrderAndRelaxedPublish) {
+  const AnalyzerResult result = RunFixture("atomics_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.unsuppressed, 2);
+  ASSERT_TRUE(
+      HasFindingAt(result, "atomic-unannotated", "src/obs/atomics.cc", 11));
+  EXPECT_NE(MessageAt(result, "atomic-unannotated", "src/obs/atomics.cc", 11)
+                .find("data.store() takes the default memory_order_seq_cst"),
+            std::string::npos);
+  ASSERT_TRUE(HasFindingAt(result, "atomic-relaxed-publish",
+                           "src/obs/atomics.cc", 12));
+  EXPECT_NE(
+      MessageAt(result, "atomic-relaxed-publish", "src/obs/atomics.cc", 12)
+          .find("needs memory_order_release"),
+      std::string::npos);
+}
+
+TEST(AtomicsPass, AnnotatedPairingIsSilent) {
+  const AnalyzerResult result = RunFixture("atomics_clean");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Migrated per-file rules: every rule fires at its pinned line with the
+// PR 2/5/6 lint's diagnostic text, unchanged.
+// ---------------------------------------------------------------------------
+
+TEST(FileRules, EveryMigratedRuleFiresWithUnchangedText) {
+  const AnalyzerResult result = RunFixture("filerules_bad");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.files_checked, 5);
+  EXPECT_EQ(result.unsuppressed, 11);
+
+  EXPECT_EQ(MessageAt(result, "include-path", "src/core/style.cc", 1),
+            "includes are rooted at src/: drop the src/ prefix");
+  EXPECT_EQ(MessageAt(result, "include-path", "src/core/style.cc", 2),
+            "no parent-relative includes; spell the path from src/");
+  EXPECT_EQ(MessageAt(result, "no-assert", "src/core/style.cc", 8),
+            "use MSD_CHECK (common/check.h) instead of assert: it survives "
+            "NDEBUG and prints operands");
+  EXPECT_EQ(MessageAt(result, "no-cout", "src/core/style.cc", 9),
+            "library code must not write to std::cout; use stderr or the obs "
+            "subsystem");
+  EXPECT_EQ(MessageAt(result, "no-raw-thread", "src/core/style.cc", 10),
+            "std::thread outside src/runtime/: parallelism must go through "
+            "runtime::ParallelFor so MSD_THREADS determinism holds");
+  EXPECT_EQ(MessageAt(result, "header-guard", "src/core/noguard.h", 1),
+            "header has neither #pragma once nor a matching #ifndef/#define "
+            "include guard");
+  EXPECT_EQ(MessageAt(result, "no-raw-alloc", "src/tensor/alloc.cc", 5),
+            "no raw new in tensor/autograd; use make_shared/make_unique "
+            "ownership");
+  EXPECT_EQ(MessageAt(result, "no-raw-alloc", "src/tensor/alloc.cc", 6),
+            "no malloc in tensor/autograd; use RAII containers");
+  EXPECT_EQ(MessageAt(result, "no-raw-buffer", "src/tensor/alloc.cc", 7),
+            "float buffers in src/tensor come from pool::AllocateShared "
+            "(tensor/pool.h) or Tensor itself, not std::vector<float>");
+  EXPECT_EQ(
+      MessageAt(result, "no-blocking-io-in-serve-hot-path", "src/serve/io.cc",
+                3),
+      "printf in src/serve stalls every request in the batch; move "
+      "transport/logging IO to the serving front-ends");
+  EXPECT_EQ(
+      MessageAt(result, "metric-name-taxonomy", "src/obs/badmetric.cc", 4),
+      "metric name \"BadName\" must be two or more '/'-separated [a-z0-9_] "
+      "segments (docs/OBSERVABILITY.md taxonomy)");
+}
+
+TEST(FileRules, LexerViewsKeepCleanCodeSilent) {
+  // assert/std::cout inside comments and string literals, references to
+  // std::vector<float>, the allowlisted tensor.h owner, and a taxonomy-clean
+  // metric name: none of it may fire.
+  const AnalyzerResult result = RunFixture("filerules_clean");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+TEST(Suppressions, JustifiedEntriesSuppressAndAreRecorded) {
+  const AnalyzerResult result = RunFixture("atomics_bad", "suppressions.txt");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(result.unsuppressed, 0);
+  EXPECT_EQ(result.suppressed, 2);
+  for (const Finding& f : result.findings) {
+    EXPECT_TRUE(f.suppressed) << f.Key();
+    EXPECT_FALSE(f.justification.empty()) << f.Key();
+  }
+}
+
+TEST(Suppressions, UnmatchedEntryIsReportedStale) {
+  const AnalyzerResult result = RunFixture("atomics_bad", "suppressions_stale.txt");
+  ASSERT_TRUE(result.error.empty()) << result.error;
+  EXPECT_EQ(CountRule(result, "stale-suppression"), 1);
+  EXPECT_EQ(result.unsuppressed, 1);  // the stale entry itself
+  EXPECT_EQ(result.suppressed, 2);
+  // The finding points at the suppression file entry to delete.
+  ASSERT_TRUE(HasFindingAt(result, "stale-suppression",
+                           "suppressions_stale.txt", 3));
+  EXPECT_NE(MessageAt(result, "stale-suppression", "suppressions_stale.txt", 3)
+                .find("no-cout:src/obs/atomics.cc:99"),
+            std::string::npos);
+}
+
+TEST(Suppressions, MissingJustificationIsAConfigError) {
+  const AnalyzerResult result = RunFixture("atomics_bad", "suppressions_nojust.txt");
+  ASSERT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("missing a justification"), std::string::npos)
+      << result.error;
+}
+
+TEST(Suppressions, MissingExplicitFileIsAConfigError) {
+  const AnalyzerResult result = RunFixture("atomics_bad", "no_such_file.txt");
+  ASSERT_FALSE(result.error.empty());
+  EXPECT_NE(result.error.find("cannot read"), std::string::npos)
+      << result.error;
+}
+
+TEST(Analyzer, MissingSrcRootIsAConfigError) {
+  const AnalyzerResult result = RunFixture("no_such_fixture");
+  EXPECT_FALSE(result.error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------------
+
+TEST(Reports, TextKeepsTheGrepStableLintFormat) {
+  const std::string text = RenderText(RunFixture("filerules_bad"));
+  EXPECT_NE(text.find("src/core/style.cc:8: no-assert: use MSD_CHECK"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("msd_analyze: 5 files, 11 finding(s), 0 suppressed"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Reports, TextOmitsSuppressedFindings) {
+  const std::string text = RenderText(RunFixture("atomics_bad", "suppressions.txt"));
+  EXPECT_EQ(text.find("atomic-unannotated"), std::string::npos) << text;
+  EXPECT_NE(text.find("msd_analyze: 1 files, 0 finding(s), 2 suppressed"),
+            std::string::npos)
+      << text;
+}
+
+TEST(Reports, JsonParsesAndMirrorsTheResult) {
+  const AnalyzerResult result = RunFixture("filerules_bad");
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(RenderJson(result), &doc));
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.Find("files"), nullptr);
+  EXPECT_EQ(doc.Find("files")->number, 5.0);
+  EXPECT_EQ(doc.Find("unsuppressed")->number, 11.0);
+  EXPECT_EQ(doc.Find("suppressed")->number, 0.0);
+  const obs::JsonValue* findings = doc.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->array.size(), result.findings.size());
+  for (size_t i = 0; i < findings->array.size(); ++i) {
+    const obs::JsonValue& entry = findings->array[i];
+    ASSERT_TRUE(entry.is_object());
+    EXPECT_EQ(entry.Find("rule")->str, result.findings[i].rule);
+    EXPECT_EQ(entry.Find("file")->str, result.findings[i].file);
+    EXPECT_EQ(entry.Find("line")->number,
+              static_cast<double>(result.findings[i].line));
+    // The taxonomy message embeds double quotes; a parse success plus the
+    // round-tripped text proves the escaping.
+    EXPECT_EQ(entry.Find("message")->str, result.findings[i].message);
+  }
+}
+
+TEST(Reports, JsonCarriesJustificationsForSuppressedFindings) {
+  const AnalyzerResult result = RunFixture("atomics_bad", "suppressions.txt");
+  obs::JsonValue doc;
+  ASSERT_TRUE(obs::JsonParse(RenderJson(result), &doc));
+  const obs::JsonValue* findings = doc.Find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->array.size(), 2U);
+  for (const obs::JsonValue& entry : findings->array) {
+    ASSERT_NE(entry.Find("suppressed"), nullptr);
+    EXPECT_TRUE(entry.Find("suppressed")->boolean);
+    ASSERT_NE(entry.Find("justification"), nullptr);
+    EXPECT_FALSE(entry.Find("justification")->str.empty());
+  }
+}
+
+}  // namespace
+}  // namespace analyze
+}  // namespace msd

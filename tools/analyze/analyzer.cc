@@ -1,0 +1,791 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "analyze/index.h"
+#include "analyze/source.h"
+
+namespace msd {
+namespace analyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Ported per-file rules (PR 2/5/6 token lint). Diagnostic text is unchanged;
+// the suppression file and the fixture tests both depend on it.
+// ---------------------------------------------------------------------------
+
+// Library files allowed to write to std::cout (none today; CLI binaries live
+// in examples/ and bench/, outside the analyzed tree).
+const std::set<std::string>& CoutAllowlist() {
+  static const std::set<std::string> allowlist = {};
+  return allowlist;
+}
+
+// Files that implement Tensor's allocation path and so legitimately create
+// float buffers directly (the no-raw-buffer rule exempts them).
+const std::set<std::string>& BufferOwnerAllowlist() {
+  static const std::set<std::string> allowlist = {
+      "src/tensor/tensor.h",
+      "src/tensor/tensor.cc",
+      "src/tensor/pool.h",
+      "src/tensor/pool.cc",
+  };
+  return allowlist;
+}
+
+bool HasCallToken(const std::string& line, const std::string& token) {
+  return FindCall(line, token) != std::string::npos;
+}
+
+bool HasWordToken(const std::string& line, const std::string& token) {
+  return FindWord(line, token) != std::string::npos;
+}
+
+// Finds `std::vector<float>` used as an owning buffer: the token NOT
+// followed (after optional spaces) by '&'. A reference never allocates, so
+// `const std::vector<float>&` parameters stay legal outside the allocator.
+bool HasOwningFloatVector(const std::string& line) {
+  const std::string token = "std::vector<float>";
+  for (size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos > 0 && IsWordChar(line[pos - 1])) continue;
+    size_t after = pos + token.size();
+    while (after < line.size() && line[after] == ' ') ++after;
+    if (after < line.size() && line[after] == '&') continue;
+    return true;
+  }
+  return false;
+}
+
+// "serve/queue_us"-style taxonomy: at least two non-empty '/'-separated
+// segments, each limited to [a-z0-9_]. (Hand-rolled — std::regex is avoided,
+// see CheckHeaderGuard.)
+bool IsTaxonomyName(const std::string& name) {
+  int segments = 1;
+  bool segment_empty = true;
+  for (const char c : name) {
+    if (c == '/') {
+      if (segment_empty) return false;
+      ++segments;
+      segment_empty = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      segment_empty = false;
+    } else {
+      return false;
+    }
+  }
+  return segments >= 2 && !segment_empty;
+}
+
+// metric-name-taxonomy: scans the whole file (literals kept, comments
+// blanked) so registry calls whose name literal sits on the next line are
+// still caught. Calls whose first argument is not a string literal carry a
+// dynamically-built name and are skipped.
+void CheckMetricNames(const SourceFile& source, std::vector<Finding>* out) {
+  const std::string& text = source.directives;
+  const size_t size = text.size();
+  for (const char* call : {"GetCounter", "GetGauge", "GetHistogram"}) {
+    const std::string token = call;
+    for (size_t pos = FindWord(text, token); pos != std::string::npos;
+         pos = FindWord(text, token, pos + 1)) {
+      size_t after = SkipSpace(text, pos + token.size());
+      if (after >= size || text[after] != '(') continue;
+      after = SkipSpace(text, after + 1);
+      if (after >= size || text[after] != '"') continue;
+      const size_t name_start = after + 1;
+      const size_t name_end = text.find('"', name_start);
+      if (name_end == std::string::npos) continue;
+      const std::string name = text.substr(name_start, name_end - name_start);
+      if (!IsTaxonomyName(name)) {
+        out->push_back(
+            {"metric-name-taxonomy", source.rel, LineAt(text, pos),
+             "metric name \"" + name +
+                 "\" must be two or more '/'-separated [a-z0-9_] segments "
+                 "(docs/OBSERVABILITY.md taxonomy)"});
+      }
+    }
+  }
+}
+
+void CheckHeaderGuard(const SourceFile& source, std::vector<Finding>* out) {
+  const std::string& raw_text = source.raw;
+  if (raw_text.find("#pragma once") != std::string::npos) return;
+  // Hand-rolled #ifndef parse (std::regex is avoided: its libstdc++ headers
+  // trip -Werror=maybe-uninitialized under the GCC 12 sanitizer builds).
+  const size_t ifndef = raw_text.find("#ifndef");
+  if (ifndef != std::string::npos) {
+    size_t pos = ifndef + 7;
+    while (pos < raw_text.size() &&
+           (raw_text[pos] == ' ' || raw_text[pos] == '\t')) {
+      ++pos;
+    }
+    const size_t name_start = pos;
+    while (pos < raw_text.size() && IsWordChar(raw_text[pos])) ++pos;
+    if (pos > name_start) {
+      const std::string guard =
+          "#define " + raw_text.substr(name_start, pos - name_start);
+      if (raw_text.find(guard) != std::string::npos) return;
+    }
+  }
+  out->push_back({"header-guard", source.rel, 1,
+                  "header has neither #pragma once nor a matching "
+                  "#ifndef/#define include guard"});
+}
+
+void RunFileRules(const FileIndex& index, std::vector<Finding>* out) {
+  const SourceFile& source = index.source;
+  const std::string& rel = source.rel;
+
+  if (source.is_header) CheckHeaderGuard(source, out);
+  CheckMetricNames(source, out);
+
+  const bool alloc_sensitive = rel.rfind("src/tensor/", 0) == 0 ||
+                               rel.rfind("src/autograd/", 0) == 0;
+  const bool cout_allowed = CoutAllowlist().count(rel) > 0;
+  const bool thread_owner = rel.rfind("src/runtime/", 0) == 0;
+  const bool buffer_sensitive = rel.rfind("src/tensor/", 0) == 0 &&
+                                BufferOwnerAllowlist().count(rel) == 0;
+  const bool serve_hot_path = rel.rfind("src/serve/", 0) == 0;
+
+  std::istringstream lines(source.code);
+  std::istringstream directive_lines(source.directives);
+  std::string line;
+  std::string directive_line;
+  int line_number = 0;
+  while (std::getline(lines, line) &&
+         std::getline(directive_lines, directive_line)) {
+    ++line_number;
+    if (HasCallToken(line, "assert")) {
+      out->push_back({"no-assert", rel, line_number,
+                      "use MSD_CHECK (common/check.h) instead of "
+                      "assert: it survives NDEBUG and prints operands"});
+    }
+    if (!cout_allowed && line.find("std::cout") != std::string::npos) {
+      out->push_back({"no-cout", rel, line_number,
+                      "library code must not write to std::cout; use "
+                      "stderr or the obs subsystem"});
+    }
+    if (directive_line.find("#include \"src/") != std::string::npos) {
+      out->push_back({"include-path", rel, line_number,
+                      "includes are rooted at src/: drop the src/ "
+                      "prefix"});
+    }
+    if (directive_line.find("#include \"../") != std::string::npos) {
+      out->push_back({"include-path", rel, line_number,
+                      "no parent-relative includes; spell the path "
+                      "from src/"});
+    }
+    if (!thread_owner) {
+      for (const char* token : {"std::thread", "std::jthread", "std::async"}) {
+        // IsWholeWordAt also rejects "std::thread::id" etc. only on the word
+        // boundary side; the "::" suffix is fine — any spawn or member use of
+        // these types belongs behind the runtime pool.
+        if (HasWordToken(line, token)) {
+          out->push_back(
+              {"no-raw-thread", rel, line_number,
+               std::string(token) +
+                   " outside src/runtime/: parallelism must go through "
+                   "runtime::ParallelFor so MSD_THREADS determinism holds"});
+        }
+      }
+    }
+    if (serve_hot_path) {
+      // Blocking C stdio calls (snprintf/vsnprintf format into memory and
+      // are deliberately absent; whole-word matching keeps them legal).
+      for (const char* fn :
+           {"fopen", "freopen", "fclose", "fread", "fwrite", "fprintf",
+            "printf", "fscanf", "scanf", "fgets", "fputs", "puts", "fflush",
+            "getchar", "putchar", "getline", "system"}) {
+        if (HasCallToken(line, fn)) {
+          out->push_back(
+              {"no-blocking-io-in-serve-hot-path", rel, line_number,
+               std::string(fn) +
+                   " in src/serve stalls every request in the batch; move "
+                   "transport/logging IO to the serving front-ends"});
+        }
+      }
+      for (const char* token :
+           {"std::ifstream", "std::ofstream", "std::fstream", "std::cin",
+            "std::cerr", "std::clog", "std::FILE"}) {
+        if (HasWordToken(line, token)) {
+          out->push_back(
+              {"no-blocking-io-in-serve-hot-path", rel, line_number,
+               std::string(token) +
+                   " in src/serve stalls every request in the batch; move "
+                   "transport/logging IO to the serving front-ends"});
+        }
+      }
+    }
+    if (buffer_sensitive && HasOwningFloatVector(line)) {
+      out->push_back(
+          {"no-raw-buffer", rel, line_number,
+           "float buffers in src/tensor come from pool::AllocateShared "
+           "(tensor/pool.h) or Tensor itself, not std::vector<float>"});
+    }
+    if (alloc_sensitive) {
+      if (HasWordToken(line, "new") && !HasWordToken(line, "delete")) {
+        out->push_back({"no-raw-alloc", rel, line_number,
+                        "no raw new in tensor/autograd; use "
+                        "make_shared/make_unique ownership"});
+      }
+      for (const char* fn : {"malloc", "calloc", "realloc", "free"}) {
+        if (HasCallToken(line, fn)) {
+          out->push_back({"no-raw-alloc", rel, line_number,
+                          std::string("no ") + fn +
+                              " in tensor/autograd; use RAII "
+                              "containers"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: include-layering. The graph edge source is every resolved
+// `#include "sub/file.h"`; direction legality comes from LayerRank, and any
+// file-level include cycle is fatal regardless of layers.
+// ---------------------------------------------------------------------------
+
+void RunLayeringPass(const std::vector<FileIndex>& files,
+                     std::vector<Finding>* out) {
+  std::map<std::string, const FileIndex*> by_rel;
+  for (const FileIndex& f : files) by_rel[f.source.rel] = &f;
+
+  for (const FileIndex& f : files) {
+    const std::string& sub = f.source.subsystem;
+    if (sub.empty()) continue;
+    const int rank = LayerRank(sub);
+    if (rank < 0) {
+      out->push_back(
+          {"layering", f.source.rel, 1,
+           "subsystem '" + sub +
+               "' is not declared in the layer DAG; add it to LayerRank "
+               "(tools/analyze/analyzer.cc) and the DESIGN.md diagram"});
+      continue;
+    }
+    for (const IncludeSite& inc : f.includes) {
+      const auto it = by_rel.find("src/" + inc.path);
+      if (it == by_rel.end()) continue;  // system / non-repo include
+      const std::string& target = it->second->source.subsystem;
+      if (target.empty() || target == sub) continue;
+      if (target == "common" || target == "obs") continue;
+      const int target_rank = LayerRank(target);
+      if (target_rank >= 0 && target_rank < rank) continue;
+      out->push_back(
+          {"layering", f.source.rel, inc.line,
+           "include of \"" + inc.path + "\" breaks the layer DAG: " + sub +
+               " (rank " + std::to_string(rank) +
+               ") may only depend on layers below it, but " + target +
+               " has rank " + std::to_string(target_rank) +
+               " (see DESIGN.md)"});
+    }
+  }
+
+  // File-granularity include cycles — always fatal, independent of layers
+  // (the obs exception above never excuses a cycle).
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> visit = [&](const std::string& rel) {
+    color[rel] = 1;
+    stack.push_back(rel);
+    const FileIndex* f = by_rel.at(rel);
+    for (const IncludeSite& inc : f->includes) {
+      const std::string target = "src/" + inc.path;
+      const auto it = by_rel.find(target);
+      if (it == by_rel.end()) continue;
+      const int c = color[target];
+      if (c == 1) {
+        // Back edge: the cycle is the stack suffix starting at `target`.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), target);
+        std::vector<std::string> cycle(begin, stack.end());
+        std::vector<std::string> signature = cycle;
+        std::sort(signature.begin(), signature.end());
+        std::string sig_key;
+        for (const std::string& s : signature) sig_key += s + "|";
+        if (reported.insert(sig_key).second) {
+          std::string chain;
+          for (const std::string& s : cycle) chain += s + " -> ";
+          chain += target;
+          out->push_back({"include-cycle", rel, inc.line,
+                          "include cycle (always fatal): " + chain});
+        }
+      } else if (c == 0) {
+        visit(target);
+      }
+    }
+    stack.pop_back();
+    color[rel] = 2;
+  };
+  for (const FileIndex& f : files) {
+    if (color[f.source.rel] == 0) visit(f.source.rel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: lock-order. Merge every intra-function lock-under-lock pair into
+// one graph keyed by normalized mutex identity; any cycle is a potential
+// deadlock (two threads can interleave the two orders).
+// ---------------------------------------------------------------------------
+
+void RunLockOrderPass(const std::vector<FileIndex>& files,
+                      std::vector<Finding>* out) {
+  struct Edge {
+    std::string to;
+    std::string file;
+    int line = 0;
+    std::string function;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (const FileIndex& f : files) {
+    for (const FunctionInfo& fn : f.functions) {
+      for (const LockPair& pair : fn.lock_pairs) {
+        graph[pair.held.mutex_key].push_back({pair.acquired.mutex_key,
+                                              f.source.rel,
+                                              pair.acquired.line,
+                                              fn.QualifiedName()});
+      }
+    }
+  }
+
+  // For every edge a->b, a path b ~> a closes a cycle; report at the edge's
+  // acquisition site with the full chain.
+  std::set<std::string> reported;
+  for (const auto& [from, edges] : graph) {
+    for (const Edge& edge : edges) {
+      // BFS from edge.to back to `from`.
+      std::map<std::string, std::string> parent;
+      std::vector<std::string> queue = {edge.to};
+      parent[edge.to] = "";
+      bool found = edge.to == from;
+      for (size_t qi = 0; qi < queue.size() && !found; ++qi) {
+        const auto it = graph.find(queue[qi]);
+        if (it == graph.end()) continue;
+        for (const Edge& next : it->second) {
+          if (parent.count(next.to) > 0) continue;
+          parent[next.to] = queue[qi];
+          if (next.to == from) {
+            found = true;
+            break;
+          }
+          queue.push_back(next.to);
+        }
+      }
+      if (!found) continue;
+      std::vector<std::string> chain;
+      for (std::string node = from; !node.empty(); node = parent[node]) {
+        chain.push_back(node);
+        if (node == edge.to) break;
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::string text = from;
+      for (const std::string& node : chain) text += " -> " + node;
+      const std::string key = edge.file + ":" + std::to_string(edge.line);
+      if (!reported.insert(key).second) continue;
+      out->push_back(
+          {"lock-order", edge.file, edge.line,
+           "taking " + edge.to + " while holding " + from + " (in " +
+               edge.function + ") completes a lock-order cycle: " + text +
+               "; potential deadlock"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: hot-path reachability. BFS over the name-based call graph from
+// `// msd-hot-path` roots; `// msd-hot-path-safe` functions are audited
+// chokepoints — neither scanned nor expanded.
+// ---------------------------------------------------------------------------
+
+void RunHotPathPass(const std::vector<FileIndex>& files,
+                    std::vector<Finding>* out) {
+  struct Node {
+    const FileIndex* file;
+    const FunctionInfo* fn;
+  };
+  std::map<std::string, std::vector<Node>> by_name;
+  std::vector<Node> roots;
+  for (const FileIndex& f : files) {
+    for (const FunctionInfo& fn : f.functions) {
+      by_name[fn.name].push_back({&f, &fn});
+      if (fn.hot_root && !fn.hot_safe) roots.push_back({&f, &fn});
+    }
+  }
+
+  std::map<const FunctionInfo*, const FunctionInfo*> parent;
+  std::vector<Node> queue;
+  for (const Node& root : roots) {
+    if (parent.count(root.fn) > 0) continue;
+    parent[root.fn] = nullptr;
+    queue.push_back(root);
+  }
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const Node node = queue[qi];
+    for (const CallSite& call : node.fn->calls) {
+      const auto it = by_name.find(call.name);
+      if (it == by_name.end()) continue;
+      // Receiver-aware narrowing of the name-based over-approximation:
+      // `X::F(` resolves inside class X (falling back to free functions for
+      // namespace qualifiers like pool::), and `obj.F(` / `obj->F(` never
+      // resolves to a free function. Unqualified calls stay conservative —
+      // they match every candidate (implicit-this methods included).
+      std::vector<const Node*> candidates;
+      if (!call.qualifier.empty()) {
+        for (const Node& callee : it->second) {
+          if (callee.fn->class_name == call.qualifier) {
+            candidates.push_back(&callee);
+          }
+        }
+        if (candidates.empty()) {
+          for (const Node& callee : it->second) {
+            if (callee.fn->class_name.empty()) candidates.push_back(&callee);
+          }
+        }
+      } else {
+        for (const Node& callee : it->second) {
+          if (call.member && callee.fn->class_name.empty()) continue;
+          candidates.push_back(&callee);
+        }
+      }
+      for (const Node* callee : candidates) {
+        if (callee->fn == node.fn || callee->fn->hot_safe) continue;
+        if (parent.count(callee->fn) > 0) continue;
+        parent[callee->fn] = node.fn;
+        queue.push_back(*callee);
+      }
+    }
+  }
+
+  for (const Node& node : queue) {
+    if (node.fn->hot_sites.empty()) continue;
+    std::string chain = node.fn->QualifiedName();
+    for (const FunctionInfo* p = parent[node.fn]; p != nullptr;
+         p = parent[p]) {
+      chain = p->QualifiedName() + " -> " + chain;
+    }
+    for (const HotSite& site : node.fn->hot_sites) {
+      switch (site.kind) {
+        case HotSite::Kind::kAlloc:
+          out->push_back(
+              {"hot-path-alloc", node.file->source.rel, site.line,
+               "heap allocation (" + site.token +
+                   ") reachable from a hot-path root via " + chain +
+                   "; use tensor/pool.h buffers or hoist it out of the "
+                   "per-request cycle"});
+          break;
+        case HotSite::Kind::kIo:
+          out->push_back(
+              {"hot-path-io", node.file->source.rel, site.line,
+               "blocking IO (" + site.token +
+                   ") reachable from a hot-path root via " + chain +
+                   "; move transport/logging IO off the hot path"});
+          break;
+        case HotSite::Kind::kLock:
+          out->push_back(
+              {"hot-path-lock", node.file->source.rel, site.line,
+               "mutex acquisition (" + site.token +
+                   ") reachable from a hot-path root via " + chain +
+                   "; a hot-path lock serializes every request in the "
+                   "batch"});
+          break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: atomics audit.
+// ---------------------------------------------------------------------------
+
+void RunAtomicsPass(const std::vector<FileIndex>& files,
+                    std::vector<Finding>* out) {
+  for (const FileIndex& f : files) {
+    for (const AtomicOp& op : f.atomic_ops) {
+      if (!op.has_order) {
+        out->push_back(
+            {"atomic-unannotated", f.source.rel, op.line,
+             op.var + "." + op.method +
+                 "() takes the default memory_order_seq_cst; spell the "
+                 "order explicitly (relaxed for counters, release/acquire "
+                 "for publication, seq_cst only when two orders must "
+                 "agree)"});
+      }
+    }
+    // Relaxed store publishing data that readers consume with acquire: the
+    // acquire load only synchronizes with a RELEASE store of the same
+    // variable, so the pairing is broken on the publishing side.
+    std::map<std::string, std::vector<const AtomicOp*>> by_var;
+    for (const AtomicOp& op : f.atomic_ops) by_var[op.var].push_back(&op);
+    for (const auto& [var, ops] : by_var) {
+      bool has_acquire_load = false;
+      for (const AtomicOp* op : ops) {
+        if (op->method != "load") continue;
+        for (const std::string& order : op->orders) {
+          if (order == "acquire" || order == "acq_rel") {
+            has_acquire_load = true;
+          }
+        }
+      }
+      if (!has_acquire_load) continue;
+      for (const AtomicOp* op : ops) {
+        if (op->method != "store") continue;
+        bool relaxed = false;
+        for (const std::string& order : op->orders) {
+          if (order == "relaxed") relaxed = true;
+        }
+        if (!relaxed) continue;
+        out->push_back(
+            {"atomic-relaxed-publish", f.source.rel, op->line,
+             "relaxed store of " + var +
+                 " publishes a value that is read with memory_order_acquire "
+                 "in this file; the publishing store needs "
+                 "memory_order_release"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+struct Suppression {
+  std::string key;  // rule:path:line
+  std::string justification;
+  int file_line = 0;
+  bool used = false;
+};
+
+bool LoadSuppressions(const std::string& path, bool required,
+                      std::vector<Suppression>* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (!required) return true;
+    *error = "cannot read suppression file: " + path;
+    return false;
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const size_t key_end = line.find_first_of(" \t", first);
+    const std::string key = line.substr(
+        first, key_end == std::string::npos ? std::string::npos
+                                            : key_end - first);
+    // rule:path:line — the line number is the text after the LAST colon.
+    const size_t last_colon = key.rfind(':');
+    const size_t first_colon = key.find(':');
+    bool valid = last_colon != std::string::npos && first_colon != last_colon &&
+                 last_colon + 1 < key.size();
+    for (size_t i = last_colon + 1; valid && i < key.size(); ++i) {
+      valid = std::isdigit(static_cast<unsigned char>(key[i])) != 0;
+    }
+    if (!valid) {
+      *error = path + ":" + std::to_string(line_number) +
+               ": malformed suppression '" + key +
+               "' (expected rule:path:line)";
+      return false;
+    }
+    std::string justification;
+    if (key_end != std::string::npos) {
+      const size_t j = line.find_first_not_of(" \t", key_end);
+      if (j != std::string::npos) justification = line.substr(j);
+    }
+    if (justification.empty()) {
+      *error = path + ":" + std::to_string(line_number) + ": suppression '" +
+               key + "' is missing a justification";
+      return false;
+    }
+    out->push_back({key, justification, line_number, false});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Finding::Key() const {
+  return rule + ":" + file + ":" + std::to_string(line);
+}
+
+int LayerRank(const std::string& subsystem) {
+  static const std::map<std::string, int>& ranks = *new std::map<std::string, int>{
+      {"common", 0},   {"runtime", 1}, {"obs", 2},      {"tensor", 3},
+      {"data", 4},     {"datagen", 4}, {"autograd", 5}, {"metrics", 6},
+      {"nn", 6},       {"optim", 7},   {"core", 7},     {"baselines", 8},
+      {"tasks", 8},    {"serve", 9},
+  };
+  const auto it = ranks.find(subsystem);
+  return it == ranks.end() ? -1 : it->second;
+}
+
+AnalyzerResult RunAnalyzer(const std::string& root,
+                           const AnalyzerOptions& options) {
+  AnalyzerResult result;
+  const fs::path src = fs::path(root) / "src";
+  if (!fs::is_directory(src)) {
+    result.error = src.string() + " is not a directory";
+    return result;
+  }
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext != ".h" && ext != ".cc") continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<FileIndex> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    SourceFile source;
+    if (!LoadSourceFile(path.string(),
+                        fs::relative(path, root).generic_string(), &source)) {
+      result.error = "cannot read " + path.string();
+      return result;
+    }
+    files.push_back(IndexFile(source));
+    ++result.files_checked;
+  }
+
+  for (const FileIndex& f : files) RunFileRules(f, &result.findings);
+  RunLayeringPass(files, &result.findings);
+  RunLockOrderPass(files, &result.findings);
+  RunHotPathPass(files, &result.findings);
+  RunAtomicsPass(files, &result.findings);
+
+  std::vector<Suppression> suppressions;
+  if (!options.suppressions_path.empty()) {
+    if (!LoadSuppressions(options.suppressions_path,
+                          options.suppressions_required, &suppressions,
+                          &result.error)) {
+      return result;
+    }
+  }
+  std::map<std::string, Suppression*> by_key;
+  for (Suppression& s : suppressions) by_key[s.key] = &s;
+  for (Finding& finding : result.findings) {
+    const auto it = by_key.find(finding.Key());
+    if (it == by_key.end()) continue;
+    finding.suppressed = true;
+    finding.justification = it->second->justification;
+    it->second->used = true;
+  }
+  for (const Suppression& s : suppressions) {
+    if (s.used) continue;
+    // Report against the suppression file itself so the finding's location
+    // points at the entry to delete.
+    fs::path sup(options.suppressions_path);
+    std::error_code ec;
+    fs::path rel = fs::relative(sup, root, ec);
+    const std::string sup_rel =
+        (ec || rel.empty()) ? sup.generic_string() : rel.generic_string();
+    result.findings.push_back(
+        {"stale-suppression", sup_rel, s.file_line,
+         "suppression " + s.key +
+             " matched no finding; delete it or fix the rule/path/line"});
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  result.findings.erase(
+      std::unique(result.findings.begin(), result.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      result.findings.end());
+  for (const Finding& finding : result.findings) {
+    if (finding.suppressed) {
+      ++result.suppressed;
+    } else {
+      ++result.unsuppressed;
+    }
+  }
+  return result;
+}
+
+std::string RenderText(const AnalyzerResult& result) {
+  std::string out;
+  for (const Finding& finding : result.findings) {
+    if (finding.suppressed) continue;
+    out += finding.file + ":" + std::to_string(finding.line) + ": " +
+           finding.rule + ": " + finding.message + "\n";
+  }
+  out += "msd_analyze: " + std::to_string(result.files_checked) + " files, " +
+         std::to_string(result.unsuppressed) + " finding(s), " +
+         std::to_string(result.suppressed) + " suppressed\n";
+  return out;
+}
+
+namespace {
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string RenderJson(const AnalyzerResult& result) {
+  std::string out = "{\n";
+  out += "  \"files\": " + std::to_string(result.files_checked) + ",\n";
+  out += "  \"unsuppressed\": " + std::to_string(result.unsuppressed) + ",\n";
+  out += "  \"suppressed\": " + std::to_string(result.suppressed) + ",\n";
+  out += "  \"findings\": [";
+  bool first = true;
+  for (const Finding& finding : result.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": \"" + JsonEscape(finding.rule) + "\", \"file\": \"" +
+           JsonEscape(finding.file) +
+           "\", \"line\": " + std::to_string(finding.line) +
+           ", \"suppressed\": " + (finding.suppressed ? "true" : "false") +
+           ", \"message\": \"" + JsonEscape(finding.message) + "\"";
+    if (!finding.justification.empty()) {
+      out += ", \"justification\": \"" + JsonEscape(finding.justification) +
+             "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace analyze
+}  // namespace msd

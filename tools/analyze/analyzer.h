@@ -1,0 +1,94 @@
+// msd_analyze public API (docs/ANALYSIS.md).
+//
+// RunAnalyzer loads every .h/.cc under <root>/src, indexes each file
+// (analyze/index.h), then runs the whole-repo passes over the merged index:
+//
+//   layering        the src/* include graph must respect the layer DAG
+//                   declared in LayerRank() (DESIGN.md); include cycles are
+//                   always fatal.
+//   lock-order      the cross-TU lock-under-lock graph must be acyclic.
+//   hot-path-*      no heap allocation / blocking IO / mutex acquisition
+//                   reachable from a `// msd-hot-path` root, stopping at
+//                   `// msd-hot-path-safe` audited chokepoints.
+//   atomic-*        std::atomic operations spell their memory_order; a
+//                   relaxed store never publishes data read with acquire.
+//
+// plus the per-file rules inherited from the PR 2/5/6 token lint (no-assert,
+// no-cout, header-guard, include-path, no-raw-alloc, no-raw-thread,
+// no-raw-buffer, no-blocking-io-in-serve-hot-path, metric-name-taxonomy),
+// with their diagnostic text unchanged.
+//
+// Accepted findings are suppressed via a checked-in file of
+// `rule:path:line  justification` entries; a suppression without a
+// justification is a configuration error, and one that matches nothing is
+// itself reported (stale-suppression) so the file cannot rot.
+#ifndef MSDMIXER_TOOLS_ANALYZE_ANALYZER_H_
+#define MSDMIXER_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msd {
+namespace analyze {
+
+struct Finding {
+  Finding() = default;
+  Finding(std::string rule_in, std::string file_in, int line_in,
+          std::string message_in)
+      : rule(std::move(rule_in)),
+        file(std::move(file_in)),
+        line(line_in),
+        message(std::move(message_in)) {}
+
+  std::string rule;
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string message;
+  bool suppressed = false;
+  std::string justification;  // from the matching suppression entry
+
+  // The suppression-file key for this finding.
+  std::string Key() const;
+};
+
+struct AnalyzerOptions {
+  // Path to the suppression file. Empty disables suppressions. When
+  // `suppressions_required` is false a missing file is treated as empty
+  // (the built-in default path may not exist in fixture trees).
+  std::string suppressions_path;
+  bool suppressions_required = false;
+};
+
+struct AnalyzerResult {
+  std::vector<Finding> findings;  // sorted by file, line, rule
+  int64_t files_checked = 0;
+  int64_t suppressed = 0;
+  int64_t unsuppressed = 0;
+  // Non-empty on configuration errors (unreadable root, malformed
+  // suppression entry); findings are not meaningful in that case.
+  std::string error;
+};
+
+// Runs every pass over <root>/src. `root` is the repo root.
+AnalyzerResult RunAnalyzer(const std::string& root,
+                           const AnalyzerOptions& options);
+
+// Human-readable report, one `file:line: rule: message` per finding plus a
+// one-line summary — the format the old msd_lint used, kept grep-stable.
+std::string RenderText(const AnalyzerResult& result);
+
+// Machine-readable report: a single JSON object with `files`, `suppressed`,
+// `unsuppressed`, and a `findings` array.
+std::string RenderJson(const AnalyzerResult& result);
+
+// Layer rank of a src/ subsystem in the allowed DAG, or -1 when the
+// subsystem is not declared (itself a layering finding). Lower ranks are
+// more fundamental; an include may only point at the same subsystem, at
+// common/obs, or strictly downward.
+int LayerRank(const std::string& subsystem);
+
+}  // namespace analyze
+}  // namespace msd
+
+#endif  // MSDMIXER_TOOLS_ANALYZE_ANALYZER_H_

@@ -1,0 +1,689 @@
+#include "analyze/index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace msd {
+namespace analyze {
+namespace {
+
+// Scope kinds the brace tracker distinguishes. kOther covers every brace
+// construct that is neither a definition nor a body we care about
+// (brace initializers, init-lists inside call arguments, lambdas at
+// class/namespace scope).
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock, kOther };
+
+struct Scope {
+  ScopeKind kind = ScopeKind::kOther;
+  std::string name;        // class name for kClass
+  size_t function_index =  // into FileIndex::functions for kFunction
+      static_cast<size_t>(-1);
+};
+
+const std::set<std::string>& StatementKeywords() {
+  static const std::set<std::string> keywords = {
+      "if",     "for",    "while",  "switch",   "catch",  "return",
+      "sizeof", "alignof", "decltype", "new",   "delete", "do",
+      "else",   "try",    "static_assert", "alignas", "typeid",
+  };
+  return keywords;
+}
+
+const std::set<std::string>& CallKeywords() {
+  // Words followed by '(' that are never repo function calls.
+  static const std::set<std::string> keywords = {
+      "if",       "for",      "while",    "switch",      "catch",
+      "return",   "sizeof",   "alignof",  "decltype",    "static_assert",
+      "alignas",  "typeid",   "new",      "delete",      "static_cast",
+      "dynamic_cast",         "const_cast",              "reinterpret_cast",
+      "int",      "int64_t",  "uint64_t", "int32_t",     "size_t",
+      "float",    "double",   "bool",     "char",        "void",
+      "lock_guard", "unique_lock", "scoped_lock", "defined", "noexcept",
+  };
+  return keywords;
+}
+
+bool IsPreprocessorLineStart(const std::string& text, size_t pos) {
+  // `pos` must be at a non-space char; true when it starts a directive.
+  if (text[pos] != '#') return false;
+  size_t i = pos;
+  while (i > 0 && (text[i - 1] == ' ' || text[i - 1] == '\t')) --i;
+  return i == 0 || text[i - 1] == '\n';
+}
+
+// Consumes a preprocessor directive starting at `pos` ('#'), honoring
+// backslash continuations; returns the offset just past its final newline.
+size_t SkipDirective(const std::string& text, size_t pos) {
+  while (pos < text.size()) {
+    if (text[pos] == '\\' && pos + 1 < text.size() &&
+        text[pos + 1] == '\n') {
+      pos += 2;
+      continue;
+    }
+    if (text[pos] == '\n') return pos + 1;
+    ++pos;
+  }
+  return pos;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> Tokens(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    if (IsWordChar(s[i])) {
+      size_t j = i;
+      while (j < s.size() && IsWordChar(s[j])) ++j;
+      out.push_back(s.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// Finds the first '(' in `stmt` outside template angle brackets; npos if
+// none. '<' tracking skips <<, >>, <=, >=, and ->.
+size_t FirstTopLevelParen(const std::string& stmt, size_t* eq_before_paren) {
+  int angle = 0;
+  *eq_before_paren = std::string::npos;
+  for (size_t i = 0; i < stmt.size(); ++i) {
+    const char c = stmt[i];
+    const char next = i + 1 < stmt.size() ? stmt[i + 1] : '\0';
+    const char prev = i > 0 ? stmt[i - 1] : '\0';
+    if ((c == '<' && next == '<') || (c == '>' && next == '>') ||
+        (c == '<' && next == '=') || (c == '>' && next == '=')) {
+      ++i;
+      continue;
+    }
+    if (c == '>' && prev == '-') continue;  // ->
+    if (c == '<') {
+      ++angle;
+    } else if (c == '>') {
+      if (angle > 0) --angle;
+    } else if (angle == 0) {
+      if (c == '=' && next != '=' && prev != '=' && prev != '!' &&
+          prev != '<' && prev != '>') {
+        if (*eq_before_paren == std::string::npos) *eq_before_paren = i;
+      } else if (c == '(') {
+        return i;
+      }
+    }
+  }
+  return std::string::npos;
+}
+
+// Walks back from `pos` (exclusive) over an identifier possibly qualified
+// with :: and ~; returns it ("MicroBatcher::WorkerLoop", "~Foo", "Gemm").
+std::string IdentifierEndingAt(const std::string& s, size_t pos) {
+  size_t e = pos;
+  while (e > 0 &&
+         std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  size_t b = e;
+  while (b > 0) {
+    const char c = s[b - 1];
+    if (IsWordChar(c) || c == '~') {
+      --b;
+    } else if (c == ':' && b > 1 && s[b - 2] == ':') {
+      b -= 2;
+    } else {
+      break;
+    }
+  }
+  return s.substr(b, e - b);
+}
+
+// True when `stmt` (text before a '{') is a function definition header.
+// Fills name/class_name on success.
+bool ParseFunctionHeader(const std::string& stmt_in, std::string* name,
+                         std::string* class_name) {
+  const std::string stmt = Trim(stmt_in);
+  if (stmt.empty()) return false;
+  // Everything after the LAST ')' must be cv/ref/exception/trailing-return
+  // qualifiers; an initializer (`= {`) or a plain declaration never ends
+  // that way.
+  const size_t last_paren = stmt.rfind(')');
+  if (last_paren == std::string::npos) return false;
+  const std::string tail = stmt.substr(last_paren + 1);
+  if (tail.find("->") == std::string::npos) {
+    for (const std::string& tok : Tokens(tail)) {
+      if (tok != "const" && tok != "noexcept" && tok != "override" &&
+          tok != "final" && tok != "mutable" && tok != "volatile" &&
+          tok != "try" && tok != "requires") {
+        return false;
+      }
+    }
+  }
+  size_t eq = std::string::npos;
+  const size_t paren = FirstTopLevelParen(stmt, &eq);
+  if (paren == std::string::npos) return false;
+  if (eq != std::string::npos && eq < paren) return false;  // initializer
+  std::string qualified = IdentifierEndingAt(stmt, paren);
+  if (qualified.empty()) return false;
+  // Split off the class qualifier ("A::B::F" -> class B, name F).
+  std::string fn = qualified;
+  std::string cls;
+  const size_t sep = qualified.rfind("::");
+  if (sep != std::string::npos) {
+    fn = qualified.substr(sep + 2);
+    const std::string head = qualified.substr(0, sep);
+    const size_t sep2 = head.rfind("::");
+    cls = sep2 == std::string::npos ? head : head.substr(sep2 + 2);
+  }
+  if (fn.empty() || StatementKeywords().count(fn) > 0) return false;
+  if (std::isdigit(static_cast<unsigned char>(fn[0])) != 0) return false;
+  *name = fn;
+  *class_name = cls;
+  return true;
+}
+
+// Class-definition header: [template<...>] [typedef] class/struct/union/enum
+// [class] Name [final] [: bases]. Returns the name ("" for anonymous).
+bool ParseClassHeader(const std::string& stmt_in, std::string* name) {
+  const std::string stmt = Trim(stmt_in);
+  std::vector<std::string> tokens = Tokens(stmt);
+  // A '(' before the keyword means function-returning-struct etc.; the repo
+  // style never does that, and requiring the keyword among the first few
+  // tokens avoids matching `void F(struct x)`.
+  size_t limit = std::min<size_t>(tokens.size(), 8);
+  for (size_t i = 0; i < limit; ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "class" || tok == "struct" || tok == "union" ||
+        tok == "enum") {
+      size_t j = i + 1;
+      if (j < tokens.size() && (tokens[j] == "class" || tokens[j] == "struct"))
+        ++j;
+      name->clear();
+      if (j < tokens.size() && tokens[j] != "final") *name = tokens[j];
+      return true;
+    }
+    if (tok == "template" || tok == "typedef" || tok == "typename" ||
+        tok == "public" || tok == "private" || tok == "protected") {
+      continue;
+    }
+    // Any other leading token (a type, an identifier) means this statement
+    // is not a type definition unless the keyword comes later among
+    // template parameters — stop scanning.
+    break;
+  }
+  return false;
+}
+
+bool ContainsWord(const std::string& text, const char* token) {
+  return FindWord(text, token) != std::string::npos;
+}
+
+// Annotation lookup: scans the raw text of the `window` lines ending at the
+// statement's first line for the hot-path markers.
+void FindAnnotations(const std::string& raw, size_t stmt_begin,
+                     size_t brace_pos, bool* hot_root, bool* hot_safe) {
+  // Back up 8 lines before the statement begins (annotation comments may
+  // run several lines; the marker conventionally sits on the first one).
+  size_t begin = stmt_begin;
+  for (int lines = 0; lines < 9 && begin > 0; ++lines) {
+    size_t nl = raw.rfind('\n', begin - 1);
+    if (nl == std::string::npos) {
+      begin = 0;
+      break;
+    }
+    begin = nl;
+  }
+  const std::string window = raw.substr(begin, brace_pos - begin);
+  if (window.find("msd-hot-path-safe") != std::string::npos) {
+    *hot_safe = true;
+  } else if (window.find("msd-hot-path") != std::string::npos) {
+    *hot_root = true;
+  }
+}
+
+const char* const kIoCallTokens[] = {
+    "fopen",  "freopen", "fclose", "fread",   "fwrite",  "fprintf",
+    "printf", "fscanf",  "scanf",  "fgets",   "fputs",   "puts",
+    "fflush", "getchar", "putchar", "getline", "system",
+};
+const char* const kIoWordTokens[] = {
+    "std::ifstream", "std::ofstream", "std::fstream", "std::cin",
+    "std::cerr",     "std::clog",     "std::FILE",
+};
+
+// Splits a balanced argument list on top-level commas.
+std::vector<std::string> SplitArgs(const std::string& args) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::string current;
+  for (char c : args) {
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!Trim(current).empty() || !out.empty()) out.push_back(current);
+  return out;
+}
+
+struct GuardSite {
+  size_t pos = 0;       // offset of the guard token
+  std::string guard;    // lock_guard | unique_lock | scoped_lock
+  std::vector<std::string> mutexes;  // normalized argument expressions
+};
+
+// Collects guard declarations inside [begin, end).
+std::vector<GuardSite> FindGuards(const std::string& code, size_t begin,
+                                  size_t end) {
+  std::vector<GuardSite> out;
+  for (const char* guard : {"lock_guard", "unique_lock", "scoped_lock"}) {
+    for (size_t pos = FindWord(code, guard, begin);
+         pos != std::string::npos && pos < end;
+         pos = FindWord(code, guard, pos + 1)) {
+      size_t after = pos + std::string(guard).size();
+      after = SkipSpace(code, after);
+      if (after < end && code[after] == '<') {
+        const size_t close = MatchParen(code, after);
+        if (close == std::string::npos || close > end) continue;
+        after = SkipSpace(code, close);
+      }
+      // Guard variable name (may be absent in expression form; then the
+      // next token is already '(').
+      while (after < end && IsWordChar(code[after])) ++after;
+      after = SkipSpace(code, after);
+      if (after >= end || code[after] != '(') continue;
+      const size_t close = MatchParen(code, after);
+      if (close == std::string::npos || close > end) continue;
+      GuardSite site;
+      site.pos = pos;
+      site.guard = guard;
+      for (const std::string& arg :
+           SplitArgs(code.substr(after + 1, close - after - 2))) {
+        const std::string trimmed = Trim(arg);
+        if (trimmed.empty() || trimmed.find("defer_lock") != std::string::npos ||
+            trimmed.find("try_to_lock") != std::string::npos ||
+            trimmed.find("adopt_lock") != std::string::npos) {
+          continue;
+        }
+        site.mutexes.push_back(NormalizeObjectExpr(trimmed));
+      }
+      if (!site.mutexes.empty()) out.push_back(site);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GuardSite& a, const GuardSite& b) { return a.pos < b.pos; });
+  return out;
+}
+
+// Scans one function body: calls, lock pairs, hot sites.
+void ScanFunctionBody(const SourceFile& source, size_t begin, size_t end,
+                      FunctionInfo* fn) {
+  const std::string& code = source.code;
+
+  // ---- Lock tracking: replay guard scopes against brace depth.
+  const std::vector<GuardSite> guards = FindGuards(code, begin, end);
+  struct Held {
+    LockSite site;
+    int depth;
+  };
+  std::vector<Held> held;
+  size_t next_guard = 0;
+  int depth = 0;
+  // Mutex identity for the cross-TU merge: a member mutex unifies on its
+  // class ("MicroBatcher::mu_" from any TU), a file/namespace-scope mutex
+  // on its file basename — shared across the file's free functions.
+  const std::string qualifier =
+      fn->class_name.empty()
+          ? source.rel.substr(source.rel.rfind('/') + 1)
+          : fn->class_name;
+  for (size_t i = begin; i < end; ++i) {
+    if (IsPreprocessorLineStart(code, i)) {
+      i = SkipDirective(code, i) - 1;
+      continue;
+    }
+    while (next_guard < guards.size() && guards[next_guard].pos == i) {
+      const GuardSite& g = guards[next_guard];
+      for (const std::string& mu : g.mutexes) {
+        LockSite site{qualifier + "::" + mu, g.guard, LineAt(code, g.pos)};
+        for (const Held& h : held) {
+          // scoped_lock acquires its own arguments atomically
+          // (std::lock deadlock avoidance), but an edge from every lock
+          // already held to each of them is still real.
+          fn->lock_pairs.push_back({h.site, site});
+        }
+        fn->locks.push_back(site);
+        fn->hot_sites.push_back(
+            {HotSite::Kind::kLock, g.guard + "(" + mu + ")", site.line});
+        held.push_back({site, depth});
+      }
+      ++next_guard;
+    }
+    if (code[i] == '{') {
+      ++depth;
+    } else if (code[i] == '}') {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      // scoped_lock locks declared directly at the closing depth die too.
+      while (!held.empty() && held.back().depth == depth &&
+             depth >= 0 && !held.empty() && held.back().depth > depth) {
+        held.pop_back();
+      }
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+    }
+  }
+
+  // ---- Calls and allocation/IO tokens.
+  for (size_t i = begin; i < end; ++i) {
+    if (IsPreprocessorLineStart(code, i)) {
+      i = SkipDirective(code, i) - 1;
+      continue;
+    }
+    if (!IsWordChar(code[i]) || (i > 0 && IsWordChar(code[i - 1]))) continue;
+    size_t j = i;
+    while (j < end && IsWordChar(code[j])) ++j;
+    const std::string word = code.substr(i, j - i);
+    const int line = LineAt(code, i);
+
+    if (word == "new" && IsWholeWordAt(code, i, 3)) {
+      fn->hot_sites.push_back({HotSite::Kind::kAlloc, "new", line});
+    } else if (word == "make_shared" || word == "make_unique" ||
+               word == "malloc" || word == "calloc" || word == "realloc") {
+      const size_t after = SkipSpace(code, j);
+      const bool is_call =
+          after < end && (code[after] == '(' || code[after] == '<');
+      if (is_call) {
+        fn->hot_sites.push_back({HotSite::Kind::kAlloc, word, line});
+      }
+    } else if (word == "vector" && i >= 5 &&
+               code.compare(i - 5, 5, "std::") == 0 && j < end &&
+               code[j] == '<') {
+      // An owning std::vector<...> construction: skip references (they do
+      // not allocate) and nested-name uses (std::vector<T>::iterator).
+      const size_t close = MatchParen(code, j);
+      if (close != std::string::npos && close <= end) {
+        const size_t after = SkipSpace(code, close);
+        const bool reference = after < end && code[after] == '&';
+        const bool scoped = after + 1 < end && code[after] == ':' &&
+                            code[after + 1] == ':';
+        if (!reference && !scoped) {
+          fn->hot_sites.push_back(
+              {HotSite::Kind::kAlloc,
+               "std::vector" + code.substr(j, close - j), line});
+        }
+      }
+    }
+
+    for (const char* io : kIoCallTokens) {
+      if (word == io) {
+        const size_t after = SkipSpace(code, j);
+        if (after < end && code[after] == '(') {
+          fn->hot_sites.push_back({HotSite::Kind::kIo, word, line});
+        }
+      }
+    }
+
+    // Call site: identifier directly followed by '(' (no newline-spanning
+    // lookahead needed for repo style). The receiver shape disambiguates
+    // resolution: `X::F(` names the class explicitly, and `obj.F(` /
+    // `obj->F(` can never be a repo free function.
+    if (CallKeywords().count(word) == 0) {
+      size_t after = j;
+      while (after < end && (code[after] == ' ' || code[after] == '\t')) {
+        ++after;
+      }
+      if (after < end && code[after] == '(') {
+        CallSite call;
+        call.name = word;
+        call.line = line;
+        if (i >= 1 && code[i - 1] == '.') {
+          call.member = true;
+        } else if (i >= 2 && code[i - 1] == '>' && code[i - 2] == '-') {
+          call.member = true;
+        } else if (i >= 2 && code[i - 1] == ':' && code[i - 2] == ':') {
+          size_t qe = i - 2;
+          size_t qb = qe;
+          while (qb > 0 && IsWordChar(code[qb - 1])) --qb;
+          call.qualifier = code.substr(qb, qe - qb);
+          // A non-identifier before "::" (e.g. `>` in vector<T>::...) is a
+          // template qualifier; treat it like a member call.
+          if (call.qualifier.empty()) call.member = true;
+        }
+        fn->calls.push_back(call);
+      }
+    }
+    i = j - 1;
+  }
+
+  // IO word tokens (types, streams) — substring tokens with '::'.
+  for (const char* io : kIoWordTokens) {
+    const std::string token(io);
+    for (size_t pos = code.find(token, begin);
+         pos != std::string::npos && pos < end;
+         pos = code.find(token, pos + token.size())) {
+      if (!IsWholeWordAt(code, pos, token.size())) continue;
+      fn->hot_sites.push_back(
+          {HotSite::Kind::kIo, token, LineAt(code, pos)});
+    }
+  }
+}
+
+void ScanAtomics(const SourceFile& source, FileIndex* index) {
+  const std::string& code = source.code;
+  static const char* const kMethods[] = {
+      "load",        "store",
+      "fetch_add",   "fetch_sub",
+      "fetch_and",   "fetch_or",
+      "fetch_xor",   "exchange",
+      "compare_exchange_weak", "compare_exchange_strong",
+  };
+  for (const char* method : kMethods) {
+    const std::string token(method);
+    for (size_t pos = FindWord(code, token, 0); pos != std::string::npos;
+         pos = FindWord(code, token, pos + 1)) {
+      // Must be a member access: preceded by '.' or '->'.
+      if (pos == 0) continue;
+      const char prev = code[pos - 1];
+      const bool member = prev == '.' || (prev == '>' && pos >= 2 &&
+                                          code[pos - 2] == '-');
+      if (!member) continue;
+      const size_t open = SkipSpace(code, pos + token.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const size_t close = MatchParen(code, open);
+      if (close == std::string::npos) continue;
+      const std::string args = code.substr(open + 1, close - open - 2);
+
+      // `load`/`exchange` also exist on non-atomics (weak_ptr::lock is
+      // excluded by name; std::exchange by the member requirement). A
+      // guard against shared_ptr<T>::load-style false positives: the
+      // object expression must not be a template qualifier.
+      size_t obj_end = prev == '.' ? pos - 1 : pos - 2;
+      // Walk back the object expression: identifiers, ., ->, (), [].
+      size_t b = obj_end;
+      while (b > 0) {
+        const char c = code[b - 1];
+        if (IsWordChar(c)) {
+          --b;
+        } else if (c == ']' || c == ')') {
+          // Skip the balanced group.
+          int depth = 0;
+          size_t k = b;
+          while (k > 0) {
+            const char d = code[k - 1];
+            if (d == ']' || d == ')') ++depth;
+            if (d == '[' || d == '(') {
+              if (--depth == 0) break;
+            }
+            --k;
+          }
+          if (k == 0) break;
+          b = k - 1;
+        } else if (c == '.') {
+          --b;
+        } else if (c == '>' && b > 1 && code[b - 2] == '-') {
+          b -= 2;
+        } else {
+          break;
+        }
+      }
+      std::string object = Trim(code.substr(b, obj_end - b));
+      if (object.empty()) continue;
+      // Strip trailing index/call groups from the identity: buckets_[i]
+      // and buckets_ are the same atomic array.
+      const size_t bracket = object.find_first_of("[(");
+      if (bracket != std::string::npos) object = object.substr(0, bracket);
+      object = NormalizeObjectExpr(object);
+      if (object.empty() || object == "std" || object == "this") continue;
+
+      AtomicOp op;
+      op.var = object;
+      op.method = method;
+      op.line = LineAt(code, pos);
+      op.has_order = args.find("memory_order") != std::string::npos;
+      for (size_t mo = args.find("memory_order_"); mo != std::string::npos;
+           mo = args.find("memory_order_", mo + 1)) {
+        size_t e = mo + std::string("memory_order_").size();
+        size_t f = e;
+        while (f < args.size() && IsWordChar(args[f])) ++f;
+        op.orders.push_back(args.substr(e, f - e));
+      }
+      index->atomic_ops.push_back(op);
+    }
+  }
+  std::sort(index->atomic_ops.begin(), index->atomic_ops.end(),
+            [](const AtomicOp& a, const AtomicOp& b) { return a.line < b.line; });
+}
+
+}  // namespace
+
+std::string NormalizeObjectExpr(std::string expr) {
+  std::string out;
+  out.reserve(expr.size());
+  for (char c : expr) {
+    if (std::isspace(static_cast<unsigned char>(c)) == 0) out.push_back(c);
+  }
+  if (out.rfind("this->", 0) == 0) out = out.substr(6);
+  while (!out.empty() && (out[0] == '&' || out[0] == '*')) out = out.substr(1);
+  // Fold -> into . so agg->mu and agg.mu share an identity.
+  std::string folded;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == '-' && i + 1 < out.size() && out[i + 1] == '>') {
+      folded.push_back('.');
+      ++i;
+    } else {
+      folded.push_back(out[i]);
+    }
+  }
+  return folded;
+}
+
+FileIndex IndexFile(const SourceFile& source) {
+  FileIndex index;
+  index.source = source;
+  const std::string& code = source.code;
+  const std::string& directives = source.directives;
+
+  // Includes come from the directives view (the path is a literal).
+  const std::string marker = "#include \"";
+  for (size_t pos = directives.find(marker); pos != std::string::npos;
+       pos = directives.find(marker, pos + 1)) {
+    const size_t start = pos + marker.size();
+    const size_t end = directives.find('"', start);
+    if (end == std::string::npos) continue;
+    index.includes.push_back(
+        {directives.substr(start, end - start), LineAt(directives, pos)});
+  }
+
+  // Scope scan: find namespaces, classes, and function bodies.
+  std::vector<Scope> scopes;
+  struct PendingFunction {
+    size_t index;
+    size_t body_begin;
+  };
+  std::vector<PendingFunction> open_functions;
+  size_t stmt_start = 0;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (IsPreprocessorLineStart(code, i)) {
+      i = SkipDirective(code, i) - 1;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (c == ';') {
+      stmt_start = i + 1;
+      continue;
+    }
+    if (c == '}') {
+      if (!scopes.empty()) {
+        if (scopes.back().kind == ScopeKind::kFunction) {
+          const PendingFunction pending = open_functions.back();
+          open_functions.pop_back();
+          FunctionInfo& fn = index.functions[pending.index];
+          ScanFunctionBody(source, pending.body_begin, i, &fn);
+        }
+        scopes.pop_back();
+      }
+      stmt_start = i + 1;
+      continue;
+    }
+    if (c != '{') continue;
+
+    const std::string stmt = code.substr(stmt_start, i - stmt_start);
+    Scope scope;
+    const bool in_function =
+        !scopes.empty() && (scopes.back().kind == ScopeKind::kFunction ||
+                            scopes.back().kind == ScopeKind::kBlock);
+    std::string name;
+    std::string cls;
+    if (in_function) {
+      scope.kind = ScopeKind::kBlock;
+    } else if (ContainsWord(stmt, "namespace") &&
+               Tokens(Trim(stmt)).size() <= 3) {
+      scope.kind = ScopeKind::kNamespace;
+    } else if (ParseClassHeader(stmt, &name)) {
+      scope.kind = ScopeKind::kClass;
+      scope.name = name;
+    } else if (ParseFunctionHeader(stmt, &name, &cls)) {
+      scope.kind = ScopeKind::kFunction;
+      FunctionInfo fn;
+      fn.name = name;
+      fn.class_name = cls;
+      if (fn.class_name.empty()) {
+        // Inline member definition: the enclosing class provides the scope.
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+          if (it->kind == ScopeKind::kClass) {
+            fn.class_name = it->name;
+            break;
+          }
+        }
+      }
+      const size_t first_char = SkipSpace(code, stmt_start);
+      fn.line = LineAt(code, std::min(first_char, i));
+      FindAnnotations(source.raw, std::min(first_char, i), i, &fn.hot_root,
+                      &fn.hot_safe);
+      scope.function_index = index.functions.size();
+      index.functions.push_back(fn);
+      open_functions.push_back({scope.function_index, i + 1});
+    } else {
+      scope.kind = ScopeKind::kOther;
+    }
+    scopes.push_back(scope);
+    stmt_start = i + 1;
+  }
+
+  ScanAtomics(source, &index);
+  return index;
+}
+
+}  // namespace analyze
+}  // namespace msd

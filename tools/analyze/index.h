@@ -1,0 +1,105 @@
+// Per-file symbol index of msd_analyze (docs/ANALYSIS.md).
+//
+// One scan of each file's `code` view recovers the structure the whole-repo
+// passes need: the include list, every function definition (with its class
+// scope and body extent), the calls each function makes, mutex acquisitions
+// and the lock-under-lock pairs implied by guard scopes, candidate hot-path
+// sites (heap allocation, blocking IO, lock acquisition), and every atomic
+// operation with its memory_order annotations.
+//
+// The scanner is a brace/scope tracker over blanked text, not a compiler: it
+// over-approximates (a call site links to every repo function with that
+// name) and under-approximates only where C++ syntax hides behavior from a
+// lexical pass (allocation behind typedefs, operator overloads). Both
+// directions are deliberate — see the "limits" section of docs/ANALYSIS.md.
+#ifndef MSDMIXER_TOOLS_ANALYZE_INDEX_H_
+#define MSDMIXER_TOOLS_ANALYZE_INDEX_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/source.h"
+
+namespace msd {
+namespace analyze {
+
+struct IncludeSite {
+  std::string path;  // as written, e.g. "serve/session.h"
+  int line = 0;
+};
+
+struct CallSite {
+  std::string name;       // last component: "PredictBatch" for x->PredictBatch(
+  std::string qualifier;  // "ThreadPool" for ThreadPool::Global(, else ""
+  bool member = false;    // preceded by '.' or '->' (x.Add(, x->Run()
+  int line = 0;
+};
+
+struct LockSite {
+  std::string mutex_key;  // normalized, class-qualified: "MicroBatcher::mu_"
+  std::string guard;      // lock_guard | unique_lock | scoped_lock
+  int line = 0;
+};
+
+// One `held` mutex still in scope when `acquired` was taken.
+struct LockPair {
+  LockSite held;
+  LockSite acquired;
+};
+
+// A site a hot-path-reachable function must not contain.
+struct HotSite {
+  enum class Kind { kAlloc, kIo, kLock };
+  Kind kind = Kind::kAlloc;
+  std::string token;  // "new", "make_shared", "std::vector<...>", "fopen", ...
+  int line = 0;
+};
+
+struct FunctionInfo {
+  std::string name;        // "WorkerLoop"
+  std::string class_name;  // "MicroBatcher" when determinable, else ""
+  int line = 0;            // line of the definition's opening brace statement
+  bool hot_root = false;   // // msd-hot-path annotation
+  bool hot_safe = false;   // // msd-hot-path-safe annotation
+  std::vector<CallSite> calls;
+  std::vector<LockSite> locks;
+  std::vector<LockPair> lock_pairs;
+  std::vector<HotSite> hot_sites;
+
+  std::string QualifiedName() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+// One atomic member access: var.load(...), var->fetch_add(...), ...
+struct AtomicOp {
+  std::string var;      // normalized object expression: "buckets_", "seq"
+  std::string method;   // load | store | fetch_add | ...
+  bool has_order = false;
+  // memory_order_* tokens present in the argument list (0, 1, or 2 for the
+  // compare_exchange success/failure pair), stripped of the prefix:
+  // "relaxed", "acquire", ...
+  std::vector<std::string> orders;
+  int line = 0;
+};
+
+struct FileIndex {
+  SourceFile source;
+  std::vector<IncludeSite> includes;
+  std::vector<FunctionInfo> functions;
+  std::vector<AtomicOp> atomic_ops;
+};
+
+// Runs the scan. `source` is consumed by copy into the result.
+FileIndex IndexFile(const SourceFile& source);
+
+// Normalizes an object expression for cross-TU identity: whitespace removed,
+// leading this->/&/* stripped, -> folded to '.'.
+std::string NormalizeObjectExpr(std::string expr);
+
+}  // namespace analyze
+}  // namespace msd
+
+#endif  // MSDMIXER_TOOLS_ANALYZE_INDEX_H_

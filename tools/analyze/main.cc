@@ -1,0 +1,68 @@
+// msd_analyze CLI: cross-file static analysis over <repo-root>/src, run as
+// the `analyze_check` ctest (docs/ANALYSIS.md).
+//
+// Usage: msd_analyze [--json] [--suppressions FILE] <repo-root>
+//
+//   --json                 print the machine-readable report on stdout
+//                          (the human report always goes to stderr)
+//   --suppressions FILE    override the suppression file; the default is
+//                          <repo-root>/tools/analyze/suppressions.txt, which
+//                          may be absent (treated as empty)
+//
+// Exit status: 0 clean, 1 unsuppressed findings, 2 configuration error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analyze/analyzer.h"
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string suppressions;
+  bool suppressions_explicit = false;
+  std::string root;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--suppressions") == 0 && i + 1 < argc) {
+      suppressions = argv[++i];
+      suppressions_explicit = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: msd_analyze [--json] [--suppressions FILE] "
+                   "<repo-root>\n");
+      return 2;
+    } else if (root.empty()) {
+      root = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: msd_analyze [--json] [--suppressions FILE] "
+                   "<repo-root>\n");
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::fprintf(stderr,
+                 "usage: msd_analyze [--json] [--suppressions FILE] "
+                 "<repo-root>\n");
+    return 2;
+  }
+
+  msd::analyze::AnalyzerOptions options;
+  options.suppressions_path =
+      suppressions_explicit ? suppressions
+                            : root + "/tools/analyze/suppressions.txt";
+  options.suppressions_required = suppressions_explicit;
+
+  const msd::analyze::AnalyzerResult result =
+      msd::analyze::RunAnalyzer(root, options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "msd_analyze: %s\n", result.error.c_str());
+    return 2;
+  }
+  std::fputs(msd::analyze::RenderText(result).c_str(), stderr);
+  if (json) {
+    std::fputs(msd::analyze::RenderJson(result).c_str(), stdout);
+  }
+  return result.unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+#include "analyze/source.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace msd {
+namespace analyze {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string StripComments(const std::string& text, bool strip_literals) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  std::string out = text;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char terminator = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          if (strip_literals) out[i] = ' ';
+          if (next != '\n') {
+            if (strip_literals && i + 1 < text.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == terminator) {
+          state = State::kCode;
+        } else if (c != '\n' && strip_literals) {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool LoadSourceFile(const std::string& path, const std::string& rel,
+                    SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  out->rel = rel;
+  out->raw = buffer.str();
+  out->code = StripComments(out->raw, /*strip_literals=*/true);
+  out->directives = StripComments(out->raw, /*strip_literals=*/false);
+  out->is_header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  out->subsystem.clear();
+  if (rel.rfind("src/", 0) == 0) {
+    const size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) out->subsystem = rel.substr(4, slash - 4);
+  }
+  return true;
+}
+
+bool IsWholeWordAt(const std::string& text, size_t pos, size_t len) {
+  if (pos > 0 && IsWordChar(text[pos - 1])) return false;
+  const size_t end = pos + len;
+  if (end < text.size() && IsWordChar(text[end])) return false;
+  return true;
+}
+
+size_t FindWord(const std::string& text, const std::string& token,
+                size_t from) {
+  for (size_t pos = text.find(token, from); pos != std::string::npos;
+       pos = text.find(token, pos + 1)) {
+    if (IsWholeWordAt(text, pos, token.size())) return pos;
+  }
+  return std::string::npos;
+}
+
+size_t FindCall(const std::string& text, const std::string& token,
+                size_t from) {
+  for (size_t pos = FindWord(text, token, from); pos != std::string::npos;
+       pos = FindWord(text, token, pos + 1)) {
+    size_t after = pos + token.size();
+    while (after < text.size() &&
+           (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] == '(') return pos;
+  }
+  return std::string::npos;
+}
+
+int LineAt(const std::string& text, size_t pos) {
+  pos = std::min(pos, text.size());
+  return 1 + static_cast<int>(std::count(
+                 text.begin(), text.begin() + static_cast<ptrdiff_t>(pos),
+                 '\n'));
+}
+
+size_t SkipSpace(const std::string& text, size_t pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+    ++pos;
+  }
+  return pos;
+}
+
+size_t MatchParen(const std::string& text, size_t pos) {
+  if (pos >= text.size()) return std::string::npos;
+  const char open = text[pos];
+  char close = '\0';
+  switch (open) {
+    case '(': close = ')'; break;
+    case '[': close = ']'; break;
+    case '{': close = '}'; break;
+    case '<': close = '>'; break;
+    default: return std::string::npos;
+  }
+  int depth = 0;
+  for (size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == open) {
+      ++depth;
+    } else if (text[i] == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+}  // namespace analyze
+}  // namespace msd

@@ -1,0 +1,71 @@
+// Shared lexical layer of msd_analyze (docs/ANALYSIS.md).
+//
+// Every pass consumes a SourceFile: the raw bytes of one translation unit
+// plus two derived views produced by a single comment/string-aware scan that
+// preserves line structure, so every position in a view maps to the exact
+// line of the original file:
+//
+//   code        comments AND string/char literal bodies blanked to spaces —
+//               the view token rules match against (an identifier inside a
+//               diagnostic string must never trip a rule);
+//   directives  comments blanked, literals kept — the view include-path and
+//               metric-name rules match against (the path IS the literal).
+//
+// Raw string literals are not handled (the tree does not use them); the
+// scanner treats them as ordinary strings.
+#ifndef MSDMIXER_TOOLS_ANALYZE_SOURCE_H_
+#define MSDMIXER_TOOLS_ANALYZE_SOURCE_H_
+
+#include <string>
+
+namespace msd {
+namespace analyze {
+
+struct SourceFile {
+  std::string rel;         // path relative to the analyzed root, '/'-separated
+  std::string subsystem;   // "serve" for "src/serve/...", "" outside src/
+  bool is_header = false;  // .h
+  std::string raw;
+  std::string code;        // literals blanked
+  std::string directives;  // literals kept
+};
+
+// Loads `path` from disk and derives both views. Returns false when the file
+// cannot be read.
+bool LoadSourceFile(const std::string& path, const std::string& rel,
+                    SourceFile* out);
+
+// The scan behind both views; exposed for tests. Blanks comment bodies —
+// and, when `strip_literals` is set, string/char literal contents — with
+// spaces, preserving line breaks so reported line numbers stay exact.
+std::string StripComments(const std::string& text, bool strip_literals);
+
+bool IsWordChar(char c);
+
+// True when the `len` chars at `pos` sit on word boundaries in `text`.
+bool IsWholeWordAt(const std::string& text, size_t pos, size_t len);
+
+// Position of the next whole-word occurrence of `token` at or after `from`,
+// or npos.
+size_t FindWord(const std::string& text, const std::string& token,
+                size_t from = 0);
+
+// Like FindWord, but the word must be followed (after optional whitespace)
+// by '('.
+size_t FindCall(const std::string& text, const std::string& token,
+                size_t from = 0);
+
+// 1-based line number of byte offset `pos` in `text`.
+int LineAt(const std::string& text, size_t pos);
+
+// Skips whitespace (including newlines) starting at `pos`.
+size_t SkipSpace(const std::string& text, size_t pos);
+
+// With text[pos] == '(' (or '[', '{', '<'), returns the offset one past the
+// matching closer, treating nothing else specially; npos when unbalanced.
+size_t MatchParen(const std::string& text, size_t pos);
+
+}  // namespace analyze
+}  // namespace msd
+
+#endif  // MSDMIXER_TOOLS_ANALYZE_SOURCE_H_

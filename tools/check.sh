@@ -4,8 +4,11 @@
 # nonzero if any leg fails.
 #
 # Legs:
+#   analyze       build tools/analyze and run msd_analyze over src/ (human
+#                 report plus --json, which must parse); any unsuppressed
+#                 finding fails the leg.
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
-#                 full ctest including lint_check and gradcheck_sweep, plus a
+#                 full ctest including analyze_check and gradcheck_sweep, plus a
 #                 quickstart run whose training losses are captured, a
 #                 thread-scaling bench snapshot (BENCH_threads.json), a
 #                 serving load snapshot (BENCH_serve.json from
@@ -29,7 +32,7 @@
 #        [--bench-baseline FILE] [--serve-baseline FILE]
 #   --tidy     also run clang-tidy (src/common + src/tensor); skipped with a
 #              note when clang-tidy is not installed.
-#   --leg      run only the named leg(s); default is all four.
+#   --leg      run only the named leg(s); default is all five.
 #   --jobs N   parallel build/test jobs (default: nproc).
 #   --bench-baseline FILE
 #              after the release leg, re-run the kernel benches in
@@ -65,7 +68,7 @@ while [[ $# -gt 0 ]]; do
   esac
   shift
 done
-[[ ${#LEGS[@]} -eq 0 ]] && LEGS=(release debug-checks asan-ubsan tsan)
+[[ ${#LEGS[@]} -eq 0 ]] && LEGS=(analyze release debug-checks asan-ubsan tsan)
 
 CHECK_DIR="${ROOT}/build-check"
 mkdir -p "${CHECK_DIR}"
@@ -82,11 +85,39 @@ fail_leg() {  # leg detail
   FAILED=1
 }
 
+# A reused build tree whose cached MSD_SANITIZE disagrees with the leg's
+# request would silently build the WRONG matrix cell (cmake does not reapply
+# a -D that matches neither the cache nor the command line when the cache
+# already has a value). Detect the mismatch and wipe the cache, failing fast
+# if the wipe itself fails rather than proceeding against stale flags.
+ensure_fresh_cache() {  # builddir cmake-args...
+  local builddir="$1"; shift
+  local cache="${builddir}/CMakeCache.txt"
+  [[ -f "${cache}" ]] || return 0
+  local want="" arg
+  for arg in "$@"; do
+    case "${arg}" in
+      -DMSD_SANITIZE=*) want="${arg#-DMSD_SANITIZE=}" ;;
+    esac
+  done
+  local have
+  have="$(sed -n 's/^MSD_SANITIZE:[A-Za-z]*=//p' "${cache}")"
+  [[ "${have}" == "${want}" ]] && return 0
+  echo "stale MSD_SANITIZE cache in ${builddir} ('${have}' != '${want}'):" \
+       "reconfiguring with a fresh cache" >&2
+  if ! rm -rf "${cache}" "${builddir}/CMakeFiles"; then
+    echo "failed to remove the stale cache in ${builddir}; aborting the" \
+         "leg rather than building against wrong sanitizer flags" >&2
+    return 1
+  fi
+}
+
 configure_and_build() {  # builddir target... -- cmake-args...
   local builddir="$1"; shift
   local targets=()
   while [[ $# -gt 0 && "$1" != "--" ]]; do targets+=("$1"); shift; done
   [[ $# -gt 0 ]] && shift  # drop --
+  ensure_fresh_cache "${builddir}" "$@" || return 1
   cmake -B "${builddir}" -S "${ROOT}" "$@" || return 1
   if [[ ${#targets[@]} -gt 0 ]]; then
     local t
@@ -127,6 +158,32 @@ run_release_like_leg() {  # leg-name extra-cmake-flag...
 
 for leg in "${LEGS[@]}"; do
   case "${leg}" in
+    analyze)
+      builddir="${CHECK_DIR}/analyze"
+      note "leg analyze: build msd_analyze"
+      if ! configure_and_build "${builddir}" msd_analyze --; then
+        fail_leg analyze "build failed"; continue
+      fi
+      # The human report lands on stderr (visible above); the machine report
+      # is captured and must parse. Exit 1 means unsuppressed findings,
+      # exit 2 a configuration error (e.g. a suppression without a
+      # justification) — both fail the leg.
+      note "leg analyze: msd_analyze over src/"
+      json="${builddir}/analyze_report.json"
+      if ! "${builddir}/tools/msd_analyze" --json "${ROOT}" > "${json}"; then
+        fail_leg analyze "unsuppressed findings (report above)"; continue
+      fi
+      if command -v python3 >/dev/null 2>&1; then
+        if ! python3 -m json.tool "${json}" > /dev/null; then
+          fail_leg analyze "--json output is not valid JSON"; continue
+        fi
+        STATUS[analyze]="PASS"
+        DETAIL[analyze]="0 unsuppressed findings; JSON report validated"
+      else
+        STATUS[analyze]="PASS"
+        DETAIL[analyze]="0 unsuppressed findings (python3 absent; JSON unvalidated)"
+      fi
+      ;;
     release)
       run_release_like_leg release
       if [[ "${STATUS[release]}" == "PASS" ]]; then
@@ -241,7 +298,7 @@ if [[ ${RUN_TIDY} -eq 1 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     note "clang-tidy (src/common, src/tensor)"
     tidydir="${CHECK_DIR}/tidy"
-    if configure_and_build "${tidydir}" msd_lint -- \
+    if configure_and_build "${tidydir}" msd_analyze -- \
           -DCMAKE_EXPORT_COMPILE_COMMANDS=ON &&
         find "${ROOT}/src/common" "${ROOT}/src/tensor" \
             -name '*.cc' -o -name '*.h' |
