@@ -27,7 +27,7 @@ using bench::MixerConfig;
 class MovingAverageReconstructor : public Module {
  public:
   explicit MovingAverageReconstructor(int64_t kernel) : kernel_(kernel) {}
-  Variable Forward(const Variable& input) override {
+  Variable DoForward(const Variable& input) override {
     return MovingAverage(input, kernel_);
   }
 

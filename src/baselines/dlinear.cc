@@ -44,7 +44,7 @@ DLinear::DLinear(int64_t input_length, int64_t horizon, Rng& rng,
                           std::make_unique<Linear>(input_length, horizon, rng));
 }
 
-Variable DLinear::Forward(const Variable& input) {
+Variable DLinear::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "DLinear expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(2), input_length_);
   const int64_t kernel = std::min<int64_t>(kernel_size_, input_length_);
@@ -60,7 +60,7 @@ LinearForecaster::LinearForecaster(int64_t input_length, int64_t horizon,
                          std::make_unique<Linear>(input_length, horizon, rng));
 }
 
-Variable LinearForecaster::Forward(const Variable& input) {
+Variable LinearForecaster::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3);
   MSD_CHECK_EQ(input.dim(2), input_length_);
   return proj_->Forward(input);

@@ -19,7 +19,7 @@ class DLinear : public Module {
           int64_t kernel_size = 25);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t input_length_;
@@ -33,7 +33,7 @@ class DLinear : public Module {
 class LinearForecaster : public Module {
  public:
   LinearForecaster(int64_t input_length, int64_t horizon, Rng& rng);
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t input_length_;

@@ -31,7 +31,7 @@ LightTs::LightTs(int64_t input_length, int64_t horizon, Rng& rng,
       std::make_unique<Linear>(num_chunks_ + chunk_size_, horizon, rng));
 }
 
-Variable LightTs::Forward(const Variable& input) {
+Variable LightTs::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "LightTs expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(2), input_length_);
   const int64_t batch = input.dim(0);

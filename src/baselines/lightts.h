@@ -18,7 +18,7 @@ class LightTs : public Module {
           int64_t chunk_size = 0 /* 0 = sqrt(L) */, int64_t hidden = 64);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t input_length_;

@@ -17,7 +17,7 @@ MlpAutoencoder::MlpAutoencoder(int64_t channels, int64_t window, Rng& rng,
       "decode_time", std::make_unique<Linear>(bottleneck, window, rng));
 }
 
-Variable MlpAutoencoder::Forward(const Variable& input) {
+Variable MlpAutoencoder::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, W]";
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), window_);

@@ -15,7 +15,7 @@ class MlpAutoencoder : public Module {
                  int64_t bottleneck = 16);
 
   // [B, C, W] -> [B, C, W] reconstruction.
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t channels_;

@@ -13,7 +13,7 @@ MlpClassifier::MlpClassifier(int64_t channels, int64_t length, int64_t classes,
   dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(0.2f, rng));
 }
 
-Variable MlpClassifier::Forward(const Variable& input) {
+Variable MlpClassifier::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3);
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), length_);

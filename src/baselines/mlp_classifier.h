@@ -14,7 +14,7 @@ class MlpClassifier : public Module {
                 int64_t hidden = 128);
 
   // [B, C, L] -> [B, M] logits.
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t channels_;

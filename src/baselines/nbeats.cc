@@ -29,7 +29,7 @@ NBeats::NBeats(int64_t input_length, int64_t horizon, Rng& rng,
   }
 }
 
-Variable NBeats::Forward(const Variable& input) {
+Variable NBeats::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "NBeats expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(2), input_length_);
   Variable residual = input;

@@ -19,7 +19,7 @@ class NBeats : public Module {
          int64_t num_blocks = 3, int64_t hidden = 64);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   struct Block {

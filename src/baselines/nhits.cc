@@ -37,7 +37,7 @@ NHits::NHits(int64_t input_length, int64_t horizon, Rng& rng,
   }
 }
 
-Variable NHits::Forward(const Variable& input) {
+Variable NHits::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "NHits expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(2), input_length_);
   const int64_t batch = input.dim(0);

@@ -21,7 +21,7 @@ class NHits : public Module {
         std::vector<int64_t> pool_kernels = {8, 4, 1}, int64_t hidden = 64);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   struct Block {

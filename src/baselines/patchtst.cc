@@ -29,7 +29,7 @@ PatchTst::PatchTst(const PatchTstConfig& config, Rng& rng) : config_(config) {
                                        config.horizon, rng));
 }
 
-Variable PatchTst::Forward(const Variable& input) {
+Variable PatchTst::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "PatchTst expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(2), config_.input_length);
   const int64_t batch = input.dim(0);

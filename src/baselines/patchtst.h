@@ -29,7 +29,7 @@ class PatchTst : public Module {
   PatchTst(const PatchTstConfig& config, Rng& rng);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
   int64_t num_patches() const { return num_patches_; }
 

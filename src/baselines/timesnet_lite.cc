@@ -55,7 +55,7 @@ TimesNetLite::TimesNetLite(int64_t input_length, int64_t horizon,
                             std::make_unique<Linear>(model_dim, channels, rng));
 }
 
-Variable TimesNetLite::Forward(const Variable& input) {
+Variable TimesNetLite::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "TimesNetLite expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), input_length_);

@@ -30,7 +30,7 @@ class TimesNetLite : public Module {
                bool use_conv = false);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
   const std::vector<int64_t>& periods() const { return periods_; }
 

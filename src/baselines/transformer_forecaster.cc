@@ -29,7 +29,7 @@ TransformerForecaster::TransformerForecaster(
       "unembed", std::make_unique<Linear>(config.model_dim, channels, rng));
 }
 
-Variable TransformerForecaster::Forward(const Variable& input) {
+Variable TransformerForecaster::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "expects [B, C, L]";
   MSD_CHECK_EQ(input.dim(1), channels_);
   MSD_CHECK_EQ(input.dim(2), config_.input_length);

@@ -29,7 +29,7 @@ class TransformerForecaster : public Module {
                         int64_t channels, Rng& rng);
 
   // [B, C, L] -> [B, C, H].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   TransformerForecasterConfig config_;

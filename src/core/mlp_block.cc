@@ -12,7 +12,7 @@ MlpBlock::MlpBlock(int64_t features, int64_t hidden, float drop_path,
       RegisterModule("drop_path", std::make_unique<DropPath>(drop_path, rng));
 }
 
-Variable MlpBlock::Forward(const Variable& input) {
+Variable MlpBlock::DoForward(const Variable& input) {
   // fc1 + GELU run as one fused GEMM; fc2 fuses its bias the same way.
   Variable branch =
       fc2_->Forward(fc1_->ForwardActivated(input, ActivationKind::kGelu));
@@ -27,7 +27,7 @@ AxisMlpBlock::AxisMlpBlock(int64_t axis, int64_t features, int64_t hidden,
       "block", std::make_unique<MlpBlock>(features, hidden, drop_path, rng));
 }
 
-Variable AxisMlpBlock::Forward(const Variable& input) {
+Variable AxisMlpBlock::DoForward(const Variable& input) {
   const int64_t last = input.rank() - 1;
   const int64_t axis = axis_ < 0 ? axis_ + input.rank() : axis_;
   if (axis == last) return block_->Forward(input);

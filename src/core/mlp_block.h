@@ -15,7 +15,7 @@ class MlpBlock : public Module {
   // features: size of the mixed (last) axis; hidden: expansion width.
   MlpBlock(int64_t features, int64_t hidden, float drop_path, Rng& rng);
 
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   Linear* fc1_;
@@ -30,7 +30,7 @@ class AxisMlpBlock : public Module {
   AxisMlpBlock(int64_t axis, int64_t features, int64_t hidden, float drop_path,
                Rng& rng);
 
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
   int64_t axis() const { return axis_; }
 

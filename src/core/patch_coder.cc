@@ -29,7 +29,7 @@ PatchEncoder::PatchEncoder(const PatchCoderDims& dims, Rng& rng) {
       std::make_unique<Linear>(dims.patch_size, dims.model_dim, rng));
 }
 
-Variable PatchEncoder::Forward(const Variable& patched) {
+Variable PatchEncoder::DoForward(const Variable& patched) {
   MSD_CHECK_EQ(patched.rank(), 4) << "PatchEncoder expects [B, C, L', p]";
   Variable x = channel_mlp_->Forward(patched);
   x = inter_patch_mlp_->Forward(x);
@@ -55,7 +55,7 @@ PatchDecoder::PatchDecoder(const PatchCoderDims& dims, Rng& rng) {
                                      dims.hidden_dim, dims.drop_path, rng));
 }
 
-Variable PatchDecoder::Forward(const Variable& embedding) {
+Variable PatchDecoder::DoForward(const Variable& embedding) {
   MSD_CHECK_EQ(embedding.rank(), 4) << "PatchDecoder expects [B, C, L', d]";
   Variable x = from_embedding_->Forward(embedding);
   x = intra_patch_mlp_->Forward(x);

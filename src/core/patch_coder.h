@@ -26,7 +26,7 @@ class PatchEncoder : public Module {
   PatchEncoder(const PatchCoderDims& dims, Rng& rng);
 
   // [B, C, L', p] -> [B, C, L', d].
-  Variable Forward(const Variable& patched) override;
+  Variable DoForward(const Variable& patched) override;
 
  private:
   AxisMlpBlock* channel_mlp_;
@@ -40,7 +40,7 @@ class PatchDecoder : public Module {
   PatchDecoder(const PatchCoderDims& dims, Rng& rng);
 
   // [B, C, L', d] -> [B, C, L', p].
-  Variable Forward(const Variable& embedding) override;
+  Variable DoForward(const Variable& embedding) override;
 
  private:
   Linear* from_embedding_;

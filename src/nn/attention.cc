@@ -25,7 +25,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
   dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(dropout, rng));
 }
 
-Variable MultiHeadSelfAttention::Forward(const Variable& input) {
+Variable MultiHeadSelfAttention::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.rank(), 3) << "attention expects [B, L, D]";
   MSD_CHECK_EQ(input.dim(2), model_dim_);
   const int64_t batch = input.dim(0);
@@ -71,7 +71,7 @@ TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
   dropout_ = RegisterModule("dropout", std::make_unique<Dropout>(dropout, rng));
 }
 
-Variable TransformerEncoderBlock::Forward(const Variable& input) {
+Variable TransformerEncoderBlock::DoForward(const Variable& input) {
   Variable attended = attention_->Forward(norm1_->Forward(input));
   Variable x = Add(input, dropout_->Forward(attended));
   Variable ffn = ffn2_->Forward(

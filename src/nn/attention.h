@@ -15,7 +15,7 @@ class MultiHeadSelfAttention : public Module {
                          float dropout = 0.0f);
 
   // [B, L, D] -> [B, L, D].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
   int64_t num_heads() const { return num_heads_; }
 
@@ -37,7 +37,7 @@ class TransformerEncoderBlock : public Module {
   TransformerEncoderBlock(int64_t model_dim, int64_t num_heads,
                           int64_t ffn_dim, Rng& rng, float dropout = 0.0f);
 
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   LayerNorm* norm1_;

@@ -24,7 +24,7 @@ Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
   }
 }
 
-Variable Conv2dLayer::Forward(const Variable& input) {
+Variable Conv2dLayer::DoForward(const Variable& input) {
   Variable out = Conv2d(input, kernel_, stride_, padding_);
   if (bias_.defined()) out = Add(out, bias_);
   return out;

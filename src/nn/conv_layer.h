@@ -13,7 +13,7 @@ class Conv2dLayer : public Module {
               bool bias = true);
 
   // [B, C, H, W] -> [B, O, H', W'].
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t stride_;

@@ -38,7 +38,7 @@ gemm::Activation ToGemmActivation(ActivationKind kind) {
 
 }  // namespace
 
-Variable Linear::Forward(const Variable& input) {
+Variable Linear::DoForward(const Variable& input) {
   return ForwardActivated(input, ActivationKind::kIdentity);
 }
 
@@ -49,7 +49,7 @@ Variable Linear::ForwardActivated(const Variable& input, ActivationKind act) {
   return MatMulEx(input, weight_, bias_, ToGemmActivation(act));
 }
 
-Variable Activation::Forward(const Variable& input) {
+Variable Activation::DoForward(const Variable& input) {
   switch (kind_) {
     case ActivationKind::kRelu:
       return Relu(input);
@@ -72,7 +72,7 @@ LayerNorm::LayerNorm(int64_t features, float eps)
   beta_ = RegisterParameter("beta", Tensor::Zeros({features}));
 }
 
-Variable LayerNorm::Forward(const Variable& input) {
+Variable LayerNorm::DoForward(const Variable& input) {
   MSD_CHECK_EQ(input.dim(-1), features_);
   Variable mean = Mean(input, {-1}, /*keepdim=*/true);
   Variable centered = Sub(input, mean);
@@ -86,7 +86,7 @@ Dropout::Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {
   MSD_CHECK_LT(p, 1.0f);
 }
 
-Variable Dropout::Forward(const Variable& input) {
+Variable Dropout::DoForward(const Variable& input) {
   if (!training() || p_ == 0.0f) return input;
   Tensor mask(input.shape());
   const float keep = 1.0f - p_;
@@ -102,7 +102,7 @@ DropPath::DropPath(float p, Rng& rng) : p_(p), rng_(&rng) {
   MSD_CHECK_LT(p, 1.0f);
 }
 
-Variable DropPath::Forward(const Variable& input) {
+Variable DropPath::DoForward(const Variable& input) {
   if (!training() || p_ == 0.0f) return input;
   // One keep/drop decision per sample (dim 0), broadcast over the rest.
   Shape mask_shape(static_cast<size_t>(input.rank()), 1);
@@ -123,7 +123,7 @@ Sequential& Sequential::Add(std::unique_ptr<Module> module) {
   return *this;
 }
 
-Variable Sequential::Forward(const Variable& input) {
+Variable Sequential::DoForward(const Variable& input) {
   Variable x = input;
   for (Module* stage : stages_) x = stage->Forward(x);
   return x;

@@ -23,7 +23,7 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, Rng& rng,
          bool bias = true);
 
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
   // y = act(x W + b) in a single fused op; preferred over composing Forward
   // with a separate activation on hot paths.
   Variable ForwardActivated(const Variable& input, ActivationKind act);
@@ -42,7 +42,7 @@ class Linear : public Module {
 class Activation : public Module {
  public:
   explicit Activation(ActivationKind kind) : kind_(kind) {}
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   ActivationKind kind_;
@@ -52,7 +52,7 @@ class Activation : public Module {
 class LayerNorm : public Module {
  public:
   explicit LayerNorm(int64_t features, float eps = 1e-5f);
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   int64_t features_;
@@ -66,7 +66,7 @@ class LayerNorm : public Module {
 class Dropout : public Module {
  public:
   Dropout(float p, Rng& rng);
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   float p_;
@@ -78,7 +78,7 @@ class Dropout : public Module {
 class DropPath : public Module {
  public:
   DropPath(float p, Rng& rng);
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
  private:
   float p_;
@@ -93,7 +93,7 @@ class Sequential : public Module {
   // Appends a module; returns *this for chaining.
   Sequential& Add(std::unique_ptr<Module> module);
 
-  Variable Forward(const Variable& input) override;
+  Variable DoForward(const Variable& input) override;
 
   int64_t size() const { return static_cast<int64_t>(stages_.size()); }
 

@@ -1,8 +1,16 @@
 #include "nn/module.h"
 
+#include "tensor/optrace.h"
+
 namespace msd {
 
-Variable Module::Forward(const Variable&) {
+Variable Module::Forward(const Variable& input) {
+  // Free outside tracing: RegionScope is a no-op unless a capture is active.
+  optrace::RegionScope region(name_);
+  return DoForward(input);
+}
+
+Variable Module::DoForward(const Variable&) {
   MSD_FATAL("this module does not implement unary Forward()");
 }
 

@@ -21,8 +21,11 @@ class Module {
   Module& operator=(const Module&) = delete;
 
   // Unary forward; modules with richer signatures (multiple inputs, tuples)
-  // define their own methods and leave this unimplemented.
-  virtual Variable Forward(const Variable& input);
+  // define their own methods and leave DoForward unimplemented. Non-virtual
+  // shell: tags an active op capture with this module's registered name (a
+  // no-op outside tracing — see tensor/optrace.h), then dispatches to the
+  // subclass's DoForward.
+  Variable Forward(const Variable& input);
 
   // All trainable parameters of this module and its children, depth-first.
   // The returned Variables share nodes with the stored parameters, so
@@ -54,13 +57,19 @@ class Module {
  protected:
   Module() = default;
 
+  // Subclass implementation of the unary forward. The default fatals.
+  virtual Variable DoForward(const Variable& input);
+
   // Registers a trainable parameter; returns a handle the subclass stores.
   Variable RegisterParameter(std::string name, Tensor init);
 
   // Registers a child and returns a raw pointer for the subclass to keep.
+  // The child remembers its registration name so traced forwards can label
+  // ops with the module path that produced them.
   template <typename M>
   M* RegisterModule(std::string name, std::unique_ptr<M> child) {
     M* raw = child.get();
+    raw->name_ = name;
     children_.emplace_back(std::move(name), std::move(child));
     return raw;
   }
@@ -71,6 +80,7 @@ class Module {
 
   std::vector<std::pair<std::string, Variable>> params_;
   std::vector<std::pair<std::string, std::unique_ptr<Module>>> children_;
+  std::string name_;  // registration name; empty for root modules
   bool training_ = true;
 };
 

@@ -1,0 +1,123 @@
+// Session-freeze inference compiler (docs/COMPILER.md).
+//
+// A CompiledPlan is built once per (session, batch size) at freeze time:
+// the planner records one interpreted forward through the op trace
+// (tensor/optrace.h), flattens it into a static schedule of kernel calls
+// with fully resolved shapes, rewrites fusible pairs into the fused kernels
+// (SubDiv / MulAdd / SliceSub), runs lifetime analysis over every traced
+// buffer, and packs all intermediates into ONE arena allocation with
+// first-fit offset reuse. Execute() then replays the schedule into the
+// preplanned arena views: no pool lookups, no tensor allocations, no
+// shared_ptr churn per op — the only steady-state costs outside the kernels
+// themselves are two memcpys (input staging, result export) and one
+// control block for the reply tensor's owner.
+//
+// Correctness contract: Execute(x) is bit-identical (memcmp) to the
+// interpreted forward it was traced from, for any MSD_THREADS value. The
+// planner enforces this mechanically — Compile() replays the example input
+// through the freshly built plan and memcmps against the traced output,
+// discarding the plan on any mismatch — and the fused kernels round every
+// intermediate through memory so compiler FMA contraction cannot change
+// bits (tensor/kernels.h Zip3KernelInto). tests/plan_test.cc sweeps the
+// contract across task heads, thread counts, and batch sizes.
+//
+// Thread safety: Execute mutates the arena, so calls on one plan must be
+// serialized — the owning InferenceSession's model mutex is the exclusion
+// domain, exactly as for the interpreted path.
+#ifndef MSDMIXER_SERVE_PLAN_H_
+#define MSDMIXER_SERVE_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/arena.h"
+#include "tensor/optrace.h"
+#include "tensor/tensor.h"
+
+namespace msd {
+namespace serve {
+
+// Aggregate facts about a built plan, for gauges, logs, and tests.
+struct PlanStats {
+  int64_t traced_ops = 0;    // ops recorded by the interpreted forward
+  int64_t num_ops = 0;       // schedule length after fusion
+  int64_t num_fused = 0;     // peephole rewrites applied
+  int64_t num_inplace = 0;   // outputs aliased onto a dying operand's region
+  int64_t num_prepacked = 0;  // constant GEMM weights packed at freeze time
+  int64_t num_regions = 0;   // arena regions after aliasing
+  int64_t arena_bytes = 0;   // single allocation backing all regions
+};
+
+// One arena region's placement and lifetime, exposed for the planner tests
+// (offset disjointness under overlapping lifetimes is an invariant there).
+struct RegionInfo {
+  int64_t offset = 0;      // byte offset into the arena, 64-aligned
+  int64_t bytes = 0;       // payload size (0 for zero-numel buffers)
+  int64_t first_def = 0;   // earliest defining step (-1: staged input)
+  int64_t last_use = 0;    // latest reading step (num_ops: plan output)
+};
+
+class CompiledPlan {
+ public:
+  // The forward to freeze: takes the request batch, returns the reply.
+  using ForwardFn = std::function<Tensor(const Tensor&)>;
+
+  // Records one interpreted run of `fn` on `example`, builds the schedule +
+  // memory plan, and validates it by replaying `example` and memcmp-ing
+  // against the interpreted output. Returns null — with a reason in
+  // `why_not` when provided — if the trace hit an unsupported op or the
+  // validation replay was not bit-identical.
+  static std::unique_ptr<CompiledPlan> Compile(const ForwardFn& fn,
+                                               const Tensor& example,
+                                               std::string* why_not = nullptr);
+
+  // Replays the schedule on `input` (must match input_shape()). The reply
+  // tensor is backed by a recycled result block, not the tensor pool.
+  // Callers must serialize calls per plan (see thread-safety note above).
+  Tensor Execute(const Tensor& input);
+
+  const PlanStats& stats() const { return stats_; }
+  const Shape& input_shape() const { return input_shape_; }
+  const Shape& output_shape() const { return output_shape_; }
+
+  // Region table for the planner tests.
+  std::vector<RegionInfo> Regions() const;
+
+  // Human-readable schedule: one line per step with kind, shapes, region
+  // offsets, and the module path that produced the op.
+  std::string DebugString() const;
+
+  ~CompiledPlan();
+
+ private:
+  // Recycles result-block buffers across requests. shared_ptr-owned so a
+  // reply tensor can outlive the plan (its deleter keeps the pool alive).
+  class ResultPool;
+
+  // One schedule entry: a kernel kind plus prebuilt operand/output views
+  // into the arena (or directly into pinned constant buffers).
+  struct Step;
+
+  CompiledPlan();
+
+  Tensor input_view_;   // staging region, input_shape_
+  Tensor output_view_;  // final region, output_shape_
+  Shape input_shape_;
+  Shape output_shape_;
+  std::vector<Step> steps_;
+  // Pinned constant tensors (weights, scaler stats, traced literals); holding
+  // them keeps every non-arena operand buffer alive for the plan's lifetime.
+  std::vector<Tensor> constants_;
+  std::unique_ptr<arena::Arena> arena_;
+  std::shared_ptr<ResultPool> results_;
+  PlanStats stats_;
+  std::vector<RegionInfo> regions_;
+};
+
+}  // namespace serve
+}  // namespace msd
+
+#endif  // MSDMIXER_SERVE_PLAN_H_

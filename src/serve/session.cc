@@ -1,5 +1,6 @@
 #include "serve/session.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "nn/serialize.h"
@@ -40,6 +41,11 @@ StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Create(
         {config.max_batch, config.model.channels, config.model.input_length}));
     if (!warm.ok()) return warm.status();
   }
+  // Freeze-time planning runs after warmup so the interpreter fallback keeps
+  // a primed pool. MSD_PLAN=0 pins the session to the interpreted path.
+  const char* plan_env = std::getenv("MSD_PLAN");
+  session->use_plan_ = plan_env == nullptr || std::string(plan_env) != "0";
+  if (session->use_plan_) session->BuildPlans();
   static obs::Counter& sessions =
       obs::MetricsRegistry::Global().GetCounter("serve/sessions_created");
   sessions.Add(1);
@@ -80,6 +86,64 @@ Tensor InferenceSession::RunFrozen(const Tensor& batch) {
   return mixer_->Run(Variable(batch)).prediction.value();
 }
 
+Tensor InferenceSession::RunPlanned(CompiledPlan& plan, const Tensor& batch) {
+  MSD_SPAN("serve/predict_batch");
+  // The session mutex is the plan's exclusion domain: Execute mutates the
+  // arena, so planned forwards serialize exactly like interpreted ones.
+  std::lock_guard<std::mutex> lock(model_mu_);
+  if (config_.synthetic_compute_us > 0) {
+    const auto until = ServeClock::now() +
+                       std::chrono::microseconds(config_.synthetic_compute_us);
+    while (ServeClock::now() < until) {
+    }
+  }
+  return plan.Execute(batch);
+}
+
+void InferenceSession::BuildPlans() {
+  Rng rng(config_.seed + 1);
+  plans_.resize(static_cast<size_t>(config_.max_batch));
+  int64_t total_arena = 0;
+  for (int64_t b = 1; b <= config_.max_batch; ++b) {
+    // Random (not zero) example inputs so the freeze-time memcmp validation
+    // cannot pass by accident on degenerate all-zero intermediates.
+    Tensor example = Tensor::RandNormal(
+        {b, config_.model.channels, config_.model.input_length}, 0.0f, 1.0f,
+        rng);
+    std::string why_not;
+    plans_[static_cast<size_t>(b) - 1] = CompiledPlan::Compile(
+        [this](const Tensor& in) {
+          NoGradGuard guard;
+          // The plan covers the whole reply chain, not just the module
+          // graph: normalize, forward, and (for forecast heads)
+          // denormalize all freeze into one schedule.
+          const Tensor scaled =
+              config_.scaler.fitted() ? config_.scaler.Transform(in) : in;
+          Tensor out = mixer_->Run(Variable(scaled)).prediction.value();
+          if (config_.model.task == TaskType::kForecast &&
+              config_.scaler.fitted()) {
+            out = config_.scaler.InverseTransform(out);
+          }
+          return out;
+        },
+        example, &why_not);
+    const CompiledPlan* plan = plans_[static_cast<size_t>(b) - 1].get();
+    if (plan != nullptr) {
+      total_arena += plan->stats().arena_bytes;
+    } else {
+      // No stdio in src/serve; the refusal is visible via this counter, the
+      // null plan_for(b), and the per-request serve/plan_fallbacks below.
+      static obs::Counter& refused =
+          obs::MetricsRegistry::Global().GetCounter("serve/plan_build_refused");
+      refused.Add(1);
+      (void)why_not;
+    }
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve/arena_bytes")
+      .Set(static_cast<double>(total_arena));
+}
+
 // msd-hot-path: the serving inference entry point.
 StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch,
                                                 TraceContext* trace) {
@@ -94,11 +158,25 @@ StatusOr<Tensor> InferenceSession::PredictBatch(const Tensor& batch,
     trace = &local;
   }
   trace->compute_start = ServeClock::now();
-  const Tensor scaled =
-      config_.scaler.fitted() ? config_.scaler.Transform(batch) : batch;
-  Tensor out = RunFrozen(scaled);
-  if (config_.model.task == TaskType::kForecast && config_.scaler.fitted()) {
-    out = config_.scaler.InverseTransform(out);
+  Tensor out;
+  CompiledPlan* plan =
+      use_plan_ ? plans_[static_cast<size_t>(batch.dim(0)) - 1].get() : nullptr;
+  if (plan != nullptr) {
+    // The frozen schedule bakes in the scaler transform (and, for forecast
+    // heads, the inverse transform) — the raw batch goes straight in.
+    out = RunPlanned(*plan, batch);
+  } else {
+    if (use_plan_) {
+      static obs::Counter& fallbacks =
+          obs::MetricsRegistry::Global().GetCounter("serve/plan_fallbacks");
+      fallbacks.Add(1);
+    }
+    const Tensor scaled =
+        config_.scaler.fitted() ? config_.scaler.Transform(batch) : batch;
+    out = RunFrozen(scaled);
+    if (config_.model.task == TaskType::kForecast && config_.scaler.fitted()) {
+      out = config_.scaler.InverseTransform(out);
+    }
   }
   trace->compute_end = ServeClock::now();
   if (direct) {

@@ -19,6 +19,13 @@
 //  * Deterministic: outputs are bit-identical for any MSD_THREADS value and
 //    for any batch composition — row b of PredictBatch equals the
 //    single-request Predict of window b (tests/serve_test.cc).
+//  * Planned: unless MSD_PLAN=0, Create() freezes one CompiledPlan per batch
+//    size (1..max_batch) — a flat kernel schedule over a single arena
+//    allocation (serve/plan.h, docs/COMPILER.md) — and PredictBatch replays
+//    the plan instead of interpreting the module graph. Planned outputs are
+//    bit-identical to the interpreted path (enforced by a freeze-time
+//    memcmp and swept in tests/plan_test.cc); batch sizes whose plan could
+//    not be built fall back to the interpreter (serve/plan_fallbacks).
 //
 // Shape contract per task head (C = channels, L = input_length):
 //   kForecast        [C, L] -> [C, horizon]        (original units)
@@ -31,10 +38,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/msd_mixer.h"
 #include "data/scaler.h"
+#include "serve/plan.h"
 #include "serve/trace.h"
 #include "tensor/pool.h"
 
@@ -89,6 +98,16 @@ class InferenceSession {
   const MsdMixerConfig& model_config() const { return config_.model; }
   int64_t max_batch() const { return config_.max_batch; }
 
+  // True when Create() ran the planner (MSD_PLAN unset or != "0").
+  bool planned() const { return use_plan_; }
+  // The frozen plan serving batch size `b`, or null when that size fell
+  // back to the interpreter (or planning is off). Exposed for tests and
+  // the selftest's schedule dump.
+  const CompiledPlan* plan_for(int64_t b) const {
+    if (b < 1 || b > static_cast<int64_t>(plans_.size())) return nullptr;
+    return plans_[static_cast<size_t>(b) - 1].get();
+  }
+
  private:
   explicit InferenceSession(const InferenceSessionConfig& config);
 
@@ -96,12 +115,21 @@ class InferenceSession {
   // The locked, NoGradGuard-protected forward pass; `batch` is [B, C, L]
   // in scaled units and the result is the raw head output.
   Tensor RunFrozen(const Tensor& batch);
+  // The locked planned forward: replays the frozen schedule (which bakes in
+  // the scaler transform and, for forecast heads, the inverse transform).
+  Tensor RunPlanned(CompiledPlan& plan, const Tensor& batch);
+  // Freezes one CompiledPlan per batch size 1..max_batch and publishes the
+  // serve/arena_bytes gauge. Sizes that refuse to compile stay null.
+  void BuildPlans();
 
   InferenceSessionConfig config_;
   // Keeps the activation free-lists alive between requests.
   pool::MemoryScope memory_scope_;
   std::unique_ptr<MsdMixer> mixer_;
   std::mutex model_mu_;
+  bool use_plan_ = false;
+  // Index b-1 serves batch size b; null entries fall back to RunFrozen.
+  std::vector<std::unique_ptr<CompiledPlan>> plans_;
 };
 
 // Convenience for checkpoints written by ForecastPipeline::Save: reads the

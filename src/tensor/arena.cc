@@ -1,0 +1,51 @@
+#include "tensor/arena.h"
+
+#include <memory>
+
+#include "common/check.h"
+
+namespace msd {
+namespace arena {
+
+int64_t AlignUp(int64_t bytes) {
+  MSD_CHECK_GE(bytes, 0);
+  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+}
+
+namespace {
+
+// Mirrors the pool's allocation idiom (std::allocator, not raw new) so the
+// arena obeys the same ownership rules the analyzer enforces on src/tensor.
+struct BlockDeleter {
+  size_t capacity = 0;
+  void operator()(float* block) const {
+    std::allocator<float>().deallocate(block, capacity);
+  }
+};
+
+}  // namespace
+
+Arena::Arena(int64_t bytes) {
+  MSD_CHECK_GE(bytes, 0);
+  bytes_ = AlignUp(bytes);
+  // Over-allocate by one alignment unit so the base can be rounded up:
+  // std::allocator only guarantees alignof(float).
+  const size_t capacity =
+      static_cast<size_t>((bytes_ + kAlignment) / sizeof(float) + 1);
+  float* raw = std::allocator<float>().allocate(capacity);
+  block_ = std::shared_ptr<float[]>(raw, BlockDeleter{capacity});
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(raw);
+  const uintptr_t aligned =
+      (addr + kAlignment - 1) / kAlignment * kAlignment;
+  base_ = reinterpret_cast<float*>(aligned);
+}
+
+float* Arena::at(int64_t offset) {
+  MSD_CHECK_GE(offset, 0);
+  MSD_CHECK_LE(offset, bytes_);
+  MSD_CHECK_EQ(offset % static_cast<int64_t>(sizeof(float)), 0);
+  return base_ + offset / static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace arena
+}  // namespace msd

@@ -1,0 +1,63 @@
+// Single-allocation activation arena (docs/COMPILER.md).
+//
+// The freeze-time planner (serve/plan.h) computes one static offset per
+// intermediate buffer of a traced forward pass; an Arena is the backing
+// storage those offsets index into. Unlike the size-class pool (pool.h),
+// which serves dynamically-shaped allocations one block at a time, an Arena
+// is allocated exactly once — at plan-compile time — and every request
+// thereafter reuses the same bytes with zero allocator traffic: no pool
+// lookups, no shared_ptr churn, no system calls.
+//
+// Semantics:
+//  * Offsets handed to the planner are kAlignment-aligned so every buffer
+//    view starts on a cache line / vector-register boundary.
+//  * The arena never zeroes its contents; plan steps overwrite every byte
+//    they read (the same contract as Tensor::Uninitialized).
+//  * Not thread-safe by design: the owning plan executes under its
+//    session's lock, which is the arena's exclusion domain.
+//  * Views into the arena are created with Tensor::FromExternal; they share
+//    the arena's lifetime through the owner handle and never touch the pool.
+#ifndef MSDMIXER_TENSOR_ARENA_H_
+#define MSDMIXER_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace msd {
+namespace arena {
+
+// Alignment of the arena base and of every planner-assigned offset.
+inline constexpr int64_t kAlignment = 64;
+
+// Rounds `bytes` up to the next kAlignment boundary (0 stays 0).
+int64_t AlignUp(int64_t bytes);
+
+class Arena {
+ public:
+  // One backing allocation of at least `bytes` (>= 0), base kAlignment-
+  // aligned. A zero-byte arena is valid and holds a non-null base.
+  explicit Arena(int64_t bytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  float* base() { return base_; }
+  const float* base() const { return base_; }
+  // Byte offset -> element pointer. `offset` must be float-aligned and
+  // inside the arena.
+  float* at(int64_t offset);
+  int64_t bytes() const { return bytes_; }
+
+  // Shares the backing allocation, for Tensor::FromExternal owner handles.
+  std::shared_ptr<void> owner() const { return block_; }
+
+ private:
+  std::shared_ptr<float[]> block_;
+  float* base_ = nullptr;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace arena
+}  // namespace msd
+
+#endif  // MSDMIXER_TENSOR_ARENA_H_

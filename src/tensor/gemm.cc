@@ -137,6 +137,35 @@ void Epilogue(float* c, float* pre, int64_t rows, int64_t n, const float* bias,
   }
 }
 
+// msd-hot-path-safe: thread-local grow-only pack scratch. Capacity is
+// bounded by kMc * kKc floats (64 KiB), so each worker allocates at most
+// once and every later GEMM reuses the buffer — no pool lookups and no
+// shared_ptr churn from inside the parallel region, which is what lets the
+// planned serving path (serve/plan.h) run with zero steady-state pool
+// traffic. PackA fully writes every element the micro-kernel reads, so a
+// dirty recycled buffer is fine (the pool made the same promise).
+float* APackScratch(int64_t floats) {
+  struct Scratch {
+    float* data = nullptr;
+    int64_t cap = 0;
+    ~Scratch() {
+      if (data != nullptr) {
+        std::allocator<float>().deallocate(data, static_cast<size_t>(cap));
+      }
+    }
+  };
+  thread_local Scratch scratch;
+  if (floats > scratch.cap) {
+    if (scratch.data != nullptr) {
+      std::allocator<float>().deallocate(scratch.data,
+                                         static_cast<size_t>(scratch.cap));
+    }
+    scratch.data = std::allocator<float>().allocate(static_cast<size_t>(floats));
+    scratch.cap = floats;
+  }
+  return scratch.data;
+}
+
 }  // namespace
 
 int64_t PackedBPanelFloats(int64_t k, int64_t n) {
@@ -173,8 +202,7 @@ void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
   // function of row_tiles and the grain) decides only which thread runs a
   // tile, never how the tile accumulates.
   runtime::ParallelFor(0, row_tiles, 1, [&](int64_t tb, int64_t te) {
-    std::shared_ptr<float[]> a_pack =
-        pool::AllocateShared(kMc * std::min(k, kKc));
+    float* a_pack = APackScratch(kMc * std::min(k, kKc));
     for (int64_t t = tb; t < te; ++t) {
       const int64_t i0 = t * kMc;
       const int64_t mc = std::min(kMc, m - i0);
@@ -185,7 +213,7 @@ void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
       }
       for (int64_t kc0 = 0; kc0 < k; kc0 += kKc) {
         const int64_t kc = std::min(kKc, k - kc0);
-        PackA(a + i0 * k + kc0, k, mc, kc, a_pack.get());
+        PackA(a + i0 * k + kc0, k, mc, kc, a_pack);
         const bool first = kc0 == 0;
         for (int64_t jp = 0; jp < n_panels; ++jp) {
           const float* bp = packed_b + jp * k * kNr + kc0 * kNr;
@@ -193,7 +221,7 @@ void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
           const int64_t nr = std::min(kNr, n - j0);
           for (int64_t ip = 0; ip < m_panels; ++ip) {
             const int64_t mr = std::min(kMr, mc - ip * kMr);
-            MicroKernel(a_pack.get() + ip * kMr * kc, bp, kc,
+            MicroKernel(a_pack + ip * kMr * kc, bp, kc,
                         c + (i0 + ip * kMr) * n + j0, n, first, mr, nr);
           }
         }

@@ -53,9 +53,22 @@ inline void DebugCheckNoAlias(const Tensor& out, const Tensor& in,
       << ShapeToString(in.shape()) << ")";
 }
 
+// Alias policy for the *Into entry points, whose outputs are caller-owned
+// (plan arena slots): an input either aliases the output EXACTLY (same base
+// pointer and same element count — the planner's in-place reuse, safe for
+// elementwise read-before-write at equal indices) or is fully disjoint.
+// Partial overlap is always a bug.
+inline void DebugCheckIntoAlias(const Tensor& out, const Tensor& in,
+                                const char* op) {
+  if (out.data() == in.data() && out.numel() == in.numel()) return;
+  DebugCheckNoAlias(out, in, op);
+}
+
 #define MSD_DEBUG_VALIDATE_TENSOR(t, op) ::msd::kernel::DebugValidateTensor(t, op)
 #define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
   ::msd::kernel::DebugCheckNoAlias(out, in, op)
+#define MSD_DEBUG_CHECK_INTO_ALIAS(out, in, op) \
+  ::msd::kernel::DebugCheckIntoAlias(out, in, op)
 
 #else  // !MSD_DEBUG_CHECKS_ENABLED
 
@@ -64,6 +77,8 @@ inline void DebugCheckNoAlias(const Tensor& out, const Tensor& in,
 #define MSD_DEBUG_VALIDATE_TENSOR(t, op) \
   ((void)sizeof(&(t)), (void)(op))
 #define MSD_DEBUG_CHECK_NO_ALIAS(out, in, op) \
+  ((void)sizeof(&(out)), (void)sizeof(&(in)), (void)(op))
+#define MSD_DEBUG_CHECK_INTO_ALIAS(out, in, op) \
   ((void)sizeof(&(out)), (void)sizeof(&(in)), (void)(op))
 
 #endif  // MSD_DEBUG_CHECKS_ENABLED
@@ -134,36 +149,54 @@ inline int64_t UnflattenOffset(int64_t i, const Shape& shape,
   return off;
 }
 
-// MapKernel: elementwise unary op, parallel over fixed chunks.
+// MapKernelInto: elementwise unary op into a caller-owned output (same
+// shape). The allocating MapKernel below delegates here, so the interpreted
+// and planned paths execute the same loop — bit-identity by construction.
 template <typename F>
-Tensor MapKernel(const Tensor& a, F f) {
+void MapKernelInto(const Tensor& a, Tensor& out, F f) {
   MSD_CHECK(a.defined());
+  MSD_CHECK(out.defined());
   MSD_DEBUG_VALIDATE_TENSOR(a, "MapKernel");
-  Tensor out = Tensor::Uninitialized(a.shape());
-  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "MapKernel");
+  MSD_CHECK(out.shape() == a.shape())
+      << "MapKernelInto output shape " << ShapeToString(out.shape())
+      << " != input " << ShapeToString(a.shape());
+  MSD_DEBUG_CHECK_INTO_ALIAS(out, a, "MapKernel");
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(0, a.numel(), kElementwiseGrain,
                        [&](int64_t cb, int64_t ce) {
                          for (int64_t i = cb; i < ce; ++i) po[i] = f(pa[i]);
                        });
+}
+
+// MapKernel: elementwise unary op, parallel over fixed chunks.
+template <typename F>
+Tensor MapKernel(const Tensor& a, F f) {
+  MSD_CHECK(a.defined());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  MapKernelInto(a, out, f);
   return out;
 }
 
-// ZipKernel: broadcasted elementwise binary op, parallel over the output.
-// Each output element is written by exactly one chunk, so results are
-// independent of chunk execution order.
+// ZipKernelInto: broadcasted elementwise binary op into a caller-owned
+// output of the broadcast shape. Each output element is written by exactly
+// one chunk, so results are independent of chunk execution order. An input
+// may alias the output exactly (planner in-place reuse): every path below
+// reads input element i no later than it writes output element i.
 template <typename F>
-Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
+void ZipKernelInto(const Tensor& a, const Tensor& b, Tensor& out, F f) {
   MSD_CHECK(a.defined());
   MSD_CHECK(b.defined());
+  MSD_CHECK(out.defined());
   MSD_DEBUG_VALIDATE_TENSOR(a, "ZipKernel");
   MSD_DEBUG_VALIDATE_TENSOR(b, "ZipKernel");
+  MSD_DEBUG_CHECK_INTO_ALIAS(out, a, "ZipKernel");
+  MSD_DEBUG_CHECK_INTO_ALIAS(out, b, "ZipKernel");
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out = Tensor::Uninitialized(a.shape());
-    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
-    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+    MSD_CHECK(out.shape() == a.shape())
+        << "ZipKernelInto output shape " << ShapeToString(out.shape())
+        << " != broadcast " << ShapeToString(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -173,7 +206,7 @@ Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
                              po[i] = f(pa[i], pb[i]);
                            }
                          });
-    return out;
+    return;
   }
   // Fast path: one side tiles the other as a suffix (e.g. bias add) — the
   // common case in Linear layers and per-channel scaling. `b_tiles_a`
@@ -183,9 +216,9 @@ Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
   if (b_tiles_a || a_tiles_b) {
     const Tensor& big = b_tiles_a ? a : b;
     const Tensor& small = b_tiles_a ? b : a;
-    Tensor out = Tensor::Uninitialized(big.shape());
-    MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
-    MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+    MSD_CHECK(out.shape() == big.shape())
+        << "ZipKernelInto output shape " << ShapeToString(out.shape())
+        << " != broadcast " << ShapeToString(big.shape());
     const float* pbig = big.data();
     const float* psmall = small.data();
     float* po = out.data();
@@ -203,15 +236,15 @@ Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
         }
       }
     });
-    return out;
+    return;
   }
   // General case: odometer walk over the broadcast output shape. Each chunk
   // re-derives its input offsets from its first linear index, so chunks are
   // independent.
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  Tensor out = Tensor::Uninitialized(out_shape);
-  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "ZipKernel");
-  MSD_DEBUG_CHECK_NO_ALIAS(out, b, "ZipKernel");
+  MSD_CHECK(out.shape() == out_shape)
+      << "ZipKernelInto output shape " << ShapeToString(out.shape())
+      << " != broadcast " << ShapeToString(out_shape);
   const auto sa = BroadcastStrides(a.shape(), out_shape);
   const auto sb = BroadcastStrides(b.shape(), out_shape);
   const int64_t rank = static_cast<int64_t>(out_shape.size());
@@ -238,7 +271,103 @@ Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
       }
     }
   });
+}
+
+// ZipKernel: broadcasted elementwise binary op, parallel over the output.
+template <typename F>
+Tensor ZipKernel(const Tensor& a, const Tensor& b, F f) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(b.defined());
+  Tensor out = Tensor::Uninitialized(BroadcastShapes(a.shape(), b.shape()));
+  ZipKernelInto(a, b, out, f);
   return out;
+}
+
+// Zip3KernelInto: fused ternary op out = g(f(a, b), c), the kernel behind
+// the planner's SubDiv/MulAdd peepholes. Evaluated in TWO chunk-local
+// passes: pass 1 writes f(a, b) into the output chunk, pass 2 folds c in
+// reading the stored value back. The memory round-trip forces f's result to
+// a rounded float32 exactly like the unfused op pair did, so the fusion is
+// bit-identical by construction — a single-expression g(f(a,b),c) would let
+// the compiler contract a*b+c into an FMA (-ffp-contract) and change bits.
+// The chunk (<= kElementwiseGrain elements) stays cache-resident between
+// passes, which is where the fusion's bandwidth win comes from.
+template <typename F, typename G>
+void Zip3KernelInto(const Tensor& a, const Tensor& b, const Tensor& c,
+                    Tensor& out, F f, G g) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(b.defined());
+  MSD_CHECK(c.defined());
+  MSD_CHECK(out.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Zip3Kernel");
+  MSD_DEBUG_VALIDATE_TENSOR(b, "Zip3Kernel");
+  MSD_DEBUG_VALIDATE_TENSOR(c, "Zip3Kernel");
+  // Pass 2 reads c after pass 1 overwrote the output chunk, so c may never
+  // alias the output (the planner only reuses the first operand's slot).
+  MSD_DEBUG_CHECK_INTO_ALIAS(out, a, "Zip3Kernel");
+  MSD_DEBUG_CHECK_NO_ALIAS(out, b, "Zip3Kernel");
+  MSD_DEBUG_CHECK_NO_ALIAS(out, c, "Zip3Kernel");
+  const Shape out_shape =
+      BroadcastShapes(BroadcastShapes(a.shape(), b.shape()), c.shape());
+  MSD_CHECK(out.shape() == out_shape)
+      << "Zip3KernelInto output shape " << ShapeToString(out.shape())
+      << " != broadcast " << ShapeToString(out_shape);
+  const auto sa = BroadcastStrides(a.shape(), out_shape);
+  const auto sb = BroadcastStrides(b.shape(), out_shape);
+  const auto sc = BroadcastStrides(c.shape(), out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const float* pc = c.data();
+  float* po = out.data();
+  // Contiguity (stride pattern == full row-major) lets a pass run as a
+  // dense loop instead of the odometer.
+  const auto dense = RowMajorStrides(out_shape);
+  const bool a_dense = sa == dense;
+  const bool b_dense = sb == dense;
+  const bool c_dense = sc == dense;
+  runtime::ParallelFor(0, out.numel(), kElementwiseGrain,
+                       [&](int64_t cb, int64_t ce) {
+    std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+    // Pass 1: out[i] = f(a, b) over the chunk.
+    if (a_dense && b_dense) {
+      for (int64_t i = cb; i < ce; ++i) po[i] = f(pa[i], pb[i]);
+    } else {
+      int64_t oa = UnflattenOffset(cb, out_shape, sa, index);
+      int64_t ob = UnflattenOffset(cb, out_shape, sb, index);
+      for (int64_t i = cb; i < ce; ++i) {
+        po[i] = f(pa[oa], pb[ob]);
+        for (int64_t axis = rank - 1; axis >= 0; --axis) {
+          const size_t u = static_cast<size_t>(axis);
+          ++index[u];
+          oa += sa[u];
+          ob += sb[u];
+          if (index[u] < out_shape[u]) break;
+          oa -= sa[u] * out_shape[u];
+          ob -= sb[u] * out_shape[u];
+          index[u] = 0;
+        }
+      }
+    }
+    // Pass 2: out[i] = g(out[i], c) over the same (cache-hot) chunk.
+    if (c_dense) {
+      for (int64_t i = cb; i < ce; ++i) po[i] = g(po[i], pc[i]);
+    } else {
+      std::fill(index.begin(), index.end(), 0);
+      int64_t oc = UnflattenOffset(cb, out_shape, sc, index);
+      for (int64_t i = cb; i < ce; ++i) {
+        po[i] = g(po[i], pc[oc]);
+        for (int64_t axis = rank - 1; axis >= 0; --axis) {
+          const size_t u = static_cast<size_t>(axis);
+          ++index[u];
+          oc += sc[u];
+          if (index[u] < out_shape[u]) break;
+          oc -= sc[u] * out_shape[u];
+          index[u] = 0;
+        }
+      }
+    }
+  });
 }
 
 // ReduceKernel: whole-tensor reduction. Per-chunk partials are combined with

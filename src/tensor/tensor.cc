@@ -7,6 +7,7 @@
 
 #include "common/debug.h"
 #include "obs/metrics.h"
+#include "tensor/optrace.h"
 #include "tensor/pool.h"
 
 namespace msd {
@@ -109,6 +110,18 @@ Tensor Tensor::RandUniform(Shape shape, float lo, float hi, Rng& rng) {
   return t;
 }
 
+Tensor Tensor::FromExternal(Shape shape, float* data,
+                            std::shared_ptr<void> owner) {
+  MSD_CHECK(data != nullptr);
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElementsOf(t.shape_);
+  // Aliasing constructor: the control block is the owner's, the pointee is
+  // the external buffer. No allocation, no pool traffic.
+  t.storage_ = std::shared_ptr<float[]>(std::move(owner), data);
+  return t;
+}
+
 Tensor Tensor::RandNormal(Shape shape, float mean, float stddev, Rng& rng) {
   Tensor t(std::move(shape));
   float* p = t.data();
@@ -171,6 +184,13 @@ Tensor Tensor::Clone() const {
   MSD_CHECK(defined());
   Tensor out = Uninitialized(shape_);
   std::copy(data(), data() + numel_, out.data());
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kCopy;
+    op.inputs = {*this};
+    op.output = out;
+    optrace::Record(std::move(op));
+  }
   return out;
 }
 
@@ -208,6 +228,9 @@ void Tensor::CopyFrom(const Tensor& src) {
   MSD_CHECK(defined());
   MSD_CHECK(src.defined());
   MSD_CHECK_EQ(numel_, src.numel());
+  // In-place mutation of an existing buffer is invisible to the op trace:
+  // a replay would still see the old value. Poison any active capture.
+  if (optrace::Active()) optrace::RecordUnsupported("Tensor::CopyFrom");
   // std::copy forbids the destination starting inside the source range;
   // aliasing here means the caller copied a tensor onto (a reshape of)
   // itself, which is a bug even when the copy would be a no-op.

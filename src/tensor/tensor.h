@@ -59,6 +59,12 @@ class Tensor {
   static Tensor RandUniform(Shape shape, float lo, float hi, Rng& rng);
   // I.i.d. normal(mean, stddev).
   static Tensor RandNormal(Shape shape, float mean, float stddev, Rng& rng);
+  // Wraps caller-owned storage (e.g. a plan arena slot) without touching the
+  // pool: `data` must stay valid while `owner` is held. The view is a full
+  // Tensor — kernels can read and write it — but Reshape/copies share the
+  // external buffer exactly like pool-backed storage.
+  static Tensor FromExternal(Shape shape, float* data,
+                             std::shared_ptr<void> owner);
 
   // ---- Introspection ------------------------------------------------------
   bool defined() const { return storage_ != nullptr; }

@@ -11,16 +11,31 @@
 #include "obs/profiler.h"
 #include "runtime/parallel.h"
 #include "tensor/kernels.h"
+#include "tensor/optrace.h"
 
 namespace msd {
 
 using kernel::BroadcastStrides;
 using kernel::GrainForWork;
 using kernel::MapKernel;
+using kernel::MapKernelInto;
 using kernel::ReduceKernel;
 using kernel::ZipKernel;
+using kernel::ZipKernelInto;
+using kernel::Zip3KernelInto;
 
 namespace {
+
+// Appends one op to an active capture (callers guard with optrace::Active()
+// so operand vectors are only materialized while tracing).
+void RecordOp(optrace::OpKind kind, std::vector<Tensor> inputs,
+              const Tensor& out) {
+  optrace::RecordedOp op;
+  op.kind = kind;
+  op.inputs = std::move(inputs);
+  op.output = out;
+  optrace::Record(std::move(op));
+}
 
 // Resolves and validates reduction dims; returns a sorted, deduped list of
 // non-negative axes.
@@ -128,77 +143,228 @@ Tensor ReduceTo(const Tensor& t, const Shape& target) {
   return reduced.Reshape(target);
 }
 
+// The per-element lambdas live in one place so the allocating op, its *Into
+// twin, and the planner's fused kernels all apply identical arithmetic.
+namespace lam {
+inline constexpr auto add = [](float x, float y) { return x + y; };
+inline constexpr auto sub = [](float x, float y) { return x - y; };
+inline constexpr auto mul = [](float x, float y) { return x * y; };
+inline constexpr auto div = [](float x, float y) { return x / y; };
+}  // namespace lam
+
+// msd-hot-path-safe: plan-executor kernel entry — writes a caller-owned
+// arena slot through the same fixed-chunk loop the interpreted path runs;
+// no pool traffic, no locks (contract tested by tests/plan_test.cc).
+void AddInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  ZipKernelInto(a, b, out, lam::add);
+}
+// msd-hot-path-safe: same contract as AddInto.
+void SubInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  ZipKernelInto(a, b, out, lam::sub);
+}
+// msd-hot-path-safe: same contract as AddInto.
+void MulInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  ZipKernelInto(a, b, out, lam::mul);
+}
+// msd-hot-path-safe: same contract as AddInto.
+void DivInto(const Tensor& a, const Tensor& b, Tensor& out) {
+  ZipKernelInto(a, b, out, lam::div);
+}
+// msd-hot-path-safe: same contract as AddInto.
+void AddScalarInto(const Tensor& a, float s, Tensor& out) {
+  MapKernelInto(a, out, [s](float x) { return x + s; });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void MulScalarInto(const Tensor& a, float s, Tensor& out) {
+  MapKernelInto(a, out, [s](float x) { return x * s; });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void NegInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return -x; });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void ExpInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return std::exp(x); });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void LogInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return std::log(x); });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void SqrtInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return std::sqrt(x); });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void AbsInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return std::fabs(x); });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void SquareInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return x * x; });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void ReluInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void GeluInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) {
+    return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
+  });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void SigmoidInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+// msd-hot-path-safe: same contract as AddInto.
+void TanhInto(const Tensor& a, Tensor& out) {
+  MapKernelInto(a, out, [](float x) { return std::tanh(x); });
+}
+
+// msd-hot-path-safe: fused (a - b) / c; two chunk-local passes round the
+// subtraction through memory, so bits match the unfused Sub+Div pair.
+void SubDivInto(const Tensor& a, const Tensor& b, const Tensor& c,
+                Tensor& out) {
+  Zip3KernelInto(a, b, c, out, lam::sub, lam::div);
+}
+// msd-hot-path-safe: fused a * b + c; same rounding contract as SubDivInto
+// (the memory round-trip defeats FMA contraction).
+void MulAddInto(const Tensor& a, const Tensor& b, const Tensor& c,
+                Tensor& out) {
+  Zip3KernelInto(a, b, c, out, lam::mul, lam::add);
+}
+
+namespace {
+
+Tensor AllocZip(const Tensor& a, const Tensor& b) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(b.defined());
+  return Tensor::Uninitialized(BroadcastShapes(a.shape(), b.shape()));
+}
+
+}  // namespace
+
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return ZipKernel(a, b, [](float x, float y) { return x + y; });
+  Tensor out = AllocZip(a, b);
+  AddInto(a, b, out);
+  if (optrace::Active()) RecordOp(optrace::OpKind::kAdd, {a, b}, out);
+  return out;
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return ZipKernel(a, b, [](float x, float y) { return x - y; });
+  Tensor out = AllocZip(a, b);
+  SubInto(a, b, out);
+  if (optrace::Active()) RecordOp(optrace::OpKind::kSub, {a, b}, out);
+  return out;
 }
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return ZipKernel(a, b, [](float x, float y) { return x * y; });
+  Tensor out = AllocZip(a, b);
+  MulInto(a, b, out);
+  if (optrace::Active()) RecordOp(optrace::OpKind::kMul, {a, b}, out);
+  return out;
 }
 Tensor Div(const Tensor& a, const Tensor& b) {
-  return ZipKernel(a, b, [](float x, float y) { return x / y; });
+  Tensor out = AllocZip(a, b);
+  DivInto(a, b, out);
+  if (optrace::Active()) RecordOp(optrace::OpKind::kDiv, {a, b}, out);
+  return out;
 }
 Tensor Maximum(const Tensor& a, const Tensor& b) {
+  if (optrace::Active()) optrace::RecordUnsupported("Maximum");
   return ZipKernel(a, b, [](float x, float y) { return std::max(x, y); });
 }
 Tensor Minimum(const Tensor& a, const Tensor& b) {
+  if (optrace::Active()) optrace::RecordUnsupported("Minimum");
   return ZipKernel(a, b, [](float x, float y) { return std::min(x, y); });
 }
 Tensor Greater(const Tensor& a, const Tensor& b) {
+  if (optrace::Active()) optrace::RecordUnsupported("Greater");
   return ZipKernel(a, b, [](float x, float y) { return x > y ? 1.0f : 0.0f; });
 }
 Tensor GreaterEqual(const Tensor& a, const Tensor& b) {
+  if (optrace::Active()) optrace::RecordUnsupported("GreaterEqual");
   return ZipKernel(a, b, [](float x, float y) { return x >= y ? 1.0f : 0.0f; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return MapKernel(a, [s](float x) { return x + s; });
+  Tensor out = Tensor::Uninitialized(a.shape());
+  AddScalarInto(a, s, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kAddScalar;
+    op.inputs = {a};
+    op.output = out;
+    op.scalar = s;
+    optrace::Record(std::move(op));
+  }
+  return out;
 }
 Tensor MulScalar(const Tensor& a, float s) {
-  return MapKernel(a, [s](float x) { return x * s; });
+  Tensor out = Tensor::Uninitialized(a.shape());
+  MulScalarInto(a, s, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kMulScalar;
+    op.inputs = {a};
+    op.output = out;
+    op.scalar = s;
+    optrace::Record(std::move(op));
+  }
+  return out;
 }
 
+namespace {
+
+// Shared body for the recorded unary ops.
+template <typename IntoFn>
+Tensor UnaryOp(const Tensor& a, optrace::OpKind kind, IntoFn into) {
+  Tensor out = Tensor::Uninitialized(a.shape());
+  into(a, out);
+  if (optrace::Active()) RecordOp(kind, {a}, out);
+  return out;
+}
+
+}  // namespace
+
 Tensor Neg(const Tensor& a) {
-  return MapKernel(a, [](float x) { return -x; });
+  return UnaryOp(a, optrace::OpKind::kNeg, NegInto);
 }
 Tensor Exp(const Tensor& a) {
-  return MapKernel(a, [](float x) { return std::exp(x); });
+  return UnaryOp(a, optrace::OpKind::kExp, ExpInto);
 }
 Tensor Log(const Tensor& a) {
-  return MapKernel(a, [](float x) { return std::log(x); });
+  return UnaryOp(a, optrace::OpKind::kLog, LogInto);
 }
 Tensor Sqrt(const Tensor& a) {
-  return MapKernel(a, [](float x) { return std::sqrt(x); });
+  return UnaryOp(a, optrace::OpKind::kSqrt, SqrtInto);
 }
 Tensor Abs(const Tensor& a) {
-  return MapKernel(a, [](float x) { return std::fabs(x); });
+  return UnaryOp(a, optrace::OpKind::kAbs, AbsInto);
 }
 Tensor Square(const Tensor& a) {
-  return MapKernel(a, [](float x) { return x * x; });
+  return UnaryOp(a, optrace::OpKind::kSquare, SquareInto);
 }
 Tensor Relu(const Tensor& a) {
-  return MapKernel(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return UnaryOp(a, optrace::OpKind::kRelu, ReluInto);
 }
 Tensor Gelu(const Tensor& a) {
-  return MapKernel(a, [](float x) {
-    return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752f));
-  });
+  return UnaryOp(a, optrace::OpKind::kGelu, GeluInto);
 }
 Tensor Sigmoid(const Tensor& a) {
-  return MapKernel(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+  return UnaryOp(a, optrace::OpKind::kSigmoid, SigmoidInto);
 }
 Tensor Tanh(const Tensor& a) {
-  return MapKernel(a, [](float x) { return std::tanh(x); });
+  return UnaryOp(a, optrace::OpKind::kTanh, TanhInto);
 }
 Tensor Clamp(const Tensor& a, float lo, float hi) {
+  if (optrace::Active()) optrace::RecordUnsupported("Clamp");
   return MapKernel(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
 }
 Tensor Sign(const Tensor& a) {
+  if (optrace::Active()) optrace::RecordUnsupported("Sign");
   return MapKernel(a, [](float x) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
 }
 Tensor GeluGrad(const Tensor& a) {
+  if (optrace::Active()) optrace::RecordUnsupported("GeluGrad");
   return MapKernel(a, [](float x) {
     const float phi_big = 0.5f * (1.0f + std::erf(x * 0.70710678118654752f));
     const float phi_small =
@@ -211,27 +377,45 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return MatMulEx(a, b, Tensor(), gemm::Activation::kIdentity, nullptr);
 }
 
-Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
-                gemm::Activation act, Tensor* pre_out) {
-  MSD_SPAN("tensor/matmul");
+namespace {
+
+// Expected result shape of a (possibly batched, broadcast) matmul; also
+// validates operand/bias shapes.
+Shape MatMulOutShape(const Tensor& a, const Tensor& b, const Tensor& bias) {
   MSD_DEBUG_VALIDATE_TENSOR(a, "MatMul");
   MSD_DEBUG_VALIDATE_TENSOR(b, "MatMul");
   MSD_CHECK_GE(a.rank(), 2);
   MSD_CHECK_GE(b.rank(), 2);
   const int64_t m = a.dim(-2);
   const int64_t k = a.dim(-1);
-  const int64_t k2 = b.dim(-2);
   const int64_t n = b.dim(-1);
-  MSD_CHECK_EQ(k, k2) << "matmul inner dims mismatch: "
-                      << ShapeToString(a.shape()) << " x "
-                      << ShapeToString(b.shape());
+  MSD_CHECK_EQ(k, b.dim(-2)) << "matmul inner dims mismatch: "
+                             << ShapeToString(a.shape()) << " x "
+                             << ShapeToString(b.shape());
   if (bias.defined()) {
     MSD_DEBUG_VALIDATE_TENSOR(bias, "MatMulEx bias");
     MSD_CHECK_EQ(bias.rank(), 1) << "MatMulEx bias must be rank-1 [n]";
     MSD_CHECK_EQ(bias.dim(0), n) << "MatMulEx bias length mismatch";
   }
+  Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  Shape out_shape = BroadcastShapes(a_batch, b_batch);
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+  return out_shape;
+}
 
-  // Broadcast batch dims.
+// Shared GEMM body: the allocating MatMulEx and the plan executor's
+// MatMulExInto both land here, so the two paths run identical arithmetic.
+// `pre_ptr` receives a @ b + bias when non-null (training only).
+// msd-hot-path-safe: the audited GEMM chokepoint — writes `out` (pool- or
+// arena-backed) via gemm::Gemm; counter adds are relaxed atomics.
+void MatMulExImpl(const Tensor& a, const Tensor& b, const Tensor& bias,
+                  gemm::Activation act, Tensor& out, float* pre_ptr) {
+  MSD_SPAN("tensor/matmul");
+  const int64_t m = a.dim(-2);
+  const int64_t k = a.dim(-1);
+  const int64_t n = b.dim(-1);
   Shape a_batch(a.shape().begin(), a.shape().end() - 2);
   Shape b_batch(b.shape().begin(), b.shape().end() - 2);
   const Shape batch = BroadcastShapes(a_batch, b_batch);
@@ -244,23 +428,8 @@ Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
   matmul_calls.Add(1);
   matmul_flops.Add(2 * batch_numel * m * k * n);
 
-  Shape out_shape = batch;
-  out_shape.push_back(m);
-  out_shape.push_back(n);
-  // The GEMM writes every output element; no zero-fill pre-pass.
-  Tensor out = Tensor::Uninitialized(out_shape);
-
-  float* pre_ptr = nullptr;
-  if (pre_out != nullptr) {
-    if (act == gemm::Activation::kIdentity) {
-      *pre_out = out;  // pre-activation == output; share storage
-    } else {
-      *pre_out = Tensor::Uninitialized(out_shape);
-      pre_ptr = pre_out->data();
-    }
-  }
   const float* bias_ptr = bias.defined() ? bias.data() : nullptr;
-  if (out.numel() == 0) return out;
+  if (out.numel() == 0) return;
 
   // Shared-B fast path: when b carries no real batch dims, the batched
   // product is one [batch*m, k] x [k, n] GEMM over a's contiguous buffer —
@@ -269,7 +438,7 @@ Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
   if (NumElementsOf(b_batch) == 1) {
     gemm::Gemm(a.data(), b.data(), out.data(), batch_numel * m, k, n,
                bias_ptr, act, pre_ptr);
-    return out;
+    return;
   }
 
   // True-batched path (e.g. attention scores): one GEMM per batch matrix,
@@ -317,10 +486,91 @@ Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
       }
     }
   });
+}
+
+}  // namespace
+
+Tensor MatMulEx(const Tensor& a, const Tensor& b, const Tensor& bias,
+                gemm::Activation act, Tensor* pre_out) {
+  Shape out_shape = MatMulOutShape(a, b, bias);
+  // The GEMM writes every output element; no zero-fill pre-pass.
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
+  float* pre_ptr = nullptr;
+  if (pre_out != nullptr) {
+    if (act == gemm::Activation::kIdentity) {
+      *pre_out = out;  // pre-activation == output; share storage
+    } else {
+      *pre_out = Tensor::Uninitialized(out.shape());
+      pre_ptr = pre_out->data();
+    }
+  }
+  MatMulExImpl(a, b, bias, act, out, pre_ptr);
+  if (optrace::Active()) {
+    if (pre_ptr != nullptr) {
+      // A distinct pre-activation buffer only exists under autograd; replay
+      // has nowhere to put it, so a capture that sees one is poisoned.
+      optrace::RecordUnsupported("MatMulEx pre_out");
+    } else {
+      optrace::RecordedOp op;
+      op.kind = optrace::OpKind::kMatMulEx;
+      op.inputs = {a, b};
+      if (bias.defined()) op.inputs.push_back(bias);
+      op.output = out;
+      op.act = act;
+      optrace::Record(std::move(op));
+    }
+  }
   return out;
 }
 
+// msd-hot-path-safe: same contract as AddInto (GEMM chokepoint audited in
+// MatMulExImpl above).
+void MatMulExInto(const Tensor& a, const Tensor& b, const Tensor& bias,
+                  gemm::Activation act, Tensor& out) {
+  MSD_CHECK(out.defined());
+  MSD_CHECK(out.shape() == MatMulOutShape(a, b, bias))
+      << "MatMulExInto output shape mismatch: " << ShapeToString(out.shape());
+  MatMulExImpl(a, b, bias, act, out, nullptr);
+}
+
+Tensor PackGemmB(const Tensor& b) {
+  MSD_CHECK(b.defined());
+  MSD_CHECK_EQ(b.rank(), 2) << "PackGemmB packs shared [k, n] operands";
+  const int64_t k = b.dim(0);
+  const int64_t n = b.dim(1);
+  Tensor packed = Tensor::Uninitialized({gemm::PackedBPanelFloats(k, n)});
+  gemm::PackB(b.data(), k, n, packed.data());
+  return packed;
+}
+
+// msd-hot-path-safe: same contract as MatMulExInto's shared-B fast path —
+// one flat GEMM over preplanned buffers, with the per-call B pack already
+// hoisted to freeze time.
+void MatMulExPrepackedInto(const Tensor& a, const Tensor& b_packed, int64_t k,
+                           int64_t n, const Tensor& bias, gemm::Activation act,
+                           Tensor& out) {
+  MSD_SPAN("tensor/matmul");
+  MSD_CHECK(a.defined() && b_packed.defined() && out.defined());
+  MSD_CHECK_GE(a.rank(), 2);
+  MSD_CHECK_EQ(a.dim(-1), k);
+  MSD_CHECK_EQ(b_packed.numel(), gemm::PackedBPanelFloats(k, n));
+  const int64_t m = k == 0 ? out.numel() / std::max<int64_t>(n, 1)
+                           : a.numel() / k;
+  MSD_CHECK_EQ(out.numel(), m * n);
+  static obs::Counter& matmul_calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_calls");
+  static obs::Counter& matmul_flops =
+      obs::MetricsRegistry::Global().GetCounter("tensor/matmul_flops");
+  matmul_calls.Add(1);
+  matmul_flops.Add(2 * m * k * n);
+  if (out.numel() == 0) return;
+  const float* bias_ptr = bias.defined() ? bias.data() : nullptr;
+  gemm::GemmPrepacked(a.data(), b_packed.data(), out.data(), m, k, n, bias_ptr,
+                      act, nullptr);
+}
+
 Tensor SumAll(const Tensor& a) {
+  if (optrace::Active()) optrace::RecordUnsupported("SumAll");
   const float* p = a.data();
   const double acc = ReduceKernel(
       a, 0.0,
@@ -339,6 +589,9 @@ Tensor MeanAll(const Tensor& a) {
 }
 
 float MaxAbs(const Tensor& a) {
+  // Scalar escape hatch: the value leaves the tensor graph, so a replay
+  // could not recompute anything derived from it.
+  if (optrace::Active()) optrace::RecordUnsupported("MaxAbs");
   const float* p = a.data();
   return ReduceKernel(
       a, 0.0f,
@@ -350,15 +603,27 @@ float MaxAbs(const Tensor& a) {
       [](float x, float y) { return std::max(x, y); });
 }
 
-Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+// msd-hot-path-safe: same contract as AddInto. `dims` arrives pre-normalized
+// (sorted, deduped, non-negative, non-empty); `out` holds the kept elements
+// (keepdim or squeezed form — the kernels index linearly either way).
+void SumInto(const Tensor& a, const std::vector<int64_t>& dims, Tensor& out) {
   MSD_CHECK(a.defined());
-  MSD_DEBUG_VALIDATE_TENSOR(a, "Sum");
+  MSD_CHECK(out.defined());
+  MSD_CHECK(!dims.empty());
   const int64_t rank = a.rank();
-  dims = NormalizeDims(std::move(dims), rank);
-  if (dims.empty()) return a.Clone();
-
   Shape keep_shape = a.shape();
-  for (int64_t d : dims) keep_shape[static_cast<size_t>(d)] = 1;
+  int64_t reduced = 1;
+  for (int64_t d : dims) {
+    MSD_CHECK_GE(d, 0);
+    MSD_CHECK_LT(d, rank);
+    reduced *= a.dim(d);
+    keep_shape[static_cast<size_t>(d)] = 1;
+  }
+  MSD_CHECK_EQ(out.numel(), NumElementsOf(keep_shape))
+      << "SumInto output must hold the kept elements";
+  // The reduction seeds out with zero then accumulates, so unlike the
+  // elementwise kernels the output may never alias the input.
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "SumInto");
 
   // Fast path: reducing a contiguous prefix of axes (e.g. bias gradients)
   // or a contiguous suffix (e.g. per-row sums). Both parallelize over the
@@ -367,16 +632,14 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   const bool is_prefix =
       dims.back() == static_cast<int64_t>(dims.size()) - 1;
   const bool is_suffix = dims.front() == rank - static_cast<int64_t>(dims.size());
+  const float* pa = a.data();
+  float* po = out.data();
   if (is_prefix || is_suffix) {
-    int64_t reduced = 1;
-    for (int64_t d : dims) reduced *= a.dim(d);
     const int64_t kept = a.numel() / std::max<int64_t>(1, reduced);
-    Tensor out(keep_shape);
-    const float* pa = a.data();
-    float* po = out.data();
     if (is_prefix) {
       // Sum `reduced` stacked blocks of length `kept`; r ascends innermost
       // per output element, matching the serial block order.
+      std::fill(po, po + kept, 0.0f);
       runtime::ParallelFor(0, kept, GrainForWork(reduced),
                            [&](int64_t cb, int64_t ce) {
         for (int64_t r = 0; r < reduced; ++r) {
@@ -396,19 +659,37 @@ Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
         }
       });
     }
-    if (keepdim) return out;
-    return out.Reshape(SqueezeDims(a, dims));
+    return;
   }
 
-  Tensor out(keep_shape);
   // out_strides has 0 on reduced axes, so many input positions map to the
   // same output slot, accumulating the reduction.
-  const float* pa = a.data();
-  float* po = out.data();
+  std::fill(po, po + out.numel(), 0.0f);
   ReduceVisit(a, BroadcastStrides(keep_shape, a.shape()), -1,
               [&](int64_t i, int64_t off, int64_t) { po[off] += pa[i]; });
-  if (keepdim) return out;
-  return out.Reshape(SqueezeDims(a, dims));
+}
+
+Tensor Sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  MSD_CHECK(a.defined());
+  MSD_DEBUG_VALIDATE_TENSOR(a, "Sum");
+  const int64_t rank = a.rank();
+  dims = NormalizeDims(std::move(dims), rank);
+  if (dims.empty()) return a.Clone();  // Clone records kCopy when tracing
+
+  Shape keep_shape = a.shape();
+  for (int64_t d : dims) keep_shape[static_cast<size_t>(d)] = 1;
+  Tensor out =
+      Tensor::Uninitialized(keepdim ? keep_shape : SqueezeDims(a, dims));
+  SumInto(a, dims, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kSum;
+    op.inputs = {a};
+    op.output = out;
+    op.dims = dims;
+    optrace::Record(std::move(op));
+  }
+  return out;
 }
 
 Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
@@ -421,6 +702,7 @@ Tensor Mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
 }
 
 Tensor MaxReduce(const Tensor& a, int64_t dim, bool keepdim) {
+  if (optrace::Active()) optrace::RecordUnsupported("MaxReduce");
   const int64_t rank = a.rank();
   dim = NormalizeDim(dim, rank);
   Shape keep_shape = a.shape();
@@ -437,6 +719,7 @@ Tensor MaxReduce(const Tensor& a, int64_t dim, bool keepdim) {
 }
 
 Tensor ArgMax(const Tensor& a, int64_t dim) {
+  if (optrace::Active()) optrace::RecordUnsupported("ArgMax");
   const int64_t rank = a.rank();
   dim = NormalizeDim(dim, rank);
   Shape keep_shape = a.shape();
@@ -458,38 +741,58 @@ Tensor ArgMax(const Tensor& a, int64_t dim) {
   return arg.Reshape(squeezed);
 }
 
-Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+namespace {
+
+// Validates `perm` against `a` and returns (normalized perm, result shape).
+std::pair<std::vector<int64_t>, Shape> PermuteOutShape(
+    const Tensor& a, const std::vector<int64_t>& perm) {
   MSD_DEBUG_VALIDATE_TENSOR(a, "Permute");
   const int64_t rank = a.rank();
   MSD_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
   std::vector<bool> seen(static_cast<size_t>(rank), false);
+  std::vector<int64_t> norm(static_cast<size_t>(rank));
   Shape out_shape(static_cast<size_t>(rank));
   for (int64_t i = 0; i < rank; ++i) {
     const int64_t p = NormalizeDim(perm[static_cast<size_t>(i)], rank);
     MSD_CHECK(!seen[static_cast<size_t>(p)]) << "duplicate axis in permutation";
     seen[static_cast<size_t>(p)] = true;
+    norm[static_cast<size_t>(i)] = p;
     out_shape[static_cast<size_t>(i)] = a.dim(p);
   }
+  return {std::move(norm), std::move(out_shape)};
+}
+
+}  // namespace
+
+// msd-hot-path-safe: same contract as AddInto (the gather path's odometer
+// index vector is chunk-local and audited with it).
+void PermuteInto(const Tensor& a, const std::vector<int64_t>& perm,
+                 Tensor& out) {
+  auto [norm, out_shape] = PermuteOutShape(a, perm);
+  const int64_t rank = a.rank();
+  MSD_CHECK(out.shape() == out_shape)
+      << "PermuteInto output shape mismatch: " << ShapeToString(out.shape());
+  // A gather can never run in place: output slot i reads input slot
+  // sigma(i) while slot i may still be pending.
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "PermuteInto");
   // Fast path: swapping the last two axes (batched 2D transpose), the
   // dominant movement pattern in the mixer's axis-MLP blocks. Parallel over
   // batch matrices — each writes a disjoint output block.
   if (rank >= 2) {
     bool last_two_swap = true;
     for (int64_t i = 0; i < rank - 2; ++i) {
-      if (NormalizeDim(perm[static_cast<size_t>(i)], rank) != i) {
+      if (norm[static_cast<size_t>(i)] != i) {
         last_two_swap = false;
         break;
       }
     }
-    last_two_swap =
-        last_two_swap &&
-        NormalizeDim(perm[static_cast<size_t>(rank - 2)], rank) == rank - 1 &&
-        NormalizeDim(perm[static_cast<size_t>(rank - 1)], rank) == rank - 2;
+    last_two_swap = last_two_swap &&
+                    norm[static_cast<size_t>(rank - 2)] == rank - 1 &&
+                    norm[static_cast<size_t>(rank - 1)] == rank - 2;
     if (last_two_swap) {
       const int64_t rows = a.dim(-2);
       const int64_t cols = a.dim(-1);
-      const int64_t batch = a.numel() / (rows * cols);
-      Tensor out = Tensor::Uninitialized(out_shape);
+      const int64_t batch = a.numel() / std::max<int64_t>(1, rows * cols);
       const float* pa = a.data();
       float* po = out.data();
       runtime::ParallelFor(0, batch, GrainForWork(rows * cols),
@@ -503,17 +806,16 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
           }
         }
       });
-      return out;
+      return;
     }
   }
 
-  Tensor out = Tensor::Uninitialized(out_shape);
   const auto in_strides = RowMajorStrides(a.shape());
   // Stride to advance in the *input* when the i-th *output* axis increments.
   std::vector<int64_t> gather_strides(static_cast<size_t>(rank));
   for (int64_t i = 0; i < rank; ++i) {
     gather_strides[static_cast<size_t>(i)] =
-        in_strides[static_cast<size_t>(NormalizeDim(perm[static_cast<size_t>(i)], rank))];
+        in_strides[static_cast<size_t>(norm[static_cast<size_t>(i)])];
   }
   const float* pa = a.data();
   float* po = out.data();
@@ -533,6 +835,20 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
       }
     }
   });
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  auto [norm, out_shape] = PermuteOutShape(a, perm);
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
+  PermuteInto(a, norm, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kPermute;
+    op.inputs = {a};
+    op.output = out;
+    op.dims = std::move(norm);
+    optrace::Record(std::move(op));
+  }
   return out;
 }
 
@@ -546,26 +862,40 @@ Tensor Transpose(const Tensor& a, int64_t dim0, int64_t dim1) {
   return Permute(a, perm);
 }
 
-// msd-hot-path-safe: batch assembly over pool-backed tensors; the small
-// shape vectors are audited with it.
-Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+namespace {
+
+// Validates slice bounds; `dim` must already be normalized.
+void CheckSliceArgs(const Tensor& a, int64_t dim, int64_t start,
+                    int64_t length) {
   MSD_DEBUG_VALIDATE_TENSOR(a, "Slice");
-  const int64_t rank = a.rank();
-  dim = NormalizeDim(dim, rank);
   MSD_CHECK_GE(start, 0);
   MSD_CHECK_GE(length, 0);
   MSD_CHECK_LE(start + length, a.dim(dim))
       << "slice [" << start << ", " << start + length << ") out of range on axis "
       << dim << " of " << ShapeToString(a.shape());
+}
+
+}  // namespace
+
+// msd-hot-path-safe: same contract as AddInto (row-block memcpy loop).
+void SliceInto(const Tensor& a, int64_t dim, int64_t start, int64_t length,
+               Tensor& out) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  CheckSliceArgs(a, dim, start, length);
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(dim)] = length;
-  Tensor out = Tensor::Uninitialized(out_shape);
+  MSD_CHECK(out.shape() == out_shape)
+      << "SliceInto output shape mismatch: " << ShapeToString(out.shape());
+  // memcpy forbids overlap, and a slice is a shift — never an exact alias.
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "SliceInto");
   // View the tensor as [outer, a.dim(dim), inner] and copy row blocks.
   int64_t outer = 1;
   for (int64_t i = 0; i < dim; ++i) outer *= a.dim(i);
   int64_t inner = 1;
   for (int64_t i = dim + 1; i < rank; ++i) inner *= a.dim(i);
   const int64_t in_dim = a.dim(dim);
+  if (out.numel() == 0) return;
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(0, outer, GrainForWork(length * inner),
@@ -576,10 +906,72 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
       std::memcpy(dst, src, static_cast<size_t>(length * inner) * sizeof(float));
     }
   });
+}
+
+// msd-hot-path-safe: batch assembly over pool-backed tensors; the small
+// shape vectors are audited with it.
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t length) {
+  const int64_t rank = a.rank();
+  dim = NormalizeDim(dim, rank);
+  CheckSliceArgs(a, dim, start, length);
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(dim)] = length;
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
+  SliceInto(a, dim, start, length, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kSlice;
+    op.inputs = {a};
+    op.output = out;
+    op.dim = dim;
+    op.start = start;
+    op.length = length;
+    optrace::Record(std::move(op));
+  }
   return out;
 }
 
+// msd-hot-path-safe: same contract as AddInto. Fused
+// out = a - Slice(src, dim, start, length): the residual-subtract chain
+// without materializing the sliced component. The subtraction reads src
+// directly at the sliced offsets, so per element it is bitwise the
+// unfused Slice-then-SubInto pair (same two operands, one fsub).
+void SliceSubInto(const Tensor& a, const Tensor& src, int64_t dim,
+                  int64_t start, int64_t length, Tensor& out) {
+  const int64_t rank = src.rank();
+  dim = NormalizeDim(dim, rank);
+  CheckSliceArgs(src, dim, start, length);
+  Shape slice_shape = src.shape();
+  slice_shape[static_cast<size_t>(dim)] = length;
+  MSD_CHECK(a.shape() == slice_shape)
+      << "SliceSubInto: minuend shape " << ShapeToString(a.shape())
+      << " != slice shape " << ShapeToString(slice_shape);
+  MSD_CHECK(out.shape() == slice_shape)
+      << "SliceSubInto output shape mismatch: " << ShapeToString(out.shape());
+  MSD_DEBUG_CHECK_INTO_ALIAS(out, a, "SliceSubInto");
+  MSD_DEBUG_CHECK_NO_ALIAS(out, src, "SliceSubInto");
+  int64_t outer = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= src.dim(i);
+  int64_t inner = 1;
+  for (int64_t i = dim + 1; i < rank; ++i) inner *= src.dim(i);
+  const int64_t in_dim = src.dim(dim);
+  if (out.numel() == 0) return;
+  const float* pa = a.data();
+  const float* ps = src.data();
+  float* po = out.data();
+  runtime::ParallelFor(0, outer, GrainForWork(length * inner),
+                       [&](int64_t cb, int64_t ce) {
+    for (int64_t o = cb; o < ce; ++o) {
+      const float* row_a = pa + o * length * inner;
+      const float* row_s = ps + (o * in_dim + start) * inner;
+      float* dst = po + o * length * inner;
+      for (int64_t i = 0; i < length * inner; ++i) dst[i] = row_a[i] - row_s[i];
+    }
+  });
+}
+
 Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
+  if (optrace::Active()) optrace::RecordUnsupported("Concat");
   MSD_CHECK(!parts.empty());
   for (const Tensor& p : parts) MSD_DEBUG_VALIDATE_TENSOR(p, "Concat");
   const int64_t rank = parts[0].rank();
@@ -620,8 +1012,9 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t dim) {
   return out;
 }
 
-Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
-           float value) {
+// msd-hot-path-safe: same contract as AddInto (fill plus row memcpy).
+void PadInto(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+             float value, Tensor& out) {
   MSD_DEBUG_VALIDATE_TENSOR(a, "Pad");
   const int64_t rank = a.rank();
   dim = NormalizeDim(dim, rank);
@@ -629,13 +1022,19 @@ Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
   MSD_CHECK_GE(after, 0);
   Shape out_shape = a.shape();
   out_shape[static_cast<size_t>(dim)] += before + after;
-  Tensor out = Tensor::Full(out_shape, value);
+  MSD_CHECK(out.shape() == out_shape)
+      << "PadInto output shape mismatch: " << ShapeToString(out.shape());
+  // The fill pre-pass would clobber an aliased input.
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "PadInto");
+  if (out.numel() == 0) return;
+  out.Fill(value);
   int64_t outer = 1;
   for (int64_t i = 0; i < dim; ++i) outer *= a.dim(i);
   int64_t inner = 1;
   for (int64_t i = dim + 1; i < rank; ++i) inner *= a.dim(i);
   const int64_t in_dim = a.dim(dim);
   const int64_t out_dim = out.dim(dim);
+  if (a.numel() == 0) return;
   const float* pa = a.data();
   float* po = out.data();
   runtime::ParallelFor(0, outer, GrainForWork(in_dim * inner),
@@ -646,11 +1045,46 @@ Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
       std::memcpy(dst, src, static_cast<size_t>(in_dim * inner) * sizeof(float));
     }
   });
+}
+
+Tensor Pad(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+           float value) {
+  const int64_t rank = a.rank();
+  const int64_t norm_dim = NormalizeDim(dim, rank);
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(norm_dim)] += before + after;
+  Tensor out = Tensor::Uninitialized(std::move(out_shape));
+  PadInto(a, norm_dim, before, after, value, out);
+  if (optrace::Active()) {
+    optrace::RecordedOp op;
+    op.kind = optrace::OpKind::kPad;
+    op.inputs = {a};
+    op.output = out;
+    op.dim = norm_dim;
+    op.before = before;
+    op.after = after;
+    op.pad_value = value;
+    optrace::Record(std::move(op));
+  }
   return out;
+}
+
+// msd-hot-path-safe: same contract as AddInto (straight element copy;
+// shapes may differ by reshape, numel must match).
+void CopyInto(const Tensor& a, Tensor& out) {
+  MSD_CHECK(a.defined());
+  MSD_CHECK(out.defined());
+  MSD_CHECK_EQ(a.numel(), out.numel());
+  if (out.numel() == 0) return;
+  if (out.data() == a.data()) return;  // exact alias: copy is a no-op
+  MSD_DEBUG_CHECK_NO_ALIAS(out, a, "CopyInto");
+  std::memcpy(out.data(), a.data(),
+              static_cast<size_t>(a.numel()) * sizeof(float));
 }
 
 // msd-hot-path-safe: same contract as Slice.
 Tensor Stack(const std::vector<Tensor>& parts) {
+  if (optrace::Active()) optrace::RecordUnsupported("Stack");
   MSD_CHECK(!parts.empty());
   const Shape& base = parts[0].shape();
   Shape out_shape;

@@ -107,6 +107,73 @@ Tensor Stack(const std::vector<Tensor>& parts);
 // ---- Normalization helpers ---------------------------------------------------
 Tensor Softmax(const Tensor& a, int64_t dim);
 
+// ---- Caller-owned-output entry points (docs/COMPILER.md) -------------------
+// The plan executor (serve/plan.h) replays a traced forward into
+// preplanned arena buffers through these. Each allocating op above is a thin
+// wrapper over its *Into twin, so the interpreted and planned paths run the
+// same kernel loop — bit-identity between them holds by construction.
+// `out` must be defined with the op's exact result shape (Sum: the kept
+// element count; its shape may be the keepdim or squeezed form). An input
+// may alias `out` exactly (same buffer, same numel — the planner's in-place
+// reuse) but never partially.
+void AddInto(const Tensor& a, const Tensor& b, Tensor& out);
+void SubInto(const Tensor& a, const Tensor& b, Tensor& out);
+void MulInto(const Tensor& a, const Tensor& b, Tensor& out);
+void DivInto(const Tensor& a, const Tensor& b, Tensor& out);
+void AddScalarInto(const Tensor& a, float s, Tensor& out);
+void MulScalarInto(const Tensor& a, float s, Tensor& out);
+void NegInto(const Tensor& a, Tensor& out);
+void ExpInto(const Tensor& a, Tensor& out);
+void LogInto(const Tensor& a, Tensor& out);
+void SqrtInto(const Tensor& a, Tensor& out);
+void AbsInto(const Tensor& a, Tensor& out);
+void SquareInto(const Tensor& a, Tensor& out);
+void ReluInto(const Tensor& a, Tensor& out);
+void GeluInto(const Tensor& a, Tensor& out);
+void SigmoidInto(const Tensor& a, Tensor& out);
+void TanhInto(const Tensor& a, Tensor& out);
+// act(a @ b + bias) into `out` (no pre-activation output: the frozen
+// inference path never differentiates).
+void MatMulExInto(const Tensor& a, const Tensor& b, const Tensor& bias,
+                  gemm::Activation act, Tensor& out);
+// Freeze-time helper for the serving planner: packs a rank-2 GEMM operand
+// b [k, n] into the panel layout gemm::GemmPrepacked consumes, as a rank-1
+// tensor of gemm::PackedBPanelFloats(k, n) floats.
+Tensor PackGemmB(const Tensor& b);
+// act(a @ b + bias) where `b_packed` came from PackGemmB of a [k, n] weight
+// (shared-B products only: every batch row multiplies the same b). Bit-
+// identical to MatMulExInto — GemmPrepacked is the exact tail of Gemm —
+// minus the per-call B pack and its buffer.
+void MatMulExPrepackedInto(const Tensor& a, const Tensor& b_packed, int64_t k,
+                           int64_t n, const Tensor& bias, gemm::Activation act,
+                           Tensor& out);
+// Reduce over `dims` (already normalized: sorted, deduped, non-negative,
+// non-empty). `out` holds the kept elements.
+void SumInto(const Tensor& a, const std::vector<int64_t>& dims, Tensor& out);
+void PermuteInto(const Tensor& a, const std::vector<int64_t>& perm,
+                 Tensor& out);
+void SliceInto(const Tensor& a, int64_t dim, int64_t start, int64_t length,
+               Tensor& out);
+void PadInto(const Tensor& a, int64_t dim, int64_t before, int64_t after,
+             float value, Tensor& out);
+// Straight element copy (same numel; shapes may differ by reshape).
+void CopyInto(const Tensor& a, Tensor& out);
+
+// Fused peephole kernels (plan-only; tensor_ops never records these — the
+// planner rewrites recorded pairs into them). Each is bit-identical to the
+// unfused pair: the first stage's result is rounded through the output
+// buffer before the second stage reads it (see kernels.h Zip3KernelInto).
+// (a - b) / c — the RevIN/scaler normalize chain.
+void SubDivInto(const Tensor& a, const Tensor& b, const Tensor& c,
+                Tensor& out);
+// a * b + c — the denormalize / inverse-transform chain.
+void MulAddInto(const Tensor& a, const Tensor& b, const Tensor& c,
+                Tensor& out);
+// a - Slice(src, dim, start, length) — the per-scale residual-subtract
+// chain, without materializing the sliced component.
+void SliceSubInto(const Tensor& a, const Tensor& src, int64_t dim,
+                  int64_t start, int64_t length, Tensor& out);
+
 // ---- Testing utilities --------------------------------------------------------
 bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
               float rtol = 1e-4f);

@@ -408,6 +408,7 @@ void RunLockOrderPass(const std::vector<FileIndex>& files,
 // ---------------------------------------------------------------------------
 
 void RunHotPathPass(const std::vector<FileIndex>& files,
+                    const std::vector<std::string>& require_reachable,
                     std::vector<Finding>* out) {
   struct Node {
     const FileIndex* file;
@@ -463,6 +464,45 @@ void RunHotPathPass(const std::vector<FileIndex>& files,
         parent[callee->fn] = node.fn;
         queue.push_back(*callee);
       }
+    }
+  }
+
+  // Coverage assertions: each required name must be in the visited set —
+  // scanned by this pass, hot-site checks applied. A name that exists in
+  // the index but was never reached means the BFS lost the call edge (or a
+  // chokepoint annotation swallowed it); a name that does not exist at all
+  // usually means the function was renamed without updating the check.
+  for (const std::string& want : require_reachable) {
+    bool reached = false;
+    for (const Node& node : queue) {
+      if (node.fn->QualifiedName() == want) {
+        reached = true;
+        break;
+      }
+    }
+    if (reached) continue;
+    const FileIndex* where_file = nullptr;
+    const FunctionInfo* where_fn = nullptr;
+    for (const FileIndex& f : files) {
+      for (const FunctionInfo& fn : f.functions) {
+        if (fn.QualifiedName() == want) {
+          where_file = &f;
+          where_fn = &fn;
+        }
+      }
+    }
+    if (where_fn != nullptr) {
+      out->push_back(
+          {"require-reachable", where_file->source.rel, where_fn->line,
+           "'" + want +
+               "' exists but was not visited by the hot-path BFS; its "
+               "call edge from a hot-path root was lost or a "
+               "msd-hot-path-safe chokepoint now hides it"});
+    } else {
+      out->push_back(
+          {"require-reachable", "src", 0,
+           "no function named '" + want +
+               "' exists; the --require-reachable check is stale"});
     }
   }
 
@@ -664,7 +704,7 @@ AnalyzerResult RunAnalyzer(const std::string& root,
   for (const FileIndex& f : files) RunFileRules(f, &result.findings);
   RunLayeringPass(files, &result.findings);
   RunLockOrderPass(files, &result.findings);
-  RunHotPathPass(files, &result.findings);
+  RunHotPathPass(files, options.require_reachable, &result.findings);
   RunAtomicsPass(files, &result.findings);
 
   std::vector<Suppression> suppressions;

@@ -58,6 +58,12 @@ struct AnalyzerOptions {
   // (the built-in default path may not exist in fixture trees).
   std::string suppressions_path;
   bool suppressions_required = false;
+  // Qualified function names ("CompiledPlan::Execute") that MUST be visited
+  // by the hot-path BFS. A clean report only proves a function was scanned
+  // if the BFS actually reached it; listing it here turns silent coverage
+  // loss (a renamed method, a broken call edge, an over-eager
+  // msd-hot-path-safe chokepoint) into a require-reachable finding.
+  std::vector<std::string> require_reachable;
 };
 
 struct AnalyzerResult {

@@ -1,58 +1,71 @@
 // msd_analyze CLI: cross-file static analysis over <repo-root>/src, run as
 // the `analyze_check` ctest (docs/ANALYSIS.md).
 //
-// Usage: msd_analyze [--json] [--suppressions FILE] <repo-root>
+// Usage: msd_analyze [--json] [--suppressions FILE]
+//                    [--require-reachable NAME]... <repo-root>
 //
-//   --json                 print the machine-readable report on stdout
-//                          (the human report always goes to stderr)
-//   --suppressions FILE    override the suppression file; the default is
-//                          <repo-root>/tools/analyze/suppressions.txt, which
-//                          may be absent (treated as empty)
+//   --json                    print the machine-readable report on stdout
+//                             (the human report always goes to stderr)
+//   --suppressions FILE       override the suppression file; the default is
+//                             <repo-root>/tools/analyze/suppressions.txt,
+//                             which may be absent (treated as empty)
+//   --require-reachable NAME  fail unless the hot-path BFS visits the
+//                             function with qualified name NAME (e.g.
+//                             "CompiledPlan::Execute"); repeatable. Guards
+//                             against silent coverage loss: a clean report
+//                             only vouches for code the BFS actually
+//                             scanned.
 //
 // Exit status: 0 clean, 1 unsuppressed findings, 2 configuration error.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "analyze/analyzer.h"
+
+namespace {
+
+int UsageError() {
+  std::fprintf(stderr,
+               "usage: msd_analyze [--json] [--suppressions FILE] "
+               "[--require-reachable NAME]... <repo-root>\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   std::string suppressions;
   bool suppressions_explicit = false;
   std::string root;
+  std::vector<std::string> require_reachable;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--suppressions") == 0 && i + 1 < argc) {
       suppressions = argv[++i];
       suppressions_explicit = true;
+    } else if (std::strcmp(argv[i], "--require-reachable") == 0 &&
+               i + 1 < argc) {
+      require_reachable.push_back(argv[++i]);
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr,
-                   "usage: msd_analyze [--json] [--suppressions FILE] "
-                   "<repo-root>\n");
-      return 2;
+      return UsageError();
     } else if (root.empty()) {
       root = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: msd_analyze [--json] [--suppressions FILE] "
-                   "<repo-root>\n");
-      return 2;
+      return UsageError();
     }
   }
-  if (root.empty()) {
-    std::fprintf(stderr,
-                 "usage: msd_analyze [--json] [--suppressions FILE] "
-                 "<repo-root>\n");
-    return 2;
-  }
+  if (root.empty()) return UsageError();
 
   msd::analyze::AnalyzerOptions options;
   options.suppressions_path =
       suppressions_explicit ? suppressions
                             : root + "/tools/analyze/suppressions.txt";
   options.suppressions_required = suppressions_explicit;
+  options.require_reachable = require_reachable;
 
   const msd::analyze::AnalyzerResult result =
       msd::analyze::RunAnalyzer(root, options);

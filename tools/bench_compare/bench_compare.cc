@@ -18,8 +18,10 @@
 //     interpolation the server uses (obs::QuantileFromBuckets), keyed
 //     "serve/e2e_us/p99" style.
 //
-// Only names present in BOTH files are compared; additions and removals are
-// listed as informational. A name whose current time exceeds baseline by
+// Only names present in BOTH files are compared; additions are listed as
+// informational, while baseline keys MISSING from the candidate warn on
+// stderr (a renamed benchmark or dropped metric is a coverage hole, not
+// noise). A name whose current time exceeds baseline by
 // more than --threshold percent (default 10) is a regression; any regression
 // makes the exit status 1 so tools/check.sh can gate on it. Malformed input
 // or usage errors exit 2.
@@ -96,18 +98,22 @@ bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
   return true;
 }
 
-// Serving latency percentiles (bench_serving --metrics-out) live under
-// metrics.gauges as serve/latency_p50_us / p95 / p99. They are
-// lower-is-better microsecond values, so they join the comparison map
-// alongside span times and gate the same way (tools/check.sh
-// --serve-baseline).
+// Serving gauges (bench_serving --metrics-out) live under metrics.gauges:
+// serve/latency_p50_us / p95 / p99 (the clients' own clocks) and
+// serve/arena_bytes (total planner arena footprint across batch sizes,
+// docs/COMPILER.md). All are lower-is-better values, so they join the
+// comparison map alongside span times and gate the same way
+// (tools/check.sh --serve-baseline catches both a latency regression and
+// an unexplained memory-plan blowup).
 void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr) return;
   const JsonValue* gauges = metrics->Find("gauges");
   if (gauges == nullptr || !gauges->is_object()) return;
   for (const auto& [name, value] : gauges->object) {
-    if (name.rfind("serve/latency_", 0) == 0 && value.is_number()) {
+    const bool tracked = name.rfind("serve/latency_", 0) == 0 ||
+                         name == "serve/arena_bytes";
+    if (tracked && value.is_number()) {
       (*out)[name] = value.number;
     }
   }
@@ -225,10 +231,18 @@ int main(int argc, char** argv) {
   int64_t compared = 0;
   int64_t regressions = 0;
   int64_t improvements = 0;
+  int64_t gone = 0;
   for (const auto& [name, base_time] : baseline) {
     const auto it = current.find(name);
     if (it == current.end()) {
-      std::printf("  [gone ] %s (only in baseline)\n", name.c_str());
+      // A baseline key the candidate no longer reports is a coverage hole —
+      // a renamed benchmark or a dropped metric silently escapes the gate —
+      // so it warns on stderr instead of hiding in the stdout listing.
+      std::fprintf(stderr,
+                   "bench_compare: warning: baseline key '%s' missing from "
+                   "candidate; not compared\n",
+                   name.c_str());
+      ++gone;
       continue;
     }
     ++compared;
@@ -254,10 +268,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "bench_compare: %lld compared, %lld regressions, %lld improvements "
-      "(threshold %.1f%%)\n",
+      "bench_compare: %lld compared, %lld regressions, %lld improvements, "
+      "%lld missing from candidate (threshold %.1f%%)\n",
       static_cast<long long>(compared), static_cast<long long>(regressions),
-      static_cast<long long>(improvements), threshold_pct);
+      static_cast<long long>(improvements), static_cast<long long>(gone),
+      threshold_pct);
   if (compared == 0) {
     std::fprintf(stderr, "bench_compare: no common entries to compare\n");
     return 2;

@@ -6,9 +6,16 @@
 # Legs:
 #   analyze       build tools/analyze and run msd_analyze over src/ (human
 #                 report plus --json, which must parse); any unsuppressed
-#                 finding fails the leg.
+#                 finding fails the leg. The run also asserts hot-path BFS
+#                 coverage of the planner executor (--require-reachable
+#                 CompiledPlan::Execute / InferenceSession::RunPlanned), so a
+#                 lost call edge from the PredictBatch root cannot silently
+#                 shrink what "0 findings" vouches for.
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
-#                 full ctest including analyze_check and gradcheck_sweep, plus a
+#                 full ctest run TWICE — once with MSD_PLAN=1 (compiled
+#                 session plans, the default) and once with MSD_PLAN=0 (the
+#                 interpreted oracle) — including analyze_check and
+#                 gradcheck_sweep, plus a
 #                 quickstart run whose training losses are captured, a
 #                 thread-scaling bench snapshot (BENCH_threads.json), a
 #                 serving load snapshot (BENCH_serve.json from
@@ -144,9 +151,24 @@ run_release_like_leg() {  # leg-name extra-cmake-flag...
   if ! configure_and_build "${builddir}" -- "$@"; then
     fail_leg "${leg}" "build failed"; return
   fi
-  note "leg ${leg}: ctest"
-  if ! (cd "${builddir}" && ctest --output-on-failure -j "${JOBS}"); then
-    fail_leg "${leg}" "ctest failures"; return
+  if [[ "${leg}" == "release" ]]; then
+    # The compiled plan path must be bit-identical to the interpreter
+    # (docs/COMPILER.md), so the release leg runs the whole suite on both
+    # sides of the toggle: MSD_PLAN=1 (planned, the default) and MSD_PLAN=0
+    # (the interpreted oracle every plan is validated against).
+    local plan
+    for plan in 1 0; do
+      note "leg ${leg}: ctest (MSD_PLAN=${plan})"
+      if ! (cd "${builddir}" &&
+            MSD_PLAN="${plan}" ctest --output-on-failure -j "${JOBS}"); then
+        fail_leg "${leg}" "ctest failures (MSD_PLAN=${plan})"; return
+      fi
+    done
+  else
+    note "leg ${leg}: ctest"
+    if ! (cd "${builddir}" && ctest --output-on-failure -j "${JOBS}"); then
+      fail_leg "${leg}" "ctest failures"; return
+    fi
   fi
   note "leg ${leg}: quickstart"
   if ! quickstart_losses "${builddir}" "${builddir}/quickstart_losses.txt"; then
@@ -168,9 +190,15 @@ for leg in "${LEGS[@]}"; do
       # is captured and must parse. Exit 1 means unsuppressed findings,
       # exit 2 a configuration error (e.g. a suppression without a
       # justification) — both fail the leg.
+      # --require-reachable turns silent hot-path coverage loss into a
+      # failure: the planner executor must stay visible to the BFS from the
+      # PredictBatch root or a clean report proves nothing about it.
       note "leg analyze: msd_analyze over src/"
       json="${builddir}/analyze_report.json"
-      if ! "${builddir}/tools/msd_analyze" --json "${ROOT}" > "${json}"; then
+      if ! "${builddir}/tools/msd_analyze" --json \
+          --require-reachable "InferenceSession::RunPlanned" \
+          --require-reachable "CompiledPlan::Execute" \
+          "${ROOT}" > "${json}"; then
         fail_leg analyze "unsuppressed findings (report above)"; continue
       fi
       if command -v python3 >/dev/null 2>&1; then

@@ -15,9 +15,11 @@
 // --selftest trains a small pipeline on synthetic data, serves it to
 // itself through the full text protocol (data requests plus the STATS and
 // TRACE admin commands), checks the responses against
-// ForecastPipeline::Predict, validates the telemetry JSONL when
-// --telemetry-out is given, and exits nonzero on any mismatch — this is
-// the msd_serve_selftest ctest.
+// ForecastPipeline::Predict, answers every data request through BOTH a
+// planned session (MSD_PLAN=1, docs/COMPILER.md) and an interpreted one
+// (MSD_PLAN=0) and requires byte-identical replies, validates the
+// telemetry JSONL when --telemetry-out is given, and exits nonzero on any
+// mismatch — this is the msd_serve_selftest ctest.
 //
 // Telemetry: a background obs::TelemetryExporter appends a JSONL registry
 // snapshot to --telemetry-out every --telemetry-interval-ms and services
@@ -242,17 +244,38 @@ int SelfTest(int argc, char** argv) {
   serve::ForecastSessionOptions options;
   options.lookback = pc.lookback;
   options.horizon = pc.horizon;
+  // Two sessions over the same checkpoint: one frozen through the plan
+  // compiler (MSD_PLAN=1), one pinned to the interpreter (MSD_PLAN=0).
+  // Every data reply below is answered by both and must match byte-for-byte
+  // — the end-to-end spelling of the planner's bit-identity contract.
+  ::setenv("MSD_PLAN", "1", 1);
   auto session = serve::CreateForecastSession(ckpt, options);
+  ::setenv("MSD_PLAN", "0", 1);
+  auto interp_session = serve::CreateForecastSession(ckpt, options);
+  ::unsetenv("MSD_PLAN");
   std::remove(ckpt.c_str());
   std::remove((ckpt + ".meta").c_str());
-  if (!session.ok()) {
+  if (!session.ok() || !interp_session.ok()) {
     std::fprintf(stderr, "selftest: session failed: %s\n",
-                 session.status().ToString().c_str());
+                 (session.ok() ? interp_session.status() : session.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  if (!session.value()->planned() || interp_session.value()->planned()) {
+    std::fprintf(stderr, "selftest: MSD_PLAN did not select the paths\n");
+    return 1;
+  }
+  if (session.value()->plan_for(1) == nullptr) {
+    std::fprintf(stderr, "selftest: planned session has no batch-1 plan\n");
     return 1;
   }
   serve::MicroBatcherConfig bc;
   bc.max_delay_us = 500;
   serve::ServerLoop server(session.value().get(), bc);
+  serve::MicroBatcherConfig ibc;
+  ibc.max_delay_us = 500;
+  serve::ServerLoop interp_server(interp_session.value().get(), ibc);
 
   // Sample every request so the TRACE dump below is never empty.
   obs::TraceRing::Global().SetSampleEvery(1);
@@ -267,18 +290,30 @@ int SelfTest(int argc, char** argv) {
   }
   server.SetExporter(&exporter);
   server.Start();
+  interp_server.Start();
 
   int failures = 0;
   for (int64_t offset = 0; offset + pc.lookback <= series.dim(1) && offset < 64;
        offset += 16) {
     const Tensor window = Slice(series, 1, offset, pc.lookback);
     const Tensor want = pipeline.Predict(window);
-    const std::string reply =
-        server.HandleLine(serve::FormatTensorLine(window));
+    const std::string line = serve::FormatTensorLine(window);
+    const std::string reply = server.HandleLine(line);
     if (reply.rfind("ERROR", 0) == 0) {
       std::fprintf(stderr, "selftest: request failed: %s\n", reply.c_str());
       ++failures;
       continue;
+    }
+    // Planned vs interpreted: the reply text must agree to the last byte
+    // (identical floats print identically under %.6g).
+    const std::string interp_reply = interp_server.HandleLine(line);
+    if (reply.size() != interp_reply.size() ||
+        std::memcmp(reply.data(), interp_reply.data(), reply.size()) != 0) {
+      std::fprintf(stderr,
+                   "selftest: planned and interpreted replies differ:\n"
+                   "  plan:   %s\n  interp: %s\n",
+                   reply.c_str(), interp_reply.c_str());
+      ++failures;
     }
     auto parsed = serve::ParseWindowLine(reply, window.dim(0), pc.horizon);
     if (!parsed.ok()) {
@@ -357,6 +392,7 @@ int SelfTest(int argc, char** argv) {
   std::remove(trace_path);
 
   server.Stop();
+  interp_server.Stop();
   exporter.Stop();
   if (!telemetry_path.empty()) {
     // At least the t=0 and flush-on-shutdown snapshots must be present.
