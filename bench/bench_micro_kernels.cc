@@ -353,6 +353,11 @@ int main(int argc, char** argv) {
                                              passthrough.data())) {
     return 1;
   }
+  // Stamp the repo's own compile mode into the JSON context: recorded
+  // baselines must come from Release builds, and tools/bench_compare
+  // refuses files whose msd_build_type is not "release" (the library's
+  // library_build_type reports how *benchmark* was packaged, not this tree).
+  benchmark::AddCustomContext("msd_build_type", msd::bench::BuildTypeString());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 

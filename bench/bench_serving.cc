@@ -16,7 +16,16 @@
 //                 [--metrics-out FILE] [--trace-out FILE]
 //                 [--telemetry-out FILE] [--telemetry-interval-ms N]
 //                 [--trace-sample N] [--ring-trace-out FILE]
-//                 [--quantile-tolerance PCT]
+//                 [--quantile-tolerance PCT] [--quantize]
+//
+// --quantize appends a second load phase against an int8-quantized session
+// (InferenceSessionConfig::quantize, docs/PERFORMANCE.md): same request
+// count, same closed loop, latencies published as the
+// serve/quant_latency_p{50,95,99}_us and serve/quant_throughput_rps gauges
+// so one --metrics-out snapshot carries both legs side by side. The phase
+// fails the run if any quantized response differs from the quantized
+// session's own direct Predict (batch-composition invariance must survive
+// quantization).
 //
 // --telemetry-out streams periodic JSONL registry snapshots from a live
 // obs::TelemetryExporter while the load runs; --ring-trace-out dumps the
@@ -102,6 +111,75 @@ bool CheckBackpressure(serve::InferenceSession* session) {
   return true;
 }
 
+// One closed-loop load phase: `clients` threads hammer `server` with their
+// per-client windows until `requests` requests complete, verifying every
+// response bit-for-bit against `expected` (the session's own direct
+// Predict). Returns the merged, sorted latency sample plus failure counts.
+struct LoadResult {
+  std::vector<double> sorted_latencies_us;
+  double wall_s = 0.0;
+  int64_t failures = 0;
+  int64_t mismatches = 0;
+};
+
+LoadResult RunClosedLoop(serve::ServerLoop* server,
+                         const std::vector<Tensor>& windows,
+                         const std::vector<Tensor>& expected,
+                         int64_t requests, int64_t clients) {
+  std::atomic<int64_t> issued{0};
+  std::atomic<int64_t> failures{0};
+  std::atomic<int64_t> mismatches{0};
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
+  const auto start = std::chrono::steady_clock::now();
+  {
+    runtime::WorkerGroup group;
+    group.Start(clients, [&](int64_t client) {
+      auto& mine = latencies[static_cast<size_t>(client)];
+      const Tensor& window = windows[static_cast<size_t>(client)];
+      const Tensor& want = expected[static_cast<size_t>(client)];
+      while (issued.fetch_add(1) < requests) {
+        const auto t0 = std::chrono::steady_clock::now();
+        StatusOr<Tensor> got = server->Handle(window);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!got.ok()) {
+          // Closed-loop clients never overflow the queue; any error is a bug.
+          failures.fetch_add(1);
+          continue;
+        }
+        mine.push_back(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                .count()));
+        if (std::memcmp(got.value().data(), want.data(),
+                        sizeof(float) * static_cast<size_t>(want.numel())) !=
+            0) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+    group.Join();
+  }
+  LoadResult result;
+  result.wall_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  for (auto& v : latencies) {
+    result.sorted_latencies_us.insert(result.sorted_latencies_us.end(),
+                                      v.begin(), v.end());
+  }
+  std::sort(result.sorted_latencies_us.begin(),
+            result.sorted_latencies_us.end());
+  result.failures = failures.load();
+  result.mismatches = mismatches.load();
+  return result;
+}
+
+bool HasFlag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,7 +188,11 @@ int main(int argc, char** argv) {
   const int64_t clients = IntFlag(argc, argv, "--clients", 4);
   const int64_t workers = IntFlag(argc, argv, "--workers", 2);
   const int64_t max_batch = IntFlag(argc, argv, "--max-batch", 8);
-  const int64_t max_delay_us = IntFlag(argc, argv, "--max-delay-us", 1000);
+  // 200us coalescing window: long enough for the 4 closed-loop clients to
+  // batch, short enough that the batcher's wait does not dominate a ~1-2ms
+  // forward — at 1000us the delay floor hid compute-level changes (the int8
+  // path included) from the p50 the serving baseline gates on.
+  const int64_t max_delay_us = IntFlag(argc, argv, "--max-delay-us", 200);
   const int64_t trace_sample = IntFlag(argc, argv, "--trace-sample", 16);
 
   obs::TraceRing::Global().SetSampleEvery(trace_sample);
@@ -140,10 +222,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const bool quantize = HasFlag(argc, argv, "--quantize");
   serve::InferenceSessionConfig sc;
   sc.model = mc;
   sc.max_batch = max_batch;
   auto session_or = serve::InferenceSession::Create(sc, ckpt);
+  // The quantized phase restores the SAME checkpoint into an int8 session,
+  // so both legs serve identical weights.
+  std::unique_ptr<serve::InferenceSession> quant_session;
+  if (quantize) {
+    serve::InferenceSessionConfig qsc = sc;
+    qsc.quantize = true;
+    auto quant_or = serve::InferenceSession::Create(qsc, ckpt);
+    if (!quant_or.ok()) {
+      std::fprintf(stderr, "quantized session create failed: %s\n",
+                   quant_or.status().ToString().c_str());
+      std::remove(ckpt.c_str());
+      return 1;
+    }
+    quant_session = std::move(quant_or).value();
+  }
   std::remove(ckpt.c_str());
   if (!session_or.ok()) {
     std::fprintf(stderr, "session create failed: %s\n",
@@ -180,53 +278,17 @@ int main(int argc, char** argv) {
     expected.push_back(direct.value());
   }
 
-  std::atomic<int64_t> issued{0};
-  std::atomic<int64_t> failures{0};
-  std::atomic<int64_t> mismatches{0};
-  std::vector<std::vector<double>> latencies(static_cast<size_t>(clients));
-
-  const auto start = std::chrono::steady_clock::now();
-  {
-    runtime::WorkerGroup group;
-    group.Start(clients, [&](int64_t client) {
-      auto& mine = latencies[static_cast<size_t>(client)];
-      const Tensor& window = windows[static_cast<size_t>(client)];
-      const Tensor& want = expected[static_cast<size_t>(client)];
-      while (issued.fetch_add(1) < requests) {
-        const auto t0 = std::chrono::steady_clock::now();
-        StatusOr<Tensor> got = server.Handle(window);
-        const auto t1 = std::chrono::steady_clock::now();
-        if (!got.ok()) {
-          // Closed-loop clients never overflow the queue; any error is a bug.
-          failures.fetch_add(1);
-          continue;
-        }
-        mine.push_back(static_cast<double>(
-            std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
-                .count()));
-        if (std::memcmp(got.value().data(), want.data(),
-                        sizeof(float) * static_cast<size_t>(want.numel())) !=
-            0) {
-          mismatches.fetch_add(1);
-        }
-      }
-    });
-    group.Join();
-  }
-  const double wall_s =
-      std::chrono::duration_cast<std::chrono::duration<double>>(
-          std::chrono::steady_clock::now() - start)
-          .count();
+  LoadResult load = RunClosedLoop(&server, windows, expected, requests,
+                                  clients);
   server.Stop();
 
-  std::vector<double> merged;
-  for (auto& v : latencies) merged.insert(merged.end(), v.begin(), v.end());
-  std::sort(merged.begin(), merged.end());
+  std::vector<double>& merged = load.sorted_latencies_us;
   const double p50 = Percentile(&merged, 0.50);
   const double p95 = Percentile(&merged, 0.95);
   const double p99 = Percentile(&merged, 0.99);
   const double throughput =
-      wall_s > 0.0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+      load.wall_s > 0.0 ? static_cast<double>(merged.size()) / load.wall_s
+                        : 0.0;
 
   // Exact client-side percentiles as gauges, so --metrics-out snapshots are
   // comparable across runs by tools/bench_compare.
@@ -265,13 +327,13 @@ int main(int argc, char** argv) {
                  (long long)requests);
     ok = false;
   }
-  if (failures.load() != 0) {
-    std::fprintf(stderr, "%lld requests failed\n", (long long)failures.load());
+  if (load.failures != 0) {
+    std::fprintf(stderr, "%lld requests failed\n", (long long)load.failures);
     ok = false;
   }
-  if (mismatches.load() != 0) {
+  if (load.mismatches != 0) {
     std::fprintf(stderr, "%lld responses differed from direct Predict\n",
-                 (long long)mismatches.load());
+                 (long long)load.mismatches);
     ok = false;
   }
   if (!backpressure_ok) ok = false;
@@ -312,6 +374,71 @@ int main(int argc, char** argv) {
                    "(%.0f us) by more than %lld%%\n",
                    q.name, q.server, q.client,
                    static_cast<long long>(tolerance_pct));
+      ok = false;
+    }
+  }
+
+  // ---- Quantized phase (--quantize) ----------------------------------------
+  // Same closed loop against the int8 session; latencies land in the
+  // serve/quant_* gauges so one snapshot carries both legs.
+  if (quantize) {
+    serve::ServerLoop quant_server(quant_session.get(), bc);
+    quant_server.Start();
+    std::vector<Tensor> quant_expected;
+    for (const Tensor& w : windows) {
+      auto direct = quant_session->Predict(w);
+      if (!direct.ok()) {
+        std::fprintf(stderr, "quantized direct predict failed: %s\n",
+                     direct.status().ToString().c_str());
+        return 1;
+      }
+      quant_expected.push_back(direct.value());
+    }
+    LoadResult quant_load = RunClosedLoop(&quant_server, windows,
+                                          quant_expected, requests, clients);
+    quant_server.Stop();
+    std::vector<double>& qmerged = quant_load.sorted_latencies_us;
+    const double qp50 = Percentile(&qmerged, 0.50);
+    const double qp95 = Percentile(&qmerged, 0.95);
+    const double qp99 = Percentile(&qmerged, 0.99);
+    const double qthroughput =
+        quant_load.wall_s > 0.0
+            ? static_cast<double>(qmerged.size()) / quant_load.wall_s
+            : 0.0;
+    registry.GetGauge("serve/quant_latency_p50_us").Set(qp50);
+    registry.GetGauge("serve/quant_latency_p95_us").Set(qp95);
+    registry.GetGauge("serve/quant_latency_p99_us").Set(qp99);
+    registry.GetGauge("serve/quant_throughput_rps").Set(qthroughput);
+
+    bench::TablePrinter quant_table({"metric (int8)", "value"}, {24, 18});
+    quant_table.PrintHeader();
+    quant_table.PrintRow(
+        {"requests completed", std::to_string(qmerged.size())});
+    quant_table.PrintRow({"throughput (req/s)", bench::Fmt(qthroughput, 1)});
+    quant_table.PrintRow({"p50 latency (us)", bench::Fmt(qp50, 0)});
+    quant_table.PrintRow({"p95 latency (us)", bench::Fmt(qp95, 0)});
+    quant_table.PrintRow({"p99 latency (us)", bench::Fmt(qp99, 0)});
+    quant_table.PrintRow(
+        {"p50 speedup vs fp32",
+         qp50 > 0.0 ? bench::Fmt(p50 / qp50, 2) + "x" : "n/a"});
+    quant_table.PrintRule();
+
+    if (static_cast<int64_t>(qmerged.size()) < requests) {
+      std::fprintf(stderr, "quantized: only %zu/%lld requests completed\n",
+                   qmerged.size(), (long long)requests);
+      ok = false;
+    }
+    if (quant_load.failures != 0) {
+      std::fprintf(stderr, "quantized: %lld requests failed\n",
+                   (long long)quant_load.failures);
+      ok = false;
+    }
+    if (quant_load.mismatches != 0) {
+      // Quantization must preserve batch-composition invariance: row b of a
+      // quantized batch equals the quantized single-request Predict.
+      std::fprintf(stderr,
+                   "quantized: %lld responses differed from direct Predict\n",
+                   (long long)quant_load.mismatches);
       ok = false;
     }
   }

@@ -40,6 +40,25 @@ inline std::string FlagValue(int argc, char** argv, const std::string& flag) {
   return "";
 }
 
+// ---- Build-type stamping ----------------------------------------------------
+// google-benchmark's own "library_build_type" context records how the
+// *benchmark library* was built — the distro package reports "debug" even
+// when this tree is compiled -O3 — so recorded baselines stamp the repo's
+// own compile mode instead, straight from CMAKE_BUILD_TYPE (the root
+// CMakeLists defines MSD_BUILD_TYPE_STRING; NDEBUG would be wrong here
+// because the repo's Release flags deliberately omit it to keep MSD_CHECK
+// active). Bench mains pass this to
+// benchmark::AddCustomContext("msd_build_type", ...); tools/bench_compare
+// refuses to compare google-benchmark files whose context does not say
+// msd_build_type=release.
+inline const char* BuildTypeString() {
+#ifdef MSD_BUILD_TYPE_STRING
+  return MSD_BUILD_TYPE_STRING;
+#else
+  return "unknown";
+#endif
+}
+
 // ---- Thread-count control ---------------------------------------------------
 // Every bench accepts --threads N, overriding the MSD_THREADS / hardware
 // default for the whole run. Results are bit-identical for any value

@@ -197,7 +197,6 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
     // Row i of the stacked output, with the batch axis dropped.
     Tensor row = Slice(stacked, 0, static_cast<int64_t>(i), 1);
     Shape squeezed(row.shape().begin() + 1, row.shape().end());
-    live[i].promise.set_value(row.Reshape(std::move(squeezed)));
     Instruments().queue_us.Observe(
         static_cast<double>(ToMicros(trace.dequeue - trace.enqueue)));
     Instruments().batch_assembly_us.Observe(
@@ -207,6 +206,10 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
     Instruments().e2e_us.Observe(
         static_cast<double>(ToMicros(done - trace.enqueue)));
     if (trace.sampled) PushRequestSpans(trace);
+    // Telemetry must land before the promise resolves: a client that reads
+    // STATS/TRACE immediately after its reply must see its own request's
+    // histograms and spans, not race this thread for them.
+    live[i].promise.set_value(row.Reshape(std::move(squeezed)));
     DecInflight();
   }
 }

@@ -8,8 +8,11 @@
 #include <unordered_map>
 #include <utility>
 
+#include <cmath>
+
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "tensor/qgemm.h"
 #include "tensor/tensor_ops.h"
 
 namespace msd {
@@ -84,6 +87,13 @@ struct CompiledPlan::Step {
   // so Execute calls the prepacked GEMM (no per-call pack, no pool buffer).
   Tensor packed_b;
   int64_t gemm_k = 0, gemm_n = 0;
+  // Quantized GEMM (CompileOptions::quantize, after per-step calibration):
+  // freeze-time int8 weights + per-channel scales. Execute then quantizes
+  // the step's activations into the shared quant arena and runs
+  // qgemm::QGemmPrepacked instead of the fp32 prepacked kernel.
+  bool quantized = false;
+  std::vector<int8_t> q_weights;
+  std::vector<float> q_scales;
   float scalar = 0.0f;
   std::vector<int64_t> dims;
   int64_t dim = 0, start = 0, length = 0, before = 0, after = 0;
@@ -170,9 +180,9 @@ std::string JoinNames(const std::vector<std::string>& names) {
 CompiledPlan::CompiledPlan() = default;
 CompiledPlan::~CompiledPlan() = default;
 
-std::unique_ptr<CompiledPlan> CompiledPlan::Compile(const ForwardFn& fn,
-                                                    const Tensor& example,
-                                                    std::string* why_not) {
+std::unique_ptr<CompiledPlan> CompiledPlan::Compile(
+    const ForwardFn& fn, const Tensor& example, std::string* why_not,
+    const CompileOptions& options) {
   MSD_CHECK(example.defined());
   auto fail = [why_not](std::string reason) -> std::unique_ptr<CompiledPlan> {
     if (why_not != nullptr) *why_not = std::move(reason);
@@ -542,7 +552,197 @@ std::unique_ptr<CompiledPlan> CompiledPlan::Compile(const ForwardFn& fn,
           0) {
     return fail("freeze-time validation: planned replay is not bit-identical");
   }
+
+  // ---- 9. Quantization pass (opt-in) ---------------------------------------
+  // Runs only after the fp32 plan has passed its memcmp gate, so every step
+  // a candidate falls back to is the validated fp32 schedule.
+  if (options.quantize) {
+    plan->QuantizePass(example, options.quant_max_rel_error);
+  }
   return plan;
+}
+
+void CompiledPlan::QuantizePass(const Tensor& example, float max_rel_error) {
+  // Eligible: a prepacked constant-weight rank-2 GEMM whose inner dimension
+  // fits the int32 accumulator bound and that has any work at all. (s.b is
+  // the pinned fp32 weight view; it stays defined alongside packed_b.)
+  auto eligible = [](const Step& s) {
+    return s.packed_b.defined() && s.gemm_k >= 1 &&
+           s.gemm_k <= qgemm::kMaxK && s.gemm_n >= 1 && s.a.numel() > 0;
+  };
+  // Size the shared activation scratch for the largest eligible candidate
+  // (an over-reserve when some candidates fall back; activations are small
+  // next to the fp32 arena and the gauge reports the true figure).
+  int64_t max_aq_bytes = 0;
+  int64_t max_scale_bytes = 0;
+  for (const Step& s : steps_) {
+    if (!eligible(s)) continue;
+    const int64_t m = s.a.numel() / s.gemm_k;
+    max_aq_bytes = std::max(
+        max_aq_bytes,
+        m * qgemm::QuantARowInt16s(s.gemm_k) *
+            static_cast<int64_t>(sizeof(int16_t)));
+    max_scale_bytes = std::max(
+        max_scale_bytes, m * static_cast<int64_t>(sizeof(float)));
+  }
+  if (max_aq_bytes == 0) return;
+  quant_scales_offset_ = arena::AlignUp(max_aq_bytes);
+  quant_arena_ = std::make_unique<arena::Arena>(quant_scales_offset_ +
+                                                max_scale_bytes);
+
+  // Calibration replay: every step runs fp32 (so downstream candidates see
+  // exact fp32 inputs and per-step error never compounds); each candidate
+  // is then re-executed int8 into scratch and compared against the fp32
+  // output it would replace.
+  CopyInto(example, input_view_);
+  std::vector<float> qout;
+  for (Step& s : steps_) {
+    RunStep(s);
+    if (!eligible(s)) continue;
+    const int64_t k = s.gemm_k;
+    const int64_t n = s.gemm_n;
+    const int64_t m = s.a.numel() / k;
+    std::vector<int8_t> qw(
+        static_cast<size_t>(qgemm::PackedQuantBInt8s(k, n)));
+    std::vector<float> qs(static_cast<size_t>(qgemm::QuantBScaleFloats(n)));
+    qgemm::QuantizeWeightsPerChannel(s.b.data(), k, n, qw.data(), qs.data());
+    int16_t* aq = reinterpret_cast<int16_t*>(quant_arena_->base());
+    float* ascales = quant_arena_->at(quant_scales_offset_);
+    qgemm::QuantizeActivationsPerRow(s.a.data(), m, k, aq, ascales);
+    qout.assign(static_cast<size_t>(m * n), 0.0f);
+    qgemm::QGemmPrepacked(aq, ascales, qw.data(), qs.data(), qout.data(), m,
+                          k, n, s.c.defined() ? s.c.data() : nullptr, s.act);
+    double num = 0.0;
+    double den = 0.0;
+    const float* f = s.out.data();
+    for (int64_t i = 0; i < m * n; ++i) {
+      const double d = static_cast<double>(qout[static_cast<size_t>(i)]) -
+                       static_cast<double>(f[i]);
+      num += d * d;
+      den += static_cast<double>(f[i]) * static_cast<double>(f[i]);
+    }
+    // Relative Frobenius error; an exactly-zero fp32 output accepts only an
+    // exactly-zero quantized output.
+    const bool ok =
+        num == 0.0 || (den > 0.0 && std::sqrt(num / den) <= max_rel_error);
+    if (ok) {
+      s.quantized = true;
+      s.q_weights = std::move(qw);
+      s.q_scales = std::move(qs);
+      ++stats_.num_quantized;
+    } else {
+      ++stats_.num_quant_fallbacks;
+    }
+  }
+  if (stats_.num_quantized == 0) {
+    quant_arena_.reset();
+    quant_scales_offset_ = 0;
+    return;
+  }
+  stats_.quant_arena_bytes = quant_arena_->bytes();
+}
+
+// msd-hot-path: one schedule step — the kernel dispatch shared by Execute
+// and the quantization pass's calibration replay.
+void CompiledPlan::RunStep(Step& s) {
+  switch (s.kind) {
+    case OpKind::kAdd:
+      AddInto(s.a, s.b, s.out);
+      break;
+    case OpKind::kSub:
+      SubInto(s.a, s.b, s.out);
+      break;
+    case OpKind::kMul:
+      MulInto(s.a, s.b, s.out);
+      break;
+    case OpKind::kDiv:
+      DivInto(s.a, s.b, s.out);
+      break;
+    case OpKind::kAddScalar:
+      AddScalarInto(s.a, s.scalar, s.out);
+      break;
+    case OpKind::kMulScalar:
+      MulScalarInto(s.a, s.scalar, s.out);
+      break;
+    case OpKind::kNeg:
+      NegInto(s.a, s.out);
+      break;
+    case OpKind::kExp:
+      ExpInto(s.a, s.out);
+      break;
+    case OpKind::kLog:
+      LogInto(s.a, s.out);
+      break;
+    case OpKind::kSqrt:
+      SqrtInto(s.a, s.out);
+      break;
+    case OpKind::kAbs:
+      AbsInto(s.a, s.out);
+      break;
+    case OpKind::kSquare:
+      SquareInto(s.a, s.out);
+      break;
+    case OpKind::kRelu:
+      ReluInto(s.a, s.out);
+      break;
+    case OpKind::kGelu:
+      GeluInto(s.a, s.out);
+      break;
+    case OpKind::kSigmoid:
+      SigmoidInto(s.a, s.out);
+      break;
+    case OpKind::kTanh:
+      TanhInto(s.a, s.out);
+      break;
+    case OpKind::kMatMulEx: {
+      if (s.quantized) {
+        // Int8 path: per-row dynamic activation quant into the shared
+        // scratch arena, then the int8 kernel with its fused dequant +
+        // bias + activation epilogue.
+        const int64_t m = s.a.numel() / s.gemm_k;
+        int16_t* aq = reinterpret_cast<int16_t*>(quant_arena_->base());
+        float* ascales =
+            quant_arena_->base() +
+            quant_scales_offset_ / static_cast<int64_t>(sizeof(float));
+        qgemm::QuantizeActivationsPerRow(s.a.data(), m, s.gemm_k, aq,
+                                         ascales);
+        qgemm::QGemmPrepacked(aq, ascales, s.q_weights.data(),
+                              s.q_scales.data(), s.out.data(), m, s.gemm_k,
+                              s.gemm_n, s.c.defined() ? s.c.data() : nullptr,
+                              s.act);
+      } else if (s.packed_b.defined()) {
+        MatMulExPrepackedInto(s.a, s.packed_b, s.gemm_k, s.gemm_n, s.c,
+                              s.act, s.out);
+      } else {
+        MatMulExInto(s.a, s.b, s.c, s.act, s.out);
+      }
+      break;
+    }
+    case OpKind::kSum:
+      SumInto(s.a, s.dims, s.out);
+      break;
+    case OpKind::kPermute:
+      PermuteInto(s.a, s.dims, s.out);
+      break;
+    case OpKind::kSlice:
+      SliceInto(s.a, s.dim, s.start, s.length, s.out);
+      break;
+    case OpKind::kPad:
+      PadInto(s.a, s.dim, s.before, s.after, s.pad_value, s.out);
+      break;
+    case OpKind::kCopy:
+      CopyInto(s.a, s.out);
+      break;
+    case OpKind::kSubDivFused:
+      SubDivInto(s.a, s.b, s.c, s.out);
+      break;
+    case OpKind::kMulAddFused:
+      MulAddInto(s.a, s.b, s.c, s.out);
+      break;
+    case OpKind::kSliceSubFused:
+      SliceSubInto(s.a, s.b, s.dim, s.start, s.length, s.out);
+      break;
+  }
 }
 
 // msd-hot-path: the planned serving forward — a flat kernel schedule over
@@ -556,90 +756,7 @@ Tensor CompiledPlan::Execute(const Tensor& input) {
   static obs::Counter& plan_ops =
       obs::MetricsRegistry::Global().GetCounter("serve/plan_ops");
   CopyInto(input, input_view_);
-  for (Step& s : steps_) {
-    switch (s.kind) {
-      case OpKind::kAdd:
-        AddInto(s.a, s.b, s.out);
-        break;
-      case OpKind::kSub:
-        SubInto(s.a, s.b, s.out);
-        break;
-      case OpKind::kMul:
-        MulInto(s.a, s.b, s.out);
-        break;
-      case OpKind::kDiv:
-        DivInto(s.a, s.b, s.out);
-        break;
-      case OpKind::kAddScalar:
-        AddScalarInto(s.a, s.scalar, s.out);
-        break;
-      case OpKind::kMulScalar:
-        MulScalarInto(s.a, s.scalar, s.out);
-        break;
-      case OpKind::kNeg:
-        NegInto(s.a, s.out);
-        break;
-      case OpKind::kExp:
-        ExpInto(s.a, s.out);
-        break;
-      case OpKind::kLog:
-        LogInto(s.a, s.out);
-        break;
-      case OpKind::kSqrt:
-        SqrtInto(s.a, s.out);
-        break;
-      case OpKind::kAbs:
-        AbsInto(s.a, s.out);
-        break;
-      case OpKind::kSquare:
-        SquareInto(s.a, s.out);
-        break;
-      case OpKind::kRelu:
-        ReluInto(s.a, s.out);
-        break;
-      case OpKind::kGelu:
-        GeluInto(s.a, s.out);
-        break;
-      case OpKind::kSigmoid:
-        SigmoidInto(s.a, s.out);
-        break;
-      case OpKind::kTanh:
-        TanhInto(s.a, s.out);
-        break;
-      case OpKind::kMatMulEx:
-        if (s.packed_b.defined()) {
-          MatMulExPrepackedInto(s.a, s.packed_b, s.gemm_k, s.gemm_n, s.c,
-                                s.act, s.out);
-        } else {
-          MatMulExInto(s.a, s.b, s.c, s.act, s.out);
-        }
-        break;
-      case OpKind::kSum:
-        SumInto(s.a, s.dims, s.out);
-        break;
-      case OpKind::kPermute:
-        PermuteInto(s.a, s.dims, s.out);
-        break;
-      case OpKind::kSlice:
-        SliceInto(s.a, s.dim, s.start, s.length, s.out);
-        break;
-      case OpKind::kPad:
-        PadInto(s.a, s.dim, s.before, s.after, s.pad_value, s.out);
-        break;
-      case OpKind::kCopy:
-        CopyInto(s.a, s.out);
-        break;
-      case OpKind::kSubDivFused:
-        SubDivInto(s.a, s.b, s.c, s.out);
-        break;
-      case OpKind::kMulAddFused:
-        MulAddInto(s.a, s.b, s.c, s.out);
-        break;
-      case OpKind::kSliceSubFused:
-        SliceSubInto(s.a, s.b, s.dim, s.start, s.length, s.out);
-        break;
-    }
-  }
+  for (Step& s : steps_) RunStep(s);
   plan_ops.Add(static_cast<int64_t>(steps_.size()));
   float* block = results_->Acquire();
   std::memcpy(block, output_view_.data(),
@@ -655,12 +772,19 @@ std::string CompiledPlan::DebugString() const {
       << stats_.traced_ops << " traced, " << stats_.num_fused << " fused, "
       << stats_.num_inplace << " in-place, " << stats_.num_prepacked
       << " prepacked), " << stats_.num_regions << " regions, "
-      << stats_.arena_bytes << " arena bytes\n";
+      << stats_.arena_bytes << " arena bytes";
+  if (stats_.num_quantized > 0 || stats_.num_quant_fallbacks > 0) {
+    out << ", int8: " << stats_.num_quantized << " quantized / "
+        << stats_.num_quant_fallbacks << " fp32 fallbacks, "
+        << stats_.quant_arena_bytes << " quant arena bytes";
+  }
+  out << "\n";
   out << "  input  " << ShapeToString(input_shape_) << "\n";
   for (size_t i = 0; i < steps_.size(); ++i) {
     const Step& s = steps_[i];
     out << "  %" << i << " = " << optrace::OpKindName(s.kind) << " "
         << ShapeToString(s.out.shape()) << " @" << s.out_offset;
+    if (s.quantized) out << "  int8";
     if (!s.region_path.empty()) out << "  // " << s.region_path;
     out << "\n";
   }

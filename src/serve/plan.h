@@ -49,6 +49,23 @@ struct PlanStats {
   int64_t num_prepacked = 0;  // constant GEMM weights packed at freeze time
   int64_t num_regions = 0;   // arena regions after aliasing
   int64_t arena_bytes = 0;   // single allocation backing all regions
+  int64_t num_quantized = 0;        // GEMM steps rewritten to int8
+  int64_t num_quant_fallbacks = 0;  // candidates kept fp32 by calibration
+  int64_t quant_arena_bytes = 0;    // activation-quant scratch arena
+};
+
+// Knobs for CompiledPlan::Compile. Defaults reproduce the fp32 plan exactly.
+struct CompileOptions {
+  // Rewrite eligible constant-weight rank-2 GEMM steps to the int8 kernels
+  // (tensor/qgemm.h): weights quantize at freeze time, activations per
+  // request. Every candidate is calibrated against the fp32 step it
+  // replaces; see quant_max_rel_error. Off by default — an fp32 plan stays
+  // bit-identical to the interpreted forward.
+  bool quantize = false;
+  // Calibration gate: a candidate whose quantized output deviates from the
+  // fp32 step output on the freeze example by more than this relative
+  // Frobenius error stays fp32 (counted in num_quant_fallbacks).
+  float quant_max_rel_error = 0.05f;
 };
 
 // One arena region's placement and lifetime, exposed for the planner tests
@@ -69,10 +86,17 @@ class CompiledPlan {
   // memory plan, and validates it by replaying `example` and memcmp-ing
   // against the interpreted output. Returns null — with a reason in
   // `why_not` when provided — if the trace hit an unsupported op or the
-  // validation replay was not bit-identical.
-  static std::unique_ptr<CompiledPlan> Compile(const ForwardFn& fn,
-                                               const Tensor& example,
-                                               std::string* why_not = nullptr);
+  // validation replay was not bit-identical. With options.quantize, a
+  // quantization pass then runs AFTER that fp32 validation: each prepacked
+  // GEMM step is re-executed int8 against the example and adopted only when
+  // its output stays within options.quant_max_rel_error of the fp32 step
+  // (per-step fallback otherwise) — so a quantized plan's fp32 remainder is
+  // still the validated schedule, and the bit-identity contract narrows to
+  // "identical except the adopted int8 steps".
+  static std::unique_ptr<CompiledPlan> Compile(
+      const ForwardFn& fn, const Tensor& example,
+      std::string* why_not = nullptr,
+      const CompileOptions& options = CompileOptions());
 
   // Replays the schedule on `input` (must match input_shape()). The reply
   // tensor is backed by a recycled result block, not the tensor pool.
@@ -103,6 +127,17 @@ class CompiledPlan {
 
   CompiledPlan();
 
+  // Runs one schedule step (the Execute switch body); shared between
+  // Execute and the quantization pass's calibration replay.
+  void RunStep(Step& s);
+
+  // The quantization pass (options.quantize): replays `example` step by
+  // step in fp32, re-executes each prepacked GEMM step int8 into scratch,
+  // and adopts candidates within `max_rel_error` of their fp32 output.
+  // Calibration always compares against fp32 *inputs* (the replay keeps
+  // fp32 results in the arena), so per-step error never compounds.
+  void QuantizePass(const Tensor& example, float max_rel_error);
+
   Tensor input_view_;   // staging region, input_shape_
   Tensor output_view_;  // final region, output_shape_
   Shape input_shape_;
@@ -112,6 +147,11 @@ class CompiledPlan {
   // them keeps every non-arena operand buffer alive for the plan's lifetime.
   std::vector<Tensor> constants_;
   std::unique_ptr<arena::Arena> arena_;
+  // Activation-quant scratch shared by every quantized step (a quantized
+  // activation dies within its own step, so one arena sized for the largest
+  // step suffices): int16 rows at offset 0, per-row scales above them.
+  std::unique_ptr<arena::Arena> quant_arena_;
+  int64_t quant_scales_offset_ = 0;  // byte offset of the scale block
   std::shared_ptr<ResultPool> results_;
   PlanStats stats_;
   std::vector<RegionInfo> regions_;

@@ -45,6 +45,11 @@ StatusOr<std::unique_ptr<InferenceSession>> InferenceSession::Create(
   // a primed pool. MSD_PLAN=0 pins the session to the interpreted path.
   const char* plan_env = std::getenv("MSD_PLAN");
   session->use_plan_ = plan_env == nullptr || std::string(plan_env) != "0";
+  // MSD_QUANT, when set, overrides the config field: "0" pins fp32, any
+  // other value requests the int8 quantization pass (docs/PERFORMANCE.md).
+  const char* quant_env = std::getenv("MSD_QUANT");
+  session->use_quant_ = quant_env != nullptr ? std::string(quant_env) != "0"
+                                             : config.quantize;
   if (session->use_plan_) session->BuildPlans();
   static obs::Counter& sessions =
       obs::MetricsRegistry::Global().GetCounter("serve/sessions_created");
@@ -104,6 +109,10 @@ void InferenceSession::BuildPlans() {
   Rng rng(config_.seed + 1);
   plans_.resize(static_cast<size_t>(config_.max_batch));
   int64_t total_arena = 0;
+  int64_t total_quant_arena = 0;
+  CompileOptions options;
+  options.quantize = use_quant_;
+  options.quant_max_rel_error = config_.quant_max_rel_error;
   for (int64_t b = 1; b <= config_.max_batch; ++b) {
     // Random (not zero) example inputs so the freeze-time memcmp validation
     // cannot pass by accident on degenerate all-zero intermediates.
@@ -126,10 +135,21 @@ void InferenceSession::BuildPlans() {
           }
           return out;
         },
-        example, &why_not);
+        example, &why_not, options);
     const CompiledPlan* plan = plans_[static_cast<size_t>(b) - 1].get();
     if (plan != nullptr) {
       total_arena += plan->stats().arena_bytes;
+      total_quant_arena += plan->stats().quant_arena_bytes;
+      if (use_quant_) {
+        // Freeze-time facts, surfaced once per plan: how many GEMM steps
+        // adopted int8 and how many the calibration gate kept fp32.
+        static obs::Counter& quant_steps =
+            obs::MetricsRegistry::Global().GetCounter("serve/quant_steps");
+        static obs::Counter& quant_fallbacks =
+            obs::MetricsRegistry::Global().GetCounter("serve/quant_fallbacks");
+        quant_steps.Add(plan->stats().num_quantized);
+        quant_fallbacks.Add(plan->stats().num_quant_fallbacks);
+      }
     } else {
       // No stdio in src/serve; the refusal is visible via this counter, the
       // null plan_for(b), and the per-request serve/plan_fallbacks below.
@@ -142,6 +162,9 @@ void InferenceSession::BuildPlans() {
   obs::MetricsRegistry::Global()
       .GetGauge("serve/arena_bytes")
       .Set(static_cast<double>(total_arena));
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve/quant_arena_bytes")
+      .Set(static_cast<double>(total_quant_arena));
 }
 
 // msd-hot-path: the serving inference entry point.

@@ -67,6 +67,15 @@ struct InferenceSessionConfig {
   // emulate a slower model. 0 (the default) disables the hook; real
   // deployments never set it.
   int64_t synthetic_compute_us = 0;
+  // Int8 inference (docs/PERFORMANCE.md): ask the planner to rewrite
+  // eligible constant-weight GEMM steps to the quantized kernels
+  // (tensor/qgemm.h). Per-step calibration against the fp32 plan decides
+  // adoption; see CompileOptions. The MSD_QUANT environment variable, when
+  // set, overrides this field ("0" forces off, anything else forces on).
+  // Off by default — the fp32 path stays bit-identical to prior releases.
+  bool quantize = false;
+  // Calibration gate forwarded to CompileOptions::quant_max_rel_error.
+  float quant_max_rel_error = 0.05f;
 };
 
 class InferenceSession {
@@ -100,6 +109,10 @@ class InferenceSession {
 
   // True when Create() ran the planner (MSD_PLAN unset or != "0").
   bool planned() const { return use_plan_; }
+  // True when plans were compiled with the quantization pass requested
+  // (config.quantize, overridden by MSD_QUANT when set). Individual steps
+  // may still have fallen back fp32; see PlanStats::num_quantized.
+  bool quantized() const { return use_quant_; }
   // The frozen plan serving batch size `b`, or null when that size fell
   // back to the interpreter (or planning is off). Exposed for tests and
   // the selftest's schedule dump.
@@ -128,6 +141,8 @@ class InferenceSession {
   std::unique_ptr<MsdMixer> mixer_;
   std::mutex model_mu_;
   bool use_plan_ = false;
+  // Resolved quantization request (config.quantize / MSD_QUANT override).
+  bool use_quant_ = false;
   // Index b-1 serves batch size b; null entries fall back to RunFrozen.
   std::vector<std::unique_ptr<CompiledPlan>> plans_;
 };

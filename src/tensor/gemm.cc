@@ -96,12 +96,44 @@ void MicroKernel(const float* ap, const float* bp, int64_t kc, float* c,
   }
 }
 
+// msd-hot-path-safe: thread-local grow-only pack scratch. Capacity is
+// bounded by kMc * kKc floats (64 KiB), so each worker allocates at most
+// once and every later GEMM reuses the buffer — no pool lookups and no
+// shared_ptr churn from inside the parallel region, which is what lets the
+// planned serving path (serve/plan.h) run with zero steady-state pool
+// traffic. PackA fully writes every element the micro-kernel reads, so a
+// dirty recycled buffer is fine (the pool made the same promise).
+float* APackScratch(int64_t floats) {
+  struct Scratch {
+    float* data = nullptr;
+    int64_t cap = 0;
+    ~Scratch() {
+      if (data != nullptr) {
+        std::allocator<float>().deallocate(data, static_cast<size_t>(cap));
+      }
+    }
+  };
+  thread_local Scratch scratch;
+  if (floats > scratch.cap) {
+    if (scratch.data != nullptr) {
+      std::allocator<float>().deallocate(scratch.data,
+                                         static_cast<size_t>(scratch.cap));
+    }
+    scratch.data = std::allocator<float>().allocate(static_cast<size_t>(floats));
+    scratch.cap = floats;
+  }
+  return scratch.data;
+}
+
+}  // namespace
+
 // Bias add + activation over `rows` finished C rows, applied while the tile
 // is cache-hot. Formulas are byte-for-byte those of tensor_ops.cc's Relu /
 // Gelu / Sigmoid / Tanh kernels. `pre` (optional) receives the post-bias
-// pre-activation values.
-void Epilogue(float* c, float* pre, int64_t rows, int64_t n, const float* bias,
-              Activation act) {
+// pre-activation values. Public (gemm.h) so the quantized kernel's dequant
+// output runs through the very same expressions.
+void EpilogueBiasAct(float* c, float* pre, int64_t rows, int64_t n,
+                     const float* bias, Activation act) {
   for (int64_t r = 0; r < rows; ++r) {
     float* row = c + r * n;
     float* pre_row = pre == nullptr ? nullptr : pre + r * n;
@@ -136,37 +168,6 @@ void Epilogue(float* c, float* pre, int64_t rows, int64_t n, const float* bias,
     }
   }
 }
-
-// msd-hot-path-safe: thread-local grow-only pack scratch. Capacity is
-// bounded by kMc * kKc floats (64 KiB), so each worker allocates at most
-// once and every later GEMM reuses the buffer — no pool lookups and no
-// shared_ptr churn from inside the parallel region, which is what lets the
-// planned serving path (serve/plan.h) run with zero steady-state pool
-// traffic. PackA fully writes every element the micro-kernel reads, so a
-// dirty recycled buffer is fine (the pool made the same promise).
-float* APackScratch(int64_t floats) {
-  struct Scratch {
-    float* data = nullptr;
-    int64_t cap = 0;
-    ~Scratch() {
-      if (data != nullptr) {
-        std::allocator<float>().deallocate(data, static_cast<size_t>(cap));
-      }
-    }
-  };
-  thread_local Scratch scratch;
-  if (floats > scratch.cap) {
-    if (scratch.data != nullptr) {
-      std::allocator<float>().deallocate(scratch.data,
-                                         static_cast<size_t>(scratch.cap));
-    }
-    scratch.data = std::allocator<float>().allocate(static_cast<size_t>(floats));
-    scratch.cap = floats;
-  }
-  return scratch.data;
-}
-
-}  // namespace
 
 int64_t PackedBPanelFloats(int64_t k, int64_t n) {
   return CeilDiv(n, kNr) * kNr * std::max<int64_t>(k, 1);
@@ -227,8 +228,8 @@ void GemmPrepacked(const float* a, const float* packed_b, float* c, int64_t m,
         }
       }
       if (bias != nullptr || act != Activation::kIdentity) {
-        Epilogue(c + i0 * n, pre == nullptr ? nullptr : pre + i0 * n, mc, n,
-                 bias, act);
+        EpilogueBiasAct(c + i0 * n, pre == nullptr ? nullptr : pre + i0 * n,
+                        mc, n, bias, act);
       }
     }
   });

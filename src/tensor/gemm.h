@@ -37,6 +37,14 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, const float* bias = nullptr,
           Activation act = Activation::kIdentity, float* pre = nullptr);
 
+// The shared bias+activation epilogue: bias add (when non-null) and `act`
+// over `rows` contiguous C rows of width n, applied while the tile is
+// cache-hot. `pre`, when non-null, receives the post-bias pre-activation.
+// Exposed so the quantized kernel (tensor/qgemm.h) fuses its dequant output
+// into the exact same formulas — one epilogue, every GEMM flavor.
+void EpilogueBiasAct(float* c, float* pre, int64_t rows, int64_t n,
+                     const float* bias, Activation act);
+
 // Split form for batched products that reuse one B: pack once, multiply
 // many. `packed` must hold PackedBPanelFloats(k, n) floats.
 int64_t PackedBPanelFloats(int64_t k, int64_t n);

@@ -32,6 +32,15 @@
 namespace msd {
 namespace {
 
+// This suite asserts fp32 identities (session == pipeline, batch-composition
+// invariance across plans). Pin the int8 quantization pass off so a
+// harness-level MSD_QUANT=1 sweep cannot change which plans quantize; the
+// quantized contracts live in tests/quant_plan_test.cc.
+const bool kQuantPinnedOff = [] {
+  ::setenv("MSD_QUANT", "0", /*overwrite=*/1);
+  return true;
+}();
+
 // Parallel ctest runs each test as its own process in a shared temp
 // directory, so paths must be pid-unique or concurrent tests truncate each
 // other's checkpoints mid-read.

@@ -2,12 +2,24 @@
 //
 // Usage:
 //   bench_compare <baseline.json> <current.json> [--threshold <pct>]
+//                 [--repetitions <n>]
 //
 // Accepts either of the repo's two result formats, auto-detected per file:
 //   * google-benchmark JSON (--benchmark_out): the "benchmarks" array; each
 //     entry's key is its "name" and its metric is "cpu_time" (already
 //     normalized per iteration, so adaptive iteration counts do not skew
-//     the comparison).
+//     the comparison). A file produced with --benchmark_repetitions holds
+//     several raw entries per name; they collapse to their MEDIAN, so a
+//     single outlier iteration cannot fake a regression (or hide one).
+//     --repetitions <n> additionally asserts that every name in both files
+//     carries exactly n raw samples — a guard for check.sh recordings that
+//     are supposed to be repeated runs (exit 2 on mismatch).
+//     google-benchmark files must also carry the custom context key
+//     msd_build_type=release (stamped by the bench mains): the library's
+//     own library_build_type describes how *libbenchmark* was built, not
+//     this tree, so a Debug-built tree would otherwise record a baseline
+//     that makes every Release run look implausibly fast. Files without
+//     the release stamp are refused outright (exit 2).
 //   * telemetry snapshots written by --metrics-out ({"metrics":…,"spans":…}):
 //     each span label maps to total_ms / count, i.e. mean wall-clock per
 //     call, again invariant to how many calls the run happened to make.
@@ -25,6 +37,7 @@
 // more than --threshold percent (default 10) is a regression; any regression
 // makes the exit status 1 so tools/check.sh can gate on it. Malformed input
 // or usage errors exit 2.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,13 +70,53 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
+// Recorded benchmark baselines are only meaningful from Release builds.
+// Every bench main stamps benchmark::AddCustomContext("msd_build_type", …)
+// with the tree's own compile mode (bench/bench_util.h); a file missing the
+// stamp predates it, or came from a foreign producer — both refused.
+bool GoogleBenchmarkContextIsRelease(const JsonValue& doc,
+                                     const std::string& path) {
+  const JsonValue* context = doc.Find("context");
+  const JsonValue* build =
+      context != nullptr ? context->Find("msd_build_type") : nullptr;
+  if (build == nullptr || !build->is_string()) {
+    std::fprintf(stderr,
+                 "bench_compare: REFUSING %s: context carries no "
+                 "msd_build_type stamp (re-record with a Release build of "
+                 "this tree; the library_build_type key describes "
+                 "libbenchmark, not this tree)\n",
+                 path.c_str());
+    return false;
+  }
+  if (build->str != "release") {
+    std::fprintf(stderr,
+                 "bench_compare: REFUSING %s: msd_build_type=%s — benchmark "
+                 "numbers from a non-Release tree are not comparable\n",
+                 path.c_str(), build->str.c_str());
+    return false;
+  }
+  return true;
+}
+
+double Median(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  const size_t n = samples->size();
+  return n % 2 == 1 ? (*samples)[n / 2]
+                    : 0.5 * ((*samples)[n / 2 - 1] + (*samples)[n / 2]);
+}
+
 // google-benchmark format: {"context":…, "benchmarks":[{"name":…,
 // "cpu_time":…, …}, …]}. Aggregate rows (mean/median/stddev from
-// --benchmark_repetitions) are skipped so a repetitions run compares its
-// raw entries consistently with a non-repetitions baseline.
-bool ExtractGoogleBenchmark(const JsonValue& doc, TimeMap* out) {
+// --benchmark_repetitions) are skipped; instead the raw per-repetition
+// entries of each name collapse to their median, so a repetitions run
+// compares consistently with a single-run baseline while shrugging off
+// one noisy repetition. expected_repetitions > 0 asserts the sample count
+// per name; a mismatch is a recording bug, reported via *error.
+bool ExtractGoogleBenchmark(const JsonValue& doc, int64_t expected_repetitions,
+                            TimeMap* out, std::string* error) {
   const JsonValue* benchmarks = doc.Find("benchmarks");
   if (benchmarks == nullptr || !benchmarks->is_array()) return false;
+  std::map<std::string, std::vector<double>> samples;
   for (const JsonValue& entry : benchmarks->array) {
     const JsonValue* name = entry.Find("name");
     const JsonValue* cpu = entry.Find("cpu_time");
@@ -76,7 +129,21 @@ bool ExtractGoogleBenchmark(const JsonValue& doc, TimeMap* out) {
         run_type->str == "aggregate") {
       continue;
     }
-    (*out)[name->str] = cpu->number;
+    // Repeated runs suffix raw entries "/repeats:N"; strip it so a
+    // repetitions recording shares keys with a plain baseline.
+    std::string key = name->str;
+    const size_t repeats = key.find("/repeats:");
+    if (repeats != std::string::npos) key.erase(repeats);
+    samples[key].push_back(cpu->number);
+  }
+  for (auto& [name, values] : samples) {
+    if (expected_repetitions > 0 &&
+        static_cast<int64_t>(values.size()) != expected_repetitions) {
+      *error = "'" + name + "' has " + std::to_string(values.size()) +
+               " samples, expected " + std::to_string(expected_repetitions);
+      return true;
+    }
+    (*out)[name] = Median(&values);
   }
   return true;
 }
@@ -99,12 +166,13 @@ bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
 }
 
 // Serving gauges (bench_serving --metrics-out) live under metrics.gauges:
-// serve/latency_p50_us / p95 / p99 (the clients' own clocks) and
-// serve/arena_bytes (total planner arena footprint across batch sizes,
+// serve/latency_p50_us / p95 / p99 (the clients' own clocks), the int8
+// path's serve/quant_latency_* twins from the --quantize leg, and
+// serve/arena_bytes + serve/quant_arena_bytes (planner arena footprints,
 // docs/COMPILER.md). All are lower-is-better values, so they join the
 // comparison map alongside span times and gate the same way
-// (tools/check.sh --serve-baseline catches both a latency regression and
-// an unexplained memory-plan blowup).
+// (tools/check.sh --serve-baseline catches a latency regression on either
+// precision path and an unexplained memory-plan blowup).
 void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr) return;
@@ -112,7 +180,9 @@ void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   if (gauges == nullptr || !gauges->is_object()) return;
   for (const auto& [name, value] : gauges->object) {
     const bool tracked = name.rfind("serve/latency_", 0) == 0 ||
-                         name == "serve/arena_bytes";
+                         name.rfind("serve/quant_latency_", 0) == 0 ||
+                         name == "serve/arena_bytes" ||
+                         name == "serve/quant_arena_bytes";
     if (tracked && value.is_number()) {
       (*out)[name] = value.number;
     }
@@ -161,7 +231,8 @@ void ExtractServeHistogramQuantiles(const JsonValue& doc, TimeMap* out) {
   }
 }
 
-bool LoadTimes(const std::string& path, TimeMap* out) {
+bool LoadTimes(const std::string& path, int64_t expected_repetitions,
+               TimeMap* out) {
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
@@ -173,7 +244,16 @@ bool LoadTimes(const std::string& path, TimeMap* out) {
                  path.c_str());
     return false;
   }
-  if (ExtractGoogleBenchmark(doc, out) || ExtractTelemetrySpans(doc, out)) {
+  std::string error;
+  const bool is_gbench =
+      ExtractGoogleBenchmark(doc, expected_repetitions, out, &error);
+  if (is_gbench && !GoogleBenchmarkContextIsRelease(doc, path)) return false;
+  if (is_gbench && !error.empty()) {
+    std::fprintf(stderr, "bench_compare: %s: --repetitions check failed: %s\n",
+                 path.c_str(), error.c_str());
+    return false;
+  }
+  if (is_gbench || ExtractTelemetrySpans(doc, out)) {
     ExtractServeLatencyGauges(doc, out);
     ExtractServeHistogramQuantiles(doc, out);
     if (out->empty()) {
@@ -195,6 +275,7 @@ bool LoadTimes(const std::string& path, TimeMap* out) {
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold_pct = 10.0;
+  int64_t repetitions = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold") {
@@ -210,6 +291,19 @@ int main(int argc, char** argv) {
                      argv[i]);
         return 2;
       }
+    } else if (arg == "--repetitions") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --repetitions needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      repetitions = std::strtoll(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || repetitions <= 0) {
+        std::fprintf(stderr,
+                     "bench_compare: bad --repetitions '%s' (want int > 0)\n",
+                     argv[i]);
+        return 2;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -217,14 +311,16 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--threshold <pct>]\n");
+                 "[--threshold <pct>] [--repetitions <n>]\n");
     return 2;
   }
 
+  // --repetitions describes the CURRENT run (check.sh passes the count it
+  // just recorded with); the baseline may be a single-run file.
   TimeMap baseline;
   TimeMap current;
-  if (!LoadTimes(positional[0], &baseline) ||
-      !LoadTimes(positional[1], &current)) {
+  if (!LoadTimes(positional[0], /*expected_repetitions=*/0, &baseline) ||
+      !LoadTimes(positional[1], repetitions, &current)) {
     return 2;
   }
 

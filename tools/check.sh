@@ -8,20 +8,25 @@
 #                 report plus --json, which must parse); any unsuppressed
 #                 finding fails the leg. The run also asserts hot-path BFS
 #                 coverage of the planner executor (--require-reachable
-#                 CompiledPlan::Execute / InferenceSession::RunPlanned), so a
-#                 lost call edge from the PredictBatch root cannot silently
-#                 shrink what "0 findings" vouches for.
+#                 CompiledPlan::Execute / InferenceSession::RunPlanned) and
+#                 of the int8 kernel entry points (QGemmPrepacked /
+#                 QuantizeActivationsPerRow), so a lost call edge from the
+#                 PredictBatch root cannot silently shrink what "0 findings"
+#                 vouches for.
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
-#                 full ctest run TWICE — once with MSD_PLAN=1 (compiled
-#                 session plans, the default) and once with MSD_PLAN=0 (the
-#                 interpreted oracle) — including analyze_check and
+#                 full ctest run THREE times — MSD_PLAN=1 (compiled session
+#                 plans, the default), MSD_PLAN=0 (the interpreted oracle),
+#                 and MSD_PLAN=1 MSD_QUANT=1 (the int8 quantized plans,
+#                 docs/PERFORMANCE.md) — including analyze_check and
 #                 gradcheck_sweep, plus a
 #                 quickstart run whose training losses are captured, a
 #                 thread-scaling bench snapshot (BENCH_threads.json), a
 #                 serving load snapshot (BENCH_serve.json from
-#                 bench_serving --threads 4, including the serve/* histogram
-#                 telemetry), and an msd_serve --selftest pass that validates
-#                 the telemetry exporter's JSONL output end to end.
+#                 bench_serving --threads 4 --quantize, including the
+#                 serve/* histogram telemetry and the int8 leg's
+#                 serve/quant_latency_* gauges), and msd_serve --selftest
+#                 passes — fp32 and MSD_QUANT=1 — that validate the
+#                 telemetry exporter's JSONL output end to end.
 #   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
 #                 must be bit-identical to the release leg — the invariant
 #                 layer must observe, never perturb.
@@ -43,11 +48,20 @@
 #   --jobs N   parallel build/test jobs (default: nproc).
 #   --bench-baseline FILE
 #              after the release leg, re-run the kernel benches in
-#              google-benchmark JSON form and gate them against FILE with
-#              tools/bench_compare (>10% cpu_time growth on any common
-#              benchmark fails the run). The repo's committed reference is
-#              BENCH_baseline.json; regenerate it with the command printed
-#              in that file's "context" block when the hardware changes.
+#              google-benchmark JSON form — 3 repetitions, compared by
+#              median — and gate them against FILE with tools/bench_compare
+#              (>10% cpu_time growth on any common benchmark fails the
+#              run). bench_compare refuses files whose context is not
+#              stamped msd_build_type=release, so a Debug-built recording
+#              can neither become nor be judged against a baseline. The
+#              repo's committed reference is BENCH_baseline.json;
+#              regenerate it when the hardware changes:
+#                ./build/bench/bench_micro_kernels \
+#                  --benchmark_filter='BM_MatMul2D|BM_BatchedMatMul|BM_Gemm|BM_Rfft|BM_Fft' \
+#                  --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+#                  --benchmark_out=BENCH_baseline.json \
+#                  --benchmark_out_format=json
+#              (from a Release ./build, the default configuration).
 #   --serve-baseline FILE
 #              gate the release leg's BENCH_serve.json serving snapshot
 #              against FILE with tools/bench_compare. Tail latency is noisier
@@ -164,6 +178,16 @@ run_release_like_leg() {  # leg-name extra-cmake-flag...
         fail_leg "${leg}" "ctest failures (MSD_PLAN=${plan})"; return
       fi
     done
+    # Third pass under the int8 quantization pass (docs/PERFORMANCE.md):
+    # plans rewrite eligible GEMMs to the quantized kernels. Suites that
+    # assert fp32 bit-exactness pin MSD_QUANT=0 themselves; everything else
+    # must hold — including the dedicated quant suites, which now exercise
+    # the env-on direction for free.
+    note "leg ${leg}: ctest (MSD_PLAN=1 MSD_QUANT=1)"
+    if ! (cd "${builddir}" &&
+          MSD_PLAN=1 MSD_QUANT=1 ctest --output-on-failure -j "${JOBS}"); then
+      fail_leg "${leg}" "ctest failures (MSD_PLAN=1 MSD_QUANT=1)"; return
+    fi
   else
     note "leg ${leg}: ctest"
     if ! (cd "${builddir}" && ctest --output-on-failure -j "${JOBS}"); then
@@ -198,6 +222,8 @@ for leg in "${LEGS[@]}"; do
       if ! "${builddir}/tools/msd_analyze" --json \
           --require-reachable "InferenceSession::RunPlanned" \
           --require-reachable "CompiledPlan::Execute" \
+          --require-reachable "QGemmPrepacked" \
+          --require-reachable "QuantizeActivationsPerRow" \
           "${ROOT}" > "${json}"; then
         fail_leg analyze "unsuppressed findings (report above)"; continue
       fi
@@ -229,10 +255,12 @@ for leg in "${LEGS[@]}"; do
       if [[ "${STATUS[release]}" == "PASS" ]]; then
         # Serving load snapshot: 1000 closed-loop requests through the
         # micro-batcher on a 4-thread pool, latency percentiles and serve/*
-        # telemetry recorded as BENCH_serve.json.
-        note "leg release: serving load snapshot"
+        # telemetry recorded as BENCH_serve.json. --quantize adds a second
+        # phase against an int8 session over the same checkpoint, so the
+        # snapshot also carries serve/quant_latency_* for the baseline gate.
+        note "leg release: serving load snapshot (fp32 + int8)"
         if "${CHECK_DIR}/release/bench/bench_serving" \
-            --threads 4 --requests 1000 \
+            --threads 4 --requests 1000 --quantize \
             --metrics-out "${CHECK_DIR}/release/BENCH_serve.json"; then
           DETAIL[release]="${DETAIL[release]}; BENCH_serve.json recorded"
         else
@@ -252,6 +280,20 @@ for leg in "${LEGS[@]}"; do
           fail_leg release "msd_serve selftest / telemetry validation failed"
         fi
       fi
+      if [[ "${STATUS[release]}" == "PASS" ]]; then
+        # Same selftest with the planned session on the int8 path: replies
+        # must stay within the quantization accuracy contract against the
+        # fp32 interpreted oracle, and the plan must have adopted int8
+        # steps (the selftest asserts both itself under MSD_QUANT=1).
+        note "leg release: msd_serve selftest (MSD_QUANT=1)"
+        if MSD_QUANT=1 "${CHECK_DIR}/release/tools/msd_serve" --selftest \
+            --telemetry-out \
+            "${CHECK_DIR}/release/selftest_quant_telemetry.jsonl"; then
+          DETAIL[release]="${DETAIL[release]}; int8 selftest clean"
+        else
+          fail_leg release "msd_serve selftest failed under MSD_QUANT=1"
+        fi
+      fi
       if [[ "${STATUS[release]}" == "PASS" && -n "${SERVE_BASELINE}" ]]; then
         # Serving perf gate: p50/p95/p99 latency gauges vs the baseline
         # snapshot; 25% threshold (tail latency is noisier than cpu_time).
@@ -266,15 +308,18 @@ for leg in "${LEGS[@]}"; do
       fi
       if [[ "${STATUS[release]}" == "PASS" && -n "${BENCH_BASELINE}" ]]; then
         # Perf gate: the kernel benches (GEMM family, fused epilogues, rfft)
-        # against the committed baseline; >10% cpu_time growth fails.
+        # against the committed baseline; >10% median cpu_time growth fails.
+        # 3 repetitions, medians compared, so one descheduled repetition
+        # cannot fake (or mask) a regression; bench_compare also refuses
+        # either file if its context is not stamped msd_build_type=release.
         note "leg release: bench_compare vs ${BENCH_BASELINE}"
         current="${CHECK_DIR}/release/BENCH_current.json"
         if "${CHECK_DIR}/release/bench/bench_micro_kernels" \
               --benchmark_filter='BM_MatMul2D|BM_BatchedMatMul|BM_Gemm|BM_Rfft|BM_Fft' \
-              --benchmark_min_time=0.05 \
+              --benchmark_min_time=0.05 --benchmark_repetitions=3 \
               --benchmark_out="${current}" --benchmark_out_format=json &&
             "${CHECK_DIR}/release/tools/bench_compare" \
-              "${BENCH_BASELINE}" "${current}"; then
+              "${BENCH_BASELINE}" "${current}" --repetitions 3; then
           DETAIL[release]="${DETAIL[release]}; bench within baseline"
         else
           fail_leg release "bench regression vs ${BENCH_BASELINE}"
