@@ -46,18 +46,48 @@ void MicroBatcher::Stop() {
   cv_.notify_all();
   workers_.Join();
   for (Request& request : drained) {
-    request.promise.set_value(
-        Status::Cancelled("micro-batcher stopped before the request ran"));
+    Resolve(&request,
+            Status::Cancelled("micro-batcher stopped before the request ran"));
     DecInflight();
+  }
+}
+
+void MicroBatcher::Resolve(Request* request, StatusOr<Tensor> result) {
+  if (request->done) {
+    request->done(std::move(result));
+  } else {
+    request->promise.set_value(std::move(result));
   }
 }
 
 Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
                             int64_t timeout_us) {
   MSD_CHECK(result != nullptr);
-  if (!window.defined() || window.rank() != 2 ||
-      window.dim(0) != session_->model_config().channels ||
-      window.dim(1) != session_->model_config().input_length) {
+  Request request;
+  request.input = std::move(window);
+  // The future is handed out only once admission is certain (Admit moves
+  // the request away only on OK), so a rejected Submit never leaves the
+  // caller a broken promise.
+  ResultFuture future = request.promise.get_future();
+  request.deadline = Clock::time_point::max();
+  Status admitted = AdmitWithTimeout(std::move(request), timeout_us);
+  if (admitted.ok()) *result = std::move(future);
+  return admitted;
+}
+
+Status MicroBatcher::SubmitAsync(Tensor window, ResultCallback done,
+                                 int64_t timeout_us) {
+  MSD_CHECK(done != nullptr);
+  Request request;
+  request.input = std::move(window);
+  request.done = std::move(done);
+  return AdmitWithTimeout(std::move(request), timeout_us);
+}
+
+Status MicroBatcher::AdmitWithTimeout(Request request, int64_t timeout_us) {
+  if (!request.input.defined() || request.input.rank() != 2 ||
+      request.input.dim(0) != session_->model_config().channels ||
+      request.input.dim(1) != session_->model_config().input_length) {
     return Status::InvalidArgument(
         "window must be [" +
         std::to_string(session_->model_config().channels) + ", " +
@@ -65,8 +95,6 @@ Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
   }
   if (timeout_us < 0) timeout_us = config_.default_timeout_us;
 
-  Request request;
-  request.input = std::move(window);
   // Minting assigns the monotonic request id, the 1-in-N sampling bit and
   // the enqueue timestamp every downstream phase is measured against.
   request.trace = MintTraceContext();
@@ -86,9 +114,6 @@ Status MicroBatcher::Submit(Tensor window, ResultFuture* result,
           "request queue full (" + std::to_string(config_.queue_capacity) +
           " pending); retry with backoff");
     }
-    // The future is handed out only once admission is certain, so a
-    // rejected Submit never leaves the caller a broken promise.
-    *result = request.promise.get_future();
     queue_.push_back(std::move(request));
     const double depth = static_cast<double>(queue_.size());
     Instruments().queue_depth.Set(depth);
@@ -159,8 +184,8 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
       Instruments().timeouts.Add(1);
       // serve/deadline_miss counts exactly the kDeadlineExceeded outcomes.
       Instruments().deadline_miss.Add(1);
-      request.promise.set_value(Status::DeadlineExceeded(
-          "request timed out in the batch queue"));
+      Resolve(&request, Status::DeadlineExceeded(
+                            "request timed out in the batch queue"));
       DecInflight();
     } else {
       live.push_back(std::move(request));
@@ -183,7 +208,7 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
 
   if (!outputs.ok()) {
     for (Request& request : live) {
-      request.promise.set_value(outputs.status());
+      Resolve(&request, outputs.status());
       DecInflight();
     }
     return;
@@ -206,10 +231,10 @@ void MicroBatcher::ProcessBatch(std::vector<Request> batch) {
     Instruments().e2e_us.Observe(
         static_cast<double>(ToMicros(done - trace.enqueue)));
     if (trace.sampled) PushRequestSpans(trace);
-    // Telemetry must land before the promise resolves: a client that reads
+    // Telemetry must land before the request resolves: a client that reads
     // STATS/TRACE immediately after its reply must see its own request's
     // histograms and spans, not race this thread for them.
-    live[i].promise.set_value(row.Reshape(std::move(squeezed)));
+    Resolve(&live[i], row.Reshape(std::move(squeezed)));
     DecInflight();
   }
 }

@@ -4,7 +4,9 @@
 // (runtime::WorkerGroup) coalesce pending requests into a batch when either
 // `max_batch` requests are waiting or the oldest request has waited
 // `max_delay_us`, then run one InferenceSession::PredictBatch and resolve
-// each request's future with its own row.
+// each request's future (Submit) or completion callback (SubmitAsync —
+// the path the epoll front-end in serve/netio.h uses, so no thread is
+// parked per in-flight request) with its own row.
 //
 // Policies:
 //  * Admission control: Submit() on a full queue fails fast with
@@ -36,6 +38,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 
@@ -64,6 +67,11 @@ struct MicroBatcherConfig {
 };
 
 using ResultFuture = std::future<StatusOr<Tensor>>;
+// Completion for SubmitAsync: invoked exactly once per admitted request,
+// on a batcher worker thread (success, inference error, deadline) or on the
+// Stop()ing thread (kCancelled). Must not block — the epoll front-end's
+// completions only move the formatted reply onto a wake queue.
+using ResultCallback = std::function<void(StatusOr<Tensor>)>;
 
 class MicroBatcher {
  public:
@@ -89,6 +97,13 @@ class MicroBatcher {
   // timeout_us: <0 uses config.default_timeout_us; 0 means no deadline.
   Status Submit(Tensor window, ResultFuture* result, int64_t timeout_us = -1);
 
+  // Callback twin of Submit, for front-ends that must not park a thread per
+  // request (the epoll loop in serve/netio.h). Same admission contract; on
+  // OK, `done` fires exactly once with the result. A non-OK return means
+  // `done` was NOT taken and will never fire.
+  Status SubmitAsync(Tensor window, ResultCallback done,
+                     int64_t timeout_us = -1);
+
   int64_t queue_depth() const;
   const MicroBatcherConfig& config() const { return config_; }
 
@@ -98,6 +113,9 @@ class MicroBatcher {
   struct Request {
     Tensor input;
     std::promise<StatusOr<Tensor>> promise;
+    // Non-empty for SubmitAsync requests: resolution calls this instead of
+    // fulfilling the promise.
+    ResultCallback done;
     // Carries request id, sampling bit and the enqueue/dequeue/compute
     // timestamps; trace.enqueue doubles as the admission time the deadline
     // and coalescing window are derived from.
@@ -110,6 +128,11 @@ class MicroBatcher {
   // Resolves every member of `batch`: expired requests with
   // kDeadlineExceeded, the rest with rows of one PredictBatch call.
   void ProcessBatch(std::vector<Request> batch);
+  // Single admission path shared by Submit and SubmitAsync: validates the
+  // window, mints the trace context, derives the deadline, enqueues.
+  Status AdmitWithTimeout(Request request, int64_t timeout_us);
+  // The one place a request resolves: callback or promise, never both.
+  static void Resolve(Request* request, StatusOr<Tensor> result);
   // One request left the pipeline (resolved, any status).
   void DecInflight();
 

@@ -1,0 +1,346 @@
+#include "serve/netio.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace msd {
+namespace serve {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+// The best-effort refusal line for connections past max_conns; mirrors the
+// protocol's ERROR rendering so clients can parse it like any other reply.
+const char kTooManyConns[] =
+    "ERROR ResourceExhausted: connection limit reached; retry later\n";
+
+}  // namespace
+
+SocketServer::SocketServer(const SocketServerConfig& config,
+                           LineHandler handler)
+    : config_(config),
+      handler_(std::move(handler)),
+      accepted_(obs::MetricsRegistry::Global().GetCounter(
+          "serve/net_accepted_conns")),
+      rejected_conns_(obs::MetricsRegistry::Global().GetCounter(
+          "serve/net_rejected_conns")),
+      lines_(obs::MetricsRegistry::Global().GetCounter("serve/net_lines")),
+      dropped_replies_(obs::MetricsRegistry::Global().GetCounter(
+          "serve/net_dropped_replies")),
+      conns_gauge_(
+          obs::MetricsRegistry::Global().GetGauge("serve/net_connections")) {
+  MSD_CHECK(handler_ != nullptr);
+  MSD_CHECK_GE(config_.max_conns, 1);
+  MSD_CHECK_GE(config_.backlog, 1);
+  MSD_CHECK_GE(config_.max_line_bytes, 1);
+}
+
+SocketServer::~SocketServer() {
+  Shutdown();
+  for (auto& pair : conns_) {
+    if (pair.second.fd >= 0) ::close(pair.second.fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (!config_.path.empty()) ::unlink(config_.path.c_str());
+}
+
+Status SocketServer::Listen() {
+  if (config_.path.empty()) {
+    return Status::InvalidArgument("socket path is empty");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " + config_.path);
+  }
+  std::memcpy(addr.sun_path, config_.path.c_str(), config_.path.size() + 1);
+
+  listen_fd_ =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  ::unlink(config_.path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + config_.path);
+  }
+  if (::listen(listen_fd_, static_cast<int>(config_.backlog)) != 0) {
+    return Errno("listen");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(listener)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  return Status::OK();
+}
+
+void SocketServer::Shutdown() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    ssize_t rc;
+    do {
+      rc = ::write(wake_fd_, &one, sizeof(one));
+    } while (rc < 0 && errno == EINTR);
+  }
+}
+
+void SocketServer::Post(uint64_t conn_id, std::string reply) {
+  {
+    std::lock_guard<std::mutex> lock(reply_mu_);
+    replies_.emplace_back(conn_id, std::move(reply));
+  }
+  const uint64_t one = 1;
+  ssize_t rc;
+  do {
+    rc = ::write(wake_fd_, &one, sizeof(one));
+  } while (rc < 0 && errno == EINTR);
+}
+
+bool SocketServer::Finished(const Conn& conn) const {
+  return conn.peer_closed && conn.pending == 0 &&
+         conn.out_offset >= conn.out.size();
+}
+
+void SocketServer::UpdateInterest(Conn* conn) {
+  const bool want = conn->out_offset < conn->out.size();
+  if (want == conn->want_write) return;
+  conn->want_write = want;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+  ev.data.u64 = conn->id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void SocketServer::CloseConn(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+  ::close(it->second.fd);
+  conns_.erase(it);
+  conns_gauge_.Set(static_cast<double>(
+      open_conns_.fetch_sub(1, std::memory_order_relaxed) - 1));
+}
+
+void SocketServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN drains the burst; anything else (EMFILE, ECONNABORTED) is
+      // per-connection and must not kill the loop.
+      return;
+    }
+    if (static_cast<int64_t>(conns_.size()) >= config_.max_conns) {
+      rejected_conns_.Add(1);
+      // Best effort: a non-blocking send of the refusal, then close. The
+      // fd's buffer is empty so a short write is effectively impossible.
+      ssize_t rc;
+      do {
+        rc = ::send(fd, kTooManyConns, sizeof(kTooManyConns) - 1,
+                    MSG_NOSIGNAL);
+      } while (rc < 0 && errno == EINTR);
+      ::close(fd);
+      continue;
+    }
+    const uint64_t id = next_conn_id_++;
+    Conn conn;
+    conn.fd = fd;
+    conn.id = id;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    accepted_.Add(1);
+    conns_gauge_.Set(static_cast<double>(
+        open_conns_.fetch_add(1, std::memory_order_relaxed) + 1));
+  }
+}
+
+bool SocketServer::ExtractLines(Conn* conn) {
+  size_t start = 0;
+  for (;;) {
+    const size_t nl = conn->in.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->in.substr(start, nl - start);
+    start = nl + 1;
+    lines_.Add(1);
+    conn->pending += 1;
+    const uint64_t id = conn->id;
+    // The completion may fire on this thread (admin lines, admission
+    // errors) or later on a batcher worker; both routes go through Post,
+    // which only enqueues and wakes the loop — so `conn` cannot be
+    // invalidated from under this frame.
+    handler_(std::move(line), [this, id](std::string reply) {
+      Post(id, std::move(reply));
+    });
+  }
+  if (start > 0) conn->in.erase(0, start);
+  if (static_cast<int64_t>(conn->in.size()) > config_.max_line_bytes) {
+    // An unframed line this large is a protocol violation; drop the
+    // connection rather than buffering without bound.
+    CloseConn(conn->id);
+    return false;
+  }
+  return true;
+}
+
+void SocketServer::ReadReady(Conn* conn) {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn->in.append(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    // Hard error: nothing more can be delivered on this connection.
+    CloseConn(conn->id);
+    return;
+  }
+  if (!ExtractLines(conn)) return;
+  if (Finished(*conn)) CloseConn(conn->id);
+}
+
+void SocketServer::FlushWrites(Conn* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->out.data() + conn->out_offset,
+               conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EPIPE and friends: the peer is gone, unflushed replies are moot.
+    CloseConn(conn->id);
+    return;
+  }
+  if (conn->out_offset >= conn->out.size()) {
+    conn->out.clear();
+    conn->out_offset = 0;
+  } else if (conn->out_offset > (conn->out.size() >> 1)) {
+    // Reclaim the consumed half so a slow reader does not pin the peak.
+    conn->out.erase(0, conn->out_offset);
+    conn->out_offset = 0;
+  }
+  if (Finished(*conn)) {
+    CloseConn(conn->id);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void SocketServer::DrainReplies() {
+  uint64_t drained = 0;
+  ssize_t rc;
+  do {
+    rc = ::read(wake_fd_, &drained, sizeof(drained));
+  } while (rc < 0 && errno == EINTR);
+  std::vector<std::pair<uint64_t, std::string>> batch;
+  {
+    std::lock_guard<std::mutex> lock(reply_mu_);
+    batch.swap(replies_);
+  }
+  for (auto& entry : batch) {
+    auto it = conns_.find(entry.first);
+    if (it == conns_.end()) {
+      // The connection died before its reply resolved; the request itself
+      // still completed on the model it was admitted to.
+      dropped_replies_.Add(1);
+      continue;
+    }
+    Conn& conn = it->second;
+    conn.out += entry.second;
+    conn.out.push_back('\n');
+    conn.pending -= 1;
+    FlushWrites(&conn);  // may CloseConn; `it` is not reused after this
+  }
+}
+
+// msd-hot-path: the serving event loop — every socket request's transport
+// latency is this thread's dispatch plus the batcher cycle behind it.
+void SocketServer::Run() {
+  MSD_CHECK(epoll_fd_ >= 0) << "Listen() must succeed before Run()";
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == 0) {
+        AcceptReady();
+        continue;
+      }
+      if (id == 1) {
+        DrainReplies();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // closed earlier in this batch
+      if ((events[i].events & (EPOLLERR | EPOLLHUP)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConn(id);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) FlushWrites(&it->second);
+      // FlushWrites may close; re-find before reading.
+      it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      if ((events[i].events & (EPOLLIN | EPOLLHUP)) != 0) {
+        ReadReady(&it->second);
+      }
+    }
+  }
+  // Drain once more so completions that raced Shutdown() are accounted
+  // (they are dropped — their connections close right below).
+  DrainReplies();
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& pair : conns_) ids.push_back(pair.first);
+  for (uint64_t id : ids) CloseConn(id);
+  if (!config_.path.empty()) ::unlink(config_.path.c_str());
+}
+
+}  // namespace serve
+}  // namespace msd

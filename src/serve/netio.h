@@ -1,0 +1,156 @@
+// Epoll multi-client socket front-end (docs/SERVING.md).
+//
+// SocketServer multiplexes hundreds of concurrent AF_UNIX connections onto
+// one event-loop thread, replacing the old one-connection-at-a-time accept
+// loop in tools/msd_serve. Every connection is non-blocking and owns a pair
+// of byte buffers:
+//
+//  * inbound bytes accumulate until '\n' frames a request line, which is
+//    handed to the LineHandler (ModelService::HandleLineAsync) — the loop
+//    never blocks on a request: admitted lines resolve later on a batcher
+//    worker thread;
+//  * completions Post() the formatted reply onto an eventfd-signaled queue;
+//    the loop drains it, appends to the connection's outbound buffer, and
+//    writes under EPOLLOUT readiness (armed only while bytes are pending).
+//
+// Ordering: replies carry the connection's id, so a completion for a
+// connection that already closed is dropped (serve/net_dropped_replies
+// counts them) instead of landing on a recycled fd. Within one connection,
+// pipelined lines are admitted in order but may complete out of order
+// across different models; clients that need strict pairing send one line
+// at a time (the bench clients do).
+//
+// Robustness (the socket-hardening checklist): SOCK_NONBLOCK/SOCK_CLOEXEC
+// everywhere, EINTR retried on accept/read/send, sends use MSG_NOSIGNAL
+// (hosts also ignore SIGPIPE for the stdin front-end), listen() backlog is
+// configurable and defaults to 128 instead of the old 8, connections past
+// max_conns get a best-effort ERROR line and an immediate close, and a
+// request line that exceeds max_line_bytes closes the offending connection
+// instead of growing without bound.
+//
+// This is src/serve: the no-blocking-io-in-serve-hot-path lint applies.
+// Raw non-blocking syscalls (epoll_wait, accept4, read, send) are the
+// transport and are legal; buffered stdio is not.
+#ifndef MSDMIXER_SERVE_NETIO_H_
+#define MSDMIXER_SERVE_NETIO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace msd {
+namespace serve {
+
+struct SocketServerConfig {
+  // AF_UNIX listening path; any stale socket file is unlinked at Listen()
+  // and the live one at shutdown.
+  std::string path;
+  // Concurrent-connection cap: accepts beyond it are answered with a
+  // best-effort ERROR line and closed (serve/net_rejected_conns).
+  int64_t max_conns = 256;
+  // listen(2) backlog for connection bursts.
+  int64_t backlog = 128;
+  // A connection whose current line exceeds this many bytes is closed.
+  int64_t max_line_bytes = 1 << 20;
+};
+
+// Called on the event-loop thread once per complete request line (without
+// the trailing '\n'). `reply` must be invoked exactly once; it is
+// thread-safe and non-blocking (it enqueues the reply and wakes the loop),
+// so batcher completions call it directly.
+using LineHandler =
+    std::function<void(std::string line, std::function<void(std::string)>)>;
+
+class SocketServer {
+ public:
+  SocketServer(const SocketServerConfig& config, LineHandler handler);
+  // Shutdown()s and releases every fd. Destruction order matters: anything
+  // that can still invoke a reply closure (the registry's model batchers)
+  // must be destroyed BEFORE the server, so Post never writes a recycled
+  // wake fd. Hosts declare the SocketServer before the ModelRegistry.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds and listens (non-blocking listener, epoll + wake eventfd).
+  Status Listen();
+
+  // The event loop; blocks the calling thread until Shutdown(). Requires a
+  // successful Listen().
+  void Run();
+
+  // Thread-safe, idempotent: makes Run() return. Open connections are
+  // closed; unflushed replies are dropped.
+  void Shutdown();
+
+  const std::string& path() const { return config_.path; }
+  // Test hook: connections currently open (loop-thread accurate).
+  int64_t open_connections() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;   // bytes received, not yet framed into lines
+    std::string out;  // replies not yet written; out_offset consumed
+    size_t out_offset = 0;
+    // Lines handed to the handler whose reply has not been posted yet; a
+    // closing connection lingers until this drains so no reply is lost.
+    int64_t pending = 0;
+    bool peer_closed = false;
+    bool want_write = false;  // EPOLLOUT currently armed
+  };
+
+  // Completion-side entry point: enqueues (conn_id, reply) and wakes the
+  // loop via the eventfd. Replies for ids that no longer exist are dropped.
+  void Post(uint64_t conn_id, std::string reply);
+
+  void AcceptReady();
+  void ReadReady(Conn* conn);
+  // Appends framed lines to the handler; returns false when the connection
+  // was closed (oversized line).
+  bool ExtractLines(Conn* conn);
+  // Writes as much of conn->out as the socket takes; arms/disarms EPOLLOUT.
+  void FlushWrites(Conn* conn);
+  void DrainReplies();
+  // True when a peer-closed connection has nothing left to deliver.
+  bool Finished(const Conn& conn) const;
+  void CloseConn(uint64_t conn_id);
+  void UpdateInterest(Conn* conn);
+
+  SocketServerConfig config_;
+  LineHandler handler_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::atomic<int64_t> open_conns_{0};
+
+  std::mutex reply_mu_;
+  std::vector<std::pair<uint64_t, std::string>> replies_;
+
+  // serve/net_* instruments, resolved once.
+  obs::Counter& accepted_;
+  obs::Counter& rejected_conns_;
+  obs::Counter& lines_;
+  obs::Counter& dropped_replies_;
+  obs::Gauge& conns_gauge_;
+};
+
+}  // namespace serve
+}  // namespace msd
+
+#endif  // MSDMIXER_SERVE_NETIO_H_

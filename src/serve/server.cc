@@ -11,11 +11,7 @@
 namespace msd {
 namespace serve {
 
-namespace {
-
-// Strips leading/trailing ASCII whitespace (including the transport's
-// trailing newline) so admin commands match regardless of framing.
-std::string Trimmed(const std::string& line) {
+std::string TrimmedLine(const std::string& line) {
   size_t begin = 0;
   size_t end = line.size();
   while (begin < end &&
@@ -28,8 +24,6 @@ std::string Trimmed(const std::string& line) {
   }
   return line.substr(begin, end - begin);
 }
-
-}  // namespace
 
 ServerLoop::ServerLoop(InferenceSession* session,
                        const MicroBatcherConfig& config)
@@ -125,7 +119,7 @@ std::string FormatTensorLine(const Tensor& tensor) {
   return out;
 }
 
-std::string ServerLoop::StatsLine() const {
+std::string ServeStatsJson() {
   ServeInstruments& m = Instruments();
   char buf[256];
   std::string out = "{";
@@ -164,29 +158,35 @@ std::string ServerLoop::StatsLine() const {
   return out;
 }
 
+std::string ServerLoop::StatsLine() const { return ServeStatsJson(); }
+
+std::string HandleTraceDump(const std::string& path,
+                            obs::TelemetryExporter* exporter) {
+  if (path.empty()) {
+    return "ERROR " +
+           Status::InvalidArgument("TRACE needs a destination path").ToString();
+  }
+  if (exporter == nullptr) {
+    return "ERROR " + Status::Internal(
+                          "no telemetry exporter attached; TRACE "
+                          "requires --telemetry support in the host tool")
+                          .ToString();
+  }
+  // The exporter thread owns the file write; we only wait for the result,
+  // so no blocking I/O happens in src/serve itself.
+  if (exporter->RequestTraceDump(path).get()) return "OK " + path;
+  return "ERROR " +
+         Status::Internal("trace dump to " + path + " failed").ToString();
+}
+
 std::string ServerLoop::HandleLine(const std::string& line) {
-  const std::string trimmed = Trimmed(line);
+  const std::string trimmed = TrimmedLine(line);
   if (trimmed == "STATS") return StatsLine();
   if (trimmed.rfind("TRACE", 0) == 0 &&
       (trimmed.size() == 5 || trimmed[5] == ' ' || trimmed[5] == '\t')) {
     const std::string path =
-        trimmed.size() > 5 ? Trimmed(trimmed.substr(5)) : std::string();
-    if (path.empty()) {
-      return "ERROR " +
-             Status::InvalidArgument("TRACE needs a destination path")
-                 .ToString();
-    }
-    if (exporter_ == nullptr) {
-      return "ERROR " + Status::Internal(
-                            "no telemetry exporter attached; TRACE "
-                            "requires --telemetry support in the host tool")
-                            .ToString();
-    }
-    // The exporter thread owns the file write; we only wait for the result,
-    // so no blocking I/O happens in src/serve itself.
-    if (exporter_->RequestTraceDump(path).get()) return "OK " + path;
-    return "ERROR " +
-           Status::Internal("trace dump to " + path + " failed").ToString();
+        trimmed.size() > 5 ? TrimmedLine(trimmed.substr(5)) : std::string();
+    return HandleTraceDump(path, exporter_);
   }
   StatusOr<Tensor> window =
       ParseWindowLine(line, session_->model_config().channels,

@@ -82,6 +82,22 @@ class ServerLoop {
 StatusOr<Tensor> ParseWindowLine(const std::string& line, int64_t channels,
                                  int64_t length);
 
+// Strips leading/trailing ASCII whitespace (the transport's framing), so
+// admin commands match regardless of trailing newlines.
+std::string TrimmedLine(const std::string& line);
+
+// The process-wide serve/* snapshot both front-ends render for STATS: one
+// JSON object with the request counters, gauges, and p50/p95/p99 for each
+// latency histogram (Histogram::ValueAtQuantile).
+std::string ServeStatsJson();
+
+// The TRACE admin command, shared by ServerLoop and the multi-model
+// ModelService (serve/registry.h): dumps the sampled obs::TraceRing as
+// chrome://tracing JSON to `path` via `exporter` (the exporter thread does
+// the file write). Returns the protocol reply ("OK <path>" or "ERROR ...").
+std::string HandleTraceDump(const std::string& path,
+                            obs::TelemetryExporter* exporter);
+
 // FormatTensorLine: inverse rendering — rank-1 tensors become one
 // comma-separated channel; rank-2 rows are joined with ';'. %.6g floats.
 std::string FormatTensorLine(const Tensor& tensor);

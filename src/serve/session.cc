@@ -260,6 +260,7 @@ StatusOr<std::unique_ptr<InferenceSession>> CreateForecastSession(
   config.model.use_instance_norm = options.use_instance_norm;
   config.scaler = meta.value().scaler;
   config.max_batch = options.max_batch;
+  config.quantize = options.quantize;
   return InferenceSession::Create(config, checkpoint_path);
 }
 

@@ -158,6 +158,9 @@ struct ForecastSessionOptions {
   int64_t hidden_dim = 32;
   bool use_instance_norm = true;
   int64_t max_batch = 32;
+  // Forwarded to InferenceSessionConfig::quantize (int8 plan rewriting,
+  // docs/PERFORMANCE.md); MSD_QUANT still overrides when set.
+  bool quantize = false;
 };
 
 StatusOr<std::unique_ptr<InferenceSession>> CreateForecastSession(

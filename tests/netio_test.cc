@@ -1,0 +1,310 @@
+// SocketServer tests (serve/netio.h): many concurrent AF_UNIX connections
+// multiplexed on one epoll thread, pipelined lines, replies posted from
+// foreign threads through the eventfd wake path, the connection cap, and
+// the oversized-line guard. The handler here is a trivial echo — protocol
+// semantics over the socket are covered by registry_test.cc and the
+// msd_serve selftest; this suite isolates the transport.
+#include "serve/netio.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/worker.h"
+
+namespace msd {
+namespace {
+
+const bool kSigpipeIgnored = [] {
+  std::signal(SIGPIPE, SIG_IGN);
+  return true;
+}();
+
+std::string TestSocketPath(const std::string& tag) {
+  return ::testing::TempDir() + "netio_test_" + std::to_string(::getpid()) +
+         "_" + tag + ".sock";
+}
+
+int ConnectUnixRetry(const std::string& path) {
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    int rc;
+    do {
+      rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) return fd;
+    close(fd);
+    if (errno != EAGAIN && errno != ECONNREFUSED && errno != ENOENT) {
+      return -1;
+    }
+    usleep(1000);
+  }
+  return -1;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w =
+        send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+// Reads one '\n'-framed reply; empty string on EOF/error.
+std::string ReadLine(int fd) {
+  std::string reply;
+  char c;
+  for (;;) {
+    const ssize_t n = read(fd, &c, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::string();
+    if (c == '\n') return reply;
+    reply.push_back(c);
+  }
+}
+
+std::string RoundTrip(int fd, const std::string& line) {
+  if (!SendAll(fd, line + "\n")) return std::string();
+  return ReadLine(fd);
+}
+
+// Server + loop thread, torn down in reverse order automatically.
+struct ServerHarness {
+  explicit ServerHarness(const serve::SocketServerConfig& config,
+                         serve::LineHandler handler)
+      : server(config, std::move(handler)) {
+    listen_status = server.Listen();
+    if (listen_status.ok()) {
+      loop.Start(1, [this](int64_t) { server.Run(); });
+    }
+  }
+  ~ServerHarness() {
+    server.Shutdown();
+    loop.Join();
+  }
+  serve::SocketServer server;
+  runtime::WorkerGroup loop;
+  Status listen_status = Status::OK();
+};
+
+TEST(SocketServerTest, ServesManyConcurrentConnections) {
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("many");
+  config.max_conns = 64;
+  ServerHarness harness(config, [](std::string line,
+                                   std::function<void(std::string)> reply) {
+    reply("ACK " + line);
+  });
+  ASSERT_TRUE(harness.listen_status.ok())
+      << harness.listen_status.ToString();
+
+  constexpr int64_t kConns = 48;
+  std::atomic<int64_t> bad{0};
+  {
+    runtime::WorkerGroup clients;
+    clients.Start(kConns, [&](int64_t c) {
+      const int fd = ConnectUnixRetry(config.path);
+      if (fd < 0) {
+        bad.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 4; ++i) {
+        const std::string line =
+            "hello_" + std::to_string(c) + "_" + std::to_string(i);
+        if (RoundTrip(fd, line) != "ACK " + line) bad.fetch_add(1);
+      }
+      close(fd);
+    });
+    clients.Join();
+  }
+  EXPECT_EQ(bad.load(), 0);
+  // All clients closed; the loop reaps them as the EOFs arrive.
+  for (int i = 0; i < 200 && harness.server.open_connections() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(harness.server.open_connections(), 0);
+}
+
+TEST(SocketServerTest, PipelinedLinesAnswerInOrder) {
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("pipeline");
+  ServerHarness harness(config, [](std::string line,
+                                   std::function<void(std::string)> reply) {
+    reply("R:" + line);
+  });
+  ASSERT_TRUE(harness.listen_status.ok());
+
+  const int fd = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd, 0);
+  // One write carrying three frames; the loop extracts and answers all of
+  // them (inline handler => replies enqueue in arrival order).
+  ASSERT_TRUE(SendAll(fd, "a\nb\nc\n"));
+  EXPECT_EQ(ReadLine(fd), "R:a");
+  EXPECT_EQ(ReadLine(fd), "R:b");
+  EXPECT_EQ(ReadLine(fd), "R:c");
+  close(fd);
+}
+
+TEST(SocketServerTest, RepliesCanBePostedFromAnotherThread) {
+  // The handler parks every reply closure; a separate thread resolves them
+  // later — exercising the eventfd Post path the batcher completions use.
+  struct Parked {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<std::string, std::function<void(std::string)>>> q;
+    bool stop = false;
+  };
+  auto parked = std::make_shared<Parked>();
+
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("async");
+  ServerHarness harness(
+      config, [parked](std::string line,
+                       std::function<void(std::string)> reply) {
+        std::lock_guard<std::mutex> lock(parked->mu);
+        parked->q.emplace_back(std::move(line), std::move(reply));
+        parked->cv.notify_one();
+      });
+  ASSERT_TRUE(harness.listen_status.ok());
+
+  runtime::WorkerGroup replier;
+  replier.Start(1, [parked](int64_t) {
+    std::unique_lock<std::mutex> lock(parked->mu);
+    for (;;) {
+      parked->cv.wait(lock,
+                      [&parked] { return parked->stop || !parked->q.empty(); });
+      if (parked->q.empty()) return;
+      auto item = std::move(parked->q.front());
+      parked->q.pop_front();
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      item.second("DELAYED " + item.first);
+      lock.lock();
+    }
+  });
+
+  const int fd = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(RoundTrip(fd, "one"), "DELAYED one");
+  EXPECT_EQ(RoundTrip(fd, "two"), "DELAYED two");
+  close(fd);
+
+  {
+    std::lock_guard<std::mutex> lock(parked->mu);
+    parked->stop = true;
+  }
+  parked->cv.notify_all();
+  replier.Join();
+}
+
+TEST(SocketServerTest, RejectsConnectionsPastTheCap) {
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("cap");
+  config.max_conns = 2;
+  ServerHarness harness(config, [](std::string line,
+                                   std::function<void(std::string)> reply) {
+    reply("ACK " + line);
+  });
+  ASSERT_TRUE(harness.listen_status.ok());
+
+  const int fd1 = ConnectUnixRetry(config.path);
+  const int fd2 = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  // Round trips prove both connections are registered with the loop before
+  // the third tries (connect alone can race the accept).
+  EXPECT_EQ(RoundTrip(fd1, "a"), "ACK a");
+  EXPECT_EQ(RoundTrip(fd2, "b"), "ACK b");
+
+  const int fd3 = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd3, 0);
+  const std::string refused = ReadLine(fd3);
+  EXPECT_EQ(refused.rfind("ERROR ResourceExhausted", 0), 0u) << refused;
+  EXPECT_EQ(ReadLine(fd3), "");  // then the server closes it
+  close(fd3);
+
+  // Closing one admitted connection frees a slot.
+  close(fd1);
+  for (int i = 0; i < 200 && harness.server.open_connections() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int fd4 = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd4, 0);
+  EXPECT_EQ(RoundTrip(fd4, "c"), "ACK c");
+  close(fd4);
+  close(fd2);
+}
+
+TEST(SocketServerTest, ClosesConnectionOnOversizedLine) {
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("oversize");
+  config.max_line_bytes = 64;
+  std::atomic<int64_t> handled{0};
+  ServerHarness harness(
+      config, [&handled](std::string line,
+                         std::function<void(std::string)> reply) {
+        handled.fetch_add(1);
+        reply("ACK " + line);
+      });
+  ASSERT_TRUE(harness.listen_status.ok());
+
+  const int fd = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd, 0);
+  // 200 unframed bytes blow the 64-byte line cap: the server closes the
+  // connection without ever invoking the handler.
+  ASSERT_TRUE(SendAll(fd, std::string(200, 'x')));
+  EXPECT_EQ(ReadLine(fd), "");
+  close(fd);
+  EXPECT_EQ(handled.load(), 0);
+
+  // The server stays healthy for well-behaved clients.
+  const int fd2 = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd2, 0);
+  EXPECT_EQ(RoundTrip(fd2, "small"), "ACK small");
+  close(fd2);
+}
+
+TEST(SocketServerTest, ShutdownWithOpenConnectionsIsClean) {
+  serve::SocketServerConfig config;
+  config.path = TestSocketPath("shutdown");
+  auto harness = std::make_unique<ServerHarness>(
+      config, [](std::string line, std::function<void(std::string)> reply) {
+        reply("ACK " + line);
+      });
+  ASSERT_TRUE(harness->listen_status.ok());
+  const int fd = ConnectUnixRetry(config.path);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(RoundTrip(fd, "x"), "ACK x");
+  // Destroy the server while the client is still connected: Run() must
+  // return promptly and the client observes EOF rather than a hang.
+  harness.reset();
+  EXPECT_EQ(ReadLine(fd), "");
+  close(fd);
+}
+
+}  // namespace
+}  // namespace msd

@@ -2,7 +2,8 @@
 //
 // Usage:
 //   bench_compare <baseline.json> <current.json> [--threshold <pct>]
-//                 [--repetitions <n>]
+//                 [--repetitions <n>] [--noise-floor-us <us>]
+//                 [--span-filter <prefix>]
 //
 // Accepts either of the repo's two result formats, auto-detected per file:
 //   * google-benchmark JSON (--benchmark_out): the "benchmarks" array; each
@@ -24,7 +25,8 @@
 //     each span label maps to total_ms / count, i.e. mean wall-clock per
 //     call, again invariant to how many calls the run happened to make.
 //     Snapshots from bench_serving additionally contribute their
-//     serve/latency_p{50,95,99}_us gauges (the clients' own clocks), and —
+//     serve/latency_p{50,95,99}_us gauges (the clients' own clocks), the
+//     multi-tenant churn profile's serve/multi_latency_* twins, and —
 //     the gated source of truth — p50/p95/p99 derived from every
 //     metrics.histograms entry named serve/*_us via the same bucket
 //     interpolation the server uses (obs::QuantileFromBuckets), keyed
@@ -35,8 +37,19 @@
 // stderr (a renamed benchmark or dropped metric is a coverage hole, not
 // noise). A name whose current time exceeds baseline by
 // more than --threshold percent (default 10) is a regression; any regression
-// makes the exit status 1 so tools/check.sh can gate on it. Malformed input
-// or usage errors exit 2.
+// makes the exit status 1 so tools/check.sh can gate on it. For the
+// microsecond-valued serving latency keys (gauges ending in _us and the
+// "…_us/pNN" histogram quantiles), --noise-floor-us <us> (default 0 = off)
+// additionally requires the absolute delta to exceed the floor before a
+// relative overshoot counts: a p99 over a few thousand samples moves by
+// whole milliseconds from scheduler jitter alone, so a purely relative gate
+// on a ~2ms value is a coin flip, while the same floor is noise against the
+// tens-of-millisecond churn quantiles where the relative gate keeps doing
+// the work. --span-filter <prefix> keeps only telemetry spans whose label
+// starts with the prefix (applied to both files): bench_serving's snapshot
+// includes train/* and autograd/* spans from its model-training warmup, and
+// a serving gate that fails on a slow warmup epoch is measuring the wrong
+// thing. Malformed input or usage errors exit 2.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -149,11 +162,16 @@ bool ExtractGoogleBenchmark(const JsonValue& doc, int64_t expected_repetitions,
 }
 
 // Telemetry snapshot format: {"metrics":…, "spans":{"label":{"count":N,
-// "total_ms":…, …}, …}}. The comparable number is mean ms per call.
-bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
+// "total_ms":…, …}, …}}. The comparable number is mean ms per call. A
+// non-empty span_filter keeps only labels with that prefix: bench_serving's
+// snapshot carries train/* and autograd/* spans from its model-training
+// warmup, and those setup timings have no business gating a serving run.
+bool ExtractTelemetrySpans(const JsonValue& doc, const std::string& span_filter,
+                           TimeMap* out) {
   const JsonValue* spans = doc.Find("spans");
   if (spans == nullptr || !spans->is_object()) return false;
   for (const auto& [label, span] : spans->object) {
+    if (!span_filter.empty() && label.rfind(span_filter, 0) != 0) continue;
     const JsonValue* count = span.Find("count");
     const JsonValue* total = span.Find("total_ms");
     if (count == nullptr || !count->is_number() || total == nullptr ||
@@ -167,12 +185,14 @@ bool ExtractTelemetrySpans(const JsonValue& doc, TimeMap* out) {
 
 // Serving gauges (bench_serving --metrics-out) live under metrics.gauges:
 // serve/latency_p50_us / p95 / p99 (the clients' own clocks), the int8
-// path's serve/quant_latency_* twins from the --quantize leg, and
+// path's serve/quant_latency_* twins from the --quantize leg, the churn
+// profile's serve/multi_latency_* twins (socket round trips through the
+// epoll loop and a two-model registry, docs/SERVING.md), and
 // serve/arena_bytes + serve/quant_arena_bytes (planner arena footprints,
 // docs/COMPILER.md). All are lower-is-better values, so they join the
 // comparison map alongside span times and gate the same way
-// (tools/check.sh --serve-baseline catches a latency regression on either
-// precision path and an unexplained memory-plan blowup).
+// (tools/check.sh --serve-baseline catches a latency regression on any
+// serving path and an unexplained memory-plan blowup).
 void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   const JsonValue* metrics = doc.Find("metrics");
   if (metrics == nullptr) return;
@@ -181,6 +201,7 @@ void ExtractServeLatencyGauges(const JsonValue& doc, TimeMap* out) {
   for (const auto& [name, value] : gauges->object) {
     const bool tracked = name.rfind("serve/latency_", 0) == 0 ||
                          name.rfind("serve/quant_latency_", 0) == 0 ||
+                         name.rfind("serve/multi_latency_", 0) == 0 ||
                          name == "serve/arena_bytes" ||
                          name == "serve/quant_arena_bytes";
     if (tracked && value.is_number()) {
@@ -232,7 +253,7 @@ void ExtractServeHistogramQuantiles(const JsonValue& doc, TimeMap* out) {
 }
 
 bool LoadTimes(const std::string& path, int64_t expected_repetitions,
-               TimeMap* out) {
+               const std::string& span_filter, TimeMap* out) {
   std::string text;
   if (!ReadFile(path, &text)) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
@@ -253,7 +274,7 @@ bool LoadTimes(const std::string& path, int64_t expected_repetitions,
                  path.c_str(), error.c_str());
     return false;
   }
-  if (is_gbench || ExtractTelemetrySpans(doc, out)) {
+  if (is_gbench || ExtractTelemetrySpans(doc, span_filter, out)) {
     ExtractServeLatencyGauges(doc, out);
     ExtractServeHistogramQuantiles(doc, out);
     if (out->empty()) {
@@ -272,9 +293,22 @@ bool LoadTimes(const std::string& path, int64_t expected_repetitions,
 
 }  // namespace
 
+// True for the microsecond-valued serving latency keys: the *_us gauges
+// (serve/latency_p99_us, serve/multi_latency_p50_us, ...) and the
+// histogram-derived quantiles keyed "serve/e2e_us/p99" style. These are the
+// keys --noise-floor-us guards.
+bool IsLatencyMicrosKey(const std::string& name) {
+  if (name.size() > 3 && name.compare(name.size() - 3, 3, "_us") == 0) {
+    return true;
+  }
+  return name.find("_us/p") != std::string::npos;
+}
+
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold_pct = 10.0;
+  double noise_floor_us = 0.0;
+  std::string span_filter;
   int64_t repetitions = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -289,6 +323,30 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "bench_compare: bad --threshold '%s' (want pct >= 0)\n",
                      argv[i]);
+        return 2;
+      }
+    } else if (arg == "--noise-floor-us") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --noise-floor-us needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      noise_floor_us = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || noise_floor_us < 0.0) {
+        std::fprintf(
+            stderr, "bench_compare: bad --noise-floor-us '%s' (want us >= 0)\n",
+            argv[i]);
+        return 2;
+      }
+    } else if (arg == "--span-filter") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --span-filter needs a prefix\n");
+        return 2;
+      }
+      span_filter = argv[++i];
+      if (span_filter.empty()) {
+        std::fprintf(stderr,
+                     "bench_compare: --span-filter prefix must be non-empty\n");
         return 2;
       }
     } else if (arg == "--repetitions") {
@@ -311,7 +369,8 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--threshold <pct>] [--repetitions <n>]\n");
+                 "[--threshold <pct>] [--repetitions <n>] "
+                 "[--noise-floor-us <us>] [--span-filter <prefix>]\n");
     return 2;
   }
 
@@ -319,8 +378,9 @@ int main(int argc, char** argv) {
   // just recorded with); the baseline may be a single-run file.
   TimeMap baseline;
   TimeMap current;
-  if (!LoadTimes(positional[0], /*expected_repetitions=*/0, &baseline) ||
-      !LoadTimes(positional[1], repetitions, &current)) {
+  if (!LoadTimes(positional[0], /*expected_repetitions=*/0, span_filter,
+                 &baseline) ||
+      !LoadTimes(positional[1], repetitions, span_filter, &current)) {
     return 2;
   }
 
@@ -345,8 +405,17 @@ int main(int argc, char** argv) {
     const double cur_time = it->second;
     const double delta_pct =
         base_time > 0.0 ? (cur_time - base_time) / base_time * 100.0 : 0.0;
+    // Microsecond-scale serving tails (client-exact p99 over a few thousand
+    // samples, sub-millisecond assembly quantiles) swing well past any
+    // relative threshold from OS scheduling jitter alone. For *_us keys a
+    // regression must also clear --noise-floor-us in absolute delta: the
+    // floor is negligible against the tens-of-millisecond churn quantiles
+    // (the relative gate dominates there) and only mutes jitter-sized moves
+    // on values the jitter itself can dwarf.
+    const bool above_floor = !IsLatencyMicrosKey(name) ||
+                             (cur_time - base_time) > noise_floor_us;
     const char* tag = "  ok   ";
-    if (delta_pct > threshold_pct) {
+    if (delta_pct > threshold_pct && above_floor) {
       tag = "REGRESS";
       ++regressions;
     } else if (delta_pct < -threshold_pct) {

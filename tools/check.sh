@@ -8,11 +8,13 @@
 #                 report plus --json, which must parse); any unsuppressed
 #                 finding fails the leg. The run also asserts hot-path BFS
 #                 coverage of the planner executor (--require-reachable
-#                 CompiledPlan::Execute / InferenceSession::RunPlanned) and
-#                 of the int8 kernel entry points (QGemmPrepacked /
-#                 QuantizeActivationsPerRow), so a lost call edge from the
-#                 PredictBatch root cannot silently shrink what "0 findings"
-#                 vouches for.
+#                 CompiledPlan::Execute / InferenceSession::RunPlanned), of
+#                 the int8 kernel entry points (QGemmPrepacked /
+#                 QuantizeActivationsPerRow), and of the multi-tenant serving
+#                 core (SocketServer::Run, the epoll loop root, and
+#                 ModelRegistry::Swap via the HandleLineAsync -> RELOAD
+#                 chain), so a lost call edge from a serving root cannot
+#                 silently shrink what "0 findings" vouches for.
 #   release       default configuration (MSD_NATIVE_ARCH=ON, checks OFF);
 #                 full ctest run THREE times — MSD_PLAN=1 (compiled session
 #                 plans, the default), MSD_PLAN=0 (the interpreted oracle),
@@ -22,9 +24,13 @@
 #                 quickstart run whose training losses are captured, a
 #                 thread-scaling bench snapshot (BENCH_threads.json), a
 #                 serving load snapshot (BENCH_serve.json from
-#                 bench_serving --threads 4 --quantize, including the
-#                 serve/* histogram telemetry and the int8 leg's
-#                 serve/quant_latency_* gauges), and msd_serve --selftest
+#                 bench_serving --threads 4 --quantize --churn, including
+#                 the serve/* histogram telemetry, the int8 leg's
+#                 serve/quant_latency_* gauges, and the multi-tenant churn
+#                 profile — 128 concurrent socket connections over two
+#                 models with a mid-run RELOAD hot-swap, zero failed and
+#                 zero version-crossed replies required, latencies in the
+#                 serve/multi_latency_* gauges), and msd_serve --selftest
 #                 passes — fp32 and MSD_QUANT=1 — that validate the
 #                 telemetry exporter's JSONL output end to end.
 #   debug-checks  MSD_DEBUG_CHECKS=ON; full ctest, and the quickstart losses
@@ -36,9 +42,11 @@
 #                 every parallel kernel (src/runtime dispatch), the
 #                 profiler's per-thread merge, the trainer path, and the
 #                 serving stack (serve_test's concurrent micro-batcher
-#                 clients, exporter_test's trace-ring writer/reader races,
-#                 msd_serve_selftest, bench_serving_smoke) run on a real
-#                 multi-threaded pool under the race detector.
+#                 clients, registry_test's concurrent Get/Swap hammer,
+#                 netio_test's multi-connection epoll loop, exporter_test's
+#                 trace-ring writer/reader races, msd_serve_selftest,
+#                 bench_serving_smoke incl. the churn hot-swap phase) run on
+#                 a real multi-threaded pool under the race detector.
 #
 # Usage: tools/check.sh [--tidy] [--jobs N] [--leg NAME]...
 #        [--bench-baseline FILE] [--serve-baseline FILE]
@@ -48,25 +56,30 @@
 #   --jobs N   parallel build/test jobs (default: nproc).
 #   --bench-baseline FILE
 #              after the release leg, re-run the kernel benches in
-#              google-benchmark JSON form — 3 repetitions, compared by
+#              google-benchmark JSON form — 7 repetitions, compared by
 #              median — and gate them against FILE with tools/bench_compare
 #              (>10% cpu_time growth on any common benchmark fails the
-#              run). bench_compare refuses files whose context is not
-#              stamped msd_build_type=release, so a Debug-built recording
-#              can neither become nor be judged against a baseline. The
-#              repo's committed reference is BENCH_baseline.json;
-#              regenerate it when the hardware changes:
-#                ./build/bench/bench_micro_kernels \
-#                  --benchmark_filter='BM_MatMul2D|BM_BatchedMatMul|BM_Gemm|BM_Rfft|BM_Fft' \
-#                  --benchmark_min_time=0.05 --benchmark_repetitions=3 \
-#                  --benchmark_out=BENCH_baseline.json \
-#                  --benchmark_out_format=json
-#              (from a Release ./build, the default configuration).
+#              run). Thread-scaling variants above $(nproc) are excluded
+#              from the filter: oversubscribed threads measure scheduler
+#              time-slicing, not kernels. bench_compare refuses files whose
+#              context is not stamped msd_build_type=release, so a
+#              Debug-built recording can neither become nor be judged
+#              against a baseline. The repo's committed reference is
+#              BENCH_baseline.json; regenerate it when the hardware (or its
+#              noise profile) changes by running the same bench_micro_kernels
+#              command the gate uses — read it out of the release leg below,
+#              or crib the filter from a check.sh run's log — with
+#              --benchmark_out=BENCH_baseline.json from a Release ./build.
 #   --serve-baseline FILE
 #              gate the release leg's BENCH_serve.json serving snapshot
 #              against FILE with tools/bench_compare. Tail latency is noisier
-#              than kernel cpu_time, so the threshold is 25%: a >25% growth
-#              in serve/latency_p99_us (or p50/p95) fails the run.
+#              than kernel cpu_time, so the threshold is 25% AND (for the
+#              microsecond-valued keys) an absolute 2.5ms noise floor: a
+#              >25% growth in serve/latency_p99_us, serve/quant_latency_*,
+#              or serve/multi_latency_* fails the run once it also clears
+#              the floor scheduler jitter can produce on its own. Spans are
+#              filtered to serve/* so the gate ignores the bench's own
+#              model-training warmup timings.
 #
 # Build trees live in build-check/<leg> so they never disturb ./build.
 set -u -o pipefail
@@ -224,6 +237,8 @@ for leg in "${LEGS[@]}"; do
           --require-reachable "CompiledPlan::Execute" \
           --require-reachable "QGemmPrepacked" \
           --require-reachable "QuantizeActivationsPerRow" \
+          --require-reachable "SocketServer::Run" \
+          --require-reachable "ModelRegistry::Swap" \
           "${ROOT}" > "${json}"; then
         fail_leg analyze "unsuppressed findings (report above)"; continue
       fi
@@ -258,9 +273,15 @@ for leg in "${LEGS[@]}"; do
         # telemetry recorded as BENCH_serve.json. --quantize adds a second
         # phase against an int8 session over the same checkpoint, so the
         # snapshot also carries serve/quant_latency_* for the baseline gate.
-        note "leg release: serving load snapshot (fp32 + int8)"
+        # --churn appends the multi-tenant profile: 128 concurrent socket
+        # connections over a two-model manifest with a RELOAD hot-swap
+        # mid-run; the bench exits nonzero on any failed request or any
+        # reply matching neither the pre- nor post-swap oracle, and its
+        # latencies land in serve/multi_latency_* for the same gate.
+        note "leg release: serving load snapshot (fp32 + int8 + churn)"
         if "${CHECK_DIR}/release/bench/bench_serving" \
-            --threads 4 --requests 1000 --quantize \
+            --threads 4 --requests 4000 --quantize \
+            --churn --conns 128 --churn-requests 4000 \
             --metrics-out "${CHECK_DIR}/release/BENCH_serve.json"; then
           DETAIL[release]="${DETAIL[release]}; BENCH_serve.json recorded"
         else
@@ -296,11 +317,20 @@ for leg in "${LEGS[@]}"; do
       fi
       if [[ "${STATUS[release]}" == "PASS" && -n "${SERVE_BASELINE}" ]]; then
         # Serving perf gate: p50/p95/p99 latency gauges vs the baseline
-        # snapshot; 25% threshold (tail latency is noisier than cpu_time).
+        # snapshot; 25% threshold (tail latency is noisier than cpu_time)
+        # plus a 2.5ms absolute floor on the microsecond-valued keys —
+        # client-exact p99s over a few thousand samples move by whole
+        # milliseconds from scheduler jitter alone, so a relative-only gate
+        # on the ~2ms single-model tails flakes; the floor is negligible
+        # against the churn profile's tens-of-millisecond quantiles.
+        # --span-filter serve/ keeps the gate on serving spans only: the
+        # snapshot also records train/* and autograd/* spans from the
+        # bench's model-training warmup, and a slow warmup epoch is not a
+        # serving regression.
         note "leg release: bench_compare (serving) vs ${SERVE_BASELINE}"
         if "${CHECK_DIR}/release/tools/bench_compare" \
               "${SERVE_BASELINE}" "${CHECK_DIR}/release/BENCH_serve.json" \
-              --threshold 25; then
+              --threshold 25 --noise-floor-us 2500 --span-filter serve/; then
           DETAIL[release]="${DETAIL[release]}; serving within baseline"
         else
           fail_leg release "serving latency regression vs ${SERVE_BASELINE}"
@@ -309,17 +339,27 @@ for leg in "${LEGS[@]}"; do
       if [[ "${STATUS[release]}" == "PASS" && -n "${BENCH_BASELINE}" ]]; then
         # Perf gate: the kernel benches (GEMM family, fused epilogues, rfft)
         # against the committed baseline; >10% median cpu_time growth fails.
-        # 3 repetitions, medians compared, so one descheduled repetition
-        # cannot fake (or mask) a regression; bench_compare also refuses
-        # either file if its context is not stamped msd_build_type=release.
+        # 7 repetitions, medians compared, so a burst of descheduled
+        # repetitions cannot fake (or mask) a regression; bench_compare also
+        # refuses either file if its context is not stamped
+        # msd_build_type=release. Thread-scaling variants above the
+        # machine's core count are excluded: with more threads than cores
+        # their runtime is the scheduler's time-slicing pattern, not kernel
+        # code, and on a 1-core box BM_*Threads/4 swings 15%+ between
+        # identical runs.
         note "leg release: bench_compare vs ${BENCH_BASELINE}"
+        cores="$(nproc)"
+        if   (( cores >= 4 )); then tsuf='/(1|2|4)'
+        elif (( cores >= 2 )); then tsuf='/(1|2)'
+        else                        tsuf='/1'; fi
+        kernel_filter="BM_MatMul2D|BM_BatchedMatMul|BM_Fft|BM_Rfft/|(BM_GemmChannelMixThreads|BM_GemmHeadThreads|BM_GemmPatchEmbedThreads|BM_RfftThreads)${tsuf}\$"
         current="${CHECK_DIR}/release/BENCH_current.json"
         if "${CHECK_DIR}/release/bench/bench_micro_kernels" \
-              --benchmark_filter='BM_MatMul2D|BM_BatchedMatMul|BM_Gemm|BM_Rfft|BM_Fft' \
-              --benchmark_min_time=0.05 --benchmark_repetitions=3 \
+              --benchmark_filter="${kernel_filter}" \
+              --benchmark_min_time=0.05 --benchmark_repetitions=7 \
               --benchmark_out="${current}" --benchmark_out_format=json &&
             "${CHECK_DIR}/release/tools/bench_compare" \
-              "${BENCH_BASELINE}" "${current}" --repetitions 3; then
+              "${BENCH_BASELINE}" "${current}" --repetitions 7; then
           DETAIL[release]="${DETAIL[release]}; bench within baseline"
         else
           fail_leg release "bench regression vs ${BENCH_BASELINE}"
